@@ -1,0 +1,91 @@
+// Ablation 3: the internal multi-level cache management policy (paper §6)
+// on a skewed read workload. 24 x 1 GiB files live on the HDD tier; a
+// zipf-like reader hammers a hot subset. With the CacheManager ticking,
+// hot files gain Memory-tier replicas and aggregate read throughput rises.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cache_manager.h"
+
+using namespace octo;
+
+namespace {
+
+constexpr int kFiles = 24;
+constexpr int kRounds = 6;
+constexpr int kReadsPerRound = 18;
+
+double RunWorkload(bool with_cache_manager) {
+  auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusDefault, 31);
+  workload::TransferEngine engine(cluster.get());
+  sim::Simulation* sim = cluster->simulation();
+
+  // Data set: 24 x 1 GiB on HDDs only (a cold warehouse).
+  for (int i = 0; i < kFiles; ++i) {
+    engine.WriteFileAsync("/warehouse/f" + std::to_string(i), kGiB,
+                          128 * kMiB, ReplicationVector::Of(0, 0, 3),
+                          cluster->worker(i % 9)->location(),
+                          [](Status st) { OCTO_CHECK(st.ok()); });
+  }
+  sim->RunUntilIdle();
+
+  CacheManager manager(cluster->master());
+  Random rng(7);
+  double start = sim->now();
+  int64_t total_bytes = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    int done = 0;
+    for (int r = 0; r < kReadsPerRound; ++r) {
+      // 80% of reads hit the 4 hottest files.
+      int file = rng.Bernoulli(0.8)
+                     ? static_cast<int>(rng.Uniform(4))
+                     : static_cast<int>(4 + rng.Uniform(kFiles - 4));
+      std::string path = "/warehouse/f" + std::to_string(file);
+      if (with_cache_manager) manager.RecordAccess(path);
+      engine.ReadFileAsync(
+          path, cluster->worker(r % 9)->location(),
+          [&done](Status st) {
+            OCTO_CHECK(st.ok()) << st.ToString();
+            ++done;
+          });
+      total_bytes += kGiB;
+    }
+    sim->RunUntilIdle();
+    OCTO_CHECK(done == kReadsPerRound);
+    if (with_cache_manager) {
+      auto report = manager.Tick();
+      OCTO_CHECK(report.ok()) << report.status().ToString();
+      // Execute the promotion copies before the next round.
+      for (int i = 0; i < 4; ++i) {
+        auto started = engine.PumpCommandsTimed();
+        OCTO_CHECK(started.ok());
+        sim->RunUntilIdle();
+        if (*started == 0) break;
+      }
+    }
+  }
+  double elapsed = sim->now() - start;
+  return ToMBps(total_bytes / elapsed) / 9;  // per worker
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation 3: internal cache management on a zipf-skewed read "
+      "workload");
+  double without = RunWorkload(false);
+  double with_manager = RunWorkload(true);
+  std::printf("%-34s %10.1f MB/s per worker\n", "no cache manager", without);
+  std::printf("%-34s %10.1f MB/s per worker\n", "cache manager (promote hot)",
+              with_manager);
+  std::printf("speedup: %.2fx\n", with_manager / without);
+  std::printf(
+      "\nExpected: promoting the hot 20%% of files to the Memory tier "
+      "lifts the\naggregate read rate well above the HDD-bound baseline "
+      "after the first\nmanagement ticks.\n");
+  return 0;
+}

@@ -1,0 +1,288 @@
+// Ablation 1 (DESIGN.md §4): the MOOP solver's design choices.
+//  (a) Greedy per-replica selection (Algorithm 2, O(s·r²)) vs exhaustive
+//      enumeration of all C(s,r) placements (O(r·sʳ)): solution quality
+//      and decision latency.
+//  (b) Global-criterion scalarization (distance to the ideal vector) vs a
+//      weighted sum of objectives: end-to-end DFSIO write throughput.
+//  (c) The §3.3 pruning heuristics (rack pruning, client-local first
+//      replica): throughput and fault-tolerance score with each disabled.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/objectives.h"
+
+using namespace octo;
+
+namespace {
+
+// Exhaustive optimum: scores every r-combination of feasible media.
+struct BruteForceResult {
+  double best_score = 0;
+  int64_t combinations = 0;
+};
+
+BruteForceResult BruteForce(const ClusterState& state, int64_t block_size,
+                            int r) {
+  std::vector<const MediumInfo*> feasible;
+  for (const auto& [id, m] : state.media()) {
+    if (state.MediumLive(id) && m.remaining_bytes >= block_size) {
+      feasible.push_back(&m);
+    }
+  }
+  Objectives objectives(state, block_size);
+  BruteForceResult result;
+  result.best_score = 1e300;
+  std::vector<int> idx(r);
+  std::vector<const MediumInfo*> chosen(r);
+  // Iterative combination enumeration.
+  for (int i = 0; i < r; ++i) idx[i] = i;
+  const int s = static_cast<int>(feasible.size());
+  while (true) {
+    for (int i = 0; i < r; ++i) chosen[i] = feasible[idx[i]];
+    result.best_score = std::min(result.best_score,
+                                 objectives.Score(chosen));
+    result.combinations++;
+    int i = r - 1;
+    while (i >= 0 && idx[i] == s - r + i) --i;
+    if (i < 0) break;
+    ++idx[i];
+    for (int j = i + 1; j < r; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return result;
+}
+
+// A weighted-sum scalarization policy (the alternative the paper rejects
+// because admins must hand-tune weights).
+class WeightedSumPolicy : public PlacementPolicy {
+ public:
+  explicit WeightedSumPolicy(ObjectiveVector weights) : weights_(weights) {}
+  std::string_view name() const override { return "WeightedSum"; }
+
+  Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
+                                              const PlacementRequest& request,
+                                              Random* rng) override {
+    Objectives objectives(state, request.block_size);
+    std::vector<const MediumInfo*> chosen;
+    std::vector<MediumId> placed;
+    for (int i = 0; i < request.rep_vector.total(); ++i) {
+      std::vector<const MediumInfo*> options;
+      for (const auto& [id, m] : state.media()) {
+        if (!state.MediumLive(id) ||
+            m.remaining_bytes < request.block_size ||
+            (IsVolatile(m.type) && CountMem(chosen) >= 1)) {
+          continue;
+        }
+        bool used = false;
+        for (const MediumInfo* c : chosen) used |= c->id == id;
+        if (!used) options.push_back(&m);
+      }
+      if (options.empty()) break;
+      rng->Shuffle(&options);
+      const MediumInfo* best = nullptr;
+      double best_score = 0;
+      for (const MediumInfo* option : options) {
+        chosen.push_back(option);
+        ObjectiveVector f = objectives.Evaluate(chosen);
+        chosen.pop_back();
+        // Weighted sum to MAXIMIZE (objectives all increase with quality).
+        double score = 0;
+        for (int k = 0; k < 4; ++k) score += weights_[k] * f[k];
+        if (best == nullptr || score > best_score + 1e-12) {
+          best = option;
+          best_score = score;
+        }
+      }
+      chosen.push_back(best);
+      placed.push_back(best->id);
+    }
+    if (placed.empty()) return Status::NoSpace("weighted-sum: no media");
+    return placed;
+  }
+
+ private:
+  static int CountMem(const std::vector<const MediumInfo*>& chosen) {
+    int n = 0;
+    for (const MediumInfo* m : chosen) n += IsVolatile(m->type) ? 1 : 0;
+    return n;
+  }
+  ObjectiveVector weights_;
+};
+
+double RunDfsioWrite(Cluster* cluster) {
+  workload::TransferEngine engine(cluster);
+  workload::Dfsio dfsio(cluster, &engine);
+  workload::DfsioOptions options;
+  options.parallelism = 27;
+  options.total_bytes = 10LL * kGiB;
+  options.rep_vector = ReplicationVector::OfTotal(3);
+  auto result = dfsio.RunWrite(options);
+  OCTO_CHECK(result.ok()) << result.status().ToString();
+  return ToMBps(result->ThroughputPerWorkerBps());
+}
+
+// Average distinct racks/nodes per block, a fault-tolerance proxy.
+void PlacementSpread(Cluster* cluster, double* racks, double* nodes) {
+  double rack_sum = 0, node_sum = 0;
+  int blocks = 0;
+  cluster->master()->block_manager().ForEach([&](const BlockRecord& rec) {
+    std::set<std::string> r;
+    std::set<WorkerId> n;
+    for (MediumId m : rec.locations) {
+      const MediumInfo* info = cluster->master()->cluster_state().FindMedium(m);
+      r.insert(info->location.rack());
+      n.insert(info->worker);
+    }
+    rack_sum += static_cast<double>(r.size());
+    node_sum += static_cast<double>(n.size());
+    ++blocks;
+  });
+  *racks = blocks ? rack_sum / blocks : 0;
+  *nodes = blocks ? node_sum / blocks : 0;
+}
+
+}  // namespace
+
+int main() {
+  // ---- (a) greedy vs brute force ------------------------------------------
+  bench::PrintHeader("Ablation 1a: greedy (Alg. 2) vs exhaustive optimum");
+  std::printf("%-4s %14s %14s %10s %12s %12s\n", "r", "greedy score",
+              "optimal score", "quality", "greedy (us)", "brute (us)");
+  for (int r : {1, 2, 3, 4}) {
+    auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop,
+                                           /*seed=*/3 + r);
+    // Perturb the state so scores are not all tied.
+    Random perturb(99);
+    for (const auto& [id, m] :
+         cluster->master()->cluster_state().media()) {
+      (void)cluster->master()->cluster_state().UpdateMediumStats(
+          id, m.capacity_bytes - perturb.Uniform(m.capacity_bytes / 2),
+          static_cast<int>(perturb.Uniform(4)));
+    }
+    ClusterState& state = cluster->master()->cluster_state();
+    MoopOptions options;
+    options.use_memory = true;
+    options.rack_pruning = false;        // compare on the raw search space
+    options.prefer_client_local = false;
+    auto greedy = MakeMoopPolicy(options);
+    PlacementRequest request;
+    request.rep_vector =
+        ReplicationVector::OfTotal(static_cast<uint8_t>(r));
+    request.block_size = 128 * kMiB;
+    Random rng(1);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto placed = greedy->PlaceReplicas(state, request, &rng);
+    auto t1 = std::chrono::steady_clock::now();
+    OCTO_CHECK(placed.ok());
+    Objectives objectives(state, request.block_size);
+    std::vector<const MediumInfo*> chosen;
+    for (MediumId id : *placed) chosen.push_back(state.FindMedium(id));
+    double greedy_score = objectives.Score(chosen);
+
+    auto t2 = std::chrono::steady_clock::now();
+    BruteForceResult brute = BruteForce(state, request.block_size, r);
+    auto t3 = std::chrono::steady_clock::now();
+
+    std::printf("%-4d %14.4f %14.4f %9.3fx %12.1f %12.1f\n", r, greedy_score,
+                brute.best_score, greedy_score / brute.best_score,
+                std::chrono::duration<double, std::micro>(t1 - t0).count(),
+                std::chrono::duration<double, std::micro>(t3 - t2).count());
+  }
+  std::printf("(quality = greedy/optimal distance-to-ideal; 1.0 is optimal. "
+              "Brute force\nenumerates C(45,r) combinations.)\n");
+
+  // ---- (b) scalarization ---------------------------------------------------
+  bench::PrintHeader(
+      "Ablation 1b: global criterion vs weighted-sum scalarization "
+      "(DFSIO write, d=27, 10 GiB)");
+  {
+    auto global_cluster =
+        bench::MakeBenchCluster(bench::FsMode::kOctopusMoop, 11);
+    double global = RunDfsioWrite(global_cluster.get());
+    auto equal_cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop,
+                                                 11);
+    equal_cluster->master()->SetPlacementPolicy(
+        std::make_unique<WeightedSumPolicy>(ObjectiveVector{1, 1, 1, 1}));
+    double equal_w = RunDfsioWrite(equal_cluster.get());
+    auto skew_cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop,
+                                                11);
+    skew_cluster->master()->SetPlacementPolicy(
+        std::make_unique<WeightedSumPolicy>(
+            ObjectiveVector{10, 0.1, 0.1, 0.1}));  // a badly tuned admin
+    double skew_w = RunDfsioWrite(skew_cluster.get());
+    std::printf("%-34s %10.1f MB/s per worker\n",
+                "global criterion (MOOP)", global);
+    std::printf("%-34s %10.1f MB/s per worker\n", "weighted sum (equal)",
+                equal_w);
+    std::printf("%-34s %10.1f MB/s per worker\n",
+                "weighted sum (db-heavy mistune)", skew_w);
+  }
+
+  // ---- (c) pruning heuristics ------------------------------------------------
+  bench::PrintHeader(
+      "Ablation 1c: MOOP pruning heuristics (DFSIO write, d=27, 10 GiB)");
+  std::printf("%-34s %12s %12s %12s\n", "variant", "MB/s/worker",
+              "racks/blk", "nodes/blk");
+  struct Variant {
+    const char* name;
+    bool rack_pruning;
+    bool client_local;
+  };
+  for (const Variant& variant :
+       std::initializer_list<Variant>{{"all heuristics (default)", true, true},
+                                      {"no rack pruning", false, true},
+                                      {"no client-local first", true, false},
+                                      {"neither", false, false}}) {
+    auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop, 13);
+    MoopOptions options;
+    options.use_memory = true;
+    options.rack_pruning = variant.rack_pruning;
+    options.prefer_client_local = variant.client_local;
+    cluster->master()->SetPlacementPolicy(MakeMoopPolicy(options));
+    double mbps = RunDfsioWrite(cluster.get());
+    double racks = 0, nodes = 0;
+    PlacementSpread(cluster.get(), &racks, &nodes);
+    std::printf("%-34s %12.1f %12.2f %12.2f\n", variant.name, mbps, racks,
+                nodes);
+  }
+  std::printf(
+      "(racks/blk should sit at 2.0 with rack pruning — the paper's "
+      "2-rack spread —\nand drift higher without it, costing write "
+      "throughput.)\n");
+
+  // ---- (d) the <=1/3-replicas-in-memory cap --------------------------------
+  bench::PrintHeader(
+      "Ablation 1d: memory fraction cap (DFSIO write, d=27, 10 GiB)");
+  std::printf("%-14s %12s %18s\n", "cap", "MB/s/worker",
+              "volatile-only blks");
+  for (double cap : {0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0}) {
+    auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop, 21);
+    MoopOptions options;
+    options.use_memory = cap > 0;
+    options.memory_fraction_cap = cap;
+    cluster->master()->SetPlacementPolicy(MakeMoopPolicy(options));
+    double mbps = RunDfsioWrite(cluster.get());
+    // Blocks whose every replica is volatile would vanish on power loss.
+    int at_risk = 0, blocks = 0;
+    cluster->master()->block_manager().ForEach([&](const BlockRecord& rec) {
+      bool all_volatile = !rec.locations.empty();
+      for (MediumId m : rec.locations) {
+        const MediumInfo* info =
+            cluster->master()->cluster_state().FindMedium(m);
+        all_volatile &= info != nullptr && IsVolatile(info->type);
+      }
+      at_risk += all_volatile ? 1 : 0;
+      ++blocks;
+    });
+    std::printf("%-14.2f %12.1f %11d of %d\n", cap, mbps, at_risk, blocks);
+  }
+  std::printf(
+      "(The paper's 1/3 cap buys most of the throughput while keeping "
+      "every block\nbacked by persistent replicas; cap=1.0 risks "
+      "volatile-only blocks.)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation 2 (DESIGN.md §4): the retrieval formula. Compares four replica
+// orderings on the same MOOP-placed data:
+//   full   — Eq. 12: min(net share, media share), load-aware
+//   tier   — media read throughput only (ignores locality and load)
+//   local  — HDFS locality-only ordering
+//   noload — Eq. 12 without connection counts (static rates)
+// DFSIO reads 40 GiB at several degrees of parallelism.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/retrieval.h"
+
+using namespace octo;
+
+namespace {
+
+// Orders by raw media read throughput, blind to network and load.
+class TierOnlyRetrieval : public RetrievalPolicy {
+ public:
+  std::string_view name() const override { return "TierOnly"; }
+  std::vector<MediumId> OrderReplicas(const ClusterState& state,
+                                      const NetworkLocation& /*client*/,
+                                      const std::vector<MediumId>& replicas,
+                                      Random* rng) const override {
+    std::vector<std::pair<double, MediumId>> ranked;
+    for (MediumId id : replicas) {
+      const MediumInfo* m = state.FindMedium(id);
+      double key = m != nullptr ? m->read_bps : 0;
+      ranked.emplace_back(-key - rng->NextDouble() * 1e-3, id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<MediumId> out;
+    for (auto& [key, id] : ranked) out.push_back(id);
+    return out;
+  }
+};
+
+// Eq. 12 with the connection counts zeroed: static expected rates.
+class NoLoadRetrieval : public RetrievalPolicy {
+ public:
+  std::string_view name() const override { return "NoLoad"; }
+  std::vector<MediumId> OrderReplicas(const ClusterState& state,
+                                      const NetworkLocation& client,
+                                      const std::vector<MediumId>& replicas,
+                                      Random* rng) const override {
+    std::vector<std::pair<double, MediumId>> ranked;
+    for (MediumId id : replicas) {
+      const MediumInfo* m = state.FindMedium(id);
+      double rate = 0;
+      if (m != nullptr) {
+        const WorkerInfo* w = state.FindWorker(m->worker);
+        if (w != nullptr) {
+          rate = client.SameNode(w->location)
+                     ? m->read_bps
+                     : std::min(w->net_bps, m->read_bps);
+        }
+      }
+      ranked.emplace_back(-rate - rng->NextDouble() * 1e-3, id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<MediumId> out;
+    for (auto& [key, id] : ranked) out.push_back(id);
+    return out;
+  }
+};
+
+double RunRead(int d, int which, uint64_t seed) {
+  auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop, seed);
+  switch (which) {
+    case 0: break;  // full Eq. 12 (default)
+    case 1:
+      cluster->master()->SetRetrievalPolicy(
+          std::make_unique<TierOnlyRetrieval>());
+      break;
+    case 2:
+      cluster->master()->SetRetrievalPolicy(MakeHdfsRetrievalPolicy());
+      break;
+    default:
+      cluster->master()->SetRetrievalPolicy(
+          std::make_unique<NoLoadRetrieval>());
+      break;
+  }
+  workload::TransferEngine engine(cluster.get());
+  workload::Dfsio dfsio(cluster.get(), &engine);
+  workload::DfsioOptions options;
+  options.parallelism = d;
+  // 40 GiB exhausts the 36 GiB memory tier, so fast-tier replicas become
+  // scarce and contended — the regime where load awareness matters.
+  options.total_bytes = 40LL * kGiB;
+  options.rep_vector = ReplicationVector::OfTotal(3);
+  auto write = dfsio.RunWrite(options);
+  OCTO_CHECK(write.ok()) << write.status().ToString();
+  auto read = dfsio.RunRead(options);
+  OCTO_CHECK(read.ok()) << read.status().ToString();
+  return ToMBps(read->ThroughputPerWorkerBps());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation 2: retrieval orderings, avg READ MB/s per worker "
+      "(MOOP-placed 40 GiB)");
+  std::printf("%-6s %12s %12s %14s %14s\n", "d", "Eq.12 full", "tier-only",
+              "locality-only", "Eq.12 no-load");
+  for (int d : {1, 9, 18, 27, 36}) {
+    std::printf("%-6d", d);
+    for (int which : {0, 1, 2, 3}) {
+      std::printf(" %12.1f", RunRead(d, which, 400 + d));
+      if (which == 2) std::printf("  ");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected: the full formula dominates at high d (load awareness "
+      "spreads\nreaders); tier-only wins some low-d cases but collapses "
+      "under contention;\nlocality-only (HDFS) is uniformly worst on "
+      "tiered data.\n");
+  return 0;
+}

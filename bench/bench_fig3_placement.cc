@@ -1,0 +1,102 @@
+// Reproduces Figure 3: average write (a) and read (b) throughput per
+// worker over time for the eight data placement policies, while DFSIO
+// writes and reads 40 GB with d=27 and replication vector U=3.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace octo;
+  using workload::Dfsio;
+  using workload::DfsioOptions;
+  using workload::TransferEngine;
+
+  const std::vector<bench::FsMode> modes = {
+      bench::FsMode::kOctopusTm,  bench::FsMode::kOctopusLb,
+      bench::FsMode::kOctopusFt,  bench::FsMode::kOctopusDb,
+      bench::FsMode::kOctopusMoop, bench::FsMode::kRuleBased,
+      bench::FsMode::kHdfs,       bench::FsMode::kHdfsWithSsd,
+  };
+  constexpr int kBuckets = 10;
+
+  struct Series {
+    const char* name;
+    double write_avg_mbps;
+    double read_avg_mbps;
+    std::vector<std::pair<double, double>> write_timeline;
+    std::vector<std::pair<double, double>> read_timeline;
+  };
+  std::vector<Series> series;
+
+  for (bench::FsMode mode : modes) {
+    auto cluster = bench::MakeBenchCluster(mode);
+    TransferEngine engine(cluster.get());
+    Dfsio dfsio(cluster.get(), &engine);
+    DfsioOptions options;
+    options.parallelism = 27;
+    options.total_bytes = 40LL * kGiB;
+    options.rep_vector = ReplicationVector::OfTotal(3);
+    auto write = dfsio.RunWrite(options);
+    OCTO_CHECK(write.ok()) << bench::FsModeName(mode) << ": "
+                           << write.status().ToString();
+    auto read = dfsio.RunRead(options);
+    OCTO_CHECK(read.ok()) << bench::FsModeName(mode) << ": "
+                          << read.status().ToString();
+    series.push_back(Series{
+        bench::FsModeName(mode),
+        ToMBps(write->ThroughputPerWorkerBps()),
+        ToMBps(read->ThroughputPerWorkerBps()),
+        bench::ThroughputTimeline(*write, kBuckets),
+        bench::ThroughputTimeline(*read, kBuckets),
+    });
+    std::fprintf(stderr, "done: %s\n", bench::FsModeName(mode));
+  }
+
+  auto print_timelines = [&](const char* what, bool write_phase) {
+    bench::PrintHeader(what);
+    std::printf("%-14s", "GB moved");
+    for (const Series& s : series) std::printf(" %14s", s.name);
+    std::printf("\n");
+    size_t rows = 0;
+    for (const Series& s : series) {
+      rows = std::max(rows, (write_phase ? s.write_timeline
+                                         : s.read_timeline).size());
+    }
+    for (size_t row = 0; row < rows; ++row) {
+      double gb = 0;
+      for (const Series& s : series) {
+        const auto& tl = write_phase ? s.write_timeline : s.read_timeline;
+        if (row < tl.size()) gb = tl[row].first;
+      }
+      std::printf("%-14.1f", gb);
+      for (const Series& s : series) {
+        const auto& tl = write_phase ? s.write_timeline : s.read_timeline;
+        if (row < tl.size()) {
+          std::printf(" %14.1f", tl[row].second);
+        } else {
+          std::printf(" %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  };
+
+  print_timelines("Figure 3(a): WRITE throughput per worker (MB/s) vs data "
+                  "written", true);
+  print_timelines("Figure 3(b): READ throughput per worker (MB/s) vs data "
+                  "read", false);
+
+  bench::PrintHeader("Figure 3 summary: run averages (MB/s per worker)");
+  std::printf("%-16s %12s %12s\n", "Policy", "Write", "Read");
+  for (const Series& s : series) {
+    std::printf("%-16s %12.1f %12.1f\n", s.name, s.write_avg_mbps,
+                s.read_avg_mbps);
+  }
+  std::printf(
+      "\nExpected shape: TM collapses when memory fills; DB lowest; MOOP "
+      "best\noverall (paper: ~125 MB/s write vs 88 HDFS / 98 HDFS+SSD / 108 "
+      "Rule-based;\nread >=2x over both HDFS modes).\n");
+  return 0;
+}

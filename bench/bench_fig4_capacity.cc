@@ -1,0 +1,57 @@
+// Reproduces Figure 4: remaining capacity percent per storage tier as
+// 40 GB is written (d=27, U=3) under each of the eight placement
+// policies.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace octo;
+  using workload::Dfsio;
+  using workload::DfsioOptions;
+  using workload::TransferEngine;
+
+  const std::vector<bench::FsMode> modes = {
+      bench::FsMode::kOctopusTm,  bench::FsMode::kOctopusLb,
+      bench::FsMode::kOctopusFt,  bench::FsMode::kOctopusDb,
+      bench::FsMode::kOctopusMoop, bench::FsMode::kRuleBased,
+      bench::FsMode::kHdfs,       bench::FsMode::kHdfsWithSsd,
+  };
+
+  bench::PrintHeader(
+      "Figure 4: remaining capacity percent per tier after writing 40 GB "
+      "(d=27, U=3)");
+  std::printf("%-16s %10s %10s %10s\n", "Policy", "Memory%", "SSD%", "HDD%");
+
+  for (bench::FsMode mode : modes) {
+    auto cluster = bench::MakeBenchCluster(mode);
+    TransferEngine engine(cluster.get());
+    Dfsio dfsio(cluster.get(), &engine);
+    DfsioOptions options;
+    options.parallelism = 27;
+    options.total_bytes = 40LL * kGiB;
+    options.rep_vector = ReplicationVector::OfTotal(3);
+    auto write = dfsio.RunWrite(options);
+    OCTO_CHECK(write.ok()) << write.status().ToString();
+
+    std::map<TierId, double> remaining_pct;
+    auto reports = cluster->master()->GetStorageTierReports();
+    OCTO_CHECK(reports.ok());
+    for (const StorageTierReport& report : *reports) {
+      remaining_pct[report.tier] =
+          100.0 * report.remaining_bytes / report.capacity_bytes;
+    }
+    std::printf("%-16s %10.1f %10.1f %10.1f\n", bench::FsModeName(mode),
+                remaining_pct[kMemoryTier], remaining_pct[kSsdTier],
+                remaining_pct[kHddTier]);
+  }
+  std::printf(
+      "\nExpected shape: TM drains Memory (and leans on SSD); DB equalizes "
+      "percentages\n(leaving fast tiers nearly untouched); MOOP drains "
+      "Memory, uses SSD heavily,\nspreads the rest on HDDs; HDFS leaves "
+      "Memory/SSD at 100%%; HDFS+SSD uses ~25%%\nof writes on SSD.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Figure 6: normalized execution time of the nine HiBench
+// workloads on the MapReduce-style and Spark-style engines, with the data
+// in OctopusFS vs HDFS. Values < 1.0 mean OctopusFS is faster.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/hibench.h"
+
+int main() {
+  using namespace octo;
+  using exec::HibenchWorkload;
+  using workload::TransferEngine;
+
+  auto run_one = [](bench::FsMode mode, const HibenchWorkload& workload,
+                    bool spark) {
+    auto cluster = bench::MakeBenchCluster(mode, /*seed=*/900);
+    TransferEngine transfers(cluster.get());
+    std::string input = "/hibench/" + workload.name + "/input";
+    std::string work = "/hibench/" + workload.name + "/work";
+    if (spark) {
+      exec::SparkEngine engine(&transfers);
+      auto stats = exec::RunHibenchSpark(&engine, &transfers, workload,
+                                         input, work);
+      OCTO_CHECK(stats.ok()) << workload.name << ": "
+                             << stats.status().ToString();
+      return stats->elapsed_seconds;
+    }
+    exec::MapReduceEngine engine(&transfers);
+    auto stats = exec::RunHibenchMapReduce(&engine, &transfers, workload,
+                                           input, work);
+    OCTO_CHECK(stats.ok()) << workload.name << ": "
+                           << stats.status().ToString();
+    return stats->elapsed_seconds;
+  };
+
+  bench::PrintHeader(
+      "Figure 6: normalized execution time, OctopusFS over HDFS (lower is "
+      "better)");
+  std::printf("%-14s %10s %12s %12s | %10s %12s %12s\n", "Workload",
+              "MR-norm", "MR-HDFS(s)", "MR-Octo(s)", "Spark-norm",
+              "Sp-HDFS(s)", "Sp-Octo(s)");
+
+  double mr_sum = 0, spark_sum = 0;
+  int n = 0;
+  for (const HibenchWorkload& workload : exec::HibenchSuite()) {
+    double mr_hdfs = run_one(bench::FsMode::kHdfs, workload, false);
+    double mr_octo = run_one(bench::FsMode::kOctopusMoop, workload, false);
+    double sp_hdfs = run_one(bench::FsMode::kHdfs, workload, true);
+    double sp_octo = run_one(bench::FsMode::kOctopusMoop, workload, true);
+    double mr_norm = mr_hdfs > 0 ? mr_octo / mr_hdfs : 0;
+    double sp_norm = sp_hdfs > 0 ? sp_octo / sp_hdfs : 0;
+    mr_sum += mr_norm;
+    spark_sum += sp_norm;
+    ++n;
+    std::printf("%-14s %10.2f %12.1f %12.1f | %10.2f %12.1f %12.1f\n",
+                workload.name.c_str(), mr_norm, mr_hdfs, mr_octo, sp_norm,
+                sp_hdfs, sp_octo);
+    std::fflush(stdout);
+  }
+  std::printf("\nAverage normalized time: MapReduce %.2f (paper ~0.65), "
+              "Spark %.2f (paper ~0.83)\n",
+              mr_sum / n, spark_sum / n);
+  return 0;
+}

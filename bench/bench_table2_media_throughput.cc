@@ -1,0 +1,39 @@
+// Reproduces Table 2: average write and read throughput (MB/s) per
+// storage media type, as measured by the workers' launch-time profiling
+// test. Paper values: Memory 1897.4/3224.8, SSD 340.6/419.5,
+// HDD 126.3/177.1.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace octo;
+  auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusMoop);
+
+  struct Agg {
+    double write_sum = 0, read_sum = 0;
+    int n = 0;
+  };
+  std::map<MediaType, Agg> by_type;
+  for (const auto& [id, medium] :
+       cluster->master()->cluster_state().media()) {
+    Agg& agg = by_type[medium.type];
+    agg.write_sum += ToMBps(medium.write_bps);
+    agg.read_sum += ToMBps(medium.read_bps);
+    agg.n++;
+  }
+
+  bench::PrintHeader("Table 2: avg write/read throughput per storage media");
+  std::printf("%-10s %14s %14s %8s\n", "Media", "Write (MB/s)", "Read (MB/s)",
+              "#media");
+  for (const auto& [type, agg] : by_type) {
+    std::printf("%-10s %14.1f %14.1f %8d\n",
+                std::string(MediaTypeName(type)).c_str(), agg.write_sum / agg.n,
+                agg.read_sum / agg.n, agg.n);
+  }
+  std::printf("\nPaper reference: Memory 1897.4/3224.8, SSD 340.6/419.5, "
+              "HDD 126.3/177.1 MB/s\n");
+  return 0;
+}

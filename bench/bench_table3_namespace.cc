@@ -1,0 +1,70 @@
+// Reproduces Table 3: namespace operations per second per worker for the
+// HDFS-compatible configuration vs full OctopusFS (tier bookkeeping,
+// replication vectors, MOOP policies). Both run the same S-Live-style
+// stress against the real Master code in wall-clock time; the paper's
+// point is that OctopusFS's extra tier processing costs <1%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/slive.h"
+
+int main() {
+  using namespace octo;
+  using workload::RunSlive;
+  using workload::SliveOptions;
+
+  constexpr int kOpsPerType = 50000;
+  constexpr int kRepeats = 6;
+  const char* kOps[] = {"mkdir", "ls", "create", "open", "rename", "delete"};
+
+  auto run_once = [&](bench::FsMode mode, const ReplicationVector& rv,
+                      int ops, int seed, std::map<std::string, double>* totals) {
+    auto cluster = bench::MakeBenchCluster(mode, /*seed=*/seed);
+    SliveOptions options;
+    options.ops_per_type = ops;
+    options.rep_vector = rv;
+    auto result = RunSlive(cluster->master(), options);
+    OCTO_CHECK(result.ok()) << result.status().ToString();
+    if (totals == nullptr) return;
+    for (const auto& [op, rate] : result->ops_per_second) {
+      (*totals)[op] += rate;
+    }
+  };
+
+  const ReplicationVector hdfs_rv = ReplicationVector::OfTotal(3);
+  // OctopusFS mode: a tier-explicit vector exercising the tier bookkeeping.
+  const ReplicationVector octo_rv = ReplicationVector::Of(1, 0, 2);
+
+  std::map<std::string, double> hdfs, octo_result;
+  // Warm-up (allocator, caches), results discarded.
+  run_once(bench::FsMode::kHdfs, hdfs_rv, kOpsPerType / 4, 499, nullptr);
+  run_once(bench::FsMode::kOctopusMoop, octo_rv, kOpsPerType / 4, 499,
+           nullptr);
+  // Interleave the two modes so drift hits both equally.
+  for (int r = 0; r < kRepeats; ++r) {
+    run_once(bench::FsMode::kHdfs, hdfs_rv, kOpsPerType, 500 + r, &hdfs);
+    run_once(bench::FsMode::kOctopusMoop, octo_rv, kOpsPerType, 500 + r,
+             &octo_result);
+  }
+  constexpr int kWorkers = 9;
+  for (auto& [op, rate] : hdfs) rate /= kRepeats * kWorkers;
+  for (auto& [op, rate] : octo_result) rate /= kRepeats * kWorkers;
+
+  bench::PrintHeader(
+      "Table 3: namespace operations per second per worker (higher is "
+      "better)");
+  std::printf("%-12s %14s %14s %10s\n", "Operation", "HDFS-mode",
+              "OctopusFS", "overhead");
+  for (const char* op : kOps) {
+    double h = hdfs[op], o = octo_result[op];
+    std::printf("%-12s %14.1f %14.1f %9.2f%%\n", op, h, o,
+                h > 0 ? 100.0 * (h - o) / h : 0.0);
+  }
+  std::printf(
+      "\nPaper reference (ops/s/worker): mkdir 140/136, ls 7089/7143, "
+      "create 55/53,\nopen 5937/5897, rename 112/111, delete 50/47 — "
+      "overhead within ~1%%.\nAbsolute numbers differ (no RPC stack here); "
+      "the overhead column is the result.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef OCTOPUSFS_BENCH_BENCH_UTIL_H_
+#define OCTOPUSFS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/placement.h"
+#include "core/retrieval.h"
+#include "workload/dfsio.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::bench {
+
+/// The cluster configurations evaluated in the paper's §7.
+enum class FsMode {
+  kOctopusMoop,   // MOOP placement (memory enabled) + tier-aware retrieval
+  kOctopusDefault,  // MOOP in its default config (memory disabled)
+  kOctopusDb,     // single-objective: data balancing
+  kOctopusLb,     // single-objective: load balancing
+  kOctopusFt,     // single-objective: fault tolerance
+  kOctopusTm,     // single-objective: throughput maximization
+  kRuleBased,     // rule-based baseline + tier-aware retrieval
+  kHdfs,          // HDFS placement on HDDs only + locality-only retrieval
+  kHdfsWithSsd,   // HDFS placement on HDDs+SSDs + locality-only retrieval
+};
+
+inline const char* FsModeName(FsMode mode) {
+  switch (mode) {
+    case FsMode::kOctopusMoop: return "MOOP";
+    case FsMode::kOctopusDefault: return "MOOP-default";
+    case FsMode::kOctopusDb: return "DB";
+    case FsMode::kOctopusLb: return "LB";
+    case FsMode::kOctopusFt: return "FT";
+    case FsMode::kOctopusTm: return "TM";
+    case FsMode::kRuleBased: return "Rule-based";
+    case FsMode::kHdfs: return "Original HDFS";
+    case FsMode::kHdfsWithSsd: return "HDFS with SSD";
+  }
+  return "?";
+}
+
+/// Builds the paper's 9-worker evaluation cluster configured for `mode`.
+/// The paper enables the Memory tier for all OctopusFS policies in §7
+/// ("we enabled the use of the Memory tier for fairness").
+inline std::unique_ptr<Cluster> MakeBenchCluster(FsMode mode,
+                                                 uint64_t seed = 42) {
+  ClusterSpec spec = PaperClusterSpec();
+  spec.master.seed = seed;
+  auto created = Cluster::Create(spec);
+  OCTO_CHECK(created.ok()) << created.status().ToString();
+  std::unique_ptr<Cluster> cluster = std::move(created).value();
+  Master* master = cluster->master();
+  MoopOptions moop;
+  moop.use_memory = true;
+  switch (mode) {
+    case FsMode::kOctopusMoop:
+      master->SetPlacementPolicy(MakeMoopPolicy(moop));
+      break;
+    case FsMode::kOctopusDefault:
+      master->SetPlacementPolicy(MakeMoopPolicy());  // memory stays opt-in
+      break;
+    case FsMode::kOctopusDb:
+      master->SetPlacementPolicy(
+          MakeSingleObjectivePolicy(Objective::kDataBalancing, moop));
+      break;
+    case FsMode::kOctopusLb:
+      master->SetPlacementPolicy(
+          MakeSingleObjectivePolicy(Objective::kLoadBalancing, moop));
+      break;
+    case FsMode::kOctopusFt:
+      master->SetPlacementPolicy(
+          MakeSingleObjectivePolicy(Objective::kFaultTolerance, moop));
+      break;
+    case FsMode::kOctopusTm:
+      master->SetPlacementPolicy(
+          MakeSingleObjectivePolicy(Objective::kThroughputMax, moop));
+      break;
+    case FsMode::kRuleBased:
+      master->SetPlacementPolicy(MakeRuleBasedPolicy());
+      break;
+    case FsMode::kHdfs:
+      master->SetPlacementPolicy(MakeHdfsPolicy({MediaType::kHdd}));
+      master->SetRetrievalPolicy(MakeHdfsRetrievalPolicy());
+      break;
+    case FsMode::kHdfsWithSsd:
+      master->SetPlacementPolicy(
+          MakeHdfsPolicy({MediaType::kHdd, MediaType::kSsd}));
+      master->SetRetrievalPolicy(MakeHdfsRetrievalPolicy());
+      break;
+  }
+  return cluster;
+}
+
+/// Bucketizes a DFSIO event stream into `buckets` windows by bytes moved
+/// and returns (cumulative GB, per-worker MB/s) pairs — the Fig. 3 series.
+inline std::vector<std::pair<double, double>> ThroughputTimeline(
+    const workload::DfsioResult& result, int buckets) {
+  std::vector<std::pair<double, double>> out;
+  if (result.events.empty() || buckets < 1) return out;
+  int64_t bucket_bytes = result.total_bytes / buckets;
+  if (bucket_bytes <= 0) return out;
+  int64_t cumulative = 0;
+  int64_t bucket_acc = 0;
+  double bucket_start = 0;
+  for (const workload::IoEvent& event : result.events) {
+    cumulative += event.bytes;
+    bucket_acc += event.bytes;
+    if (bucket_acc >= bucket_bytes && event.time > bucket_start) {
+      double mbps = ToMBps(bucket_acc / (event.time - bucket_start)) /
+                    result.num_workers;
+      out.emplace_back(static_cast<double>(cumulative) / kGiB, mbps);
+      bucket_acc = 0;
+      bucket_start = event.time;
+    }
+  }
+  return out;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace octo::bench
+
+#endif  // OCTOPUSFS_BENCH_BENCH_UTIL_H_

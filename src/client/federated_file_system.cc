@@ -1,0 +1,165 @@
+#include "client/federated_file_system.h"
+
+#include <algorithm>
+
+#include "namespacefs/path.h"
+
+namespace octo {
+
+Status FederatedFileSystem::Mount(const std::string& prefix, FileSystem* fs) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(prefix));
+  if (fs == nullptr) {
+    return Status::InvalidArgument("null file system for " + normalized);
+  }
+  if (mounts_.count(normalized) > 0) {
+    return Status::AlreadyExists("mount point " + normalized);
+  }
+  mounts_[normalized] = fs;
+  return Status::OK();
+}
+
+Status FederatedFileSystem::Unmount(const std::string& prefix) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(prefix));
+  if (mounts_.erase(normalized) == 0) {
+    return Status::NotFound("mount point " + normalized);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FederatedFileSystem::MountPoints() const {
+  std::vector<std::string> out;
+  out.reserve(mounts_.size());
+  for (const auto& [prefix, fs] : mounts_) out.push_back(prefix);
+  return out;
+}
+
+Result<FileSystem*> FederatedFileSystem::Route(const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  FileSystem* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, fs] : mounts_) {
+    if (IsSelfOrDescendant(prefix, normalized) &&
+        (best == nullptr || prefix.size() > best_len)) {
+      best = fs;
+      best_len = prefix.size();
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no mount covers " + normalized);
+  }
+  return best;
+}
+
+Status FederatedFileSystem::Mkdirs(const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->Mkdirs(path);
+}
+
+Status FederatedFileSystem::Rename(const std::string& src,
+                                   const std::string& dst) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * from, Route(src));
+  OCTO_ASSIGN_OR_RETURN(FileSystem * to, Route(dst));
+  if (from != to) {
+    return Status::NotSupported("rename across federation mounts: " + src +
+                                " -> " + dst);
+  }
+  return from->Rename(src, dst);
+}
+
+Status FederatedFileSystem::Delete(const std::string& path, bool recursive) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->Delete(path, recursive);
+}
+
+Result<std::vector<FileStatus>> FederatedFileSystem::ListDirectory(
+    const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->ListDirectory(path);
+}
+
+Result<FileStatus> FederatedFileSystem::GetFileStatus(
+    const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->GetFileStatus(path);
+}
+
+bool FederatedFileSystem::Exists(const std::string& path) {
+  auto fs = Route(path);
+  return fs.ok() && (*fs)->Exists(path);
+}
+
+Result<std::unique_ptr<FileWriter>> FederatedFileSystem::Create(
+    const std::string& path, const CreateOptions& options) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->Create(path, options);
+}
+
+Result<std::unique_ptr<FileReader>> FederatedFileSystem::Open(
+    const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->Open(path);
+}
+
+Status FederatedFileSystem::WriteFile(const std::string& path,
+                                      std::string_view data,
+                                      const CreateOptions& options) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->WriteFile(path, data, options);
+}
+
+Result<std::string> FederatedFileSystem::ReadFile(const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->ReadFile(path);
+}
+
+Status FederatedFileSystem::SetReplication(const std::string& path,
+                                           const ReplicationVector& rv) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->SetReplication(path, rv);
+}
+
+Result<std::vector<LocatedBlock>> FederatedFileSystem::GetFileBlockLocations(
+    const std::string& path, int64_t start, int64_t len) {
+  OCTO_ASSIGN_OR_RETURN(FileSystem * fs, Route(path));
+  return fs->GetFileBlockLocations(path, start, len);
+}
+
+Result<std::vector<StorageTierReport>>
+FederatedFileSystem::GetStorageTierReports() {
+  // Sum per tier id across mounted clusters; de-duplicate clients mounted
+  // more than once.
+  std::vector<FileSystem*> seen;
+  std::map<TierId, StorageTierReport> merged;
+  for (const auto& [prefix, fs] : mounts_) {
+    if (std::find(seen.begin(), seen.end(), fs) != seen.end()) continue;
+    seen.push_back(fs);
+    OCTO_ASSIGN_OR_RETURN(std::vector<StorageTierReport> reports,
+                          fs->GetStorageTierReports());
+    for (const StorageTierReport& report : reports) {
+      auto it = merged.find(report.tier);
+      if (it == merged.end()) {
+        merged[report.tier] = report;
+        continue;
+      }
+      StorageTierReport& agg = it->second;
+      // Media-count weighted throughput averages.
+      double total_media = agg.num_media + report.num_media;
+      agg.avg_write_bps = (agg.avg_write_bps * agg.num_media +
+                           report.avg_write_bps * report.num_media) /
+                          total_media;
+      agg.avg_read_bps = (agg.avg_read_bps * agg.num_media +
+                          report.avg_read_bps * report.num_media) /
+                         total_media;
+      agg.num_media += report.num_media;
+      agg.num_workers += report.num_workers;
+      agg.capacity_bytes += report.capacity_bytes;
+      agg.remaining_bytes += report.remaining_bytes;
+    }
+  }
+  std::vector<StorageTierReport> out;
+  out.reserve(merged.size());
+  for (auto& [tier, report] : merged) out.push_back(std::move(report));
+  return out;
+}
+
+}  // namespace octo

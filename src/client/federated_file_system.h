@@ -1,0 +1,64 @@
+#ifndef OCTOPUSFS_CLIENT_FEDERATED_FILE_SYSTEM_H_
+#define OCTOPUSFS_CLIENT_FEDERATED_FILE_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/file_system.h"
+#include "common/status.h"
+
+namespace octo {
+
+/// Client-side federation (paper §2.1: "multiple Masters are used to form
+/// a federation and are independent from each other"). A mount table maps
+/// path prefixes to independent OctopusFS clusters; every operation routes
+/// to the cluster owning the path (longest prefix wins), mirroring HDFS
+/// ViewFS. Renames may not cross mounts.
+class FederatedFileSystem {
+ public:
+  FederatedFileSystem() = default;
+
+  FederatedFileSystem(const FederatedFileSystem&) = delete;
+  FederatedFileSystem& operator=(const FederatedFileSystem&) = delete;
+
+  /// Mounts `fs` (a client bound to one cluster) at `prefix`.
+  Status Mount(const std::string& prefix, FileSystem* fs);
+  Status Unmount(const std::string& prefix);
+  std::vector<std::string> MountPoints() const;
+
+  /// The file system owning `path`, or NotFound when no mount covers it.
+  Result<FileSystem*> Route(const std::string& path) const;
+
+  // -- the FileSystem surface, routed ---------------------------------------
+
+  Status Mkdirs(const std::string& path);
+  Status Rename(const std::string& src, const std::string& dst);
+  Status Delete(const std::string& path, bool recursive = false);
+  Result<std::vector<FileStatus>> ListDirectory(const std::string& path);
+  Result<FileStatus> GetFileStatus(const std::string& path);
+  bool Exists(const std::string& path);
+
+  Result<std::unique_ptr<FileWriter>> Create(const std::string& path,
+                                             const CreateOptions& options);
+  Result<std::unique_ptr<FileReader>> Open(const std::string& path);
+  Status WriteFile(const std::string& path, std::string_view data,
+                   const CreateOptions& options);
+  Result<std::string> ReadFile(const std::string& path);
+
+  Status SetReplication(const std::string& path, const ReplicationVector& rv);
+  Result<std::vector<LocatedBlock>> GetFileBlockLocations(
+      const std::string& path, int64_t start, int64_t len);
+
+  /// Tier reports aggregated across every mounted cluster (tiers with the
+  /// same id are summed; throughput is media-count weighted).
+  Result<std::vector<StorageTierReport>> GetStorageTierReports();
+
+ private:
+  std::map<std::string, FileSystem*> mounts_;  // prefix -> client
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLIENT_FEDERATED_FILE_SYSTEM_H_

@@ -1,0 +1,282 @@
+#include "client/file_system.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace octo {
+
+namespace {
+
+std::string NextClientName() {
+  static std::atomic<int64_t> counter{0};
+  return "client-" + std::to_string(counter.fetch_add(1));
+}
+
+}  // namespace
+
+FileSystem::FileSystem(Cluster* cluster, NetworkLocation location,
+                       UserContext ctx)
+    : cluster_(cluster),
+      master_(cluster->master()),
+      location_(std::move(location)),
+      ctx_(std::move(ctx)),
+      client_name_(NextClientName()) {}
+
+Status FileSystem::Mkdirs(const std::string& path) {
+  return master_->Mkdirs(path, ctx_);
+}
+
+Status FileSystem::Rename(const std::string& src, const std::string& dst) {
+  return master_->Rename(src, dst, ctx_);
+}
+
+Status FileSystem::Delete(const std::string& path, bool recursive,
+                          bool skip_trash) {
+  auto result = master_->Delete(path, recursive, ctx_, skip_trash);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Status FileSystem::ExpungeTrash() {
+  auto result = master_->ExpungeTrash(ctx_);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Result<std::vector<FileStatus>> FileSystem::ListDirectory(
+    const std::string& path) {
+  return master_->ListDirectory(path, ctx_);
+}
+
+Result<FileStatus> FileSystem::GetFileStatus(const std::string& path) {
+  return master_->GetFileStatus(path, ctx_);
+}
+
+bool FileSystem::Exists(const std::string& path) {
+  return master_->GetFileStatus(path, ctx_).ok();
+}
+
+Result<std::unique_ptr<FileWriter>> FileSystem::Create(
+    const std::string& path, const CreateOptions& options) {
+  OCTO_RETURN_IF_ERROR(master_->Create(path, options.rep_vector,
+                                       options.block_size, options.overwrite,
+                                       ctx_, client_name_));
+  return std::unique_ptr<FileWriter>(
+      new FileWriter(this, path, options.block_size));
+}
+
+Result<std::unique_ptr<FileWriter>> FileSystem::Append(
+    const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(FileStatus status, master_->GetFileStatus(path, ctx_));
+  if (status.is_dir) {
+    return Status::InvalidArgument(path + " is a directory");
+  }
+  OCTO_RETURN_IF_ERROR(master_->Append(path, ctx_, client_name_));
+  return std::unique_ptr<FileWriter>(
+      new FileWriter(this, path, status.block_size));
+}
+
+Result<std::unique_ptr<FileReader>> FileSystem::Open(const std::string& path) {
+  // Permission/existence check through the normal status path first.
+  OCTO_ASSIGN_OR_RETURN(FileStatus status, master_->GetFileStatus(path, ctx_));
+  if (status.is_dir) {
+    return Status::InvalidArgument(path + " is a directory");
+  }
+  OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> blocks,
+                        master_->GetBlockLocations(path, location_));
+  return std::unique_ptr<FileReader>(
+      new FileReader(this, path, std::move(blocks)));
+}
+
+Status FileSystem::WriteFile(const std::string& path, std::string_view data,
+                             const CreateOptions& options) {
+  OCTO_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
+                        Create(path, options));
+  OCTO_RETURN_IF_ERROR(writer->Write(data));
+  return writer->Close();
+}
+
+Result<std::string> FileSystem::ReadFile(const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(std::unique_ptr<FileReader> reader, Open(path));
+  return reader->ReadAll();
+}
+
+Status FileSystem::SetReplication(const std::string& path,
+                                  const ReplicationVector& rv) {
+  return master_->SetReplication(path, rv, ctx_);
+}
+
+Result<std::vector<LocatedBlock>> FileSystem::GetFileBlockLocations(
+    const std::string& path, int64_t start, int64_t len) {
+  if (start < 0 || len < 0) {
+    return Status::InvalidArgument("negative start/len");
+  }
+  OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> all,
+                        master_->GetBlockLocations(path, location_));
+  std::vector<LocatedBlock> out;
+  for (LocatedBlock& block : all) {
+    int64_t begin = block.offset;
+    int64_t end = block.offset + block.block.length;
+    if (end > start && begin < start + len) {
+      out.push_back(std::move(block));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<StorageTierReport>> FileSystem::GetStorageTierReports() {
+  return master_->GetStorageTierReports();
+}
+
+// ---------------------------------------------------------------------------
+// FileWriter
+
+FileWriter::~FileWriter() {
+  if (!closed_) {
+    Status st = Close();
+    if (!st.ok()) {
+      OCTO_LOG(Warn) << "implicit close of " << path_
+                     << " failed: " << st.ToString();
+    }
+  }
+}
+
+Status FileWriter::Write(std::string_view data) {
+  if (closed_) return Status::FailedPrecondition(path_ + " is closed");
+  while (!data.empty()) {
+    int64_t room = block_size_ - static_cast<int64_t>(buffer_.size());
+    int64_t take = std::min<int64_t>(room, static_cast<int64_t>(data.size()));
+    buffer_.append(data.substr(0, static_cast<size_t>(take)));
+    data.remove_prefix(static_cast<size_t>(take));
+    if (static_cast<int64_t>(buffer_.size()) == block_size_) {
+      OCTO_RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  return Status::OK();
+}
+
+Status FileWriter::FlushBlock() {
+  if (buffer_.empty()) return Status::OK();
+  Master* master = fs_->master_;
+  OCTO_ASSIGN_OR_RETURN(
+      LocatedBlock located,
+      master->AddBlock(path_, fs_->client_name_, fs_->location_));
+  // Worker-to-worker pipeline (paper §3.1): the block flows through each
+  // location in order; a failed hop drops that medium from the pipeline.
+  std::vector<MediumId> succeeded;
+  for (const PlacedReplica& replica : located.locations) {
+    Worker* worker = fs_->cluster_->worker(replica.worker);
+    if (worker == nullptr) continue;
+    Status st = worker->WriteBlock(replica.medium, located.block.id, buffer_);
+    if (st.ok()) {
+      succeeded.push_back(replica.medium);
+    } else {
+      OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
+                     << " to medium " << replica.medium
+                     << " failed: " << st.ToString();
+    }
+  }
+  if (succeeded.empty()) {
+    (void)master->AbandonBlock(path_, fs_->client_name_, located.block.id);
+    return Status::IoError("every pipeline write of a block of " + path_ +
+                           " failed");
+  }
+  int64_t length = static_cast<int64_t>(buffer_.size());
+  OCTO_RETURN_IF_ERROR(master->CommitBlock(path_, fs_->client_name_,
+                                           located.block.id, length,
+                                           succeeded));
+  bytes_written_ += length;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (closed_) return Status::OK();
+  OCTO_RETURN_IF_ERROR(FlushBlock());
+  closed_ = true;
+  return fs_->master_->CompleteFile(path_, fs_->client_name_);
+}
+
+// ---------------------------------------------------------------------------
+// FileReader
+
+FileReader::FileReader(FileSystem* fs, std::string path,
+                       std::vector<LocatedBlock> blocks)
+    : fs_(fs), path_(std::move(path)), blocks_(std::move(blocks)) {
+  for (const LocatedBlock& block : blocks_) {
+    length_ += block.block.length;
+  }
+}
+
+Result<const std::string*> FileReader::FetchBlockAt(int64_t offset,
+                                                    size_t* index) {
+  size_t i = 0;
+  for (; i < blocks_.size(); ++i) {
+    if (offset < blocks_[i].offset + blocks_[i].block.length) break;
+  }
+  if (i >= blocks_.size()) {
+    return Status::InvalidArgument("offset beyond end of " + path_);
+  }
+  *index = i;
+  if (cached_index_ == i) return &cached_data_;
+
+  const LocatedBlock& located = blocks_[i];
+  for (const PlacedReplica& replica : located.locations) {
+    Worker* worker = fs_->cluster_->worker(replica.worker);
+    if (worker == nullptr) continue;
+    auto data = worker->ReadBlock(replica.medium, located.block.id);
+    if (data.ok()) {
+      cached_index_ = i;
+      cached_data_ = std::move(data).value();
+      return &cached_data_;
+    }
+    // A corrupt or missing replica: tell the Master so the replication
+    // monitor can repair it, then fail over to the next location.
+    OCTO_LOG(Warn) << "read of block " << located.block.id << " replica on "
+                   << replica.medium << " failed: "
+                   << data.status().ToString();
+    (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+  }
+  return Status::IoError("all replicas of block " +
+                         std::to_string(located.block.id) + " of " + path_ +
+                         " are unreadable");
+}
+
+Result<std::string> FileReader::Pread(int64_t offset, int64_t n) {
+  if (offset < 0 || n < 0) return Status::InvalidArgument("negative read");
+  std::string out;
+  while (n > 0 && offset < length_) {
+    size_t index = 0;
+    OCTO_ASSIGN_OR_RETURN(const std::string* data,
+                          FetchBlockAt(offset, &index));
+    const LocatedBlock& located = blocks_[index];
+    int64_t block_offset = offset - located.offset;
+    int64_t available =
+        static_cast<int64_t>(data->size()) - block_offset;
+    int64_t take = std::min(n, available);
+    out.append(*data, static_cast<size_t>(block_offset),
+               static_cast<size_t>(take));
+    offset += take;
+    n -= take;
+  }
+  return out;
+}
+
+Result<std::string> FileReader::Read(int64_t n) {
+  OCTO_ASSIGN_OR_RETURN(std::string out, Pread(position_, n));
+  position_ += static_cast<int64_t>(out.size());
+  return out;
+}
+
+Status FileReader::Seek(int64_t offset) {
+  if (offset < 0 || offset > length_) {
+    return Status::InvalidArgument("seek out of range");
+  }
+  position_ = offset;
+  return Status::OK();
+}
+
+Result<std::string> FileReader::ReadAll() {
+  return Read(length_ - position_);
+}
+
+}  // namespace octo

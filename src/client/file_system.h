@@ -1,0 +1,201 @@
+#ifndef OCTOPUSFS_CLIENT_FILE_SYSTEM_H_
+#define OCTOPUSFS_CLIENT_FILE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/master.h"
+#include "core/replication_vector.h"
+#include "namespacefs/namespace_tree.h"
+#include "storage/storage_media.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+class FileWriter;
+class FileReader;
+
+/// Options for FileSystem::Create (paper Table 1: the original API's
+/// "short replication" became a ReplicationVector).
+struct CreateOptions {
+  ReplicationVector rep_vector = ReplicationVector::OfTotal(3);
+  int64_t block_size = kDefaultBlockSize;
+  bool overwrite = false;
+};
+
+/// The OctopusFS Client (paper §2.3): the enhanced FileSystem API through
+/// which users and applications interact with the cluster. Exposes the
+/// usual namespace operations plus the tiered-storage extensions —
+/// replication vectors, per-tier block locations, and storage tier
+/// reports.
+class FileSystem {
+ public:
+  /// `location` is where this client runs (a cluster node for collocated
+  /// readers/writers, or off-cluster). Each FileSystem instance holds its
+  /// own lease identity.
+  FileSystem(Cluster* cluster, NetworkLocation location,
+             UserContext ctx = UserContext{});
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // -- namespace ---------------------------------------------------------
+
+  Status Mkdirs(const std::string& path);
+  Status Rename(const std::string& src, const std::string& dst);
+  /// With trash enabled on the master, Delete moves the entry to
+  /// /.Trash/<user>/ unless `skip_trash`.
+  Status Delete(const std::string& path, bool recursive = false,
+                bool skip_trash = false);
+  /// Destroys this user's trash contents.
+  Status ExpungeTrash();
+  Result<std::vector<FileStatus>> ListDirectory(const std::string& path);
+  Result<FileStatus> GetFileStatus(const std::string& path);
+  bool Exists(const std::string& path);
+
+  // -- file I/O ------------------------------------------------------------
+
+  /// Creates a file and returns a writer (the FSDataOutputStream of the
+  /// paper's create() API).
+  Result<std::unique_ptr<FileWriter>> Create(const std::string& path,
+                                             const CreateOptions& options);
+
+  /// Backwards-compatible form of the original FileSystem API: the old
+  /// single replication factor r maps to the vector U = r (paper §2.3).
+  Result<std::unique_ptr<FileWriter>> CreateCompat(
+      const std::string& path, short replication,
+      int64_t block_size = kDefaultBlockSize, bool overwrite = false) {
+    CreateOptions options;
+    options.rep_vector =
+        ReplicationVector::OfTotal(static_cast<uint8_t>(replication));
+    options.block_size = block_size;
+    options.overwrite = overwrite;
+    return Create(path, options);
+  }
+
+  /// Opens a file for reading with retrieval-policy-ordered replicas.
+  Result<std::unique_ptr<FileReader>> Open(const std::string& path);
+
+  /// Reopens an existing file for appending. New data begins a fresh
+  /// block (block-aligned append).
+  Result<std::unique_ptr<FileWriter>> Append(const std::string& path);
+
+  /// Convenience: writes `data` as the whole contents of `path`.
+  Status WriteFile(const std::string& path, std::string_view data,
+                   const CreateOptions& options);
+  /// Convenience: reads the whole contents of `path`.
+  Result<std::string> ReadFile(const std::string& path);
+
+  // -- tiered storage extensions (paper Table 1) -----------------------------
+
+  /// setReplication: changes a file's replication vector, triggering
+  /// asynchronous replica moves/copies/deletions across tiers.
+  Status SetReplication(const std::string& path, const ReplicationVector& rv);
+
+  /// getFileBlockLocations: block locations (with storage tiers) covering
+  /// the byte range [start, start+len).
+  Result<std::vector<LocatedBlock>> GetFileBlockLocations(
+      const std::string& path, int64_t start, int64_t len);
+
+  /// getStorageTierReports: the active tiers with capacity and
+  /// throughput information.
+  Result<std::vector<StorageTierReport>> GetStorageTierReports();
+
+  // -- accessors -------------------------------------------------------------
+
+  const NetworkLocation& location() const { return location_; }
+  const UserContext& user() const { return ctx_; }
+  const std::string& client_name() const { return client_name_; }
+  Cluster* cluster() { return cluster_; }
+
+ private:
+  friend class FileWriter;
+  friend class FileReader;
+
+  Cluster* cluster_;
+  Master* master_;
+  NetworkLocation location_;
+  UserContext ctx_;
+  std::string client_name_;
+};
+
+/// Streaming writer: buffers to the block size, then obtains locations
+/// from the Master and pushes the block through the worker pipeline
+/// (paper §3.1). Media whose writes fail are dropped from the pipeline;
+/// the block commits with the successful subset and the replication
+/// monitor tops it up later.
+class FileWriter {
+ public:
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  Status Write(std::string_view data);
+
+  /// Flushes the final partial block and completes the file.
+  Status Close();
+
+  int64_t bytes_written() const { return bytes_written_; }
+  bool closed() const { return closed_; }
+
+ private:
+  friend class FileSystem;
+  FileWriter(FileSystem* fs, std::string path, int64_t block_size)
+      : fs_(fs), path_(std::move(path)), block_size_(block_size) {}
+
+  Status FlushBlock();
+
+  FileSystem* fs_;
+  std::string path_;
+  int64_t block_size_;
+  std::string buffer_;
+  int64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+/// Streaming reader with replica failover: replicas are tried in the
+/// retrieval policy's order; corrupt or missing replicas are reported to
+/// the Master and the next location is used (paper §4.1).
+class FileReader {
+ public:
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  /// Reads up to `n` bytes from the current position.
+  Result<std::string> Read(int64_t n);
+
+  /// Positioned read, does not move the cursor.
+  Result<std::string> Pread(int64_t offset, int64_t n);
+
+  Status Seek(int64_t offset);
+  int64_t Tell() const { return position_; }
+
+  /// Reads the remainder of the file from the current position.
+  Result<std::string> ReadAll();
+
+  int64_t length() const { return length_; }
+
+ private:
+  friend class FileSystem;
+  FileReader(FileSystem* fs, std::string path,
+             std::vector<LocatedBlock> blocks);
+
+  /// Fetches (with failover) the block containing `offset`.
+  Result<const std::string*> FetchBlockAt(int64_t offset, size_t* index);
+
+  FileSystem* fs_;
+  std::string path_;
+  std::vector<LocatedBlock> blocks_;
+  int64_t length_ = 0;
+  int64_t position_ = 0;
+  // Single-block cache for sequential reads.
+  size_t cached_index_ = SIZE_MAX;
+  std::string cached_data_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLIENT_FILE_SYSTEM_H_

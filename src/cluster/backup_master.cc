@@ -1,0 +1,46 @@
+#include "cluster/backup_master.h"
+
+#include "namespacefs/edit_log.h"
+#include "namespacefs/fsimage.h"
+
+namespace octo {
+
+BackupMaster::BackupMaster(Master* primary, Clock* clock)
+    : primary_(primary),
+      clock_(clock),
+      mirror_(std::make_unique<NamespaceTree>(clock)) {}
+
+Status BackupMaster::Sync() {
+  const std::vector<std::string>& entries = primary_->edit_log()->entries();
+  if (synced_ >= static_cast<int64_t>(entries.size())) return Status::OK();
+  OCTO_RETURN_IF_ERROR(EditLog::Replay(entries, synced_, mirror_.get()));
+  synced_ = static_cast<int64_t>(entries.size());
+  return Status::OK();
+}
+
+Result<std::string> BackupMaster::CreateCheckpoint() {
+  OCTO_RETURN_IF_ERROR(Sync());
+  checkpoint_ = FsImage::Serialize(*mirror_);
+  checkpoint_offset_ = synced_;
+  primary_->edit_log()->MarkCheckpointed(checkpoint_offset_);
+  return checkpoint_;
+}
+
+Result<std::unique_ptr<Master>> BackupMaster::TakeOver(MasterOptions options,
+                                                       Clock* clock) const {
+  auto master = std::make_unique<Master>(std::move(options), clock);
+  std::string image = checkpoint_;
+  int64_t from = checkpoint_offset_;
+  if (image.empty()) {
+    // No checkpoint was taken yet: start from an empty namespace and
+    // replay the whole log.
+    NamespaceTree empty(clock);
+    image = FsImage::Serialize(empty);
+    from = 0;
+  }
+  OCTO_RETURN_IF_ERROR(
+      master->LoadImage(image, primary_->edit_log()->entries(), from));
+  return master;
+}
+
+}  // namespace octo

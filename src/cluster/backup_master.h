@@ -1,0 +1,58 @@
+#ifndef OCTOPUSFS_CLUSTER_BACKUP_MASTER_H_
+#define OCTOPUSFS_CLUSTER_BACKUP_MASTER_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/master.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "namespacefs/namespace_tree.h"
+
+namespace octo {
+
+/// Backup Master (paper §2.1): maintains an up-to-date in-memory image of
+/// the primary's namespace by tailing its edit log, periodically creates
+/// and persists checkpoints, and can stand up a replacement Master when
+/// the primary fails.
+class BackupMaster {
+ public:
+  BackupMaster(Master* primary, Clock* clock);
+
+  BackupMaster(const BackupMaster&) = delete;
+  BackupMaster& operator=(const BackupMaster&) = delete;
+
+  /// Applies edit log records appended since the last Sync to the mirror.
+  Status Sync();
+
+  /// Syncs, serializes the mirror namespace, and records the log offset
+  /// the checkpoint covers. Returns the checkpoint image.
+  Result<std::string> CreateCheckpoint();
+
+  /// Latest checkpoint image ("" before the first CreateCheckpoint).
+  const std::string& latest_checkpoint() const { return checkpoint_; }
+  /// Edit records folded into the latest checkpoint.
+  int64_t checkpoint_offset() const { return checkpoint_offset_; }
+  /// Edit records applied to the mirror so far.
+  int64_t synced_entries() const { return synced_; }
+
+  const NamespaceTree& mirror() const { return *mirror_; }
+
+  /// Failover: builds a replacement Master from the latest checkpoint
+  /// plus the primary's edit log tail. The caller re-registers workers and
+  /// feeds block reports to repopulate block locations (as in HDFS).
+  Result<std::unique_ptr<Master>> TakeOver(MasterOptions options,
+                                           Clock* clock) const;
+
+ private:
+  Master* primary_;
+  Clock* clock_;
+  std::unique_ptr<NamespaceTree> mirror_;
+  int64_t synced_ = 0;
+  std::string checkpoint_;
+  int64_t checkpoint_offset_ = 0;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_BACKUP_MASTER_H_

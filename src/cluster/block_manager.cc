@@ -1,0 +1,86 @@
+#include "cluster/block_manager.h"
+
+#include <algorithm>
+
+namespace octo {
+
+Status BlockManager::AddBlock(BlockRecord record) {
+  if (blocks_.count(record.id) > 0) {
+    return Status::AlreadyExists("block " + std::to_string(record.id));
+  }
+  if (record.id >= next_block_id_) next_block_id_ = record.id + 1;
+  blocks_.emplace(record.id, std::move(record));
+  return Status::OK();
+}
+
+Status BlockManager::RemoveBlock(BlockId id) {
+  if (blocks_.erase(id) == 0) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status BlockManager::AddReplica(BlockId id, MediumId medium) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  auto& locs = it->second.locations;
+  if (std::find(locs.begin(), locs.end(), medium) != locs.end()) {
+    return Status::AlreadyExists("block " + std::to_string(id) +
+                                 " already has a replica on medium " +
+                                 std::to_string(medium));
+  }
+  locs.push_back(medium);
+  return Status::OK();
+}
+
+Status BlockManager::RemoveReplica(BlockId id, MediumId medium) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  auto& locs = it->second.locations;
+  auto pos = std::find(locs.begin(), locs.end(), medium);
+  if (pos == locs.end()) {
+    return Status::NotFound("block " + std::to_string(id) +
+                            " has no replica on medium " +
+                            std::to_string(medium));
+  }
+  locs.erase(pos);
+  return Status::OK();
+}
+
+Status BlockManager::SetExpected(BlockId id, const ReplicationVector& expected,
+                                 int64_t* length_out) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  it->second.expected = expected;
+  if (length_out != nullptr) *length_out = it->second.length;
+  return Status::OK();
+}
+
+const BlockRecord* BlockManager::Find(BlockId id) const {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<BlockId> BlockManager::BlocksOnMedium(MediumId medium) const {
+  std::vector<BlockId> out;
+  for (const auto& [id, record] : blocks_) {
+    if (std::find(record.locations.begin(), record.locations.end(), medium) !=
+        record.locations.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void BlockManager::ForEach(
+    const std::function<void(const BlockRecord&)>& fn) const {
+  for (const auto& [id, record] : blocks_) fn(record);
+}
+
+}  // namespace octo

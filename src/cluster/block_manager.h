@@ -1,0 +1,66 @@
+#ifndef OCTOPUSFS_CLUSTER_BLOCK_MANAGER_H_
+#define OCTOPUSFS_CLUSTER_BLOCK_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/replication_vector.h"
+#include "storage/block.h"
+
+namespace octo {
+
+/// The Master's record of one block: its file, size, the replication the
+/// file requests, and the media currently confirmed to hold replicas.
+struct BlockRecord {
+  BlockId id = kInvalidBlock;
+  std::string file;  // owning file path (for diagnostics/invalidation)
+  int64_t length = 0;
+  ReplicationVector expected;  // the owning file's replication vector
+  std::vector<MediumId> locations;
+};
+
+/// The Master's block-location map (paper §2.1: "the mapping of file
+/// blocks to Workers and storage media"). Pure bookkeeping; placement
+/// decisions live in the policies and replication logic in the Master.
+class BlockManager {
+ public:
+  BlockManager() = default;
+
+  /// Allocates a fresh block id.
+  BlockId NextBlockId() { return next_block_id_++; }
+
+  Status AddBlock(BlockRecord record);
+  Status RemoveBlock(BlockId id);
+
+  /// Registers a confirmed replica on `medium`.
+  Status AddReplica(BlockId id, MediumId medium);
+  /// Removes a replica record; NotFound if absent.
+  Status RemoveReplica(BlockId id, MediumId medium);
+
+  /// Updates the expected replication after setReplication.
+  Status SetExpected(BlockId id, const ReplicationVector& expected,
+                     int64_t* length_out = nullptr);
+
+  const BlockRecord* Find(BlockId id) const;
+  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+
+  /// All blocks that have a replica on `medium` (used when a medium or
+  /// worker dies).
+  std::vector<BlockId> BlocksOnMedium(MediumId medium) const;
+
+  /// Iterates over every block record (the replication monitor's scan).
+  void ForEach(const std::function<void(const BlockRecord&)>& fn) const;
+
+  int64_t NumBlocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  BlockId next_block_id_ = 1;
+  std::map<BlockId, BlockRecord> blocks_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_BLOCK_MANAGER_H_

@@ -1,0 +1,89 @@
+#ifndef OCTOPUSFS_CLUSTER_CACHE_MANAGER_H_
+#define OCTOPUSFS_CLUSTER_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/status.h"
+
+namespace octo {
+
+struct CacheManagerOptions {
+  /// Fraction of the Memory tier the cache may occupy with promoted
+  /// replicas (the rest stays available for user-pinned data).
+  double memory_budget_fraction = 0.8;
+  /// A file becomes promotion-eligible after this many recorded accesses
+  /// within the decay window.
+  int promotion_threshold = 3;
+  /// Access counts are halved when this interval elapses, aging out
+  /// yesterday's hot set.
+  int64_t decay_interval_micros = int64_t{60} * kMicrosPerSecond;
+  /// Upper bound on promotions scheduled per Tick.
+  int max_promotions_per_tick = 16;
+};
+
+/// Statistics from one cache management pass.
+struct CacheTickReport {
+  int promotions = 0;
+  int evictions = 0;
+  int64_t bytes_promoted = 0;
+  int64_t bytes_evicted = 0;
+};
+
+/// The paper's internal multi-level cache management policy (§6,
+/// "Multi-level cache management": "OctopusFS offers pluggable policies
+/// for managing the storage resources as a cache internally").
+///
+/// The manager watches read traffic (RecordAccess, fed by the Master's
+/// read path or by the application), keeps decayed per-file access
+/// counts, and on each Tick:
+///   * promotes hot files by adding one Memory-tier replica
+///     (setReplication +1 memory), while the memory budget allows;
+///   * evicts the coldest promoted files (setReplication -1 memory) when
+///     the budget is exceeded or a hotter file needs the space.
+/// Only replicas the manager itself added are ever evicted — user-pinned
+/// memory replicas (explicit replication vectors) are untouched.
+class CacheManager {
+ public:
+  CacheManager(Master* master, CacheManagerOptions options = {});
+
+  /// Notes one read of `path` (weight allows batch reporting).
+  void RecordAccess(const std::string& path, int weight = 1);
+
+  /// One management pass: decay, evict, promote. The resulting replica
+  /// copies/deletions execute asynchronously via worker commands.
+  Result<CacheTickReport> Tick();
+
+  /// Files currently holding a manager-added memory replica.
+  std::vector<std::string> PromotedFiles() const;
+
+  bool IsPromoted(const std::string& path) const {
+    return promoted_.count(path) > 0;
+  }
+
+ private:
+  struct FileHeat {
+    double count = 0;
+    int64_t last_access_micros = 0;
+  };
+
+  /// Memory-tier bytes the manager may still claim.
+  int64_t MemoryBudgetRemaining() const;
+
+  Status Promote(const std::string& path, CacheTickReport* report);
+  Status Evict(const std::string& path, CacheTickReport* report);
+
+  Master* master_;
+  CacheManagerOptions options_;
+  std::map<std::string, FileHeat> heat_;
+  /// path -> bytes of the memory replica the manager added.
+  std::map<std::string, int64_t> promoted_;
+  int64_t last_decay_micros_ = 0;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_CACHE_MANAGER_H_

@@ -1,0 +1,190 @@
+#include "cluster/cluster.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace octo {
+
+ClusterSpec PaperClusterSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 3;
+  spec.workers_per_rack = 3;
+  spec.net_bps = 1.25e9;  // 10 Gbps
+  // Table 2 rates; capacities from §7: 4 GB memory, 64 GB SSD, 400 GB of
+  // HDD space spread over three drives per worker.
+  MediumSpec memory{kMemoryTier, MediaType::kMemory, 4 * kGiB,
+                    FromMBps(1897.4), FromMBps(3224.8)};
+  MediumSpec ssd{kSsdTier, MediaType::kSsd, 64 * kGiB, FromMBps(340.6),
+                 FromMBps(419.5)};
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 400 * kGiB / 3, FromMBps(126.3),
+                 FromMBps(177.1)};
+  spec.media_per_worker = {memory, ssd, hdd, hdd, hdd};
+  return spec;
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterSpec& spec) {
+  if (spec.num_racks < 1 || spec.workers_per_rack < 1) {
+    return Status::InvalidArgument("cluster needs at least one worker");
+  }
+  if (spec.media_per_worker.empty()) {
+    return Status::InvalidArgument("workers need at least one medium");
+  }
+  auto cluster = std::unique_ptr<Cluster>(new Cluster);
+  if (spec.with_simulation) {
+    cluster->sim_ = std::make_unique<sim::Simulation>();
+  }
+  Clock* clock = cluster->sim_ != nullptr
+                     ? cluster->sim_->clock()
+                     : static_cast<Clock*>(SystemClock::Default());
+  cluster->master_ = std::make_unique<Master>(spec.master, clock);
+
+  // The canonical four tiers; only those with registered media activate.
+  cluster->master_->DefineTier({kMemoryTier, "Memory", MediaType::kMemory});
+  cluster->master_->DefineTier({kSsdTier, "SSD", MediaType::kSsd});
+  cluster->master_->DefineTier({kHddTier, "HDD", MediaType::kHdd});
+  cluster->master_->DefineTier({kRemoteTier, "Remote", MediaType::kRemote});
+
+  for (int rack = 0; rack < spec.num_racks; ++rack) {
+    for (int node = 0; node < spec.workers_per_rack; ++node) {
+      NetworkLocation location("rack" + std::to_string(rack),
+                               "node" + std::to_string(node));
+      OCTO_ASSIGN_OR_RETURN(
+          WorkerId id,
+          cluster->master_->RegisterWorker(location, spec.net_bps));
+      WorkerOptions options;
+      options.location = location;
+      options.net_bps = spec.net_bps;
+      if (!spec.block_dir_root.empty()) {
+        options.block_dir = spec.block_dir_root + "/worker_" +
+                            std::to_string(id);
+      }
+      auto worker =
+          std::make_unique<Worker>(id, options, cluster->sim_.get());
+      for (const MediumSpec& medium_spec : spec.media_per_worker) {
+        OCTO_ASSIGN_OR_RETURN(MediumId medium,
+                              cluster->master_->RegisterMedium(
+                                  id, medium_spec, ProfiledRates{}));
+        OCTO_ASSIGN_OR_RETURN(ProfiledRates rates,
+                              worker->AttachMedium(medium, medium_spec));
+        OCTO_RETURN_IF_ERROR(cluster->master_->cluster_state().SetMediumRates(
+            medium, rates.write_bps, rates.read_bps));
+      }
+      cluster->worker_ids_.push_back(id);
+      cluster->workers_.emplace(id, std::move(worker));
+    }
+  }
+  return cluster;
+}
+
+Worker* Cluster::worker(WorkerId id) {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+Worker* Cluster::WorkerForMedium(MediumId medium) {
+  const MediumInfo* info = master_->cluster_state().FindMedium(medium);
+  return info == nullptr ? nullptr : worker(info->worker);
+}
+
+Result<int> Cluster::ExecuteCommands(
+    Worker* target, const std::vector<WorkerCommand>& commands) {
+  int executed = 0;
+  for (const WorkerCommand& cmd : commands) {
+    switch (cmd.kind) {
+      case WorkerCommand::Kind::kDeleteReplica: {
+        Status st = target->DeleteBlock(cmd.target_medium, cmd.block);
+        if (st.ok() || st.IsNotFound()) {
+          ++executed;
+        } else {
+          return st;
+        }
+        break;
+      }
+      case WorkerCommand::Kind::kCopyReplica: {
+        bool copied = false;
+        for (MediumId source : cmd.sources) {
+          Worker* source_worker = WorkerForMedium(source);
+          if (source_worker == nullptr ||
+              stopped_.count(source_worker->id()) > 0) {
+            continue;
+          }
+          auto data = source_worker->ReadBlock(source, cmd.block);
+          if (!data.ok()) continue;
+          Status st = target->WriteBlock(cmd.target_medium, cmd.block,
+                                         std::move(data).value());
+          if (!st.ok()) break;
+          OCTO_RETURN_IF_ERROR(
+              master_->CommitReplica(cmd.block, cmd.target_medium));
+          copied = true;
+          ++executed;
+          break;
+        }
+        if (!copied) {
+          OCTO_LOG(Warn) << "copy of block " << cmd.block << " to medium "
+                         << cmd.target_medium << " found no usable source";
+        }
+        break;
+      }
+    }
+  }
+  return executed;
+}
+
+void Cluster::StopWorker(WorkerId id) {
+  stopped_.insert(id);
+  // A crashed worker would be noticed after the heartbeat timeout; mark it
+  // immediately so tests need not advance the clock.
+  (void)master_->cluster_state().SetWorkerAlive(id, false);
+}
+
+void Cluster::RestartWorker(WorkerId id) { stopped_.erase(id); }
+
+Result<int> Cluster::PumpHeartbeats() {
+  int executed = 0;
+  for (WorkerId id : worker_ids_) {
+    if (stopped_.count(id) > 0) continue;
+    Worker* w = worker(id);
+    OCTO_ASSIGN_OR_RETURN(std::vector<WorkerCommand> commands,
+                          master_->Heartbeat(w->BuildHeartbeat()));
+    OCTO_ASSIGN_OR_RETURN(int n, ExecuteCommands(w, commands));
+    executed += n;
+  }
+  return executed;
+}
+
+Status Cluster::SendBlockReports() {
+  for (WorkerId id : worker_ids_) {
+    Worker* w = worker(id);
+    OCTO_RETURN_IF_ERROR(
+        master_->ProcessBlockReport(id, w->BuildBlockReport()));
+  }
+  return Status::OK();
+}
+
+Result<int> Cluster::RunScrubber() {
+  int found = 0;
+  for (WorkerId id : worker_ids_) {
+    if (stopped_.count(id) > 0) continue;
+    Worker* w = worker(id);
+    for (const auto& [medium, block] : w->ScrubBlocks()) {
+      Status st = master_->ReportBadBlock(block, medium);
+      // NotFound: the master already dropped this replica (e.g. a client
+      // read reported it first); the queued delete will clean the bytes.
+      if (!st.ok() && !st.IsNotFound()) return st;
+      ++found;
+    }
+  }
+  return found;
+}
+
+Result<int> Cluster::RunReplicationToQuiescence(int max_rounds) {
+  int rounds = 0;
+  for (; rounds < max_rounds; ++rounds) {
+    int queued = master_->RunReplicationMonitor();
+    OCTO_ASSIGN_OR_RETURN(int executed, PumpHeartbeats());
+    if (queued == 0 && executed == 0) break;
+  }
+  return rounds;
+}
+
+}  // namespace octo

@@ -1,0 +1,96 @@
+#ifndef OCTOPUSFS_CLUSTER_CLUSTER_H_
+#define OCTOPUSFS_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "cluster/worker.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+
+namespace octo {
+
+/// Shape of an in-process cluster.
+struct ClusterSpec {
+  int num_racks = 3;
+  int workers_per_rack = 3;
+  /// Media attached to every worker.
+  std::vector<MediumSpec> media_per_worker;
+  /// NIC capacity per worker, bytes/second each direction.
+  double net_bps = 1.25e9;  // 10 Gbps
+  MasterOptions master;
+  /// Attach a flow simulator (virtual time) to the cluster. Without one,
+  /// workers are functional-only and time comes from the master clock.
+  bool with_simulation = true;
+  /// Root directory for disk-backed block stores ("" = heap-backed).
+  std::string block_dir_root;
+};
+
+/// The paper's evaluation cluster: 9 workers, each with a 4 GB memory
+/// tier, one 64 GB SSD, and three ~133 GB HDDs (400 GB of HDD space),
+/// 10 Gbps network; media rates seeded from Table 2.
+ClusterSpec PaperClusterSpec();
+
+/// An in-process OctopusFS cluster: one Master, N Workers, an optional
+/// flow simulator, and the control loop (heartbeats, block reports,
+/// command execution) that in a deployment would run over RPC.
+class Cluster {
+ public:
+  static Result<std::unique_ptr<Cluster>> Create(const ClusterSpec& spec);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Master* master() { return master_.get(); }
+  sim::Simulation* simulation() { return sim_.get(); }
+
+  const std::vector<WorkerId>& worker_ids() const { return worker_ids_; }
+  Worker* worker(WorkerId id);
+  /// The worker hosting a given medium (nullptr when unknown).
+  Worker* WorkerForMedium(MediumId medium);
+
+  /// Simulates a worker crash: it stops heartbeating (the master declares
+  /// it dead after the timeout, or immediately via CheckWorkerLiveness)
+  /// and its stores become unreachable to command execution.
+  void StopWorker(WorkerId id);
+  /// Brings a stopped worker back; its next heartbeat revives it.
+  void RestartWorker(WorkerId id);
+  bool IsStopped(WorkerId id) const { return stopped_.count(id) > 0; }
+
+  /// One control-plane round: every live worker heartbeats and executes
+  /// the commands the master returns (replica deletions, copies). Copies
+  /// move real bytes between block stores. Returns commands executed.
+  Result<int> PumpHeartbeats();
+
+  /// Sends a full block report from every worker.
+  Status SendBlockReports();
+
+  /// Runs the block scrubber on every live worker and reports corrupt
+  /// replicas to the master (which drops them and schedules repair).
+  /// Returns the number of corrupt replicas found.
+  Result<int> RunScrubber();
+
+  /// Replication monitor + heartbeat pump, repeated until quiescent (no
+  /// commands generated or executed) or `max_rounds`. Returns rounds run.
+  Result<int> RunReplicationToQuiescence(int max_rounds = 20);
+
+ private:
+  Cluster() = default;
+
+  Result<int> ExecuteCommands(Worker* worker,
+                              const std::vector<WorkerCommand>& commands);
+
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Master> master_;
+  std::map<WorkerId, std::unique_ptr<Worker>> workers_;
+  std::vector<WorkerId> worker_ids_;
+  std::set<WorkerId> stopped_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_CLUSTER_H_

@@ -1,0 +1,65 @@
+#include "cluster/federation.h"
+
+#include "namespacefs/path.h"
+
+namespace octo {
+
+Status Federation::Mount(const std::string& prefix, Master* master) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(prefix));
+  if (master == nullptr) {
+    return Status::InvalidArgument("null master for mount " + normalized);
+  }
+  if (mounts_.count(normalized) > 0) {
+    return Status::AlreadyExists("mount point " + normalized);
+  }
+  mounts_[normalized] = master;
+  return Status::OK();
+}
+
+Status Federation::Unmount(const std::string& prefix) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(prefix));
+  if (mounts_.erase(normalized) == 0) {
+    return Status::NotFound("mount point " + normalized);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Federation::RoutePrefix(const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  // Longest matching prefix wins.
+  const std::string* best = nullptr;
+  for (const auto& [prefix, master] : mounts_) {
+    if (IsSelfOrDescendant(prefix, normalized)) {
+      if (best == nullptr || prefix.size() > best->size()) best = &prefix;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no mount covers " + normalized);
+  }
+  return *best;
+}
+
+Result<Master*> Federation::Route(const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(std::string prefix, RoutePrefix(path));
+  return mounts_.at(prefix);
+}
+
+std::vector<std::string> Federation::MountPoints() const {
+  std::vector<std::string> out;
+  out.reserve(mounts_.size());
+  for (const auto& [prefix, _] : mounts_) out.push_back(prefix);
+  return out;
+}
+
+Result<Master*> Federation::RouteRename(const std::string& src,
+                                        const std::string& dst) const {
+  OCTO_ASSIGN_OR_RETURN(Master * src_master, Route(src));
+  OCTO_ASSIGN_OR_RETURN(Master * dst_master, Route(dst));
+  if (src_master != dst_master) {
+    return Status::NotSupported("rename across federation mounts: " + src +
+                                " -> " + dst);
+  }
+  return src_master;
+}
+
+}  // namespace octo

@@ -1,0 +1,46 @@
+#ifndef OCTOPUSFS_CLUSTER_FEDERATION_H_
+#define OCTOPUSFS_CLUSTER_FEDERATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/status.h"
+
+namespace octo {
+
+/// Client-side mount table for a federation of independent Masters
+/// (paper §2.1: "multiple Masters are used to form a federation"). Each
+/// Master owns a disjoint subtree; the table routes a path to the Master
+/// responsible for it, longest prefix first.
+class Federation {
+ public:
+  Federation() = default;
+
+  /// Mounts `master` at `prefix` (a normalized absolute path). Prefixes
+  /// must not nest ambiguously with identical values.
+  Status Mount(const std::string& prefix, Master* master);
+  Status Unmount(const std::string& prefix);
+
+  /// The Master owning `path` (longest matching mount prefix), or
+  /// NotFound when no mount covers it.
+  Result<Master*> Route(const std::string& path) const;
+
+  /// The mount prefix that routed `path` (for diagnostics).
+  Result<std::string> RoutePrefix(const std::string& path) const;
+
+  std::vector<std::string> MountPoints() const;
+
+  /// Cross-mount renames are unsupported (as in HDFS federation); this
+  /// checks both endpoints route to the same Master.
+  Result<Master*> RouteRename(const std::string& src,
+                              const std::string& dst) const;
+
+ private:
+  std::map<std::string, Master*> mounts_;  // prefix -> master
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_FEDERATION_H_

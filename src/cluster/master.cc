@@ -1,0 +1,824 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "namespacefs/fsimage.h"
+#include "namespacefs/path.h"
+
+namespace octo {
+
+namespace {
+const UserContext kSuperuser{"root", {}};
+}  // namespace
+
+Master::Master(MasterOptions options, Clock* clock)
+    : options_(std::move(options)),
+      clock_(clock),
+      rng_(options_.seed),
+      tree_(std::make_unique<NamespaceTree>(clock)),
+      leases_(clock, options_.lease_duration_micros) {
+  tree_->EnablePermissions(options_.enable_permissions);
+  if (options_.edit_log_path.empty()) {
+    log_ = std::make_unique<EditLog>();
+  } else {
+    auto opened = EditLog::Open(options_.edit_log_path);
+    OCTO_CHECK(opened.ok()) << opened.status().ToString();
+    log_ = std::move(opened).value();
+  }
+  placement_ = MakeMoopPolicy();
+  retrieval_ = MakeOctopusRetrievalPolicy();
+}
+
+void Master::SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy) {
+  OCTO_CHECK(policy != nullptr);
+  placement_ = std::move(policy);
+}
+
+void Master::SetRetrievalPolicy(std::unique_ptr<RetrievalPolicy> policy) {
+  OCTO_CHECK(policy != nullptr);
+  retrieval_ = std::move(policy);
+}
+
+void Master::DefineTier(TierInfo tier) { state_.AddTier(std::move(tier)); }
+
+Result<WorkerId> Master::RegisterWorker(const NetworkLocation& location,
+                                        double net_bps) {
+  OCTO_RETURN_IF_ERROR(topology_.AddNode(location));
+  WorkerId id = next_worker_id_++;
+  WorkerInfo info;
+  info.id = id;
+  info.location = location;
+  info.net_bps = net_bps;
+  info.alive = true;
+  info.last_heartbeat_micros = clock_->NowMicros();
+  OCTO_RETURN_IF_ERROR(state_.AddWorker(std::move(info)));
+  return id;
+}
+
+Result<MediumId> Master::RegisterMedium(WorkerId worker,
+                                        const MediumSpec& spec,
+                                        const ProfiledRates& profiled) {
+  const WorkerInfo* w = state_.FindWorker(worker);
+  if (w == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  if (state_.FindTier(spec.tier) == nullptr) {
+    state_.AddTier(TierInfo{spec.tier, std::string(MediaTypeName(spec.type)),
+                            spec.type});
+  }
+  MediumId id = next_medium_id_++;
+  MediumInfo info;
+  info.id = id;
+  info.worker = worker;
+  info.location = w->location;
+  info.tier = spec.tier;
+  info.type = spec.type;
+  info.capacity_bytes = spec.capacity_bytes;
+  info.remaining_bytes = spec.capacity_bytes;
+  info.write_bps = profiled.write_bps > 0 ? profiled.write_bps : spec.write_bps;
+  info.read_bps = profiled.read_bps > 0 ? profiled.read_bps : spec.read_bps;
+  OCTO_RETURN_IF_ERROR(state_.AddMedium(std::move(info)));
+  return id;
+}
+
+Result<std::vector<WorkerCommand>> Master::Heartbeat(
+    const HeartbeatPayload& hb) {
+  const WorkerInfo* w = state_.FindWorker(hb.worker);
+  if (w == nullptr) {
+    return Status::NotFound("worker " + std::to_string(hb.worker));
+  }
+  OCTO_RETURN_IF_ERROR(state_.SetWorkerAlive(hb.worker, true));
+  OCTO_RETURN_IF_ERROR(state_.UpdateWorkerStats(hb.worker, w->nr_connections,
+                                                clock_->NowMicros()));
+  for (const MediumStats& stats : hb.media) {
+    const MediumInfo* m = state_.FindMedium(stats.medium);
+    if (m == nullptr || m->worker != hb.worker) continue;
+    OCTO_RETURN_IF_ERROR(state_.UpdateMediumStats(
+        stats.medium, stats.remaining_bytes, m->nr_connections));
+  }
+  // Lease reaping piggy-backs on heartbeat processing: expired writers'
+  // files are force-completed so their blocks become readable.
+  for (const std::string& path : leases_.ReapExpired()) {
+    Status st = tree_->CompleteFile(path);
+    if (st.ok()) log_->LogComplete(path);
+  }
+  std::vector<WorkerCommand> commands;
+  auto it = command_queues_.find(hb.worker);
+  if (it != command_queues_.end()) {
+    commands = std::move(it->second);
+    command_queues_.erase(it);
+  }
+  return commands;
+}
+
+Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report) {
+  if (state_.FindWorker(worker) == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  for (const auto& [medium, blocks] : report) {
+    const MediumInfo* m = state_.FindMedium(medium);
+    if (m == nullptr || m->worker != worker) {
+      return Status::InvalidArgument("medium " + std::to_string(medium) +
+                                     " does not belong to worker " +
+                                     std::to_string(worker));
+    }
+    std::set<BlockId> reported(blocks.begin(), blocks.end());
+    // Unknown replicas are orphans -> invalidate. Known but unregistered
+    // replicas (e.g. after master recovery) are adopted.
+    for (BlockId b : reported) {
+      const BlockRecord* record = blocks_.Find(b);
+      if (record == nullptr) {
+        WorkerCommand cmd;
+        cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+        cmd.block = b;
+        cmd.target_medium = medium;
+        QueueCommand(medium, std::move(cmd));
+        continue;
+      }
+      if (std::find(record->locations.begin(), record->locations.end(),
+                    medium) == record->locations.end()) {
+        OCTO_RETURN_IF_ERROR(blocks_.AddReplica(b, medium));
+        inflight_copies_.erase({b, medium});
+      }
+    }
+    // Replicas the map believes are here but the worker no longer has.
+    for (BlockId b : blocks_.BlocksOnMedium(medium)) {
+      if (reported.count(b) == 0) {
+        OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(b, medium));
+      }
+    }
+    // A full report is ground truth for this medium: any copy we thought
+    // was in flight to it but which is not reported has failed — clear it
+    // so the replication monitor re-schedules the repair.
+    for (auto it = inflight_copies_.begin(); it != inflight_copies_.end();) {
+      if (it->first.second == medium && reported.count(it->first.first) == 0) {
+        pending_moves_.erase(it->first);
+        it = inflight_copies_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<WorkerId> Master::CheckWorkerLiveness() {
+  std::vector<WorkerId> newly_dead;
+  int64_t now = clock_->NowMicros();
+  for (const auto& [id, w] : state_.workers()) {
+    if (w.alive &&
+        now - w.last_heartbeat_micros > options_.worker_timeout_micros) {
+      newly_dead.push_back(id);
+    }
+  }
+  for (WorkerId id : newly_dead) {
+    OCTO_CHECK_OK(state_.SetWorkerAlive(id, false));
+    OCTO_LOG(Warn) << "worker " << id << " declared dead";
+  }
+  return newly_dead;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+Status Master::Mkdirs(const std::string& path, const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(tree_->Mkdirs(path, ctx));
+  log_->LogMkdirs(path);
+  return Status::OK();
+}
+
+Result<std::vector<FileStatus>> Master::ListDirectory(
+    const std::string& path, const UserContext& ctx) const {
+  return tree_->ListDirectory(path, ctx);
+}
+
+Result<FileStatus> Master::GetFileStatus(const std::string& path,
+                                         const UserContext& ctx) const {
+  return tree_->GetFileStatus(path, ctx);
+}
+
+Status Master::Rename(const std::string& src, const std::string& dst,
+                      const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(tree_->Rename(src, dst, ctx));
+  log_->LogRename(src, dst);
+  return Status::OK();
+}
+
+Result<int> Master::Delete(const std::string& path, bool recursive,
+                           const UserContext& ctx, bool skip_trash) {
+  if (options_.enable_trash && !skip_trash) {
+    OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+    std::string trash_root = "/.Trash/" + ctx.user;
+    if (!IsSelfOrDescendant("/.Trash", normalized)) {
+      // Move into the user's trash, keeping the base name; disambiguate
+      // collisions with a monotonically growing suffix.
+      OCTO_RETURN_IF_ERROR(Mkdirs(trash_root, ctx));
+      std::string target = trash_root + "/" + BaseName(normalized);
+      int suffix = 1;
+      while (tree_->Exists(target)) {
+        target = trash_root + "/" + BaseName(normalized) + "." +
+                 std::to_string(suffix++);
+      }
+      OCTO_RETURN_IF_ERROR(Rename(normalized, target, ctx));
+      return 0;  // nothing invalidated; data is recoverable from trash
+    }
+  }
+  OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> removed,
+                        tree_->Delete(path, recursive, ctx));
+  log_->LogDelete(path, recursive);
+  leases_.Remove(path);
+  for (const BlockInfo& info : removed) {
+    const BlockRecord* record = blocks_.Find(info.id);
+    if (record == nullptr) continue;
+    for (MediumId medium : record->locations) {
+      WorkerCommand cmd;
+      cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+      cmd.block = info.id;
+      cmd.target_medium = medium;
+      // Free the master-side space accounting right away; the worker's
+      // next heartbeat will confirm.
+      (void)state_.AdjustMediumRemaining(medium, info.length);
+      QueueCommand(medium, std::move(cmd));
+    }
+    OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
+  }
+  return static_cast<int>(removed.size());
+}
+
+Result<int> Master::ExpungeTrash(const UserContext& ctx) {
+  std::string trash_root = "/.Trash/" + ctx.user;
+  if (!tree_->Exists(trash_root)) return 0;
+  return Delete(trash_root, /*recursive=*/true, ctx, /*skip_trash=*/true);
+}
+
+Status Master::SetQuota(const std::string& path, int slot, int64_t bytes) {
+  OCTO_RETURN_IF_ERROR(tree_->SetQuota(path, slot, bytes));
+  log_->LogSetQuota(path, slot, bytes);
+  return Status::OK();
+}
+
+Result<QuotaUsage> Master::GetQuotaUsage(const std::string& path) const {
+  return tree_->GetQuotaUsage(path);
+}
+
+Status Master::SetOwner(const std::string& path, const std::string& owner,
+                        const std::string& group, const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(tree_->SetOwner(path, owner, group, ctx));
+  log_->LogSetOwner(path, owner, group);
+  return Status::OK();
+}
+
+Status Master::SetMode(const std::string& path, uint16_t mode,
+                       const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(tree_->SetMode(path, mode, ctx));
+  log_->LogSetMode(path, mode);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+
+Status Master::Create(const std::string& path, const ReplicationVector& rv,
+                      int64_t block_size, bool overwrite,
+                      const UserContext& ctx,
+                      const std::string& lease_holder) {
+  // Another writer's live lease blocks re-creation even with overwrite
+  // (HDFS's AlreadyBeingCreatedException).
+  auto holder = leases_.Holder(path);
+  if (holder.ok() && *holder != lease_holder) {
+    return Status::AlreadyExists(path + " is being written by " + *holder);
+  }
+  std::vector<BlockInfo> replaced;
+  OCTO_RETURN_IF_ERROR(
+      tree_->CreateFile(path, rv, block_size, overwrite, ctx, &replaced));
+  log_->LogCreate(path, rv, block_size, overwrite);
+  for (const BlockInfo& info : replaced) {
+    const BlockRecord* record = blocks_.Find(info.id);
+    if (record == nullptr) continue;
+    for (MediumId medium : record->locations) {
+      WorkerCommand cmd;
+      cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+      cmd.block = info.id;
+      cmd.target_medium = medium;
+      (void)state_.AdjustMediumRemaining(medium, info.length);
+      QueueCommand(medium, std::move(cmd));
+    }
+    OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
+  }
+  leases_.Remove(path);
+  return leases_.Acquire(path, lease_holder);
+}
+
+Status Master::Append(const std::string& path, const UserContext& ctx,
+                      const std::string& lease_holder) {
+  auto holder = leases_.Holder(path);
+  if (holder.ok() && *holder != lease_holder) {
+    return Status::AlreadyExists(path + " is being written by " + *holder);
+  }
+  OCTO_RETURN_IF_ERROR(tree_->ReopenForAppend(path, ctx));
+  log_->LogAppend(path);
+  leases_.Remove(path);
+  return leases_.Acquire(path, lease_holder);
+}
+
+PlacedReplica Master::MakePlacedReplica(MediumId medium) const {
+  PlacedReplica pr;
+  pr.medium = medium;
+  const MediumInfo* m = state_.FindMedium(medium);
+  if (m != nullptr) {
+    pr.worker = m->worker;
+    pr.tier = m->tier;
+    pr.location = m->location;
+  }
+  return pr;
+}
+
+Result<LocatedBlock> Master::AddBlock(const std::string& path,
+                                      const std::string& lease_holder,
+                                      const NetworkLocation& client) {
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  if (holder != lease_holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  }
+  OCTO_RETURN_IF_ERROR(leases_.Renew(path, lease_holder));
+  OCTO_ASSIGN_OR_RETURN(FileStatus status,
+                        tree_->GetFileStatus(path, kSuperuser));
+  if (!status.under_construction) {
+    return Status::FailedPrecondition(path + " is not under construction");
+  }
+  PlacementRequest request;
+  request.client = client;
+  request.rep_vector = status.rep_vector;
+  request.block_size = status.block_size;
+  OCTO_ASSIGN_OR_RETURN(std::vector<MediumId> media,
+                        placement_->PlaceReplicas(state_, request, &rng_));
+  BlockId id = blocks_.NextBlockId();
+  pending_blocks_[id] = PendingBlock{path, media};
+  LocatedBlock located;
+  located.block = BlockInfo{id, 0};
+  located.offset = status.length;
+  located.locations.reserve(media.size());
+  for (MediumId m : media) located.locations.push_back(MakePlacedReplica(m));
+  return located;
+}
+
+Status Master::AbandonBlock(const std::string& path,
+                            const std::string& lease_holder, BlockId block) {
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  if (holder != lease_holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  }
+  pending_blocks_.erase(block);
+  return Status::OK();
+}
+
+Status Master::CommitBlock(const std::string& path,
+                           const std::string& lease_holder, BlockId block,
+                           int64_t length,
+                           const std::vector<MediumId>& succeeded) {
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  if (holder != lease_holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  }
+  auto pending = pending_blocks_.find(block);
+  if (pending == pending_blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " was not allocated");
+  }
+  if (pending->second.file != path) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " belongs to " + pending->second.file);
+  }
+  if (succeeded.empty()) {
+    return Status::IoError("no replica of block " + std::to_string(block) +
+                           " was written");
+  }
+  OCTO_ASSIGN_OR_RETURN(FileStatus status,
+                        tree_->GetFileStatus(path, kSuperuser));
+  BlockRecord record;
+  record.id = block;
+  record.file = path;
+  record.length = length;
+  record.expected = status.rep_vector;
+  record.locations = succeeded;
+  OCTO_RETURN_IF_ERROR(tree_->AddBlock(path, BlockInfo{block, length}));
+  log_->LogAddBlock(path, BlockInfo{block, length});
+  OCTO_RETURN_IF_ERROR(blocks_.AddBlock(std::move(record)));
+  for (MediumId medium : succeeded) {
+    (void)state_.AdjustMediumRemaining(medium, -length);
+  }
+  pending_blocks_.erase(pending);
+  return Status::OK();
+}
+
+Status Master::CompleteFile(const std::string& path,
+                            const std::string& lease_holder) {
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  if (holder != lease_holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  }
+  OCTO_RETURN_IF_ERROR(tree_->CompleteFile(path));
+  log_->LogComplete(path);
+  return leases_.Release(path, lease_holder);
+}
+
+Status Master::RenewLease(const std::string& path,
+                          const std::string& lease_holder) {
+  return leases_.Renew(path, lease_holder);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
+    const std::string& path, const NetworkLocation& client) {
+  OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
+                        tree_->GetBlocks(path));
+  std::vector<LocatedBlock> out;
+  out.reserve(blocks.size());
+  int64_t offset = 0;
+  for (const BlockInfo& info : blocks) {
+    LocatedBlock located;
+    located.block = info;
+    located.offset = offset;
+    offset += info.length;
+    const BlockRecord* record = blocks_.Find(info.id);
+    if (record != nullptr) {
+      std::vector<MediumId> ordered =
+          retrieval_->OrderReplicas(state_, client, record->locations, &rng_);
+      located.locations.reserve(ordered.size());
+      for (MediumId m : ordered) {
+        located.locations.push_back(MakePlacedReplica(m));
+      }
+    }
+    out.push_back(std::move(located));
+  }
+  return out;
+}
+
+std::vector<MediumId> Master::OrderReplicasFor(
+    const NetworkLocation& client, const std::vector<MediumId>& media) {
+  return retrieval_->OrderReplicas(state_, client, media, &rng_);
+}
+
+Status Master::ReportBadBlock(BlockId block, MediumId medium) {
+  OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(block, medium));
+  const BlockRecord* record = blocks_.Find(block);
+  if (record != nullptr) {
+    (void)state_.AdjustMediumRemaining(medium, record->length);
+  }
+  WorkerCommand cmd;
+  cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+  cmd.block = block;
+  cmd.target_medium = medium;
+  QueueCommand(medium, std::move(cmd));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Replication vector management
+
+Status Master::SetReplication(const std::string& path,
+                              const ReplicationVector& rv,
+                              const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(tree_->SetReplicationVector(path, rv, ctx));
+  log_->LogSetReplication(path, rv);
+  OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks, tree_->GetBlocks(path));
+  // Reconcile each block right away; the generated copy/delete commands
+  // execute asynchronously on the workers (paper §5: "the Client will not
+  // wait until the copying or removal of blocks is completed").
+  for (const BlockInfo& info : blocks) {
+    OCTO_RETURN_IF_ERROR(blocks_.SetExpected(info.id, rv));
+    const BlockRecord* record = blocks_.Find(info.id);
+    if (record != nullptr) ReconcileBlock(*record);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<StorageTierReport>> Master::GetStorageTierReports() const {
+  return state_.TierReports();
+}
+
+// ---------------------------------------------------------------------------
+// Replication monitor
+
+void Master::QueueCommand(MediumId target_medium, WorkerCommand command) {
+  const MediumInfo* m = state_.FindMedium(target_medium);
+  if (m == nullptr) return;
+  command_queues_[m->worker].push_back(std::move(command));
+}
+
+std::vector<MediumId> Master::LiveLocations(const BlockRecord& record) const {
+  std::vector<MediumId> live;
+  for (MediumId m : record.locations) {
+    if (state_.MediumLive(m)) live.push_back(m);
+  }
+  return live;
+}
+
+void Master::PruneDeadReplicas(BlockRecord* record) {
+  // Collect first: RemoveReplica mutates record->locations, so the dead
+  // list must be snapshotted before any removal.
+  std::vector<MediumId> dead;
+  for (MediumId m : record->locations) {
+    if (!state_.MediumLive(m)) dead.push_back(m);
+  }
+  for (MediumId m : dead) {
+    OCTO_CHECK_OK(blocks_.RemoveReplica(record->id, m));
+  }
+}
+
+void Master::ExpireInflight() {
+  int64_t now = clock_->NowMicros();
+  for (auto it = inflight_copies_.begin(); it != inflight_copies_.end();) {
+    if (now - it->second > options_.replication_timeout_micros) {
+      // A move whose copy never confirmed: release the target reservation
+      // and forget the move (the source replica was never touched).
+      auto move = pending_moves_.find(it->first);
+      if (move != pending_moves_.end()) {
+        const BlockRecord* record = blocks_.Find(it->first.first);
+        if (record != nullptr) {
+          (void)state_.AdjustMediumRemaining(it->first.second,
+                                             record->length);
+        }
+        pending_moves_.erase(move);
+      }
+      it = inflight_copies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Master::ReconcileBlock(const BlockRecord& record) {
+  std::vector<MediumId> live = LiveLocations(record);
+  const ReplicationVector& rv = record.expected;
+
+  // Per-tier replica counts, counting scheduled-but-unconfirmed copies so
+  // repeated monitor rounds do not double-schedule.
+  std::array<int, 8> actual{};
+  std::vector<MediumId> existing = live;
+  for (MediumId m : live) {
+    const MediumInfo* info = state_.FindMedium(m);
+    if (info != nullptr) actual[info->tier & 7]++;
+  }
+  bool copies_in_flight = false;
+  for (const auto& [key, when] : inflight_copies_) {
+    if (key.first != record.id) continue;
+    const MediumInfo* info = state_.FindMedium(key.second);
+    if (info == nullptr || !state_.MediumLive(key.second)) continue;
+    copies_in_flight = true;
+    actual[info->tier & 7]++;
+    existing.push_back(key.second);
+  }
+
+  int commands = 0;
+  int copies_scheduled = 0;
+  auto schedule_copy = [&](TierId entry_tier) {
+    PlacementRequest request;
+    request.rep_vector = ReplicationVector();
+    request.rep_vector.Set(entry_tier, 1);
+    request.block_size = record.length;
+    request.existing = existing;
+    auto placed = placement_->PlaceReplicas(state_, request, &rng_);
+    if (!placed.ok() || placed->empty()) return false;
+    MediumId target = placed->front();
+    WorkerCommand cmd;
+    cmd.kind = WorkerCommand::Kind::kCopyReplica;
+    cmd.block = record.id;
+    cmd.target_medium = target;
+    // The receiving worker copies from the most efficient source
+    // (paper §5: the new host "will utilize the data retrieval policy").
+    const MediumInfo* target_info = state_.FindMedium(target);
+    cmd.sources = retrieval_->OrderReplicas(
+        state_, target_info != nullptr ? target_info->location
+                                       : NetworkLocation(),
+        live, &rng_);
+    QueueCommand(target, std::move(cmd));
+    inflight_copies_[{record.id, target}] = clock_->NowMicros();
+    existing.push_back(target);
+    if (target_info != nullptr) actual[target_info->tier & 7]++;
+    ++commands;
+    ++copies_scheduled;
+    return true;
+  };
+
+  if (live.empty()) {
+    // Nothing to copy from; if every replica is gone the block is lost
+    // (lineage/erasure recovery is out of scope, as in stock HDFS).
+    return 0;
+  }
+
+  // 1. Deficits on explicitly requested tiers.
+  for (TierId t = 0; t < kMaxTiers; ++t) {
+    for (int d = actual[t]; d < rv.Get(t); ++d) {
+      if (!schedule_copy(t)) break;
+    }
+  }
+  // 2. Surplus replicas beyond each tier's request count toward U.
+  int total_extra = 0;
+  for (TierId t = 0; t < kMaxTiers; ++t) {
+    total_extra += std::max(0, actual[t] - rv.Get(t));
+  }
+  int u_deficit = rv.unspecified() - total_extra;
+  for (int d = 0; d < u_deficit; ++d) {
+    if (!schedule_copy(kUnspecifiedTier)) break;
+  }
+  // 3. Over-replication: drop from the tier with the largest surplus
+  // (paper §5: evaluate each removal with Eq. 11, keep the best set).
+  // Never invalidate while copies of this block are unconfirmed —
+  // including ones scheduled just above: the replica to be dropped may be
+  // the only usable copy source. The deletion happens on a later monitor
+  // round, once the copies land (HDFS likewise never invalidates a
+  // re-replication source).
+  int excess =
+      (copies_in_flight || copies_scheduled > 0) ? 0 : -u_deficit;
+  while (excess > 0) {
+    TierId victim_tier = kUnspecifiedTier;
+    int max_extra = 0;
+    for (TierId t = 0; t < kMaxTiers; ++t) {
+      int extra = actual[t] - rv.Get(t);
+      if (extra > max_extra) {
+        max_extra = extra;
+        victim_tier = t;
+      }
+    }
+    if (victim_tier == kUnspecifiedTier) break;
+    auto victim =
+        SelectReplicaToRemove(state_, live, victim_tier, record.length);
+    if (!victim.ok()) break;
+    WorkerCommand cmd;
+    cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+    cmd.block = record.id;
+    cmd.target_medium = *victim;
+    QueueCommand(*victim, std::move(cmd));
+    OCTO_CHECK_OK(blocks_.RemoveReplica(record.id, *victim));
+    (void)state_.AdjustMediumRemaining(*victim, record.length);
+    live.erase(std::find(live.begin(), live.end(), *victim));
+    actual[victim_tier]--;
+    --excess;
+    ++commands;
+  }
+  return commands;
+}
+
+int Master::RunReplicationMonitor() {
+  ExpireInflight();
+  int commands = 0;
+  std::vector<BlockId> ids;
+  blocks_.ForEach(
+      [&ids](const BlockRecord& record) { ids.push_back(record.id); });
+  for (BlockId id : ids) {
+    // Re-find each round: reconciliation mutates location lists.
+    const BlockRecord* record = blocks_.Find(id);
+    if (record == nullptr) continue;
+    PruneDeadReplicas(const_cast<BlockRecord*>(record));
+    commands += ReconcileBlock(*record);
+  }
+  return commands;
+}
+
+Status Master::CommitReplica(BlockId block, MediumId medium) {
+  inflight_copies_.erase({block, medium});
+  Status st = blocks_.AddReplica(block, medium);
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+  const BlockRecord* record = blocks_.Find(block);
+  // Replica moves reserved the target's space at scheduling time.
+  bool is_move = pending_moves_.count({block, medium}) > 0;
+  if (st.ok() && record != nullptr && !is_move) {
+    (void)state_.AdjustMediumRemaining(medium, -record->length);
+  }
+  // Complete a pending replica move: now that the copy is safe, drop the
+  // source replica.
+  auto move = pending_moves_.find({block, medium});
+  if (move != pending_moves_.end()) {
+    MediumId source = move->second;
+    pending_moves_.erase(move);
+    if (blocks_.RemoveReplica(block, source).ok()) {
+      if (record != nullptr) {
+        (void)state_.AdjustMediumRemaining(source, record->length);
+      }
+      WorkerCommand cmd;
+      cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+      cmd.block = block;
+      cmd.target_medium = source;
+      QueueCommand(source, std::move(cmd));
+    }
+  } else if (record != nullptr) {
+    // Follow-up reconcile: over-replication deletions deferred while this
+    // copy was in flight can proceed now that it is confirmed.
+    ReconcileBlock(*record);
+  }
+  return Status::OK();
+}
+
+Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
+  const BlockRecord* record = blocks_.Find(block);
+  if (record == nullptr) {
+    return Status::NotFound("block " + std::to_string(block));
+  }
+  if (std::find(record->locations.begin(), record->locations.end(), from) ==
+      record->locations.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " has no replica on medium " +
+                            std::to_string(from));
+  }
+  const MediumInfo* from_info = state_.FindMedium(from);
+  if (from_info == nullptr) {
+    return Status::NotFound("medium " + std::to_string(from));
+  }
+  // One in-flight move per block keeps the bookkeeping simple.
+  for (const auto& [key, source] : pending_moves_) {
+    if (key.first == block) {
+      return Status::AlreadyExists("block " + std::to_string(block) +
+                                   " already has a move in flight");
+    }
+  }
+  PlacementRequest request;
+  request.rep_vector.Set(from_info->tier, 1);  // stay within the tier
+  request.block_size = record->length;
+  request.existing = record->locations;
+  OCTO_ASSIGN_OR_RETURN(std::vector<MediumId> placed,
+                        placement_->PlaceReplicas(state_, request, &rng_));
+  if (placed.empty()) {
+    return Status::NoSpace("no target medium for moving block " +
+                           std::to_string(block));
+  }
+  MediumId target = placed.front();
+  WorkerCommand cmd;
+  cmd.kind = WorkerCommand::Kind::kCopyReplica;
+  cmd.block = block;
+  cmd.target_medium = target;
+  const MediumInfo* target_info = state_.FindMedium(target);
+  cmd.sources = retrieval_->OrderReplicas(
+      state_,
+      target_info != nullptr ? target_info->location : NetworkLocation(),
+      LiveLocations(*record), &rng_);
+  QueueCommand(target, std::move(cmd));
+  inflight_copies_[{block, target}] = clock_->NowMicros();
+  pending_moves_[{block, target}] = from;
+  // Reserve the target's space now so moves scheduled in the same pass
+  // spread across targets instead of piling onto one medium.
+  (void)state_.AdjustMediumRemaining(target, -record->length);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transfer accounting
+
+void Master::NoteTransferStarted(WorkerId worker, MediumId medium) {
+  state_.AddWorkerConnections(worker, +1);
+  state_.AddMediumConnections(medium, +1);
+}
+
+void Master::NoteTransferEnded(WorkerId worker, MediumId medium) {
+  state_.AddWorkerConnections(worker, -1);
+  state_.AddMediumConnections(medium, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Status Master::LoadImage(const std::string& image,
+                         const std::vector<std::string>& edit_entries,
+                         int64_t edits_from) {
+  auto tree = std::make_unique<NamespaceTree>(clock_);
+  tree->EnablePermissions(options_.enable_permissions);
+  OCTO_RETURN_IF_ERROR(FsImage::Deserialize(image, tree.get()));
+  OCTO_RETURN_IF_ERROR(EditLog::Replay(edit_entries, edits_from, tree.get()));
+  tree_ = std::move(tree);
+  // Rebuild block records from the namespace; replica locations repopulate
+  // from worker block reports.
+  blocks_ = BlockManager();
+  Status status = Status::OK();
+  tree_->Visit([this, &status](const NamespaceTree::VisitEntry& e) {
+    if (e.status.is_dir || !status.ok()) return;
+    for (const BlockInfo& info : e.blocks) {
+      BlockRecord record;
+      record.id = info.id;
+      record.file = e.status.path;
+      record.length = info.length;
+      record.expected = e.status.rep_vector;
+      Status st = blocks_.AddBlock(std::move(record));
+      if (!st.ok()) status = st;
+    }
+  });
+  pending_blocks_.clear();
+  inflight_copies_.clear();
+  command_queues_.clear();
+  return status;
+}
+
+int Master::NumQueuedCommands() const {
+  int n = 0;
+  for (const auto& [worker, commands] : command_queues_) {
+    n += static_cast<int>(commands.size());
+  }
+  return n;
+}
+
+}  // namespace octo

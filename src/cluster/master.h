@@ -1,0 +1,274 @@
+#ifndef OCTOPUSFS_CLUSTER_MASTER_H_
+#define OCTOPUSFS_CLUSTER_MASTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/block_manager.h"
+#include "cluster/messages.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/cluster_state.h"
+#include "core/placement.h"
+#include "core/replication_vector.h"
+#include "core/retrieval.h"
+#include "namespacefs/edit_log.h"
+#include "namespacefs/lease_manager.h"
+#include "namespacefs/namespace_tree.h"
+#include "storage/throughput_profiler.h"
+#include "topology/topology.h"
+
+namespace octo {
+
+struct MasterOptions {
+  /// Single-writer lease duration for files under construction.
+  int64_t lease_duration_micros = 60 * kMicrosPerSecond;
+  /// A worker missing heartbeats for this long is declared dead.
+  int64_t worker_timeout_micros = 30 * kMicrosPerSecond;
+  /// A queued replication command not confirmed within this window is
+  /// re-issued by the replication monitor.
+  int64_t replication_timeout_micros = 60 * kMicrosPerSecond;
+  bool enable_permissions = false;
+  /// When set, Delete moves entries into /.Trash/<user>/ instead of
+  /// destroying them (HDFS trash parity); ExpungeTrash reclaims space.
+  bool enable_trash = false;
+  uint64_t seed = 42;
+  /// When set, the edit log is persisted to this file.
+  std::string edit_log_path;
+};
+
+/// The OctopusFS (Primary) Master (paper §2.1): owns the directory
+/// namespace and the block-location map, admits workers and their storage
+/// media into tiers, serves placement and retrieval decisions through the
+/// pluggable policies, and drives replication management (§5).
+///
+/// All methods are synchronous; the class is not internally locked — in
+/// this in-process reproduction callers (client, heartbeat pump, benches)
+/// invoke it from one thread, mirroring the single global namespace lock
+/// of the HDFS NameNode.
+class Master {
+ public:
+  Master(MasterOptions options, Clock* clock);
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  // -- policy configuration -------------------------------------------------
+
+  /// Defaults: MOOP placement, OctopusFS tier-aware retrieval.
+  void SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy);
+  void SetRetrievalPolicy(std::unique_ptr<RetrievalPolicy> policy);
+  PlacementPolicy* placement_policy() { return placement_.get(); }
+  RetrievalPolicy* retrieval_policy() { return retrieval_.get(); }
+
+  // -- cluster setup ----------------------------------------------------------
+
+  void DefineTier(TierInfo tier);
+  Result<WorkerId> RegisterWorker(const NetworkLocation& location,
+                                  double net_bps);
+  /// Admits one storage medium of a registered worker into its tier.
+  /// `profiled` carries the worker's launch-time measured rates.
+  Result<MediumId> RegisterMedium(WorkerId worker, const MediumSpec& spec,
+                                  const ProfiledRates& profiled);
+
+  // -- heartbeats, reports, liveness ----------------------------------------
+
+  /// Ingests a heartbeat and returns the commands queued for that worker.
+  Result<std::vector<WorkerCommand>> Heartbeat(const HeartbeatPayload& hb);
+
+  /// Full block report reconciliation: unknown replicas are scheduled for
+  /// deletion, missing ones removed from the map (paper §5: the Master
+  /// "can detect the situations of under- or over-replication during the
+  /// periodic block reports").
+  Status ProcessBlockReport(WorkerId worker, const BlockReport& report);
+
+  /// Marks workers without recent heartbeats dead; returns the newly dead.
+  std::vector<WorkerId> CheckWorkerLiveness();
+
+  // -- namespace operations ---------------------------------------------------
+
+  Status Mkdirs(const std::string& path, const UserContext& ctx);
+  Result<std::vector<FileStatus>> ListDirectory(const std::string& path,
+                                                const UserContext& ctx) const;
+  Result<FileStatus> GetFileStatus(const std::string& path,
+                                   const UserContext& ctx) const;
+  Status Rename(const std::string& src, const std::string& dst,
+                const UserContext& ctx);
+  /// Deletes a path; block invalidations are queued to the hosting
+  /// workers. Returns the number of blocks scheduled for deletion. With
+  /// trash enabled the entry is moved to /.Trash/<user>/ instead (and 0
+  /// is returned) unless `skip_trash` or the path is already in trash.
+  Result<int> Delete(const std::string& path, bool recursive,
+                     const UserContext& ctx, bool skip_trash = false);
+
+  /// Destroys everything under the calling user's trash directory.
+  /// Returns the number of blocks scheduled for deletion.
+  Result<int> ExpungeTrash(const UserContext& ctx);
+  Status SetQuota(const std::string& path, int slot, int64_t bytes);
+  Result<QuotaUsage> GetQuotaUsage(const std::string& path) const;
+  /// chown (superuser only) / chmod (owner or superuser).
+  Status SetOwner(const std::string& path, const std::string& owner,
+                  const std::string& group, const UserContext& ctx);
+  Status SetMode(const std::string& path, uint16_t mode,
+                 const UserContext& ctx);
+
+  // -- file write path ---------------------------------------------------------
+
+  /// Creates a file and grants `lease_holder` the write lease.
+  Status Create(const std::string& path, const ReplicationVector& rv,
+                int64_t block_size, bool overwrite, const UserContext& ctx,
+                const std::string& lease_holder);
+
+  /// Reopens a completed file for appending (block-aligned: new data goes
+  /// into fresh blocks) and grants `lease_holder` the write lease.
+  Status Append(const std::string& path, const UserContext& ctx,
+                const std::string& lease_holder);
+
+  /// Allocates the next block of an under-construction file and chooses
+  /// replica locations via the placement policy (paper §3.1).
+  Result<LocatedBlock> AddBlock(const std::string& path,
+                                const std::string& lease_holder,
+                                const NetworkLocation& client);
+
+  /// Abandons a block allocated by AddBlock (pipeline setup failed).
+  Status AbandonBlock(const std::string& path, const std::string& lease_holder,
+                      BlockId block);
+
+  /// Confirms a block: `succeeded` lists the media whose pipeline writes
+  /// completed (possibly fewer than requested; the replication monitor
+  /// tops the block up later).
+  Status CommitBlock(const std::string& path, const std::string& lease_holder,
+                     BlockId block, int64_t length,
+                     const std::vector<MediumId>& succeeded);
+
+  Status CompleteFile(const std::string& path,
+                      const std::string& lease_holder);
+  Status RenewLease(const std::string& path, const std::string& lease_holder);
+
+  // -- file read path -----------------------------------------------------------
+
+  /// All blocks of a file with replica locations ordered best-first for
+  /// `client` by the retrieval policy (paper §4).
+  Result<std::vector<LocatedBlock>> GetBlockLocations(
+      const std::string& path, const NetworkLocation& client);
+
+  /// A client failed to read a replica (corruption / missing): drop the
+  /// location and let the monitor re-replicate.
+  Status ReportBadBlock(BlockId block, MediumId medium);
+
+  /// Orders an arbitrary replica list for a reader at `client` with the
+  /// active retrieval policy (used by compute engines scheduling reads).
+  std::vector<MediumId> OrderReplicasFor(const NetworkLocation& client,
+                                         const std::vector<MediumId>& media);
+
+  // -- replication vector management (paper §2.3, §5) ---------------------------
+
+  /// Changes a file's replication vector; per-tier replica additions,
+  /// moves, and removals are reconciled asynchronously via worker
+  /// commands.
+  Status SetReplication(const std::string& path, const ReplicationVector& rv,
+                        const UserContext& ctx);
+
+  Result<std::vector<StorageTierReport>> GetStorageTierReports() const;
+
+  // -- replication monitor --------------------------------------------------------
+
+  /// One scan over all blocks: prunes dead replicas, schedules copies for
+  /// under-replication and deletions for over-replication. Returns the
+  /// number of commands queued.
+  int RunReplicationMonitor();
+
+  /// Confirms a replica created by a kCopyReplica command.
+  Status CommitReplica(BlockId block, MediumId medium);
+
+  /// Schedules moving one replica of `block` off `from` onto another
+  /// medium of the same tier (chosen by the placement policy). The old
+  /// replica is invalidated only after the copy confirms. Used by the
+  /// rebalancer.
+  Status ScheduleReplicaMove(BlockId block, MediumId from);
+
+  // -- transfer accounting ----------------------------------------------------------
+
+  /// Connection bookkeeping feeding f_lb and the retrieval formula. In
+  /// the paper these counts travel via heartbeats; in-process we update
+  /// the Master's view directly when a transfer starts/ends.
+  void NoteTransferStarted(WorkerId worker, MediumId medium);
+  void NoteTransferEnded(WorkerId worker, MediumId medium);
+
+  // -- recovery ------------------------------------------------------------------
+
+  /// Installs a namespace checkpoint (fsimage contents) into a fresh
+  /// Master, optionally replaying the edit log tail written after the
+  /// checkpoint, and rebuilds block records (replica locations then
+  /// arrive via block reports, as in HDFS).
+  Status LoadImage(const std::string& image,
+                   const std::vector<std::string>& edit_entries = {},
+                   int64_t edits_from = 0);
+
+  // -- accessors -------------------------------------------------------------------
+
+  ClusterState& cluster_state() { return state_; }
+  const ClusterState& cluster_state() const { return state_; }
+  BlockManager& block_manager() { return blocks_; }
+  const NamespaceTree& namespace_tree() const { return *tree_; }
+  NetworkTopology& topology() { return topology_; }
+  EditLog* edit_log() { return log_.get(); }
+  LeaseManager& lease_manager() { return leases_; }
+  Clock* clock() { return clock_; }
+
+  /// Pending (not yet heartbeat-delivered) command count, for tests.
+  int NumQueuedCommands() const;
+
+ private:
+  struct PendingBlock {
+    std::string file;
+    std::vector<MediumId> targets;
+  };
+
+  void QueueCommand(MediumId target_medium, WorkerCommand command);
+  /// Generates copy/delete commands to reconcile one block's replicas
+  /// with its expected vector. Returns commands queued.
+  int ReconcileBlock(const BlockRecord& record);
+  /// Prunes replicas on dead workers from a block record.
+  void PruneDeadReplicas(BlockRecord* record);
+  std::vector<MediumId> LiveLocations(const BlockRecord& record) const;
+  PlacedReplica MakePlacedReplica(MediumId medium) const;
+  /// Expires in-flight replication entries older than the timeout.
+  void ExpireInflight();
+
+  MasterOptions options_;
+  Clock* clock_;
+  Random rng_;
+
+  std::unique_ptr<NamespaceTree> tree_;
+  std::unique_ptr<EditLog> log_;
+  LeaseManager leases_;
+  BlockManager blocks_;
+  ClusterState state_;
+  NetworkTopology topology_;
+
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::unique_ptr<RetrievalPolicy> retrieval_;
+
+  WorkerId next_worker_id_ = 0;
+  MediumId next_medium_id_ = 0;
+
+  std::map<BlockId, PendingBlock> pending_blocks_;
+  std::map<WorkerId, std::vector<WorkerCommand>> command_queues_;
+  /// (block, medium) -> time a copy command was queued; counted as a
+  /// replica during reconciliation to avoid duplicate scheduling.
+  std::map<std::pair<BlockId, MediumId>, int64_t> inflight_copies_;
+  /// (block, copy target) -> source medium to invalidate once the copy
+  /// confirms (replica moves scheduled by the rebalancer).
+  std::map<std::pair<BlockId, MediumId>, MediumId> pending_moves_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_MASTER_H_

@@ -1,0 +1,69 @@
+#ifndef OCTOPUSFS_CLUSTER_MESSAGES_H_
+#define OCTOPUSFS_CLUSTER_MESSAGES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/media_type.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+/// Per-medium statistics carried by a worker heartbeat.
+struct MediumStats {
+  MediumId medium = kInvalidMedium;
+  int64_t remaining_bytes = 0;
+};
+
+/// Periodic worker -> master heartbeat (paper §3.2: usage statistics are
+/// "maintained at each Worker and frequently reported to the Master").
+struct HeartbeatPayload {
+  WorkerId worker = kInvalidWorker;
+  std::vector<MediumStats> media;
+};
+
+/// Replication/invalidations work the master hands a worker in its
+/// heartbeat response (mirrors the HDFS DataNode command protocol).
+struct WorkerCommand {
+  enum class Kind {
+    /// Remove the replica of `block` on `target_medium`.
+    kDeleteReplica,
+    /// Create a replica of `block` on `target_medium`, copying from the
+    /// first reachable entry of `sources` (already ordered best-first by
+    /// the retrieval policy, paper §5).
+    kCopyReplica,
+  };
+
+  Kind kind = Kind::kDeleteReplica;
+  BlockId block = kInvalidBlock;
+  MediumId target_medium = kInvalidMedium;
+  std::vector<MediumId> sources;
+};
+
+/// One replica location handed to clients: which medium/worker/tier hosts
+/// (or will host) a block replica.
+struct PlacedReplica {
+  MediumId medium = kInvalidMedium;
+  WorkerId worker = kInvalidWorker;
+  TierId tier = 0;
+  NetworkLocation location;
+};
+
+/// A block of a file plus its replica locations, ordered best-first for
+/// the requesting client (the BlockLocation of the client API, extended
+/// with storage tiers per paper Table 1).
+struct LocatedBlock {
+  BlockInfo block;
+  int64_t offset = 0;  // byte offset of this block within the file
+  std::vector<PlacedReplica> locations;
+};
+
+/// A worker's full block report: medium -> blocks it currently stores.
+using BlockReport = std::map<MediumId, std::vector<BlockId>>;
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_MESSAGES_H_

@@ -1,0 +1,88 @@
+#include "cluster/rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace octo {
+
+double Rebalancer::TierImbalance(const ClusterState& state, TierId tier) {
+  std::vector<double> fractions;
+  for (const auto& [id, m] : state.media()) {
+    if (m.tier == tier && state.MediumLive(id)) {
+      fractions.push_back(m.remaining_fraction());
+    }
+  }
+  if (fractions.size() < 2) return 0;
+  double mean = 0;
+  for (double f : fractions) mean += f;
+  mean /= static_cast<double>(fractions.size());
+  double var = 0;
+  for (double f : fractions) var += (f - mean) * (f - mean);
+  return std::sqrt(var / static_cast<double>(fractions.size()));
+}
+
+Result<RebalanceReport> Rebalancer::Run() {
+  const ClusterState& state = master_->cluster_state();
+  RebalanceReport report;
+
+  // Per-tier mean remaining fraction.
+  std::map<TierId, std::pair<double, int>> tier_mean;  // sum, count
+  for (const auto& [id, m] : state.media()) {
+    if (!state.MediumLive(id)) continue;
+    auto& [sum, count] = tier_mean[m.tier];
+    sum += m.remaining_fraction();
+    ++count;
+  }
+
+  // Overfull media, most overfull first.
+  struct Overfull {
+    MediumId id;
+    double deficit;  // tier mean fraction minus this medium's fraction
+    int64_t to_move_bytes;
+  };
+  std::vector<Overfull> overfull;
+  for (const auto& [id, m] : state.media()) {
+    if (!state.MediumLive(id)) continue;
+    auto [sum, count] = tier_mean[m.tier];
+    if (count < 2) continue;  // nothing to balance against
+    double mean = sum / count;
+    double deficit = mean - m.remaining_fraction();
+    if (deficit > options_.threshold) {
+      overfull.push_back(Overfull{
+          id, deficit,
+          static_cast<int64_t>(deficit * m.capacity_bytes)});
+    }
+  }
+  report.overfull_media = static_cast<int>(overfull.size());
+  std::sort(overfull.begin(), overfull.end(),
+            [](const Overfull& a, const Overfull& b) {
+              return a.deficit > b.deficit;
+            });
+
+  for (const Overfull& source : overfull) {
+    if (report.moves_scheduled >= options_.max_moves) break;
+    int64_t scheduled = 0;
+    for (BlockId block : master_->block_manager().BlocksOnMedium(source.id)) {
+      if (scheduled >= source.to_move_bytes ||
+          report.moves_scheduled >= options_.max_moves) {
+        break;
+      }
+      const BlockRecord* record = master_->block_manager().Find(block);
+      if (record == nullptr) continue;
+      Status st = master_->ScheduleReplicaMove(block, source.id);
+      if (st.ok()) {
+        scheduled += record->length;
+        report.bytes_scheduled += record->length;
+        report.moves_scheduled++;
+      } else if (!st.IsAlreadyExists() && !st.IsNoSpace()) {
+        return st;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace octo

@@ -1,0 +1,57 @@
+#ifndef OCTOPUSFS_CLUSTER_REBALANCER_H_
+#define OCTOPUSFS_CLUSTER_REBALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/status.h"
+
+namespace octo {
+
+struct RebalancerOptions {
+  /// A medium is overfull / underfull when its remaining fraction deviates
+  /// from its tier's average by more than this threshold.
+  double threshold = 0.10;
+  /// Upper bound on replica moves scheduled per run.
+  int max_moves = 64;
+};
+
+/// Result of one rebalancing pass.
+struct RebalanceReport {
+  int moves_scheduled = 0;
+  int64_t bytes_scheduled = 0;
+  /// Media that were over the threshold before the pass.
+  int overfull_media = 0;
+};
+
+/// Tier-aware data rebalancer — the cluster-maintenance counterpart of
+/// the paper's data-balancing objective (an extension beyond the paper,
+/// analogous to the HDFS Balancer). Within each storage tier it moves
+/// block replicas from media whose remaining fraction is far below the
+/// tier average onto media chosen by the Master's placement policy
+/// (restricted to the same tier, so tier residency set by users or
+/// policies is preserved). Moves are scheduled as ordinary replication
+/// commands: a copy to the new medium followed by an invalidation of the
+/// old replica, executed asynchronously via worker heartbeats.
+class Rebalancer {
+ public:
+  Rebalancer(Master* master, RebalancerOptions options = {})
+      : master_(master), options_(options) {}
+
+  /// One pass: identifies overfull media per tier and schedules moves.
+  /// Idempotent while the scheduled moves are still in flight.
+  Result<RebalanceReport> Run();
+
+  /// Standard deviation of remaining fractions within a tier (a balance
+  /// metric for tests and operators).
+  static double TierImbalance(const ClusterState& state, TierId tier);
+
+ private:
+  Master* master_;
+  RebalancerOptions options_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_REBALANCER_H_

@@ -1,0 +1,214 @@
+#include "cluster/worker.h"
+
+#include "common/units.h"
+
+namespace octo {
+
+Worker::Worker(WorkerId id, WorkerOptions options, sim::Simulation* sim)
+    : id_(id), options_(std::move(options)), sim_(sim) {
+  if (sim_ != nullptr) {
+    std::string node = options_.location.ToString();
+    nic_in_ = sim_->AddResource(node + ":nic_in", options_.net_bps);
+    nic_out_ = sim_->AddResource(node + ":nic_out", options_.net_bps);
+  }
+}
+
+Result<ProfiledRates> Worker::AttachMedium(MediumId id,
+                                           const MediumSpec& spec) {
+  if (media_.count(id) > 0) {
+    return Status::AlreadyExists("medium " + std::to_string(id) +
+                                 " already attached");
+  }
+  Medium medium;
+  medium.spec = spec;
+  if (options_.block_dir.empty() || spec.type == MediaType::kMemory) {
+    medium.store = std::make_shared<MemoryBlockStore>();
+  } else {
+    OCTO_ASSIGN_OR_RETURN(
+        std::unique_ptr<DiskBlockStore> disk_store,
+        DiskBlockStore::Open(options_.block_dir + "/medium_" +
+                             std::to_string(id)));
+    medium.store = std::move(disk_store);
+  }
+  if (sim_ != nullptr) {
+    std::string prefix = options_.location.ToString() + ":medium_" +
+                         std::to_string(id) + std::string(":") +
+                         std::string(MediaTypeName(spec.type));
+    medium.write_resource = sim_->AddResource(prefix + ":w", spec.write_bps);
+    medium.read_resource = sim_->AddResource(prefix + ":r", spec.read_bps);
+    // The launch-time I/O profiling test (paper §3.2). With an idle
+    // simulator this recovers the device's sustained rates.
+    medium.profiled = ProfileMedium(sim_, medium.write_resource,
+                                    medium.read_resource, 64 * kMiB);
+  } else {
+    medium.profiled = ProfiledRates{spec.write_bps, spec.read_bps};
+  }
+  ProfiledRates rates = medium.profiled;
+  media_.emplace(id, std::move(medium));
+  return rates;
+}
+
+Status Worker::AttachSharedMedium(MediumId id, const MediumSpec& spec,
+                                  std::shared_ptr<BlockStore> store,
+                                  int sharers,
+                                  sim::ResourceId write_resource,
+                                  sim::ResourceId read_resource) {
+  if (media_.count(id) > 0) {
+    return Status::AlreadyExists("medium " + std::to_string(id) +
+                                 " already attached");
+  }
+  if (store == nullptr || sharers < 1) {
+    return Status::InvalidArgument("shared medium needs a store and >=1 "
+                                   "sharer");
+  }
+  Medium medium;
+  medium.spec = spec;
+  medium.store = std::move(store);
+  medium.sharers = sharers;
+  medium.write_resource = write_resource;
+  medium.read_resource = read_resource;
+  medium.profiled = ProfiledRates{spec.write_bps, spec.read_bps};
+  media_.emplace(id, std::move(medium));
+  return Status::OK();
+}
+
+const Worker::Medium* Worker::FindMedium(MediumId id) const {
+  auto it = media_.find(id);
+  return it == media_.end() ? nullptr : &it->second;
+}
+
+Worker::Medium* Worker::FindMedium(MediumId id) {
+  auto it = media_.find(id);
+  return it == media_.end() ? nullptr : &it->second;
+}
+
+Status Worker::WriteBlock(MediumId medium, BlockId block, std::string data) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  int64_t remaining = m->remaining();
+  if (static_cast<int64_t>(data.size()) > remaining) {
+    return Status::NoSpace("medium " + std::to_string(medium) + " has " +
+                           FormatBytes(remaining) + " left, block needs " +
+                           FormatBytes(static_cast<int64_t>(data.size())));
+  }
+  return m->store->Put(block, std::move(data));
+}
+
+Result<std::string> Worker::ReadBlock(MediumId medium, BlockId block) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  return m->store->Get(block);
+}
+
+Status Worker::DeleteBlock(MediumId medium, BlockId block) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  return m->store->Delete(block);
+}
+
+bool Worker::HasBlock(MediumId medium, BlockId block) const {
+  const Medium* m = FindMedium(medium);
+  return m != nullptr && m->store->Contains(block);
+}
+
+Status Worker::AddVirtualBytes(MediumId medium, int64_t bytes) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium));
+  }
+  m->virtual_bytes += bytes;
+  if (m->virtual_bytes < 0) m->virtual_bytes = 0;
+  return Status::OK();
+}
+
+Status Worker::CorruptBlock(MediumId medium, BlockId block) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium));
+  }
+  return m->store->CorruptForTesting(block);
+}
+
+std::vector<std::pair<MediumId, BlockId>> Worker::ScrubBlocks() const {
+  std::vector<std::pair<MediumId, BlockId>> corrupt;
+  for (const auto& [id, m] : media_) {
+    for (BlockId block : m.store->List()) {
+      if (m.store->Get(block).status().IsCorruption()) {
+        corrupt.emplace_back(id, block);
+      }
+    }
+  }
+  return corrupt;
+}
+
+HeartbeatPayload Worker::BuildHeartbeat() const {
+  HeartbeatPayload hb;
+  hb.worker = id_;
+  for (const auto& [id, m] : media_) {
+    MediumStats stats;
+    stats.medium = id;
+    stats.remaining_bytes = m.remaining();
+    hb.media.push_back(stats);
+  }
+  return hb;
+}
+
+BlockReport Worker::BuildBlockReport() const {
+  BlockReport report;
+  for (const auto& [id, m] : media_) {
+    report[id] = m.store->List();
+  }
+  return report;
+}
+
+Result<int64_t> Worker::RemainingBytes(MediumId medium) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium));
+  }
+  return m->remaining();
+}
+
+std::vector<MediumId> Worker::MediumIds() const {
+  std::vector<MediumId> out;
+  out.reserve(media_.size());
+  for (const auto& [id, _] : media_) out.push_back(id);
+  return out;
+}
+
+Result<MediumSpec> Worker::GetSpec(MediumId medium) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium));
+  }
+  return m->spec;
+}
+
+Result<sim::ResourceId> Worker::MediumWriteResource(MediumId medium) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr || m->write_resource == sim::kInvalidResource) {
+    return Status::NotFound("no write resource for medium " +
+                            std::to_string(medium));
+  }
+  return m->write_resource;
+}
+
+Result<sim::ResourceId> Worker::MediumReadResource(MediumId medium) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr || m->read_resource == sim::kInvalidResource) {
+    return Status::NotFound("no read resource for medium " +
+                            std::to_string(medium));
+  }
+  return m->read_resource;
+}
+
+}  // namespace octo

@@ -1,0 +1,132 @@
+#ifndef OCTOPUSFS_CLUSTER_WORKER_H_
+#define OCTOPUSFS_CLUSTER_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/messages.h"
+#include "common/status.h"
+#include "sim/simulation.h"
+#include "storage/block_store.h"
+#include "storage/storage_media.h"
+#include "storage/throughput_profiler.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+/// Construction parameters of a worker node.
+struct WorkerOptions {
+  NetworkLocation location;
+  /// NIC capacity in bytes/second (each direction).
+  double net_bps = 1.25e9;  // 10 Gbps
+  /// When set, block data is persisted under this directory (one
+  /// subdirectory per medium); otherwise media are heap-backed.
+  std::string block_dir;
+};
+
+/// A worker node (paper §2.2): hosts block replicas on its attached
+/// storage media, serves reads/writes, executes master commands, and
+/// reports usage via heartbeats.
+///
+/// The functional data plane (real bytes, checksums) is synchronous;
+/// transfer *timing* is modeled separately by the flow simulator through
+/// the NIC/medium resources this class registers.
+class Worker {
+ public:
+  /// `sim` may be null (functional-only worker, e.g. in unit tests); with
+  /// a simulator, NIC and per-medium resources are registered and each
+  /// medium is profiled at attach time (paper: the launch-time I/O test).
+  Worker(WorkerId id, WorkerOptions options, sim::Simulation* sim);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  WorkerId id() const { return id_; }
+  const NetworkLocation& location() const { return options_.location; }
+  double net_bps() const { return options_.net_bps; }
+
+  /// Attaches a storage medium (id allocated by the Master at
+  /// registration). Returns the profiled throughput rates.
+  Result<ProfiledRates> AttachMedium(MediumId id, const MediumSpec& spec);
+
+  /// Attaches a medium whose backing store and simulator resources are
+  /// shared with other workers — the *integrated* remote-storage mode
+  /// (paper §2.4): every worker can read/write the remote system, whose
+  /// aggregate bandwidth is one shared resource. `sharers` is the number
+  /// of workers mounting the store (for usage attribution); spec.capacity
+  /// is this worker's share of the remote capacity.
+  Status AttachSharedMedium(MediumId id, const MediumSpec& spec,
+                            std::shared_ptr<BlockStore> store, int sharers,
+                            sim::ResourceId write_resource,
+                            sim::ResourceId read_resource);
+
+  // -- data plane ---------------------------------------------------------
+
+  Status WriteBlock(MediumId medium, BlockId block, std::string data);
+  Result<std::string> ReadBlock(MediumId medium, BlockId block) const;
+  Status DeleteBlock(MediumId medium, BlockId block);
+  bool HasBlock(MediumId medium, BlockId block) const;
+
+  /// Accounts space for a block tracked by the Master but whose bytes are
+  /// not materialized (used by the large-scale benchmark harnesses, where
+  /// writing 40 GB of real data would be pointless). Negative to release.
+  Status AddVirtualBytes(MediumId medium, int64_t bytes);
+
+  /// Injects corruption for failure testing.
+  Status CorruptBlock(MediumId medium, BlockId block);
+
+  /// Background block scrubber (the HDFS DataNode block scanner):
+  /// verifies the checksum of every stored block and returns the corrupt
+  /// replicas found as (medium, block) pairs.
+  std::vector<std::pair<MediumId, BlockId>> ScrubBlocks() const;
+
+  // -- control plane -------------------------------------------------------
+
+  HeartbeatPayload BuildHeartbeat() const;
+  BlockReport BuildBlockReport() const;
+
+  /// Remaining capacity of one medium (capacity - stored - virtual).
+  Result<int64_t> RemainingBytes(MediumId medium) const;
+
+  std::vector<MediumId> MediumIds() const;
+  Result<MediumSpec> GetSpec(MediumId medium) const;
+
+  // -- simulator resources --------------------------------------------------
+
+  sim::ResourceId nic_in() const { return nic_in_; }
+  sim::ResourceId nic_out() const { return nic_out_; }
+  Result<sim::ResourceId> MediumWriteResource(MediumId medium) const;
+  Result<sim::ResourceId> MediumReadResource(MediumId medium) const;
+
+ private:
+  struct Medium {
+    MediumSpec spec;
+    std::shared_ptr<BlockStore> store;
+    int sharers = 1;  // workers sharing this store (remote tier)
+    int64_t virtual_bytes = 0;
+    sim::ResourceId write_resource = sim::kInvalidResource;
+    sim::ResourceId read_resource = sim::kInvalidResource;
+    ProfiledRates profiled;
+
+    int64_t remaining() const {
+      return spec.capacity_bytes - store->UsedBytes() / sharers -
+             virtual_bytes;
+    }
+  };
+
+  const Medium* FindMedium(MediumId id) const;
+  Medium* FindMedium(MediumId id);
+
+  WorkerId id_;
+  WorkerOptions options_;
+  sim::Simulation* sim_;
+  sim::ResourceId nic_in_ = sim::kInvalidResource;
+  sim::ResourceId nic_out_ = sim::kInvalidResource;
+  std::map<MediumId, Medium> media_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_WORKER_H_

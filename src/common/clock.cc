@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace octo {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock;
+  return clock;
+}
+
+}  // namespace octo

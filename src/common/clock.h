@@ -1,0 +1,49 @@
+#ifndef OCTOPUSFS_COMMON_CLOCK_H_
+#define OCTOPUSFS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace octo {
+
+/// Time source abstraction. Production components read time through a
+/// Clock so that the discrete-event simulator (sim::SimClock) can drive
+/// heartbeats, leases, and I/O timing deterministically in tests and
+/// benchmarks.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Shared process-wide instance.
+  static SystemClock* Default();
+};
+
+/// A manually advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(int64_t delta) { now_ += delta; }
+  void SetMicros(int64_t now) { now_ = now; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_COMMON_CLOCK_H_

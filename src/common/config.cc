@@ -1,0 +1,76 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace octo {
+
+void Config::SetInt(std::string key, int64_t value) {
+  Set(std::move(key), std::to_string(value));
+}
+
+void Config::SetDouble(std::string key, double value) {
+  Set(std::move(key), std::to_string(value));
+}
+
+void Config::SetBool(std::string key, bool value) {
+  Set(std::move(key), value ? "true" : "false");
+}
+
+std::string Config::GetString(const std::string& key, std::string def) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return value;
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return value;
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+Status Config::ParseLines(std::string_view text) {
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line.front() == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     " has no '=': " + std::string(line));
+    }
+    std::string key(StripWhitespace(line.substr(0, eq)));
+    std::string value(StripWhitespace(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     " has empty key");
+    }
+    Set(std::move(key), std::move(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace octo

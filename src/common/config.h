@@ -1,0 +1,53 @@
+#ifndef OCTOPUSFS_COMMON_CONFIG_H_
+#define OCTOPUSFS_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// A simple typed key/value configuration store, in the spirit of Hadoop's
+/// Configuration. Keys are dotted strings ("octopus.block.size"). Values
+/// are stored as strings and parsed on access.
+class Config {
+ public:
+  Config() = default;
+
+  void Set(std::string key, std::string value) {
+    entries_[std::move(key)] = std::move(value);
+  }
+  void SetInt(std::string key, int64_t value);
+  void SetDouble(std::string key, double value);
+  void SetBool(std::string key, bool value);
+
+  bool Contains(const std::string& key) const {
+    return entries_.count(key) > 0;
+  }
+
+  /// Returns the raw string value, or `def` when absent.
+  std::string GetString(const std::string& key, std::string def = "") const;
+
+  /// Returns the parsed value or `def` when absent/unparseable.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// Parses "key = value" lines ('#' comments, blank lines skipped).
+  /// On error returns InvalidArgument naming the offending line.
+  Status ParseLines(std::string_view text);
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_COMMON_CONFIG_H_

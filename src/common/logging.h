@@ -1,0 +1,75 @@
+#ifndef OCTOPUSFS_COMMON_LOGGING_H_
+#define OCTOPUSFS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace octo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarn so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by OCTO_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace octo
+
+#define OCTO_LOG(level)                                        \
+  if (::octo::LogLevel::k##level < ::octo::GetLogLevel()) {    \
+  } else                                                       \
+    ::octo::internal_logging::LogMessage(                      \
+        ::octo::LogLevel::k##level, __FILE__, __LINE__)        \
+        .stream()
+
+/// Invariant check that is always on (also in release builds); logs the
+/// failed condition and aborts. Used for programmer errors, never for
+/// user-input validation (which returns Status).
+#define OCTO_CHECK(cond)                                                  \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::octo::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#define OCTO_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    ::octo::Status _octo_check_status = (expr);                            \
+    OCTO_CHECK(_octo_check_status.ok()) << _octo_check_status.ToString();  \
+  } while (false)
+
+#endif  // OCTOPUSFS_COMMON_LOGGING_H_

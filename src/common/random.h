@@ -1,0 +1,58 @@
+#ifndef OCTOPUSFS_COMMON_RANDOM_H_
+#define OCTOPUSFS_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace octo {
+
+/// Deterministic PRNG wrapper. All randomized behaviour in OctopusFS
+/// (replica shuffling, workload generation) routes through an explicitly
+/// seeded Random so experiments are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle of the whole container.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Shuffles the subrange [first, last) of the container.
+  template <typename It>
+  void ShuffleRange(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_COMMON_RANDOM_H_

@@ -1,0 +1,177 @@
+#ifndef OCTOPUSFS_COMMON_STATUS_H_
+#define OCTOPUSFS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace octo {
+
+/// Error categories used across OctopusFS. Modeled on the RocksDB/Arrow
+/// Status idiom: all fallible operations return a Status (or Result<T>)
+/// instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kIoError,
+  kNoSpace,
+  kPermissionDenied,
+  kQuotaExceeded,
+  kUnavailable,
+  kFailedPrecondition,
+  kCorruption,
+  kNotSupported,
+  kTimedOut,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status QuotaExceeded(std::string msg) {
+    return Status(StatusCode::kQuotaExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsQuotaExceeded() const { return code_ == StatusCode::kQuotaExceeded; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status holder, the return type of fallible functions that
+/// produce a value. The value is only accessible when ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value if ok, otherwise the provided default.
+  T value_or(T def) const& { return ok() ? *value_ : std::move(def); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace octo
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define OCTO_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::octo::Status _octo_status = (expr);         \
+    if (!_octo_status.ok()) return _octo_status;  \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating error or binding the value.
+#define OCTO_ASSIGN_OR_RETURN(lhs, expr)              \
+  OCTO_ASSIGN_OR_RETURN_IMPL_(                        \
+      OCTO_STATUS_CONCAT_(_octo_result, __LINE__), lhs, expr)
+
+#define OCTO_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define OCTO_STATUS_CONCAT_(a, b) OCTO_STATUS_CONCAT_IMPL_(a, b)
+#define OCTO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // OCTOPUSFS_COMMON_STATUS_H_

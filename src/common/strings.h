@@ -1,0 +1,27 @@
+#ifndef OCTOPUSFS_COMMON_STRINGS_H_
+#define OCTOPUSFS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace octo {
+
+/// Splits `s` on `sep`, dropping empty pieces (so "/a//b/" -> {"a","b"}).
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_COMMON_STRINGS_H_

@@ -1,0 +1,35 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace octo {
+
+std::string FormatBytes(int64_t bytes) {
+  const char* suffix = "B";
+  double value = static_cast<double>(bytes);
+  if (std::llabs(bytes) >= kTiB) {
+    value /= static_cast<double>(kTiB);
+    suffix = "TiB";
+  } else if (std::llabs(bytes) >= kGiB) {
+    value /= static_cast<double>(kGiB);
+    suffix = "GiB";
+  } else if (std::llabs(bytes) >= kMiB) {
+    value /= static_cast<double>(kMiB);
+    suffix = "MiB";
+  } else if (std::llabs(bytes) >= kKiB) {
+    value /= static_cast<double>(kKiB);
+    suffix = "KiB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix);
+  return buf;
+}
+
+std::string FormatThroughputMBps(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", ToMBps(bytes_per_second));
+  return buf;
+}
+
+}  // namespace octo

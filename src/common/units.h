@@ -1,0 +1,34 @@
+#ifndef OCTOPUSFS_COMMON_UNITS_H_
+#define OCTOPUSFS_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace octo {
+
+inline constexpr int64_t kKiB = int64_t{1} << 10;
+inline constexpr int64_t kMiB = int64_t{1} << 20;
+inline constexpr int64_t kGiB = int64_t{1} << 30;
+inline constexpr int64_t kTiB = int64_t{1} << 40;
+
+inline constexpr int64_t kMicrosPerMilli = 1000;
+inline constexpr int64_t kMicrosPerSecond = 1000 * 1000;
+
+/// Formats a byte count as a human-readable string, e.g. "1.50 GiB".
+std::string FormatBytes(int64_t bytes);
+
+/// Formats a throughput in bytes/second as "NNN.N MB/s" (decimal MB,
+/// matching how the paper reports throughput).
+std::string FormatThroughputMBps(double bytes_per_second);
+
+/// Converts bytes/second to decimal megabytes/second.
+inline double ToMBps(double bytes_per_second) {
+  return bytes_per_second / 1e6;
+}
+
+/// Converts decimal megabytes/second to bytes/second.
+inline double FromMBps(double mbps) { return mbps * 1e6; }
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_COMMON_UNITS_H_

@@ -1,0 +1,255 @@
+#include "core/cluster_state.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace octo {
+
+Status ClusterState::AddWorker(WorkerInfo worker) {
+  if (workers_.count(worker.id) > 0) {
+    return Status::AlreadyExists("worker " + std::to_string(worker.id));
+  }
+  workers_[worker.id] = std::move(worker);
+  return Status::OK();
+}
+
+Status ClusterState::AddMedium(MediumInfo medium) {
+  if (media_.count(medium.id) > 0) {
+    return Status::AlreadyExists("medium " + std::to_string(medium.id));
+  }
+  if (workers_.count(medium.worker) == 0) {
+    return Status::NotFound("worker " + std::to_string(medium.worker) +
+                            " for medium " + std::to_string(medium.id));
+  }
+  media_[medium.id] = std::move(medium);
+  return Status::OK();
+}
+
+Status ClusterState::RemoveWorker(WorkerId id) {
+  if (workers_.erase(id) == 0) {
+    return Status::NotFound("worker " + std::to_string(id));
+  }
+  for (auto it = media_.begin(); it != media_.end();) {
+    if (it->second.worker == id) {
+      it = media_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Status ClusterState::UpdateMediumStats(MediumId id, int64_t remaining_bytes,
+                                       int nr_connections) {
+  auto it = media_.find(id);
+  if (it == media_.end()) {
+    return Status::NotFound("medium " + std::to_string(id));
+  }
+  it->second.remaining_bytes = remaining_bytes;
+  it->second.nr_connections = nr_connections;
+  return Status::OK();
+}
+
+Status ClusterState::SetMediumRates(MediumId id, double write_bps,
+                                    double read_bps) {
+  auto it = media_.find(id);
+  if (it == media_.end()) {
+    return Status::NotFound("medium " + std::to_string(id));
+  }
+  it->second.write_bps = write_bps;
+  it->second.read_bps = read_bps;
+  return Status::OK();
+}
+
+Status ClusterState::UpdateWorkerStats(WorkerId id, int nr_connections,
+                                       int64_t heartbeat_micros) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return Status::NotFound("worker " + std::to_string(id));
+  }
+  it->second.nr_connections = nr_connections;
+  it->second.last_heartbeat_micros = heartbeat_micros;
+  return Status::OK();
+}
+
+Status ClusterState::SetWorkerAlive(WorkerId id, bool alive) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return Status::NotFound("worker " + std::to_string(id));
+  }
+  it->second.alive = alive;
+  return Status::OK();
+}
+
+void ClusterState::AddMediumConnections(MediumId id, int delta) {
+  auto it = media_.find(id);
+  if (it == media_.end()) return;
+  it->second.nr_connections = std::max(0, it->second.nr_connections + delta);
+}
+
+void ClusterState::AddWorkerConnections(WorkerId id, int delta) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) return;
+  it->second.nr_connections = std::max(0, it->second.nr_connections + delta);
+}
+
+Status ClusterState::AdjustMediumRemaining(MediumId id, int64_t delta_bytes) {
+  auto it = media_.find(id);
+  if (it == media_.end()) {
+    return Status::NotFound("medium " + std::to_string(id));
+  }
+  int64_t updated = it->second.remaining_bytes + delta_bytes;
+  if (updated < 0) {
+    return Status::NoSpace("medium " + std::to_string(id) +
+                           " remaining would go negative");
+  }
+  it->second.remaining_bytes = std::min(updated, it->second.capacity_bytes);
+  return Status::OK();
+}
+
+const MediumInfo* ClusterState::FindMedium(MediumId id) const {
+  auto it = media_.find(id);
+  return it == media_.end() ? nullptr : &it->second;
+}
+
+const WorkerInfo* ClusterState::FindWorker(WorkerId id) const {
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : &it->second;
+}
+
+const TierInfo* ClusterState::FindTier(TierId id) const {
+  auto it = tiers_.find(id);
+  return it == tiers_.end() ? nullptr : &it->second;
+}
+
+bool ClusterState::MediumLive(MediumId id) const {
+  const MediumInfo* m = FindMedium(id);
+  if (m == nullptr) return false;
+  const WorkerInfo* w = FindWorker(m->worker);
+  return w != nullptr && w->alive;
+}
+
+std::vector<MediumId> ClusterState::MediaOnTier(TierId tier) const {
+  std::vector<MediumId> out;
+  for (const auto& [id, m] : media_) {
+    if (m.tier == tier && MediumLive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<MediumId> ClusterState::MediaOnWorker(WorkerId id) const {
+  std::vector<MediumId> out;
+  for (const auto& [mid, m] : media_) {
+    if (m.worker == id) out.push_back(mid);
+  }
+  return out;
+}
+
+const WorkerInfo* ClusterState::WorkerAt(
+    const NetworkLocation& location) const {
+  if (location.off_cluster()) return nullptr;
+  for (const auto& [id, w] : workers_) {
+    if (w.alive && w.location.SameNode(location)) return &w;
+  }
+  return nullptr;
+}
+
+int ClusterState::NumActiveTiers() const {
+  std::set<TierId> tiers;
+  for (const auto& [id, m] : media_) {
+    if (MediumLive(id)) tiers.insert(m.tier);
+  }
+  return static_cast<int>(tiers.size());
+}
+
+int ClusterState::NumLiveWorkers() const {
+  int n = 0;
+  for (const auto& [id, w] : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+int ClusterState::NumRacks() const {
+  std::set<std::string> racks;
+  for (const auto& [id, w] : workers_) {
+    if (w.alive) racks.insert(w.location.rack());
+  }
+  return static_cast<int>(racks.size());
+}
+
+double ClusterState::MaxRemainingFraction() const {
+  double best = 0;
+  for (const auto& [id, m] : media_) {
+    if (MediumLive(id)) best = std::max(best, m.remaining_fraction());
+  }
+  return best;
+}
+
+int ClusterState::MinMediumConnections() const {
+  int best = std::numeric_limits<int>::max();
+  for (const auto& [id, m] : media_) {
+    if (MediumLive(id)) best = std::min(best, m.nr_connections);
+  }
+  return best == std::numeric_limits<int>::max() ? 0 : best;
+}
+
+double ClusterState::TierAvgWriteBps(TierId tier) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& [id, m] : media_) {
+    if (m.tier == tier && MediumLive(id)) {
+      sum += m.write_bps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double ClusterState::TierAvgReadBps(TierId tier) const {
+  double sum = 0;
+  int n = 0;
+  for (const auto& [id, m] : media_) {
+    if (m.tier == tier && MediumLive(id)) {
+      sum += m.read_bps;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double ClusterState::MaxTierWriteBps() const {
+  double best = 0;
+  for (const auto& [tid, t] : tiers_) {
+    best = std::max(best, TierAvgWriteBps(tid));
+  }
+  return best;
+}
+
+std::vector<StorageTierReport> ClusterState::TierReports() const {
+  std::vector<StorageTierReport> out;
+  for (const auto& [tid, tier] : tiers_) {
+    StorageTierReport report;
+    report.tier = tid;
+    report.name = tier.name;
+    report.type = tier.type;
+    std::set<WorkerId> workers_on_tier;
+    double write_sum = 0, read_sum = 0;
+    for (const auto& [mid, m] : media_) {
+      if (m.tier != tid || !MediumLive(mid)) continue;
+      report.num_media++;
+      workers_on_tier.insert(m.worker);
+      report.capacity_bytes += m.capacity_bytes;
+      report.remaining_bytes += m.remaining_bytes;
+      write_sum += m.write_bps;
+      read_sum += m.read_bps;
+    }
+    report.num_workers = static_cast<int>(workers_on_tier.size());
+    if (report.num_media > 0) {
+      report.avg_write_bps = write_sum / report.num_media;
+      report.avg_read_bps = read_sum / report.num_media;
+      out.push_back(std::move(report));
+    }
+  }
+  return out;
+}
+
+}  // namespace octo

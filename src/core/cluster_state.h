@@ -1,0 +1,116 @@
+#ifndef OCTOPUSFS_CORE_CLUSTER_STATE_H_
+#define OCTOPUSFS_CORE_CLUSTER_STATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_media.h"
+#include "topology/network_location.h"
+#include "topology/topology.h"
+
+namespace octo {
+
+/// Liveness and network statistics for one worker, as maintained by the
+/// Master from registrations and heartbeats.
+struct WorkerInfo {
+  WorkerId id = kInvalidWorker;
+  NetworkLocation location;
+  double net_bps = 0;       // NIC capacity (NetThru[W] in the paper)
+  int nr_connections = 0;   // active network connections (NrConn[W])
+  bool alive = true;
+  int64_t last_heartbeat_micros = 0;
+};
+
+/// Name and physical type of one virtual storage tier.
+struct TierInfo {
+  TierId id = 0;
+  std::string name;
+  MediaType type = MediaType::kHdd;
+};
+
+/// A consistent snapshot of everything the placement and retrieval
+/// policies read: workers, media, tiers, and cluster-wide aggregates.
+/// The Master owns the live copy and refreshes the per-media statistics
+/// from heartbeats; policies only read it.
+class ClusterState {
+ public:
+  ClusterState() = default;
+
+  // -- mutation (Master side) ----------------------------------------------
+
+  void AddTier(TierInfo tier) { tiers_[tier.id] = std::move(tier); }
+  Status AddWorker(WorkerInfo worker);
+  Status AddMedium(MediumInfo medium);
+  Status RemoveWorker(WorkerId id);
+
+  /// Replaces heartbeat-reported statistics for a medium.
+  Status UpdateMediumStats(MediumId id, int64_t remaining_bytes,
+                           int nr_connections);
+  /// Installs a medium's profiled throughput rates (worker launch test).
+  Status SetMediumRates(MediumId id, double write_bps, double read_bps);
+  Status UpdateWorkerStats(WorkerId id, int nr_connections,
+                           int64_t heartbeat_micros);
+  Status SetWorkerAlive(WorkerId id, bool alive);
+
+  /// Adjusts connection counts when transfers start/stop (delta = +1/-1).
+  void AddMediumConnections(MediumId id, int delta);
+  void AddWorkerConnections(WorkerId id, int delta);
+
+  /// Reserves/releases space on a medium (called as blocks are placed).
+  Status AdjustMediumRemaining(MediumId id, int64_t delta_bytes);
+
+  // -- queries (policy side) -----------------------------------------------
+
+  const std::map<MediumId, MediumInfo>& media() const { return media_; }
+  const std::map<WorkerId, WorkerInfo>& workers() const { return workers_; }
+  const std::map<TierId, TierInfo>& tiers() const { return tiers_; }
+
+  const MediumInfo* FindMedium(MediumId id) const;
+  const WorkerInfo* FindWorker(WorkerId id) const;
+  const TierInfo* FindTier(TierId id) const;
+
+  /// Media hosted by live workers with tier == `tier`.
+  std::vector<MediumId> MediaOnTier(TierId tier) const;
+  /// Media hosted by one worker.
+  std::vector<MediumId> MediaOnWorker(WorkerId id) const;
+  /// The live worker colocated with `location` (nullptr when off-cluster
+  /// or unknown).
+  const WorkerInfo* WorkerAt(const NetworkLocation& location) const;
+
+  /// Distinct tiers that have at least one medium on a live worker.
+  int NumActiveTiers() const;
+  /// Live workers.
+  int NumLiveWorkers() const;
+  /// Distinct racks among live workers.
+  int NumRacks() const;
+
+  /// Cluster-wide aggregates used by the objective upper bounds.
+  /// Maximum Rem[m]/Cap[m] over live media.
+  double MaxRemainingFraction() const;
+  /// Minimum NrConn[m] over live media.
+  int MinMediumConnections() const;
+  /// Tier-average write/read throughput (paper: worker-profiled rates are
+  /// "averaged per storage tier").
+  double TierAvgWriteBps(TierId tier) const;
+  double TierAvgReadBps(TierId tier) const;
+  /// Maximum tier-average write throughput over active tiers.
+  double MaxTierWriteBps() const;
+
+  /// Per-tier aggregate report for the client API.
+  std::vector<StorageTierReport> TierReports() const;
+
+  /// True when the medium's worker is alive.
+  bool MediumLive(MediumId id) const;
+
+ private:
+  std::map<WorkerId, WorkerInfo> workers_;
+  std::map<MediumId, MediumInfo> media_;
+  std::map<TierId, TierInfo> tiers_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CORE_CLUSTER_STATE_H_

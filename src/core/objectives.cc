@@ -1,0 +1,135 @@
+#include "core/objectives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/units.h"
+
+namespace octo {
+
+namespace {
+
+// The throughput objective takes log of throughput values; the paper works
+// in MB/s (Table 2), and since log ratios are unit-dependent we normalize
+// to MB/s too. Values are clamped so the logarithm stays positive.
+double LogMBps(double bps) { return std::log(std::max(ToMBps(bps), 2.0)); }
+
+}  // namespace
+
+Objectives::Objectives(const ClusterState& state, int64_t block_size)
+    : state_(state),
+      block_size_(block_size),
+      total_tiers_(state.NumActiveTiers()),
+      total_nodes_(state.NumLiveWorkers()),
+      total_racks_(state.NumRacks()),
+      max_remaining_fraction_(state.MaxRemainingFraction()),
+      min_connections_(state.MinMediumConnections()),
+      max_tier_write_bps_(state.MaxTierWriteBps()) {
+  for (TierId t = 0; t < 8; ++t) {
+    tier_avg_write_bps_[t] = state.TierAvgWriteBps(t);
+  }
+}
+
+double Objectives::DataBalancing(
+    const std::vector<const MediumInfo*>& chosen) const {
+  double sum = 0;
+  for (const MediumInfo* m : chosen) {
+    if (m->capacity_bytes <= 0) continue;
+    sum += static_cast<double>(m->remaining_bytes - block_size_) /
+           static_cast<double>(m->capacity_bytes);
+  }
+  return sum;
+}
+
+double Objectives::LoadBalancing(
+    const std::vector<const MediumInfo*>& chosen) const {
+  double sum = 0;
+  for (const MediumInfo* m : chosen) {
+    sum += 1.0 / (m->nr_connections + 1);
+  }
+  return sum;
+}
+
+double Objectives::FaultTolerance(
+    const std::vector<const MediumInfo*>& chosen) const {
+  if (chosen.empty()) return 0;
+  std::set<TierId> tiers;
+  std::set<WorkerId> nodes;
+  std::set<std::string> racks;
+  for (const MediumInfo* m : chosen) {
+    tiers.insert(m->tier);
+    nodes.insert(m->worker);
+    racks.insert(m->location.rack());
+  }
+  const int r = static_cast<int>(chosen.size());
+  double tier_term =
+      total_tiers_ == 0
+          ? 0.0
+          : static_cast<double>(tiers.size()) / std::min(r, total_tiers_);
+  double node_term =
+      total_nodes_ == 0
+          ? 0.0
+          : static_cast<double>(nodes.size()) / std::min(r, total_nodes_);
+  // Eq. 5's rack term: with a single rack the term is 1; otherwise replicas
+  // should span exactly 2 racks (more racks buy no fault tolerance and cost
+  // write performance).
+  double rack_term =
+      total_racks_ == 1
+          ? 1.0
+          : 1.0 / (std::abs(static_cast<int>(racks.size()) - 2) + 1);
+  return tier_term + node_term + rack_term;
+}
+
+double Objectives::ThroughputMax(
+    const std::vector<const MediumInfo*>& chosen) const {
+  if (max_tier_write_bps_ <= 0) return 0;
+  double denom = LogMBps(max_tier_write_bps_);
+  if (denom <= 0) return 0;
+  double sum = 0;
+  for (const MediumInfo* m : chosen) {
+    // Paper §3.2: worker-profiled rates are averaged per storage tier, so
+    // each medium contributes its tier's average.
+    sum += LogMBps(tier_avg_write_bps_[m->tier & 7]) / denom;
+  }
+  return sum;
+}
+
+ObjectiveVector Objectives::Evaluate(
+    const std::vector<const MediumInfo*>& chosen) const {
+  return {DataBalancing(chosen), LoadBalancing(chosen), FaultTolerance(chosen),
+          ThroughputMax(chosen)};
+}
+
+ObjectiveVector Objectives::Ideal(int num_chosen) const {
+  // Eq. 2: |m⃗| × max_m Rem[m]/Cap[m].
+  double ideal_db = num_chosen * max_remaining_fraction_;
+  // Eq. 4: |m⃗| × 1/(min_m NrConn[m] + 1).
+  double ideal_lb = num_chosen * (1.0 / (min_connections_ + 1));
+  // Eq. 6: constant 3.
+  double ideal_ft = 3.0;
+  // Eq. 8: |m⃗| (all ratios equal 1).
+  double ideal_tm = num_chosen;
+  return {ideal_db, ideal_lb, ideal_ft, ideal_tm};
+}
+
+double Objectives::Score(const std::vector<const MediumInfo*>& chosen) const {
+  ObjectiveVector f = Evaluate(chosen);
+  ObjectiveVector z = Ideal(static_cast<int>(chosen.size()));
+  double sum_sq = 0;
+  for (int i = 0; i < 4; ++i) {
+    double d = f[i] - z[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double Objectives::SingleObjectiveScore(
+    Objective objective, const std::vector<const MediumInfo*>& chosen) const {
+  ObjectiveVector f = Evaluate(chosen);
+  ObjectiveVector z = Ideal(static_cast<int>(chosen.size()));
+  int i = static_cast<int>(objective);
+  return std::abs(f[i] - z[i]);
+}
+
+}  // namespace octo

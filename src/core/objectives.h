@@ -1,0 +1,76 @@
+#ifndef OCTOPUSFS_CORE_OBJECTIVES_H_
+#define OCTOPUSFS_CORE_OBJECTIVES_H_
+
+#include <array>
+#include <vector>
+
+#include "core/cluster_state.h"
+#include "storage/block.h"
+
+namespace octo {
+
+/// The four objectives the paper optimizes simultaneously (§3.2).
+enum class Objective {
+  kDataBalancing = 0,
+  kLoadBalancing = 1,
+  kFaultTolerance = 2,
+  kThroughputMax = 3,
+};
+
+/// Values of the vector objective f(m⃗) = (f_db, f_lb, f_ft, f_tm)ᵀ.
+using ObjectiveVector = std::array<double, 4>;
+
+/// Evaluates objective functions and their ideal (upper-bound) vector z*
+/// for candidate replica placements. One Objectives instance captures the
+/// cluster-wide aggregates at the start of a placement decision so that
+/// repeated evaluations inside Algorithm 1 reuse them.
+class Objectives {
+ public:
+  /// `block_size` is the size of the block being placed (enters f_db).
+  Objectives(const ClusterState& state, int64_t block_size);
+
+  /// f_db (Eq. 1): Σ (Rem[m]-blockSize)/Cap[m] over chosen media.
+  double DataBalancing(const std::vector<const MediumInfo*>& chosen) const;
+  /// f_lb (Eq. 3): Σ 1/(NrConn[m]+1).
+  double LoadBalancing(const std::vector<const MediumInfo*>& chosen) const;
+  /// f_ft (Eq. 5): tier, node, and rack diversity terms.
+  double FaultTolerance(const std::vector<const MediumInfo*>& chosen) const;
+  /// f_tm (Eq. 7): Σ log(WThru_tier[m]) / log(max_tier WThru).
+  double ThroughputMax(const std::vector<const MediumInfo*>& chosen) const;
+
+  /// The full vector f(m⃗) (Eq. 9).
+  ObjectiveVector Evaluate(const std::vector<const MediumInfo*>& chosen) const;
+
+  /// The ideal objective vector z*(m⃗) (Eq. 10), which depends only on the
+  /// number of chosen media |m⃗|.
+  ObjectiveVector Ideal(int num_chosen) const;
+
+  /// The global-criterion MOOP score ‖f(m⃗) − z*(m⃗)‖₂ (Eq. 11);
+  /// lower is better.
+  double Score(const std::vector<const MediumInfo*>& chosen) const;
+
+  /// Score with only one objective active (used by the single-objective
+  /// placement policies evaluated in the paper's Figure 3).
+  double SingleObjectiveScore(Objective objective,
+                              const std::vector<const MediumInfo*>& chosen)
+      const;
+
+  int64_t block_size() const { return block_size_; }
+
+ private:
+  const ClusterState& state_;
+  int64_t block_size_;
+
+  // Cluster-wide aggregates captured at construction.
+  int total_tiers_;   // k
+  int total_nodes_;   // n
+  int total_racks_;   // t
+  double max_remaining_fraction_;
+  int min_connections_;
+  double max_tier_write_bps_;
+  std::array<double, 8> tier_avg_write_bps_;  // indexed by TierId
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CORE_OBJECTIVES_H_

@@ -1,0 +1,480 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace octo {
+
+namespace {
+
+std::vector<const MediumInfo*> ResolveMedia(const ClusterState& state,
+                                            const std::vector<MediumId>& ids) {
+  std::vector<const MediumInfo*> out;
+  out.reserve(ids.size());
+  for (MediumId id : ids) {
+    const MediumInfo* m = state.FindMedium(id);
+    if (m != nullptr) out.push_back(m);
+  }
+  return out;
+}
+
+/// Expands a replication vector into per-replica tier entries: explicitly
+/// named tiers first (fastest tier first), then the Unspecified entries.
+std::vector<TierId> ExpandEntries(const ReplicationVector& v) {
+  std::vector<TierId> entries;
+  for (TierId t = 0; t < kMaxTiers; ++t) {
+    for (int i = 0; i < v.Get(t); ++i) entries.push_back(t);
+  }
+  for (int i = 0; i < v.unspecified(); ++i) {
+    entries.push_back(kUnspecifiedTier);
+  }
+  return entries;
+}
+
+bool AlreadyChosen(const std::vector<const MediumInfo*>& chosen,
+                   MediumId candidate) {
+  for (const MediumInfo* m : chosen) {
+    if (m->id == candidate) return true;
+  }
+  return false;
+}
+
+int CountVolatile(const std::vector<const MediumInfo*>& chosen) {
+  int n = 0;
+  for (const MediumInfo* m : chosen) n += IsVolatile(m->type) ? 1 : 0;
+  return n;
+}
+
+/// GenOptions from Algorithm 2: produces the feasible candidate media for
+/// the next replica, applying the feasibility constraints and the pruning
+/// heuristics of §3.3. Falls back to a less-pruned set rather than
+/// returning empty when a heuristic (not a hard constraint) eliminates
+/// every option.
+std::vector<const MediumInfo*> GenOptions(
+    const ClusterState& state, const PlacementRequest& request,
+    const std::vector<const MediumInfo*>& chosen, TierId entry,
+    const MoopOptions& options, int total_replicas) {
+  std::vector<const MediumInfo*> base;
+  for (const auto& [id, m] : state.media()) {
+    if (!state.MediumLive(id)) continue;
+    if (AlreadyChosen(chosen, id)) continue;  // never two replicas on one m
+    if (m.remaining_bytes - request.block_size < 0) continue;  // space
+    if (entry != kUnspecifiedTier) {
+      if (m.tier != entry) continue;  // user pinned the tier
+    } else if (IsVolatile(m.type)) {
+      if (!options.use_memory) continue;  // memory is opt-in for U entries
+      // Cap the fraction of replicas on volatile media (paper: <= 1/3).
+      int cap = static_cast<int>(total_replicas * options.memory_fraction_cap);
+      if (CountVolatile(chosen) + 1 > cap) continue;
+    }
+    base.push_back(&m);
+  }
+  if (base.empty()) return base;
+
+  // Rack heuristics: after m1 prune m1's rack (forces the 2nd rack);
+  // after m2 restrict to the two racks already used.
+  if (options.rack_pruning && state.NumRacks() > 1) {
+    std::vector<std::string> racks;  // racks of chosen, in selection order
+    for (const MediumInfo* m : chosen) {
+      if (std::find(racks.begin(), racks.end(), m->location.rack()) ==
+          racks.end()) {
+        racks.push_back(m->location.rack());
+      }
+    }
+    std::vector<const MediumInfo*> pruned;
+    if (racks.size() == 1) {
+      for (const MediumInfo* m : base) {
+        if (m->location.rack() != racks[0]) pruned.push_back(m);
+      }
+    } else if (racks.size() >= 2) {
+      for (const MediumInfo* m : base) {
+        if (m->location.rack() == racks[0] || m->location.rack() == racks[1]) {
+          pruned.push_back(m);
+        }
+      }
+    } else {
+      pruned = base;
+    }
+    if (!pruned.empty()) base = std::move(pruned);
+  }
+
+  // First replica: prefer the client's own worker when collocated.
+  if (options.prefer_client_local && chosen.empty()) {
+    const WorkerInfo* local = state.WorkerAt(request.client);
+    if (local != nullptr) {
+      std::vector<const MediumInfo*> local_media;
+      for (const MediumInfo* m : base) {
+        if (m->worker == local->id) local_media.push_back(m);
+      }
+      if (!local_media.empty()) base = std::move(local_media);
+    }
+  }
+  return base;
+}
+
+/// Algorithm 1: evaluates adding each option to the chosen list and
+/// returns the option with the lowest score. `score` is the MOOP distance
+/// (or a single-objective distance). The caller shuffles `options`, so
+/// equal-score candidates are chosen uniformly at random — without this,
+/// every concurrent writer would pile onto the same media whenever a
+/// whole tier scores identically (fresh cluster, uniform devices).
+template <typename ScoreFn>
+const MediumInfo* SolveMoop(const std::vector<const MediumInfo*>& options,
+                            std::vector<const MediumInfo*>* chosen,
+                            const ScoreFn& score) {
+  double best_score = 0;
+  const MediumInfo* best = nullptr;
+  for (const MediumInfo* option : options) {
+    chosen->push_back(option);
+    double s = score(*chosen);
+    chosen->pop_back();
+    if (best == nullptr || s < best_score - 1e-12) {
+      best_score = s;
+      best = option;
+    }
+  }
+  return best;
+}
+
+/// Shared driver for the MOOP and single-objective policies (Algorithm 2).
+template <typename ScoreFn>
+Result<std::vector<MediumId>> GreedyPlace(const ClusterState& state,
+                                          const PlacementRequest& request,
+                                          const MoopOptions& options,
+                                          const ScoreFn& score, Random* rng) {
+  std::vector<const MediumInfo*> chosen = ResolveMedia(state, request.existing);
+  const int total_replicas =
+      static_cast<int>(chosen.size()) + request.rep_vector.total();
+  std::vector<TierId> entries = ExpandEntries(request.rep_vector);
+  std::vector<MediumId> placed;
+  for (TierId entry : entries) {
+    std::vector<const MediumInfo*> opts =
+        GenOptions(state, request, chosen, entry, options, total_replicas);
+    if (opts.empty()) continue;  // cannot satisfy this entry; place the rest
+    rng->Shuffle(&opts);  // random tie-breaking (see SolveMoop)
+    const MediumInfo* best = SolveMoop(opts, &chosen, score);
+    chosen.push_back(best);
+    placed.push_back(best->id);
+  }
+  if (placed.empty() && !entries.empty()) {
+    return Status::NoSpace("no feasible media for any requested replica");
+  }
+  return placed;
+}
+
+class MoopPlacementPolicy : public PlacementPolicy {
+ public:
+  explicit MoopPlacementPolicy(MoopOptions options) : options_(options) {}
+
+  std::string_view name() const override { return "MOOP"; }
+
+  Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
+                                              const PlacementRequest& request,
+                                              Random* rng) override {
+    Objectives objectives(state, request.block_size);
+    return GreedyPlace(state, request, options_,
+                       [&objectives](const auto& chosen) {
+                         return objectives.Score(chosen);
+                       },
+                       rng);
+  }
+
+ private:
+  MoopOptions options_;
+};
+
+class SingleObjectivePolicy : public PlacementPolicy {
+ public:
+  SingleObjectivePolicy(Objective objective, MoopOptions options)
+      : objective_(objective), options_(options) {
+    switch (objective) {
+      case Objective::kDataBalancing:
+        name_ = "DB";
+        break;
+      case Objective::kLoadBalancing:
+        name_ = "LB";
+        break;
+      case Objective::kFaultTolerance:
+        name_ = "FT";
+        break;
+      case Objective::kThroughputMax:
+        name_ = "TM";
+        break;
+    }
+  }
+
+  std::string_view name() const override { return name_; }
+
+  Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
+                                              const PlacementRequest& request,
+                                              Random* rng) override {
+    Objectives objectives(state, request.block_size);
+    return GreedyPlace(
+        state, request, options_,
+        [this, &objectives](const auto& chosen) {
+          return objectives.SingleObjectiveScore(objective_, chosen);
+        },
+        rng);
+  }
+
+ private:
+  Objective objective_;
+  MoopOptions options_;
+  std::string name_;
+};
+
+class RuleBasedPolicy : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "RuleBased"; }
+
+  Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
+                                              const PlacementRequest& request,
+                                              Random* rng) override {
+    // Active tiers, fastest first; replicas rotate across them.
+    std::set<TierId> tier_set;
+    for (const auto& [id, m] : state.media()) {
+      if (state.MediumLive(id)) tier_set.insert(m.tier);
+    }
+    if (tier_set.empty()) return Status::NoSpace("no live media");
+    std::vector<TierId> tiers(tier_set.begin(), tier_set.end());
+
+    // Pick (up to) two racks at random for this block.
+    std::vector<std::string> all_racks;
+    {
+      std::set<std::string> rack_set;
+      for (const auto& [id, w] : state.workers()) {
+        if (w.alive) rack_set.insert(w.location.rack());
+      }
+      all_racks.assign(rack_set.begin(), rack_set.end());
+      rng->Shuffle(&all_racks);
+      if (all_racks.size() > 2) all_racks.resize(2);
+    }
+
+    std::vector<const MediumInfo*> chosen =
+        ResolveMedia(state, request.existing);
+    std::vector<MediumId> placed;
+    const int want = request.rep_vector.total();
+    std::vector<TierId> entries = ExpandEntries(request.rep_vector);
+    for (int i = 0; i < want; ++i) {
+      // Honor an explicitly requested tier; otherwise rotate.
+      const MediumInfo* pick = nullptr;
+      for (size_t attempt = 0; attempt < tiers.size() && pick == nullptr;
+           ++attempt) {
+        TierId tier = entries[i] != kUnspecifiedTier
+                          ? entries[i]
+                          : tiers[rr_++ % tiers.size()];
+        pick = PickOnTier(state, request, chosen, tier, all_racks, rng);
+        if (entries[i] != kUnspecifiedTier) break;
+      }
+      if (pick == nullptr) {
+        // Relax the rack restriction before giving up on this replica.
+        TierId tier = entries[i] != kUnspecifiedTier
+                          ? entries[i]
+                          : tiers[rr_++ % tiers.size()];
+        pick = PickOnTier(state, request, chosen, tier, {}, rng);
+      }
+      if (pick == nullptr) continue;
+      chosen.push_back(pick);
+      placed.push_back(pick->id);
+    }
+    if (placed.empty() && want > 0) {
+      return Status::NoSpace("rule-based policy found no feasible media");
+    }
+    return placed;
+  }
+
+ private:
+  /// Random node (within `racks` if non-empty) then random medium of
+  /// `tier` on it with space.
+  const MediumInfo* PickOnTier(const ClusterState& state,
+                               const PlacementRequest& request,
+                               const std::vector<const MediumInfo*>& chosen,
+                               TierId tier,
+                               const std::vector<std::string>& racks,
+                               Random* rng) const {
+    std::map<WorkerId, std::vector<const MediumInfo*>> by_worker;
+    for (const auto& [id, m] : state.media()) {
+      if (m.tier != tier || !state.MediumLive(id)) continue;
+      if (AlreadyChosen(chosen, id)) continue;
+      if (m.remaining_bytes - request.block_size < 0) continue;
+      if (!racks.empty() &&
+          std::find(racks.begin(), racks.end(), m.location.rack()) ==
+              racks.end()) {
+        continue;
+      }
+      by_worker[m.worker].push_back(&m);
+    }
+    if (by_worker.empty()) return nullptr;
+    auto it = by_worker.begin();
+    std::advance(it, rng->Uniform(by_worker.size()));
+    const auto& media = it->second;
+    return media[rng->Uniform(media.size())];
+  }
+
+  size_t rr_ = 0;
+};
+
+class HdfsPlacementPolicy : public PlacementPolicy {
+ public:
+  explicit HdfsPlacementPolicy(std::vector<MediaType> allowed)
+      : allowed_(std::move(allowed)) {
+    name_ = allowed_.size() == 1 && allowed_[0] == MediaType::kHdd
+                ? "HDFS"
+                : "HDFS+SSD";
+  }
+
+  std::string_view name() const override { return name_; }
+
+  Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
+                                              const PlacementRequest& request,
+                                              Random* rng) override {
+    // HDFS has no tier concept: the whole vector collapses to its total.
+    const int want = request.rep_vector.total();
+    std::vector<const MediumInfo*> chosen =
+        ResolveMedia(state, request.existing);
+    std::set<WorkerId> used_nodes;
+    for (const MediumInfo* m : chosen) used_nodes.insert(m->worker);
+
+    std::vector<MediumId> placed;
+    for (int i = 0; i < want; ++i) {
+      const MediumInfo* pick = nullptr;
+      int replica_index = static_cast<int>(chosen.size());
+      if (replica_index == 0) {
+        // First replica: the writer's node when collocated.
+        const WorkerInfo* local = state.WorkerAt(request.client);
+        if (local != nullptr && used_nodes.count(local->id) == 0) {
+          pick = PickOnNode(state, request, chosen, local->id, rng);
+        }
+        if (pick == nullptr) pick = PickAnyNode(state, request, chosen,
+                                                used_nodes, "", "", rng);
+      } else if (replica_index == 1) {
+        // Second replica: a different rack than the first.
+        pick = PickAnyNode(state, request, chosen, used_nodes, "",
+                           chosen[0]->location.rack(), rng);
+        if (pick == nullptr) {
+          pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
+        }
+      } else if (replica_index == 2) {
+        // Third replica: same rack as the second, different node.
+        pick = PickAnyNode(state, request, chosen, used_nodes,
+                           chosen[1]->location.rack(), "", rng);
+        if (pick == nullptr) {
+          pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
+        }
+      } else {
+        pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
+      }
+      if (pick == nullptr) continue;
+      chosen.push_back(pick);
+      used_nodes.insert(pick->worker);
+      placed.push_back(pick->id);
+    }
+    if (placed.empty() && want > 0) {
+      return Status::NoSpace("HDFS policy found no feasible media");
+    }
+    return placed;
+  }
+
+ private:
+  bool Allowed(MediaType type) const {
+    return std::find(allowed_.begin(), allowed_.end(), type) != allowed_.end();
+  }
+
+  const MediumInfo* PickOnNode(const ClusterState& state,
+                               const PlacementRequest& request,
+                               const std::vector<const MediumInfo*>& chosen,
+                               WorkerId node, Random* /*rng*/) const {
+    std::vector<const MediumInfo*> media;
+    for (const auto& [id, m] : state.media()) {
+      if (m.worker != node || !state.MediumLive(id)) continue;
+      if (!Allowed(m.type)) continue;
+      if (AlreadyChosen(chosen, id)) continue;
+      if (m.remaining_bytes - request.block_size < 0) continue;
+      media.push_back(&m);
+    }
+    if (media.empty()) return nullptr;
+    // Tier-blind round-robin over the node's eligible devices, like the
+    // HDFS DataNode's round-robin volume choosing policy.
+    return media[volume_rr_[node]++ % media.size()];
+  }
+
+  /// Picks a random node (optionally constrained to `in_rack` / excluding
+  /// `not_in_rack`) that is not in `used_nodes`, then a random medium.
+  const MediumInfo* PickAnyNode(const ClusterState& state,
+                                const PlacementRequest& request,
+                                const std::vector<const MediumInfo*>& chosen,
+                                const std::set<WorkerId>& used_nodes,
+                                const std::string& in_rack,
+                                const std::string& not_in_rack,
+                                Random* rng) const {
+    std::vector<WorkerId> nodes;
+    for (const auto& [id, w] : state.workers()) {
+      if (!w.alive || used_nodes.count(id) > 0) continue;
+      if (!in_rack.empty() && w.location.rack() != in_rack) continue;
+      if (!not_in_rack.empty() && w.location.rack() == not_in_rack) continue;
+      nodes.push_back(id);
+    }
+    rng->Shuffle(&nodes);
+    for (WorkerId node : nodes) {
+      const MediumInfo* pick = PickOnNode(state, request, chosen, node, rng);
+      if (pick != nullptr) return pick;
+    }
+    return nullptr;
+  }
+
+  std::vector<MediaType> allowed_;
+  std::string name_;
+  mutable std::map<WorkerId, size_t> volume_rr_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> MakeMoopPolicy(MoopOptions options) {
+  return std::make_unique<MoopPlacementPolicy>(options);
+}
+
+std::unique_ptr<PlacementPolicy> MakeSingleObjectivePolicy(
+    Objective objective, MoopOptions options) {
+  return std::make_unique<SingleObjectivePolicy>(objective, options);
+}
+
+std::unique_ptr<PlacementPolicy> MakeRuleBasedPolicy() {
+  return std::make_unique<RuleBasedPolicy>();
+}
+
+std::unique_ptr<PlacementPolicy> MakeHdfsPolicy(
+    std::vector<MediaType> allowed_types) {
+  return std::make_unique<HdfsPlacementPolicy>(std::move(allowed_types));
+}
+
+Result<MediumId> SelectReplicaToRemove(const ClusterState& state,
+                                       const std::vector<MediumId>& replicas,
+                                       TierId tier, int64_t block_size) {
+  std::vector<const MediumInfo*> all = ResolveMedia(state, replicas);
+  Objectives objectives(state, block_size);
+  MediumId best = kInvalidMedium;
+  double best_score = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i]->tier != tier) continue;  // only drop from the crowded tier
+    std::vector<const MediumInfo*> rest;
+    rest.reserve(all.size() - 1);
+    for (size_t j = 0; j < all.size(); ++j) {
+      if (j != i) rest.push_back(all[j]);
+    }
+    double score = objectives.Score(rest);
+    if (best == kInvalidMedium || score < best_score - 1e-12 ||
+        (score < best_score + 1e-12 && all[i]->id < best)) {
+      best = all[i]->id;
+      best_score = score;
+    }
+  }
+  if (best == kInvalidMedium) {
+    return Status::NotFound("no replica on tier " + std::to_string(tier));
+  }
+  return best;
+}
+
+}  // namespace octo

@@ -1,0 +1,92 @@
+#ifndef OCTOPUSFS_CORE_PLACEMENT_H_
+#define OCTOPUSFS_CORE_PLACEMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/cluster_state.h"
+#include "core/objectives.h"
+#include "core/replication_vector.h"
+#include "storage/block.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+/// One placement decision: which media should host the new replicas of a
+/// block. `rep_vector` names only the replicas to ADD; `existing` lists
+/// media already hosting the block (non-empty during re-replication so the
+/// policy accounts for the diversity already present).
+struct PlacementRequest {
+  NetworkLocation client;
+  ReplicationVector rep_vector;
+  int64_t block_size = kDefaultBlockSize;
+  std::vector<MediumId> existing;
+};
+
+/// Pluggable block placement policy (paper §3.3). Implementations must be
+/// deterministic given the same ClusterState and Random stream.
+///
+/// Policies return the media chosen for the new replicas, in pipeline
+/// order. The list may be shorter than requested when the cluster cannot
+/// satisfy every entry (mirroring HDFS, which places what it can); it is
+/// an error only if nothing could be placed.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual Result<std::vector<MediumId>> PlaceReplicas(
+      const ClusterState& state, const PlacementRequest& request,
+      Random* rng) = 0;
+};
+
+/// Tunables of the MOOP policy's pruning heuristics (§3.3).
+struct MoopOptions {
+  /// Volatile memory participates in Unspecified-replica placement.
+  /// Disabled by default, as in the paper.
+  bool use_memory = false;
+  /// When memory is enabled, at most this fraction of a block's replicas
+  /// may live in memory (paper: 1/3).
+  double memory_fraction_cap = 1.0 / 3.0;
+  /// Prune options to force the 2-rack replica spread.
+  bool rack_pruning = true;
+  /// Consider the client's own worker first for the first replica.
+  bool prefer_client_local = true;
+};
+
+/// The default MOOP placement policy: greedy per-replica minimization of
+/// the global-criterion distance ‖f(m⃗) − z*(m⃗)‖ (Algorithms 1 and 2).
+std::unique_ptr<PlacementPolicy> MakeMoopPolicy(MoopOptions options = {});
+
+/// Greedy policy optimizing a single objective; used for the per-objective
+/// study in the paper's Figure 3 (DB / LB / FT / TM curves). Memory use is
+/// enabled by default, matching the paper's setup ("we enabled the use of
+/// the Memory tier for fairness").
+std::unique_ptr<PlacementPolicy> MakeSingleObjectivePolicy(
+    Objective objective, MoopOptions options = {.use_memory = true});
+
+/// Rule-based baseline: replicas assigned to tiers in round-robin order on
+/// randomly selected nodes spread across two racks.
+std::unique_ptr<PlacementPolicy> MakeRuleBasedPolicy();
+
+/// HDFS default placement: client-local first replica, remote-rack second,
+/// same-remote-rack third; tier-blind medium choice restricted to
+/// `allowed_types` ("Original HDFS" = {HDD}; "HDFS with SSD" = {HDD,SSD}).
+std::unique_ptr<PlacementPolicy> MakeHdfsPolicy(
+    std::vector<MediaType> allowed_types = {MediaType::kHdd});
+
+/// Selects the replica to drop when a block is over-replicated on `tier`:
+/// evaluates removing each current replica on that tier and keeps the set
+/// with the lowest MOOP score (paper §5). Returns the medium to remove.
+Result<MediumId> SelectReplicaToRemove(const ClusterState& state,
+                                       const std::vector<MediumId>& replicas,
+                                       TierId tier, int64_t block_size);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CORE_PLACEMENT_H_

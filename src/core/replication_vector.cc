@@ -1,0 +1,52 @@
+#include "core/replication_vector.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace octo {
+
+std::string ReplicationVector::ToString() const {
+  std::string out = "<";
+  for (int i = 0; i < 7; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(counts_[i]);
+  }
+  out += "|U=" + std::to_string(counts_[kUnspecifiedTier]) + ">";
+  return out;
+}
+
+Result<ReplicationVector> ReplicationVector::ParseShorthand(
+    std::string_view text) {
+  std::vector<std::string> parts = Split(text, ',');
+  if (parts.size() > 8) {
+    return Status::InvalidArgument("replication vector has too many slots: " +
+                                   std::string(text));
+  }
+  ReplicationVector v;
+  // Shorthand lists the named tiers first; the final element (when 5 parts
+  // are given in the four-tier layout) is U.
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::string_view p = StripWhitespace(parts[i]);
+    bool all_digits = !p.empty();
+    for (char c : p) all_digits = all_digits && (c >= '0' && c <= '9');
+    long value = all_digits ? std::atol(std::string(p).c_str()) : -1;
+    if (!all_digits || value < 0 || value > 255) {
+      return Status::InvalidArgument("bad replication count '" +
+                                     std::string(p) + "' in " +
+                                     std::string(text));
+    }
+    TierId slot;
+    if (parts.size() == 5 && i == 4) {
+      slot = kUnspecifiedTier;  // four-tier shorthand: 5th slot is U
+    } else if (i == parts.size() - 1 && parts.size() == 8) {
+      slot = kUnspecifiedTier;
+    } else {
+      slot = static_cast<TierId>(i);
+    }
+    v.Set(slot, static_cast<uint8_t>(value));
+  }
+  return v;
+}
+
+}  // namespace octo

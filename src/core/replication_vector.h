@@ -1,0 +1,99 @@
+#ifndef OCTOPUSFS_CORE_REPLICATION_VECTOR_H_
+#define OCTOPUSFS_CORE_REPLICATION_VECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/media_type.h"
+
+namespace octo {
+
+/// The number of replicas a file should have on each storage tier, plus a
+/// count of "Unspecified" replicas whose tier is left to the placement
+/// policy (paper §2.3). Encoded into 64 bits: 8 slots of 8 bits each —
+/// slots 0..6 are tiers (fastest first), slot 7 is U.
+///
+/// Examples (four-tier <Memory, SSD, HDD, Remote> layout):
+///   <1,0,2,0 | U=0>  — one memory replica, two HDD replicas.
+///   <0,0,0,0 | U=3>  — three replicas, tiers chosen by the policy
+///                      (the backwards-compatible form of replication=3).
+class ReplicationVector {
+ public:
+  /// All-zero vector (no replicas).
+  constexpr ReplicationVector() : counts_{} {}
+
+  /// Backwards-compatibility constructor: the old single replication
+  /// factor r becomes U = r.
+  static ReplicationVector OfTotal(uint8_t r) {
+    ReplicationVector v;
+    v.counts_[kUnspecifiedTier] = r;
+    return v;
+  }
+
+  /// Convenience for the default four-tier layout used in the paper:
+  /// <Memory, SSD, HDD, Remote, U>.
+  static ReplicationVector Of(uint8_t memory, uint8_t ssd, uint8_t hdd,
+                              uint8_t remote = 0, uint8_t unspecified = 0) {
+    ReplicationVector v;
+    v.counts_[kMemoryTier] = memory;
+    v.counts_[kSsdTier] = ssd;
+    v.counts_[kHddTier] = hdd;
+    v.counts_[kRemoteTier] = remote;
+    v.counts_[kUnspecifiedTier] = unspecified;
+    return v;
+  }
+
+  /// Decodes the 64-bit wire/stored form.
+  static ReplicationVector FromEncoded(uint64_t encoded) {
+    ReplicationVector v;
+    for (int i = 0; i < 8; ++i) {
+      v.counts_[i] = static_cast<uint8_t>((encoded >> (8 * i)) & 0xFF);
+    }
+    return v;
+  }
+
+  /// The 64-bit wire/stored form.
+  uint64_t Encode() const {
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(counts_[i]) << (8 * i);
+    }
+    return out;
+  }
+
+  /// Replica count for a tier slot (or kUnspecifiedTier for U).
+  uint8_t Get(TierId tier) const { return counts_[tier & 7]; }
+  void Set(TierId tier, uint8_t count) { counts_[tier & 7] = count; }
+
+  uint8_t unspecified() const { return counts_[kUnspecifiedTier]; }
+
+  /// Total replicas across all tiers including U.
+  int total() const {
+    int sum = 0;
+    for (uint8_t c : counts_) sum += c;
+    return sum;
+  }
+
+  /// Total replicas on explicitly named tiers (excluding U).
+  int specified_total() const { return total() - counts_[kUnspecifiedTier]; }
+
+  bool empty() const { return total() == 0; }
+
+  /// "<1,0,2,0,0,0,0|U=0>" rendering.
+  std::string ToString() const;
+
+  /// Parses the four-tier shorthand "M,S,H,R,U" (e.g. "1,0,2,0,0").
+  static Result<ReplicationVector> ParseShorthand(std::string_view text);
+
+  friend bool operator==(const ReplicationVector& a,
+                         const ReplicationVector& b) = default;
+
+ private:
+  std::array<uint8_t, 8> counts_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CORE_REPLICATION_VECTOR_H_

@@ -1,0 +1,130 @@
+#include "core/retrieval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octo {
+
+namespace {
+
+/// Per-replica ranking data computed once before sorting.
+struct RankedReplica {
+  MediumId medium = kInvalidMedium;
+  double rate = 0;            // Eq. 12 potential transfer rate
+  bool network_bound = false; // the min() in Eq. 12 came from the network
+  double media_read_bps = 0;
+  int distance = 6;           // topology distance (HDFS ordering)
+  bool live = false;
+  uint64_t shuffle_key = 0;   // random tiebreak
+};
+
+RankedReplica Rank(const ClusterState& state, const NetworkLocation& client,
+                   MediumId id) {
+  RankedReplica r;
+  r.medium = id;
+  const MediumInfo* m = state.FindMedium(id);
+  if (m == nullptr) return r;
+  const WorkerInfo* w = state.FindWorker(m->worker);
+  if (w == nullptr) return r;
+  r.live = w->alive;
+  r.media_read_bps = m->read_bps;
+  r.distance = NetworkLocation::Distance(client, w->location);
+
+  // Dividing by the *current* connection count models the per-connection
+  // share an extra reader would see; a device with no readers gives its
+  // full rate (divisor clamped to 1).
+  double media_share = m->read_bps / std::max(1, m->nr_connections);
+  if (client.SameNode(w->location)) {
+    r.rate = media_share;  // local read: no network hop
+    r.network_bound = false;
+  } else {
+    double net_share = w->net_bps / std::max(1, w->nr_connections);
+    r.rate = std::min(net_share, media_share);
+    r.network_bound = net_share <= media_share;
+  }
+  return r;
+}
+
+class OctopusRetrievalPolicy : public RetrievalPolicy {
+ public:
+  std::string_view name() const override { return "OctopusRetrieval"; }
+
+  std::vector<MediumId> OrderReplicas(const ClusterState& state,
+                                      const NetworkLocation& client,
+                                      const std::vector<MediumId>& replicas,
+                                      Random* rng) const override {
+    std::vector<RankedReplica> ranked;
+    ranked.reserve(replicas.size());
+    for (MediumId id : replicas) {
+      RankedReplica r = Rank(state, client, id);
+      r.shuffle_key = rng->engine()();
+      ranked.push_back(r);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedReplica& a, const RankedReplica& b) {
+                       if (a.live != b.live) return a.live;  // dead ones last
+                       if (std::abs(a.rate - b.rate) > 1e-6) {
+                         return a.rate > b.rate;
+                       }
+                       // Same rate with the network as the bottleneck:
+                       // prefer the faster medium (paper §4.2).
+                       if (a.network_bound && b.network_bound &&
+                           std::abs(a.media_read_bps - b.media_read_bps) >
+                               1e-6) {
+                         return a.media_read_bps > b.media_read_bps;
+                       }
+                       return a.shuffle_key < b.shuffle_key;  // spread load
+                     });
+    std::vector<MediumId> out;
+    out.reserve(ranked.size());
+    for (const RankedReplica& r : ranked) out.push_back(r.medium);
+    return out;
+  }
+};
+
+class HdfsRetrievalPolicy : public RetrievalPolicy {
+ public:
+  std::string_view name() const override { return "HdfsRetrieval"; }
+
+  std::vector<MediumId> OrderReplicas(const ClusterState& state,
+                                      const NetworkLocation& client,
+                                      const std::vector<MediumId>& replicas,
+                                      Random* rng) const override {
+    std::vector<RankedReplica> ranked;
+    ranked.reserve(replicas.size());
+    for (MediumId id : replicas) {
+      RankedReplica r = Rank(state, client, id);
+      r.shuffle_key = rng->engine()();
+      ranked.push_back(r);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const RankedReplica& a, const RankedReplica& b) {
+                       if (a.live != b.live) return a.live;
+                       if (a.distance != b.distance) {
+                         return a.distance < b.distance;
+                       }
+                       return a.shuffle_key < b.shuffle_key;
+                     });
+    std::vector<MediumId> out;
+    out.reserve(ranked.size());
+    for (const RankedReplica& r : ranked) out.push_back(r.medium);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RetrievalPolicy> MakeOctopusRetrievalPolicy() {
+  return std::make_unique<OctopusRetrievalPolicy>();
+}
+
+std::unique_ptr<RetrievalPolicy> MakeHdfsRetrievalPolicy() {
+  return std::make_unique<HdfsRetrievalPolicy>();
+}
+
+double PotentialTransferRate(const ClusterState& state,
+                             const NetworkLocation& client, MediumId replica) {
+  return Rank(state, client, replica).rate;
+}
+
+}  // namespace octo

@@ -1,0 +1,49 @@
+#ifndef OCTOPUSFS_CORE_RETRIEVAL_H_
+#define OCTOPUSFS_CORE_RETRIEVAL_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "core/cluster_state.h"
+#include "storage/block.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+/// Pluggable data retrieval policy (paper §4.2): orders the replicas of a
+/// block so the client reads from the most efficient location first and
+/// fails over down the list.
+class RetrievalPolicy {
+ public:
+  virtual ~RetrievalPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Returns `replicas` reordered best-first. Replicas on unknown or dead
+  /// workers sink to the end (they remain usable as a last resort during
+  /// the failover window before the Master notices the death).
+  virtual std::vector<MediumId> OrderReplicas(
+      const ClusterState& state, const NetworkLocation& client,
+      const std::vector<MediumId>& replicas, Random* rng) const = 0;
+};
+
+/// The OctopusFS policy: ranks each replica by its potential transfer rate
+///   min(NetThru[W]/NrConn[W], RThru[m]/NrConn[m])          (Eq. 12)
+/// (the network term vanishes for client-local replicas). Equal-rate
+/// locations whose bottleneck is the network are ordered by raw media read
+/// throughput; remaining ties are shuffled to spread load.
+std::unique_ptr<RetrievalPolicy> MakeOctopusRetrievalPolicy();
+
+/// The HDFS baseline: orders by network distance only (local node, local
+/// rack, remote), ignoring storage tiers; ties shuffled.
+std::unique_ptr<RetrievalPolicy> MakeHdfsRetrievalPolicy();
+
+/// Computes Eq. 12 for one replica; exposed for tests and benches.
+double PotentialTransferRate(const ClusterState& state,
+                             const NetworkLocation& client, MediumId replica);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CORE_RETRIEVAL_H_

@@ -1,0 +1,153 @@
+#include "exec/hibench.h"
+
+#include "common/logging.h"
+
+namespace octo::exec {
+
+namespace {
+const UserContext kSuperuser{"root", {}};
+}  // namespace
+
+std::vector<HibenchWorkload> HibenchSuite() {
+  // Ratios follow the published characterization of HiBench [13]: Sort
+  // and TeraSort move their input through shuffle and output unchanged;
+  // WordCount is compute-bound with tiny aggregates; the Hive queries
+  // scan large fact tables and emit filtered/joined results; the ML
+  // workloads are iterative with moderate per-iteration traffic.
+  std::vector<HibenchWorkload> suite;
+  suite.push_back({"Sort", HibenchCategory::kMicro, 6LL << 30, 1.0, 1.0,
+                   0.004, 0.004, 1, false, 0});
+  suite.push_back({"Wordcount", HibenchCategory::kMicro, 6LL << 30, 0.05,
+                   0.02, 0.030, 0.010, 1, false, 0});
+  suite.push_back({"Terasort", HibenchCategory::kMicro, 6LL << 30, 1.0, 1.0,
+                   0.008, 0.008, 1, false, 0});
+  suite.push_back({"Scan", HibenchCategory::kOlap, 5LL << 30, 0.0, 0.35,
+                   0.006, 0.004, 1, false, 0});
+  suite.push_back({"Join", HibenchCategory::kOlap, 5LL << 30, 0.8, 0.25,
+                   0.010, 0.012, 1, false, 1});
+  suite.push_back({"Aggregation", HibenchCategory::kOlap, 5LL << 30, 0.25,
+                   0.08, 0.010, 0.008, 1, false, 1});
+  suite.push_back({"Pagerank", HibenchCategory::kMachineLearning, 3LL << 30,
+                   1.0, 0.6, 0.012, 0.012, 3, false, 0});
+  suite.push_back({"Bayes", HibenchCategory::kMachineLearning, 4LL << 30,
+                   0.45, 0.15, 0.025, 0.015, 1, false, 1});
+  suite.push_back({"Kmeans", HibenchCategory::kMachineLearning, 4LL << 30,
+                   0.05, 0.02, 0.020, 0.010, 3, true, 0});
+  return suite;
+}
+
+Result<std::vector<std::string>> EnsureInput(
+    workload::TransferEngine* transfers, const std::string& input_path,
+    int64_t total_bytes, int num_files) {
+  Master* master = transfers->master();
+  std::vector<std::string> files;
+  bool missing = false;
+  for (int i = 0; i < num_files; ++i) {
+    std::string path = input_path + "/part-" + std::to_string(i);
+    files.push_back(path);
+    if (!master->GetFileStatus(path, kSuperuser).ok()) missing = true;
+  }
+  if (!missing) return files;
+  Cluster* cluster = transfers->cluster();
+  const std::vector<WorkerId>& ids = cluster->worker_ids();
+  auto failures = std::make_shared<Status>();
+  int64_t per_file = total_bytes / num_files;
+  for (int i = 0; i < num_files; ++i) {
+    NetworkLocation node = cluster->worker(ids[i % ids.size()])->location();
+    transfers->WriteFileAsync(files[i], per_file, 128LL << 20,
+                              ReplicationVector::OfTotal(3), node,
+                              [failures](Status st) {
+                                if (!st.ok() && failures->ok()) {
+                                  *failures = st;
+                                }
+                              });
+  }
+  transfers->simulation()->RunUntilIdle();
+  OCTO_RETURN_IF_ERROR(*failures);
+  return files;
+}
+
+Result<std::vector<std::string>> ListFiles(Master* master,
+                                           const std::string& dir) {
+  OCTO_ASSIGN_OR_RETURN(std::vector<FileStatus> entries,
+                        master->ListDirectory(dir, kSuperuser));
+  std::vector<std::string> files;
+  for (const FileStatus& st : entries) {
+    if (!st.is_dir) files.push_back(st.path);
+  }
+  if (files.empty()) {
+    return Status::NotFound("no files under " + dir);
+  }
+  return files;
+}
+
+Result<JobStats> RunHibenchMapReduce(MapReduceEngine* engine,
+                                     workload::TransferEngine* transfers,
+                                     const HibenchWorkload& workload,
+                                     const std::string& input_path,
+                                     const std::string& work_dir) {
+  Master* master = transfers->master();
+  OCTO_ASSIGN_OR_RETURN(
+      std::vector<std::string> input,
+      EnsureInput(transfers, input_path, workload.input_bytes));
+
+  JobStats total;
+  total.name = workload.name;
+  std::vector<std::string> current = input;
+  const int num_jobs = workload.iterations + workload.mr_extra_stages;
+  for (int iter = 0; iter < num_jobs; ++iter) {
+    MapReduceJobSpec spec;
+    spec.name = workload.name + "-it" + std::to_string(iter);
+    spec.input_paths = workload.rescan_input ? input : current;
+    spec.output_path = work_dir + "/out" + std::to_string(iter);
+    // Chained iterations keep the data volume roughly constant.
+    spec.shuffle_ratio = workload.shuffle_ratio;
+    spec.output_ratio =
+        num_jobs > 1 && iter + 1 < num_jobs
+            ? (workload.rescan_input ? 0.05 : 1.0)
+            : workload.output_ratio;
+    spec.map_cpu_sec_per_mb = workload.map_cpu_sec_per_mb;
+    spec.reduce_cpu_sec_per_mb = workload.reduce_cpu_sec_per_mb;
+    (void)master->Delete(spec.output_path, /*recursive=*/true, kSuperuser);
+    OCTO_ASSIGN_OR_RETURN(JobStats stats, engine->RunJob(spec));
+    total.elapsed_seconds += stats.elapsed_seconds;
+    total.num_map_tasks += stats.num_map_tasks;
+    total.num_reduce_tasks += stats.num_reduce_tasks;
+    total.local_map_tasks += stats.local_map_tasks;
+    total.input_bytes += stats.input_bytes;
+    total.shuffle_bytes += stats.shuffle_bytes;
+    total.output_bytes += stats.output_bytes;
+    if (!workload.rescan_input) {
+      OCTO_ASSIGN_OR_RETURN(current, ListFiles(master, spec.output_path));
+    }
+  }
+  return total;
+}
+
+Result<JobStats> RunHibenchSpark(SparkEngine* engine,
+                                 workload::TransferEngine* transfers,
+                                 const HibenchWorkload& workload,
+                                 const std::string& input_path,
+                                 const std::string& work_dir) {
+  Master* master = transfers->master();
+  OCTO_ASSIGN_OR_RETURN(
+      std::vector<std::string> input,
+      EnsureInput(transfers, input_path, workload.input_bytes));
+  SparkJobSpec spec;
+  spec.name = workload.name;
+  spec.input_paths = input;
+  spec.output_path = work_dir + "/spark-out";
+  spec.num_iterations = workload.iterations;
+  spec.cache_input = true;
+  spec.shuffle_ratio = workload.shuffle_ratio;
+  spec.output_ratio = workload.output_ratio;
+  // Spark's JVM object churn makes HiBench Spark jobs comparatively
+  // CPU-bound, which (together with the RDD cache) is why the paper sees
+  // smaller FS-induced gains on Spark than on MapReduce.
+  spec.cpu_sec_per_mb =
+      2.0 * (workload.map_cpu_sec_per_mb + workload.reduce_cpu_sec_per_mb);
+  (void)master->Delete(spec.output_path, /*recursive=*/true, kSuperuser);
+  return engine->RunJob(spec);
+}
+
+}  // namespace octo::exec

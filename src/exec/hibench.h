@@ -1,0 +1,74 @@
+#ifndef OCTOPUSFS_EXEC_HIBENCH_H_
+#define OCTOPUSFS_EXEC_HIBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/mapreduce_engine.h"
+#include "exec/spark_engine.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::exec {
+
+/// Category labels used in the paper's Figure 6.
+enum class HibenchCategory { kMicro, kOlap, kMachineLearning };
+
+/// Shape of one HiBench workload: the input volume and the per-phase
+/// byte/compute ratios that characterize the real benchmark binaries.
+/// The experiments measure how the FS underneath changes end-to-end time,
+/// so the I/O profile — not the actual computation — is what must match.
+struct HibenchWorkload {
+  std::string name;
+  HibenchCategory category = HibenchCategory::kMicro;
+  int64_t input_bytes = 4LL << 30;
+  double shuffle_ratio = 1.0;
+  double output_ratio = 1.0;
+  double map_cpu_sec_per_mb = 0.02;
+  double reduce_cpu_sec_per_mb = 0.02;
+  /// >1 for iterative ML workloads (each iteration re-reads / chains).
+  int iterations = 1;
+  /// Iterative jobs whose input is re-scanned each iteration (k-means,
+  /// pagerank) vs chained through intermediate output.
+  bool rescan_input = false;
+  /// Extra chained MapReduce jobs beyond `iterations` — Hive and Mahout
+  /// compile these workloads into multi-job plans whose intermediates
+  /// materialize through the FS. Spark pipelines the same stages in
+  /// memory, so this applies to the MapReduce engine only.
+  int mr_extra_stages = 0;
+};
+
+/// The nine workloads of §7.5: micro (Sort, Wordcount, Terasort),
+/// OLAP (Scan, Join, Aggregation), ML (Pagerank, Bayes, Kmeans).
+std::vector<HibenchWorkload> HibenchSuite();
+
+/// Runs one workload on the MapReduce engine: generates (or reuses) the
+/// input at `input_path`, then executes the job chain on the simulator.
+/// Iterative workloads run `iterations` chained jobs.
+Result<JobStats> RunHibenchMapReduce(MapReduceEngine* engine,
+                                     workload::TransferEngine* transfers,
+                                     const HibenchWorkload& workload,
+                                     const std::string& input_path,
+                                     const std::string& work_dir);
+
+/// Runs one workload on the Spark engine (iterations map to stages over a
+/// cached RDD).
+Result<JobStats> RunHibenchSpark(SparkEngine* engine,
+                                 workload::TransferEngine* transfers,
+                                 const HibenchWorkload& workload,
+                                 const std::string& input_path,
+                                 const std::string& work_dir);
+
+/// Writes the workload's input data set (timed) if not already present.
+/// Returns the list of file paths making up the input.
+Result<std::vector<std::string>> EnsureInput(
+    workload::TransferEngine* transfers, const std::string& input_path,
+    int64_t total_bytes, int num_files = 9);
+
+/// Lists the files of a directory (job outputs used as next-job inputs).
+Result<std::vector<std::string>> ListFiles(Master* master,
+                                           const std::string& dir);
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_HIBENCH_H_

@@ -1,0 +1,74 @@
+#ifndef OCTOPUSFS_EXEC_JOB_SPEC_H_
+#define OCTOPUSFS_EXEC_JOB_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/replication_vector.h"
+
+namespace octo::exec {
+
+/// Cost profile of a MapReduce-style job: how many bytes flow through
+/// each phase relative to the input, and compute cost per megabyte.
+/// These profiles stand in for the real HiBench binaries — what matters
+/// to the experiments is the I/O shape, which the file system underneath
+/// serves.
+struct MapReduceJobSpec {
+  std::string name;
+  std::vector<std::string> input_paths;
+  std::string output_path;
+  /// Map output bytes per input byte (the shuffle volume).
+  double shuffle_ratio = 1.0;
+  /// Final output bytes per input byte.
+  double output_ratio = 1.0;
+  double map_cpu_sec_per_mb = 0.02;
+  double reduce_cpu_sec_per_mb = 0.02;
+  int num_reducers = 9;
+  ReplicationVector output_rv = ReplicationVector::OfTotal(3);
+  int64_t output_block_size = 128LL << 20;
+};
+
+/// A Spark-style job: `num_iterations` passes over the input with an
+/// executor-memory RDD cache absorbing repeat reads.
+struct SparkJobSpec {
+  std::string name;
+  std::vector<std::string> input_paths;
+  std::string output_path;
+  int num_iterations = 1;
+  /// Cache the input RDD after the first pass.
+  bool cache_input = true;
+  /// Executor cache memory per node (bounds what can be cached).
+  int64_t cache_bytes_per_node = 4LL << 30;
+  double shuffle_ratio = 0.1;   // per iteration
+  double output_ratio = 0.1;
+  double cpu_sec_per_mb = 0.01;  // per pass
+  int num_reducers = 9;
+  ReplicationVector output_rv = ReplicationVector::OfTotal(3);
+  int64_t output_block_size = 128LL << 20;
+};
+
+/// Execution statistics of one job run.
+struct JobStats {
+  std::string name;
+  double elapsed_seconds = 0;
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+  /// Map tasks whose input replica was node-local.
+  int local_map_tasks = 0;
+  int64_t input_bytes = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t output_bytes = 0;
+  /// Bytes served from the Spark RDD cache instead of the FS.
+  int64_t cache_read_bytes = 0;
+
+  double LocalityFraction() const {
+    return num_map_tasks > 0
+               ? static_cast<double>(local_map_tasks) / num_map_tasks
+               : 0.0;
+  }
+};
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_JOB_SPEC_H_

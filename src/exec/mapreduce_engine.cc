@@ -1,0 +1,194 @@
+#include "exec/mapreduce_engine.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace octo::exec {
+
+namespace {
+
+/// One map task's input split.
+struct MapInput {
+  BlockId block = kInvalidBlock;
+  int64_t length = 0;
+  std::vector<MediumId> replicas;
+  std::set<WorkerId> hosts;
+};
+
+double CpuSeconds(double sec_per_mb, int64_t bytes) {
+  return sec_per_mb * (static_cast<double>(bytes) / 1e6);
+}
+
+}  // namespace
+
+MapReduceEngine::MapReduceEngine(workload::TransferEngine* engine,
+                                 MapReduceEngineOptions options)
+    : engine_(engine), cluster_(engine->cluster()), options_(options) {}
+
+Result<JobStats> MapReduceEngine::RunJob(const MapReduceJobSpec& spec) {
+  Master* master = engine_->master();
+  sim::Simulation* sim = engine_->simulation();
+  const ClusterState& state = master->cluster_state();
+
+  // Gather the input splits: one map task per block.
+  auto inputs = std::make_shared<std::vector<MapInput>>();
+  for (const std::string& path : spec.input_paths) {
+    OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> blocks,
+                          master->GetBlockLocations(path, NetworkLocation()));
+    for (const LocatedBlock& lb : blocks) {
+      MapInput input;
+      input.block = lb.block.id;
+      input.length = lb.block.length;
+      for (const PlacedReplica& r : lb.locations) {
+        input.replicas.push_back(r.medium);
+        input.hosts.insert(r.worker);
+      }
+      inputs->push_back(std::move(input));
+    }
+  }
+  if (inputs->empty()) {
+    return Status::InvalidArgument("job " + spec.name + " has no input");
+  }
+
+  auto stats = std::make_shared<JobStats>();
+  stats->name = spec.name;
+  stats->num_map_tasks = static_cast<int>(inputs->size());
+  for (const MapInput& input : *inputs) stats->input_bytes += input.length;
+  stats->shuffle_bytes =
+      static_cast<int64_t>(stats->input_bytes * spec.shuffle_ratio);
+  stats->output_bytes =
+      static_cast<int64_t>(stats->input_bytes * spec.output_ratio);
+  stats->num_reduce_tasks = spec.num_reducers;
+
+  double start = sim->now();
+  auto job_status = std::make_shared<Status>();
+  auto finished = std::make_shared<bool>(false);
+
+  // --- Reduce phase (started after all maps are done) ---------------------
+  // The scheduler objects are created here so they outlive the callbacks
+  // that reference them (everything resolves inside RunUntilIdle below).
+  auto reduce_sched = std::make_shared<SlotScheduler>(
+      cluster_, options_.reduce_slots_per_node);
+  auto run_reduce = [this, spec, stats, master, finished, reduce_sched,
+                     job_status]() {
+    std::vector<SchedulableTask> tasks(spec.num_reducers);
+    for (int i = 0; i < spec.num_reducers; ++i) tasks[i].id = i;
+    int64_t shuffle_share =
+        stats->shuffle_bytes / std::max(1, spec.num_reducers);
+    int64_t output_share =
+        stats->output_bytes / std::max(1, spec.num_reducers);
+    const std::vector<WorkerId>& worker_ids = cluster_->worker_ids();
+
+    reduce_sched->Run(
+        std::move(tasks),
+        [this, spec, shuffle_share, output_share, worker_ids, job_status](
+            int task, WorkerId worker, bool /*local*/,
+            std::function<void()> done) {
+          NetworkLocation reduce_node = cluster_->worker(worker)->location();
+          // Shuffle: fetch this reducer's partition from the map side.
+          // Map output is spread over the cluster; model the fetch as a
+          // scratch read on a rotating map node plus the network hop.
+          WorkerId src_id = worker_ids[task % worker_ids.size()];
+          NetworkLocation map_node = cluster_->worker(src_id)->location();
+          engine_->ScratchReadAsync(
+              shuffle_share, map_node,
+              [this, spec, shuffle_share, output_share, map_node,
+               reduce_node, task, done = std::move(done),
+               job_status](Status st) mutable {
+                if (!st.ok()) *job_status = st;
+                engine_->NodeTransferAsync(
+                    shuffle_share, map_node, reduce_node,
+                    [this, spec, shuffle_share, output_share, reduce_node,
+                     task, done = std::move(done),
+                     job_status](Status st2) mutable {
+                      if (!st2.ok()) *job_status = st2;
+                      double cpu = CpuSeconds(spec.reduce_cpu_sec_per_mb,
+                                              shuffle_share);
+                      engine_->simulation()->Schedule(
+                          cpu,
+                          [this, spec, output_share, reduce_node, task,
+                           done = std::move(done), job_status]() mutable {
+                            // Write this reducer's output through the FS.
+                            std::string part =
+                                spec.output_path + "/part-" +
+                                std::to_string(task);
+                            engine_->WriteFileAsync(
+                                part, output_share, spec.output_block_size,
+                                spec.output_rv, reduce_node,
+                                [done = std::move(done),
+                                 job_status](Status st3) {
+                                  if (!st3.ok()) *job_status = st3;
+                                  done();
+                                });
+                          });
+                    });
+              });
+        },
+        [finished]() { *finished = true; });
+  };
+
+  // --- Map phase -----------------------------------------------------------
+  std::vector<SchedulableTask> map_tasks(inputs->size());
+  for (size_t i = 0; i < inputs->size(); ++i) {
+    map_tasks[i].id = static_cast<int>(i);
+    map_tasks[i].preferred_workers = (*inputs)[i].hosts;
+  }
+  auto map_sched = std::make_shared<SlotScheduler>(
+      cluster_, options_.map_slots_per_node);
+  map_sched->Run(
+      std::move(map_tasks),
+      [this, spec, inputs, master, &state, job_status](
+          int task, WorkerId worker, bool /*local*/,
+          std::function<void()> done) {
+        const MapInput& input = (*inputs)[task];
+        NetworkLocation node = cluster_->worker(worker)->location();
+        // The task reads its split from the replica the retrieval policy
+        // ranks best for this node (tier- and load-aware for OctopusFS,
+        // locality-only for HDFS).
+        std::vector<MediumId> ordered =
+            master->OrderReplicasFor(node, input.replicas);
+        PlacedReplica source;
+        source.medium = ordered.empty() ? kInvalidMedium : ordered.front();
+        const MediumInfo* info =
+            source.medium != kInvalidMedium ? state.FindMedium(source.medium)
+                                            : nullptr;
+        if (info != nullptr) {
+          source.worker = info->worker;
+          source.tier = info->tier;
+          source.location = info->location;
+        }
+        int64_t spill =
+            static_cast<int64_t>(input.length * spec.shuffle_ratio);
+        engine_->ReadReplicaAsync(
+            input.length, source, node,
+            [this, spec, input, node, spill, done = std::move(done),
+             job_status](Status st) mutable {
+              if (!st.ok()) *job_status = st;
+              double cpu =
+                  CpuSeconds(spec.map_cpu_sec_per_mb, input.length);
+              engine_->simulation()->Schedule(
+                  cpu, [this, node, spill, done = std::move(done),
+                        job_status]() mutable {
+                    engine_->ScratchWriteAsync(
+                        spill, node,
+                        [done = std::move(done), job_status](Status st2) {
+                          if (!st2.ok()) *job_status = st2;
+                          done();
+                        });
+                  });
+            });
+      },
+      run_reduce, &stats->local_map_tasks);
+
+  sim->RunUntilIdle();
+  if (!*finished) {
+    return Status::Internal("job " + spec.name + " did not finish");
+  }
+  if (!job_status->ok()) return *job_status;
+  stats->elapsed_seconds = sim->now() - start;
+  return *stats;
+}
+
+}  // namespace octo::exec

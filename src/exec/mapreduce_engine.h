@@ -1,0 +1,42 @@
+#ifndef OCTOPUSFS_EXEC_MAPREDUCE_ENGINE_H_
+#define OCTOPUSFS_EXEC_MAPREDUCE_ENGINE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/job_spec.h"
+#include "exec/slot_scheduler.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::exec {
+
+/// Engine tunables, matching a small Hadoop deployment.
+struct MapReduceEngineOptions {
+  int map_slots_per_node = 4;
+  int reduce_slots_per_node = 2;
+};
+
+/// A MapReduce-style execution engine (the paper's Hadoop substrate):
+/// one map task per input block, scheduled locality-aware against the
+/// block locations the FS exposes; map output spills to local scratch;
+/// reducers shuffle over the network, compute, and write job output back
+/// to the FS through the live placement policy. All I/O is timed on the
+/// cluster simulator; compute is modeled as per-MB virtual delays.
+class MapReduceEngine {
+ public:
+  MapReduceEngine(workload::TransferEngine* engine,
+                  MapReduceEngineOptions options = {});
+
+  /// Runs one job to completion (advances the simulator) and returns its
+  /// statistics.
+  Result<JobStats> RunJob(const MapReduceJobSpec& spec);
+
+ private:
+  workload::TransferEngine* engine_;
+  Cluster* cluster_;
+  MapReduceEngineOptions options_;
+};
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,56 @@
+#ifndef OCTOPUSFS_EXEC_PEGASUS_H_
+#define OCTOPUSFS_EXEC_PEGASUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/mapreduce_engine.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::exec {
+
+/// One Pegasus graph-mining workload (paper §7.6): iterated generalized
+/// matrix-vector multiplication over Hadoop. Each iteration reads the
+/// (reused) adjacency matrix and the current vector, and produces the
+/// next vector as intermediate data.
+struct PegasusWorkload {
+  std::string name;
+  int iterations = 4;
+  /// Shuffle volume per input byte of an iteration.
+  double shuffle_ratio = 1.0;
+  /// Intermediate (next-vector + bookkeeping) bytes produced per matrix
+  /// byte — HADI's multi-bit vectors make this large (≈18 GB/iteration on
+  /// the paper's 3.3 GB graph).
+  double intermediate_ratio = 0.15;
+  double cpu_sec_per_mb = 0.012;
+};
+
+/// The four workloads of Figure 7.
+std::vector<PegasusWorkload> PegasusSuite();
+
+/// The two Pegasus-side optimizations enabled by OctopusFS
+/// controllability (paper §7.6).
+struct PegasusOptions {
+  /// Move one replica of the reused matrix into the Memory tier before
+  /// iterating (the prefetching optimization).
+  bool prefetch_to_memory = false;
+  /// Store one copy of the short-lived inter-job vectors in memory.
+  bool intermediate_in_memory = false;
+};
+
+/// Runs one Pegasus workload end to end on the MapReduce engine over the
+/// given graph (matrix) data; `graph_bytes` is generated at `graph_path`
+/// on first use. Returns aggregate stats (elapsed covers any prefetch
+/// data movement too).
+Result<JobStats> RunPegasus(MapReduceEngine* engine,
+                            workload::TransferEngine* transfers,
+                            const PegasusWorkload& workload,
+                            const PegasusOptions& options,
+                            const std::string& graph_path,
+                            int64_t graph_bytes,
+                            const std::string& work_dir);
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_PEGASUS_H_

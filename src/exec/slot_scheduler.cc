@@ -1,0 +1,97 @@
+#include "exec/slot_scheduler.h"
+
+#include <deque>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace octo::exec {
+
+struct SlotScheduler::RunState {
+  std::deque<SchedulableTask> pending;
+  std::map<WorkerId, int> free_slots;
+  int outstanding = 0;
+  Executor executor;
+  std::function<void()> all_done;
+  int* local_count = nullptr;
+  bool finished = false;
+};
+
+SlotScheduler::SlotScheduler(Cluster* cluster, int slots_per_node)
+    : cluster_(cluster), slots_per_node_(slots_per_node) {
+  OCTO_CHECK(slots_per_node > 0);
+}
+
+void SlotScheduler::Run(std::vector<SchedulableTask> tasks, Executor executor,
+                        std::function<void()> all_done, int* local_count) {
+  auto state = std::make_shared<RunState>();
+  state->pending.assign(tasks.begin(), tasks.end());
+  state->executor = std::move(executor);
+  state->all_done = std::move(all_done);
+  state->local_count = local_count;
+  if (local_count != nullptr) *local_count = 0;
+  for (WorkerId id : cluster_->worker_ids()) {
+    if (!cluster_->IsStopped(id)) state->free_slots[id] = slots_per_node_;
+  }
+  if (state->pending.empty()) {
+    state->all_done();
+    return;
+  }
+  Dispatch(std::move(state));
+}
+
+void SlotScheduler::Dispatch(std::shared_ptr<RunState> state) {
+  // Greedy matching: for every node with free slots, first hand out a
+  // pending task with a replica on that node (node-local); once no
+  // locality matches remain, fill leftover slots with arbitrary tasks.
+  // Pass 1 runs to a fixed point (assigning every possible node-local
+  // task) before pass 2 fills leftover slots with remote tasks —
+  // otherwise an eager remote assignment would steal a task whose home
+  // node still has free slots.
+  bool progress = true;
+  while (progress && !state->pending.empty()) {
+    progress = false;
+    for (auto& [worker, slots] : state->free_slots) {
+      while (slots > 0 && !state->pending.empty()) {
+        auto it = state->pending.begin();
+        for (; it != state->pending.end(); ++it) {
+          if (it->preferred_workers.count(worker) > 0) break;
+        }
+        if (it == state->pending.end()) break;
+        SchedulableTask task = *it;
+        state->pending.erase(it);
+        --slots;
+        ++state->outstanding;
+        if (state->local_count != nullptr) ++*state->local_count;
+        progress = true;
+        state->executor(task.id, worker, /*node_local=*/true,
+                        [this, state, worker]() {
+                          state->free_slots[worker]++;
+                          state->outstanding--;
+                          Dispatch(state);
+                        });
+      }
+    }
+  }
+  // Pass 2: remaining tasks onto any free slot (remote reads).
+  for (auto& [worker, slots] : state->free_slots) {
+    while (slots > 0 && !state->pending.empty()) {
+      SchedulableTask task = state->pending.front();
+      state->pending.pop_front();
+      --slots;
+      ++state->outstanding;
+      state->executor(task.id, worker, /*node_local=*/false,
+                      [this, state, worker]() {
+                        state->free_slots[worker]++;
+                        state->outstanding--;
+                        Dispatch(state);
+                      });
+    }
+  }
+  if (state->pending.empty() && state->outstanding == 0 && !state->finished) {
+    state->finished = true;
+    state->all_done();
+  }
+}
+
+}  // namespace octo::exec

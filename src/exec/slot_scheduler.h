@@ -1,0 +1,57 @@
+#ifndef OCTOPUSFS_EXEC_SLOT_SCHEDULER_H_
+#define OCTOPUSFS_EXEC_SLOT_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "topology/network_location.h"
+
+namespace octo::exec {
+
+/// A task to place: `preferred_workers` are nodes holding a replica of
+/// the task's input (locality candidates).
+struct SchedulableTask {
+  int id = 0;
+  std::set<WorkerId> preferred_workers;
+};
+
+/// Slot-based, locality-aware task scheduler in the style of the Hadoop
+/// JobTracker: each node exposes a fixed number of slots; free slots pull
+/// the next task, preferring one with a node-local input replica, as
+/// Hadoop and Spark do based on the block locations the FS exposes
+/// (paper §6, "MapReduce Task Scheduling").
+///
+/// Execution is asynchronous on the cluster's simulator: `Run` dispatches
+/// initial tasks and returns; completions (signaled by the executor
+/// calling `done`) free slots and dispatch more. The caller runs the
+/// simulator and then invokes the completion callback it passed.
+class SlotScheduler {
+ public:
+  /// `executor(task_id, worker, node_local, done)` starts the task's
+  /// timed work and must invoke `done` exactly once when it finishes.
+  using Executor = std::function<void(int task_id, WorkerId worker,
+                                      bool node_local,
+                                      std::function<void()> done)>;
+
+  SlotScheduler(Cluster* cluster, int slots_per_node);
+
+  /// Schedules all `tasks`; `all_done` fires when the last one finishes.
+  /// `local_count` (optional) receives the number of node-local
+  /// assignments.
+  void Run(std::vector<SchedulableTask> tasks, Executor executor,
+           std::function<void()> all_done, int* local_count = nullptr);
+
+ private:
+  struct RunState;
+  void Dispatch(std::shared_ptr<RunState> state);
+
+  Cluster* cluster_;
+  int slots_per_node_;
+};
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_SLOT_SCHEDULER_H_

@@ -1,0 +1,223 @@
+#include "exec/spark_engine.h"
+
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace octo::exec {
+
+namespace {
+
+struct Partition {
+  BlockId block = kInvalidBlock;
+  int64_t length = 0;
+  std::vector<MediumId> replicas;
+  std::set<WorkerId> hosts;       // FS replica hosts
+  WorkerId cached_on = kInvalidWorker;  // RDD cache location
+};
+
+struct SparkRun {
+  SparkJobSpec spec;
+  std::vector<Partition> partitions;
+  std::map<WorkerId, int64_t> cache_room;
+  JobStats stats;
+  Status status;
+  bool finished = false;
+  int iteration = 0;
+  std::shared_ptr<SlotScheduler> scheduler;
+};
+
+double CpuSeconds(double sec_per_mb, int64_t bytes) {
+  return sec_per_mb * (static_cast<double>(bytes) / 1e6);
+}
+
+}  // namespace
+
+SparkEngine::SparkEngine(workload::TransferEngine* engine,
+                         SparkEngineOptions options)
+    : engine_(engine), cluster_(engine->cluster()), options_(options) {}
+
+Result<JobStats> SparkEngine::RunJob(const SparkJobSpec& spec) {
+  Master* master = engine_->master();
+  sim::Simulation* sim = engine_->simulation();
+
+  auto run = std::make_shared<SparkRun>();
+  run->spec = spec;
+  run->scheduler = std::make_shared<SlotScheduler>(
+      cluster_, options_.task_slots_per_node);
+  for (WorkerId id : cluster_->worker_ids()) {
+    run->cache_room[id] = spec.cache_bytes_per_node;
+  }
+  for (const std::string& path : spec.input_paths) {
+    OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> blocks,
+                          master->GetBlockLocations(path, NetworkLocation()));
+    for (const LocatedBlock& lb : blocks) {
+      Partition partition;
+      partition.block = lb.block.id;
+      partition.length = lb.block.length;
+      for (const PlacedReplica& r : lb.locations) {
+        partition.replicas.push_back(r.medium);
+        partition.hosts.insert(r.worker);
+      }
+      run->partitions.push_back(std::move(partition));
+    }
+  }
+  if (run->partitions.empty()) {
+    return Status::InvalidArgument("job " + spec.name + " has no input");
+  }
+  run->stats.name = spec.name;
+  run->stats.num_map_tasks =
+      static_cast<int>(run->partitions.size()) * spec.num_iterations;
+  run->stats.num_reduce_tasks = spec.num_reducers;
+  for (const Partition& p : run->partitions) {
+    run->stats.input_bytes += p.length;
+  }
+  run->stats.shuffle_bytes = static_cast<int64_t>(
+      run->stats.input_bytes * spec.shuffle_ratio * spec.num_iterations);
+  run->stats.output_bytes =
+      static_cast<int64_t>(run->stats.input_bytes * spec.output_ratio);
+
+  double start = sim->now();
+
+  // Final stage: write the job output through the FS.
+  auto write_output = [this, run]() {
+    auto remaining = std::make_shared<int>(run->spec.num_reducers);
+    int64_t share =
+        run->stats.output_bytes / std::max(1, run->spec.num_reducers);
+    const std::vector<WorkerId>& ids = cluster_->worker_ids();
+    for (int i = 0; i < run->spec.num_reducers; ++i) {
+      NetworkLocation node =
+          cluster_->worker(ids[i % ids.size()])->location();
+      engine_->WriteFileAsync(
+          run->spec.output_path + "/part-" + std::to_string(i), share,
+          run->spec.output_block_size, run->spec.output_rv, node,
+          [run, remaining](Status st) {
+            if (!st.ok()) run->status = st;
+            if (--*remaining == 0) run->finished = true;
+          });
+    }
+    if (run->spec.num_reducers == 0) run->finished = true;
+  };
+
+  // One iteration = a task per partition (read from cache or FS, then
+  // compute) followed by a shuffle barrier.
+  std::shared_ptr<std::function<void()>> run_iteration =
+      std::make_shared<std::function<void()>>();
+  *run_iteration = [this, run, master, write_output, run_iteration]() {
+    if (run->iteration >= run->spec.num_iterations) {
+      write_output();
+      return;
+    }
+    run->iteration++;
+    std::vector<SchedulableTask> tasks(run->partitions.size());
+    for (size_t i = 0; i < run->partitions.size(); ++i) {
+      tasks[i].id = static_cast<int>(i);
+      const Partition& p = run->partitions[i];
+      // Later iterations prefer the executor holding the cached RDD
+      // partition; the first prefers FS replica hosts.
+      if (p.cached_on != kInvalidWorker) {
+        tasks[i].preferred_workers = {p.cached_on};
+      } else {
+        tasks[i].preferred_workers = p.hosts;
+      }
+    }
+    auto after_tasks = [this, run, run_iteration]() {
+      // Per-iteration shuffle: reducers pull their partitions.
+      int64_t iter_shuffle = static_cast<int64_t>(
+          run->stats.input_bytes * run->spec.shuffle_ratio);
+      if (iter_shuffle <= 0 || run->spec.num_reducers == 0) {
+        (*run_iteration)();
+        return;
+      }
+      auto remaining = std::make_shared<int>(run->spec.num_reducers);
+      int64_t share = iter_shuffle / run->spec.num_reducers;
+      const std::vector<WorkerId>& ids = cluster_->worker_ids();
+      for (int i = 0; i < run->spec.num_reducers; ++i) {
+        NetworkLocation from =
+            cluster_->worker(ids[i % ids.size()])->location();
+        NetworkLocation to =
+            cluster_->worker(ids[(i + 1) % ids.size()])->location();
+        engine_->NodeTransferAsync(
+            share, from, to, [run, remaining, run_iteration](Status st) {
+              if (!st.ok()) run->status = st;
+              if (--*remaining == 0) (*run_iteration)();
+            });
+      }
+    };
+    run->scheduler->Run(
+        std::move(tasks),
+        [this, run, master](int task, WorkerId worker, bool /*local*/,
+                            std::function<void()> done) {
+          Partition& p = run->partitions[task];
+          NetworkLocation node = cluster_->worker(worker)->location();
+          auto compute = [this, run, &p, node,
+                          done = std::move(done)]() mutable {
+            double cpu = CpuSeconds(run->spec.cpu_sec_per_mb, p.length);
+            engine_->simulation()->Schedule(
+                cpu, [done = std::move(done)]() { done(); });
+          };
+          if (p.cached_on == worker) {
+            // Process-local cached partition: memory-speed read.
+            run->stats.cache_read_bytes += p.length;
+            engine_->CacheReadAsync(
+                p.length, node,
+                [compute = std::move(compute)](Status) mutable {
+                  compute();
+                });
+            return;
+          }
+          if (p.cached_on != kInvalidWorker) {
+            // Cached on another executor: fetch over the network.
+            run->stats.cache_read_bytes += p.length;
+            NetworkLocation cache_node =
+                cluster_->worker(p.cached_on)->location();
+            engine_->NodeTransferAsync(
+                p.length, cache_node, node,
+                [compute = std::move(compute)](Status) mutable {
+                  compute();
+                });
+            return;
+          }
+          // Read from the FS via the retrieval policy; cache afterwards
+          // when the executor has room.
+          std::vector<MediumId> ordered =
+              master->OrderReplicasFor(node, p.replicas);
+          PlacedReplica source;
+          source.medium = ordered.empty() ? kInvalidMedium : ordered.front();
+          const MediumInfo* info =
+              source.medium != kInvalidMedium
+                  ? master->cluster_state().FindMedium(source.medium)
+                  : nullptr;
+          if (info != nullptr) {
+            source.worker = info->worker;
+            source.tier = info->tier;
+            source.location = info->location;
+          }
+          engine_->ReadReplicaAsync(
+              p.length, source, node,
+              [run, &p, worker, compute = std::move(compute)](
+                  Status st) mutable {
+                if (!st.ok()) run->status = st;
+                if (run->spec.cache_input &&
+                    run->cache_room[worker] >= p.length) {
+                  run->cache_room[worker] -= p.length;
+                  p.cached_on = worker;
+                }
+                compute();
+              });
+        },
+        after_tasks);
+  };
+  (*run_iteration)();
+
+  sim->RunUntilIdle();
+  if (!run->finished) {
+    return Status::Internal("job " + spec.name + " did not finish");
+  }
+  if (!run->status.ok()) return run->status;
+  run->stats.elapsed_seconds = sim->now() - start;
+  return run->stats;
+}
+
+}  // namespace octo::exec

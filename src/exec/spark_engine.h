@@ -1,0 +1,35 @@
+#ifndef OCTOPUSFS_EXEC_SPARK_ENGINE_H_
+#define OCTOPUSFS_EXEC_SPARK_ENGINE_H_
+
+#include "common/status.h"
+#include "exec/job_spec.h"
+#include "exec/slot_scheduler.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::exec {
+
+struct SparkEngineOptions {
+  int task_slots_per_node = 4;
+};
+
+/// A Spark-style execution engine: iterative stages over an input RDD
+/// with an executor-memory cache. The first pass reads from the FS (so
+/// OctopusFS tiering matters); later passes hit the RDD cache when the
+/// partition fit, which is why the paper sees smaller (but still real)
+/// OctopusFS gains for Spark than for Hadoop.
+class SparkEngine {
+ public:
+  SparkEngine(workload::TransferEngine* engine,
+              SparkEngineOptions options = {});
+
+  Result<JobStats> RunJob(const SparkJobSpec& spec);
+
+ private:
+  workload::TransferEngine* engine_;
+  Cluster* cluster_;
+  SparkEngineOptions options_;
+};
+
+}  // namespace octo::exec
+
+#endif  // OCTOPUSFS_EXEC_SPARK_ENGINE_H_

@@ -1,0 +1,162 @@
+#include "namespacefs/edit_log.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace octo {
+
+namespace {
+
+const UserContext kSuperuser{"root", {}};
+
+int64_t ParseI64(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EditLog>> EditLog::Open(const std::string& path) {
+  auto log = std::make_unique<EditLog>();
+  log->file_path_ = path;
+  std::ifstream in(path);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) log->entries_.push_back(line);
+    }
+  }
+  // Confirm the file is writable (creating it if absent).
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::IoError("cannot open edit log for append: " + path);
+  }
+  return log;
+}
+
+void EditLog::Append(std::string line) {
+  if (!file_path_.empty()) {
+    std::ofstream out(file_path_, std::ios::app);
+    out << line << "\n";
+  }
+  entries_.push_back(std::move(line));
+}
+
+void EditLog::LogMkdirs(const std::string& path) {
+  Append("MKDIR\t" + path);
+}
+
+void EditLog::LogCreate(const std::string& path, const ReplicationVector& rv,
+                        int64_t block_size, bool overwrite) {
+  std::ostringstream os;
+  os << "CREATE\t" << path << "\t" << rv.Encode() << "\t" << block_size
+     << "\t" << (overwrite ? 1 : 0);
+  Append(os.str());
+}
+
+void EditLog::LogAddBlock(const std::string& path, const BlockInfo& block) {
+  std::ostringstream os;
+  os << "ADDBLOCK\t" << path << "\t" << block.id << "\t" << block.length;
+  Append(os.str());
+}
+
+void EditLog::LogComplete(const std::string& path) {
+  Append("COMPLETE\t" + path);
+}
+
+void EditLog::LogAppend(const std::string& path) {
+  Append("APPEND\t" + path);
+}
+
+void EditLog::LogRename(const std::string& src, const std::string& dst) {
+  Append("RENAME\t" + src + "\t" + dst);
+}
+
+void EditLog::LogDelete(const std::string& path, bool recursive) {
+  Append("DELETE\t" + path + "\t" + (recursive ? std::string("1") : "0"));
+}
+
+void EditLog::LogSetReplication(const std::string& path,
+                                const ReplicationVector& rv) {
+  Append("SETRV\t" + path + "\t" + std::to_string(rv.Encode()));
+}
+
+void EditLog::LogSetQuota(const std::string& path, int slot, int64_t bytes) {
+  Append("SETQUOTA\t" + path + "\t" + std::to_string(slot) + "\t" +
+         std::to_string(bytes));
+}
+
+void EditLog::LogSetOwner(const std::string& path, const std::string& owner,
+                          const std::string& group) {
+  Append("SETOWNER\t" + path + "\t" + owner + "\t" + group);
+}
+
+void EditLog::LogSetMode(const std::string& path, uint16_t mode) {
+  Append("SETMODE\t" + path + "\t" + std::to_string(mode));
+}
+
+Status EditLog::Truncate() {
+  entries_.clear();
+  checkpointed_ = 0;
+  if (!file_path_.empty()) {
+    std::ofstream out(file_path_, std::ios::trunc);
+    if (!out) return Status::IoError("cannot truncate " + file_path_);
+  }
+  return Status::OK();
+}
+
+Status EditLog::Replay(const std::vector<std::string>& entries, int64_t from,
+                       NamespaceTree* tree) {
+  for (size_t i = static_cast<size_t>(from); i < entries.size(); ++i) {
+    std::vector<std::string> f = Split(entries[i], '\t');
+    const std::string& op = f[0];
+    Status st;
+    if (op == "MKDIR" && f.size() == 2) {
+      st = tree->Mkdirs(f[1], kSuperuser);
+    } else if (op == "CREATE" && f.size() == 5) {
+      st = tree->CreateFile(
+          f[1],
+          ReplicationVector::FromEncoded(
+              static_cast<uint64_t>(ParseI64(f[2]))),
+          ParseI64(f[3]), f[4] == "1", kSuperuser);
+    } else if (op == "ADDBLOCK" && f.size() == 4) {
+      st = tree->AddBlock(f[1], BlockInfo{ParseI64(f[2]), ParseI64(f[3])});
+    } else if (op == "COMPLETE" && f.size() == 2) {
+      st = tree->CompleteFile(f[1]);
+    } else if (op == "APPEND" && f.size() == 2) {
+      st = tree->ReopenForAppend(f[1], kSuperuser);
+    } else if (op == "RENAME" && f.size() == 3) {
+      st = tree->Rename(f[1], f[2], kSuperuser);
+    } else if (op == "DELETE" && f.size() == 3) {
+      auto result = tree->Delete(f[1], f[2] == "1", kSuperuser);
+      st = result.ok() ? Status::OK() : result.status();
+    } else if (op == "SETRV" && f.size() == 3) {
+      st = tree->SetReplicationVector(
+          f[1],
+          ReplicationVector::FromEncoded(
+              static_cast<uint64_t>(ParseI64(f[2]))),
+          kSuperuser);
+    } else if (op == "SETQUOTA" && f.size() == 4) {
+      st = tree->SetQuota(f[1], static_cast<int>(ParseI64(f[2])),
+                          ParseI64(f[3]));
+    } else if (op == "SETOWNER" && f.size() == 4) {
+      st = tree->SetOwner(f[1], f[2], f[3], kSuperuser);
+    } else if (op == "SETMODE" && f.size() == 3) {
+      st = tree->SetMode(f[1], static_cast<uint16_t>(ParseI64(f[2])),
+                         kSuperuser);
+    } else {
+      return Status::Corruption("malformed edit log record " +
+                                std::to_string(i) + ": " + entries[i]);
+    }
+    if (!st.ok()) {
+      return Status::Corruption("replay of record " + std::to_string(i) +
+                                " (" + entries[i] + ") failed: " +
+                                st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace octo

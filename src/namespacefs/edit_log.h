@@ -1,0 +1,75 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_
+#define OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/replication_vector.h"
+#include "namespacefs/namespace_tree.h"
+#include "storage/block.h"
+
+namespace octo {
+
+/// Append-only journal of namespace mutations (the HDFS "edit log").
+/// Each record is one tab-separated text line. The Master appends a record
+/// for every successful mutation; a Backup Master replays records on top
+/// of the last checkpoint to reconstruct the namespace after a failure.
+class EditLog {
+ public:
+  /// In-memory journal.
+  EditLog() = default;
+
+  /// File-backed journal: records are appended (and flushed) to `path`;
+  /// existing records are loaded into memory first.
+  static Result<std::unique_ptr<EditLog>> Open(const std::string& path);
+
+  EditLog(const EditLog&) = delete;
+  EditLog& operator=(const EditLog&) = delete;
+
+  // Typed record appenders, one per journaled operation.
+  void LogMkdirs(const std::string& path);
+  void LogCreate(const std::string& path, const ReplicationVector& rv,
+                 int64_t block_size, bool overwrite);
+  void LogAddBlock(const std::string& path, const BlockInfo& block);
+  void LogComplete(const std::string& path);
+  void LogAppend(const std::string& path);
+  void LogRename(const std::string& src, const std::string& dst);
+  void LogDelete(const std::string& path, bool recursive);
+  void LogSetReplication(const std::string& path,
+                         const ReplicationVector& rv);
+  void LogSetQuota(const std::string& path, int slot, int64_t bytes);
+  void LogSetOwner(const std::string& path, const std::string& owner,
+                   const std::string& group);
+  void LogSetMode(const std::string& path, uint16_t mode);
+
+  const std::vector<std::string>& entries() const { return entries_; }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Number of records already folded into the latest checkpoint; replay
+  /// resumes after this offset.
+  int64_t checkpointed() const { return checkpointed_; }
+  void MarkCheckpointed(int64_t up_to) { checkpointed_ = up_to; }
+
+  /// Drops all records (after a successful checkpoint). Truncates the
+  /// backing file when present.
+  Status Truncate();
+
+  /// Applies records [from, entries.size()) to `tree` with superuser
+  /// rights. Stops at the first malformed record.
+  static Status Replay(const std::vector<std::string>& entries, int64_t from,
+                       NamespaceTree* tree);
+
+ private:
+  void Append(std::string line);
+
+  std::vector<std::string> entries_;
+  int64_t checkpointed_ = 0;
+  std::string file_path_;  // empty for in-memory journals
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_

@@ -1,0 +1,134 @@
+#include "namespacefs/fsimage.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/replication_vector.h"
+
+namespace octo {
+
+namespace {
+
+const UserContext kSuperuser{"root", {}};
+
+int64_t ParseI64(const std::string& s) {
+  return std::strtoll(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string FsImage::Serialize(const NamespaceTree& tree) {
+  std::ostringstream os;
+  os << "OCTO_FSIMAGE\t1\n";
+  tree.Visit([&os](const NamespaceTree::VisitEntry& e) {
+    const FileStatus& st = e.status;
+    if (st.is_dir) {
+      os << "D\t" << st.path << "\t" << st.owner << "\t" << st.group << "\t"
+         << st.mode << "\t" << st.mtime_micros;
+      for (int i = 0; i < 8; ++i) os << "\t" << e.quota[i];
+      os << "\n";
+    } else {
+      os << "F\t" << st.path << "\t" << st.owner << "\t" << st.group << "\t"
+         << st.mode << "\t" << st.mtime_micros << "\t"
+         << st.rep_vector.Encode() << "\t" << st.block_size << "\t"
+         << (st.under_construction ? 1 : 0) << "\t" << e.blocks.size();
+      for (const BlockInfo& b : e.blocks) {
+        os << "\t" << b.id << ":" << b.length;
+      }
+      os << "\n";
+    }
+  });
+  return os.str();
+}
+
+Status FsImage::Save(const NamespaceTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open fsimage for write: " + path);
+  out << Serialize(tree);
+  out.close();
+  if (!out) return Status::IoError("short write to fsimage " + path);
+  return Status::OK();
+}
+
+Status FsImage::Deserialize(const std::string& image, NamespaceTree* tree) {
+  std::istringstream in(image);
+  std::string line;
+  if (!std::getline(in, line) || !StartsWith(line, "OCTO_FSIMAGE\t")) {
+    return Status::Corruption("fsimage missing header");
+  }
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> f = Split(line, '\t');
+    Status st;
+    if (f[0] == "D" && f.size() == 14) {
+      const std::string& path = f[1];
+      if (path != "/") {
+        st = tree->Mkdirs(path, kSuperuser);
+        if (!st.ok()) return st;
+      }
+      for (int i = 0; i < 8; ++i) {
+        int64_t q = ParseI64(f[6 + i]);
+        if (q >= 0) {
+          st = tree->SetQuota(path, i, q);
+          if (!st.ok()) return st;
+        }
+      }
+      st = tree->SetOwner(path, f[2], f[3], kSuperuser);
+      if (!st.ok()) return st;
+      st = tree->SetMode(path, static_cast<uint16_t>(ParseI64(f[4])),
+                         kSuperuser);
+      if (!st.ok()) return st;
+    } else if (f[0] == "F" && f.size() >= 10) {
+      const std::string& path = f[1];
+      auto rv = ReplicationVector::FromEncoded(
+          static_cast<uint64_t>(ParseI64(f[6])));
+      st = tree->CreateFile(path, rv, ParseI64(f[7]), /*overwrite=*/false,
+                            kSuperuser);
+      if (!st.ok()) return st;
+      size_t num_blocks = static_cast<size_t>(ParseI64(f[9]));
+      if (f.size() != 10 + num_blocks) {
+        return Status::Corruption("fsimage line " + std::to_string(line_no) +
+                                  ": block count mismatch");
+      }
+      for (size_t i = 0; i < num_blocks; ++i) {
+        const std::string& pair = f[10 + i];
+        size_t colon = pair.find(':');
+        if (colon == std::string::npos) {
+          return Status::Corruption("fsimage line " + std::to_string(line_no) +
+                                    ": bad block entry " + pair);
+        }
+        BlockInfo b{ParseI64(pair.substr(0, colon)),
+                    ParseI64(pair.substr(colon + 1))};
+        st = tree->AddBlock(path, b);
+        if (!st.ok()) return st;
+      }
+      if (f[8] == "0") {
+        st = tree->CompleteFile(path);
+        if (!st.ok()) return st;
+      }
+      st = tree->SetOwner(path, f[2], f[3], kSuperuser);
+      if (!st.ok()) return st;
+      st = tree->SetMode(path, static_cast<uint16_t>(ParseI64(f[4])),
+                         kSuperuser);
+      if (!st.ok()) return st;
+    } else {
+      return Status::Corruption("fsimage line " + std::to_string(line_no) +
+                                " malformed: " + line);
+    }
+  }
+  return Status::OK();
+}
+
+Status FsImage::Load(const std::string& path, NamespaceTree* tree) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open fsimage " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str(), tree);
+}
+
+}  // namespace octo

@@ -1,0 +1,33 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_FSIMAGE_H_
+#define OCTOPUSFS_NAMESPACEFS_FSIMAGE_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "namespacefs/namespace_tree.h"
+
+namespace octo {
+
+/// Namespace checkpoint reader/writer (the HDFS "fsimage"). A Backup
+/// Master periodically serializes the whole NamespaceTree so recovery only
+/// replays the edit log tail written after the checkpoint.
+class FsImage {
+ public:
+  /// Writes `tree` to `path` (text format, one inode per line).
+  static Status Save(const NamespaceTree& tree, const std::string& path);
+
+  /// Serializes `tree` to a string (used for in-memory checkpoints).
+  static std::string Serialize(const NamespaceTree& tree);
+
+  /// Reconstructs a namespace from a checkpoint file into `tree`, which
+  /// must be freshly constructed.
+  static Status Load(const std::string& path, NamespaceTree* tree);
+
+  /// Reconstructs from a serialized string.
+  static Status Deserialize(const std::string& image, NamespaceTree* tree);
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_FSIMAGE_H_

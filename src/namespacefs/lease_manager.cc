@@ -1,0 +1,71 @@
+#include "namespacefs/lease_manager.h"
+
+namespace octo {
+
+Status LeaseManager::Acquire(const std::string& path,
+                             const std::string& holder) {
+  auto it = leases_.find(path);
+  if (it != leases_.end() && !Expired(it->second) &&
+      it->second.holder != holder) {
+    return Status::AlreadyExists("lease on " + path + " held by " +
+                                 it->second.holder);
+  }
+  leases_[path] = Lease{holder, clock_->NowMicros() + duration_micros_};
+  return Status::OK();
+}
+
+Status LeaseManager::Renew(const std::string& path,
+                           const std::string& holder) {
+  auto it = leases_.find(path);
+  if (it == leases_.end() || Expired(it->second)) {
+    return Status::NotFound("no live lease on " + path);
+  }
+  if (it->second.holder != holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " +
+                                    it->second.holder + ", not " + holder);
+  }
+  it->second.expiry_micros = clock_->NowMicros() + duration_micros_;
+  return Status::OK();
+}
+
+Status LeaseManager::Release(const std::string& path,
+                             const std::string& holder) {
+  auto it = leases_.find(path);
+  if (it == leases_.end()) {
+    return Status::NotFound("no lease on " + path);
+  }
+  if (it->second.holder != holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " +
+                                    it->second.holder + ", not " + holder);
+  }
+  leases_.erase(it);
+  return Status::OK();
+}
+
+Result<std::string> LeaseManager::Holder(const std::string& path) const {
+  auto it = leases_.find(path);
+  if (it == leases_.end() || Expired(it->second)) {
+    return Status::NotFound("no live lease on " + path);
+  }
+  return it->second.holder;
+}
+
+bool LeaseManager::IsHeld(const std::string& path) const {
+  auto it = leases_.find(path);
+  return it != leases_.end() && !Expired(it->second);
+}
+
+std::vector<std::string> LeaseManager::ReapExpired() {
+  std::vector<std::string> expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (Expired(it->second)) {
+      expired.push_back(it->first);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace octo

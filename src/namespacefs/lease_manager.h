@@ -1,0 +1,63 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_LEASE_MANAGER_H_
+#define OCTOPUSFS_NAMESPACEFS_LEASE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace octo {
+
+/// Single-writer lease tracking for files under construction (HDFS-style).
+/// A client must hold the lease on a path to append blocks; leases expire
+/// when not renewed so crashed writers do not wedge their files.
+class LeaseManager {
+ public:
+  LeaseManager(Clock* clock, int64_t lease_duration_micros)
+      : clock_(clock), duration_micros_(lease_duration_micros) {}
+
+  /// Grants the lease to `holder`; fails with AlreadyExists while another
+  /// live holder has it. Re-acquiring one's own lease renews it.
+  Status Acquire(const std::string& path, const std::string& holder);
+
+  /// Extends the expiry; fails unless `holder` currently holds the lease.
+  Status Renew(const std::string& path, const std::string& holder);
+
+  /// Releases the lease; fails unless `holder` currently holds it.
+  Status Release(const std::string& path, const std::string& holder);
+
+  /// Current live holder, or NotFound.
+  Result<std::string> Holder(const std::string& path) const;
+
+  bool IsHeld(const std::string& path) const;
+
+  /// Removes all expired leases and returns their paths (the Master
+  /// force-completes those files).
+  std::vector<std::string> ReapExpired();
+
+  /// Unconditionally drops the lease on a path (file deletion).
+  void Remove(const std::string& path) { leases_.erase(path); }
+
+  int num_leases() const { return static_cast<int>(leases_.size()); }
+
+ private:
+  struct Lease {
+    std::string holder;
+    int64_t expiry_micros = 0;
+  };
+
+  bool Expired(const Lease& lease) const {
+    return clock_->NowMicros() >= lease.expiry_micros;
+  }
+
+  Clock* clock_;
+  int64_t duration_micros_;
+  std::map<std::string, Lease> leases_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_LEASE_MANAGER_H_

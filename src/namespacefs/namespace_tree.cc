@@ -1,0 +1,526 @@
+#include "namespacefs/namespace_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "namespacefs/path.h"
+
+namespace octo {
+
+namespace {
+constexpr std::array<int64_t, 8> kNoQuota = {-1, -1, -1, -1, -1, -1, -1, -1};
+constexpr std::array<int64_t, 8> kZeroCharge = {0, 0, 0, 0, 0, 0, 0, 0};
+}  // namespace
+
+struct NamespaceTree::Inode {
+  std::string name;
+  bool is_dir = false;
+  Inode* parent = nullptr;
+
+  std::string owner;
+  std::string group;
+  uint16_t mode = 0755;
+  int64_t mtime_micros = 0;
+
+  // Directory state.
+  std::map<std::string, std::unique_ptr<Inode>> children;
+  std::array<int64_t, 8> quota = kNoQuota;
+  std::array<int64_t, 8> usage = kZeroCharge;
+
+  // File state.
+  ReplicationVector rep_vector;
+  int64_t block_size = kDefaultBlockSize;
+  std::vector<BlockInfo> blocks;
+  bool under_construction = false;
+
+  int64_t FileLength() const {
+    int64_t sum = 0;
+    for (const BlockInfo& b : blocks) sum += b.length;
+    return sum;
+  }
+};
+
+NamespaceTree::NamespaceTree(Clock* clock) : clock_(clock) {
+  root_ = std::make_unique<Inode>();
+  root_->name = "";
+  root_->is_dir = true;
+  root_->owner = superuser_;
+  root_->group = superuser_;
+  root_->mtime_micros = clock_->NowMicros();
+}
+
+NamespaceTree::~NamespaceTree() = default;
+
+NamespaceTree::Inode* NamespaceTree::Lookup(
+    const std::string& normalized) const {
+  Inode* cur = root_.get();
+  for (const std::string& part : PathComponents(normalized)) {
+    if (!cur->is_dir) return nullptr;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur;
+}
+
+Result<NamespaceTree::Inode*> NamespaceTree::Resolve(
+    const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  Inode* inode = Lookup(normalized);
+  if (inode == nullptr) return Status::NotFound("no such path: " + normalized);
+  return inode;
+}
+
+Status NamespaceTree::CheckAccess(const Inode* inode, const UserContext& ctx,
+                                  int need) const {
+  if (IsSuper(ctx)) return Status::OK();
+  int bits;
+  if (ctx.user == inode->owner) {
+    bits = (inode->mode >> 6) & 7;
+  } else if (std::find(ctx.groups.begin(), ctx.groups.end(), inode->group) !=
+             ctx.groups.end()) {
+    bits = (inode->mode >> 3) & 7;
+  } else {
+    bits = inode->mode & 7;
+  }
+  if ((bits & need) != need) {
+    return Status::PermissionDenied("user " + ctx.user + " needs mode " +
+                                    std::to_string(need) + " on " +
+                                    inode->name);
+  }
+  return Status::OK();
+}
+
+Status NamespaceTree::CheckTraversal(const std::string& normalized,
+                                     const UserContext& ctx) const {
+  if (IsSuper(ctx)) return Status::OK();
+  Inode* cur = root_.get();
+  for (const std::string& part : PathComponents(normalized)) {
+    OCTO_RETURN_IF_ERROR(CheckAccess(cur, ctx, 1));  // x on each ancestor
+    if (!cur->is_dir) break;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) break;
+    cur = it->second.get();
+  }
+  return Status::OK();
+}
+
+FileStatus NamespaceTree::MakeStatus(const std::string& path,
+                                     const Inode* inode) const {
+  FileStatus st;
+  st.path = path;
+  st.is_dir = inode->is_dir;
+  st.length = inode->is_dir ? 0 : inode->FileLength();
+  st.rep_vector = inode->rep_vector;
+  st.block_size = inode->block_size;
+  st.owner = inode->owner;
+  st.group = inode->group;
+  st.mode = inode->mode;
+  st.mtime_micros = inode->mtime_micros;
+  st.under_construction = inode->under_construction;
+  st.num_children = static_cast<int>(inode->children.size());
+  return st;
+}
+
+std::array<int64_t, 8> NamespaceTree::FileCharge(const ReplicationVector& rv,
+                                                 int64_t length) {
+  std::array<int64_t, 8> charge = kZeroCharge;
+  for (TierId t = 0; t < kMaxTiers; ++t) {
+    charge[t] = static_cast<int64_t>(rv.Get(t)) * length;
+  }
+  // Every replica — tier-pinned or unspecified — consumes total space.
+  charge[kTotalSpaceSlot] = static_cast<int64_t>(rv.total()) * length;
+  return charge;
+}
+
+std::array<int64_t, 8> NamespaceTree::SubtreeCharge(const Inode* inode) {
+  if (inode->is_dir) return inode->usage;
+  return FileCharge(inode->rep_vector, inode->FileLength());
+}
+
+void NamespaceTree::ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
+                                int sign) {
+  for (Inode* cur = dir; cur != nullptr; cur = cur->parent) {
+    for (int i = 0; i < 8; ++i) {
+      cur->usage[i] += sign * delta[i];
+      if (cur->usage[i] < 0) cur->usage[i] = 0;
+    }
+  }
+}
+
+Status NamespaceTree::CheckAndApplyCharge(
+    Inode* parent_dir, const std::array<int64_t, 8>& delta) {
+  for (Inode* cur = parent_dir; cur != nullptr; cur = cur->parent) {
+    for (int i = 0; i < 8; ++i) {
+      if (delta[i] > 0 && cur->quota[i] >= 0 &&
+          cur->usage[i] + delta[i] > cur->quota[i]) {
+        return Status::QuotaExceeded(
+            "quota slot " + std::to_string(i) + " on /" + cur->name +
+            ": usage " + std::to_string(cur->usage[i]) + " + " +
+            std::to_string(delta[i]) + " > " + std::to_string(cur->quota[i]));
+      }
+    }
+  }
+  ApplyCharge(parent_dir, delta, +1);
+  return Status::OK();
+}
+
+Status NamespaceTree::Mkdirs(const std::string& path, const UserContext& ctx) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* cur = root_.get();
+  for (const std::string& part : PathComponents(normalized)) {
+    if (!cur->is_dir) {
+      return Status::AlreadyExists("path component is a file: " + part);
+    }
+    auto it = cur->children.find(part);
+    if (it != cur->children.end()) {
+      cur = it->second.get();
+      continue;
+    }
+    OCTO_RETURN_IF_ERROR(CheckAccess(cur, ctx, 2));  // w to create
+    auto child = std::make_unique<Inode>();
+    child->name = part;
+    child->is_dir = true;
+    child->parent = cur;
+    child->owner = ctx.user;
+    child->group = ctx.groups.empty() ? ctx.user : ctx.groups[0];
+    child->mtime_micros = clock_->NowMicros();
+    cur->mtime_micros = child->mtime_micros;
+    Inode* raw = child.get();
+    cur->children.emplace(part, std::move(child));
+    cur = raw;
+    ++num_dirs_;
+  }
+  if (!cur->is_dir) {
+    return Status::AlreadyExists("file exists at " + normalized);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<FileStatus>> NamespaceTree::ListDirectory(
+    const std::string& path, const UserContext& ctx) const {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* inode = Lookup(normalized);
+  if (inode == nullptr) return Status::NotFound("no such path: " + normalized);
+  if (!inode->is_dir) {
+    // Listing a file yields the file itself, as in HDFS.
+    return std::vector<FileStatus>{MakeStatus(normalized, inode)};
+  }
+  OCTO_RETURN_IF_ERROR(CheckAccess(inode, ctx, 4));  // r to list
+  std::vector<FileStatus> out;
+  out.reserve(inode->children.size());
+  std::string prefix = normalized == "/" ? "/" : normalized + "/";
+  for (const auto& [name, child] : inode->children) {
+    out.push_back(MakeStatus(prefix + name, child.get()));
+  }
+  return out;
+}
+
+Status NamespaceTree::CreateFile(const std::string& path,
+                                 const ReplicationVector& rv,
+                                 int64_t block_size, bool overwrite,
+                                 const UserContext& ctx,
+                                 std::vector<BlockInfo>* replaced_blocks) {
+  if (rv.total() < 1) {
+    return Status::InvalidArgument("replication vector must request >=1 "
+                                   "replica: " +
+                                   rv.ToString());
+  }
+  if (block_size <= 0) {
+    return Status::InvalidArgument("block size must be positive");
+  }
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized == "/") {
+    return Status::InvalidArgument("cannot create file at /");
+  }
+  OCTO_RETURN_IF_ERROR(Mkdirs(ParentPath(normalized), ctx));
+  Inode* parent = Lookup(ParentPath(normalized));
+  OCTO_CHECK(parent != nullptr && parent->is_dir);
+  OCTO_RETURN_IF_ERROR(CheckAccess(parent, ctx, 2));
+
+  std::string base = BaseName(normalized);
+  auto it = parent->children.find(base);
+  if (it != parent->children.end()) {
+    if (it->second->is_dir) {
+      return Status::AlreadyExists("directory exists at " + normalized);
+    }
+    if (!overwrite) {
+      return Status::AlreadyExists("file exists at " + normalized);
+    }
+    if (replaced_blocks != nullptr) {
+      CollectBlocks(it->second.get(), replaced_blocks);
+    }
+    ApplyCharge(parent, SubtreeCharge(it->second.get()), -1);
+    parent->children.erase(it);
+    --num_files_;
+  }
+
+  auto file = std::make_unique<Inode>();
+  file->name = base;
+  file->is_dir = false;
+  file->parent = parent;
+  file->owner = ctx.user;
+  file->group = ctx.groups.empty() ? ctx.user : ctx.groups[0];
+  file->mode = 0644;
+  file->mtime_micros = clock_->NowMicros();
+  file->rep_vector = rv;
+  file->block_size = block_size;
+  file->under_construction = true;
+  parent->mtime_micros = file->mtime_micros;
+  parent->children.emplace(base, std::move(file));
+  ++num_files_;
+  return Status::OK();
+}
+
+Status NamespaceTree::AddBlock(const std::string& path,
+                               const BlockInfo& block) {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  if (!inode->under_construction) {
+    return Status::FailedPrecondition(path + " is not under construction");
+  }
+  OCTO_RETURN_IF_ERROR(CheckAndApplyCharge(
+      inode->parent, FileCharge(inode->rep_vector, block.length)));
+  inode->blocks.push_back(block);
+  inode->mtime_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Status NamespaceTree::CompleteFile(const std::string& path) {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  inode->under_construction = false;
+  return Status::OK();
+}
+
+Status NamespaceTree::ReopenForAppend(const std::string& path,
+                                      const UserContext& ctx) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* inode = Lookup(normalized);
+  if (inode == nullptr) return Status::NotFound("no such path: " + normalized);
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  OCTO_RETURN_IF_ERROR(CheckAccess(inode, ctx, 2));
+  if (inode->under_construction) {
+    return Status::FailedPrecondition(path + " is already open for writing");
+  }
+  inode->under_construction = true;
+  inode->mtime_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Result<FileStatus> NamespaceTree::GetFileStatus(const std::string& path,
+                                                const UserContext& ctx) const {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* inode = Lookup(normalized);
+  if (inode == nullptr) return Status::NotFound("no such path: " + normalized);
+  return MakeStatus(normalized, inode);
+}
+
+bool NamespaceTree::Exists(const std::string& path) const {
+  auto normalized = NormalizePath(path);
+  return normalized.ok() && Lookup(*normalized) != nullptr;
+}
+
+Result<std::vector<BlockInfo>> NamespaceTree::GetBlocks(
+    const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  return inode->blocks;
+}
+
+Status NamespaceTree::SetReplicationVector(const std::string& path,
+                                           const ReplicationVector& rv,
+                                           const UserContext& ctx) {
+  if (rv.total() < 1) {
+    return Status::InvalidArgument(
+        "replication vector must keep >=1 replica; delete the file instead");
+  }
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* inode = Lookup(normalized);
+  if (inode == nullptr) return Status::NotFound("no such path: " + normalized);
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  OCTO_RETURN_IF_ERROR(CheckAccess(inode, ctx, 2));
+
+  int64_t length = inode->FileLength();
+  std::array<int64_t, 8> old_charge = FileCharge(inode->rep_vector, length);
+  std::array<int64_t, 8> new_charge = FileCharge(rv, length);
+  std::array<int64_t, 8> delta;
+  for (int i = 0; i < 8; ++i) delta[i] = new_charge[i] - old_charge[i];
+  OCTO_RETURN_IF_ERROR(CheckAndApplyCharge(inode->parent, delta));
+  inode->rep_vector = rv;
+  inode->mtime_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+Result<ReplicationVector> NamespaceTree::GetReplicationVector(
+    const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (inode->is_dir) return Status::InvalidArgument(path + " is a directory");
+  return inode->rep_vector;
+}
+
+Status NamespaceTree::Rename(const std::string& src, const std::string& dst,
+                             const UserContext& ctx) {
+  OCTO_ASSIGN_OR_RETURN(std::string nsrc, NormalizePath(src));
+  OCTO_ASSIGN_OR_RETURN(std::string ndst, NormalizePath(dst));
+  if (nsrc == "/") return Status::InvalidArgument("cannot rename /");
+  if (IsSelfOrDescendant(nsrc, ndst)) {
+    return Status::InvalidArgument("cannot rename " + nsrc +
+                                   " into its own subtree " + ndst);
+  }
+  OCTO_RETURN_IF_ERROR(CheckTraversal(nsrc, ctx));
+  OCTO_RETURN_IF_ERROR(CheckTraversal(ndst, ctx));
+  Inode* node = Lookup(nsrc);
+  if (node == nullptr) return Status::NotFound("no such path: " + nsrc);
+  if (Lookup(ndst) != nullptr) {
+    return Status::AlreadyExists("destination exists: " + ndst);
+  }
+  Inode* dst_parent = Lookup(ParentPath(ndst));
+  if (dst_parent == nullptr || !dst_parent->is_dir) {
+    return Status::NotFound("destination parent missing: " + ParentPath(ndst));
+  }
+  Inode* src_parent = node->parent;
+  OCTO_RETURN_IF_ERROR(CheckAccess(src_parent, ctx, 2));
+  OCTO_RETURN_IF_ERROR(CheckAccess(dst_parent, ctx, 2));
+
+  std::array<int64_t, 8> charge = SubtreeCharge(node);
+  // Detach, move the charge, and re-attach; roll back on quota failure.
+  auto holder = std::move(src_parent->children.at(node->name));
+  src_parent->children.erase(node->name);
+  ApplyCharge(src_parent, charge, -1);
+  Status quota_ok = CheckAndApplyCharge(dst_parent, charge);
+  if (!quota_ok.ok()) {
+    ApplyCharge(src_parent, charge, +1);
+    src_parent->children.emplace(holder->name, std::move(holder));
+    return quota_ok;
+  }
+  holder->name = BaseName(ndst);
+  holder->parent = dst_parent;
+  int64_t now = clock_->NowMicros();
+  holder->mtime_micros = now;
+  src_parent->mtime_micros = now;
+  dst_parent->mtime_micros = now;
+  dst_parent->children.emplace(holder->name, std::move(holder));
+  return Status::OK();
+}
+
+void NamespaceTree::CollectBlocks(const Inode* inode,
+                                  std::vector<BlockInfo>* out) {
+  if (!inode->is_dir) {
+    out->insert(out->end(), inode->blocks.begin(), inode->blocks.end());
+    return;
+  }
+  for (const auto& [name, child] : inode->children) {
+    CollectBlocks(child.get(), out);
+  }
+}
+
+Result<std::vector<BlockInfo>> NamespaceTree::Delete(const std::string& path,
+                                                     bool recursive,
+                                                     const UserContext& ctx) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (normalized == "/") return Status::InvalidArgument("cannot delete /");
+  OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
+  Inode* node = Lookup(normalized);
+  if (node == nullptr) return Status::NotFound("no such path: " + normalized);
+  if (node->is_dir && !node->children.empty() && !recursive) {
+    return Status::FailedPrecondition(normalized +
+                                      " is a non-empty directory");
+  }
+  Inode* parent = node->parent;
+  OCTO_RETURN_IF_ERROR(CheckAccess(parent, ctx, 2));
+
+  std::vector<BlockInfo> blocks;
+  CollectBlocks(node, &blocks);
+  ApplyCharge(parent, SubtreeCharge(node), -1);
+
+  // Update file/dir counters over the removed subtree.
+  std::function<void(const Inode*)> count = [&](const Inode* n) {
+    if (n->is_dir) {
+      --num_dirs_;
+      for (const auto& [_, c] : n->children) count(c.get());
+    } else {
+      --num_files_;
+    }
+  };
+  count(node);
+
+  parent->mtime_micros = clock_->NowMicros();
+  parent->children.erase(node->name);
+  return blocks;
+}
+
+Status NamespaceTree::SetQuota(const std::string& path, int slot,
+                               int64_t bytes) {
+  if (slot < 0 || slot > 7) {
+    return Status::InvalidArgument("quota slot must be 0..7");
+  }
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (!inode->is_dir) {
+    return Status::InvalidArgument("quotas apply to directories only");
+  }
+  inode->quota[slot] = bytes < 0 ? -1 : bytes;
+  return Status::OK();
+}
+
+Result<QuotaUsage> NamespaceTree::GetQuotaUsage(const std::string& path) const {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (!inode->is_dir) {
+    return Status::InvalidArgument("quotas apply to directories only");
+  }
+  QuotaUsage qu;
+  qu.quota = inode->quota;
+  qu.usage = inode->usage;
+  return qu;
+}
+
+Status NamespaceTree::SetOwner(const std::string& path, std::string owner,
+                               std::string group, const UserContext& ctx) {
+  if (!IsSuper(ctx)) {
+    return Status::PermissionDenied("only the superuser may chown");
+  }
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (!owner.empty()) inode->owner = std::move(owner);
+  if (!group.empty()) inode->group = std::move(group);
+  return Status::OK();
+}
+
+Status NamespaceTree::SetMode(const std::string& path, uint16_t mode,
+                              const UserContext& ctx) {
+  OCTO_ASSIGN_OR_RETURN(Inode * inode, Resolve(path));
+  if (!IsSuper(ctx) && ctx.user != inode->owner) {
+    return Status::PermissionDenied("only the owner may chmod");
+  }
+  inode->mode = mode & 0777;
+  return Status::OK();
+}
+
+void NamespaceTree::Visit(
+    const std::function<void(const VisitEntry&)>& fn) const {
+  std::function<void(const std::string&, const Inode*)> walk =
+      [&](const std::string& path, const Inode* node) {
+        VisitEntry entry;
+        entry.status = MakeStatus(path, node);
+        if (node->is_dir) {
+          entry.quota = node->quota;
+        } else {
+          entry.quota = kNoQuota;
+          entry.blocks = node->blocks;
+        }
+        fn(entry);
+        if (node->is_dir) {
+          std::string prefix = path == "/" ? "/" : path + "/";
+          for (const auto& [name, child] : node->children) {
+            walk(prefix + name, child.get());
+          }
+        }
+      };
+  walk("/", root_.get());
+}
+
+}  // namespace octo

@@ -1,0 +1,191 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_NAMESPACE_TREE_H_
+#define OCTOPUSFS_NAMESPACEFS_NAMESPACE_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/replication_vector.h"
+#include "storage/block.h"
+
+namespace octo {
+
+/// Identity of the caller for permission checks.
+struct UserContext {
+  std::string user = "root";
+  std::vector<std::string> groups;
+};
+
+/// Metadata returned for a file or directory (the FileStatus of the
+/// Apache Commons FileSystem API, extended with the replication vector).
+struct FileStatus {
+  std::string path;
+  bool is_dir = false;
+  int64_t length = 0;  // sum of block lengths (0 for dirs)
+  ReplicationVector rep_vector;
+  int64_t block_size = kDefaultBlockSize;
+  std::string owner;
+  std::string group;
+  uint16_t mode = 0755;
+  int64_t mtime_micros = 0;
+  bool under_construction = false;
+  int num_children = 0;  // directories only
+};
+
+/// Per-tier quota and charged usage of a directory. Slots 0..6 are tier
+/// quotas in bytes; slot 7 is the total-space quota across all tiers
+/// (replicas whose tier is Unspecified only count against slot 7).
+struct QuotaUsage {
+  std::array<int64_t, 8> quota;  // -1 = unlimited
+  std::array<int64_t, 8> usage;  // charged bytes
+};
+
+/// The quota/usage slot index for total space across tiers.
+inline constexpr int kTotalSpaceSlot = 7;
+
+/// The Master's hierarchical directory namespace (paper §2.1): inode tree
+/// with file block lists, replication vectors, POSIX-style permissions,
+/// and per-tier quotas. Not internally synchronized — the Master
+/// serializes access.
+class NamespaceTree {
+ public:
+  explicit NamespaceTree(Clock* clock);
+  ~NamespaceTree();
+
+  NamespaceTree(const NamespaceTree&) = delete;
+  NamespaceTree& operator=(const NamespaceTree&) = delete;
+
+  // -- configuration ---------------------------------------------------
+
+  /// Turns permission enforcement on (off by default). The superuser
+  /// always passes checks.
+  void EnablePermissions(bool enabled) { permissions_enabled_ = enabled; }
+  void SetSuperuser(std::string user) { superuser_ = std::move(user); }
+
+  // -- directory operations ---------------------------------------------
+
+  /// Creates a directory and any missing ancestors (like `mkdir -p`).
+  Status Mkdirs(const std::string& path, const UserContext& ctx);
+
+  Result<std::vector<FileStatus>> ListDirectory(const std::string& path,
+                                                const UserContext& ctx) const;
+
+  // -- file operations ---------------------------------------------------
+
+  /// Creates an empty file in the under-construction state. Missing parent
+  /// directories are created. With `overwrite`, an existing file is
+  /// replaced and its blocks are returned through `replaced_blocks`.
+  Status CreateFile(const std::string& path, const ReplicationVector& rv,
+                    int64_t block_size, bool overwrite, const UserContext& ctx,
+                    std::vector<BlockInfo>* replaced_blocks = nullptr);
+
+  /// Appends a block to an under-construction file, charging quotas.
+  Status AddBlock(const std::string& path, const BlockInfo& block);
+
+  /// Marks a file complete (no more blocks may be added).
+  Status CompleteFile(const std::string& path);
+
+  /// Reopens a completed file for appending (new blocks only — appends
+  /// start at a block boundary, as with HDFS block-aligned append).
+  Status ReopenForAppend(const std::string& path, const UserContext& ctx);
+
+  Result<FileStatus> GetFileStatus(const std::string& path,
+                                   const UserContext& ctx) const;
+  bool Exists(const std::string& path) const;
+
+  Result<std::vector<BlockInfo>> GetBlocks(const std::string& path) const;
+
+  /// Changes a file's replication vector, re-checking tier quotas.
+  Status SetReplicationVector(const std::string& path,
+                              const ReplicationVector& rv,
+                              const UserContext& ctx);
+  Result<ReplicationVector> GetReplicationVector(
+      const std::string& path) const;
+
+  /// Atomic rename of a file or directory subtree. The destination must
+  /// not exist; renaming a directory into its own subtree is rejected.
+  Status Rename(const std::string& src, const std::string& dst,
+                const UserContext& ctx);
+
+  /// Deletes a file (or directory subtree, with `recursive`); returns the
+  /// blocks that must be invalidated on the workers.
+  Result<std::vector<BlockInfo>> Delete(const std::string& path,
+                                        bool recursive,
+                                        const UserContext& ctx);
+
+  // -- quotas & permissions ----------------------------------------------
+
+  /// Sets a quota on a directory; `slot` 0..6 limits a tier, slot 7
+  /// (kTotalSpaceSlot) limits total space. bytes < 0 clears the quota.
+  Status SetQuota(const std::string& path, int slot, int64_t bytes);
+  Result<QuotaUsage> GetQuotaUsage(const std::string& path) const;
+
+  Status SetOwner(const std::string& path, std::string owner,
+                  std::string group, const UserContext& ctx);
+  Status SetMode(const std::string& path, uint16_t mode,
+                 const UserContext& ctx);
+
+  // -- introspection ------------------------------------------------------
+
+  int64_t NumFiles() const { return num_files_; }
+  int64_t NumDirectories() const { return num_dirs_; }
+
+  /// Pre-order walk over all inodes (used by the fsimage writer). The
+  /// visitor receives the normalized path and the FileStatus, plus the
+  /// file's blocks and the directory's quotas when present.
+  struct VisitEntry {
+    FileStatus status;
+    std::vector<BlockInfo> blocks;          // files
+    std::array<int64_t, 8> quota;           // directories
+  };
+  void Visit(const std::function<void(const VisitEntry&)>& fn) const;
+
+ private:
+  struct Inode;
+
+  // Resolves a normalized path; returns nullptr when missing.
+  Inode* Lookup(const std::string& normalized) const;
+  // Resolves and validates a raw path to an inode.
+  Result<Inode*> Resolve(const std::string& path) const;
+
+  Status CheckTraversal(const std::string& normalized,
+                        const UserContext& ctx) const;
+  Status CheckAccess(const Inode* inode, const UserContext& ctx,
+                     int need /* 4=r,2=w,1=x */) const;
+  bool IsSuper(const UserContext& ctx) const {
+    return !permissions_enabled_ || ctx.user == superuser_;
+  }
+
+  FileStatus MakeStatus(const std::string& path, const Inode* inode) const;
+
+  /// Per-slot quota charge of a file's content: counts[t] * length.
+  static std::array<int64_t, 8> FileCharge(const ReplicationVector& rv,
+                                           int64_t length);
+  /// Aggregated charge of an inode subtree.
+  static std::array<int64_t, 8> SubtreeCharge(const Inode* inode);
+  /// Checks that adding `delta` along the ancestor chain of `inode`
+  /// (inclusive for dirs) violates no quota; then applies it.
+  Status CheckAndApplyCharge(Inode* parent_dir,
+                             const std::array<int64_t, 8>& delta);
+  static void ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
+                          int sign);
+
+  static void CollectBlocks(const Inode* inode, std::vector<BlockInfo>* out);
+
+  Clock* clock_;
+  std::unique_ptr<Inode> root_;
+  int64_t num_files_ = 0;
+  int64_t num_dirs_ = 0;  // excludes root
+  bool permissions_enabled_ = false;
+  std::string superuser_ = "root";
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_NAMESPACE_TREE_H_

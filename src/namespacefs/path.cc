@@ -1,0 +1,58 @@
+#include "namespacefs/path.h"
+
+#include "common/strings.h"
+
+namespace octo {
+
+Result<std::string> NormalizePath(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return Status::InvalidArgument("path must be absolute: " +
+                                   std::string(path));
+  }
+  std::vector<std::string> parts = SplitSkipEmpty(path, '/');
+  for (const std::string& part : parts) {
+    if (part == "." || part == "..") {
+      return Status::InvalidArgument("path may not contain '.' or '..': " +
+                                     std::string(path));
+    }
+    for (char c : part) {
+      if (c == '\t' || c == '\n' || c == '\r' || c == '\0') {
+        return Status::InvalidArgument("path contains control character: " +
+                                       std::string(path));
+      }
+    }
+  }
+  if (parts.empty()) return std::string("/");
+  std::string out;
+  for (const std::string& part : parts) {
+    out += "/";
+    out += part;
+  }
+  return out;
+}
+
+std::string ParentPath(std::string_view normalized_path) {
+  if (normalized_path == "/") return "/";
+  size_t slash = normalized_path.rfind('/');
+  if (slash == 0) return "/";
+  return std::string(normalized_path.substr(0, slash));
+}
+
+std::string BaseName(std::string_view normalized_path) {
+  if (normalized_path == "/") return "";
+  size_t slash = normalized_path.rfind('/');
+  return std::string(normalized_path.substr(slash + 1));
+}
+
+std::vector<std::string> PathComponents(std::string_view normalized_path) {
+  return SplitSkipEmpty(normalized_path, '/');
+}
+
+bool IsSelfOrDescendant(std::string_view ancestor,
+                        std::string_view descendant) {
+  if (ancestor == descendant) return true;
+  if (ancestor == "/") return true;
+  return StartsWith(descendant, std::string(ancestor) + "/");
+}
+
+}  // namespace octo

@@ -1,0 +1,34 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_PATH_H_
+#define OCTOPUSFS_NAMESPACEFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// Validates and normalizes an absolute file system path. Rules: must
+/// start with '/', components may not be empty, ".", "..", or contain
+/// control characters (tab/newline, which the edit log uses as field
+/// separators). Returns the normalized form without a trailing slash
+/// ("/" stays "/").
+Result<std::string> NormalizePath(std::string_view path);
+
+/// Path of the containing directory ("/" for top-level entries and for
+/// "/" itself).
+std::string ParentPath(std::string_view normalized_path);
+
+/// Final component ("" for "/").
+std::string BaseName(std::string_view normalized_path);
+
+/// Components of a normalized path ("/a/b" -> {"a","b"}; "/" -> {}).
+std::vector<std::string> PathComponents(std::string_view normalized_path);
+
+/// True when `descendant` equals `ancestor` or lies underneath it.
+bool IsSelfOrDescendant(std::string_view ancestor, std::string_view descendant);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_PATH_H_

@@ -1,0 +1,67 @@
+#include "remote/external_store.h"
+
+#include "common/strings.h"
+
+namespace octo {
+
+Status ExternalStore::PutObject(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[path] = std::move(data);
+  return Status::OK();
+}
+
+Result<std::string> ExternalStore::GetObject(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object at " + path);
+  }
+  return it->second;
+}
+
+Status ExternalStore::DeleteObject(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (objects_.erase(path) == 0) {
+    return Status::NotFound("no object at " + path);
+  }
+  return Status::OK();
+}
+
+bool ExternalStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(path) > 0;
+}
+
+Result<int64_t> ExternalStore::Size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object at " + path);
+  }
+  return static_cast<int64_t>(it->second.size());
+}
+
+std::vector<std::string> ExternalStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : objects_) {
+    if (StartsWith(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+int64_t ExternalStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [_, data] : objects_) {
+    total += static_cast<int64_t>(data.size());
+  }
+  return total;
+}
+
+int64_t ExternalStore::NumObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(objects_.size());
+}
+
+}  // namespace octo

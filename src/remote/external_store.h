@@ -1,0 +1,40 @@
+#ifndef OCTOPUSFS_REMOTE_EXTERNAL_STORE_H_
+#define OCTOPUSFS_REMOTE_EXTERNAL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// A stand-in for an external storage system — another DFS, a
+/// cloud object store (S3/Azure Blob), or network-attached storage
+/// (paper §2.4). Flat object namespace keyed by path. Thread-safe.
+class ExternalStore {
+ public:
+  ExternalStore() = default;
+
+  Status PutObject(const std::string& path, std::string data);
+  Result<std::string> GetObject(const std::string& path) const;
+  Status DeleteObject(const std::string& path);
+  bool Exists(const std::string& path) const;
+  Result<int64_t> Size(const std::string& path) const;
+
+  /// Object paths under `prefix`, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  int64_t TotalBytes() const;
+  int64_t NumObjects() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_REMOTE_EXTERNAL_STORE_H_

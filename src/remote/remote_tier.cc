@@ -1,0 +1,49 @@
+#include "remote/remote_tier.h"
+
+#include <memory>
+
+#include "storage/block_store.h"
+
+namespace octo {
+
+Status AttachRemoteTier(Cluster* cluster, const RemoteTierOptions& options) {
+  if (options.capacity_bytes <= 0 || options.write_bps <= 0 ||
+      options.read_bps <= 0) {
+    return Status::InvalidArgument(
+        "remote tier needs positive capacity and bandwidth");
+  }
+  const int num_workers = static_cast<int>(cluster->worker_ids().size());
+  if (num_workers == 0) return Status::FailedPrecondition("empty cluster");
+
+  auto store = std::make_shared<MemoryBlockStore>();
+  sim::ResourceId write_res = sim::kInvalidResource;
+  sim::ResourceId read_res = sim::kInvalidResource;
+  if (cluster->simulation() != nullptr) {
+    write_res =
+        cluster->simulation()->AddResource("remote:w", options.write_bps);
+    read_res =
+        cluster->simulation()->AddResource("remote:r", options.read_bps);
+  }
+
+  MediumSpec spec;
+  spec.tier = kRemoteTier;
+  spec.type = MediaType::kRemote;
+  spec.capacity_bytes = options.capacity_bytes / num_workers;
+  // Every worker sees the full remote bandwidth; contention across
+  // workers is captured by the shared simulator resource.
+  spec.write_bps = options.write_bps;
+  spec.read_bps = options.read_bps;
+
+  for (WorkerId id : cluster->worker_ids()) {
+    Worker* worker = cluster->worker(id);
+    OCTO_ASSIGN_OR_RETURN(
+        MediumId medium,
+        cluster->master()->RegisterMedium(
+            id, spec, ProfiledRates{spec.write_bps, spec.read_bps}));
+    OCTO_RETURN_IF_ERROR(worker->AttachSharedMedium(
+        medium, spec, store, num_workers, write_res, read_res));
+  }
+  return Status::OK();
+}
+
+}  // namespace octo

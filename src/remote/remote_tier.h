@@ -1,0 +1,33 @@
+#ifndef OCTOPUSFS_REMOTE_REMOTE_TIER_H_
+#define OCTOPUSFS_REMOTE_REMOTE_TIER_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+
+namespace octo {
+
+/// Parameters of an integrated-mode remote storage system (paper §2.4):
+/// the remote storage "is treated like any other storage media in the
+/// cluster and the Workers use it for writing and reading file blocks".
+struct RemoteTierOptions {
+  /// Aggregate capacity of the remote system; each worker's view gets an
+  /// equal share for the master's space accounting.
+  int64_t capacity_bytes = 0;
+  /// Aggregate bandwidth of the remote system, shared by all workers
+  /// (modeled as one simulator resource per direction).
+  double write_bps = 0;
+  double read_bps = 0;
+};
+
+/// Attaches the remote storage to every worker of `cluster` as media of
+/// the "Remote" tier, all backed by one shared block store and one shared
+/// pair of bandwidth resources. After this, replication vectors may
+/// request remote replicas (slot kRemoteTier) and the placement policies
+/// treat the remote tier like any other.
+Status AttachRemoteTier(Cluster* cluster, const RemoteTierOptions& options);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_REMOTE_REMOTE_TIER_H_

@@ -1,0 +1,86 @@
+#include "remote/standalone_mount.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "namespacefs/path.h"
+
+namespace octo {
+
+StandaloneMount::StandaloneMount(FileSystem* fs, ExternalStore* store,
+                                 std::string mount_point,
+                                 CreateOptions cache_options)
+    : fs_(fs),
+      store_(store),
+      mount_point_(std::move(mount_point)),
+      cache_options_(cache_options) {
+  cache_options_.overwrite = true;
+}
+
+std::string StandaloneMount::CachePath(const std::string& path) const {
+  if (path.empty() || path.front() != '/') {
+    return mount_point_ + "/" + path;
+  }
+  return mount_point_ + path;
+}
+
+Result<std::vector<std::string>> StandaloneMount::List(
+    const std::string& path) const {
+  std::set<std::string> names;
+  // Remote-side objects.
+  std::string prefix = path.empty() || path == "/" ? "" : path;
+  for (const std::string& object : store_->List(prefix)) {
+    names.insert(object);
+  }
+  // Cached copies (strip the mount point back off).
+  auto cached = fs_->ListDirectory(CachePath(path));
+  if (cached.ok()) {
+    for (const FileStatus& st : *cached) {
+      if (!st.is_dir && StartsWith(st.path, mount_point_)) {
+        names.insert(st.path.substr(mount_point_.size()));
+      }
+    }
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+Result<std::string> StandaloneMount::Read(const std::string& path) {
+  const std::string cache_path = CachePath(path);
+  if (fs_->Exists(cache_path)) {
+    auto cached = fs_->ReadFile(cache_path);
+    if (cached.ok()) {
+      ++hits_;
+      return cached;
+    }
+    // Cached copy unreadable: fall through to the remote store.
+  }
+  ++misses_;
+  OCTO_ASSIGN_OR_RETURN(std::string data, store_->GetObject(path));
+  // Read-through caching: persist into the cluster for later accesses.
+  Status st = fs_->WriteFile(cache_path, data, cache_options_);
+  if (!st.ok() && !st.IsNoSpace() && !st.IsQuotaExceeded()) {
+    return st;  // cache full is fine; anything else is a real error
+  }
+  return data;
+}
+
+Status StandaloneMount::Warm(const std::string& path,
+                             const ReplicationVector& rv) {
+  const std::string cache_path = CachePath(path);
+  if (fs_->Exists(cache_path)) return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string data, store_->GetObject(path));
+  CreateOptions options = cache_options_;
+  options.rep_vector = rv;
+  return fs_->WriteFile(cache_path, data, options);
+}
+
+Status StandaloneMount::Evict(const std::string& path) {
+  return fs_->Delete(CachePath(path), /*recursive=*/false);
+}
+
+bool StandaloneMount::IsCached(const std::string& path) const {
+  return fs_->Exists(CachePath(path));
+}
+
+}  // namespace octo

@@ -1,0 +1,60 @@
+#ifndef OCTOPUSFS_REMOTE_STANDALONE_MOUNT_H_
+#define OCTOPUSFS_REMOTE_STANDALONE_MOUNT_H_
+
+#include <string>
+#include <vector>
+
+#include "client/file_system.h"
+#include "common/status.h"
+#include "remote/external_store.h"
+
+namespace octo {
+
+/// Stand-alone remote storage mode (paper §2.4): an independent external
+/// store is mounted at a directory of the OctopusFS namespace, giving a
+/// unified view. Reads go through the cluster with on-cluster caching —
+/// the generalized MixApart idea: the first access of a remote object
+/// copies it into OctopusFS (under the mount directory) so later accesses
+/// are cluster-local; Warm() prefetches with an explicit replication
+/// vector.
+class StandaloneMount {
+ public:
+  /// `mount_point` is the OctopusFS directory the store appears under.
+  StandaloneMount(FileSystem* fs, ExternalStore* store,
+                  std::string mount_point,
+                  CreateOptions cache_options = CreateOptions{});
+
+  /// Unified listing: cached files and remote-only objects under `path`
+  /// (relative to the mount point), sorted and de-duplicated.
+  Result<std::vector<std::string>> List(const std::string& path) const;
+
+  /// Reads an object through the cache (read-through on miss).
+  Result<std::string> Read(const std::string& path);
+
+  /// Prefetches an object into the cluster with the given replication
+  /// vector (no-op if already cached).
+  Status Warm(const std::string& path, const ReplicationVector& rv);
+
+  /// Drops the cached copy (the remote object remains).
+  Status Evict(const std::string& path);
+
+  bool IsCached(const std::string& path) const;
+
+  const std::string& mount_point() const { return mount_point_; }
+  int64_t cache_hits() const { return hits_; }
+  int64_t cache_misses() const { return misses_; }
+
+ private:
+  std::string CachePath(const std::string& path) const;
+
+  FileSystem* fs_;
+  ExternalStore* store_;
+  std::string mount_point_;
+  CreateOptions cache_options_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_REMOTE_STANDALONE_MOUNT_H_

@@ -1,0 +1,229 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace octo::sim {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+// Flows with fewer remaining bytes than this are considered finished
+// (guards against floating-point residue).
+constexpr double kBytesEpsilon = 1e-3;
+}  // namespace
+
+ResourceId Simulation::AddResource(std::string name, double capacity_bps) {
+  OCTO_CHECK(capacity_bps > 0) << "resource " << name
+                               << " must have positive capacity";
+  resources_.push_back(Resource{std::move(name), capacity_bps, 0, 0.0});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+double Simulation::ResourceCapacity(ResourceId id) const {
+  OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
+  return resources_[id].capacity_bps;
+}
+
+const std::string& Simulation::ResourceName(ResourceId id) const {
+  OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
+  return resources_[id].name;
+}
+
+int Simulation::ActiveFlows(ResourceId id) const {
+  OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
+  return resources_[id].active_flows;
+}
+
+double Simulation::ResourceBytesTransferred(ResourceId id) const {
+  OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
+  return resources_[id].bytes_transferred;
+}
+
+FlowId Simulation::StartFlow(double bytes,
+                             const std::vector<ResourceId>& resources,
+                             std::function<void()> on_complete,
+                             double rate_cap_bps) {
+  OCTO_CHECK(bytes >= 0) << "flow size must be non-negative";
+  FlowId id = next_flow_id_++;
+  // A zero-byte flow (or an uncapped flow crossing no resources)
+  // completes immediately, as a timer.
+  if (bytes <= kBytesEpsilon || (resources.empty() && rate_cap_bps <= 0)) {
+    if (on_complete) Schedule(0.0, std::move(on_complete));
+    return id;
+  }
+  Flow flow;
+  flow.remaining_bytes = bytes;
+  flow.rate_cap_bps = rate_cap_bps;
+  flow.resources = resources;
+  std::sort(flow.resources.begin(), flow.resources.end());
+  flow.resources.erase(
+      std::unique(flow.resources.begin(), flow.resources.end()),
+      flow.resources.end());
+  for (ResourceId r : flow.resources) {
+    OCTO_CHECK(r >= 0 && r < static_cast<ResourceId>(resources_.size()))
+        << "unknown resource id " << r;
+    resources_[r].active_flows++;
+  }
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  RecomputeRates();
+  return id;
+}
+
+void Simulation::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  for (ResourceId r : it->second.resources) resources_[r].active_flows--;
+  flows_.erase(it);
+  RecomputeRates();
+}
+
+double Simulation::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+}
+
+void Simulation::Schedule(double delay_seconds, std::function<void()> fn) {
+  OCTO_CHECK(delay_seconds >= 0) << "cannot schedule in the past";
+  events_.push(TimedEvent{now_ + delay_seconds, next_event_seq_++,
+                          std::move(fn)});
+}
+
+void Simulation::RecomputeRates() {
+  // Progressive filling (max-min fairness). Residual capacity starts at
+  // full capacity; in each round the tightest resource fixes the rate of
+  // all its still-unfrozen flows.
+  const size_t nr = resources_.size();
+  std::vector<double> residual(nr);
+  std::vector<int> unfrozen_count(nr, 0);
+  for (size_t i = 0; i < nr; ++i) residual[i] = resources_[i].capacity_bps;
+  for (auto& [id, flow] : flows_) {
+    flow.rate_bps = -1;  // -1 marks unfrozen
+    for (ResourceId r : flow.resources) unfrozen_count[r]++;
+  }
+  size_t frozen = 0;
+  while (frozen < flows_.size()) {
+    // Find the bottleneck resource: the smallest equal share.
+    double min_share = kInfinity;
+    for (size_t i = 0; i < nr; ++i) {
+      if (unfrozen_count[i] > 0) {
+        double share = residual[i] / unfrozen_count[i];
+        min_share = std::min(min_share, share);
+      }
+    }
+    // Flows whose rate cap binds below the current bottleneck share
+    // freeze first at their cap (they cannot use their full share).
+    bool froze_capped = false;
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate_bps >= 0) continue;
+      if (flow.rate_cap_bps > 0 &&
+          flow.rate_cap_bps <= min_share * (1 + 1e-12)) {
+        flow.rate_bps = flow.rate_cap_bps;
+        ++frozen;
+        froze_capped = true;
+        for (ResourceId r : flow.resources) {
+          residual[r] -= flow.rate_bps;
+          if (residual[r] < 0) residual[r] = 0;
+          unfrozen_count[r]--;
+        }
+      }
+    }
+    if (froze_capped) continue;
+    OCTO_CHECK(min_share < kInfinity) << "unfrozen flow with no resource";
+    // Freeze every unfrozen flow crossing a resource at that share.
+    for (auto& [id, flow] : flows_) {
+      if (flow.rate_bps >= 0) continue;
+      bool bottlenecked = false;
+      for (ResourceId r : flow.resources) {
+        if (unfrozen_count[r] > 0 &&
+            residual[r] / unfrozen_count[r] <= min_share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      flow.rate_bps = min_share;
+      ++frozen;
+      for (ResourceId r : flow.resources) {
+        residual[r] -= min_share;
+        if (residual[r] < 0) residual[r] = 0;
+        unfrozen_count[r]--;
+      }
+    }
+  }
+}
+
+double Simulation::NextFlowCompletionTime() const {
+  double t = kInfinity;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate_bps > 0) {
+      t = std::min(t, now_ + flow.remaining_bytes / flow.rate_bps);
+    }
+  }
+  return t;
+}
+
+void Simulation::AdvanceTo(double t) {
+  double dt = t - now_;
+  if (dt <= 0) {
+    now_ = std::max(now_, t);
+    return;
+  }
+  for (auto& [id, flow] : flows_) {
+    double transferred = flow.rate_bps * dt;
+    if (transferred > flow.remaining_bytes) transferred = flow.remaining_bytes;
+    flow.remaining_bytes -= transferred;
+    for (ResourceId r : flow.resources) {
+      resources_[r].bytes_transferred += transferred;
+    }
+  }
+  now_ = t;
+}
+
+void Simulation::CompleteFinishedFlows() {
+  std::vector<std::function<void()>> callbacks;
+  std::vector<FlowId> done;
+  for (auto& [id, flow] : flows_) {
+    if (flow.remaining_bytes <= kBytesEpsilon) done.push_back(id);
+  }
+  if (done.empty()) return;
+  for (FlowId id : done) {
+    auto it = flows_.find(id);
+    for (ResourceId r : it->second.resources) resources_[r].active_flows--;
+    if (it->second.on_complete) {
+      callbacks.push_back(std::move(it->second.on_complete));
+    }
+    flows_.erase(it);
+  }
+  RecomputeRates();
+  for (auto& cb : callbacks) cb();
+}
+
+void Simulation::RunUntilIdle() { RunUntil(kInfinity); }
+
+void Simulation::RunUntil(double t_seconds) {
+  while (!Idle()) {
+    double t_event = events_.empty() ? kInfinity : events_.top().time;
+    double t_flow = NextFlowCompletionTime();
+    double t_next = std::min(t_event, t_flow);
+    if (t_next > t_seconds) {
+      if (t_seconds < kInfinity && t_seconds > now_) AdvanceTo(t_seconds);
+      return;
+    }
+    AdvanceTo(t_next);
+    CompleteFinishedFlows();
+    // Run every event due at (or before) the current time. Callbacks may
+    // enqueue new events/flows; the loop re-evaluates each iteration.
+    while (!events_.empty() && events_.top().time <= now_ + 1e-12) {
+      auto fn = std::move(const_cast<TimedEvent&>(events_.top()).fn);
+      events_.pop();
+      fn();
+    }
+  }
+  if (t_seconds < kInfinity && t_seconds > now_) now_ = t_seconds;
+}
+
+}  // namespace octo::sim

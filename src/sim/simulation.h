@@ -1,0 +1,160 @@
+#ifndef OCTOPUSFS_SIM_SIMULATION_H_
+#define OCTOPUSFS_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace octo::sim {
+
+/// Identifies a capacity resource (a storage medium's read or write side,
+/// or a node NIC's ingress/egress side) inside the flow simulator.
+using ResourceId = int32_t;
+/// Identifies an in-flight data transfer.
+using FlowId = int64_t;
+
+inline constexpr ResourceId kInvalidResource = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Flow-level discrete-event simulator with max-min fair bandwidth sharing.
+///
+/// Every shared device is modeled as a *resource* with a fixed capacity in
+/// bytes/second. A *flow* is a transfer of N bytes that simultaneously
+/// occupies a set of resources (e.g. a replication pipeline occupies the
+/// client NIC egress, each worker's NIC ingress/egress, and each target
+/// medium's write side). At any instant, rates are the max-min fair
+/// allocation: capacity of each resource is split equally among the flows
+/// crossing it, and a flow's rate is capped by its tightest resource
+/// (progressive-filling). This is the first-order contention model the
+/// paper itself uses to reason about its throughput curves ("the available
+/// bandwidth gets split among all connected readers and writers").
+///
+/// The simulation also supports scheduled callbacks (timers), which
+/// workloads use to sequence block writes and model compute time.
+/// Deterministic: identical inputs yield identical event orderings.
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+
+  /// A Clock view of virtual time (microseconds) for components that take
+  /// an octo::Clock.
+  Clock* clock() { return &clock_adapter_; }
+
+  /// Registers a resource with the given capacity in bytes/second.
+  ResourceId AddResource(std::string name, double capacity_bps);
+
+  /// Resource metadata.
+  double ResourceCapacity(ResourceId id) const;
+  const std::string& ResourceName(ResourceId id) const;
+  /// Number of flows currently crossing the resource.
+  int ActiveFlows(ResourceId id) const;
+  /// Total bytes that have passed through the resource so far.
+  double ResourceBytesTransferred(ResourceId id) const;
+
+  /// Starts a transfer of `bytes` crossing all `resources` simultaneously.
+  /// Duplicate resource ids in the list are collapsed. `on_complete` fires
+  /// (if set) at the virtual time the last byte arrives.
+  /// `rate_cap_bps` (0 = uncapped) bounds the flow's rate regardless of
+  /// resource shares — used to model per-stream software limits (e.g. a
+  /// client's stream processing rate).
+  FlowId StartFlow(double bytes, const std::vector<ResourceId>& resources,
+                   std::function<void()> on_complete = nullptr,
+                   double rate_cap_bps = 0);
+
+  /// Cancels an in-flight flow; its completion callback never fires.
+  void CancelFlow(FlowId id);
+
+  /// Current max-min fair rate of a flow in bytes/second (0 if finished).
+  double FlowRate(FlowId id) const;
+
+  /// Schedules `fn` to run at now() + delay_seconds.
+  void Schedule(double delay_seconds, std::function<void()> fn);
+
+  /// Runs until no scheduled events and no active flows remain.
+  void RunUntilIdle();
+
+  /// Runs until virtual time reaches `t_seconds` (or the system drains).
+  /// The clock is left at min(t_seconds, idle time).
+  void RunUntil(double t_seconds);
+
+  /// True when no flows and no pending events remain.
+  bool Idle() const { return flows_.empty() && events_.empty(); }
+
+  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity_bps = 0;
+    int active_flows = 0;
+    double bytes_transferred = 0;
+  };
+
+  struct Flow {
+    double remaining_bytes = 0;
+    double rate_bps = 0;       // current max-min allocation
+    double rate_cap_bps = 0;   // 0 = uncapped
+    std::vector<ResourceId> resources;
+    std::function<void()> on_complete;
+  };
+
+  struct TimedEvent {
+    double time;
+    int64_t seq;  // tie-breaker for determinism
+    std::function<void()> fn;
+    bool operator>(const TimedEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Clock adapter exposing virtual time through octo::Clock.
+  class SimClockAdapter : public Clock {
+   public:
+    explicit SimClockAdapter(const Simulation* sim) : sim_(sim) {}
+    int64_t NowMicros() const override {
+      return static_cast<int64_t>(sim_->now() * 1e6);
+    }
+
+   private:
+    const Simulation* sim_;
+  };
+
+  /// Recomputes all flow rates with progressive filling; O(R^2 + R*F).
+  void RecomputeRates();
+
+  /// Advances virtual time, draining bytes from active flows.
+  void AdvanceTo(double t);
+
+  /// Time of the earliest flow completion (infinity if none).
+  double NextFlowCompletionTime() const;
+
+  /// Finishes flows whose remaining bytes hit zero at the current time.
+  void CompleteFinishedFlows();
+
+  double now_ = 0;
+  int64_t next_event_seq_ = 0;
+  FlowId next_flow_id_ = 0;
+  std::vector<Resource> resources_;
+  std::map<FlowId, Flow> flows_;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>,
+                      std::greater<TimedEvent>>
+      events_;
+  SimClockAdapter clock_adapter_{this};
+};
+
+}  // namespace octo::sim
+
+#endif  // OCTOPUSFS_SIM_SIMULATION_H_

@@ -1,0 +1,37 @@
+#ifndef OCTOPUSFS_STORAGE_BLOCK_H_
+#define OCTOPUSFS_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace octo {
+
+/// Globally unique block identifier, allocated by the Master.
+using BlockId = int64_t;
+
+/// Globally unique identifier of one storage medium instance
+/// (e.g. "the first HDD of worker 3"), allocated by the Master at
+/// worker registration.
+using MediumId = int32_t;
+
+/// Worker identifier, allocated by the Master at registration.
+using WorkerId = int32_t;
+
+inline constexpr BlockId kInvalidBlock = -1;
+inline constexpr MediumId kInvalidMedium = -1;
+inline constexpr WorkerId kInvalidWorker = -1;
+
+/// Default block size (the paper and HDFS use 128 MB).
+inline constexpr int64_t kDefaultBlockSize = int64_t{128} << 20;
+
+/// Identity and length of one block of a file.
+struct BlockInfo {
+  BlockId id = kInvalidBlock;
+  int64_t length = 0;
+
+  friend bool operator==(const BlockInfo&, const BlockInfo&) = default;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_BLOCK_H_

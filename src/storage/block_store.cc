@@ -1,0 +1,220 @@
+#include "storage/block_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/checksum.h"
+
+namespace octo {
+
+// ---------------------------------------------------------------------------
+// MemoryBlockStore
+
+Status MemoryBlockStore::Put(BlockId id, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t crc = Crc32c(data);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+  }
+  used_bytes_ += static_cast<int64_t>(data.size());
+  blocks_[id] = Entry{std::move(data), crc};
+  return Status::OK();
+}
+
+Result<std::string> MemoryBlockStore::Get(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  if (Crc32c(it->second.data) != it->second.crc) {
+    return Status::Corruption("block " + std::to_string(id) +
+                              " checksum mismatch");
+  }
+  return it->second.data;
+}
+
+Status MemoryBlockStore::Delete(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+  blocks_.erase(it);
+  return Status::OK();
+}
+
+bool MemoryBlockStore::Contains(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.count(id) > 0;
+}
+
+std::vector<BlockId> MemoryBlockStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, _] : blocks_) out.push_back(id);
+  return out;
+}
+
+int64_t MemoryBlockStore::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+Status MemoryBlockStore::CorruptForTesting(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  if (it->second.data.empty()) {
+    it->second.data.assign(1, 'x');  // corrupting an empty block grows it
+  } else {
+    it->second.data[0] ^= 0xFF;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DiskBlockStore
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<DiskBlockStore>> DiskBlockStore::Open(std::string dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create block dir " + dir + ": " +
+                           ec.message());
+  }
+  auto store = std::unique_ptr<DiskBlockStore>(new DiskBlockStore(dir));
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("blk_", 0) != 0) continue;
+    char* end = nullptr;
+    BlockId id = std::strtoll(name.c_str() + 4, &end, 10);
+    if (end == name.c_str() + 4 || *end != '\0') continue;
+    int64_t file_size = static_cast<int64_t>(entry.file_size());
+    int64_t payload = file_size >= 4 ? file_size - 4 : 0;
+    store->lengths_[id] = payload;
+    store->used_bytes_ += payload;
+  }
+  if (ec) {
+    return Status::IoError("cannot scan block dir " + dir + ": " +
+                           ec.message());
+  }
+  return store;
+}
+
+std::string DiskBlockStore::BlockPath(BlockId id) const {
+  return dir_ + "/blk_" + std::to_string(id);
+}
+
+Status DiskBlockStore::Put(BlockId id, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t crc = Crc32c(data);
+  std::ofstream out(BlockPath(id), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + BlockPath(id) + " for write");
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  char trailer[4];
+  std::memcpy(trailer, &crc, 4);
+  out.write(trailer, 4);
+  out.close();
+  if (!out) {
+    return Status::IoError("short write to " + BlockPath(id));
+  }
+  auto it = lengths_.find(id);
+  if (it != lengths_.end()) used_bytes_ -= it->second;
+  lengths_[id] = static_cast<int64_t>(data.size());
+  used_bytes_ += static_cast<int64_t>(data.size());
+  return Status::OK();
+}
+
+Result<std::string> DiskBlockStore::Get(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lengths_.find(id);
+  if (it == lengths_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  std::ifstream in(BlockPath(id), std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + BlockPath(id) + " for read");
+  }
+  std::string payload(static_cast<size_t>(it->second), '\0');
+  in.read(payload.data(), it->second);
+  char trailer[4];
+  in.read(trailer, 4);
+  if (!in) {
+    return Status::IoError("short read from " + BlockPath(id));
+  }
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, trailer, 4);
+  if (Crc32c(payload) != stored_crc) {
+    return Status::Corruption("block " + std::to_string(id) +
+                              " checksum mismatch");
+  }
+  return payload;
+}
+
+Status DiskBlockStore::Delete(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lengths_.find(id);
+  if (it == lengths_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  std::error_code ec;
+  fs::remove(BlockPath(id), ec);
+  if (ec) {
+    return Status::IoError("cannot remove " + BlockPath(id) + ": " +
+                           ec.message());
+  }
+  used_bytes_ -= it->second;
+  lengths_.erase(it);
+  return Status::OK();
+}
+
+bool DiskBlockStore::Contains(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lengths_.count(id) > 0;
+}
+
+std::vector<BlockId> DiskBlockStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlockId> out;
+  out.reserve(lengths_.size());
+  for (const auto& [id, _] : lengths_) out.push_back(id);
+  return out;
+}
+
+int64_t DiskBlockStore::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+Status DiskBlockStore::CorruptForTesting(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lengths_.find(id);
+  if (it == lengths_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  std::fstream f(BlockPath(id), std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) {
+    return Status::IoError("cannot open " + BlockPath(id));
+  }
+  char c = 0;
+  f.read(&c, 1);
+  c ^= static_cast<char>(0xFF);
+  f.seekp(0);
+  f.write(&c, 1);
+  return f ? Status::OK() : Status::IoError("corrupt write failed");
+}
+
+}  // namespace octo

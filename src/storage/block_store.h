@@ -1,0 +1,97 @@
+#ifndef OCTOPUSFS_STORAGE_BLOCK_STORE_H_
+#define OCTOPUSFS_STORAGE_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block.h"
+
+namespace octo {
+
+/// Functional data plane of one storage medium: stores block bytes with a
+/// CRC-32C checksum verified on every read. Thread-safe.
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+
+  /// Stores (or replaces) the bytes of a block.
+  virtual Status Put(BlockId id, std::string data) = 0;
+
+  /// Reads a block's bytes; Corruption if the checksum no longer matches,
+  /// NotFound if absent.
+  virtual Result<std::string> Get(BlockId id) const = 0;
+
+  /// Removes a block; NotFound if absent.
+  virtual Status Delete(BlockId id) = 0;
+
+  virtual bool Contains(BlockId id) const = 0;
+
+  /// Stored block ids, sorted (the worker's block report).
+  virtual std::vector<BlockId> List() const = 0;
+
+  /// Total payload bytes currently stored.
+  virtual int64_t UsedBytes() const = 0;
+
+  /// Flips bits in a stored block without updating its checksum, so the
+  /// next Get reports Corruption. For failure-injection tests.
+  virtual Status CorruptForTesting(BlockId id) = 0;
+};
+
+/// Heap-backed store (used for memory tiers and for simulated devices).
+class MemoryBlockStore : public BlockStore {
+ public:
+  MemoryBlockStore() = default;
+
+  Status Put(BlockId id, std::string data) override;
+  Result<std::string> Get(BlockId id) const override;
+  Status Delete(BlockId id) override;
+  bool Contains(BlockId id) const override;
+  std::vector<BlockId> List() const override;
+  int64_t UsedBytes() const override;
+  Status CorruptForTesting(BlockId id) override;
+
+ private:
+  struct Entry {
+    std::string data;
+    uint32_t crc = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<BlockId, Entry> blocks_;
+  int64_t used_bytes_ = 0;
+};
+
+/// Filesystem-backed store: one file per block under `dir`, with the
+/// checksum kept in a 4-byte trailer. Survives process restarts.
+class DiskBlockStore : public BlockStore {
+ public:
+  /// Creates the directory if needed and indexes any existing blocks.
+  static Result<std::unique_ptr<DiskBlockStore>> Open(std::string dir);
+
+  Status Put(BlockId id, std::string data) override;
+  Result<std::string> Get(BlockId id) const override;
+  Status Delete(BlockId id) override;
+  bool Contains(BlockId id) const override;
+  std::vector<BlockId> List() const override;
+  int64_t UsedBytes() const override;
+  Status CorruptForTesting(BlockId id) override;
+
+ private:
+  explicit DiskBlockStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string BlockPath(BlockId id) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<BlockId, int64_t> lengths_;  // id -> payload length
+  int64_t used_bytes_ = 0;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_BLOCK_STORE_H_

@@ -1,0 +1,34 @@
+#include "storage/checksum.h"
+
+#include <array>
+
+namespace octo {
+
+namespace {
+
+// Table-driven CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace octo

@@ -1,0 +1,18 @@
+#ifndef OCTOPUSFS_STORAGE_CHECKSUM_H_
+#define OCTOPUSFS_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace octo {
+
+/// CRC-32C (Castagnoli) over a byte range; used to detect block
+/// corruption on read, like HDFS block checksums.
+uint32_t Crc32c(const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_CHECKSUM_H_

@@ -1,0 +1,27 @@
+#include "storage/media_type.h"
+
+namespace octo {
+
+std::string_view MediaTypeName(MediaType type) {
+  switch (type) {
+    case MediaType::kMemory:
+      return "MEMORY";
+    case MediaType::kSsd:
+      return "SSD";
+    case MediaType::kHdd:
+      return "HDD";
+    case MediaType::kRemote:
+      return "REMOTE";
+  }
+  return "UNKNOWN";
+}
+
+Result<MediaType> ParseMediaType(std::string_view name) {
+  if (name == "MEMORY") return MediaType::kMemory;
+  if (name == "SSD") return MediaType::kSsd;
+  if (name == "HDD") return MediaType::kHdd;
+  if (name == "REMOTE") return MediaType::kRemote;
+  return Status::InvalidArgument("unknown media type: " + std::string(name));
+}
+
+}  // namespace octo

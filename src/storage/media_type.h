@@ -1,0 +1,47 @@
+#ifndef OCTOPUSFS_STORAGE_MEDIA_TYPE_H_
+#define OCTOPUSFS_STORAGE_MEDIA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// Physical kind of a storage device. Tiers are defined by *performance*,
+/// not physical type (two SSD generations may form two tiers), but the
+/// physical kind drives defaults such as volatility.
+enum class MediaType : uint8_t {
+  kMemory = 0,
+  kSsd = 1,
+  kHdd = 2,
+  kRemote = 3,
+};
+
+std::string_view MediaTypeName(MediaType type);
+Result<MediaType> ParseMediaType(std::string_view name);
+
+/// Memory contents do not survive a worker restart.
+inline bool IsVolatile(MediaType type) { return type == MediaType::kMemory; }
+
+/// Identifier of a virtual storage tier. Tiers are ordered by performance:
+/// lower id = faster tier (0 is the fastest, e.g. "Memory").
+/// ReplicationVector reserves ids 0..6; id 7 encodes "Unspecified".
+using TierId = uint8_t;
+
+inline constexpr TierId kMaxTiers = 7;
+/// Pseudo-tier used in replication vectors for replicas whose tier is left
+/// to the placement policy ("U" in the paper).
+inline constexpr TierId kUnspecifiedTier = 7;
+
+/// Canonical tier ids for the default four-tier configuration used
+/// throughout the paper: <Memory, SSD, HDD, Remote, U>.
+inline constexpr TierId kMemoryTier = 0;
+inline constexpr TierId kSsdTier = 1;
+inline constexpr TierId kHddTier = 2;
+inline constexpr TierId kRemoteTier = 3;
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_MEDIA_TYPE_H_

@@ -1,0 +1,67 @@
+#ifndef OCTOPUSFS_STORAGE_STORAGE_MEDIA_H_
+#define OCTOPUSFS_STORAGE_STORAGE_MEDIA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/media_type.h"
+#include "topology/network_location.h"
+
+namespace octo {
+
+/// The Master's view of one storage medium: identity, placement in the
+/// cluster, capacity, and the statistics reported through heartbeats that
+/// the placement/retrieval policies consume (remaining capacity, active
+/// I/O connections, profiled throughput). This mirrors the per-media state
+/// the paper's objective functions read: Worker[m], Tier[m], Rem[m],
+/// Cap[m], NrConn[m], WThru[m], RThru[m].
+struct MediumInfo {
+  MediumId id = kInvalidMedium;
+  WorkerId worker = kInvalidWorker;
+  NetworkLocation location;  // /rack/node of the hosting worker
+  TierId tier = 0;
+  MediaType type = MediaType::kHdd;
+
+  int64_t capacity_bytes = 0;
+  int64_t remaining_bytes = 0;
+  int nr_connections = 0;
+
+  double write_bps = 0;  // profiled sustained write throughput
+  double read_bps = 0;   // profiled sustained read throughput
+
+  double remaining_fraction() const {
+    return capacity_bytes == 0
+               ? 0.0
+               : static_cast<double>(remaining_bytes) / capacity_bytes;
+  }
+};
+
+/// Aggregate information for a storage tier, returned to applications via
+/// the getStorageTierReports() client API (paper Table 1).
+struct StorageTierReport {
+  TierId tier = 0;
+  std::string name;
+  MediaType type = MediaType::kHdd;
+  int num_media = 0;
+  int num_workers = 0;
+  int64_t capacity_bytes = 0;
+  int64_t remaining_bytes = 0;
+  double avg_write_bps = 0;
+  double avg_read_bps = 0;
+};
+
+/// Static description of one medium attached to a worker, used when
+/// constructing a cluster (capacity plus the simulated device speeds).
+struct MediumSpec {
+  TierId tier = kHddTier;
+  MediaType type = MediaType::kHdd;
+  int64_t capacity_bytes = 0;
+  double write_bps = 0;
+  double read_bps = 0;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_STORAGE_MEDIA_H_

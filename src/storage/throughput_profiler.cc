@@ -1,0 +1,31 @@
+#include "storage/throughput_profiler.h"
+
+#include "common/logging.h"
+
+namespace octo {
+
+namespace {
+
+double TimeOneTransfer(sim::Simulation* sim, sim::ResourceId resource,
+                       double bytes) {
+  double start = sim->now();
+  bool done = false;
+  sim->StartFlow(bytes, {resource}, [&done] { done = true; });
+  sim->RunUntilIdle();
+  OCTO_CHECK(done) << "profiling transfer did not complete";
+  double elapsed = sim->now() - start;
+  return elapsed > 0 ? bytes / elapsed : 0.0;
+}
+
+}  // namespace
+
+ProfiledRates ProfileMedium(sim::Simulation* sim,
+                            sim::ResourceId write_resource,
+                            sim::ResourceId read_resource, double test_bytes) {
+  ProfiledRates rates;
+  rates.write_bps = TimeOneTransfer(sim, write_resource, test_bytes);
+  rates.read_bps = TimeOneTransfer(sim, read_resource, test_bytes);
+  return rates;
+}
+
+}  // namespace octo

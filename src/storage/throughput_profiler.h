@@ -1,0 +1,26 @@
+#ifndef OCTOPUSFS_STORAGE_THROUGHPUT_PROFILER_H_
+#define OCTOPUSFS_STORAGE_THROUGHPUT_PROFILER_H_
+
+#include "sim/simulation.h"
+
+namespace octo {
+
+/// Result of the worker-launch I/O profiling test (paper §3.2:
+/// "When a Worker is launched, it performs a short I/O-intensive test for
+/// measuring the sustained write and read throughputs of each medium").
+struct ProfiledRates {
+  double write_bps = 0;
+  double read_bps = 0;
+};
+
+/// Measures a medium's sustained rates by timing an uncontended transfer
+/// of `test_bytes` through its write and read resources in the simulator.
+/// Must run while the simulator is otherwise idle (i.e. at worker launch);
+/// advances virtual time by the duration of the two test transfers.
+ProfiledRates ProfileMedium(sim::Simulation* sim,
+                            sim::ResourceId write_resource,
+                            sim::ResourceId read_resource, double test_bytes);
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_STORAGE_THROUGHPUT_PROFILER_H_

@@ -1,0 +1,37 @@
+#include "topology/network_location.h"
+
+#include "common/strings.h"
+
+namespace octo {
+
+Result<NetworkLocation> NetworkLocation::Parse(std::string_view path) {
+  if (path.empty()) return NetworkLocation();
+  if (path.front() != '/') {
+    return Status::InvalidArgument("network location must start with '/': " +
+                                   std::string(path));
+  }
+  std::vector<std::string> parts = SplitSkipEmpty(path, '/');
+  if (parts.empty() || parts.size() > 2) {
+    return Status::InvalidArgument("network location must be /rack[/node]: " +
+                                   std::string(path));
+  }
+  if (parts.size() == 1) return NetworkLocation(parts[0], "");
+  return NetworkLocation(parts[0], parts[1]);
+}
+
+std::string NetworkLocation::ToString() const {
+  if (off_cluster()) return "";
+  std::string out = "/" + rack_;
+  if (!node_.empty()) out += "/" + node_;
+  return out;
+}
+
+int NetworkLocation::Distance(const NetworkLocation& a,
+                              const NetworkLocation& b) {
+  if (a.off_cluster() || b.off_cluster()) return 6;
+  if (a.rack_ != b.rack_) return 4;
+  if (a.node_.empty() || b.node_.empty() || a.node_ != b.node_) return 2;
+  return 0;
+}
+
+}  // namespace octo

@@ -1,0 +1,58 @@
+#ifndef OCTOPUSFS_TOPOLOGY_NETWORK_LOCATION_H_
+#define OCTOPUSFS_TOPOLOGY_NETWORK_LOCATION_H_
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// A position in the cluster's hierarchical network topology, written as
+/// "/rack/node" (the two-level hierarchy used by HDFS and by the paper).
+/// A location with an empty node names a rack; a location with an empty
+/// rack is off-cluster (e.g. a client outside the cluster).
+class NetworkLocation {
+ public:
+  NetworkLocation() = default;
+  NetworkLocation(std::string rack, std::string node)
+      : rack_(std::move(rack)), node_(std::move(node)) {}
+
+  /// Parses "/rack/node", "/rack", or "" (off-cluster).
+  static Result<NetworkLocation> Parse(std::string_view path);
+
+  const std::string& rack() const { return rack_; }
+  const std::string& node() const { return node_; }
+
+  bool off_cluster() const { return rack_.empty(); }
+  bool is_rack_only() const { return !rack_.empty() && node_.empty(); }
+
+  /// "/rack/node" form ("" when off-cluster).
+  std::string ToString() const;
+
+  /// HDFS-convention topology distance: 0 same node, 2 same rack,
+  /// 4 different racks, 6 when either endpoint is off-cluster.
+  static int Distance(const NetworkLocation& a, const NetworkLocation& b);
+
+  bool SameNode(const NetworkLocation& other) const {
+    return !off_cluster() && rack_ == other.rack_ && !node_.empty() &&
+           node_ == other.node_;
+  }
+  bool SameRack(const NetworkLocation& other) const {
+    return !off_cluster() && rack_ == other.rack_;
+  }
+
+  friend bool operator==(const NetworkLocation& a,
+                         const NetworkLocation& b) = default;
+  friend std::strong_ordering operator<=>(const NetworkLocation& a,
+                                          const NetworkLocation& b) = default;
+
+ private:
+  std::string rack_;
+  std::string node_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_TOPOLOGY_NETWORK_LOCATION_H_

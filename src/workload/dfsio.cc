@@ -1,0 +1,103 @@
+#include "workload/dfsio.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace octo::workload {
+
+NetworkLocation Dfsio::WriterNode(int i) const {
+  const std::vector<WorkerId>& ids = cluster_->worker_ids();
+  WorkerId id = ids[i % ids.size()];
+  return cluster_->worker(id)->location();
+}
+
+NetworkLocation Dfsio::ReaderNode(int i) const {
+  const std::vector<WorkerId>& ids = cluster_->worker_ids();
+  // Shift by one third of the cluster so most readers are remote from the
+  // writer-local replica of "their" file.
+  WorkerId id = ids[(i + ids.size() / 3 + 1) % ids.size()];
+  return cluster_->worker(id)->location();
+}
+
+Result<DfsioResult> Dfsio::RunWrite(const DfsioOptions& options) {
+  if (options.parallelism < 1 || options.total_bytes <= 0) {
+    return Status::InvalidArgument("bad DFSIO options");
+  }
+  sim::Simulation* sim = cluster_->simulation();
+  double start = sim->now();
+  DfsioResult result;
+  result.num_workers = std::min<int>(
+      options.parallelism, static_cast<int>(cluster_->worker_ids().size()));
+
+  engine_->set_write_event_callback(
+      [&result, start](double time, int64_t bytes,
+                       const std::vector<MediumId>& media) {
+        result.events.push_back(IoEvent{time - start, bytes, media});
+      });
+
+  int64_t per_file = options.total_bytes / options.parallelism;
+  int failures = 0;
+  Status first_failure;
+  for (int i = 0; i < options.parallelism; ++i) {
+    std::string path = options.dir + "/f" + std::to_string(i);
+    engine_->WriteFileAsync(path, per_file, options.block_size,
+                            options.rep_vector, WriterNode(i),
+                            [&failures, &first_failure](Status st) {
+                              if (!st.ok()) {
+                                ++failures;
+                                if (first_failure.ok()) first_failure = st;
+                              }
+                            });
+  }
+  sim->RunUntilIdle();
+  engine_->set_write_event_callback(nullptr);
+  if (failures > 0) {
+    return Status::IoError("DFSIO write: " + std::to_string(failures) +
+                           " files failed; first: " +
+                           first_failure.ToString());
+  }
+  result.elapsed_seconds = sim->now() - start;
+  result.total_bytes = per_file * options.parallelism;
+  return result;
+}
+
+Result<DfsioResult> Dfsio::RunRead(const DfsioOptions& options) {
+  sim::Simulation* sim = cluster_->simulation();
+  double start = sim->now();
+  DfsioResult result;
+  result.num_workers = std::min<int>(
+      options.parallelism, static_cast<int>(cluster_->worker_ids().size()));
+
+  engine_->set_read_event_callback(
+      [&result, start](double time, int64_t bytes, MediumId source) {
+        result.events.push_back(IoEvent{time - start, bytes, {source}});
+      });
+
+  int failures = 0;
+  Status first_failure;
+  for (int i = 0; i < options.parallelism; ++i) {
+    std::string path = options.dir + "/f" + std::to_string(i);
+    engine_->ReadFileAsync(path, ReaderNode(i),
+                           [&failures, &first_failure](Status st) {
+                             if (!st.ok()) {
+                               ++failures;
+                               if (first_failure.ok()) first_failure = st;
+                             }
+                           });
+  }
+  sim->RunUntilIdle();
+  engine_->set_read_event_callback(nullptr);
+  if (failures > 0) {
+    return Status::IoError("DFSIO read: " + std::to_string(failures) +
+                           " files failed; first: " +
+                           first_failure.ToString());
+  }
+  result.elapsed_seconds = sim->now() - start;
+  for (const IoEvent& event : result.events) {
+    result.total_bytes += event.bytes;
+  }
+  return result;
+}
+
+}  // namespace octo::workload

@@ -1,0 +1,82 @@
+#ifndef OCTOPUSFS_WORKLOAD_DFSIO_H_
+#define OCTOPUSFS_WORKLOAD_DFSIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/replication_vector.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::workload {
+
+/// Configuration of one DFSIO run (the distributed I/O benchmark the
+/// paper uses throughout §7): d parallel clients, one file each,
+/// totalling `total_bytes`.
+struct DfsioOptions {
+  /// Degree of parallelism d (number of concurrent writer/reader clients,
+  /// assigned to worker nodes round-robin).
+  int parallelism = 9;
+  /// Total data volume across all files.
+  int64_t total_bytes = 10LL << 30;
+  int64_t block_size = 128LL << 20;
+  ReplicationVector rep_vector = ReplicationVector::OfTotal(3);
+  /// Directory the test files live under.
+  std::string dir = "/dfsio";
+};
+
+/// One timestamped I/O completion, for timelines.
+struct IoEvent {
+  double time = 0;        // virtual seconds since run start
+  int64_t bytes = 0;
+  std::vector<MediumId> media;  // writes: all replicas; reads: the source
+};
+
+/// Result of a write or read phase.
+struct DfsioResult {
+  double elapsed_seconds = 0;
+  int64_t total_bytes = 0;
+  /// Workers actively running clients: min(parallelism, cluster size).
+  int num_workers = 0;
+  std::vector<IoEvent> events;
+
+  /// Aggregate throughput divided by the count of actively used workers —
+  /// the paper's "average throughput per Worker" metric, in bytes/second.
+  double ThroughputPerWorkerBps() const {
+    return elapsed_seconds > 0 && num_workers > 0
+               ? static_cast<double>(total_bytes) / elapsed_seconds /
+                     num_workers
+               : 0.0;
+  }
+};
+
+/// DFSIO driver. Write and read phases run on the cluster's simulator
+/// with the Master's live placement/retrieval policies.
+class Dfsio {
+ public:
+  Dfsio(Cluster* cluster, TransferEngine* engine)
+      : cluster_(cluster), engine_(engine) {}
+
+  /// Writes `parallelism` files concurrently (total `total_bytes`).
+  Result<DfsioResult> RunWrite(const DfsioOptions& options);
+
+  /// Reads back the files written by RunWrite with the same parallelism;
+  /// client i runs on a *different* node than the one that wrote file i,
+  /// so reads mix local and remote replicas (the paper observed ~1/3
+  /// local reads in this setup).
+  Result<DfsioResult> RunRead(const DfsioOptions& options);
+
+ private:
+  /// The node client i runs on for the write (round-robin) and read
+  /// (shifted round-robin) phases.
+  NetworkLocation WriterNode(int i) const;
+  NetworkLocation ReaderNode(int i) const;
+
+  Cluster* cluster_;
+  TransferEngine* engine_;
+};
+
+}  // namespace octo::workload
+
+#endif  // OCTOPUSFS_WORKLOAD_DFSIO_H_

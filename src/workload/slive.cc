@@ -1,0 +1,98 @@
+#include "workload/slive.h"
+
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace octo::workload {
+
+namespace {
+
+const UserContext kUser{"root", {}};
+
+double TimeOps(int n, const std::function<Status(int)>& op,
+               const std::string& what) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    Status st = op(i);
+    OCTO_CHECK(st.ok()) << what << "[" << i << "]: " << st.ToString();
+  }
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count() > 0 ? n / elapsed.count() : 0.0;
+}
+
+}  // namespace
+
+Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
+  const std::string& root = options.root;
+  const int n = options.ops_per_type;
+  OCTO_RETURN_IF_ERROR(master->Mkdirs(root, kUser));
+  SliveResult result;
+
+  // Spread entries over a fan of parent directories like the real S-Live.
+  auto dir_of = [&root](int i) {
+    return root + "/d" + std::to_string(i % 512);
+  };
+
+  result.ops_per_second["mkdir"] = TimeOps(
+      n,
+      [&](int i) {
+        return master->Mkdirs(dir_of(i) + "/sub" + std::to_string(i), kUser);
+      },
+      "mkdir");
+
+  result.ops_per_second["create"] = TimeOps(
+      n,
+      [&](int i) {
+        std::string path = dir_of(i) + "/file" + std::to_string(i);
+        std::string holder = "slive";
+        OCTO_RETURN_IF_ERROR(master->Create(path, options.rep_vector,
+                                            128LL << 20, /*overwrite=*/false,
+                                            kUser, holder));
+        return master->CompleteFile(path, holder);
+      },
+      "create");
+
+  result.ops_per_second["ls"] = TimeOps(
+      n,
+      [&](int i) {
+        auto listing = master->ListDirectory(dir_of(i), kUser);
+        return listing.ok() ? Status::OK() : listing.status();
+      },
+      "ls");
+
+  result.ops_per_second["open"] = TimeOps(
+      n,
+      [&](int i) {
+        auto located = master->GetBlockLocations(
+            dir_of(i) + "/file" + std::to_string(i), NetworkLocation());
+        return located.ok() ? Status::OK() : located.status();
+      },
+      "open");
+
+  result.ops_per_second["rename"] = TimeOps(
+      n,
+      [&](int i) {
+        return master->Rename(dir_of(i) + "/file" + std::to_string(i),
+                              dir_of(i) + "/renamed" + std::to_string(i),
+                              kUser);
+      },
+      "rename");
+
+  result.ops_per_second["delete"] = TimeOps(
+      n,
+      [&](int i) {
+        auto deleted = master->Delete(
+            dir_of(i) + "/renamed" + std::to_string(i), false, kUser);
+        return deleted.ok() ? Status::OK() : deleted.status();
+      },
+      "delete");
+
+  return result;
+}
+
+}  // namespace octo::workload

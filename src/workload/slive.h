@@ -1,0 +1,36 @@
+#ifndef OCTOPUSFS_WORKLOAD_SLIVE_H_
+#define OCTOPUSFS_WORKLOAD_SLIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/master.h"
+#include "common/status.h"
+
+namespace octo::workload {
+
+/// Configuration of an S-Live-style namespace stress run (paper §7.4):
+/// batches of typical metadata operations hammered at the Master, timed
+/// in real (wall-clock) time.
+struct SliveOptions {
+  int ops_per_type = 2000;
+  uint64_t seed = 7;
+  std::string root = "/slive";
+  /// Replication vector used when creating files (OctopusFS mode uses a
+  /// tier-explicit vector; HDFS-compatible mode uses U=r).
+  ReplicationVector rep_vector = ReplicationVector::OfTotal(3);
+};
+
+/// Wall-clock operations/second for each namespace operation type.
+struct SliveResult {
+  std::map<std::string, double> ops_per_second;
+};
+
+/// Runs the six Table 3 operation types against a live Master:
+/// mkdir, ls, create, open (getBlockLocations), rename, delete.
+Result<SliveResult> RunSlive(Master* master, const SliveOptions& options);
+
+}  // namespace octo::workload
+
+#endif  // OCTOPUSFS_WORKLOAD_SLIVE_H_

@@ -1,0 +1,446 @@
+#include "workload/transfer_engine.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace octo::workload {
+
+namespace {
+const UserContext kSuperuser{"root", {}};
+}  // namespace
+
+TransferEngine::TransferEngine(Cluster* cluster)
+    : cluster_(cluster),
+      master_(cluster->master()),
+      sim_(cluster->simulation()) {
+  OCTO_CHECK(sim_ != nullptr)
+      << "TransferEngine requires a cluster with a simulator";
+}
+
+void TransferEngine::StartCappedFlow(double bytes,
+                                     const std::vector<sim::ResourceId>& res,
+                                     std::function<void()> on_complete) {
+  sim_->StartFlow(bytes, res, std::move(on_complete), stream_cap_bps_);
+}
+
+int64_t TransferEngine::BlockLength(BlockId id) const {
+  auto it = block_lengths_.find(id);
+  if (it != block_lengths_.end()) return it->second;
+  const BlockRecord* record = master_->block_manager().Find(id);
+  return record != nullptr ? record->length : 0;
+}
+
+void TransferEngine::NoteStart(const std::vector<MediumId>& media,
+                               const std::vector<WorkerId>& workers) {
+  for (MediumId m : media) master_->cluster_state().AddMediumConnections(m, 1);
+  for (WorkerId w : workers) {
+    master_->cluster_state().AddWorkerConnections(w, 1);
+  }
+}
+
+void TransferEngine::NoteEnd(const std::vector<MediumId>& media,
+                             const std::vector<WorkerId>& workers) {
+  for (MediumId m : media) {
+    master_->cluster_state().AddMediumConnections(m, -1);
+  }
+  for (WorkerId w : workers) {
+    master_->cluster_state().AddWorkerConnections(w, -1);
+  }
+}
+
+std::vector<sim::ResourceId> TransferEngine::PipelineResources(
+    const NetworkLocation& client, const std::vector<PlacedReplica>& chain) {
+  std::vector<sim::ResourceId> resources;
+  NetworkLocation prev = client;
+  const WorkerInfo* prev_worker = master_->cluster_state().WorkerAt(client);
+  for (const PlacedReplica& replica : chain) {
+    Worker* w = cluster_->worker(replica.worker);
+    if (w == nullptr) continue;
+    if (!replica.location.SameNode(prev)) {
+      // Network hop: sender egress (when the sender is a cluster node we
+      // model) and receiver ingress.
+      if (prev_worker != nullptr) {
+        Worker* pw = cluster_->worker(prev_worker->id);
+        if (pw != nullptr && pw->nic_out() != sim::kInvalidResource) {
+          resources.push_back(pw->nic_out());
+        }
+      }
+      if (w->nic_in() != sim::kInvalidResource) {
+        resources.push_back(w->nic_in());
+      }
+    }
+    auto write_res = w->MediumWriteResource(replica.medium);
+    if (write_res.ok()) resources.push_back(*write_res);
+    prev = replica.location;
+    prev_worker = master_->cluster_state().FindWorker(replica.worker);
+  }
+  return resources;
+}
+
+std::vector<sim::ResourceId> TransferEngine::ReadResources(
+    const NetworkLocation& client, const PlacedReplica& source) {
+  std::vector<sim::ResourceId> resources;
+  Worker* w = cluster_->worker(source.worker);
+  if (w == nullptr) return resources;
+  auto read_res = w->MediumReadResource(source.medium);
+  if (read_res.ok()) resources.push_back(*read_res);
+  if (!client.SameNode(source.location)) {
+    if (w->nic_out() != sim::kInvalidResource) {
+      resources.push_back(w->nic_out());
+    }
+    const WorkerInfo* cw = master_->cluster_state().WorkerAt(client);
+    if (cw != nullptr) {
+      Worker* client_worker = cluster_->worker(cw->id);
+      if (client_worker != nullptr &&
+          client_worker->nic_in() != sim::kInvalidResource) {
+        resources.push_back(client_worker->nic_in());
+      }
+    }
+  }
+  return resources;
+}
+
+void TransferEngine::WriteFileAsync(const std::string& path,
+                                    int64_t total_bytes, int64_t block_size,
+                                    const ReplicationVector& rv,
+                                    const NetworkLocation& client,
+                                    DoneCallback done) {
+  auto job = std::make_shared<WriteJob>();
+  job->path = path;
+  job->holder = "engine-" + std::to_string(next_holder_++);
+  job->remaining_bytes = total_bytes;
+  job->block_size = block_size;
+  job->client = client;
+  job->done = std::move(done);
+  Status st = master_->Create(path, rv, block_size, /*overwrite=*/true,
+                              kSuperuser, job->holder);
+  if (!st.ok()) {
+    job->done(st);
+    return;
+  }
+  WriteNextBlock(std::move(job));
+}
+
+void TransferEngine::WriteNextBlock(std::shared_ptr<WriteJob> job) {
+  if (job->remaining_bytes <= 0) {
+    job->done(master_->CompleteFile(job->path, job->holder));
+    return;
+  }
+  int64_t length = std::min(job->remaining_bytes, job->block_size);
+  job->remaining_bytes -= length;
+
+  auto located = master_->AddBlock(job->path, job->holder, job->client);
+  if (!located.ok()) {
+    job->done(located.status());
+    return;
+  }
+  if (located->locations.empty()) {
+    job->done(Status::NoSpace("no media available for a block of " +
+                              job->path));
+    return;
+  }
+  std::vector<sim::ResourceId> resources =
+      PipelineResources(job->client, located->locations);
+  std::vector<MediumId> media;
+  std::vector<WorkerId> workers;
+  for (const PlacedReplica& r : located->locations) {
+    media.push_back(r.medium);
+    workers.push_back(r.worker);
+  }
+  NoteStart(media, workers);
+  BlockId block = located->block.id;
+  StartCappedFlow(
+      static_cast<double>(length), resources,
+      [this, job = std::move(job), block, length, media, workers]() mutable {
+        NoteEnd(media, workers);
+        for (MediumId m : media) {
+          Worker* w = cluster_->WorkerForMedium(m);
+          if (w != nullptr) (void)w->AddVirtualBytes(m, length);
+        }
+        Status st = master_->CommitBlock(job->path, job->holder, block,
+                                         length, media);
+        if (!st.ok()) {
+          job->done(st);
+          return;
+        }
+        block_lengths_[block] = length;
+        bytes_written_ += length;
+        if (on_write_) on_write_(sim_->now(), length, media);
+        WriteNextBlock(std::move(job));
+      });
+}
+
+void TransferEngine::ReadFileAsync(const std::string& path,
+                                   const NetworkLocation& client,
+                                   DoneCallback done) {
+  auto job = std::make_shared<ReadJob>();
+  job->path = path;
+  job->client = client;
+  job->done = std::move(done);
+  ReadNextBlock(std::move(job));
+}
+
+void TransferEngine::ReadNextBlock(std::shared_ptr<ReadJob> job) {
+  // Locations are re-fetched per block so the retrieval policy re-ranks
+  // replicas against the connection counts at this instant.
+  auto located = master_->GetBlockLocations(job->path, job->client);
+  if (!located.ok()) {
+    job->done(located.status());
+    return;
+  }
+  if (job->next_block >= located->size()) {
+    job->done(Status::OK());
+    return;
+  }
+  const LocatedBlock& lb = (*located)[job->next_block];
+  if (lb.locations.empty()) {
+    job->done(Status::Unavailable("block " + std::to_string(lb.block.id) +
+                                  " of " + job->path + " has no replicas"));
+    return;
+  }
+  const PlacedReplica source = lb.locations.front();
+  std::vector<sim::ResourceId> resources = ReadResources(job->client, source);
+  std::vector<MediumId> media = {source.medium};
+  std::vector<WorkerId> workers = {source.worker};
+  NoteStart(media, workers);
+  int64_t length = lb.block.length;
+  StartCappedFlow(
+      static_cast<double>(length), resources,
+      [this, job = std::move(job), length, media, workers,
+       source]() mutable {
+        NoteEnd(media, workers);
+        bytes_read_ += length;
+        if (on_read_) on_read_(sim_->now(), length, source.medium);
+        job->next_block++;
+        ReadNextBlock(std::move(job));
+      });
+}
+
+void TransferEngine::ReadReplicaAsync(int64_t bytes,
+                                      const PlacedReplica& source,
+                                      const NetworkLocation& client,
+                                      DoneCallback done) {
+  std::vector<sim::ResourceId> resources = ReadResources(client, source);
+  std::vector<MediumId> media = {source.medium};
+  std::vector<WorkerId> workers;
+  if (!client.SameNode(source.location)) workers.push_back(source.worker);
+  NoteStart(media, workers);
+  StartCappedFlow(static_cast<double>(bytes), resources,
+                  [this, media, workers, done = std::move(done)]() {
+                    NoteEnd(media, workers);
+                    done(Status::OK());
+                  });
+}
+
+void TransferEngine::NodeTransferAsync(int64_t bytes,
+                                       const NetworkLocation& from,
+                                       const NetworkLocation& to,
+                                       DoneCallback done) {
+  if (from.SameNode(to) || bytes <= 0) {
+    sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
+    return;
+  }
+  std::vector<sim::ResourceId> resources;
+  std::vector<WorkerId> workers;
+  const WorkerInfo* fw = master_->cluster_state().WorkerAt(from);
+  if (fw != nullptr) {
+    Worker* w = cluster_->worker(fw->id);
+    if (w != nullptr && w->nic_out() != sim::kInvalidResource) {
+      resources.push_back(w->nic_out());
+      workers.push_back(fw->id);
+    }
+  }
+  const WorkerInfo* tw = master_->cluster_state().WorkerAt(to);
+  if (tw != nullptr) {
+    Worker* w = cluster_->worker(tw->id);
+    if (w != nullptr && w->nic_in() != sim::kInvalidResource) {
+      resources.push_back(w->nic_in());
+      workers.push_back(tw->id);
+    }
+  }
+  NoteStart({}, workers);
+  StartCappedFlow(static_cast<double>(bytes), resources,
+                  [this, workers, done = std::move(done)]() {
+                    NoteEnd({}, workers);
+                    done(Status::OK());
+                  });
+}
+
+namespace {
+
+/// The worker's scratch device: its first HDD (fallback: any non-memory
+/// medium, then any medium).
+MediumId ScratchMedium(Worker* worker) {
+  MediumId fallback = kInvalidMedium;
+  for (MediumId id : worker->MediumIds()) {
+    auto spec = worker->GetSpec(id);
+    if (!spec.ok()) continue;
+    if (spec->type == MediaType::kHdd) return id;
+    if (fallback == kInvalidMedium || spec->type != MediaType::kMemory) {
+      fallback = id;
+    }
+  }
+  return fallback;
+}
+
+MediumId MemoryMedium(Worker* worker) {
+  for (MediumId id : worker->MediumIds()) {
+    auto spec = worker->GetSpec(id);
+    if (spec.ok() && spec->type == MediaType::kMemory) return id;
+  }
+  return kInvalidMedium;
+}
+
+}  // namespace
+
+void TransferEngine::ScratchWriteAsync(int64_t bytes,
+                                       const NetworkLocation& node,
+                                       DoneCallback done) {
+  const WorkerInfo* info = master_->cluster_state().WorkerAt(node);
+  Worker* worker = info != nullptr ? cluster_->worker(info->id) : nullptr;
+  MediumId medium = worker != nullptr ? ScratchMedium(worker) : kInvalidMedium;
+  if (worker == nullptr || medium == kInvalidMedium || bytes <= 0) {
+    sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
+    return;
+  }
+  std::vector<sim::ResourceId> resources;
+  auto res = worker->MediumWriteResource(medium);
+  if (res.ok()) resources.push_back(*res);
+  NoteStart({medium}, {});
+  StartCappedFlow(static_cast<double>(bytes), resources,
+                  [this, medium, done = std::move(done)]() {
+                    NoteEnd({medium}, {});
+                    done(Status::OK());
+                  });
+}
+
+void TransferEngine::ScratchReadAsync(int64_t bytes,
+                                      const NetworkLocation& node,
+                                      DoneCallback done) {
+  const WorkerInfo* info = master_->cluster_state().WorkerAt(node);
+  Worker* worker = info != nullptr ? cluster_->worker(info->id) : nullptr;
+  MediumId medium = worker != nullptr ? ScratchMedium(worker) : kInvalidMedium;
+  if (worker == nullptr || medium == kInvalidMedium || bytes <= 0) {
+    sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
+    return;
+  }
+  std::vector<sim::ResourceId> resources;
+  auto res = worker->MediumReadResource(medium);
+  if (res.ok()) resources.push_back(*res);
+  NoteStart({medium}, {});
+  StartCappedFlow(static_cast<double>(bytes), resources,
+                  [this, medium, done = std::move(done)]() {
+                    NoteEnd({medium}, {});
+                    done(Status::OK());
+                  });
+}
+
+void TransferEngine::CacheReadAsync(int64_t bytes,
+                                    const NetworkLocation& node,
+                                    DoneCallback done) {
+  const WorkerInfo* info = master_->cluster_state().WorkerAt(node);
+  Worker* worker = info != nullptr ? cluster_->worker(info->id) : nullptr;
+  MediumId medium = worker != nullptr ? MemoryMedium(worker) : kInvalidMedium;
+  if (worker == nullptr || medium == kInvalidMedium || bytes <= 0) {
+    sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
+    return;
+  }
+  std::vector<sim::ResourceId> resources;
+  auto res = worker->MediumReadResource(medium);
+  if (res.ok()) resources.push_back(*res);
+  StartCappedFlow(static_cast<double>(bytes), resources,
+                  [done = std::move(done)]() { done(Status::OK()); });
+}
+
+Result<int> TransferEngine::PumpCommandsTimed() {
+  int started = 0;
+  for (WorkerId id : cluster_->worker_ids()) {
+    if (cluster_->IsStopped(id)) continue;
+    Worker* worker = cluster_->worker(id);
+    OCTO_ASSIGN_OR_RETURN(std::vector<WorkerCommand> commands,
+                          master_->Heartbeat(worker->BuildHeartbeat()));
+    for (const WorkerCommand& cmd : commands) {
+      int64_t length = BlockLength(cmd.block);
+      switch (cmd.kind) {
+        case WorkerCommand::Kind::kDeleteReplica: {
+          // Invalidation is instantaneous (a metadata operation).
+          Status st = worker->DeleteBlock(cmd.target_medium, cmd.block);
+          if (!st.ok()) {
+            // Virtual replica: release the accounted space instead.
+            (void)worker->AddVirtualBytes(cmd.target_medium, -length);
+          }
+          ++started;
+          break;
+        }
+        case WorkerCommand::Kind::kCopyReplica: {
+          // Find a live source and stream the block to the new medium.
+          const PlacedReplica target = [&] {
+            PlacedReplica pr;
+            pr.medium = cmd.target_medium;
+            const MediumInfo* info =
+                master_->cluster_state().FindMedium(cmd.target_medium);
+            if (info != nullptr) {
+              pr.worker = info->worker;
+              pr.tier = info->tier;
+              pr.location = info->location;
+            }
+            return pr;
+          }();
+          const MediumInfo* src_info = nullptr;
+          for (MediumId source : cmd.sources) {
+            const MediumInfo* info =
+                master_->cluster_state().FindMedium(source);
+            if (info != nullptr && master_->cluster_state().MediumLive(source)
+                && !cluster_->IsStopped(info->worker)) {
+              src_info = info;
+              break;
+            }
+          }
+          if (src_info == nullptr) {
+            OCTO_LOG(Warn) << "no live source to copy block " << cmd.block;
+            break;
+          }
+          // Resources: source media read + network hop + target media
+          // write (reuse the read plan for the source->target hop).
+          PlacedReplica source;
+          source.medium = src_info->id;
+          source.worker = src_info->worker;
+          source.tier = src_info->tier;
+          source.location = src_info->location;
+          std::vector<sim::ResourceId> resources =
+              ReadResources(target.location, source);
+          Worker* target_worker = cluster_->worker(target.worker);
+          if (target_worker != nullptr) {
+            auto write_res =
+                target_worker->MediumWriteResource(target.medium);
+            if (write_res.ok()) resources.push_back(*write_res);
+          }
+          std::vector<MediumId> media = {source.medium, target.medium};
+          std::vector<WorkerId> workers;
+          if (!source.location.SameNode(target.location)) {
+            workers = {source.worker, target.worker};
+          }
+          NoteStart(media, workers);
+          BlockId block = cmd.block;
+          MediumId target_medium = target.medium;
+          StartCappedFlow(
+              static_cast<double>(length), resources,
+              [this, block, target_medium, length, media, workers]() {
+                NoteEnd(media, workers);
+                Worker* w = cluster_->WorkerForMedium(target_medium);
+                if (w != nullptr) {
+                  (void)w->AddVirtualBytes(target_medium, length);
+                }
+                OCTO_CHECK_OK(master_->CommitReplica(block, target_medium));
+              });
+          ++started;
+          break;
+        }
+      }
+    }
+  }
+  return started;
+}
+
+}  // namespace octo::workload

@@ -1,0 +1,165 @@
+#ifndef OCTOPUSFS_WORKLOAD_TRANSFER_ENGINE_H_
+#define OCTOPUSFS_WORKLOAD_TRANSFER_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "core/replication_vector.h"
+#include "sim/simulation.h"
+
+namespace octo::workload {
+
+/// Callback invoked when an asynchronous transfer finishes.
+using DoneCallback = std::function<void(Status)>;
+
+/// Fires after every committed block write: (virtual time, block length,
+/// media that received replicas). Benches use it to build timelines
+/// (Fig. 3) and capacity traces (Fig. 4).
+using WriteEventCallback =
+    std::function<void(double time, int64_t length,
+                       const std::vector<MediumId>& media)>;
+
+/// Fires after every completed block read: (virtual time, block length,
+/// medium served from).
+using ReadEventCallback =
+    std::function<void(double time, int64_t length, MediumId source)>;
+
+/// Drives *timed* file I/O through the cluster: every placement/retrieval
+/// decision is made by the Master's live policies, every byte movement is
+/// a flow in the simulator (replication pipelines, reads, replica copies),
+/// and connection counts feed back into the policies while transfers are
+/// in flight. Block payloads are not materialized ("virtual" blocks) —
+/// space accounting uses Worker::AddVirtualBytes — so benchmarks can push
+/// tens of GB through a laptop-sized process.
+///
+/// Usage: queue work with the Async calls, then run
+/// `cluster->simulation()->RunUntilIdle()`.
+class TransferEngine {
+ public:
+  explicit TransferEngine(Cluster* cluster);
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Writes a whole file of `total_bytes` (blocks written sequentially,
+  /// each through its replication pipeline), then completes it.
+  void WriteFileAsync(const std::string& path, int64_t total_bytes,
+                      int64_t block_size, const ReplicationVector& rv,
+                      const NetworkLocation& client, DoneCallback done);
+
+  /// Reads a whole file block by block, each from the replica the
+  /// retrieval policy ranks first (re-ranked per block against current
+  /// load).
+  void ReadFileAsync(const std::string& path, const NetworkLocation& client,
+                     DoneCallback done);
+
+  /// Executes queued master commands (replica copies/deletions) as timed
+  /// transfers. Call after SetReplication or a monitor round; repeats
+  /// heartbeats until no commands remain. Returns commands started.
+  Result<int> PumpCommandsTimed();
+
+  // -- generic timed transfers for compute engines ------------------------
+
+  /// Timed read of `bytes` from a specific replica to a client node
+  /// (compute engines pick the replica; no master bookkeeping).
+  void ReadReplicaAsync(int64_t bytes, const PlacedReplica& source,
+                        const NetworkLocation& client, DoneCallback done);
+
+  /// Timed node-to-node transfer over the NICs only (shuffle traffic).
+  /// Instantaneous when both endpoints are the same node.
+  void NodeTransferAsync(int64_t bytes, const NetworkLocation& from,
+                         const NetworkLocation& to, DoneCallback done);
+
+  /// Timed write/read of intermediate ("scratch") data on a node's local
+  /// spill device — the first HDD medium of the worker at `node`.
+  void ScratchWriteAsync(int64_t bytes, const NetworkLocation& node,
+                         DoneCallback done);
+  void ScratchReadAsync(int64_t bytes, const NetworkLocation& node,
+                        DoneCallback done);
+
+  /// Timed read from a node's local memory device (models a Spark
+  /// executor's cached RDD partition).
+  void CacheReadAsync(int64_t bytes, const NetworkLocation& node,
+                      DoneCallback done);
+
+  Cluster* cluster() { return cluster_; }
+  Master* master() { return master_; }
+  sim::Simulation* simulation() { return sim_; }
+
+  void set_write_event_callback(WriteEventCallback cb) {
+    on_write_ = std::move(cb);
+  }
+  void set_read_event_callback(ReadEventCallback cb) {
+    on_read_ = std::move(cb);
+  }
+
+  /// Total payload bytes moved by completed block writes / reads.
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t bytes_read() const { return bytes_read_; }
+
+  /// Per-stream software rate limit applied to every transfer this engine
+  /// starts (client pipelines, reads, shuffles, replica copies). Models
+  /// the client/datanode stream-processing ceiling that keeps real
+  /// single-stream throughput well below device speeds. 0 disables.
+  void set_stream_cap_bps(double bps) { stream_cap_bps_ = bps; }
+  double stream_cap_bps() const { return stream_cap_bps_; }
+
+ private:
+  struct WriteJob {
+    std::string path;
+    std::string holder;
+    int64_t remaining_bytes = 0;
+    int64_t block_size = 0;
+    NetworkLocation client;
+    DoneCallback done;
+  };
+
+  struct ReadJob {
+    std::string path;
+    NetworkLocation client;
+    size_t next_block = 0;
+    DoneCallback done;
+  };
+
+  void WriteNextBlock(std::shared_ptr<WriteJob> job);
+  void ReadNextBlock(std::shared_ptr<ReadJob> job);
+
+  /// Resources of a replication pipeline client -> m1 -> ... -> mr.
+  std::vector<sim::ResourceId> PipelineResources(
+      const NetworkLocation& client, const std::vector<PlacedReplica>& chain);
+  /// Resources of a single-replica read to `client`.
+  std::vector<sim::ResourceId> ReadResources(const NetworkLocation& client,
+                                             const PlacedReplica& source);
+
+  /// Connection bookkeeping for a transfer over `media` and `workers`.
+  void NoteStart(const std::vector<MediumId>& media,
+                 const std::vector<WorkerId>& workers);
+  void NoteEnd(const std::vector<MediumId>& media,
+               const std::vector<WorkerId>& workers);
+
+  int64_t BlockLength(BlockId id) const;
+
+  /// StartFlow with this engine's per-stream cap applied.
+  void StartCappedFlow(double bytes, const std::vector<sim::ResourceId>& res,
+                       std::function<void()> on_complete);
+
+  Cluster* cluster_;
+  Master* master_;
+  sim::Simulation* sim_;
+  double stream_cap_bps_ = 600e6;  // 600 MB/s default
+  int64_t next_holder_ = 0;
+  int64_t bytes_written_ = 0;
+  int64_t bytes_read_ = 0;
+  std::map<BlockId, int64_t> block_lengths_;
+  WriteEventCallback on_write_;
+  ReadEventCallback on_read_;
+};
+
+}  // namespace octo::workload
+
+#endif  // OCTOPUSFS_WORKLOAD_TRANSFER_ENGINE_H_

@@ -1,0 +1,285 @@
+// End-to-end tests of the full client path: cluster bring-up, file
+// write/read through the pipeline, replication-vector changes, failure
+// injection, and master failover.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "client/file_system.h"
+#include "cluster/backup_master.h"
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+// A small cluster with tiny blocks so tests move real bytes quickly.
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 3;
+  spec.net_bps = 1.25e9;
+  MediumSpec memory{kMemoryTier, MediaType::kMemory, 8 * kMiB,
+                    FromMBps(1897.4), FromMBps(3224.8)};
+  MediumSpec ssd{kSsdTier, MediaType::kSsd, 64 * kMiB, FromMBps(340.6),
+                 FromMBps(419.5)};
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126.3),
+                 FromMBps(177.1)};
+  spec.media_per_worker = {memory, ssd, hdd, hdd};
+  return spec;
+}
+
+std::string MakeData(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::string data(n, '\0');
+  for (char& c : data) c = static_cast<char>('a' + rng.Uniform(26));
+  return data;
+}
+
+class ClientIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(SmallSpec());
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(
+        cluster_.get(), NetworkLocation("rack0", "node0"));
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(ClientIntegrationTest, WriteReadRoundTripSingleBlock) {
+  std::string data = MakeData(100 * 1024, 1);
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  ASSERT_TRUE(fs_->WriteFile("/dir/file.txt", data, options).ok());
+  auto read = fs_->ReadFile("/dir/file.txt");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ClientIntegrationTest, WriteReadRoundTripMultiBlock) {
+  std::string data = MakeData(5 * kMiB + 123, 2);
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  ASSERT_TRUE(fs_->WriteFile("/big", data, options).ok());
+
+  auto status = fs_->GetFileStatus("/big");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->length, static_cast<int64_t>(data.size()));
+  EXPECT_FALSE(status->under_construction);
+
+  auto locations = fs_->GetFileBlockLocations("/big", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  EXPECT_EQ(locations->size(), 6u);  // 5 full blocks + 1 partial
+  for (const LocatedBlock& block : *locations) {
+    EXPECT_EQ(block.locations.size(), 3u);  // default replication
+  }
+
+  auto read = fs_->ReadFile("/big");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ClientIntegrationTest, PreadAtArbitraryOffsets) {
+  std::string data = MakeData(3 * kMiB, 3);
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  ASSERT_TRUE(fs_->WriteFile("/pread", data, options).ok());
+  auto reader = fs_->Open("/pread");
+  ASSERT_TRUE(reader.ok());
+  // Cross-block read.
+  auto chunk = (*reader)->Pread(1 * kMiB - 100, 200);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(*chunk, data.substr(kMiB - 100, 200));
+  // Tail read past EOF clips.
+  auto tail = (*reader)->Pread(3 * kMiB - 10, 100);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(*tail, data.substr(3 * kMiB - 10));
+}
+
+TEST_F(ClientIntegrationTest, ExplicitTierPlacementIsHonored) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  options.rep_vector = ReplicationVector::Of(1, 1, 1);  // one per tier
+  std::string data = MakeData(512 * 1024, 4);
+  ASSERT_TRUE(fs_->WriteFile("/tiered", data, options).ok());
+  auto locations = fs_->GetFileBlockLocations("/tiered", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  ASSERT_EQ(locations->size(), 1u);
+  std::set<TierId> tiers;
+  for (const PlacedReplica& replica : (*locations)[0].locations) {
+    tiers.insert(replica.tier);
+  }
+  EXPECT_EQ(tiers, (std::set<TierId>{kMemoryTier, kSsdTier, kHddTier}));
+}
+
+TEST_F(ClientIntegrationTest, SetReplicationCopiesToNewTier) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  options.rep_vector = ReplicationVector::Of(0, 0, 2);  // 2 HDD replicas
+  std::string data = MakeData(256 * 1024, 5);
+  ASSERT_TRUE(fs_->WriteFile("/promote", data, options).ok());
+
+  // Copy one replica into memory: <0,0,2> -> <1,0,2>.
+  ASSERT_TRUE(
+      fs_->SetReplication("/promote", ReplicationVector::Of(1, 0, 2)).ok());
+  auto rounds = cluster_->RunReplicationToQuiescence();
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+
+  auto locations = fs_->GetFileBlockLocations("/promote", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  ASSERT_EQ(locations->size(), 1u);
+  int memory = 0, hdd = 0;
+  for (const PlacedReplica& replica : (*locations)[0].locations) {
+    if (replica.tier == kMemoryTier) ++memory;
+    if (replica.tier == kHddTier) ++hdd;
+  }
+  EXPECT_EQ(memory, 1);
+  EXPECT_EQ(hdd, 2);
+  auto read = fs_->ReadFile("/promote");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ClientIntegrationTest, SetReplicationMovesBetweenTiers) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  options.rep_vector = ReplicationVector::Of(1, 0, 2);
+  std::string data = MakeData(256 * 1024, 6);
+  ASSERT_TRUE(fs_->WriteFile("/move", data, options).ok());
+
+  // Move the memory replica to SSD: <1,0,2> -> <0,1,2>.
+  ASSERT_TRUE(
+      fs_->SetReplication("/move", ReplicationVector::Of(0, 1, 2)).ok());
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+
+  auto locations = fs_->GetFileBlockLocations("/move", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  std::multiset<TierId> tiers;
+  for (const PlacedReplica& replica : (*locations)[0].locations) {
+    tiers.insert(replica.tier);
+  }
+  EXPECT_EQ(tiers, (std::multiset<TierId>{kSsdTier, kHddTier, kHddTier}));
+}
+
+TEST_F(ClientIntegrationTest, CorruptReplicaFailsOverAndRepairs) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  options.rep_vector = ReplicationVector::OfTotal(3);
+  std::string data = MakeData(700 * 1024, 7);
+  ASSERT_TRUE(fs_->WriteFile("/corrupt", data, options).ok());
+
+  auto locations = fs_->GetFileBlockLocations("/corrupt", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  const LocatedBlock& block = (*locations)[0];
+  ASSERT_EQ(block.locations.size(), 3u);
+  // Corrupt the replica the retrieval policy would serve first.
+  const PlacedReplica& first = block.locations[0];
+  Worker* worker = cluster_->worker(first.worker);
+  ASSERT_TRUE(worker->CorruptBlock(first.medium, block.block.id).ok());
+
+  // The read must still succeed via failover.
+  auto read = fs_->ReadFile("/corrupt");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, data);
+
+  // The bad replica was reported; the monitor restores 3 replicas.
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  const BlockRecord* record =
+      cluster_->master()->block_manager().Find(block.block.id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 3u);
+}
+
+TEST_F(ClientIntegrationTest, WorkerDeathTriggersReReplication) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  std::string data = MakeData(400 * 1024, 8);
+  ASSERT_TRUE(fs_->WriteFile("/failover", data, options).ok());
+
+  auto locations = fs_->GetFileBlockLocations("/failover", 0, data.size());
+  ASSERT_TRUE(locations.ok());
+  WorkerId victim = (*locations)[0].locations[0].worker;
+
+  // Kill the worker (no more heartbeats): the master declares it dead and
+  // re-replicates elsewhere.
+  cluster_->StopWorker(victim);
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+
+  const BlockRecord* record = cluster_->master()->block_manager().Find(
+      (*locations)[0].block.id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 3u);
+  for (MediumId medium : record->locations) {
+    const MediumInfo* info =
+        cluster_->master()->cluster_state().FindMedium(medium);
+    ASSERT_NE(info, nullptr);
+    EXPECT_NE(info->worker, victim);
+  }
+  // Data still readable (reader skips the dead worker's replica).
+  auto read = fs_->ReadFile("/failover");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(ClientIntegrationTest, BackupMasterFailover) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  std::string data = MakeData(300 * 1024, 9);
+
+  BackupMaster backup(cluster_->master(), cluster_->master()->clock());
+  ASSERT_TRUE(fs_->WriteFile("/a/one", data, options).ok());
+  auto checkpoint = backup.CreateCheckpoint();
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(fs_->WriteFile("/a/two", data, options).ok());
+  ASSERT_TRUE(fs_->Rename("/a/two", "/a/three").ok());
+
+  // Fail over: the replacement master has both files (checkpoint + edits).
+  auto replacement = backup.TakeOver(MasterOptions{},
+                                     cluster_->master()->clock());
+  ASSERT_TRUE(replacement.ok()) << replacement.status().ToString();
+  UserContext ctx;
+  auto one = (*replacement)->GetFileStatus("/a/one", ctx);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->length, static_cast<int64_t>(data.size()));
+  EXPECT_TRUE((*replacement)->GetFileStatus("/a/three", ctx).ok());
+  EXPECT_FALSE((*replacement)->GetFileStatus("/a/two", ctx).ok());
+  // Block records exist awaiting block reports.
+  EXPECT_EQ((*replacement)->block_manager().NumBlocks(), 2);
+}
+
+TEST_F(ClientIntegrationTest, DeleteReclaimsWorkerSpace) {
+  CreateOptions options;
+  options.block_size = 1 * kMiB;
+  std::string data = MakeData(2 * kMiB, 10);
+  ASSERT_TRUE(fs_->WriteFile("/reclaim", data, options).ok());
+  ASSERT_TRUE(fs_->Delete("/reclaim").ok());
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  // All block stores are empty again.
+  for (WorkerId id : cluster_->worker_ids()) {
+    for (MediumId medium : cluster_->worker(id)->MediumIds()) {
+      auto report = cluster_->worker(id)->BuildBlockReport();
+      EXPECT_TRUE(report[medium].empty())
+          << "medium " << medium << " still has blocks";
+    }
+  }
+}
+
+TEST_F(ClientIntegrationTest, StorageTierReportsCoverActiveTiers) {
+  auto reports = fs_->GetStorageTierReports();
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 3u);  // memory, ssd, hdd active
+  for (const StorageTierReport& report : *reports) {
+    EXPECT_EQ(report.num_workers, 6);
+    EXPECT_GT(report.capacity_bytes, 0);
+    EXPECT_GT(report.avg_write_bps, 0);
+  }
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,244 @@
+// Client-level API tests complementing the end-to-end suite in
+// client_integration_test.cc: namespace operations through FileSystem,
+// stream semantics, block-location ranges, overwrite, permissions, and
+// the backwards-compatible create API.
+
+#include <gtest/gtest.h>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+ClusterSpec TinySpec(bool permissions = false) {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 2;
+  spec.master.enable_permissions = permissions;
+  MediumSpec memory{kMemoryTier, MediaType::kMemory, 16 * kMiB,
+                    FromMBps(1900), FromMBps(3200)};
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {memory, hdd, hdd};
+  return spec;
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(TinySpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+  }
+
+  CreateOptions SmallBlocks() {
+    CreateOptions options;
+    options.block_size = 1 * kMiB;
+    return options;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(ClientTest, NamespaceOperations) {
+  ASSERT_TRUE(fs_->Mkdirs("/a/b").ok());
+  EXPECT_TRUE(fs_->Exists("/a/b"));
+  ASSERT_TRUE(fs_->WriteFile("/a/b/f", "hello", SmallBlocks()).ok());
+  auto listing = fs_->ListDirectory("/a/b");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].path, "/a/b/f");
+  ASSERT_TRUE(fs_->Rename("/a/b/f", "/a/g").ok());
+  EXPECT_FALSE(fs_->Exists("/a/b/f"));
+  EXPECT_EQ(*fs_->ReadFile("/a/g"), "hello");
+  ASSERT_TRUE(fs_->Delete("/a", /*recursive=*/true).ok());
+  EXPECT_FALSE(fs_->Exists("/a"));
+}
+
+TEST_F(ClientTest, DeleteNonRecursiveOnPopulatedDirFails) {
+  ASSERT_TRUE(fs_->WriteFile("/d/f", "x", SmallBlocks()).ok());
+  EXPECT_TRUE(fs_->Delete("/d").IsFailedPrecondition());
+}
+
+TEST_F(ClientTest, OverwriteSemantics) {
+  ASSERT_TRUE(fs_->WriteFile("/f", "first", SmallBlocks()).ok());
+  // Without overwrite: AlreadyExists.
+  EXPECT_TRUE(fs_->WriteFile("/f", "second", SmallBlocks())
+                  .IsAlreadyExists());
+  CreateOptions overwrite = SmallBlocks();
+  overwrite.overwrite = true;
+  ASSERT_TRUE(fs_->WriteFile("/f", "second", overwrite).ok());
+  EXPECT_EQ(*fs_->ReadFile("/f"), "second");
+  // Old blocks were invalidated on the workers.
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  int64_t total_blocks = 0;
+  for (WorkerId id : cluster_->worker_ids()) {
+    for (auto& [m, blocks] : cluster_->worker(id)->BuildBlockReport()) {
+      total_blocks += static_cast<int64_t>(blocks.size());
+    }
+  }
+  EXPECT_EQ(total_blocks, 3);  // exactly one block x 3 replicas
+}
+
+TEST_F(ClientTest, WriterStreamsAcrossBlockBoundaries) {
+  auto writer = fs_->Create("/stream", SmallBlocks());
+  ASSERT_TRUE(writer.ok());
+  std::string chunk(700 * 1024, 'c');  // 0.7 MiB chunks, 1 MiB blocks
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*writer)->Write(chunk).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ((*writer)->bytes_written(), 5 * 700 * 1024);
+  auto status = fs_->GetFileStatus("/stream");
+  EXPECT_EQ(status->length, 5 * 700 * 1024);
+  auto locations = fs_->GetFileBlockLocations("/stream", 0, status->length);
+  EXPECT_EQ(locations->size(), 4u);  // ceil(3.5 MiB / 1 MiB)
+}
+
+TEST_F(ClientTest, WriteAfterCloseFails) {
+  auto writer = fs_->Create("/f", SmallBlocks());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_TRUE((*writer)->Write("late").IsFailedPrecondition());
+  EXPECT_TRUE((*writer)->Close().ok());  // double close is a no-op
+}
+
+TEST_F(ClientTest, ConcurrentCreateSamePathBlockedByLease) {
+  auto w1 = fs_->Create("/contended", SmallBlocks());
+  ASSERT_TRUE(w1.ok());
+  FileSystem other(cluster_.get(), NetworkLocation("rack1", "node1"));
+  CreateOptions overwrite = SmallBlocks();
+  overwrite.overwrite = true;
+  EXPECT_TRUE(other.Create("/contended", overwrite).status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(ClientTest, BlockLocationRangeFiltering) {
+  std::string data(3 * kMiB, 'r');
+  ASSERT_TRUE(fs_->WriteFile("/ranged", data, SmallBlocks()).ok());
+  // Only the middle block overlaps [1.2 MiB, 1.8 MiB).
+  auto middle = fs_->GetFileBlockLocations("/ranged", kMiB + 200 * 1024,
+                                           600 * 1024);
+  ASSERT_TRUE(middle.ok());
+  ASSERT_EQ(middle->size(), 1u);
+  EXPECT_EQ((*middle)[0].offset, kMiB);
+  // A range spanning two blocks returns both.
+  auto spanning = fs_->GetFileBlockLocations("/ranged", kMiB - 10, 20);
+  EXPECT_EQ(spanning->size(), 2u);
+  // Negative inputs rejected.
+  EXPECT_TRUE(
+      fs_->GetFileBlockLocations("/ranged", -1, 10).status()
+          .IsInvalidArgument());
+}
+
+TEST_F(ClientTest, ReaderSeekAndSequentialReads) {
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data += std::to_string(i) + ",";
+  ASSERT_TRUE(fs_->WriteFile("/seek", data, SmallBlocks()).ok());
+  auto reader = fs_->Open("/seek");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->length(), static_cast<int64_t>(data.size()));
+  auto first = (*reader)->Read(10);
+  EXPECT_EQ(*first, data.substr(0, 10));
+  EXPECT_EQ((*reader)->Tell(), 10);
+  ASSERT_TRUE((*reader)->Seek(100).ok());
+  auto at100 = (*reader)->Read(5);
+  EXPECT_EQ(*at100, data.substr(100, 5));
+  EXPECT_TRUE((*reader)->Seek(-1).IsInvalidArgument());
+  EXPECT_TRUE((*reader)->Seek(data.size() + 1).IsInvalidArgument());
+  ASSERT_TRUE((*reader)->Seek(0).ok());
+  EXPECT_EQ(*(*reader)->ReadAll(), data);
+}
+
+TEST_F(ClientTest, OpenDirectoryOrMissingFails) {
+  ASSERT_TRUE(fs_->Mkdirs("/dir").ok());
+  EXPECT_TRUE(fs_->Open("/dir").status().IsInvalidArgument());
+  EXPECT_TRUE(fs_->Open("/missing").status().IsNotFound());
+  EXPECT_TRUE(fs_->ReadFile("/missing").status().IsNotFound());
+}
+
+TEST_F(ClientTest, CreateCompatMapsReplicationToU) {
+  auto writer = fs_->CreateCompat("/compat", /*replication=*/2, kMiB);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Write("legacy-api").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto status = fs_->GetFileStatus("/compat");
+  EXPECT_EQ(status->rep_vector, ReplicationVector::OfTotal(2));
+  auto located = fs_->GetFileBlockLocations("/compat", 0, 10);
+  EXPECT_EQ((*located)[0].locations.size(), 2u);
+}
+
+TEST_F(ClientTest, AppendAddsBlocksToExistingFile) {
+  ASSERT_TRUE(fs_->WriteFile("/log", "first-batch|", SmallBlocks()).ok());
+  auto writer = fs_->Append("/log");
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Write("second-batch").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ(*fs_->ReadFile("/log"), "first-batch|second-batch");
+  // Block-aligned append: the new data started a fresh block.
+  auto status = fs_->GetFileStatus("/log");
+  auto located = fs_->GetFileBlockLocations("/log", 0, status->length);
+  EXPECT_EQ(located->size(), 2u);
+}
+
+TEST_F(ClientTest, AppendRespectsLeasesAndValidation) {
+  ASSERT_TRUE(fs_->WriteFile("/log", "data", SmallBlocks()).ok());
+  auto w1 = fs_->Append("/log");
+  ASSERT_TRUE(w1.ok());
+  // Another client cannot append while the lease is held.
+  FileSystem other(cluster_.get(), NetworkLocation("rack1", "node1"));
+  EXPECT_TRUE(other.Append("/log").status().IsAlreadyExists());
+  ASSERT_TRUE((*w1)->Close().ok());
+  // Directories and missing files are rejected.
+  ASSERT_TRUE(fs_->Mkdirs("/dir").ok());
+  EXPECT_TRUE(fs_->Append("/dir").status().IsInvalidArgument());
+  EXPECT_TRUE(fs_->Append("/missing").status().IsNotFound());
+}
+
+TEST_F(ClientTest, AppendSurvivesJournalReplay) {
+  ASSERT_TRUE(fs_->WriteFile("/log", "abc", SmallBlocks()).ok());
+  auto writer = fs_->Append("/log");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Write("def").ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  // Replaying the journal reproduces the appended file's metadata.
+  NamespaceTree replayed(cluster_->master()->clock());
+  ASSERT_TRUE(EditLog::Replay(cluster_->master()->edit_log()->entries(), 0,
+                              &replayed)
+                  .ok());
+  UserContext ctx;
+  auto status = replayed.GetFileStatus("/log", ctx);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->length, 6);
+  EXPECT_FALSE(status->under_construction);
+  EXPECT_EQ(replayed.GetBlocks("/log")->size(), 2u);
+}
+
+TEST_F(ClientTest, EmptyFileHasNoBlocks) {
+  ASSERT_TRUE(fs_->WriteFile("/empty", "", SmallBlocks()).ok());
+  auto status = fs_->GetFileStatus("/empty");
+  EXPECT_EQ(status->length, 0);
+  EXPECT_EQ(*fs_->ReadFile("/empty"), "");
+  EXPECT_TRUE(fs_->GetFileBlockLocations("/empty", 0, 100)->empty());
+}
+
+TEST_F(ClientTest, PermissionsFlowThroughClient) {
+  auto cluster = Cluster::Create(TinySpec(/*permissions=*/true));
+  ASSERT_TRUE(cluster.ok());
+  FileSystem admin(cluster->get(), NetworkLocation("rack0", "node0"),
+                   UserContext{"root", {}});
+  ASSERT_TRUE(admin.Mkdirs("/private").ok());
+  FileSystem guest(cluster->get(), NetworkLocation("rack0", "node1"),
+                   UserContext{"guest", {}});
+  EXPECT_TRUE(guest.WriteFile("/private/f", "x", CreateOptions{})
+                  .IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,165 @@
+// Direct unit tests for ClusterState: registration bookkeeping, heartbeat
+// statistics, the aggregates the objective functions read, and tier
+// reports.
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/cluster_state.h"
+
+namespace octo {
+namespace {
+
+class ClusterStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    state_.AddTier({kMemoryTier, "Memory", MediaType::kMemory});
+    state_.AddTier({kHddTier, "HDD", MediaType::kHdd});
+    AddWorker(0, "r1", "n1");
+    AddWorker(1, "r1", "n2");
+    AddWorker(2, "r2", "n1");
+    AddMedium(0, 0, kMemoryTier, MediaType::kMemory, 100, 1000.0);
+    AddMedium(1, 0, kHddTier, MediaType::kHdd, 1000, 100.0);
+    AddMedium(2, 1, kHddTier, MediaType::kHdd, 1000, 100.0);
+    AddMedium(3, 2, kHddTier, MediaType::kHdd, 2000, 160.0);
+  }
+
+  void AddWorker(WorkerId id, const char* rack, const char* node) {
+    WorkerInfo w;
+    w.id = id;
+    w.location = NetworkLocation(rack, node);
+    w.net_bps = 1e9;
+    ASSERT_TRUE(state_.AddWorker(w).ok());
+  }
+
+  void AddMedium(MediumId id, WorkerId w, TierId tier, MediaType type,
+                 int64_t cap, double bps) {
+    MediumInfo m;
+    m.id = id;
+    m.worker = w;
+    m.location = state_.FindWorker(w)->location;
+    m.tier = tier;
+    m.type = type;
+    m.capacity_bytes = cap;
+    m.remaining_bytes = cap;
+    m.write_bps = bps;
+    m.read_bps = bps * 1.5;
+    ASSERT_TRUE(state_.AddMedium(m).ok());
+  }
+
+  ClusterState state_;
+};
+
+TEST_F(ClusterStateTest, RegistrationValidation) {
+  WorkerInfo dup;
+  dup.id = 0;
+  EXPECT_TRUE(state_.AddWorker(dup).IsAlreadyExists());
+  MediumInfo orphan;
+  orphan.id = 99;
+  orphan.worker = 42;  // unknown worker
+  EXPECT_TRUE(state_.AddMedium(orphan).IsNotFound());
+  MediumInfo dup_medium;
+  dup_medium.id = 0;
+  dup_medium.worker = 0;
+  EXPECT_TRUE(state_.AddMedium(dup_medium).IsAlreadyExists());
+}
+
+TEST_F(ClusterStateTest, CountsAndLookups) {
+  EXPECT_EQ(state_.NumLiveWorkers(), 3);
+  EXPECT_EQ(state_.NumRacks(), 2);
+  EXPECT_EQ(state_.NumActiveTiers(), 2);
+  EXPECT_EQ(state_.MediaOnTier(kHddTier).size(), 3u);
+  EXPECT_EQ(state_.MediaOnWorker(0), (std::vector<MediumId>{0, 1}));
+  EXPECT_NE(state_.WorkerAt(NetworkLocation("r1", "n2")), nullptr);
+  EXPECT_EQ(state_.WorkerAt(NetworkLocation("r9", "n1")), nullptr);
+  EXPECT_EQ(state_.WorkerAt(NetworkLocation()), nullptr);
+}
+
+TEST_F(ClusterStateTest, DeathFiltersAggregates) {
+  ASSERT_TRUE(state_.SetWorkerAlive(0, false).ok());
+  EXPECT_EQ(state_.NumLiveWorkers(), 2);
+  EXPECT_EQ(state_.NumActiveTiers(), 1);  // memory only lived on w0
+  EXPECT_FALSE(state_.MediumLive(0));
+  EXPECT_FALSE(state_.MediumLive(1));
+  EXPECT_TRUE(state_.MediumLive(2));
+  EXPECT_EQ(state_.MediaOnTier(kHddTier).size(), 2u);
+  EXPECT_EQ(state_.WorkerAt(NetworkLocation("r1", "n1")), nullptr);
+}
+
+TEST_F(ClusterStateTest, RemoveWorkerDropsItsMedia) {
+  ASSERT_TRUE(state_.RemoveWorker(0).ok());
+  EXPECT_EQ(state_.FindMedium(0), nullptr);
+  EXPECT_EQ(state_.FindMedium(1), nullptr);
+  EXPECT_NE(state_.FindMedium(2), nullptr);
+  EXPECT_TRUE(state_.RemoveWorker(0).IsNotFound());
+}
+
+TEST_F(ClusterStateTest, StatsUpdatesAndConnections) {
+  ASSERT_TRUE(state_.UpdateMediumStats(1, 400, 2).ok());
+  EXPECT_EQ(state_.FindMedium(1)->remaining_bytes, 400);
+  EXPECT_EQ(state_.FindMedium(1)->nr_connections, 2);
+  state_.AddMediumConnections(1, 3);
+  EXPECT_EQ(state_.FindMedium(1)->nr_connections, 5);
+  state_.AddMediumConnections(1, -10);  // clamps at zero
+  EXPECT_EQ(state_.FindMedium(1)->nr_connections, 0);
+  state_.AddWorkerConnections(0, 2);
+  EXPECT_EQ(state_.FindWorker(0)->nr_connections, 2);
+  EXPECT_TRUE(state_.UpdateMediumStats(99, 0, 0).IsNotFound());
+}
+
+TEST_F(ClusterStateTest, AdjustRemainingBoundsChecked) {
+  ASSERT_TRUE(state_.AdjustMediumRemaining(1, -600).ok());
+  EXPECT_EQ(state_.FindMedium(1)->remaining_bytes, 400);
+  EXPECT_TRUE(state_.AdjustMediumRemaining(1, -500).IsNoSpace());
+  // Over-crediting clamps at capacity.
+  ASSERT_TRUE(state_.AdjustMediumRemaining(1, 5000).ok());
+  EXPECT_EQ(state_.FindMedium(1)->remaining_bytes, 1000);
+}
+
+TEST_F(ClusterStateTest, ObjectiveAggregates) {
+  ASSERT_TRUE(state_.UpdateMediumStats(3, 500, 0).ok());  // 25% remaining
+  EXPECT_DOUBLE_EQ(state_.MaxRemainingFraction(), 1.0);
+  ASSERT_TRUE(state_.UpdateMediumStats(0, 100, 4).ok());
+  EXPECT_EQ(state_.MinMediumConnections(), 0);
+  ASSERT_TRUE(state_.UpdateMediumStats(1, 1000, 1).ok());
+  ASSERT_TRUE(state_.UpdateMediumStats(2, 1000, 2).ok());
+  ASSERT_TRUE(state_.UpdateMediumStats(3, 500, 3).ok());
+  EXPECT_EQ(state_.MinMediumConnections(), 1);
+  // Tier-average throughput: HDD = (100 + 100 + 160) / 3 = 120.
+  EXPECT_DOUBLE_EQ(state_.TierAvgWriteBps(kHddTier), 120.0);
+  EXPECT_DOUBLE_EQ(state_.TierAvgWriteBps(kMemoryTier), 1000.0);
+  EXPECT_DOUBLE_EQ(state_.MaxTierWriteBps(), 1000.0);
+  // Dead worker's memory medium drops from the averages.
+  ASSERT_TRUE(state_.SetWorkerAlive(0, false).ok());
+  EXPECT_DOUBLE_EQ(state_.MaxTierWriteBps(), 130.0);  // (100+160)/2
+}
+
+TEST_F(ClusterStateTest, TierReportsAggregateLiveMedia) {
+  auto reports = state_.TierReports();
+  ASSERT_EQ(reports.size(), 2u);
+  const StorageTierReport* hdd = nullptr;
+  for (const auto& r : reports) {
+    if (r.tier == kHddTier) hdd = &r;
+  }
+  ASSERT_NE(hdd, nullptr);
+  EXPECT_EQ(hdd->num_media, 3);
+  EXPECT_EQ(hdd->num_workers, 3);
+  EXPECT_EQ(hdd->capacity_bytes, 4000);
+  EXPECT_EQ(hdd->remaining_bytes, 4000);
+  // A tier with no live media disappears from the report.
+  ASSERT_TRUE(state_.SetWorkerAlive(0, false).ok());
+  reports = state_.TierReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].tier, kHddTier);
+  EXPECT_EQ(reports[0].num_media, 2);
+}
+
+TEST_F(ClusterStateTest, SetMediumRates) {
+  ASSERT_TRUE(state_.SetMediumRates(2, 111.0, 222.0).ok());
+  EXPECT_DOUBLE_EQ(state_.FindMedium(2)->write_bps, 111.0);
+  EXPECT_DOUBLE_EQ(state_.FindMedium(2)->read_bps, 222.0);
+  EXPECT_TRUE(state_.SetMediumRates(99, 1, 1).IsNotFound());
+}
+
+}  // namespace
+}  // namespace octo

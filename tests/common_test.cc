@@ -1,0 +1,280 @@
+// Unit tests for the common runtime: Status/Result, string utilities,
+// configuration, units, random, and clocks.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NoSpace("x").IsNoSpace());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::QuotaExceeded("x").IsQuotaExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing file").message(), "missing file");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("f").ToString(), "NotFound: f");
+  EXPECT_EQ(Status::QuotaExceeded("q").ToString(), "QuotaExceeded: q");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::IoError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status {
+    OCTO_RETURN_IF_ERROR(Status::IoError("disk"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsIoError());
+  auto passes = []() -> Status {
+    OCTO_RETURN_IF_ERROR(Status::OK());
+    return Status::NotFound("end");
+  };
+  EXPECT_TRUE(passes().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string(1000, 'a');
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Unavailable("down");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    OCTO_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 14);
+  EXPECT_TRUE(outer(true).status().IsUnavailable());
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+
+TEST(StringsTest, SplitSkipEmptyDropsEmptyPieces) {
+  EXPECT_EQ(SplitSkipEmpty("/a//b/", '/'),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitSkipEmpty("", '/'), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitSkipEmpty("abc", '/'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/a/b", "/a"));
+  EXPECT_FALSE(StartsWith("/a", "/a/b"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+// ---------------------------------------------------------------------------
+// Config
+
+TEST(ConfigTest, TypedAccessors) {
+  Config config;
+  config.SetInt("a", 42);
+  config.SetDouble("b", 2.5);
+  config.SetBool("c", true);
+  config.Set("d", "hello");
+  EXPECT_EQ(config.GetInt("a", 0), 42);
+  EXPECT_DOUBLE_EQ(config.GetDouble("b", 0), 2.5);
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_EQ(config.GetString("d"), "hello");
+}
+
+TEST(ConfigTest, DefaultsWhenAbsentOrUnparseable) {
+  Config config;
+  config.Set("notnum", "abc");
+  EXPECT_EQ(config.GetInt("missing", 9), 9);
+  EXPECT_EQ(config.GetInt("notnum", 9), 9);
+  EXPECT_DOUBLE_EQ(config.GetDouble("notnum", 1.5), 1.5);
+  EXPECT_TRUE(config.GetBool("notnum", true));
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  Config config;
+  config.Set("t1", "true");
+  config.Set("t2", "1");
+  config.Set("t3", "yes");
+  config.Set("f1", "false");
+  config.Set("f2", "0");
+  config.Set("f3", "no");
+  EXPECT_TRUE(config.GetBool("t1", false));
+  EXPECT_TRUE(config.GetBool("t2", false));
+  EXPECT_TRUE(config.GetBool("t3", false));
+  EXPECT_FALSE(config.GetBool("f1", true));
+  EXPECT_FALSE(config.GetBool("f2", true));
+  EXPECT_FALSE(config.GetBool("f3", true));
+}
+
+TEST(ConfigTest, ParseLines) {
+  Config config;
+  ASSERT_TRUE(config
+                  .ParseLines("# comment\n"
+                              "octopus.block.size = 1048576\n"
+                              "\n"
+                              "octopus.name= cluster-a \n")
+                  .ok());
+  EXPECT_EQ(config.GetInt("octopus.block.size", 0), 1048576);
+  EXPECT_EQ(config.GetString("octopus.name"), "cluster-a");
+}
+
+TEST(ConfigTest, ParseLinesRejectsMalformed) {
+  Config config;
+  EXPECT_TRUE(config.ParseLines("key-without-equals").IsInvalidArgument());
+  EXPECT_TRUE(config.ParseLines("= value-without-key").IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Units
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(kKiB), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(FormatBytes(kGiB), "1.00 GiB");
+  EXPECT_EQ(FormatBytes(2 * kTiB), "2.00 TiB");
+}
+
+TEST(UnitsTest, ThroughputConversions) {
+  EXPECT_DOUBLE_EQ(ToMBps(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(FromMBps(126.3), 126.3e6);
+  EXPECT_EQ(FormatThroughputMBps(126.3e6), "126.3 MB/s");
+}
+
+// ---------------------------------------------------------------------------
+// Random
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RandomTest, UniformStaysInBound) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Random rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SetMicros(7);
+  EXPECT_EQ(clock.NowMicros(), 7);
+}
+
+TEST(ClockTest, SystemClockMonotonic) {
+  SystemClock* clock = SystemClock::Default();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,258 @@
+// Randomized integration fuzz: a few hundred random operations (writes,
+// replication changes, deletes, renames, worker crashes/restarts,
+// corruption, monitor rounds) against a live cluster, with global
+// invariants checked after every step:
+//   * no block lists the same medium twice, or a medium of a dead record
+//   * every registered replica's worker actually stores the block
+//   * master remaining-space accounting never goes negative
+//   * every complete file remains readable with correct contents
+//   * after quiescence, every block satisfies its replication vector
+//     (to the extent live media allow)
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+ClusterSpec FuzzSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 3;
+  MediumSpec memory{kMemoryTier, MediaType::kMemory, 16 * kMiB,
+                    FromMBps(1900), FromMBps(3200)};
+  MediumSpec ssd{kSsdTier, MediaType::kSsd, 64 * kMiB, FromMBps(340),
+                 FromMBps(420)};
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 128 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {memory, ssd, hdd, hdd};
+  return spec;
+}
+
+class FuzzInvariantsTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(FuzzSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+  }
+
+  void CheckInvariants() {
+    Master* master = cluster_->master();
+    const ClusterState& state = master->cluster_state();
+    // Block map invariants.
+    master->block_manager().ForEach([&](const BlockRecord& record) {
+      std::set<MediumId> unique(record.locations.begin(),
+                                record.locations.end());
+      EXPECT_EQ(unique.size(), record.locations.size())
+          << "block " << record.id << " lists a medium twice";
+      for (MediumId m : record.locations) {
+        const MediumInfo* info = state.FindMedium(m);
+        ASSERT_NE(info, nullptr);
+        Worker* worker = cluster_->worker(info->worker);
+        ASSERT_NE(worker, nullptr);
+        if (!cluster_->IsStopped(info->worker)) {
+          EXPECT_TRUE(worker->HasBlock(m, record.id))
+              << "registered replica of block " << record.id
+              << " missing from medium " << m;
+        }
+      }
+    });
+    // Space accounting.
+    for (const auto& [id, m] : state.media()) {
+      EXPECT_GE(m.remaining_bytes, 0) << "medium " << id;
+      EXPECT_LE(m.remaining_bytes, m.capacity_bytes) << "medium " << id;
+    }
+    // Every complete file readable with intact contents (as long as at
+    // least one replica is on a live worker).
+    for (const auto& [path, expected] : contents_) {
+      auto data = fs_->ReadFile(path);
+      if (data.ok()) {
+        EXPECT_EQ(*data, expected) << path << " content changed";
+      } else {
+        // Only acceptable when every replica is on stopped workers.
+        EXPECT_TRUE(AnyReplicaReachable(path) == false)
+            << path << ": " << data.status().ToString();
+      }
+    }
+  }
+
+  bool AnyReplicaReachable(const std::string& path) {
+    auto located = cluster_->master()->GetBlockLocations(
+        path, NetworkLocation());
+    if (!located.ok()) return false;
+    for (const LocatedBlock& block : *located) {
+      bool reachable = false;
+      for (const PlacedReplica& replica : block.locations) {
+        if (!cluster_->IsStopped(replica.worker)) reachable = true;
+      }
+      if (!reachable) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+  std::map<std::string, std::string> contents_;
+  std::set<BlockId> corrupted_;
+};
+
+TEST_P(FuzzInvariantsTest, RandomOperationsPreserveInvariants) {
+  Random rng(GetParam());
+  int name = 0;
+  std::vector<WorkerId> stopped;
+
+  auto random_rv = [&rng]() {
+    // A valid mix: sometimes tier-pinned, sometimes U, total 1..4.
+    if (rng.Bernoulli(0.5)) {
+      return ReplicationVector::OfTotal(
+          static_cast<uint8_t>(1 + rng.Uniform(3)));
+    }
+    ReplicationVector rv;
+    rv.Set(kMemoryTier, rng.Bernoulli(0.3) ? 1 : 0);
+    rv.Set(kSsdTier, static_cast<uint8_t>(rng.Uniform(2)));
+    rv.Set(kHddTier, static_cast<uint8_t>(rng.Uniform(3)));
+    if (rv.total() == 0) rv.Set(kHddTier, 1);
+    return rv;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    int op = static_cast<int>(rng.Uniform(10));
+    if (op <= 2 || contents_.empty()) {  // write a new file
+      std::string path = "/fuzz/f" + std::to_string(name++);
+      std::string data(1024 + rng.Uniform(256 * 1024), 'a');
+      for (char& c : data) c = static_cast<char>('a' + rng.Uniform(26));
+      CreateOptions options;
+      options.rep_vector = random_rv();
+      options.block_size = 64 * kKiB << rng.Uniform(4);
+      Status st = fs_->WriteFile(path, data, options);
+      if (st.ok()) contents_[path] = data;
+    } else if (op == 3) {  // change replication vector
+      auto it = contents_.begin();
+      std::advance(it, rng.Uniform(contents_.size()));
+      (void)fs_->SetReplication(it->first, random_rv());
+    } else if (op == 4) {  // delete
+      auto it = contents_.begin();
+      std::advance(it, rng.Uniform(contents_.size()));
+      if (fs_->Delete(it->first).ok()) contents_.erase(it);
+    } else if (op == 5) {  // rename
+      auto it = contents_.begin();
+      std::advance(it, rng.Uniform(contents_.size()));
+      std::string to = "/fuzz/r" + std::to_string(name++);
+      if (fs_->Rename(it->first, to).ok()) {
+        contents_[to] = it->second;
+        contents_.erase(it);
+      }
+    } else if (op == 6) {  // crash a worker (at most 2 down at once)
+      if (stopped.size() < 2) {
+        WorkerId victim = cluster_->worker_ids()[rng.Uniform(
+            cluster_->worker_ids().size())];
+        if (!cluster_->IsStopped(victim)) {
+          cluster_->StopWorker(victim);
+          stopped.push_back(victim);
+        }
+      }
+    } else if (op == 7) {  // restart a worker
+      if (!stopped.empty()) {
+        cluster_->RestartWorker(stopped.back());
+        stopped.pop_back();
+      }
+    } else if (op == 8) {  // corrupt a random stored replica
+      // Restraint: only blocks with >=2 registered replicas, and at most
+      // one corruption per block over the whole run — corrupting every
+      // replica of a block is unrecoverable data loss by design (the
+      // paper's fault model, like HDFS's, assumes independent failures
+      // repaired between occurrences).
+      WorkerId w = cluster_->worker_ids()[rng.Uniform(
+          cluster_->worker_ids().size())];
+      Worker* worker = cluster_->worker(w);
+      for (auto& [medium, blocks] : worker->BuildBlockReport()) {
+        if (blocks.empty() || !rng.Bernoulli(0.3)) continue;
+        BlockId candidate = blocks[rng.Uniform(blocks.size())];
+        const BlockRecord* record =
+            cluster_->master()->block_manager().Find(candidate);
+        if (record != nullptr && record->locations.size() >= 2 &&
+            corrupted_.insert(candidate).second) {
+          (void)worker->CorruptBlock(medium, candidate);
+          // Prompt detection: the block scrubber notices the corruption
+          // before any later replication decision can favor the bad copy.
+          ASSERT_TRUE(cluster_->RunScrubber().ok());
+        }
+        break;
+      }
+    } else {  // control-plane round
+      cluster_->master()->RunReplicationMonitor();
+      ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+    }
+
+    if (step % 10 == 9) CheckInvariants();
+  }
+
+  // Bring everything back, settle, and verify replication targets.
+  for (WorkerId id : stopped) cluster_->RestartWorker(id);
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  ASSERT_TRUE(cluster_->RunScrubber().ok());
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence(40).ok());
+  CheckInvariants();
+
+  const ClusterState& state = cluster_->master()->cluster_state();
+  cluster_->master()->block_manager().ForEach([&](const BlockRecord& rec) {
+    // A tier deficit is excusable only when that tier genuinely has no
+    // space left for this block (e.g. the small memory tier filled up).
+    auto tier_has_room = [&](TierId tier) {
+      for (const auto& [id, m] : state.media()) {
+        if (m.tier == tier && state.MediumLive(id) &&
+            m.remaining_bytes >= rec.length) {
+          return true;
+        }
+      }
+      return false;
+    };
+    std::array<int, 8> actual{};
+    for (MediumId m : rec.locations) {
+      const MediumInfo* info = state.FindMedium(m);
+      if (info != nullptr) actual[info->tier & 7]++;
+    }
+    bool infeasible = false;
+    for (TierId t = 0; t < kMaxTiers; ++t) {
+      if (actual[t] < rec.expected.Get(t) && !tier_has_room(t)) {
+        infeasible = true;
+      }
+    }
+    if (infeasible) {
+      // Never below one replica, though: data must survive.
+      EXPECT_GE(rec.locations.size(), 1u) << "block " << rec.id << " lost";
+      return;
+    }
+    std::string tier_detail;
+    for (MediumId m : rec.locations) {
+      const MediumInfo* info = state.FindMedium(m);
+      tier_detail += " m" + std::to_string(m) + "@t" +
+                     std::to_string(info ? info->tier : -1);
+    }
+    EXPECT_GE(static_cast<int>(rec.locations.size()),
+              std::min(rec.expected.total(), 3))
+        << "block " << rec.id << " under-replicated after quiescence: "
+        << rec.locations.size() << " < " << rec.expected.total()
+        << " expected=" << rec.expected.ToString() << " locs:" << tier_detail
+        << " queued=" << cluster_->master()->NumQueuedCommands();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariantsTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+}  // namespace
+}  // namespace octo

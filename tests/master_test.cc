@@ -1,0 +1,431 @@
+// Unit tests for the Master: registration, heartbeats, block reports,
+// the write path with leases, replica reconciliation under SetReplication
+// (copies / moves / deletions across tiers), the replication monitor, and
+// recovery from a checkpoint.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/master.h"
+#include "common/clock.h"
+#include "common/units.h"
+#include "namespacefs/fsimage.h"
+
+namespace octo {
+namespace {
+
+const UserContext kRoot{"root", {}};
+
+class MasterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MasterOptions options;
+    options.worker_timeout_micros = 1000;
+    master_ = std::make_unique<Master>(options, &clock_);
+    master_->DefineTier({kMemoryTier, "Memory", MediaType::kMemory});
+    master_->DefineTier({kSsdTier, "SSD", MediaType::kSsd});
+    master_->DefineTier({kHddTier, "HDD", MediaType::kHdd});
+    // 2 racks x 3 workers, each with memory + ssd + 2 hdd.
+    for (int r = 0; r < 2; ++r) {
+      for (int n = 0; n < 3; ++n) {
+        auto worker = master_->RegisterWorker(
+            NetworkLocation("r" + std::to_string(r), "n" + std::to_string(n)),
+            1.25e9);
+        ASSERT_TRUE(worker.ok());
+        workers_.push_back(*worker);
+        AddMedium(*worker, kMemoryTier, MediaType::kMemory, 64 * kMiB, 1900);
+        AddMedium(*worker, kSsdTier, MediaType::kSsd, 256 * kMiB, 340);
+        AddMedium(*worker, kHddTier, MediaType::kHdd, kGiB, 126);
+        AddMedium(*worker, kHddTier, MediaType::kHdd, kGiB, 126);
+      }
+    }
+  }
+
+  void AddMedium(WorkerId worker, TierId tier, MediaType type, int64_t cap,
+                 double mbps) {
+    MediumSpec spec{tier, type, cap, FromMBps(mbps), FromMBps(mbps * 1.3)};
+    auto medium = master_->RegisterMedium(
+        worker, spec, ProfiledRates{spec.write_bps, spec.read_bps});
+    ASSERT_TRUE(medium.ok());
+  }
+
+  // Full write of a 1-block file through the master protocol.
+  BlockId WriteOneBlockFile(const std::string& path,
+                            const ReplicationVector& rv, int64_t length) {
+    EXPECT_TRUE(
+        master_->Create(path, rv, 8 * kMiB, false, kRoot, "writer").ok());
+    auto located = master_->AddBlock(path, "writer", NetworkLocation());
+    EXPECT_TRUE(located.ok()) << located.status().ToString();
+    std::vector<MediumId> media;
+    for (const PlacedReplica& r : located->locations) {
+      media.push_back(r.medium);
+    }
+    EXPECT_TRUE(master_->CommitBlock(path, "writer", located->block.id,
+                                     length, media)
+                    .ok());
+    EXPECT_TRUE(master_->CompleteFile(path, "writer").ok());
+    return located->block.id;
+  }
+
+  std::multiset<TierId> TiersOf(BlockId block) {
+    std::multiset<TierId> tiers;
+    const BlockRecord* record = master_->block_manager().Find(block);
+    if (record == nullptr) return tiers;
+    for (MediumId m : record->locations) {
+      tiers.insert(master_->cluster_state().FindMedium(m)->tier);
+    }
+    return tiers;
+  }
+
+  // Applies all queued commands as if workers executed them instantly.
+  void DrainCommands() {
+    for (int round = 0; round < 10; ++round) {
+      bool any = false;
+      for (WorkerId w : workers_) {
+        HeartbeatPayload hb;
+        hb.worker = w;
+        auto commands = master_->Heartbeat(hb);
+        ASSERT_TRUE(commands.ok());
+        for (const WorkerCommand& cmd : *commands) {
+          any = true;
+          if (cmd.kind == WorkerCommand::Kind::kCopyReplica) {
+            ASSERT_TRUE(
+                master_->CommitReplica(cmd.block, cmd.target_medium).ok());
+          }
+          // Deletions need no confirmation.
+        }
+      }
+      if (!any && master_->RunReplicationMonitor() == 0) break;
+    }
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Master> master_;
+  std::vector<WorkerId> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// Registration / heartbeats / liveness
+
+TEST_F(MasterTest, RegistrationPopulatesStateAndTopology) {
+  EXPECT_EQ(master_->cluster_state().NumLiveWorkers(), 6);
+  EXPECT_EQ(master_->cluster_state().NumRacks(), 2);
+  EXPECT_EQ(master_->cluster_state().NumActiveTiers(), 3);
+  EXPECT_EQ(master_->topology().num_nodes(), 6);
+  EXPECT_TRUE(master_->RegisterWorker(NetworkLocation("r0", "n0"), 1e9)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(MasterTest, HeartbeatUpdatesStatsAndRevives) {
+  clock_.AdvanceMicros(2000);
+  auto dead = master_->CheckWorkerLiveness();
+  EXPECT_EQ(dead.size(), 6u);  // nobody heartbeated within the timeout
+  HeartbeatPayload hb;
+  hb.worker = workers_[0];
+  hb.media.push_back(MediumStats{0, 123});
+  ASSERT_TRUE(master_->Heartbeat(hb).ok());
+  EXPECT_TRUE(master_->cluster_state().FindWorker(workers_[0])->alive);
+  EXPECT_EQ(master_->cluster_state().FindMedium(0)->remaining_bytes, 123);
+  EXPECT_TRUE(master_->Heartbeat(HeartbeatPayload{99, {}}).status()
+                  .IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+
+TEST_F(MasterTest, WritePathEnforcesLeases) {
+  ASSERT_TRUE(master_->Create("/f", ReplicationVector::OfTotal(3),
+                              128 * kMiB, false, kRoot, "w1")
+                  .ok());
+  EXPECT_TRUE(master_->AddBlock("/f", "w2", NetworkLocation())
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(master_->CompleteFile("/f", "w2").IsPermissionDenied());
+  auto located = master_->AddBlock("/f", "w1", NetworkLocation());
+  ASSERT_TRUE(located.ok());
+  EXPECT_TRUE(master_->CommitBlock("/f", "w2", located->block.id, 1,
+                                   {located->locations[0].medium})
+                  .IsPermissionDenied());
+}
+
+TEST_F(MasterTest, CommitBlockRecordsAndAdjustsSpace) {
+  BlockId block = WriteOneBlockFile("/f", ReplicationVector::Of(1, 1, 1),
+                                    10 * kMiB);
+  const BlockRecord* record = master_->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->length, 10 * kMiB);
+  EXPECT_EQ(record->locations.size(), 3u);
+  for (MediumId m : record->locations) {
+    const MediumInfo* info = master_->cluster_state().FindMedium(m);
+    EXPECT_EQ(info->capacity_bytes - info->remaining_bytes, 10 * kMiB);
+  }
+}
+
+TEST_F(MasterTest, AbandonBlockDropsAllocation) {
+  ASSERT_TRUE(master_->Create("/f", ReplicationVector::OfTotal(3),
+                              128 * kMiB, false, kRoot, "w")
+                  .ok());
+  auto located = master_->AddBlock("/f", "w", NetworkLocation());
+  ASSERT_TRUE(located.ok());
+  ASSERT_TRUE(master_->AbandonBlock("/f", "w", located->block.id).ok());
+  EXPECT_TRUE(master_->CommitBlock("/f", "w", located->block.id, 1,
+                                   {located->locations[0].medium})
+                  .IsNotFound());
+}
+
+TEST_F(MasterTest, CommitWithEmptyReplicaSetFails) {
+  ASSERT_TRUE(master_->Create("/f", ReplicationVector::OfTotal(3),
+                              128 * kMiB, false, kRoot, "w")
+                  .ok());
+  auto located = master_->AddBlock("/f", "w", NetworkLocation());
+  ASSERT_TRUE(located.ok());
+  EXPECT_TRUE(
+      master_->CommitBlock("/f", "w", located->block.id, 1, {}).IsIoError());
+}
+
+TEST_F(MasterTest, ExpiredLeaseForceCompletesFile) {
+  MasterOptions options;
+  options.lease_duration_micros = 100;
+  Master master(options, &clock_);
+  auto worker = master.RegisterWorker(NetworkLocation("r0", "n0"), 1e9);
+  ASSERT_TRUE(worker.ok());
+  MediumSpec spec{kHddTier, MediaType::kHdd, kGiB, 1e8, 1e8};
+  ASSERT_TRUE(master.RegisterMedium(*worker, spec, {}).ok());
+  ASSERT_TRUE(master.Create("/f", ReplicationVector::OfTotal(1), 128 * kMiB,
+                            false, kRoot, "crashed-writer")
+                  .ok());
+  clock_.AdvanceMicros(200);
+  // Any heartbeat triggers lease reaping.
+  ASSERT_TRUE(master.Heartbeat(HeartbeatPayload{*worker, {}}).ok());
+  EXPECT_FALSE(
+      master.GetFileStatus("/f", kRoot)->under_construction);
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+TEST_F(MasterTest, GetBlockLocationsOrdersAndOffsets) {
+  ASSERT_TRUE(master_->Create("/f", ReplicationVector::Of(1, 0, 2),
+                              8 * kMiB, false, kRoot, "w")
+                  .ok());
+  for (int b = 0; b < 2; ++b) {
+    auto located = master_->AddBlock("/f", "w", NetworkLocation());
+    ASSERT_TRUE(located.ok());
+    std::vector<MediumId> media;
+    for (const PlacedReplica& r : located->locations) media.push_back(r.medium);
+    ASSERT_TRUE(master_->CommitBlock("/f", "w", located->block.id, 5 * kMiB,
+                                     media)
+                    .ok());
+  }
+  ASSERT_TRUE(master_->CompleteFile("/f", "w").ok());
+  auto blocks = master_->GetBlockLocations("/f", NetworkLocation());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0].offset, 0);
+  EXPECT_EQ((*blocks)[1].offset, 5 * kMiB);
+  // Tier-aware ordering: the memory replica leads.
+  EXPECT_EQ((*blocks)[0].locations[0].tier, kMemoryTier);
+}
+
+TEST_F(MasterTest, ReportBadBlockRemovesReplicaAndQueuesDelete) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::OfTotal(3), kMiB);
+  const BlockRecord* record = master_->block_manager().Find(block);
+  MediumId bad = record->locations[0];
+  ASSERT_TRUE(master_->ReportBadBlock(block, bad).ok());
+  EXPECT_EQ(master_->block_manager().Find(block)->locations.size(), 2u);
+  EXPECT_GT(master_->NumQueuedCommands(), 0);
+  // The monitor re-replicates back to 3.
+  DrainCommands();
+  EXPECT_EQ(master_->block_manager().Find(block)->locations.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SetReplication reconciliation (paper §2.3/§5 semantics)
+
+TEST_F(MasterTest, SetReplicationCopyToNewTier) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::Of(1, 0, 2), kMiB);
+  // <1,0,2> -> <1,1,2>: copy one replica to SSD (4 total).
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(1, 1, 2), kRoot)
+          .ok());
+  DrainCommands();
+  EXPECT_EQ(TiersOf(block), (std::multiset<TierId>{kMemoryTier, kSsdTier,
+                                                   kHddTier, kHddTier}));
+}
+
+TEST_F(MasterTest, SetReplicationMoveBetweenTiers) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::Of(1, 0, 2), kMiB);
+  // <1,0,2> -> <1,1,1>: move one HDD replica to SSD.
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(1, 1, 1), kRoot)
+          .ok());
+  DrainCommands();
+  EXPECT_EQ(TiersOf(block),
+            (std::multiset<TierId>{kMemoryTier, kSsdTier, kHddTier}));
+}
+
+TEST_F(MasterTest, SetReplicationIncreaseWithinTier) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::Of(0, 0, 2), kMiB);
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(0, 0, 3), kRoot)
+          .ok());
+  DrainCommands();
+  EXPECT_EQ(TiersOf(block),
+            (std::multiset<TierId>{kHddTier, kHddTier, kHddTier}));
+}
+
+TEST_F(MasterTest, SetReplicationDeleteFromTier) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::Of(1, 0, 2), kMiB);
+  // <1,0,2> -> <0,0,2>: drop the in-memory replica.
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(0, 0, 2), kRoot)
+          .ok());
+  DrainCommands();
+  EXPECT_EQ(TiersOf(block), (std::multiset<TierId>{kHddTier, kHddTier}));
+}
+
+TEST_F(MasterTest, SetReplicationToUnspecifiedKeepsCount) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::Of(1, 1, 1), kMiB);
+  // Tier-pinned -> U=3: existing replicas already satisfy the count; no
+  // data movement should be scheduled.
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::OfTotal(3), kRoot)
+          .ok());
+  EXPECT_EQ(master_->NumQueuedCommands(), 0);
+  EXPECT_EQ(TiersOf(block).size(), 3u);
+}
+
+TEST_F(MasterTest, MonitorIsIdempotentWhileCopiesInFlight) {
+  WriteOneBlockFile("/f", ReplicationVector::Of(0, 0, 2), kMiB);
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(1, 0, 2), kRoot)
+          .ok());
+  int first = master_->NumQueuedCommands();
+  EXPECT_EQ(first, 1);
+  // Another monitor round must not duplicate the pending copy.
+  EXPECT_EQ(master_->RunReplicationMonitor(), 0);
+  EXPECT_EQ(master_->NumQueuedCommands(), 1);
+}
+
+TEST_F(MasterTest, InflightCopyExpiresAndIsRescheduled) {
+  WriteOneBlockFile("/f", ReplicationVector::Of(0, 0, 2), kMiB);
+  ASSERT_TRUE(
+      master_->SetReplication("/f", ReplicationVector::Of(1, 0, 2), kRoot)
+          .ok());
+  // The copy never confirms; after the replication timeout the monitor
+  // re-issues it.
+  clock_.AdvanceMicros(MasterOptions{}.replication_timeout_micros + 1);
+  EXPECT_EQ(master_->RunReplicationMonitor(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Block reports
+
+TEST_F(MasterTest, BlockReportDeletesOrphansAdoptsKnownDropsLost) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::OfTotal(3), kMiB);
+  const BlockRecord* record = master_->block_manager().Find(block);
+  std::vector<MediumId> locations = record->locations;
+
+  // Pick media on worker 0 for the report.
+  std::vector<MediumId> w0_media =
+      master_->cluster_state().MediaOnWorker(workers_[0]);
+  MediumId reporting = w0_media[0];
+
+  bool had_replica_here =
+      std::find(locations.begin(), locations.end(), reporting) !=
+      locations.end();
+
+  BlockReport report;
+  report[reporting] = {block, /*orphan=*/9999};
+  ASSERT_TRUE(master_->ProcessBlockReport(workers_[0], report).ok());
+
+  // The orphan got a delete command; the known block was adopted if new.
+  const BlockRecord* after = master_->block_manager().Find(block);
+  EXPECT_TRUE(std::find(after->locations.begin(), after->locations.end(),
+                        reporting) != after->locations.end());
+  EXPECT_GT(master_->NumQueuedCommands(), 0);
+  (void)had_replica_here;
+
+  // A second report omitting the block drops the location again.
+  BlockReport empty;
+  empty[reporting] = {};
+  ASSERT_TRUE(master_->ProcessBlockReport(workers_[0], empty).ok());
+  after = master_->block_manager().Find(block);
+  EXPECT_TRUE(std::find(after->locations.begin(), after->locations.end(),
+                        reporting) == after->locations.end());
+}
+
+TEST_F(MasterTest, BlockReportRejectsForeignMedium) {
+  BlockReport report;
+  report[0] = {};  // medium 0 belongs to workers_[0]
+  EXPECT_TRUE(
+      master_->ProcessBlockReport(workers_[1], report).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Delete & invalidation
+
+TEST_F(MasterTest, DeleteQueuesInvalidationsAndFreesSpace) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::OfTotal(3), 10 * kMiB);
+  auto removed = master_->Delete("/f", false, kRoot);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_EQ(master_->block_manager().Find(block), nullptr);
+  EXPECT_EQ(master_->NumQueuedCommands(), 3);
+  // Space returned to every medium.
+  for (const auto& [id, m] : master_->cluster_state().media()) {
+    EXPECT_EQ(m.remaining_bytes, m.capacity_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker death
+
+TEST_F(MasterTest, DeadWorkerReplicasRebuiltElsewhere) {
+  BlockId block =
+      WriteOneBlockFile("/f", ReplicationVector::OfTotal(3), kMiB);
+  const BlockRecord* record = master_->block_manager().Find(block);
+  WorkerId victim =
+      master_->cluster_state().FindMedium(record->locations[0])->worker;
+  ASSERT_TRUE(master_->cluster_state().SetWorkerAlive(victim, false).ok());
+  master_->RunReplicationMonitor();
+  DrainCommands();
+  const BlockRecord* after = master_->block_manager().Find(block);
+  EXPECT_EQ(after->locations.size(), 3u);
+  for (MediumId m : after->locations) {
+    EXPECT_NE(master_->cluster_state().FindMedium(m)->worker, victim);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+TEST_F(MasterTest, LoadImageRebuildsBlockRecords) {
+  WriteOneBlockFile("/a/f", ReplicationVector::Of(1, 0, 2), kMiB);
+  WriteOneBlockFile("/a/g", ReplicationVector::OfTotal(3), 2 * kMiB);
+  std::string image = FsImage::Serialize(master_->namespace_tree());
+
+  MasterOptions options;
+  Master fresh(options, &clock_);
+  ASSERT_TRUE(fresh.LoadImage(image).ok());
+  EXPECT_EQ(fresh.block_manager().NumBlocks(), 2);
+  // Records know their expected vectors but have no locations yet.
+  fresh.block_manager().ForEach([](const BlockRecord& record) {
+    EXPECT_TRUE(record.locations.empty());
+    EXPECT_GE(record.expected.total(), 3);
+  });
+  EXPECT_TRUE(fresh.GetFileStatus("/a/f", kRoot).ok());
+}
+
+}  // namespace
+}  // namespace octo

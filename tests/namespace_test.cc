@@ -1,0 +1,432 @@
+// Unit tests for the namespace service: path handling, the inode tree,
+// renames, deletes, per-tier quotas, and permission enforcement.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "namespacefs/namespace_tree.h"
+#include "namespacefs/path.h"
+
+namespace octo {
+namespace {
+
+const UserContext kRoot{"root", {}};
+
+// ---------------------------------------------------------------------------
+// Paths
+
+TEST(PathTest, NormalizeCanonicalizes) {
+  EXPECT_EQ(*NormalizePath("/a/b"), "/a/b");
+  EXPECT_EQ(*NormalizePath("/a//b/"), "/a/b");
+  EXPECT_EQ(*NormalizePath("/"), "/");
+  EXPECT_EQ(*NormalizePath("///"), "/");
+}
+
+TEST(PathTest, NormalizeRejectsBadPaths) {
+  EXPECT_FALSE(NormalizePath("relative").ok());
+  EXPECT_FALSE(NormalizePath("").ok());
+  EXPECT_FALSE(NormalizePath("/a/./b").ok());
+  EXPECT_FALSE(NormalizePath("/a/../b").ok());
+  EXPECT_FALSE(NormalizePath("/a\tb").ok());
+  EXPECT_FALSE(NormalizePath("/a\nb").ok());
+}
+
+TEST(PathTest, ParentAndBaseName) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/a"), "a");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, Components) {
+  EXPECT_EQ(PathComponents("/a/b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(PathComponents("/").empty());
+}
+
+TEST(PathTest, IsSelfOrDescendant) {
+  EXPECT_TRUE(IsSelfOrDescendant("/a", "/a"));
+  EXPECT_TRUE(IsSelfOrDescendant("/a", "/a/b/c"));
+  EXPECT_TRUE(IsSelfOrDescendant("/", "/anything"));
+  EXPECT_FALSE(IsSelfOrDescendant("/a", "/ab"));  // prefix but not subtree
+  EXPECT_FALSE(IsSelfOrDescendant("/a/b", "/a"));
+}
+
+// ---------------------------------------------------------------------------
+// Tree basics
+
+class NamespaceTreeTest : public ::testing::Test {
+ protected:
+  NamespaceTreeTest() : tree_(&clock_) {}
+
+  Status CreateCompleteFile(const std::string& path,
+                            const ReplicationVector& rv, int64_t length,
+                            BlockId id = 0) {
+    OCTO_RETURN_IF_ERROR(
+        tree_.CreateFile(path, rv, kDefaultBlockSize, false, kRoot));
+    if (length > 0) {
+      OCTO_RETURN_IF_ERROR(tree_.AddBlock(
+          path, BlockInfo{id != 0 ? id : next_block_++, length}));
+    }
+    return tree_.CompleteFile(path);
+  }
+
+  ManualClock clock_;
+  NamespaceTree tree_;
+  BlockId next_block_ = 100;
+};
+
+TEST_F(NamespaceTreeTest, MkdirsCreatesChain) {
+  ASSERT_TRUE(tree_.Mkdirs("/a/b/c", kRoot).ok());
+  EXPECT_TRUE(tree_.Exists("/a"));
+  EXPECT_TRUE(tree_.Exists("/a/b"));
+  EXPECT_TRUE(tree_.Exists("/a/b/c"));
+  EXPECT_EQ(tree_.NumDirectories(), 3);
+  // Idempotent.
+  EXPECT_TRUE(tree_.Mkdirs("/a/b/c", kRoot).ok());
+  EXPECT_EQ(tree_.NumDirectories(), 3);
+}
+
+TEST_F(NamespaceTreeTest, MkdirsOverFileFails) {
+  ASSERT_TRUE(CreateCompleteFile("/a/file", ReplicationVector::OfTotal(1),
+                                 10).ok());
+  EXPECT_TRUE(tree_.Mkdirs("/a/file/sub", kRoot).IsAlreadyExists());
+  EXPECT_TRUE(tree_.Mkdirs("/a/file", kRoot).IsAlreadyExists());
+}
+
+TEST_F(NamespaceTreeTest, CreateFileRequiresReplicas) {
+  EXPECT_TRUE(tree_.CreateFile("/f", ReplicationVector(), kDefaultBlockSize,
+                               false, kRoot)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(tree_.CreateFile("/f", ReplicationVector::OfTotal(1), 0, false,
+                               kRoot)
+                  .IsInvalidArgument());
+}
+
+TEST_F(NamespaceTreeTest, CreateDuplicateWithoutOverwriteFails) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(3), 5).ok());
+  EXPECT_TRUE(tree_.CreateFile("/f", ReplicationVector::OfTotal(3),
+                               kDefaultBlockSize, false, kRoot)
+                  .IsAlreadyExists());
+}
+
+TEST_F(NamespaceTreeTest, OverwriteReturnsReplacedBlocks) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(3), 50,
+                                 /*id=*/777).ok());
+  std::vector<BlockInfo> replaced;
+  ASSERT_TRUE(tree_.CreateFile("/f", ReplicationVector::OfTotal(3),
+                               kDefaultBlockSize, true, kRoot, &replaced)
+                  .ok());
+  ASSERT_EQ(replaced.size(), 1u);
+  EXPECT_EQ(replaced[0].id, 777);
+  EXPECT_EQ(tree_.NumFiles(), 1);
+}
+
+TEST_F(NamespaceTreeTest, AddBlockOnlyWhileUnderConstruction) {
+  ASSERT_TRUE(tree_.CreateFile("/f", ReplicationVector::OfTotal(3),
+                               kDefaultBlockSize, false, kRoot)
+                  .ok());
+  ASSERT_TRUE(tree_.AddBlock("/f", BlockInfo{1, 10}).ok());
+  ASSERT_TRUE(tree_.CompleteFile("/f").ok());
+  EXPECT_TRUE(tree_.AddBlock("/f", BlockInfo{2, 10}).IsFailedPrecondition());
+  auto status = tree_.GetFileStatus("/f", kRoot);
+  EXPECT_EQ(status->length, 10);
+  EXPECT_FALSE(status->under_construction);
+}
+
+TEST_F(NamespaceTreeTest, GetFileStatusFields) {
+  clock_.SetMicros(1234);
+  ASSERT_TRUE(CreateCompleteFile("/dir/file", ReplicationVector::Of(1, 0, 2),
+                                 100).ok());
+  auto status = tree_.GetFileStatus("/dir/file", kRoot);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->path, "/dir/file");
+  EXPECT_FALSE(status->is_dir);
+  EXPECT_EQ(status->length, 100);
+  EXPECT_EQ(status->rep_vector, ReplicationVector::Of(1, 0, 2));
+  EXPECT_EQ(status->owner, "root");
+  EXPECT_EQ(status->mtime_micros, 1234);
+}
+
+TEST_F(NamespaceTreeTest, ListDirectory) {
+  ASSERT_TRUE(tree_.Mkdirs("/d/sub", kRoot).ok());
+  ASSERT_TRUE(CreateCompleteFile("/d/f1", ReplicationVector::OfTotal(1),
+                                 1).ok());
+  ASSERT_TRUE(CreateCompleteFile("/d/f2", ReplicationVector::OfTotal(1),
+                                 2).ok());
+  auto listing = tree_.ListDirectory("/d", kRoot);
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 3u);
+  EXPECT_EQ((*listing)[0].path, "/d/f1");
+  EXPECT_EQ((*listing)[1].path, "/d/f2");
+  EXPECT_EQ((*listing)[2].path, "/d/sub");
+  EXPECT_TRUE((*listing)[2].is_dir);
+}
+
+TEST_F(NamespaceTreeTest, ListFileYieldsItself) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(1), 1).ok());
+  auto listing = tree_.ListDirectory("/f", kRoot);
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 1u);
+  EXPECT_EQ((*listing)[0].path, "/f");
+}
+
+// ---------------------------------------------------------------------------
+// Rename
+
+TEST_F(NamespaceTreeTest, RenameFile) {
+  ASSERT_TRUE(CreateCompleteFile("/a/f", ReplicationVector::OfTotal(3),
+                                 10).ok());
+  ASSERT_TRUE(tree_.Mkdirs("/b", kRoot).ok());
+  ASSERT_TRUE(tree_.Rename("/a/f", "/b/g", kRoot).ok());
+  EXPECT_FALSE(tree_.Exists("/a/f"));
+  EXPECT_TRUE(tree_.Exists("/b/g"));
+  EXPECT_EQ(tree_.GetFileStatus("/b/g", kRoot)->length, 10);
+}
+
+TEST_F(NamespaceTreeTest, RenameDirectoryMovesSubtree) {
+  ASSERT_TRUE(CreateCompleteFile("/a/x/f", ReplicationVector::OfTotal(3),
+                                 10).ok());
+  ASSERT_TRUE(tree_.Rename("/a", "/z", kRoot).ok());
+  EXPECT_TRUE(tree_.Exists("/z/x/f"));
+  EXPECT_FALSE(tree_.Exists("/a"));
+}
+
+TEST_F(NamespaceTreeTest, RenameRejectsBadCases) {
+  ASSERT_TRUE(tree_.Mkdirs("/a/b", kRoot).ok());
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(1), 1).ok());
+  // Into own subtree.
+  EXPECT_TRUE(tree_.Rename("/a", "/a/b/c", kRoot).IsInvalidArgument());
+  // Source missing.
+  EXPECT_TRUE(tree_.Rename("/missing", "/x", kRoot).IsNotFound());
+  // Destination exists.
+  EXPECT_TRUE(tree_.Rename("/f", "/a", kRoot).IsAlreadyExists());
+  // Destination parent missing.
+  EXPECT_TRUE(tree_.Rename("/f", "/no/such/dir/f", kRoot).IsNotFound());
+  // Root itself.
+  EXPECT_TRUE(tree_.Rename("/", "/x", kRoot).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Delete
+
+TEST_F(NamespaceTreeTest, DeleteFileReturnsBlocks) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(3), 10,
+                                 /*id=*/55).ok());
+  auto blocks = tree_.Delete("/f", false, kRoot);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0].id, 55);
+  EXPECT_FALSE(tree_.Exists("/f"));
+  EXPECT_EQ(tree_.NumFiles(), 0);
+}
+
+TEST_F(NamespaceTreeTest, DeleteNonEmptyDirNeedsRecursive) {
+  ASSERT_TRUE(CreateCompleteFile("/d/f", ReplicationVector::OfTotal(1),
+                                 1).ok());
+  EXPECT_TRUE(tree_.Delete("/d", false, kRoot).status()
+                  .IsFailedPrecondition());
+  auto blocks = tree_.Delete("/d", true, kRoot);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(blocks->size(), 1u);
+  EXPECT_EQ(tree_.NumDirectories(), 0);
+  EXPECT_EQ(tree_.NumFiles(), 0);
+}
+
+TEST_F(NamespaceTreeTest, DeleteRootRejected) {
+  EXPECT_TRUE(tree_.Delete("/", true, kRoot).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Replication vector changes
+
+TEST_F(NamespaceTreeTest, SetReplicationVector) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::Of(1, 0, 2),
+                                 100).ok());
+  ASSERT_TRUE(tree_.SetReplicationVector("/f",
+                                         ReplicationVector::Of(0, 1, 2),
+                                         kRoot)
+                  .ok());
+  EXPECT_EQ(*tree_.GetReplicationVector("/f"),
+            ReplicationVector::Of(0, 1, 2));
+  // Dropping to zero replicas is rejected (delete the file instead).
+  EXPECT_TRUE(tree_.SetReplicationVector("/f", ReplicationVector(), kRoot)
+                  .IsInvalidArgument());
+  // Directories have no replication vector.
+  ASSERT_TRUE(tree_.Mkdirs("/d", kRoot).ok());
+  EXPECT_TRUE(tree_.SetReplicationVector("/d",
+                                         ReplicationVector::OfTotal(1), kRoot)
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Quotas
+
+TEST_F(NamespaceTreeTest, TierQuotaEnforcedOnAddBlock) {
+  ASSERT_TRUE(tree_.Mkdirs("/q", kRoot).ok());
+  ASSERT_TRUE(tree_.SetQuota("/q", kMemoryTier, 100).ok());
+  ASSERT_TRUE(tree_.CreateFile("/q/f", ReplicationVector::Of(1, 0, 2),
+                               kDefaultBlockSize, false, kRoot)
+                  .ok());
+  // 80 bytes * 1 memory replica fits; another 30 would exceed 100.
+  ASSERT_TRUE(tree_.AddBlock("/q/f", BlockInfo{1, 80}).ok());
+  EXPECT_TRUE(tree_.AddBlock("/q/f", BlockInfo{2, 30}).IsQuotaExceeded());
+  // HDD usage is unconstrained here.
+  auto usage = tree_.GetQuotaUsage("/q");
+  EXPECT_EQ(usage->usage[kMemoryTier], 80);
+  EXPECT_EQ(usage->usage[kHddTier], 160);
+  EXPECT_EQ(usage->quota[kMemoryTier], 100);
+  EXPECT_EQ(usage->quota[kHddTier], -1);
+}
+
+TEST_F(NamespaceTreeTest, TotalSpaceQuotaCountsAllReplicas) {
+  ASSERT_TRUE(tree_.Mkdirs("/q", kRoot).ok());
+  ASSERT_TRUE(tree_.SetQuota("/q", kTotalSpaceSlot, 299).ok());
+  ASSERT_TRUE(tree_.CreateFile("/q/f", ReplicationVector::OfTotal(3),
+                               kDefaultBlockSize, false, kRoot)
+                  .ok());
+  // 3 replicas x 100 bytes = 300 > 299.
+  EXPECT_TRUE(tree_.AddBlock("/q/f", BlockInfo{1, 100}).IsQuotaExceeded());
+  ASSERT_TRUE(tree_.AddBlock("/q/f", BlockInfo{2, 99}).ok());
+}
+
+TEST_F(NamespaceTreeTest, QuotaFreedOnDelete) {
+  ASSERT_TRUE(tree_.Mkdirs("/q", kRoot).ok());
+  ASSERT_TRUE(tree_.SetQuota("/q", kTotalSpaceSlot, 300).ok());
+  ASSERT_TRUE(CreateCompleteFile("/q/f", ReplicationVector::OfTotal(3),
+                                 100).ok());
+  ASSERT_TRUE(tree_.Delete("/q/f", false, kRoot).ok());
+  EXPECT_EQ(tree_.GetQuotaUsage("/q")->usage[kTotalSpaceSlot], 0);
+  // Space is available again.
+  ASSERT_TRUE(CreateCompleteFile("/q/g", ReplicationVector::OfTotal(3),
+                                 100).ok());
+}
+
+TEST_F(NamespaceTreeTest, SetReplicationChecksQuota) {
+  ASSERT_TRUE(tree_.Mkdirs("/q", kRoot).ok());
+  ASSERT_TRUE(tree_.SetQuota("/q", kMemoryTier, 50).ok());
+  ASSERT_TRUE(CreateCompleteFile("/q/f", ReplicationVector::Of(0, 0, 3),
+                                 100).ok());
+  // Adding a memory replica needs 100 bytes of memory quota; only 50 exist.
+  EXPECT_TRUE(tree_.SetReplicationVector("/q/f",
+                                         ReplicationVector::Of(1, 0, 3),
+                                         kRoot)
+                  .IsQuotaExceeded());
+  // The failure must not corrupt the charge: dropping to 2 HDD works.
+  ASSERT_TRUE(tree_.SetReplicationVector("/q/f",
+                                         ReplicationVector::Of(0, 0, 2),
+                                         kRoot)
+                  .ok());
+  EXPECT_EQ(tree_.GetQuotaUsage("/q")->usage[kHddTier], 200);
+}
+
+TEST_F(NamespaceTreeTest, RenameMovesQuotaChargeAndRollsBack) {
+  ASSERT_TRUE(tree_.Mkdirs("/src", kRoot).ok());
+  ASSERT_TRUE(tree_.Mkdirs("/dst", kRoot).ok());
+  ASSERT_TRUE(tree_.SetQuota("/dst", kTotalSpaceSlot, 100).ok());
+  ASSERT_TRUE(CreateCompleteFile("/src/f", ReplicationVector::OfTotal(3),
+                                 100).ok());
+  // 300 bytes of charge exceed /dst's 100-byte quota: rename fails and the
+  // file stays (with its charge) in /src.
+  EXPECT_TRUE(tree_.Rename("/src/f", "/dst/f", kRoot).IsQuotaExceeded());
+  EXPECT_TRUE(tree_.Exists("/src/f"));
+  EXPECT_EQ(tree_.GetQuotaUsage("/src")->usage[kTotalSpaceSlot], 300);
+  EXPECT_EQ(tree_.GetQuotaUsage("/dst")->usage[kTotalSpaceSlot], 0);
+  // With a sufficient quota, the charge moves.
+  ASSERT_TRUE(tree_.SetQuota("/dst", kTotalSpaceSlot, 1000).ok());
+  ASSERT_TRUE(tree_.Rename("/src/f", "/dst/f", kRoot).ok());
+  EXPECT_EQ(tree_.GetQuotaUsage("/src")->usage[kTotalSpaceSlot], 0);
+  EXPECT_EQ(tree_.GetQuotaUsage("/dst")->usage[kTotalSpaceSlot], 300);
+}
+
+TEST_F(NamespaceTreeTest, QuotaOnFilesRejected) {
+  ASSERT_TRUE(CreateCompleteFile("/f", ReplicationVector::OfTotal(1), 1).ok());
+  EXPECT_TRUE(tree_.SetQuota("/f", 0, 100).IsInvalidArgument());
+  EXPECT_TRUE(tree_.SetQuota("/missing", 0, 100).IsNotFound());
+  ASSERT_TRUE(tree_.Mkdirs("/d", kRoot).ok());
+  EXPECT_TRUE(tree_.SetQuota("/d", 9, 100).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Permissions
+
+class PermissionsTest : public NamespaceTreeTest {
+ protected:
+  void SetUp() override {
+    tree_.EnablePermissions(true);
+    tree_.SetSuperuser("root");
+    ASSERT_TRUE(tree_.Mkdirs("/home/alice", kRoot).ok());
+    ASSERT_TRUE(tree_.SetOwner("/home/alice", "alice", "users", kRoot).ok());
+    ASSERT_TRUE(tree_.SetMode("/home/alice", 0750, kRoot).ok());
+  }
+
+  UserContext alice_{"alice", {"users"}};
+  UserContext bob_{"bob", {"users"}};     // group member
+  UserContext eve_{"eve", {"guests"}};    // other
+};
+
+TEST_F(PermissionsTest, OwnerCanWriteOthersCannot) {
+  EXPECT_TRUE(tree_.CreateFile("/home/alice/a", ReplicationVector::OfTotal(1),
+                               kDefaultBlockSize, false, alice_)
+                  .ok());
+  EXPECT_TRUE(tree_.CreateFile("/home/alice/b", ReplicationVector::OfTotal(1),
+                               kDefaultBlockSize, false, bob_)
+                  .IsPermissionDenied());
+  EXPECT_TRUE(tree_.Mkdirs("/home/alice/sub", bob_).IsPermissionDenied());
+}
+
+TEST_F(PermissionsTest, GroupCanListOtherCannotTraverse) {
+  EXPECT_TRUE(tree_.ListDirectory("/home/alice", bob_).ok());
+  EXPECT_TRUE(
+      tree_.ListDirectory("/home/alice", eve_).status().IsPermissionDenied());
+}
+
+TEST_F(PermissionsTest, SuperuserBypassesEverything) {
+  ASSERT_TRUE(tree_.SetMode("/home/alice", 0000, kRoot).ok());
+  EXPECT_TRUE(tree_.ListDirectory("/home/alice", kRoot).ok());
+  EXPECT_TRUE(tree_.CreateFile("/home/alice/root-file",
+                               ReplicationVector::OfTotal(1),
+                               kDefaultBlockSize, false, kRoot)
+                  .ok());
+}
+
+TEST_F(PermissionsTest, ChownRestrictedToSuperuser) {
+  EXPECT_TRUE(
+      tree_.SetOwner("/home/alice", "eve", "guests", eve_)
+          .IsPermissionDenied());
+  EXPECT_TRUE(tree_.SetOwner("/home/alice", "bob", "", kRoot).ok());
+}
+
+TEST_F(PermissionsTest, ChmodOwnerOrSuperuser) {
+  EXPECT_TRUE(tree_.SetMode("/home/alice", 0700, eve_).IsPermissionDenied());
+  EXPECT_TRUE(tree_.SetMode("/home/alice", 0700, alice_).ok());
+  EXPECT_EQ(tree_.GetFileStatus("/home/alice", kRoot)->mode, 0700);
+}
+
+TEST_F(PermissionsTest, DeleteNeedsParentWrite) {
+  ASSERT_TRUE(tree_.CreateFile("/home/alice/f", ReplicationVector::OfTotal(1),
+                               kDefaultBlockSize, false, alice_)
+                  .ok());
+  EXPECT_TRUE(
+      tree_.Delete("/home/alice/f", false, bob_).status()
+          .IsPermissionDenied());
+  EXPECT_TRUE(tree_.Delete("/home/alice/f", false, alice_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Visit
+
+TEST_F(NamespaceTreeTest, VisitWalksPreorder) {
+  ASSERT_TRUE(CreateCompleteFile("/a/f", ReplicationVector::OfTotal(3),
+                                 10).ok());
+  ASSERT_TRUE(tree_.Mkdirs("/b", kRoot).ok());
+  std::vector<std::string> paths;
+  tree_.Visit([&paths](const NamespaceTree::VisitEntry& e) {
+    paths.push_back(e.status.path);
+  });
+  EXPECT_EQ(paths, (std::vector<std::string>{"/", "/a", "/a/f", "/b"}));
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,188 @@
+// Unit tests for the four MOOP objective functions and the
+// global-criterion score (paper §3.2, Eq. 1-11), checked against
+// hand-computed values on small crafted clusters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "core/cluster_state.h"
+#include "core/objectives.h"
+
+namespace octo {
+namespace {
+
+// A crafted 2-rack, 4-worker cluster:
+//   w0 (/r1/n1): m0 memory (cap 100, rem 100), m1 hdd (cap 1000, rem 500)
+//   w1 (/r1/n2): m2 hdd (cap 1000, rem 1000)
+//   w2 (/r2/n1): m3 ssd (cap 400, rem 200)
+//   w3 (/r2/n2): m4 hdd (cap 1000, rem 800, 3 connections)
+class ObjectivesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add_worker = [&](WorkerId id, const char* rack, const char* node) {
+      WorkerInfo w;
+      w.id = id;
+      w.location = NetworkLocation(rack, node);
+      w.net_bps = 1.25e9;
+      ASSERT_TRUE(state_.AddWorker(w).ok());
+    };
+    add_worker(0, "r1", "n1");
+    add_worker(1, "r1", "n2");
+    add_worker(2, "r2", "n1");
+    add_worker(3, "r2", "n2");
+
+    state_.AddTier({kMemoryTier, "Memory", MediaType::kMemory});
+    state_.AddTier({kSsdTier, "SSD", MediaType::kSsd});
+    state_.AddTier({kHddTier, "HDD", MediaType::kHdd});
+
+    auto add_medium = [&](MediumId id, WorkerId w, TierId tier, MediaType t,
+                          int64_t cap, int64_t rem, int conns, double wbps,
+                          double rbps) {
+      MediumInfo m;
+      m.id = id;
+      m.worker = w;
+      m.location = state_.FindWorker(w)->location;
+      m.tier = tier;
+      m.type = t;
+      m.capacity_bytes = cap;
+      m.remaining_bytes = rem;
+      m.nr_connections = conns;
+      m.write_bps = wbps;
+      m.read_bps = rbps;
+      ASSERT_TRUE(state_.AddMedium(m).ok());
+    };
+    add_medium(0, 0, kMemoryTier, MediaType::kMemory, 100, 100, 0,
+               FromMBps(1900), FromMBps(3200));
+    add_medium(1, 0, kHddTier, MediaType::kHdd, 1000, 500, 0, FromMBps(126),
+               FromMBps(177));
+    add_medium(2, 1, kHddTier, MediaType::kHdd, 1000, 1000, 0, FromMBps(126),
+               FromMBps(177));
+    add_medium(3, 2, kSsdTier, MediaType::kSsd, 400, 200, 0, FromMBps(340),
+               FromMBps(420));
+    add_medium(4, 3, kHddTier, MediaType::kHdd, 1000, 800, 3, FromMBps(126),
+               FromMBps(177));
+  }
+
+  std::vector<const MediumInfo*> Pick(std::initializer_list<MediumId> ids) {
+    std::vector<const MediumInfo*> out;
+    for (MediumId id : ids) out.push_back(state_.FindMedium(id));
+    return out;
+  }
+
+  ClusterState state_;
+};
+
+TEST_F(ObjectivesTest, DataBalancingMatchesEq1) {
+  Objectives obj(state_, /*block_size=*/100);
+  // f_db = sum (Rem - blockSize)/Cap.
+  double expected = (500.0 - 100) / 1000 + (1000.0 - 100) / 1000;
+  EXPECT_DOUBLE_EQ(obj.DataBalancing(Pick({1, 2})), expected);
+}
+
+TEST_F(ObjectivesTest, DataBalancingIdealUsesMaxRemainingFraction) {
+  Objectives obj(state_, 100);
+  // Max Rem/Cap over all media = m0 memory at 100/100 = 1.0.
+  EXPECT_DOUBLE_EQ(obj.Ideal(3)[0], 3.0);
+}
+
+TEST_F(ObjectivesTest, LoadBalancingMatchesEq3) {
+  Objectives obj(state_, 100);
+  // m2 has 0 connections (1/1), m4 has 3 (1/4).
+  EXPECT_DOUBLE_EQ(obj.LoadBalancing(Pick({2, 4})), 1.0 + 0.25);
+  // Ideal: |m| / (min conns + 1) with min conns = 0.
+  EXPECT_DOUBLE_EQ(obj.Ideal(2)[1], 2.0);
+}
+
+TEST_F(ObjectivesTest, FaultToleranceMatchesEq5) {
+  Objectives obj(state_, 100);
+  // {m0,m3,m2}: tiers {mem,ssd,hdd}=3/min(3,3); nodes {w0,w2,w1}=3/min(3,4);
+  // racks {r1,r2}=2 -> 1/(|2-2|+1)=1. Total = 1 + 1 + 1 = 3 (the ideal).
+  EXPECT_DOUBLE_EQ(obj.FaultTolerance(Pick({0, 3, 2})), 3.0);
+  EXPECT_DOUBLE_EQ(obj.Ideal(3)[2], 3.0);
+
+  // {m1,m2}: same tier (1/min(2,3)), different nodes (2/min(2,4)),
+  // one rack -> 1/(|1-2|+1) = 0.5.
+  EXPECT_DOUBLE_EQ(obj.FaultTolerance(Pick({1, 2})), 0.5 + 1.0 + 0.5);
+
+  // Same node twice: {m0,m1}: 2 tiers, 1 node, 1 rack.
+  EXPECT_DOUBLE_EQ(obj.FaultTolerance(Pick({0, 1})), 1.0 + 0.5 + 0.5);
+}
+
+TEST_F(ObjectivesTest, ThroughputMaxMatchesEq7) {
+  Objectives obj(state_, 100);
+  // Tier-average write rates: memory 1900, ssd 340, hdd 126 (MB/s).
+  // f_tm for one HDD medium = log(126)/log(1900).
+  double expected = std::log(126.0) / std::log(1900.0);
+  EXPECT_NEAR(obj.ThroughputMax(Pick({2})), expected, 1e-9);
+  // Memory medium scores 1 (it is the fastest tier).
+  EXPECT_NEAR(obj.ThroughputMax(Pick({0})), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(obj.Ideal(2)[3], 2.0);
+}
+
+TEST_F(ObjectivesTest, ScoreIsDistanceToIdeal) {
+  Objectives obj(state_, 100);
+  auto chosen = Pick({0, 3, 2});
+  ObjectiveVector f = obj.Evaluate(chosen);
+  ObjectiveVector z = obj.Ideal(3);
+  double expected = 0;
+  for (int i = 0; i < 4; ++i) expected += (f[i] - z[i]) * (f[i] - z[i]);
+  EXPECT_DOUBLE_EQ(obj.Score(chosen), std::sqrt(expected));
+}
+
+TEST_F(ObjectivesTest, SingleObjectiveScoreIsolatesOneComponent) {
+  Objectives obj(state_, 100);
+  auto chosen = Pick({1, 2});
+  EXPECT_DOUBLE_EQ(
+      obj.SingleObjectiveScore(Objective::kLoadBalancing, chosen),
+      std::abs(obj.LoadBalancing(chosen) - obj.Ideal(2)[1]));
+  EXPECT_DOUBLE_EQ(
+      obj.SingleObjectiveScore(Objective::kFaultTolerance, chosen),
+      std::abs(obj.FaultTolerance(chosen) - 3.0));
+}
+
+TEST_F(ObjectivesTest, DiverseSetBeatsColocatedSet) {
+  Objectives obj(state_, 100);
+  // {m0,m3,m2}: three tiers, three nodes, two racks. {m0,m1,m2}: two of
+  // the media share node w0 and all sit in rack r1 — strictly worse fault
+  // tolerance and throughput, so it must score further from the ideal.
+  EXPECT_LT(obj.Score(Pick({0, 3, 2})), obj.Score(Pick({0, 1, 2})));
+}
+
+TEST_F(ObjectivesTest, DeadWorkersExcludedFromAggregates) {
+  ASSERT_TRUE(state_.SetWorkerAlive(0, false).ok());
+  // Memory medium m0 (on dead w0) no longer defines the maxima.
+  Objectives obj(state_, 100);
+  // Max remaining fraction now m2's 1000/1000 = 1.0 still; check tier
+  // count dropped (memory tier inactive).
+  EXPECT_EQ(state_.NumActiveTiers(), 2);
+  EXPECT_EQ(state_.NumLiveWorkers(), 3);
+}
+
+TEST_F(ObjectivesTest, SingleRackClusterRackTermIsOne) {
+  // Build a one-rack state.
+  ClusterState solo;
+  WorkerInfo w;
+  w.id = 0;
+  w.location = NetworkLocation("r1", "n1");
+  ASSERT_TRUE(solo.AddWorker(w).ok());
+  MediumInfo m;
+  m.id = 0;
+  m.worker = 0;
+  m.location = w.location;
+  m.tier = kHddTier;
+  m.type = MediaType::kHdd;
+  m.capacity_bytes = 100;
+  m.remaining_bytes = 100;
+  m.write_bps = FromMBps(126);
+  m.read_bps = FromMBps(177);
+  ASSERT_TRUE(solo.AddMedium(m).ok());
+  Objectives obj(solo, 10);
+  // t=1: rack term is 1 regardless of spread (Eq. 5's conditional).
+  std::vector<const MediumInfo*> chosen = {solo.FindMedium(0)};
+  EXPECT_DOUBLE_EQ(obj.FaultTolerance(chosen), 1.0 + 1.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace octo

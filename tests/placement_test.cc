@@ -1,0 +1,512 @@
+// Tests for the placement policies: MOOP (Algorithms 1-2 with the §3.3
+// pruning heuristics), the single-objective policies, the rule-based
+// baseline, HDFS default placement, and over-replication selection.
+// Includes parameterized property sweeps over replica counts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "core/cluster_state.h"
+#include "core/placement.h"
+
+namespace octo {
+namespace {
+
+// Builds an r-rack cluster with `nodes_per_rack` workers, each carrying
+// one memory, one SSD and two HDD media (capacities in MiB).
+class PlacementTest : public ::testing::Test {
+ protected:
+  void Build(int racks, int nodes_per_rack) {
+    state_ = ClusterState();
+    state_.AddTier({kMemoryTier, "Memory", MediaType::kMemory});
+    state_.AddTier({kSsdTier, "SSD", MediaType::kSsd});
+    state_.AddTier({kHddTier, "HDD", MediaType::kHdd});
+    WorkerId next_worker = 0;
+    MediumId next_medium = 0;
+    for (int r = 0; r < racks; ++r) {
+      for (int n = 0; n < nodes_per_rack; ++n) {
+        WorkerInfo w;
+        w.id = next_worker++;
+        w.location = NetworkLocation("r" + std::to_string(r),
+                                     "n" + std::to_string(n));
+        w.net_bps = 1.25e9;
+        ASSERT_TRUE(state_.AddWorker(w).ok());
+        auto add = [&](TierId tier, MediaType type, int64_t cap, double wb,
+                       double rb) {
+          MediumInfo m;
+          m.id = next_medium++;
+          m.worker = w.id;
+          m.location = w.location;
+          m.tier = tier;
+          m.type = type;
+          m.capacity_bytes = cap;
+          m.remaining_bytes = cap;
+          m.write_bps = wb;
+          m.read_bps = rb;
+          ASSERT_TRUE(state_.AddMedium(m).ok());
+        };
+        add(kMemoryTier, MediaType::kMemory, 64 * kMiB, FromMBps(1900),
+            FromMBps(3200));
+        add(kSsdTier, MediaType::kSsd, 256 * kMiB, FromMBps(340),
+            FromMBps(420));
+        add(kHddTier, MediaType::kHdd, 1024 * kMiB, FromMBps(126),
+            FromMBps(177));
+        add(kHddTier, MediaType::kHdd, 1024 * kMiB, FromMBps(126),
+            FromMBps(177));
+      }
+    }
+  }
+
+  // Common post-conditions every policy must satisfy.
+  void CheckValid(const std::vector<MediumId>& placed,
+                  const PlacementRequest& request) {
+    std::set<MediumId> unique(placed.begin(), placed.end());
+    EXPECT_EQ(unique.size(), placed.size()) << "duplicate media";
+    for (MediumId id : placed) {
+      const MediumInfo* m = state_.FindMedium(id);
+      ASSERT_NE(m, nullptr);
+      EXPECT_GE(m->remaining_bytes - request.block_size, 0)
+          << "placed on a full medium";
+      EXPECT_TRUE(state_.MediumLive(id));
+      // No overlap with pre-existing replicas.
+      for (MediumId existing : request.existing) {
+        EXPECT_NE(id, existing);
+      }
+    }
+  }
+
+  TierId TierOf(MediumId id) { return state_.FindMedium(id)->tier; }
+  std::string RackOf(MediumId id) {
+    return state_.FindMedium(id)->location.rack();
+  }
+  WorkerId NodeOf(MediumId id) { return state_.FindMedium(id)->worker; }
+
+  ClusterState state_;
+  Random rng_{42};
+};
+
+// ---------------------------------------------------------------------------
+// MOOP policy
+
+TEST_F(PlacementTest, MoopHonorsExplicitTiers) {
+  Build(2, 3);
+  auto policy = MakeMoopPolicy();
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::Of(1, 1, 1);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  ASSERT_EQ(placed->size(), 3u);
+  std::multiset<TierId> tiers;
+  for (MediumId id : *placed) tiers.insert(TierOf(id));
+  EXPECT_EQ(tiers, (std::multiset<TierId>{kMemoryTier, kSsdTier, kHddTier}));
+  CheckValid(*placed, request);
+}
+
+TEST_F(PlacementTest, MoopSkipsMemoryForUnspecifiedByDefault) {
+  Build(2, 3);
+  auto policy = MakeMoopPolicy();  // use_memory = false
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  for (int i = 0; i < 20; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    for (MediumId id : *placed) {
+      EXPECT_NE(TierOf(id), kMemoryTier) << "volatile tier used for U";
+    }
+  }
+}
+
+TEST_F(PlacementTest, MoopMemoryCapLimitsVolatileReplicas) {
+  Build(2, 3);
+  MoopOptions options;
+  options.use_memory = true;
+  auto policy = MakeMoopPolicy(options);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  for (int i = 0; i < 20; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    int memory = 0;
+    for (MediumId id : *placed) memory += TierOf(id) == kMemoryTier ? 1 : 0;
+    EXPECT_LE(memory, 1);  // floor(3 * 1/3) = 1
+  }
+}
+
+TEST_F(PlacementTest, MoopExplicitMemoryRequestBypassesCap) {
+  Build(2, 3);
+  auto policy = MakeMoopPolicy();  // memory disabled for U...
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::Of(2, 0, 1);  // ...but pinned here
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  int memory = 0;
+  for (MediumId id : *placed) memory += TierOf(id) == kMemoryTier ? 1 : 0;
+  EXPECT_EQ(memory, 2);
+}
+
+TEST_F(PlacementTest, MoopSpreadsAcrossExactlyTwoRacks) {
+  Build(3, 3);
+  auto policy = MakeMoopPolicy();
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  for (int i = 0; i < 20; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    ASSERT_EQ(placed->size(), 3u);
+    std::set<std::string> racks;
+    std::set<WorkerId> nodes;
+    for (MediumId id : *placed) {
+      racks.insert(RackOf(id));
+      nodes.insert(NodeOf(id));
+    }
+    EXPECT_EQ(racks.size(), 2u) << "replicas should span exactly 2 racks";
+    EXPECT_EQ(nodes.size(), 3u) << "replicas should span distinct nodes";
+  }
+}
+
+TEST_F(PlacementTest, MoopPrefersClientLocalFirstReplica) {
+  Build(2, 3);
+  auto policy = MakeMoopPolicy();
+  PlacementRequest request;
+  request.client = NetworkLocation("r1", "n2");
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  const WorkerInfo* local = state_.WorkerAt(request.client);
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(NodeOf((*placed)[0]), local->id);
+}
+
+TEST_F(PlacementTest, MoopSkipsFullMedia) {
+  Build(1, 2);
+  // Fill every SSD completely.
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier == kSsdTier) {
+      ASSERT_TRUE(state_.UpdateMediumStats(id, 0, 0).ok());
+    }
+  }
+  auto policy = MakeMoopPolicy();
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::Of(0, 1, 1);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  // The SSD entry cannot be satisfied; the HDD one can.
+  ASSERT_TRUE(placed.ok());
+  ASSERT_EQ(placed->size(), 1u);
+  EXPECT_EQ(TierOf((*placed)[0]), kHddTier);
+}
+
+TEST_F(PlacementTest, MoopNoSpaceAnywhereFails) {
+  Build(1, 1);
+  for (const auto& [id, m] : state_.media()) {
+    ASSERT_TRUE(state_.UpdateMediumStats(id, 0, 0).ok());
+  }
+  auto policy = MakeMoopPolicy();
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(2);
+  request.block_size = kMiB;
+  EXPECT_TRUE(policy->PlaceReplicas(state_, request, &rng_)
+                  .status()
+                  .IsNoSpace());
+}
+
+TEST_F(PlacementTest, MoopAccountsExistingReplicasForDiversity) {
+  Build(2, 3);
+  auto policy = MakeMoopPolicy();
+  // Block already has replicas on two HDDs of rack r0.
+  std::vector<MediumId> existing;
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier == kHddTier && m.location.rack() == "r0" &&
+        existing.size() < 2 &&
+        (existing.empty() ||
+         state_.FindMedium(existing[0])->worker != m.worker)) {
+      existing.push_back(id);
+    }
+  }
+  ASSERT_EQ(existing.size(), 2u);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(1);
+  request.block_size = kMiB;
+  request.existing = existing;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  ASSERT_EQ(placed->size(), 1u);
+  // The new replica must land on the *other* rack (2-rack spread).
+  EXPECT_EQ(RackOf((*placed)[0]), "r1");
+  CheckValid(*placed, request);
+}
+
+// ---------------------------------------------------------------------------
+// Single-objective policies
+
+TEST_F(PlacementTest, DataBalancingPicksEmptiestMedia) {
+  Build(1, 3);
+  // Make one HDD clearly emptier (others 50% full).
+  MediumId emptiest = kInvalidMedium;
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier != kHddTier) continue;
+    if (emptiest == kInvalidMedium) {
+      emptiest = id;  // leave at 100%
+    } else {
+      ASSERT_TRUE(
+          state_.UpdateMediumStats(id, m.capacity_bytes / 2, 0).ok());
+    }
+  }
+  MoopOptions options;
+  options.rack_pruning = false;
+  options.prefer_client_local = false;
+  auto policy = MakeSingleObjectivePolicy(Objective::kDataBalancing, options);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(1);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ((*placed)[0], emptiest);
+}
+
+TEST_F(PlacementTest, LoadBalancingAvoidsBusyMedia) {
+  Build(1, 3);
+  // Every medium busy except one HDD.
+  MediumId idle = kInvalidMedium;
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier == kHddTier && idle == kInvalidMedium) {
+      idle = id;
+      continue;
+    }
+    ASSERT_TRUE(state_.UpdateMediumStats(id, m.remaining_bytes, 5).ok());
+  }
+  MoopOptions options;
+  options.use_memory = true;
+  options.rack_pruning = false;
+  options.prefer_client_local = false;
+  auto policy = MakeSingleObjectivePolicy(Objective::kLoadBalancing, options);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(1);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ((*placed)[0], idle);
+}
+
+TEST_F(PlacementTest, ThroughputMaxPrefersFastTiers) {
+  Build(1, 3);
+  MoopOptions options;
+  options.use_memory = true;
+  options.rack_pruning = false;
+  options.prefer_client_local = false;
+  auto policy = MakeSingleObjectivePolicy(Objective::kThroughputMax, options);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  // The memory cap admits one volatile replica (floor(3/3)); TM fills the
+  // rest with the next-fastest tier (SSD), never touching HDDs.
+  int memory = 0, ssd = 0;
+  for (MediumId id : *placed) {
+    memory += TierOf(id) == kMemoryTier ? 1 : 0;
+    ssd += TierOf(id) == kSsdTier ? 1 : 0;
+  }
+  EXPECT_EQ(memory, 1);
+  EXPECT_EQ(ssd, 2);
+}
+
+TEST_F(PlacementTest, FaultTolerancePrefersTierAndNodeDiversity) {
+  Build(2, 3);
+  MoopOptions options;
+  options.use_memory = true;
+  auto policy =
+      MakeSingleObjectivePolicy(Objective::kFaultTolerance, options);
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  auto placed = policy->PlaceReplicas(state_, request, &rng_);
+  ASSERT_TRUE(placed.ok());
+  std::set<TierId> tiers;
+  std::set<WorkerId> nodes;
+  for (MediumId id : *placed) {
+    tiers.insert(TierOf(id));
+    nodes.insert(NodeOf(id));
+  }
+  EXPECT_EQ(tiers.size(), 3u);
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Rule-based & HDFS baselines
+
+TEST_F(PlacementTest, RuleBasedRotatesTiers) {
+  Build(2, 3);
+  auto policy = MakeRuleBasedPolicy();
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  std::set<TierId> tiers_seen;
+  for (int i = 0; i < 6; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    CheckValid(*placed, request);
+    for (MediumId id : *placed) tiers_seen.insert(TierOf(id));
+  }
+  // Round-robin across tiers must touch all three.
+  EXPECT_EQ(tiers_seen.size(), 3u);
+}
+
+TEST_F(PlacementTest, HdfsOnlyUsesAllowedTypes) {
+  Build(2, 3);
+  auto policy = MakeHdfsPolicy({MediaType::kHdd});
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  for (int i = 0; i < 10; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    CheckValid(*placed, request);
+    for (MediumId id : *placed) EXPECT_EQ(TierOf(id), kHddTier);
+  }
+}
+
+TEST_F(PlacementTest, HdfsWithSsdUsesBothTypes) {
+  Build(2, 3);
+  auto policy = MakeHdfsPolicy({MediaType::kHdd, MediaType::kSsd});
+  PlacementRequest request;
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  std::set<TierId> seen;
+  for (int i = 0; i < 30; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    for (MediumId id : *placed) {
+      seen.insert(TierOf(id));
+      EXPECT_NE(TierOf(id), kMemoryTier);
+    }
+  }
+  EXPECT_TRUE(seen.count(kSsdTier) > 0);
+  EXPECT_TRUE(seen.count(kHddTier) > 0);
+}
+
+TEST_F(PlacementTest, HdfsClassicRackPattern) {
+  Build(2, 4);
+  auto policy = MakeHdfsPolicy({MediaType::kHdd});
+  PlacementRequest request;
+  request.client = NetworkLocation("r0", "n1");
+  request.rep_vector = ReplicationVector::OfTotal(3);
+  request.block_size = kMiB;
+  for (int i = 0; i < 10; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok());
+    ASSERT_EQ(placed->size(), 3u);
+    // First replica on the writer's node.
+    EXPECT_EQ(NodeOf((*placed)[0]), state_.WorkerAt(request.client)->id);
+    // Second on the other rack; third on the second replica's rack.
+    EXPECT_NE(RackOf((*placed)[1]), "r0");
+    EXPECT_EQ(RackOf((*placed)[2]), RackOf((*placed)[1]));
+    EXPECT_NE(NodeOf((*placed)[2]), NodeOf((*placed)[1]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Over-replication selection (paper §5)
+
+TEST_F(PlacementTest, SelectReplicaToRemovePicksFromRequestedTier) {
+  Build(2, 3);
+  std::vector<MediumId> replicas;
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier == kHddTier && replicas.size() < 3) replicas.push_back(id);
+    if (m.tier == kSsdTier && replicas.size() == 3) {
+      replicas.push_back(id);
+      break;
+    }
+  }
+  auto victim = SelectReplicaToRemove(state_, replicas, kHddTier, kMiB);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(TierOf(*victim), kHddTier);
+  auto missing = SelectReplicaToRemove(state_, replicas, kMemoryTier, kMiB);
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(PlacementTest, SelectReplicaToRemoveKeepsDiversity) {
+  Build(2, 3);
+  // Replicas: two HDDs on the SAME node plus one HDD on another node.
+  std::vector<MediumId> same_node;
+  MediumId other_node = kInvalidMedium;
+  for (const auto& [id, m] : state_.media()) {
+    if (m.tier != kHddTier) continue;
+    if (m.worker == 0 && same_node.size() < 2) {
+      same_node.push_back(id);
+    } else if (m.worker == 3 && other_node == kInvalidMedium) {
+      other_node = id;
+    }
+  }
+  std::vector<MediumId> replicas = same_node;
+  replicas.push_back(other_node);
+  auto victim = SelectReplicaToRemove(state_, replicas, kHddTier, kMiB);
+  ASSERT_TRUE(victim.ok());
+  // Removing one of the colocated pair preserves node diversity; removing
+  // the lone replica would not.
+  EXPECT_NE(*victim, other_node);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every policy produces valid placements for all r.
+
+struct SweepParam {
+  int policy;  // 0=moop, 1=db, 2=lb, 3=ft, 4=tm, 5=rule, 6=hdfs
+  int replicas;
+};
+
+class PlacementSweep
+    : public PlacementTest,
+      public ::testing::WithParamInterface<std::tuple<int, int>> {};
+
+TEST_P(PlacementSweep, AlwaysValid) {
+  Build(3, 3);
+  auto [which, r] = GetParam();
+  std::unique_ptr<PlacementPolicy> policy;
+  MoopOptions options;
+  options.use_memory = true;
+  switch (which) {
+    case 0: policy = MakeMoopPolicy(options); break;
+    case 1:
+      policy = MakeSingleObjectivePolicy(Objective::kDataBalancing, options);
+      break;
+    case 2:
+      policy = MakeSingleObjectivePolicy(Objective::kLoadBalancing, options);
+      break;
+    case 3:
+      policy = MakeSingleObjectivePolicy(Objective::kFaultTolerance, options);
+      break;
+    case 4:
+      policy = MakeSingleObjectivePolicy(Objective::kThroughputMax, options);
+      break;
+    case 5: policy = MakeRuleBasedPolicy(); break;
+    default: policy = MakeHdfsPolicy({MediaType::kHdd}); break;
+  }
+  PlacementRequest request;
+  request.client = NetworkLocation("r0", "n0");
+  request.rep_vector = ReplicationVector::OfTotal(static_cast<uint8_t>(r));
+  request.block_size = kMiB;
+  for (int i = 0; i < 10; ++i) {
+    auto placed = policy->PlaceReplicas(state_, request, &rng_);
+    ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+    EXPECT_EQ(placed->size(), static_cast<size_t>(r));
+    CheckValid(*placed, request);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndReplicaCounts, PlacementSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1, 2, 3, 5)));
+
+}  // namespace
+}  // namespace octo

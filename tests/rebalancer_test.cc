@@ -1,0 +1,181 @@
+// Tests for the tier-aware rebalancer and the replica-move protocol.
+
+#include <gtest/gtest.h>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "cluster/rebalancer.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+// One rack, 4 workers, single HDD each — imbalance is easy to create by
+// writing with replication 1 through a single client (client-local first
+// replica piles everything on one node).
+ClusterSpec SkewSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 1;
+  spec.workers_per_rack = 4;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 64 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {hdd};
+  return spec;
+}
+
+class RebalancerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(SkewSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+    // 24 MiB of single-replica files, all forced onto node0's disk.
+    CreateOptions options;
+    options.rep_vector = ReplicationVector::OfTotal(1);
+    options.block_size = 4 * kMiB;
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(fs_->WriteFile("/skew/f" + std::to_string(i),
+                                 std::string(4 * kMiB, 'x'), options)
+                      .ok());
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(RebalancerTest, DetectsAndFixesImbalance) {
+  const ClusterState& state = cluster_->master()->cluster_state();
+  double before = Rebalancer::TierImbalance(state, kHddTier);
+  EXPECT_GT(before, 0.10);  // node0's disk is much fuller than the rest
+
+  Rebalancer rebalancer(cluster_->master());
+  auto report = rebalancer.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->moves_scheduled, 0);
+  EXPECT_EQ(report->overfull_media, 1);
+
+  // Execute the scheduled copies + invalidations; iterate passes until
+  // the tier is balanced. Two pumps per pass: the first executes the
+  // queued commands, the second delivers heartbeats reflecting them (a
+  // worker heartbeats before executing the commands of the same round).
+  for (int pass = 0; pass < 10; ++pass) {
+    ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+    ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+    auto next = rebalancer.Run();
+    ASSERT_TRUE(next.ok());
+    if (next->moves_scheduled == 0) break;
+  }
+
+  double after = Rebalancer::TierImbalance(state, kHddTier);
+  EXPECT_LT(after, before);
+  EXPECT_LT(after, 0.12);
+
+  // All data remains intact and every block still has one replica.
+  for (int i = 0; i < 6; ++i) {
+    auto data = fs_->ReadFile("/skew/f" + std::to_string(i));
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    EXPECT_EQ(data->size(), 4u * kMiB);
+  }
+  cluster_->master()->block_manager().ForEach([](const BlockRecord& rec) {
+    EXPECT_EQ(rec.locations.size(), 1u);
+  });
+}
+
+TEST_F(RebalancerTest, BalancedClusterIsLeftAlone) {
+  // Balance first.
+  Rebalancer rebalancer(cluster_->master());
+  for (int pass = 0; pass < 10; ++pass) {
+    auto report = rebalancer.Run();
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+    ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+    if (report->moves_scheduled == 0) break;
+  }
+  auto idle = rebalancer.Run();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->moves_scheduled, 0);
+  EXPECT_EQ(idle->overfull_media, 0);
+}
+
+TEST_F(RebalancerTest, MovesStayWithinTheTier) {
+  // Add an (empty) SSD tier; rebalancing HDD data must not migrate there.
+  ClusterSpec spec = SkewSpec();
+  MediumSpec ssd{kSsdTier, MediaType::kSsd, 64 * kMiB, FromMBps(340),
+                 FromMBps(420)};
+  spec.media_per_worker.push_back(ssd);
+  auto cluster = Cluster::Create(spec);
+  ASSERT_TRUE(cluster.ok());
+  FileSystem fs(cluster->get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.rep_vector = ReplicationVector::Of(0, 0, 1);
+  options.block_size = 4 * kMiB;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(fs.WriteFile("/skew/f" + std::to_string(i),
+                             std::string(4 * kMiB, 'x'), options)
+                    .ok());
+  }
+  Rebalancer rebalancer((*cluster)->master());
+  for (int pass = 0; pass < 10; ++pass) {
+    auto report = rebalancer.Run();
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE((*cluster)->PumpHeartbeats().ok());
+    ASSERT_TRUE((*cluster)->PumpHeartbeats().ok());
+    if (report->moves_scheduled == 0) break;
+  }
+  (*cluster)->master()->block_manager().ForEach(
+      [&](const BlockRecord& rec) {
+        for (MediumId m : rec.locations) {
+          EXPECT_EQ((*cluster)->master()->cluster_state().FindMedium(m)->tier,
+                    kHddTier);
+        }
+      });
+}
+
+TEST_F(RebalancerTest, ScheduleReplicaMoveValidation) {
+  Master* master = cluster_->master();
+  EXPECT_TRUE(master->ScheduleReplicaMove(9999, 0).IsNotFound());
+  BlockId block = kInvalidBlock;
+  MediumId medium = kInvalidMedium;
+  master->block_manager().ForEach([&](const BlockRecord& rec) {
+    if (block == kInvalidBlock) {
+      block = rec.id;
+      medium = rec.locations[0];
+    }
+  });
+  // Wrong source medium.
+  EXPECT_TRUE(master->ScheduleReplicaMove(block, medium + 1).IsNotFound());
+  // Valid move; a second concurrent move of the same block is refused.
+  ASSERT_TRUE(master->ScheduleReplicaMove(block, medium).ok());
+  EXPECT_TRUE(
+      master->ScheduleReplicaMove(block, medium).IsAlreadyExists());
+}
+
+TEST_F(RebalancerTest, MoveOnlyInvalidatesSourceAfterCopyConfirms) {
+  Master* master = cluster_->master();
+  BlockId block = kInvalidBlock;
+  MediumId source = kInvalidMedium;
+  master->block_manager().ForEach([&](const BlockRecord& rec) {
+    if (block == kInvalidBlock) {
+      block = rec.id;
+      source = rec.locations[0];
+    }
+  });
+  ASSERT_TRUE(master->ScheduleReplicaMove(block, source).ok());
+  // Until the copy confirms, the source replica is still registered (no
+  // window with zero replicas).
+  const BlockRecord* record = master->block_manager().Find(block);
+  ASSERT_EQ(record->locations.size(), 1u);
+  EXPECT_EQ(record->locations[0], source);
+  // Execute the copy; afterwards the replica lives elsewhere.
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  record = master->block_manager().Find(block);
+  ASSERT_EQ(record->locations.size(), 1u);
+  EXPECT_NE(record->locations[0], source);
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,188 @@
+// Tests for remote storage: the external store stand-in, the stand-alone
+// mount (read-through caching, warm, evict, unified listing), and the
+// integrated remote tier.
+
+#include <gtest/gtest.h>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "remote/external_store.h"
+#include "remote/remote_tier.h"
+#include "remote/standalone_mount.h"
+
+namespace octo {
+namespace {
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 2;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  MediumSpec ssd{kSsdTier, MediaType::kSsd, 128 * kMiB, FromMBps(340),
+                 FromMBps(420)};
+  spec.media_per_worker = {ssd, hdd};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ExternalStore
+
+TEST(ExternalStoreTest, ObjectCrud) {
+  ExternalStore store;
+  ASSERT_TRUE(store.PutObject("/a/x", "data").ok());
+  EXPECT_TRUE(store.Exists("/a/x"));
+  EXPECT_EQ(*store.GetObject("/a/x"), "data");
+  EXPECT_EQ(*store.Size("/a/x"), 4);
+  EXPECT_TRUE(store.GetObject("/a/y").status().IsNotFound());
+  ASSERT_TRUE(store.DeleteObject("/a/x").ok());
+  EXPECT_TRUE(store.DeleteObject("/a/x").IsNotFound());
+}
+
+TEST(ExternalStoreTest, ListByPrefixAndTotals) {
+  ExternalStore store;
+  ASSERT_TRUE(store.PutObject("/a/1", "xx").ok());
+  ASSERT_TRUE(store.PutObject("/a/2", "yyy").ok());
+  ASSERT_TRUE(store.PutObject("/b/3", "z").ok());
+  EXPECT_EQ(store.List("/a"), (std::vector<std::string>{"/a/1", "/a/2"}));
+  EXPECT_EQ(store.List(""), (std::vector<std::string>{"/a/1", "/a/2",
+                                                      "/b/3"}));
+  EXPECT_EQ(store.NumObjects(), 3);
+  EXPECT_EQ(store.TotalBytes(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// StandaloneMount
+
+class StandaloneMountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(SmallSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+    ASSERT_TRUE(store_.PutObject("/logs/day1", std::string(1000, 'a')).ok());
+    ASSERT_TRUE(store_.PutObject("/logs/day2", std::string(2000, 'b')).ok());
+    CreateOptions cache;
+    cache.rep_vector = ReplicationVector::Of(0, 1, 1);
+    cache.block_size = kMiB;
+    mount_ = std::make_unique<StandaloneMount>(fs_.get(), &store_, "/remote",
+                                               cache);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+  ExternalStore store_;
+  std::unique_ptr<StandaloneMount> mount_;
+};
+
+TEST_F(StandaloneMountTest, ReadThroughCaches) {
+  EXPECT_FALSE(mount_->IsCached("/logs/day1"));
+  auto first = mount_->Read("/logs/day1");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 1000u);
+  EXPECT_TRUE(mount_->IsCached("/logs/day1"));
+  EXPECT_EQ(mount_->cache_misses(), 1);
+  auto second = mount_->Read("/logs/day1");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(mount_->cache_hits(), 1);
+  // The cached copy lives inside the OctopusFS namespace.
+  EXPECT_TRUE(fs_->Exists("/remote/logs/day1"));
+}
+
+TEST_F(StandaloneMountTest, MissingObjectIsNotFound) {
+  EXPECT_TRUE(mount_->Read("/logs/none").status().IsNotFound());
+}
+
+TEST_F(StandaloneMountTest, WarmUsesRequestedVector) {
+  ASSERT_TRUE(
+      mount_->Warm("/logs/day2", ReplicationVector::Of(0, 2, 0)).ok());
+  EXPECT_TRUE(mount_->IsCached("/logs/day2"));
+  auto located = fs_->GetFileBlockLocations("/remote/logs/day2", 0, 2000);
+  ASSERT_TRUE(located.ok());
+  for (const PlacedReplica& replica : (*located)[0].locations) {
+    EXPECT_EQ(replica.tier, kSsdTier);
+  }
+  // Warming again is a no-op.
+  ASSERT_TRUE(
+      mount_->Warm("/logs/day2", ReplicationVector::Of(0, 2, 0)).ok());
+}
+
+TEST_F(StandaloneMountTest, EvictDropsOnlyTheCachedCopy) {
+  ASSERT_TRUE(mount_->Read("/logs/day1").ok());
+  ASSERT_TRUE(mount_->Evict("/logs/day1").ok());
+  EXPECT_FALSE(mount_->IsCached("/logs/day1"));
+  EXPECT_TRUE(store_.Exists("/logs/day1"));
+  // Re-read repopulates.
+  ASSERT_TRUE(mount_->Read("/logs/day1").ok());
+  EXPECT_TRUE(mount_->IsCached("/logs/day1"));
+}
+
+TEST_F(StandaloneMountTest, UnifiedListingMergesBothSides) {
+  ASSERT_TRUE(mount_->Read("/logs/day1").ok());
+  auto listing = mount_->List("/logs");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(*listing,
+            (std::vector<std::string>{"/logs/day1", "/logs/day2"}));
+}
+
+// ---------------------------------------------------------------------------
+// Integrated remote tier
+
+TEST(RemoteTierTest, AttachesSharedMediaOnAllWorkers) {
+  auto cluster = Cluster::Create(SmallSpec());
+  ASSERT_TRUE(cluster.ok());
+  RemoteTierOptions options;
+  options.capacity_bytes = 4 * kGiB;
+  options.write_bps = FromMBps(200);
+  options.read_bps = FromMBps(250);
+  ASSERT_TRUE(AttachRemoteTier(cluster->get(), options).ok());
+
+  const ClusterState& state = (*cluster)->master()->cluster_state();
+  EXPECT_EQ(state.NumActiveTiers(), 3);  // ssd, hdd, remote
+  int remote_media = 0;
+  for (const auto& [id, m] : state.media()) {
+    if (m.tier == kRemoteTier) {
+      ++remote_media;
+      EXPECT_EQ(m.capacity_bytes, kGiB);  // 4 GiB / 4 workers
+    }
+  }
+  EXPECT_EQ(remote_media, 4);
+}
+
+TEST(RemoteTierTest, FilesCanPinReplicasOnRemote) {
+  auto cluster = Cluster::Create(SmallSpec());
+  ASSERT_TRUE(cluster.ok());
+  RemoteTierOptions options;
+  options.capacity_bytes = 4 * kGiB;
+  options.write_bps = FromMBps(200);
+  options.read_bps = FromMBps(250);
+  ASSERT_TRUE(AttachRemoteTier(cluster->get(), options).ok());
+
+  FileSystem fs(cluster->get(), NetworkLocation("rack0", "node0"));
+  CreateOptions create;
+  create.rep_vector = ReplicationVector::Of(0, 0, 1, /*remote=*/1);
+  create.block_size = kMiB;
+  std::string data(256 * 1024, 'r');
+  ASSERT_TRUE(fs.WriteFile("/with-remote", data, create).ok());
+  auto located = fs.GetFileBlockLocations("/with-remote", 0, data.size());
+  ASSERT_TRUE(located.ok());
+  std::multiset<TierId> tiers;
+  for (const PlacedReplica& r : (*located)[0].locations) {
+    tiers.insert(r.tier);
+  }
+  EXPECT_EQ(tiers, (std::multiset<TierId>{kHddTier, kRemoteTier}));
+  EXPECT_EQ(*fs.ReadFile("/with-remote"), data);
+}
+
+TEST(RemoteTierTest, RejectsBadOptions) {
+  auto cluster = Cluster::Create(SmallSpec());
+  ASSERT_TRUE(cluster.ok());
+  RemoteTierOptions bad;
+  EXPECT_TRUE(AttachRemoteTier(cluster->get(), bad).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace octo

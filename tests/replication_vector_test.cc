@@ -1,0 +1,120 @@
+// Unit and property tests for ReplicationVector, the 64-bit encoded
+// per-tier replica count vector (paper §2.3).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/replication_vector.h"
+
+namespace octo {
+namespace {
+
+TEST(ReplicationVectorTest, DefaultIsEmpty) {
+  ReplicationVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.total(), 0);
+  EXPECT_EQ(v.Encode(), 0u);
+}
+
+TEST(ReplicationVectorTest, OfTotalIsBackwardsCompatibleForm) {
+  // The old API's "short replication = 3" becomes U = 3.
+  ReplicationVector v = ReplicationVector::OfTotal(3);
+  EXPECT_EQ(v.total(), 3);
+  EXPECT_EQ(v.unspecified(), 3);
+  EXPECT_EQ(v.specified_total(), 0);
+}
+
+TEST(ReplicationVectorTest, OfSetsTierSlots) {
+  ReplicationVector v = ReplicationVector::Of(1, 0, 2, 0, 1);
+  EXPECT_EQ(v.Get(kMemoryTier), 1);
+  EXPECT_EQ(v.Get(kSsdTier), 0);
+  EXPECT_EQ(v.Get(kHddTier), 2);
+  EXPECT_EQ(v.Get(kRemoteTier), 0);
+  EXPECT_EQ(v.unspecified(), 1);
+  EXPECT_EQ(v.total(), 4);
+  EXPECT_EQ(v.specified_total(), 3);
+}
+
+TEST(ReplicationVectorTest, PaperExamplesFromSection23) {
+  // V = <1,0,2,0,0>: one memory replica, two HDD replicas.
+  ReplicationVector v = ReplicationVector::Of(1, 0, 2);
+  EXPECT_EQ(v.total(), 3);
+  // Move: <1,0,2> -> <1,1,1>. Copy: -> <1,1,2>. Within-tier: -> <1,0,3>.
+  EXPECT_EQ(ReplicationVector::Of(1, 1, 1).total(), 3);
+  EXPECT_EQ(ReplicationVector::Of(1, 1, 2).total(), 4);
+  EXPECT_EQ(ReplicationVector::Of(1, 0, 3).total(), 4);
+  // Delete from a tier: -> <0,0,2>.
+  EXPECT_EQ(ReplicationVector::Of(0, 0, 2).total(), 2);
+}
+
+TEST(ReplicationVectorTest, EncodeIs64Bits) {
+  // The paper stresses the vector fits in 64 bits.
+  static_assert(sizeof(ReplicationVector().Encode()) == 8);
+  ReplicationVector v = ReplicationVector::Of(255, 255, 255, 255, 255);
+  EXPECT_EQ(v.Get(kMemoryTier), 255);
+  EXPECT_EQ(ReplicationVector::FromEncoded(v.Encode()), v);
+}
+
+TEST(ReplicationVectorTest, ToStringShowsSlotsAndU) {
+  EXPECT_EQ(ReplicationVector::Of(1, 0, 2).ToString(),
+            "<1,0,2,0,0,0,0|U=0>");
+  EXPECT_EQ(ReplicationVector::OfTotal(5).ToString(),
+            "<0,0,0,0,0,0,0|U=5>");
+}
+
+TEST(ReplicationVectorTest, ParseShorthandFourTier) {
+  auto v = ReplicationVector::ParseShorthand("1,0,2,0,1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get(kMemoryTier), 1);
+  EXPECT_EQ(v->Get(kHddTier), 2);
+  EXPECT_EQ(v->unspecified(), 1);
+}
+
+TEST(ReplicationVectorTest, ParseShorthandShortForms) {
+  auto v = ReplicationVector::ParseShorthand("0,3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get(kSsdTier), 3);
+  EXPECT_EQ(v->unspecified(), 0);
+}
+
+TEST(ReplicationVectorTest, ParseShorthandRejectsBadInput) {
+  EXPECT_FALSE(ReplicationVector::ParseShorthand("1,x,2").ok());
+  EXPECT_FALSE(ReplicationVector::ParseShorthand("1,-1").ok());
+  EXPECT_FALSE(ReplicationVector::ParseShorthand("300").ok());
+  EXPECT_FALSE(
+      ReplicationVector::ParseShorthand("1,2,3,4,5,6,7,8,9").ok());
+}
+
+TEST(ReplicationVectorTest, SetAndGetAllSlots) {
+  ReplicationVector v;
+  for (TierId t = 0; t < 8; ++t) v.Set(t, static_cast<uint8_t>(t + 1));
+  for (TierId t = 0; t < 8; ++t) EXPECT_EQ(v.Get(t), t + 1);
+  EXPECT_EQ(v.total(), 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+}
+
+// Property: encode/decode round-trips for random vectors.
+class ReplicationVectorRoundTrip : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ReplicationVectorRoundTrip, EncodeDecodeIdentity) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    ReplicationVector v;
+    for (TierId t = 0; t < 8; ++t) {
+      v.Set(t, static_cast<uint8_t>(rng.Uniform(256)));
+    }
+    ReplicationVector decoded = ReplicationVector::FromEncoded(v.Encode());
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(decoded.Encode(), v.Encode());
+    // Totals agree with a direct sum.
+    int sum = 0;
+    for (TierId t = 0; t < 8; ++t) sum += v.Get(t);
+    EXPECT_EQ(v.total(), sum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationVectorRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1234567u));
+
+}  // namespace
+}  // namespace octo

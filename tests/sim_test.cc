@@ -1,0 +1,223 @@
+// Unit tests of the flow-level discrete-event simulator: timing, max-min
+// fair sharing, rate caps, event ordering, and the medium profiler.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+#include "storage/throughput_profiler.h"
+
+namespace octo {
+namespace {
+
+using sim::FlowId;
+using sim::ResourceId;
+using sim::Simulation;
+
+TEST(SimulationTest, SingleFlowTakesBytesOverCapacity) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);  // 100 B/s
+  double done_at = -1;
+  sim.StartFlow(500.0, {r}, [&] { done_at = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(SimulationTest, TwoFlowsShareOneResourceEqually) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  double t1 = -1, t2 = -1;
+  sim.StartFlow(100.0, {r}, [&] { t1 = sim.now(); });
+  sim.StartFlow(100.0, {r}, [&] { t2 = sim.now(); });
+  sim.RunUntilIdle();
+  // Both at 50 B/s -> both finish at t=2.
+  EXPECT_DOUBLE_EQ(t1, 2.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+}
+
+TEST(SimulationTest, RatesReallocateWhenAFlowFinishes) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  double t_small = -1, t_big = -1;
+  sim.StartFlow(50.0, {r}, [&] { t_small = sim.now(); });
+  sim.StartFlow(150.0, {r}, [&] { t_big = sim.now(); });
+  sim.RunUntilIdle();
+  // Phase 1: both at 50 B/s; small done at t=1 (big has 100 left).
+  // Phase 2: big at 100 B/s; done at t=2.
+  EXPECT_DOUBLE_EQ(t_small, 1.0);
+  EXPECT_DOUBLE_EQ(t_big, 2.0);
+}
+
+TEST(SimulationTest, FlowBoundByTightestResource) {
+  Simulation sim;
+  ResourceId fast = sim.AddResource("net", 1000.0);
+  ResourceId slow = sim.AddResource("disk", 10.0);
+  double done_at = -1;
+  sim.StartFlow(100.0, {fast, slow}, [&] { done_at = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST(SimulationTest, MaxMinUnusedShareGoesToOtherFlows) {
+  // Flow A crosses r1 only; flow B crosses r1 and r2 (r2 tight at 10).
+  // B is limited to 10, so A gets the remaining 90 of r1.
+  Simulation sim;
+  ResourceId r1 = sim.AddResource("r1", 100.0);
+  ResourceId r2 = sim.AddResource("r2", 10.0);
+  sim.StartFlow(1e9, {r1});
+  FlowId b = sim.StartFlow(1e9, {r1, r2});
+  // Inspect instantaneous rates via FlowRate.
+  EXPECT_DOUBLE_EQ(sim.FlowRate(b), 10.0);
+  // The other flow should be at ~90.
+  double total = 0;
+  for (sim::FlowId id = 0; id < 2; ++id) total += sim.FlowRate(id);
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+
+TEST(SimulationTest, RateCapLimitsFlow) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 1000.0);
+  double done_at = -1;
+  sim.StartFlow(100.0, {r}, [&] { done_at = sim.now(); },
+                /*rate_cap_bps=*/20.0);
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 5.0);
+}
+
+TEST(SimulationTest, CapReleasesShareToUncappedFlow) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  FlowId capped = sim.StartFlow(1e9, {r}, nullptr, 10.0);
+  FlowId open = sim.StartFlow(1e9, {r});
+  EXPECT_DOUBLE_EQ(sim.FlowRate(capped), 10.0);
+  EXPECT_DOUBLE_EQ(sim.FlowRate(open), 90.0);
+}
+
+TEST(SimulationTest, CapWithoutResourcesStillTakesTime) {
+  Simulation sim;
+  double done_at = -1;
+  sim.StartFlow(100.0, {}, [&] { done_at = sim.now(); }, 25.0);
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 4.0);
+}
+
+TEST(SimulationTest, ZeroByteFlowCompletesImmediately) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  bool done = false;
+  sim.StartFlow(0.0, {r}, [&] { done = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulationTest, CancelFlowNeverFiresCallback) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  bool fired = false;
+  FlowId id = sim.StartFlow(100.0, {r}, [&] { fired = true; });
+  sim.CancelFlow(id);
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.FlowRate(id), 0.0);
+}
+
+TEST(SimulationTest, ScheduledEventsRunInTimeThenFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(1.0, [&] { order.push_back(2); });  // same time, later seq
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreWork) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  double final_time = -1;
+  sim.Schedule(1.0, [&] {
+    sim.StartFlow(100.0, {r}, [&] { final_time = sim.now(); });
+  });
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(final_time, 2.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  bool done = false;
+  sim.StartFlow(1000.0, {r}, [&] { done = true; });
+  sim.RunUntil(5.0);
+  EXPECT_FALSE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulationTest, ResourceAccountingTracksBytes) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  sim.StartFlow(300.0, {r});
+  EXPECT_EQ(sim.ActiveFlows(r), 1);
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.ActiveFlows(r), 0);
+  EXPECT_DOUBLE_EQ(sim.ResourceBytesTransferred(r), 300.0);
+  EXPECT_DOUBLE_EQ(sim.ResourceCapacity(r), 100.0);
+  EXPECT_EQ(sim.ResourceName(r), "disk");
+}
+
+TEST(SimulationTest, ClockAdapterTracksVirtualTime) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  sim.StartFlow(250.0, {r});
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.clock()->NowMicros(), 2500000);
+}
+
+TEST(SimulationTest, DuplicateResourcesInFlowCollapse) {
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  double done_at = -1;
+  sim.StartFlow(100.0, {r, r, r}, [&] { done_at = sim.now(); });
+  EXPECT_EQ(sim.ActiveFlows(r), 1);
+  sim.RunUntilIdle();
+  EXPECT_DOUBLE_EQ(done_at, 1.0);
+}
+
+TEST(ProfilerTest, RecoversDeviceRatesOnIdleSimulator) {
+  Simulation sim;
+  ResourceId w = sim.AddResource("disk:w", 126.3e6);
+  ResourceId r = sim.AddResource("disk:r", 177.1e6);
+  ProfiledRates rates = ProfileMedium(&sim, w, r, 64e6);
+  EXPECT_NEAR(rates.write_bps, 126.3e6, 1.0);
+  EXPECT_NEAR(rates.read_bps, 177.1e6, 1.0);
+}
+
+// Parameterized fairness property: N identical flows on one resource all
+// finish together at N * bytes / capacity.
+class FairnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessTest, EqualFlowsFinishTogether) {
+  const int n = GetParam();
+  Simulation sim;
+  ResourceId r = sim.AddResource("disk", 100.0);
+  std::vector<double> finish(n, -1);
+  for (int i = 0; i < n; ++i) {
+    sim.StartFlow(100.0, {r}, [&finish, i, &sim] { finish[i] = sim.now(); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(finish[i], n * 1.0, 1e-9) << "flow " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, FairnessTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32));
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,163 @@
+// Unit tests for the storage substrate: CRC-32C, block stores (memory and
+// disk), media types.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/block_store.h"
+#include "storage/checksum.h"
+#include "storage/media_type.h"
+
+namespace octo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+
+TEST(ChecksumTest, KnownVectors) {
+  // Standard CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+}
+
+TEST(ChecksumTest, SensitiveToSingleBitFlips) {
+  std::string data(1024, 'x');
+  uint32_t base = Crc32c(data);
+  data[512] ^= 1;
+  EXPECT_NE(Crc32c(data), base);
+}
+
+// ---------------------------------------------------------------------------
+// Block stores (shared behaviours, parameterized over implementations)
+
+enum class StoreKind { kMemory, kDisk };
+
+class BlockStoreTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == StoreKind::kMemory) {
+      store_ = std::make_unique<MemoryBlockStore>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("octo_store_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(dir_);
+      auto opened = DiskBlockStore::Open(dir_.string());
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store_ = std::move(opened).value();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<BlockStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(BlockStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_->Put(1, "hello world").ok());
+  auto data = store_->Get(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello world");
+}
+
+TEST_P(BlockStoreTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(store_->Get(99).status().IsNotFound());
+}
+
+TEST_P(BlockStoreTest, PutReplacesAndAdjustsUsage) {
+  ASSERT_TRUE(store_->Put(1, std::string(100, 'a')).ok());
+  EXPECT_EQ(store_->UsedBytes(), 100);
+  ASSERT_TRUE(store_->Put(1, std::string(40, 'b')).ok());
+  EXPECT_EQ(store_->UsedBytes(), 40);
+  EXPECT_EQ(store_->Get(1)->size(), 40u);
+}
+
+TEST_P(BlockStoreTest, DeleteRemovesAndFreesSpace) {
+  ASSERT_TRUE(store_->Put(1, std::string(100, 'a')).ok());
+  ASSERT_TRUE(store_->Put(2, std::string(50, 'b')).ok());
+  ASSERT_TRUE(store_->Delete(1).ok());
+  EXPECT_EQ(store_->UsedBytes(), 50);
+  EXPECT_FALSE(store_->Contains(1));
+  EXPECT_TRUE(store_->Delete(1).IsNotFound());
+}
+
+TEST_P(BlockStoreTest, ListReturnsSortedIds) {
+  ASSERT_TRUE(store_->Put(5, "e").ok());
+  ASSERT_TRUE(store_->Put(1, "a").ok());
+  ASSERT_TRUE(store_->Put(3, "c").ok());
+  EXPECT_EQ(store_->List(), (std::vector<BlockId>{1, 3, 5}));
+}
+
+TEST_P(BlockStoreTest, CorruptionDetectedOnRead) {
+  ASSERT_TRUE(store_->Put(7, std::string(256, 'z')).ok());
+  ASSERT_TRUE(store_->CorruptForTesting(7).ok());
+  EXPECT_TRUE(store_->Get(7).status().IsCorruption());
+}
+
+TEST_P(BlockStoreTest, EmptyBlockSupported) {
+  ASSERT_TRUE(store_->Put(1, "").ok());
+  auto data = store_->Get(1);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->empty());
+  EXPECT_EQ(store_->UsedBytes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, BlockStoreTest,
+                         ::testing::Values(StoreKind::kMemory,
+                                           StoreKind::kDisk),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kMemory ? "Memory"
+                                                                   : "Disk";
+                         });
+
+// ---------------------------------------------------------------------------
+// Disk-specific behaviour
+
+TEST(DiskBlockStoreTest, SurvivesReopen) {
+  auto dir = std::filesystem::temp_directory_path() / "octo_store_reopen";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = DiskBlockStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(42, "persistent data").ok());
+  }
+  {
+    auto store = DiskBlockStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->Contains(42));
+    EXPECT_EQ((*store)->UsedBytes(), 15);
+    auto data = (*store)->Get(42);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, "persistent data");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Media types
+
+TEST(MediaTypeTest, NamesRoundTrip) {
+  for (MediaType t : {MediaType::kMemory, MediaType::kSsd, MediaType::kHdd,
+                      MediaType::kRemote}) {
+    auto parsed = ParseMediaType(MediaTypeName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ParseMediaType("FLOPPY").ok());
+}
+
+TEST(MediaTypeTest, OnlyMemoryIsVolatile) {
+  EXPECT_TRUE(IsVolatile(MediaType::kMemory));
+  EXPECT_FALSE(IsVolatile(MediaType::kSsd));
+  EXPECT_FALSE(IsVolatile(MediaType::kHdd));
+  EXPECT_FALSE(IsVolatile(MediaType::kRemote));
+}
+
+}  // namespace
+}  // namespace octo

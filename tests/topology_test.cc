@@ -1,0 +1,99 @@
+// Unit tests for network locations and the cluster topology registry.
+
+#include <gtest/gtest.h>
+
+#include "topology/network_location.h"
+#include "topology/topology.h"
+
+namespace octo {
+namespace {
+
+TEST(NetworkLocationTest, ParseFullLocation) {
+  auto loc = NetworkLocation::Parse("/rack1/node3");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->rack(), "rack1");
+  EXPECT_EQ(loc->node(), "node3");
+  EXPECT_EQ(loc->ToString(), "/rack1/node3");
+  EXPECT_FALSE(loc->off_cluster());
+}
+
+TEST(NetworkLocationTest, ParseRackOnly) {
+  auto loc = NetworkLocation::Parse("/rack1");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_TRUE(loc->is_rack_only());
+  EXPECT_EQ(loc->ToString(), "/rack1");
+}
+
+TEST(NetworkLocationTest, EmptyIsOffCluster) {
+  auto loc = NetworkLocation::Parse("");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_TRUE(loc->off_cluster());
+  EXPECT_EQ(loc->ToString(), "");
+}
+
+TEST(NetworkLocationTest, ParseRejectsBadForms) {
+  EXPECT_FALSE(NetworkLocation::Parse("rack/node").ok());
+  EXPECT_FALSE(NetworkLocation::Parse("/a/b/c").ok());
+}
+
+TEST(NetworkLocationTest, DistanceFollowsHdfsConvention) {
+  NetworkLocation a("r1", "n1"), a2("r1", "n1");
+  NetworkLocation same_rack("r1", "n2");
+  NetworkLocation other_rack("r2", "n1");
+  NetworkLocation off;
+  EXPECT_EQ(NetworkLocation::Distance(a, a2), 0);
+  EXPECT_EQ(NetworkLocation::Distance(a, same_rack), 2);
+  EXPECT_EQ(NetworkLocation::Distance(a, other_rack), 4);
+  EXPECT_EQ(NetworkLocation::Distance(a, off), 6);
+  EXPECT_EQ(NetworkLocation::Distance(off, off), 6);
+}
+
+TEST(NetworkLocationTest, SameNodeAndRack) {
+  NetworkLocation a("r1", "n1");
+  EXPECT_TRUE(a.SameNode(NetworkLocation("r1", "n1")));
+  EXPECT_FALSE(a.SameNode(NetworkLocation("r1", "n2")));
+  EXPECT_TRUE(a.SameRack(NetworkLocation("r1", "n2")));
+  EXPECT_FALSE(a.SameRack(NetworkLocation("r2", "n1")));
+  // Off-cluster locations share nothing.
+  NetworkLocation off;
+  EXPECT_FALSE(off.SameNode(off));
+  EXPECT_FALSE(off.SameRack(NetworkLocation("", "")));
+}
+
+TEST(TopologyTest, AddAndQueryNodes) {
+  NetworkTopology topo;
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r1", "n1")).ok());
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r1", "n2")).ok());
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r2", "n1")).ok());
+  EXPECT_EQ(topo.num_nodes(), 3);
+  EXPECT_EQ(topo.num_racks(), 2);
+  EXPECT_TRUE(topo.ContainsNode(NetworkLocation("r1", "n2")));
+  EXPECT_FALSE(topo.ContainsNode(NetworkLocation("r3", "n1")));
+  EXPECT_EQ(topo.Racks(), (std::vector<std::string>{"r1", "r2"}));
+  EXPECT_EQ(topo.NodesInRack("r1").size(), 2u);
+  EXPECT_EQ(topo.NodesInRack("r9").size(), 0u);
+}
+
+TEST(TopologyTest, DuplicateAddRejected) {
+  NetworkTopology topo;
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r1", "n1")).ok());
+  EXPECT_TRUE(topo.AddNode(NetworkLocation("r1", "n1")).IsAlreadyExists());
+}
+
+TEST(TopologyTest, AddRequiresFullLocation) {
+  NetworkTopology topo;
+  EXPECT_TRUE(topo.AddNode(NetworkLocation("r1", "")).IsInvalidArgument());
+  EXPECT_TRUE(topo.AddNode(NetworkLocation()).IsInvalidArgument());
+}
+
+TEST(TopologyTest, RemoveNodeDropsEmptyRack) {
+  NetworkTopology topo;
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r1", "n1")).ok());
+  ASSERT_TRUE(topo.AddNode(NetworkLocation("r2", "n1")).ok());
+  ASSERT_TRUE(topo.RemoveNode(NetworkLocation("r2", "n1")).ok());
+  EXPECT_EQ(topo.num_racks(), 1);
+  EXPECT_TRUE(topo.RemoveNode(NetworkLocation("r2", "n1")).IsNotFound());
+}
+
+}  // namespace
+}  // namespace octo

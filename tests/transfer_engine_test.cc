@@ -1,0 +1,229 @@
+// Unit tests of the TransferEngine's resource plans: which devices a
+// pipeline/read/shuffle occupies, the timing that results, and the
+// connection accounting feeding the policies.
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "workload/transfer_engine.h"
+
+namespace octo {
+namespace {
+
+using workload::TransferEngine;
+
+// One rack, three workers, one device per tier; caps disabled so the
+// device/NIC rates are directly observable.
+ClusterSpec PlanSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 1;
+  spec.workers_per_rack = 3;
+  spec.net_bps = 1000.0;  // tiny numbers keep arithmetic exact
+  spec.media_per_worker = {
+      {kMemoryTier, MediaType::kMemory, 1 << 30, 4000.0, 8000.0},
+      {kHddTier, MediaType::kHdd, 1 << 30, 100.0, 200.0},
+  };
+  return spec;
+}
+
+class TransferEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(PlanSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    engine_ = std::make_unique<TransferEngine>(cluster_.get());
+    engine_->set_stream_cap_bps(0);  // expose raw device rates
+    sim_ = cluster_->simulation();
+  }
+
+  NetworkLocation Node(int i) {
+    return cluster_->worker(cluster_->worker_ids()[i])->location();
+  }
+
+  double TimedWrite(const ReplicationVector& rv, int64_t bytes,
+                    const NetworkLocation& client) {
+    double start = sim_->now();
+    bool ok = false;
+    engine_->WriteFileAsync("/f" + std::to_string(++seq_), bytes, 1 << 30,
+                            rv, client, [&ok](Status st) {
+                              ASSERT_TRUE(st.ok()) << st.ToString();
+                              ok = true;
+                            });
+    sim_->RunUntilIdle();
+    EXPECT_TRUE(ok);
+    return sim_->now() - start;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<TransferEngine> engine_;
+  sim::Simulation* sim_ = nullptr;
+  int seq_ = 0;
+};
+
+TEST_F(TransferEngineTest, LocalSingleReplicaWriteIsMediaBound) {
+  // Client on node0, one HDD replica lands locally (client-local
+  // heuristic): no NIC hop, rate = 100 B/s.
+  double elapsed = TimedWrite(ReplicationVector::Of(0, 0, 1), 1000, Node(0));
+  EXPECT_NEAR(elapsed, 10.0, 1e-6);
+}
+
+TEST_F(TransferEngineTest, LocalMemoryWriteUsesMemoryRate) {
+  double elapsed = TimedWrite(ReplicationVector::Of(1, 0, 0), 1000, Node(0));
+  EXPECT_NEAR(elapsed, 0.25, 1e-6);  // 1000 / 4000
+}
+
+TEST_F(TransferEngineTest, OffClusterWriteCrossesReceiverNic) {
+  // Off-cluster client, one memory replica: NIC in (1000) < memory
+  // write (4000) -> NIC-bound.
+  double elapsed = TimedWrite(ReplicationVector::Of(1, 0, 0), 1000,
+                              NetworkLocation());
+  EXPECT_NEAR(elapsed, 1.0, 1e-6);
+}
+
+TEST_F(TransferEngineTest, PipelineBoundByItsSlowestMember) {
+  // mem + 2 HDD: the HDD write side (100) gates the whole pipeline.
+  double elapsed = TimedWrite(ReplicationVector::Of(1, 0, 2), 1000, Node(0));
+  EXPECT_NEAR(elapsed, 10.0, 1e-6);
+}
+
+TEST_F(TransferEngineTest, StreamCapGatesWhenTighter) {
+  engine_->set_stream_cap_bps(50.0);
+  double elapsed = TimedWrite(ReplicationVector::Of(1, 0, 0), 1000, Node(0));
+  EXPECT_NEAR(elapsed, 20.0, 1e-6);  // 1000 / 50
+}
+
+TEST_F(TransferEngineTest, ConnectionsTrackedDuringTransfer) {
+  const ClusterState& state = cluster_->master()->cluster_state();
+  engine_->WriteFileAsync("/conn", 1000, 1 << 30,
+                          ReplicationVector::Of(0, 0, 2), Node(0),
+                          [](Status st) { ASSERT_TRUE(st.ok()); });
+  // The flow is in progress (callbacks have not run yet): media and
+  // worker connection counts reflect it.
+  int media_conns = 0, worker_conns = 0;
+  for (const auto& [id, m] : state.media()) media_conns += m.nr_connections;
+  for (const auto& [id, w] : state.workers()) {
+    worker_conns += w.nr_connections;
+  }
+  EXPECT_EQ(media_conns, 2);
+  EXPECT_EQ(worker_conns, 2);
+  sim_->RunUntilIdle();
+  media_conns = worker_conns = 0;
+  for (const auto& [id, m] : state.media()) media_conns += m.nr_connections;
+  for (const auto& [id, w] : state.workers()) {
+    worker_conns += w.nr_connections;
+  }
+  EXPECT_EQ(media_conns, 0);
+  EXPECT_EQ(worker_conns, 0);
+}
+
+TEST_F(TransferEngineTest, ReadReplicaLocalVsRemote) {
+  // Place one HDD replica on node1 deterministically.
+  bool ok = false;
+  engine_->WriteFileAsync("/r", 1000, 1 << 30,
+                          ReplicationVector::Of(0, 0, 1), Node(1),
+                          [&ok](Status st) {
+                            ASSERT_TRUE(st.ok());
+                            ok = true;
+                          });
+  sim_->RunUntilIdle();
+  ASSERT_TRUE(ok);
+  auto located = cluster_->master()->GetBlockLocations("/r", Node(1));
+  ASSERT_TRUE(located.ok());
+  const PlacedReplica source = (*located)[0].locations[0];
+
+  // Local read: HDD read rate 200 -> 5 s.
+  double start = sim_->now();
+  engine_->ReadReplicaAsync(1000, source, Node(1),
+                            [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 5.0, 1e-6);
+
+  // Remote read: still HDD-bound (200 < NIC 1000) but crosses both NICs.
+  start = sim_->now();
+  engine_->ReadReplicaAsync(1000, source, Node(2),
+                            [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 5.0, 1e-6);
+}
+
+TEST_F(TransferEngineTest, NodeTransferTimingAndLocalShortcut) {
+  double start = sim_->now();
+  engine_->NodeTransferAsync(2000, Node(0), Node(1),
+                             [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 2.0, 1e-6);  // 2000 / NIC 1000
+  // Same-node transfer is free.
+  start = sim_->now();
+  engine_->NodeTransferAsync(2000, Node(0), Node(0),
+                             [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 0.0, 1e-9);
+}
+
+TEST_F(TransferEngineTest, ScratchAndCacheUseTheRightDevices) {
+  double start = sim_->now();
+  engine_->ScratchWriteAsync(1000, Node(0),
+                             [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 10.0, 1e-6);  // HDD write 100
+
+  start = sim_->now();
+  engine_->ScratchReadAsync(1000, Node(0),
+                            [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 5.0, 1e-6);  // HDD read 200
+
+  start = sim_->now();
+  engine_->CacheReadAsync(1000, Node(0),
+                          [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_NEAR(sim_->now() - start, 0.125, 1e-6);  // memory read 8000
+}
+
+TEST_F(TransferEngineTest, PumpExecutesReplicaCopiesWithTiming) {
+  bool ok = false;
+  engine_->WriteFileAsync("/move", 1000, 1 << 30,
+                          ReplicationVector::Of(0, 0, 1), Node(0),
+                          [&ok](Status st) {
+                            ASSERT_TRUE(st.ok());
+                            ok = true;
+                          });
+  sim_->RunUntilIdle();
+  ASSERT_TRUE(ok);
+  UserContext ctx;
+  ASSERT_TRUE(cluster_->master()
+                  ->SetReplication("/move", ReplicationVector::Of(1, 0, 1),
+                                   ctx)
+                  .ok());
+  double start = sim_->now();
+  auto started = engine_->PumpCommandsTimed();
+  ASSERT_TRUE(started.ok());
+  EXPECT_EQ(*started, 1);
+  sim_->RunUntilIdle();
+  // Copy HDD -> memory: source HDD read (200) gates; 1000/200 = 5 s.
+  EXPECT_NEAR(sim_->now() - start, 5.0, 1e-6);
+  auto located = cluster_->master()->GetBlockLocations("/move", Node(0));
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ((*located)[0].locations.size(), 2u);
+}
+
+TEST_F(TransferEngineTest, ByteCountersAccumulate) {
+  bool ok = false;
+  engine_->WriteFileAsync("/bytes", 5000, 1000,
+                          ReplicationVector::Of(0, 0, 1), Node(0),
+                          [&ok](Status st) {
+                            ASSERT_TRUE(st.ok());
+                            ok = true;
+                          });
+  sim_->RunUntilIdle();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(engine_->bytes_written(), 5000);
+  engine_->ReadFileAsync("/bytes", Node(0),
+                         [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_->RunUntilIdle();
+  EXPECT_EQ(engine_->bytes_read(), 5000);
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,138 @@
+// Tests for trash support (HDFS parity): deletes become recoverable moves
+// into /.Trash/<user>/, expunge reclaims the space, and skip_trash /
+// in-trash deletes destroy immediately.
+
+#include <gtest/gtest.h>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace octo {
+namespace {
+
+ClusterSpec TrashSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 1;
+  spec.workers_per_rack = 3;
+  spec.master.enable_trash = true;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 64 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {hdd};
+  return spec;
+}
+
+class TrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(TrashSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"),
+                                       UserContext{"alice", {}});
+    CreateOptions options;
+    options.block_size = kMiB;
+    ASSERT_TRUE(fs_->WriteFile("/docs/a.txt", "contents-a", options).ok());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(TrashTest, DeleteMovesIntoUserTrash) {
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  EXPECT_FALSE(fs_->Exists("/docs/a.txt"));
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/a.txt"));
+  // Data fully recoverable.
+  EXPECT_EQ(*fs_->ReadFile("/.Trash/alice/a.txt"), "contents-a");
+  // No blocks were invalidated.
+  EXPECT_EQ(cluster_->master()->block_manager().NumBlocks(), 1);
+  // Restore = rename back out.
+  ASSERT_TRUE(fs_->Rename("/.Trash/alice/a.txt", "/docs/a.txt").ok());
+  EXPECT_EQ(*fs_->ReadFile("/docs/a.txt"), "contents-a");
+}
+
+TEST_F(TrashTest, NameCollisionsGetSuffixes) {
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  ASSERT_TRUE(fs_->WriteFile("/docs/a.txt", "second", options).ok());
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/a.txt"));
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/a.txt.1"));
+  EXPECT_EQ(*fs_->ReadFile("/.Trash/alice/a.txt.1"), "second");
+}
+
+TEST_F(TrashTest, SkipTrashDestroysImmediately) {
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt", /*recursive=*/false,
+                          /*skip_trash=*/true)
+                  .ok());
+  EXPECT_FALSE(fs_->Exists("/.Trash/alice/a.txt"));
+  EXPECT_EQ(cluster_->master()->block_manager().NumBlocks(), 0);
+}
+
+TEST_F(TrashTest, DeletingFromTrashDestroys) {
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  ASSERT_TRUE(fs_->Delete("/.Trash/alice/a.txt").ok());
+  EXPECT_FALSE(fs_->Exists("/.Trash/alice/a.txt"));
+  EXPECT_EQ(cluster_->master()->block_manager().NumBlocks(), 0);
+}
+
+TEST_F(TrashTest, ExpungeReclaimsSpace) {
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  ASSERT_TRUE(fs_->ExpungeTrash().ok());
+  EXPECT_FALSE(fs_->Exists("/.Trash/alice"));
+  EXPECT_EQ(cluster_->master()->block_manager().NumBlocks(), 0);
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  for (WorkerId id : cluster_->worker_ids()) {
+    for (auto& [m, blocks] : cluster_->worker(id)->BuildBlockReport()) {
+      EXPECT_TRUE(blocks.empty());
+    }
+  }
+  // Expunging an empty/absent trash is fine.
+  ASSERT_TRUE(fs_->ExpungeTrash().ok());
+}
+
+TEST_F(TrashTest, TrashIsPerUser) {
+  FileSystem bob(cluster_.get(), NetworkLocation("rack0", "node1"),
+                 UserContext{"bob", {}});
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(bob.WriteFile("/docs/b.txt", "bobs", options).ok());
+  ASSERT_TRUE(bob.Delete("/docs/b.txt").ok());
+  ASSERT_TRUE(fs_->Delete("/docs/a.txt").ok());
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/a.txt"));
+  EXPECT_TRUE(fs_->Exists("/.Trash/bob/b.txt"));
+  // Alice's expunge leaves bob's trash alone.
+  ASSERT_TRUE(fs_->ExpungeTrash().ok());
+  EXPECT_FALSE(fs_->Exists("/.Trash/alice"));
+  EXPECT_TRUE(fs_->Exists("/.Trash/bob/b.txt"));
+}
+
+TEST_F(TrashTest, DirectoriesGoToTrashToo) {
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs_->WriteFile("/docs/sub/deep.txt", "deep", options).ok());
+  ASSERT_TRUE(fs_->Delete("/docs", /*recursive=*/true).ok());
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/docs/sub/deep.txt"));
+  EXPECT_TRUE(fs_->Exists("/.Trash/alice/docs/a.txt"));
+}
+
+TEST_F(TrashTest, DisabledByDefault) {
+  ClusterSpec spec = TrashSpec();
+  spec.master.enable_trash = false;
+  auto cluster = Cluster::Create(spec);
+  ASSERT_TRUE(cluster.ok());
+  FileSystem fs(cluster->get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs.WriteFile("/x", "gone", options).ok());
+  ASSERT_TRUE(fs.Delete("/x").ok());
+  EXPECT_FALSE(fs.Exists("/.Trash"));
+  EXPECT_EQ((*cluster)->master()->block_manager().NumBlocks(), 0);
+}
+
+}  // namespace
+}  // namespace octo

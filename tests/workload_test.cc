@@ -1,0 +1,170 @@
+// Tests of the timed workload layer: DFSIO through the flow simulator,
+// command pumping, and physical sanity of the resulting throughputs.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "workload/dfsio.h"
+#include "workload/slive.h"
+#include "workload/transfer_engine.h"
+
+namespace octo {
+namespace {
+
+using workload::Dfsio;
+using workload::DfsioOptions;
+using workload::DfsioResult;
+using workload::TransferEngine;
+
+std::unique_ptr<Cluster> MakePaperCluster() {
+  auto cluster = Cluster::Create(PaperClusterSpec());
+  OCTO_CHECK(cluster.ok()) << cluster.status().ToString();
+  return std::move(cluster).value();
+}
+
+TEST(TransferEngineTest, SingleFileAllHddPipelineBoundByHddRate) {
+  auto cluster = MakePaperCluster();
+  TransferEngine engine(cluster.get());
+  DfsioOptions options;
+  options.parallelism = 1;
+  options.total_bytes = 1 * kGiB;
+  options.rep_vector = ReplicationVector::Of(0, 0, 3);
+  Dfsio dfsio(cluster.get(), &engine);
+  auto result = dfsio.RunWrite(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // A solo 3-replica HDD pipeline runs at the HDD write rate (126.3 MB/s):
+  // aggregate throughput must be close to it.
+  double aggregate_mbps =
+      ToMBps(result->total_bytes / result->elapsed_seconds);
+  EXPECT_NEAR(aggregate_mbps, 126.3, 10.0);
+}
+
+TEST(TransferEngineTest, MemoryWritesFasterThanHdd) {
+  auto cluster = MakePaperCluster();
+  TransferEngine engine(cluster.get());
+  Dfsio dfsio(cluster.get(), &engine);
+
+  DfsioOptions mem;
+  mem.parallelism = 3;
+  mem.total_bytes = 2 * kGiB;
+  mem.rep_vector = ReplicationVector::Of(3, 0, 0);
+  mem.dir = "/dfsio-mem";
+  auto mem_result = dfsio.RunWrite(mem);
+  ASSERT_TRUE(mem_result.ok()) << mem_result.status().ToString();
+
+  DfsioOptions hdd = mem;
+  hdd.rep_vector = ReplicationVector::Of(0, 0, 3);
+  hdd.dir = "/dfsio-hdd";
+  auto hdd_result = dfsio.RunWrite(hdd);
+  ASSERT_TRUE(hdd_result.ok());
+
+  EXPECT_GT(hdd_result->elapsed_seconds, mem_result->elapsed_seconds * 2);
+}
+
+TEST(TransferEngineTest, ReadsPreferMemoryReplica) {
+  auto cluster = MakePaperCluster();
+  TransferEngine engine(cluster.get());
+  Dfsio dfsio(cluster.get(), &engine);
+  DfsioOptions options;
+  options.parallelism = 3;
+  options.total_bytes = 1 * kGiB;
+  options.rep_vector = ReplicationVector::Of(1, 0, 2);
+  ASSERT_TRUE(dfsio.RunWrite(options).ok());
+  auto read = dfsio.RunRead(options);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // Every block has a memory replica; the tier-aware retrieval policy
+  // should source (nearly) all reads from the Memory tier.
+  int memory_reads = 0;
+  for (const workload::IoEvent& event : read->events) {
+    const MediumInfo* info =
+        cluster->master()->cluster_state().FindMedium(event.media[0]);
+    ASSERT_NE(info, nullptr);
+    if (info->tier == kMemoryTier) ++memory_reads;
+  }
+  EXPECT_GT(memory_reads, static_cast<int>(read->events.size()) * 8 / 10);
+}
+
+TEST(TransferEngineTest, WriteAccountingMatchesMasterState) {
+  auto cluster = MakePaperCluster();
+  TransferEngine engine(cluster.get());
+  Dfsio dfsio(cluster.get(), &engine);
+  DfsioOptions options;
+  options.parallelism = 9;
+  options.total_bytes = 4 * kGiB;
+  options.rep_vector = ReplicationVector::OfTotal(3);
+  auto result = dfsio.RunWrite(options);
+  ASSERT_TRUE(result.ok());
+
+  // Master-side remaining space decreased by exactly 3 x data volume.
+  int64_t used = 0;
+  for (const auto& [id, m] : cluster->master()->cluster_state().media()) {
+    used += m.capacity_bytes - m.remaining_bytes;
+  }
+  EXPECT_EQ(used, 3 * result->total_bytes);
+
+  // Worker heartbeats agree with the master's view (virtual accounting).
+  for (WorkerId id : cluster->worker_ids()) {
+    for (const MediumStats& stats :
+         cluster->worker(id)->BuildHeartbeat().media) {
+      const MediumInfo* info =
+          cluster->master()->cluster_state().FindMedium(stats.medium);
+      ASSERT_NE(info, nullptr);
+      EXPECT_EQ(stats.remaining_bytes, info->remaining_bytes)
+          << "medium " << stats.medium;
+    }
+  }
+}
+
+TEST(TransferEngineTest, SetReplicationMovesReplicaTimed) {
+  auto cluster = MakePaperCluster();
+  TransferEngine engine(cluster.get());
+  NetworkLocation client = cluster->worker(0)->location();
+  bool done = false;
+  engine.WriteFileAsync("/move-me", 256 * kMiB, 128 * kMiB,
+                        ReplicationVector::Of(0, 0, 3), client,
+                        [&done](Status st) {
+                          ASSERT_TRUE(st.ok()) << st.ToString();
+                          done = true;
+                        });
+  cluster->simulation()->RunUntilIdle();
+  ASSERT_TRUE(done);
+
+  UserContext ctx;
+  ASSERT_TRUE(cluster->master()
+                  ->SetReplication("/move-me", ReplicationVector::Of(1, 0, 2),
+                                   ctx)
+                  .ok());
+  for (int round = 0; round < 4; ++round) {
+    auto started = engine.PumpCommandsTimed();
+    ASSERT_TRUE(started.ok());
+    cluster->simulation()->RunUntilIdle();
+    if (*started == 0) break;
+  }
+  // Both blocks now have exactly 1 memory + 2 HDD replicas.
+  auto located = cluster->master()->GetBlockLocations("/move-me", client);
+  ASSERT_TRUE(located.ok());
+  ASSERT_EQ(located->size(), 2u);
+  for (const LocatedBlock& lb : *located) {
+    std::multiset<TierId> tiers;
+    for (const PlacedReplica& r : lb.locations) tiers.insert(r.tier);
+    EXPECT_EQ(tiers,
+              (std::multiset<TierId>{kMemoryTier, kHddTier, kHddTier}));
+  }
+}
+
+TEST(SliveTest, AllOperationTypesComplete) {
+  auto cluster = MakePaperCluster();
+  workload::SliveOptions options;
+  options.ops_per_type = 200;
+  auto result = workload::RunSlive(cluster->master(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->ops_per_second.size(), 6u);
+  for (const auto& [op, rate] : result->ops_per_second) {
+    EXPECT_GT(rate, 0) << op;
+  }
+}
+
+}  // namespace
+}  // namespace octo
