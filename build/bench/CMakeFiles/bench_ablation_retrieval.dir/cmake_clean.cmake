@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_retrieval.dir/bench_ablation_retrieval.cc.o"
+  "CMakeFiles/bench_ablation_retrieval.dir/bench_ablation_retrieval.cc.o.d"
+  "bench_ablation_retrieval"
+  "bench_ablation_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

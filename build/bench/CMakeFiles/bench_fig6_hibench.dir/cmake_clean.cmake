@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hibench.dir/bench_fig6_hibench.cc.o"
+  "CMakeFiles/bench_fig6_hibench.dir/bench_fig6_hibench.cc.o.d"
+  "bench_fig6_hibench"
+  "bench_fig6_hibench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hibench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pegasus.dir/bench_fig7_pegasus.cc.o"
+  "CMakeFiles/bench_fig7_pegasus.dir/bench_fig7_pegasus.cc.o.d"
+  "bench_fig7_pegasus"
+  "bench_fig7_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_tier.dir/bench_remote_tier.cc.o"
+  "CMakeFiles/bench_remote_tier.dir/bench_remote_tier.cc.o.d"
+  "bench_remote_tier"
+  "bench_remote_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

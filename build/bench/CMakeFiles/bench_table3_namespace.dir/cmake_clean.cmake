@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_namespace.dir/bench_table3_namespace.cc.o"
+  "CMakeFiles/bench_table3_namespace.dir/bench_table3_namespace.cc.o.d"
+  "bench_table3_namespace"
+  "bench_table3_namespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_admin.dir/cluster_admin.cpp.o"
+  "CMakeFiles/cluster_admin.dir/cluster_admin.cpp.o.d"
+  "cluster_admin"
+  "cluster_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiered_cache.dir/tiered_cache.cpp.o"
+  "CMakeFiles/tiered_cache.dir/tiered_cache.cpp.o.d"
+  "tiered_cache"
+  "tiered_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiered_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

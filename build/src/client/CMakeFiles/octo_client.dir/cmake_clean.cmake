@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_client.dir/federated_file_system.cc.o"
+  "CMakeFiles/octo_client.dir/federated_file_system.cc.o.d"
+  "CMakeFiles/octo_client.dir/file_system.cc.o"
+  "CMakeFiles/octo_client.dir/file_system.cc.o.d"
+  "libocto_client.a"
+  "libocto_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/backup_master.cc" "src/cluster/CMakeFiles/octo_cluster.dir/backup_master.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/backup_master.cc.o.d"
+  "/root/repo/src/cluster/block_manager.cc" "src/cluster/CMakeFiles/octo_cluster.dir/block_manager.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/block_manager.cc.o.d"
+  "/root/repo/src/cluster/cache_manager.cc" "src/cluster/CMakeFiles/octo_cluster.dir/cache_manager.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/cache_manager.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/octo_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/federation.cc" "src/cluster/CMakeFiles/octo_cluster.dir/federation.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/federation.cc.o.d"
+  "/root/repo/src/cluster/master.cc" "src/cluster/CMakeFiles/octo_cluster.dir/master.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/master.cc.o.d"
+  "/root/repo/src/cluster/rebalancer.cc" "src/cluster/CMakeFiles/octo_cluster.dir/rebalancer.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/rebalancer.cc.o.d"
+  "/root/repo/src/cluster/worker.cc" "src/cluster/CMakeFiles/octo_cluster.dir/worker.cc.o" "gcc" "src/cluster/CMakeFiles/octo_cluster.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/namespacefs/CMakeFiles/octo_namespacefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/octo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/octo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/octo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_cluster.dir/backup_master.cc.o"
+  "CMakeFiles/octo_cluster.dir/backup_master.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/block_manager.cc.o"
+  "CMakeFiles/octo_cluster.dir/block_manager.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/cache_manager.cc.o"
+  "CMakeFiles/octo_cluster.dir/cache_manager.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/cluster.cc.o"
+  "CMakeFiles/octo_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/federation.cc.o"
+  "CMakeFiles/octo_cluster.dir/federation.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/master.cc.o"
+  "CMakeFiles/octo_cluster.dir/master.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/rebalancer.cc.o"
+  "CMakeFiles/octo_cluster.dir/rebalancer.cc.o.d"
+  "CMakeFiles/octo_cluster.dir/worker.cc.o"
+  "CMakeFiles/octo_cluster.dir/worker.cc.o.d"
+  "libocto_cluster.a"
+  "libocto_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_common.dir/clock.cc.o"
+  "CMakeFiles/octo_common.dir/clock.cc.o.d"
+  "CMakeFiles/octo_common.dir/config.cc.o"
+  "CMakeFiles/octo_common.dir/config.cc.o.d"
+  "CMakeFiles/octo_common.dir/logging.cc.o"
+  "CMakeFiles/octo_common.dir/logging.cc.o.d"
+  "CMakeFiles/octo_common.dir/status.cc.o"
+  "CMakeFiles/octo_common.dir/status.cc.o.d"
+  "CMakeFiles/octo_common.dir/strings.cc.o"
+  "CMakeFiles/octo_common.dir/strings.cc.o.d"
+  "CMakeFiles/octo_common.dir/units.cc.o"
+  "CMakeFiles/octo_common.dir/units.cc.o.d"
+  "libocto_common.a"
+  "libocto_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

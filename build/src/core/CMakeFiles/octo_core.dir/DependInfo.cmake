@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_state.cc" "src/core/CMakeFiles/octo_core.dir/cluster_state.cc.o" "gcc" "src/core/CMakeFiles/octo_core.dir/cluster_state.cc.o.d"
+  "/root/repo/src/core/objectives.cc" "src/core/CMakeFiles/octo_core.dir/objectives.cc.o" "gcc" "src/core/CMakeFiles/octo_core.dir/objectives.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/octo_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/octo_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/replication_vector.cc" "src/core/CMakeFiles/octo_core.dir/replication_vector.cc.o" "gcc" "src/core/CMakeFiles/octo_core.dir/replication_vector.cc.o.d"
+  "/root/repo/src/core/retrieval.cc" "src/core/CMakeFiles/octo_core.dir/retrieval.cc.o" "gcc" "src/core/CMakeFiles/octo_core.dir/retrieval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/octo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/octo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/octo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

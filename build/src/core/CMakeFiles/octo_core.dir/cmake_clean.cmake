@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_core.dir/cluster_state.cc.o"
+  "CMakeFiles/octo_core.dir/cluster_state.cc.o.d"
+  "CMakeFiles/octo_core.dir/objectives.cc.o"
+  "CMakeFiles/octo_core.dir/objectives.cc.o.d"
+  "CMakeFiles/octo_core.dir/placement.cc.o"
+  "CMakeFiles/octo_core.dir/placement.cc.o.d"
+  "CMakeFiles/octo_core.dir/replication_vector.cc.o"
+  "CMakeFiles/octo_core.dir/replication_vector.cc.o.d"
+  "CMakeFiles/octo_core.dir/retrieval.cc.o"
+  "CMakeFiles/octo_core.dir/retrieval.cc.o.d"
+  "libocto_core.a"
+  "libocto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_exec.dir/hibench.cc.o"
+  "CMakeFiles/octo_exec.dir/hibench.cc.o.d"
+  "CMakeFiles/octo_exec.dir/mapreduce_engine.cc.o"
+  "CMakeFiles/octo_exec.dir/mapreduce_engine.cc.o.d"
+  "CMakeFiles/octo_exec.dir/pegasus.cc.o"
+  "CMakeFiles/octo_exec.dir/pegasus.cc.o.d"
+  "CMakeFiles/octo_exec.dir/slot_scheduler.cc.o"
+  "CMakeFiles/octo_exec.dir/slot_scheduler.cc.o.d"
+  "CMakeFiles/octo_exec.dir/spark_engine.cc.o"
+  "CMakeFiles/octo_exec.dir/spark_engine.cc.o.d"
+  "libocto_exec.a"
+  "libocto_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

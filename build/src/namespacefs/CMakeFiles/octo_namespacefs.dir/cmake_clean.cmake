@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_namespacefs.dir/edit_log.cc.o"
+  "CMakeFiles/octo_namespacefs.dir/edit_log.cc.o.d"
+  "CMakeFiles/octo_namespacefs.dir/fsimage.cc.o"
+  "CMakeFiles/octo_namespacefs.dir/fsimage.cc.o.d"
+  "CMakeFiles/octo_namespacefs.dir/lease_manager.cc.o"
+  "CMakeFiles/octo_namespacefs.dir/lease_manager.cc.o.d"
+  "CMakeFiles/octo_namespacefs.dir/namespace_tree.cc.o"
+  "CMakeFiles/octo_namespacefs.dir/namespace_tree.cc.o.d"
+  "CMakeFiles/octo_namespacefs.dir/path.cc.o"
+  "CMakeFiles/octo_namespacefs.dir/path.cc.o.d"
+  "libocto_namespacefs.a"
+  "libocto_namespacefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_namespacefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

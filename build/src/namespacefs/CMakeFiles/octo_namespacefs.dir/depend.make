@@ -1,0 +1,2 @@
+# Empty dependencies file for octo_namespacefs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_remote.dir/external_store.cc.o"
+  "CMakeFiles/octo_remote.dir/external_store.cc.o.d"
+  "CMakeFiles/octo_remote.dir/remote_tier.cc.o"
+  "CMakeFiles/octo_remote.dir/remote_tier.cc.o.d"
+  "CMakeFiles/octo_remote.dir/standalone_mount.cc.o"
+  "CMakeFiles/octo_remote.dir/standalone_mount.cc.o.d"
+  "libocto_remote.a"
+  "libocto_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

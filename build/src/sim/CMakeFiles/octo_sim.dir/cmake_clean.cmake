@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_sim.dir/simulation.cc.o"
+  "CMakeFiles/octo_sim.dir/simulation.cc.o.d"
+  "libocto_sim.a"
+  "libocto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_store.cc" "src/storage/CMakeFiles/octo_storage.dir/block_store.cc.o" "gcc" "src/storage/CMakeFiles/octo_storage.dir/block_store.cc.o.d"
+  "/root/repo/src/storage/checksum.cc" "src/storage/CMakeFiles/octo_storage.dir/checksum.cc.o" "gcc" "src/storage/CMakeFiles/octo_storage.dir/checksum.cc.o.d"
+  "/root/repo/src/storage/media_type.cc" "src/storage/CMakeFiles/octo_storage.dir/media_type.cc.o" "gcc" "src/storage/CMakeFiles/octo_storage.dir/media_type.cc.o.d"
+  "/root/repo/src/storage/throughput_profiler.cc" "src/storage/CMakeFiles/octo_storage.dir/throughput_profiler.cc.o" "gcc" "src/storage/CMakeFiles/octo_storage.dir/throughput_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/octo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/octo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_storage.dir/block_store.cc.o"
+  "CMakeFiles/octo_storage.dir/block_store.cc.o.d"
+  "CMakeFiles/octo_storage.dir/checksum.cc.o"
+  "CMakeFiles/octo_storage.dir/checksum.cc.o.d"
+  "CMakeFiles/octo_storage.dir/media_type.cc.o"
+  "CMakeFiles/octo_storage.dir/media_type.cc.o.d"
+  "CMakeFiles/octo_storage.dir/throughput_profiler.cc.o"
+  "CMakeFiles/octo_storage.dir/throughput_profiler.cc.o.d"
+  "libocto_storage.a"
+  "libocto_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_topology.dir/network_location.cc.o"
+  "CMakeFiles/octo_topology.dir/network_location.cc.o.d"
+  "CMakeFiles/octo_topology.dir/topology.cc.o"
+  "CMakeFiles/octo_topology.dir/topology.cc.o.d"
+  "libocto_topology.a"
+  "libocto_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_workload.dir/dfsio.cc.o"
+  "CMakeFiles/octo_workload.dir/dfsio.cc.o.d"
+  "CMakeFiles/octo_workload.dir/slive.cc.o"
+  "CMakeFiles/octo_workload.dir/slive.cc.o.d"
+  "CMakeFiles/octo_workload.dir/transfer_engine.cc.o"
+  "CMakeFiles/octo_workload.dir/transfer_engine.cc.o.d"
+  "libocto_workload.a"
+  "libocto_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_integration_test.dir/client_integration_test.cc.o"
+  "CMakeFiles/client_integration_test.dir/client_integration_test.cc.o.d"
+  "client_integration_test"
+  "client_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editlog_fsimage_test.dir/editlog_fsimage_test.cc.o"
+  "CMakeFiles/editlog_fsimage_test.dir/editlog_fsimage_test.cc.o.d"
+  "editlog_fsimage_test"
+  "editlog_fsimage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editlog_fsimage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

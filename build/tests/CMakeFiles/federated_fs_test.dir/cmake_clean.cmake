@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_fs_test.dir/federated_fs_test.cc.o"
+  "CMakeFiles/federated_fs_test.dir/federated_fs_test.cc.o.d"
+  "federated_fs_test"
+  "federated_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectives_test.dir/objectives_test.cc.o"
+  "CMakeFiles/objectives_test.dir/objectives_test.cc.o.d"
+  "objectives_test"
+  "objectives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

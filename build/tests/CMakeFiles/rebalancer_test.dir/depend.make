@@ -1,0 +1,2 @@
+# Empty dependencies file for rebalancer_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_vector_test.dir/replication_vector_test.cc.o"
+  "CMakeFiles/replication_vector_test.dir/replication_vector_test.cc.o.d"
+  "replication_vector_test"
+  "replication_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrubber_test.dir/scrubber_test.cc.o"
+  "CMakeFiles/scrubber_test.dir/scrubber_test.cc.o.d"
+  "scrubber_test"
+  "scrubber_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrubber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

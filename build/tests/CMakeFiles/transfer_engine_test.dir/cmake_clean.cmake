@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_engine_test.dir/transfer_engine_test.cc.o"
+  "CMakeFiles/transfer_engine_test.dir/transfer_engine_test.cc.o.d"
+  "transfer_engine_test"
+  "transfer_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

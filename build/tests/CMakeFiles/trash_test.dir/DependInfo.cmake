@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trash_test.cc" "tests/CMakeFiles/trash_test.dir/trash_test.cc.o" "gcc" "tests/CMakeFiles/trash_test.dir/trash_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/octo_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/octo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/namespacefs/CMakeFiles/octo_namespacefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/octo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/octo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/octo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trash_test.dir/trash_test.cc.o"
+  "CMakeFiles/trash_test.dir/trash_test.cc.o.d"
+  "trash_test"
+  "trash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

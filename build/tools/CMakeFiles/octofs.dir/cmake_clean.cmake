@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octofs.dir/octofs.cc.o"
+  "CMakeFiles/octofs.dir/octofs.cc.o.d"
+  "octofs"
+  "octofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
