@@ -1,0 +1,247 @@
+// Micro-benchmark for the placement hot path: how many placement
+// decisions per second PlaceReplicas sustains against clusters of
+// 10/100/1000 workers, for the MOOP, single-objective, rule-based and
+// HDFS policies. Unlike the figure benches (which drive the flow
+// simulator), this measures the Master-side decision cost directly —
+// the constant factor that bounds how large a cluster the repro can
+// simulate (and how often automated tiering can re-invoke placement).
+//
+// Steady state is modeled with a sliding window of in-flight blocks:
+// every decision reserves space and a connection on the chosen media,
+// and the decision from `kWindow` rounds ago releases them. This keeps
+// the remaining-space and connection-count aggregates churning the way
+// a busy Master's would.
+//
+// Emits BENCH_placement.json (path overridable via argv[1]) with
+// decisions/sec and heap allocations per decision for every
+// (cluster size, policy) pair.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "core/cluster_state.h"
+#include "core/placement.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (bench binary only): counts every operator new
+// so the JSON can report allocations per placement decision.
+
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace octo {
+namespace {
+
+constexpr int64_t kBlock = 64 * kMiB;
+constexpr int kWindow = 64;  // in-flight decisions before release
+
+/// `workers` workers spread over max(2, workers/20) racks, each carrying
+/// one memory, one SSD and two HDD media (the paper's node profile).
+ClusterState MakeState(int workers) {
+  ClusterState state;
+  state.AddTier({kMemoryTier, "Memory", MediaType::kMemory});
+  state.AddTier({kSsdTier, "SSD", MediaType::kSsd});
+  state.AddTier({kHddTier, "HDD", MediaType::kHdd});
+  int racks = workers < 40 ? 2 : workers / 20;
+  MediumId next_medium = 0;
+  for (WorkerId w = 0; w < workers; ++w) {
+    WorkerInfo info;
+    info.id = w;
+    info.location = NetworkLocation("r" + std::to_string(w % racks),
+                                    "n" + std::to_string(w));
+    info.net_bps = 1.25e9;
+    OCTO_CHECK_OK(state.AddWorker(info));
+    auto add = [&](TierId tier, MediaType type, int64_t cap, double wb,
+                   double rb) {
+      MediumInfo m;
+      m.id = next_medium++;
+      m.worker = w;
+      m.location = info.location;
+      m.tier = tier;
+      m.type = type;
+      m.capacity_bytes = cap;
+      m.remaining_bytes = cap;
+      m.write_bps = wb;
+      m.read_bps = rb;
+      OCTO_CHECK_OK(state.AddMedium(m));
+    };
+    add(kMemoryTier, MediaType::kMemory, 8 * kGiB, FromMBps(1900),
+        FromMBps(3200));
+    add(kSsdTier, MediaType::kSsd, 64 * kGiB, FromMBps(340), FromMBps(420));
+    add(kHddTier, MediaType::kHdd, 256 * kGiB, FromMBps(126), FromMBps(177));
+    add(kHddTier, MediaType::kHdd, 256 * kGiB, FromMBps(126), FromMBps(177));
+  }
+  return state;
+}
+
+struct PolicyConfig {
+  const char* name;
+  std::unique_ptr<PlacementPolicy> (*make)();
+};
+
+std::unique_ptr<PlacementPolicy> MakeMoop() {
+  MoopOptions options;
+  options.use_memory = true;
+  return MakeMoopPolicy(options);
+}
+std::unique_ptr<PlacementPolicy> MakeMoopDefault() { return MakeMoopPolicy(); }
+std::unique_ptr<PlacementPolicy> MakeDb() {
+  MoopOptions options;
+  options.use_memory = true;
+  return MakeSingleObjectivePolicy(Objective::kDataBalancing, options);
+}
+std::unique_ptr<PlacementPolicy> MakeRule() { return MakeRuleBasedPolicy(); }
+std::unique_ptr<PlacementPolicy> MakeHdfs() {
+  return MakeHdfsPolicy({MediaType::kHdd, MediaType::kSsd});
+}
+
+struct BenchResult {
+  int workers = 0;
+  std::string policy;
+  double decisions_per_sec = 0;
+  double micros_per_decision = 0;
+  double allocs_per_decision = 0;
+  uint64_t decisions = 0;
+};
+
+BenchResult RunOne(int workers, const PolicyConfig& config) {
+  ClusterState state = MakeState(workers);
+  std::unique_ptr<PlacementPolicy> policy = config.make();
+  Random rng(42);
+
+  // In-flight reservations released kWindow decisions later.
+  std::deque<std::vector<MediumId>> in_flight;
+
+  auto decide = [&](uint64_t round) {
+    PlacementRequest request;
+    WorkerId client = static_cast<WorkerId>(round % workers);
+    const WorkerInfo* w = state.FindWorker(client);
+    request.client = w->location;
+    request.rep_vector = ReplicationVector::OfTotal(3);
+    request.block_size = kBlock;
+    auto placed = policy->PlaceReplicas(state, request, &rng);
+    OCTO_CHECK(placed.ok()) << placed.status().ToString();
+    for (MediumId id : *placed) {
+      OCTO_CHECK_OK(state.AdjustMediumRemaining(id, -kBlock));
+      state.AddMediumConnections(id, 1);
+    }
+    in_flight.push_back(std::move(*placed));
+    if (in_flight.size() > kWindow) {
+      for (MediumId id : in_flight.front()) {
+        OCTO_CHECK_OK(state.AdjustMediumRemaining(id, kBlock));
+        state.AddMediumConnections(id, -1);
+      }
+      in_flight.pop_front();
+    }
+  };
+
+  // Warm-up: fill the in-flight window (and any policy scratch).
+  uint64_t round = 0;
+  for (int i = 0; i < kWindow; ++i) decide(round++);
+
+  // Timed region: batches until at least ~0.4s of wall time.
+  using Clock = std::chrono::steady_clock;
+  const int batch = 32;
+  uint64_t decisions = 0;
+  uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    for (int i = 0; i < batch; ++i) decide(round++);
+    decisions += batch;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 0.4);
+  uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  // The release path allocates a deque/vector churn independent of the
+  // policies; it is tiny and identical across policies, so it is left in.
+
+  BenchResult result;
+  result.workers = workers;
+  result.policy = config.name;
+  result.decisions = decisions;
+  result.decisions_per_sec = decisions / elapsed;
+  result.micros_per_decision = 1e6 * elapsed / decisions;
+  result.allocs_per_decision = static_cast<double>(allocs) / decisions;
+  return result;
+}
+
+}  // namespace
+}  // namespace octo
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_placement.json";
+  const int sizes[] = {10, 100, 1000};
+  const octo::PolicyConfig policies[] = {
+      {"MOOP", octo::MakeMoop},
+      {"MOOP-default", octo::MakeMoopDefault},
+      {"DB", octo::MakeDb},
+      {"Rule-based", octo::MakeRule},
+      {"HDFS+SSD", octo::MakeHdfs},
+  };
+
+  std::vector<octo::BenchResult> results;
+  for (int workers : sizes) {
+    for (const auto& config : policies) {
+      octo::BenchResult r = octo::RunOne(workers, config);
+      std::printf("%-14s %5d workers: %10.0f decisions/s  %8.2f us/decision"
+                  "  %7.1f allocs/decision\n",
+                  r.policy.c_str(), r.workers, r.decisions_per_sec,
+                  r.micros_per_decision, r.allocs_per_decision);
+      std::fflush(stdout);
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"placement_hotpath\",\n");
+  std::fprintf(f, "  \"block_bytes\": %lld,\n",
+               static_cast<long long>(octo::kBlock));
+  std::fprintf(f, "  \"replicas_per_decision\": 3,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"policy\": \"%s\", "
+                 "\"decisions_per_sec\": %.1f, \"micros_per_decision\": %.3f, "
+                 "\"allocs_per_decision\": %.2f, \"decisions\": %llu}%s\n",
+                 r.workers, r.policy.c_str(), r.decisions_per_sec,
+                 r.micros_per_decision, r.allocs_per_decision,
+                 static_cast<unsigned long long>(r.decisions),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -24,9 +24,10 @@ void CacheManager::RecordAccess(const std::string& path, int weight) {
 int64_t CacheManager::MemoryBudgetRemaining() const {
   const ClusterState& state = master_->cluster_state();
   int64_t memory_capacity = 0;
-  for (const auto& [id, m] : state.media()) {
-    if (IsVolatile(m.type) && state.MediumLive(id)) {
-      memory_capacity += m.capacity_bytes;
+  const std::vector<MediumInfo>& slab = state.media_slab();
+  for (uint32_t slot : state.live_media()) {
+    if (IsVolatile(slab[slot].type)) {
+      memory_capacity += slab[slot].capacity_bytes;
     }
   }
   int64_t budget = static_cast<int64_t>(memory_capacity *

@@ -9,29 +9,37 @@
 namespace octo {
 
 double Rebalancer::TierImbalance(const ClusterState& state, TierId tier) {
-  std::vector<double> fractions;
-  for (const auto& [id, m] : state.media()) {
-    if (m.tier == tier && state.MediumLive(id)) {
-      fractions.push_back(m.remaining_fraction());
-    }
-  }
-  if (fractions.size() < 2) return 0;
+  // Two passes over the tier's live-media index (no full-cluster scan, no
+  // intermediate fractions vector).
+  const std::vector<MediumInfo>& slab = state.media_slab();
+  const std::vector<uint32_t>& index = state.live_media_on_tier(tier);
   double mean = 0;
-  for (double f : fractions) mean += f;
-  mean /= static_cast<double>(fractions.size());
+  int count = 0;
+  for (uint32_t slot : index) {
+    if (slab[slot].tier != tier) continue;
+    mean += slab[slot].remaining_fraction();
+    ++count;
+  }
+  if (count < 2) return 0;
+  mean /= static_cast<double>(count);
   double var = 0;
-  for (double f : fractions) var += (f - mean) * (f - mean);
-  return std::sqrt(var / static_cast<double>(fractions.size()));
+  for (uint32_t slot : index) {
+    if (slab[slot].tier != tier) continue;
+    double f = slab[slot].remaining_fraction();
+    var += (f - mean) * (f - mean);
+  }
+  return std::sqrt(var / static_cast<double>(count));
 }
 
 Result<RebalanceReport> Rebalancer::Run() {
   const ClusterState& state = master_->cluster_state();
   RebalanceReport report;
 
-  // Per-tier mean remaining fraction.
+  // Per-tier mean remaining fraction, over the live-media index.
+  const std::vector<MediumInfo>& slab = state.media_slab();
   std::map<TierId, std::pair<double, int>> tier_mean;  // sum, count
-  for (const auto& [id, m] : state.media()) {
-    if (!state.MediumLive(id)) continue;
+  for (uint32_t slot : state.live_media()) {
+    const MediumInfo& m = slab[slot];
     auto& [sum, count] = tier_mean[m.tier];
     sum += m.remaining_fraction();
     ++count;
@@ -44,15 +52,15 @@ Result<RebalanceReport> Rebalancer::Run() {
     int64_t to_move_bytes;
   };
   std::vector<Overfull> overfull;
-  for (const auto& [id, m] : state.media()) {
-    if (!state.MediumLive(id)) continue;
+  for (uint32_t slot : state.live_media()) {
+    const MediumInfo& m = slab[slot];
     auto [sum, count] = tier_mean[m.tier];
     if (count < 2) continue;  // nothing to balance against
     double mean = sum / count;
     double deficit = mean - m.remaining_fraction();
     if (deficit > options_.threshold) {
       overfull.push_back(Overfull{
-          id, deficit,
+          m.id, deficit,
           static_cast<int64_t>(deficit * m.capacity_bytes)});
     }
   }

@@ -2,62 +2,207 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 
 namespace octo {
+
+namespace {
+const std::vector<uint32_t> kNoMedia;
+}  // namespace
+
+// -- internal index/aggregate maintenance -----------------------------------
+
+int32_t ClusterState::InternRack(const std::string& rack) {
+  auto [it, inserted] =
+      rack_ids_.emplace(rack, static_cast<int32_t>(rack_ids_.size()));
+  if (inserted) rack_live_workers_.push_back(0);
+  return it->second;
+}
+
+MediumInfo* ClusterState::MutableMedium(MediumId id) {
+  auto it = media_index_.find(id);
+  return it == media_index_.end() ? nullptr : &media_slab_[it->second];
+}
+
+void ClusterState::IndexInsert(std::vector<uint32_t>* index, uint32_t slot) {
+  MediumId id = media_slab_[slot].id;
+  auto it = std::lower_bound(
+      index->begin(), index->end(), id,
+      [this](uint32_t s, MediumId v) { return media_slab_[s].id < v; });
+  index->insert(it, slot);
+}
+
+void ClusterState::IndexErase(std::vector<uint32_t>* index, uint32_t slot) {
+  MediumId id = media_slab_[slot].id;
+  auto it = std::lower_bound(
+      index->begin(), index->end(), id,
+      [this](uint32_t s, MediumId v) { return media_slab_[s].id < v; });
+  if (it != index->end() && *it == slot) index->erase(it);
+}
+
+void ClusterState::HistInsert(int connections) {
+  int c = std::max(connections, 0);
+  if (c >= static_cast<int>(conn_hist_.size())) conn_hist_.resize(c + 1, 0);
+  conn_hist_[c]++;
+  if (live_media_count_ == 0 || c < min_conn_) min_conn_ = c;
+  ++live_media_count_;
+}
+
+void ClusterState::HistRemove(int connections) {
+  int c = std::max(connections, 0);
+  conn_hist_[c]--;
+  --live_media_count_;
+  if (live_media_count_ == 0) {
+    min_conn_ = 0;
+    return;
+  }
+  // The minimum can only have moved up, and only if its bucket emptied.
+  if (c == min_conn_) {
+    while (conn_hist_[min_conn_] == 0) ++min_conn_;
+  }
+}
+
+void ClusterState::OnMediumBecomesLive(uint32_t slot) {
+  const MediumInfo& m = media_slab_[slot];
+  int bucket = m.tier & 7;
+  IndexInsert(&all_live_, slot);
+  IndexInsert(&tier_live_[bucket], slot);
+  if (++tier_live_media_[bucket] == 1) ++num_active_tiers_;
+  HistInsert(m.nr_connections);
+  double f = m.remaining_fraction();
+  if (!max_rem_dirty_ && f >= max_remaining_fraction_) {
+    max_remaining_fraction_ = f;
+  }
+  tier_rates_dirty_[bucket] = true;
+}
+
+void ClusterState::OnMediumBecomesDead(uint32_t slot) {
+  const MediumInfo& m = media_slab_[slot];
+  int bucket = m.tier & 7;
+  IndexErase(&all_live_, slot);
+  IndexErase(&tier_live_[bucket], slot);
+  if (--tier_live_media_[bucket] == 0) --num_active_tiers_;
+  HistRemove(m.nr_connections);
+  // The departing medium may have been the remaining-fraction maximum.
+  if (!max_rem_dirty_ && m.remaining_fraction() >= max_remaining_fraction_) {
+    max_rem_dirty_ = true;
+  }
+  tier_rates_dirty_[bucket] = true;
+}
+
+void ClusterState::OnFractionChange(double f_old, double f_new) {
+  if (max_rem_dirty_) return;
+  if (f_new >= max_remaining_fraction_) {
+    max_remaining_fraction_ = f_new;
+  } else if (f_old >= max_remaining_fraction_) {
+    max_rem_dirty_ = true;  // the (possibly unique) maximum shrank
+  }
+}
+
+// -- mutation ---------------------------------------------------------------
 
 Status ClusterState::AddWorker(WorkerInfo worker) {
   if (workers_.count(worker.id) > 0) {
     return Status::AlreadyExists("worker " + std::to_string(worker.id));
+  }
+  worker.rack_id = InternRack(worker.location.rack());
+  const NetworkLocation& loc = worker.location;
+  if (!loc.off_cluster() && !loc.node().empty()) {
+    std::vector<WorkerId>& at_node = node_index_[{loc.rack(), loc.node()}];
+    at_node.insert(std::lower_bound(at_node.begin(), at_node.end(), worker.id),
+                   worker.id);
+  }
+  if (worker.alive) {
+    ++num_live_workers_;
+    if (++rack_live_workers_[worker.rack_id] == 1) ++num_live_racks_;
   }
   workers_[worker.id] = std::move(worker);
   return Status::OK();
 }
 
 Status ClusterState::AddMedium(MediumInfo medium) {
-  if (media_.count(medium.id) > 0) {
+  if (media_index_.count(medium.id) > 0) {
     return Status::AlreadyExists("medium " + std::to_string(medium.id));
   }
-  if (workers_.count(medium.worker) == 0) {
+  auto wit = workers_.find(medium.worker);
+  if (wit == workers_.end()) {
     return Status::NotFound("worker " + std::to_string(medium.worker) +
                             " for medium " + std::to_string(medium.id));
   }
-  media_[medium.id] = std::move(medium);
+  medium.rack_id = InternRack(medium.location.rack());
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    media_slab_[slot] = std::move(medium);
+  } else {
+    slot = static_cast<uint32_t>(media_slab_.size());
+    media_slab_.push_back(std::move(medium));
+  }
+  const MediumInfo& m = media_slab_[slot];
+  media_index_[m.id] = slot;
+  IndexInsert(&worker_media_[m.worker], slot);
+  if (wit->second.alive) OnMediumBecomesLive(slot);
   return Status::OK();
 }
 
 Status ClusterState::RemoveWorker(WorkerId id) {
-  if (workers_.erase(id) == 0) {
+  auto wit = workers_.find(id);
+  if (wit == workers_.end()) {
     return Status::NotFound("worker " + std::to_string(id));
   }
-  for (auto it = media_.begin(); it != media_.end();) {
-    if (it->second.worker == id) {
-      it = media_.erase(it);
-    } else {
-      ++it;
+  const bool was_alive = wit->second.alive;
+  auto mit = worker_media_.find(id);
+  if (mit != worker_media_.end()) {
+    for (uint32_t slot : mit->second) {
+      if (was_alive) OnMediumBecomesDead(slot);
+      media_index_.erase(media_slab_[slot].id);
+      free_slots_.push_back(slot);
     }
+    worker_media_.erase(mit);
   }
+  const NetworkLocation& loc = wit->second.location;
+  auto nit = node_index_.find({loc.rack(), loc.node()});
+  if (nit != node_index_.end()) {
+    std::erase(nit->second, id);
+    if (nit->second.empty()) node_index_.erase(nit);
+  }
+  if (was_alive) {
+    --num_live_workers_;
+    if (--rack_live_workers_[wit->second.rack_id] == 0) --num_live_racks_;
+  }
+  workers_.erase(wit);
   return Status::OK();
 }
 
 Status ClusterState::UpdateMediumStats(MediumId id, int64_t remaining_bytes,
                                        int nr_connections) {
-  auto it = media_.find(id);
-  if (it == media_.end()) {
+  MediumInfo* m = MutableMedium(id);
+  if (m == nullptr) {
     return Status::NotFound("medium " + std::to_string(id));
   }
-  it->second.remaining_bytes = remaining_bytes;
-  it->second.nr_connections = nr_connections;
+  if (MediumLive(id)) {
+    HistRemove(m->nr_connections);
+    HistInsert(nr_connections);
+    double f_old = m->remaining_fraction();
+    m->remaining_bytes = remaining_bytes;
+    OnFractionChange(f_old, m->remaining_fraction());
+  } else {
+    m->remaining_bytes = remaining_bytes;
+  }
+  m->nr_connections = nr_connections;
   return Status::OK();
 }
 
 Status ClusterState::SetMediumRates(MediumId id, double write_bps,
                                     double read_bps) {
-  auto it = media_.find(id);
-  if (it == media_.end()) {
+  MediumInfo* m = MutableMedium(id);
+  if (m == nullptr) {
     return Status::NotFound("medium " + std::to_string(id));
   }
-  it->second.write_bps = write_bps;
-  it->second.read_bps = read_bps;
+  m->write_bps = write_bps;
+  m->read_bps = read_bps;
+  tier_rates_dirty_[m->tier & 7] = true;
   return Status::OK();
 }
 
@@ -77,14 +222,38 @@ Status ClusterState::SetWorkerAlive(WorkerId id, bool alive) {
   if (it == workers_.end()) {
     return Status::NotFound("worker " + std::to_string(id));
   }
-  it->second.alive = alive;
+  WorkerInfo& w = it->second;
+  if (w.alive == alive) return Status::OK();
+  w.alive = alive;
+  if (alive) {
+    ++num_live_workers_;
+    if (++rack_live_workers_[w.rack_id] == 1) ++num_live_racks_;
+  } else {
+    --num_live_workers_;
+    if (--rack_live_workers_[w.rack_id] == 0) --num_live_racks_;
+  }
+  auto mit = worker_media_.find(id);
+  if (mit != worker_media_.end()) {
+    for (uint32_t slot : mit->second) {
+      if (alive) {
+        OnMediumBecomesLive(slot);
+      } else {
+        OnMediumBecomesDead(slot);
+      }
+    }
+  }
   return Status::OK();
 }
 
 void ClusterState::AddMediumConnections(MediumId id, int delta) {
-  auto it = media_.find(id);
-  if (it == media_.end()) return;
-  it->second.nr_connections = std::max(0, it->second.nr_connections + delta);
+  MediumInfo* m = MutableMedium(id);
+  if (m == nullptr) return;
+  int updated = std::max(0, m->nr_connections + delta);
+  if (MediumLive(id)) {
+    HistRemove(m->nr_connections);
+    HistInsert(updated);
+  }
+  m->nr_connections = updated;
 }
 
 void ClusterState::AddWorkerConnections(WorkerId id, int delta) {
@@ -94,22 +263,26 @@ void ClusterState::AddWorkerConnections(WorkerId id, int delta) {
 }
 
 Status ClusterState::AdjustMediumRemaining(MediumId id, int64_t delta_bytes) {
-  auto it = media_.find(id);
-  if (it == media_.end()) {
+  MediumInfo* m = MutableMedium(id);
+  if (m == nullptr) {
     return Status::NotFound("medium " + std::to_string(id));
   }
-  int64_t updated = it->second.remaining_bytes + delta_bytes;
+  int64_t updated = m->remaining_bytes + delta_bytes;
   if (updated < 0) {
     return Status::NoSpace("medium " + std::to_string(id) +
                            " remaining would go negative");
   }
-  it->second.remaining_bytes = std::min(updated, it->second.capacity_bytes);
+  double f_old = m->remaining_fraction();
+  m->remaining_bytes = std::min(updated, m->capacity_bytes);
+  if (MediumLive(id)) OnFractionChange(f_old, m->remaining_fraction());
   return Status::OK();
 }
 
+// -- queries ----------------------------------------------------------------
+
 const MediumInfo* ClusterState::FindMedium(MediumId id) const {
-  auto it = media_.find(id);
-  return it == media_.end() ? nullptr : &it->second;
+  auto it = media_index_.find(id);
+  return it == media_index_.end() ? nullptr : &media_slab_[it->second];
 }
 
 const WorkerInfo* ClusterState::FindWorker(WorkerId id) const {
@@ -122,6 +295,17 @@ const TierInfo* ClusterState::FindTier(TierId id) const {
   return it == tiers_.end() ? nullptr : &it->second;
 }
 
+const std::vector<uint32_t>& ClusterState::media_of_worker(WorkerId id) const {
+  auto it = worker_media_.find(id);
+  return it == worker_media_.end() ? kNoMedia : it->second;
+}
+
+int ClusterState::LiveWorkersInRack(int32_t rack_id) const {
+  if (rack_id < 0 || rack_id >= static_cast<int32_t>(rack_live_workers_.size()))
+    return 0;
+  return rack_live_workers_[rack_id];
+}
+
 bool ClusterState::MediumLive(MediumId id) const {
   const MediumInfo* m = FindMedium(id);
   if (m == nullptr) return false;
@@ -131,89 +315,66 @@ bool ClusterState::MediumLive(MediumId id) const {
 
 std::vector<MediumId> ClusterState::MediaOnTier(TierId tier) const {
   std::vector<MediumId> out;
-  for (const auto& [id, m] : media_) {
-    if (m.tier == tier && MediumLive(id)) out.push_back(id);
+  const std::vector<uint32_t>& index = tier_live_[tier & 7];
+  out.reserve(index.size());
+  for (uint32_t slot : index) {
+    if (media_slab_[slot].tier == tier) out.push_back(media_slab_[slot].id);
   }
   return out;
 }
 
 std::vector<MediumId> ClusterState::MediaOnWorker(WorkerId id) const {
   std::vector<MediumId> out;
-  for (const auto& [mid, m] : media_) {
-    if (m.worker == id) out.push_back(mid);
-  }
+  const std::vector<uint32_t>& index = media_of_worker(id);
+  out.reserve(index.size());
+  for (uint32_t slot : index) out.push_back(media_slab_[slot].id);
   return out;
 }
 
 const WorkerInfo* ClusterState::WorkerAt(
     const NetworkLocation& location) const {
   if (location.off_cluster()) return nullptr;
-  for (const auto& [id, w] : workers_) {
-    if (w.alive && w.location.SameNode(location)) return &w;
+  auto it = node_index_.find({location.rack(), location.node()});
+  if (it == node_index_.end()) return nullptr;
+  for (WorkerId id : it->second) {
+    const WorkerInfo* w = FindWorker(id);
+    if (w != nullptr && w->alive) return w;
   }
   return nullptr;
 }
 
-int ClusterState::NumActiveTiers() const {
-  std::set<TierId> tiers;
-  for (const auto& [id, m] : media_) {
-    if (MediumLive(id)) tiers.insert(m.tier);
-  }
-  return static_cast<int>(tiers.size());
-}
-
-int ClusterState::NumLiveWorkers() const {
-  int n = 0;
-  for (const auto& [id, w] : workers_) n += w.alive ? 1 : 0;
-  return n;
-}
-
-int ClusterState::NumRacks() const {
-  std::set<std::string> racks;
-  for (const auto& [id, w] : workers_) {
-    if (w.alive) racks.insert(w.location.rack());
-  }
-  return static_cast<int>(racks.size());
-}
-
 double ClusterState::MaxRemainingFraction() const {
-  double best = 0;
-  for (const auto& [id, m] : media_) {
-    if (MediumLive(id)) best = std::max(best, m.remaining_fraction());
+  if (max_rem_dirty_) {
+    double best = 0;
+    for (uint32_t slot : all_live_) {
+      best = std::max(best, media_slab_[slot].remaining_fraction());
+    }
+    max_remaining_fraction_ = best;
+    max_rem_dirty_ = false;
   }
-  return best;
-}
-
-int ClusterState::MinMediumConnections() const {
-  int best = std::numeric_limits<int>::max();
-  for (const auto& [id, m] : media_) {
-    if (MediumLive(id)) best = std::min(best, m.nr_connections);
-  }
-  return best == std::numeric_limits<int>::max() ? 0 : best;
+  return max_remaining_fraction_;
 }
 
 double ClusterState::TierAvgWriteBps(TierId tier) const {
-  double sum = 0;
-  int n = 0;
-  for (const auto& [id, m] : media_) {
-    if (m.tier == tier && MediumLive(id)) {
-      sum += m.write_bps;
+  int bucket = tier & 7;
+  if (tier_rates_dirty_[bucket]) {
+    double write_sum = 0, read_sum = 0;
+    int n = 0;
+    for (uint32_t slot : tier_live_[bucket]) {
+      write_sum += media_slab_[slot].write_bps;
+      read_sum += media_slab_[slot].read_bps;
       ++n;
     }
+    tier_avg_write_[bucket] = n == 0 ? 0.0 : write_sum / n;
+    tier_avg_read_[bucket] = n == 0 ? 0.0 : read_sum / n;
+    tier_rates_dirty_[bucket] = false;
   }
-  return n == 0 ? 0.0 : sum / n;
+  return tier_avg_write_[bucket];
 }
 
 double ClusterState::TierAvgReadBps(TierId tier) const {
-  double sum = 0;
-  int n = 0;
-  for (const auto& [id, m] : media_) {
-    if (m.tier == tier && MediumLive(id)) {
-      sum += m.read_bps;
-      ++n;
-    }
-  }
-  return n == 0 ? 0.0 : sum / n;
+  TierAvgWriteBps(tier);  // refreshes both cached averages
+  return tier_avg_read_[tier & 7];
 }
 
 double ClusterState::MaxTierWriteBps() const {
@@ -233,8 +394,9 @@ std::vector<StorageTierReport> ClusterState::TierReports() const {
     report.type = tier.type;
     std::set<WorkerId> workers_on_tier;
     double write_sum = 0, read_sum = 0;
-    for (const auto& [mid, m] : media_) {
-      if (m.tier != tid || !MediumLive(mid)) continue;
+    for (uint32_t slot : tier_live_[tid & 7]) {
+      const MediumInfo& m = media_slab_[slot];
+      if (m.tier != tid) continue;
       report.num_media++;
       workers_on_tier.insert(m.worker);
       report.capacity_bytes += m.capacity_bytes;

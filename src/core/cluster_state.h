@@ -1,9 +1,11 @@
 #ifndef OCTOPUSFS_CORE_CLUSTER_STATE_H_
 #define OCTOPUSFS_CORE_CLUSTER_STATE_H_
 
+#include <array>
+#include <cstdint>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -22,6 +24,8 @@ struct WorkerInfo {
   int nr_connections = 0;   // active network connections (NrConn[W])
   bool alive = true;
   int64_t last_heartbeat_micros = 0;
+  /// Interned id of location.rack(), assigned by ClusterState::AddWorker.
+  int32_t rack_id = -1;
 };
 
 /// Name and physical type of one virtual storage tier.
@@ -35,6 +39,21 @@ struct TierInfo {
 /// policies read: workers, media, tiers, and cluster-wide aggregates.
 /// The Master owns the live copy and refreshes the per-media statistics
 /// from heartbeats; policies only read it.
+///
+/// Media are stored in a contiguous slab (`media_slab()`), with
+/// maintained live-candidate indexes (`live_media()`,
+/// `live_media_on_tier()`, `media_of_worker()`) that list slab slots in
+/// ascending MediumId order, so a placement decision iterates exactly
+/// its feasible candidates without scanning or allocating. The
+/// cluster-wide aggregates the objective functions read are maintained
+/// incrementally on mutation (distinct counts, connection histogram) or
+/// cached with lazy recomputation (extrema and tier throughput
+/// averages), so constructing an `Objectives` is O(1) amortized instead
+/// of a full media scan.
+///
+/// Pointers returned by FindMedium()/iteration are stable across stats
+/// updates but invalidated by AddMedium/RemoveWorker (slab growth /
+/// slot reuse); do not hold them across registration changes.
 class ClusterState {
  public:
   ClusterState() = default;
@@ -64,13 +83,83 @@ class ClusterState {
 
   // -- queries (policy side) -----------------------------------------------
 
-  const std::map<MediumId, MediumInfo>& media() const { return media_; }
+  /// Read-only view over all registered media as (MediumId, MediumInfo&)
+  /// pairs in ascending id order — same iteration shape as the
+  /// std::map the state used to expose.
+  class MediaView {
+   public:
+    class const_iterator {
+     public:
+      using underlying = std::map<MediumId, uint32_t>::const_iterator;
+      const_iterator(underlying it, const MediumInfo* slab)
+          : it_(it), slab_(slab) {}
+      std::pair<MediumId, const MediumInfo&> operator*() const {
+        return {it_->first, slab_[it_->second]};
+      }
+      const_iterator& operator++() {
+        ++it_;
+        return *this;
+      }
+      bool operator==(const const_iterator& other) const {
+        return it_ == other.it_;
+      }
+      bool operator!=(const const_iterator& other) const {
+        return it_ != other.it_;
+      }
+
+     private:
+      underlying it_;
+      const MediumInfo* slab_;
+    };
+
+    const_iterator begin() const {
+      return const_iterator(index_->begin(), slab_->data());
+    }
+    const_iterator end() const {
+      return const_iterator(index_->end(), slab_->data());
+    }
+    size_t size() const { return index_->size(); }
+    bool empty() const { return index_->empty(); }
+
+   private:
+    friend class ClusterState;
+    MediaView(const std::map<MediumId, uint32_t>* index,
+              const std::vector<MediumInfo>* slab)
+        : index_(index), slab_(slab) {}
+    const std::map<MediumId, uint32_t>* index_;
+    const std::vector<MediumInfo>* slab_;
+  };
+
+  MediaView media() const { return MediaView(&media_index_, &media_slab_); }
   const std::map<WorkerId, WorkerInfo>& workers() const { return workers_; }
   const std::map<TierId, TierInfo>& tiers() const { return tiers_; }
 
   const MediumInfo* FindMedium(MediumId id) const;
   const WorkerInfo* FindWorker(WorkerId id) const;
   const TierInfo* FindTier(TierId id) const;
+
+  // -- candidate indexes (placement hot path) ------------------------------
+
+  /// The contiguous media slab. Slots named by the index vectors below;
+  /// freed slots (after RemoveWorker) are reused for new media.
+  const std::vector<MediumInfo>& media_slab() const { return media_slab_; }
+  /// Slots of all media on live workers, ascending MediumId.
+  const std::vector<uint32_t>& live_media() const { return all_live_; }
+  /// Slots of live media whose tier == `tier` (tiers 0..6), ascending
+  /// MediumId.
+  const std::vector<uint32_t>& live_media_on_tier(TierId tier) const {
+    return tier_live_[tier & 7];
+  }
+  /// Slots of every medium hosted by `id` (regardless of liveness),
+  /// ascending MediumId.
+  const std::vector<uint32_t>& media_of_worker(WorkerId id) const;
+
+  /// Interned rack-name table (lexicographically ordered, as the old
+  /// std::set<std::string> scans were) and per-rack live-worker counts.
+  const std::map<std::string, int32_t>& rack_index() const {
+    return rack_ids_;
+  }
+  int LiveWorkersInRack(int32_t rack_id) const;
 
   /// Media hosted by live workers with tier == `tier`.
   std::vector<MediumId> MediaOnTier(TierId tier) const;
@@ -81,17 +170,19 @@ class ClusterState {
   const WorkerInfo* WorkerAt(const NetworkLocation& location) const;
 
   /// Distinct tiers that have at least one medium on a live worker.
-  int NumActiveTiers() const;
+  int NumActiveTiers() const { return num_active_tiers_; }
   /// Live workers.
-  int NumLiveWorkers() const;
+  int NumLiveWorkers() const { return num_live_workers_; }
   /// Distinct racks among live workers.
-  int NumRacks() const;
+  int NumRacks() const { return num_live_racks_; }
 
   /// Cluster-wide aggregates used by the objective upper bounds.
   /// Maximum Rem[m]/Cap[m] over live media.
   double MaxRemainingFraction() const;
   /// Minimum NrConn[m] over live media.
-  int MinMediumConnections() const;
+  int MinMediumConnections() const {
+    return live_media_count_ == 0 ? 0 : min_conn_;
+  }
   /// Tier-average write/read throughput (paper: worker-profiled rates are
   /// "averaged per storage tier").
   double TierAvgWriteBps(TierId tier) const;
@@ -106,9 +197,64 @@ class ClusterState {
   bool MediumLive(MediumId id) const;
 
  private:
+  int32_t InternRack(const std::string& rack);
+  MediumInfo* MutableMedium(MediumId id);
+
+  /// Keeps `index` sorted by the MediumId of the slot's slab entry.
+  void IndexInsert(std::vector<uint32_t>* index, uint32_t slot);
+  void IndexErase(std::vector<uint32_t>* index, uint32_t slot);
+
+  /// Connection histogram over live media (exact running minimum).
+  void HistInsert(int connections);
+  void HistRemove(int connections);
+
+  /// Membership transitions of one medium in the live indexes and the
+  /// live-media aggregates (called when its worker's liveness flips or
+  /// the medium is registered/unregistered).
+  void OnMediumBecomesLive(uint32_t slot);
+  void OnMediumBecomesDead(uint32_t slot);
+
+  /// Max-remaining-fraction maintenance for one live medium whose
+  /// fraction changed from `f_old` to `f_new`.
+  void OnFractionChange(double f_old, double f_new);
+
   std::map<WorkerId, WorkerInfo> workers_;
-  std::map<MediumId, MediumInfo> media_;
   std::map<TierId, TierInfo> tiers_;
+
+  // Media storage: contiguous slab + ordered id index; freed slots reused.
+  std::vector<MediumInfo> media_slab_;
+  std::vector<uint32_t> free_slots_;
+  std::map<MediumId, uint32_t> media_index_;
+
+  // Live-candidate indexes (slab slots sorted by MediumId).
+  std::vector<uint32_t> all_live_;
+  std::array<std::vector<uint32_t>, 8> tier_live_;
+  std::map<WorkerId, std::vector<uint32_t>> worker_media_;
+
+  // Node-location index for WorkerAt (worker ids sorted ascending).
+  std::map<std::pair<std::string, std::string>, std::vector<WorkerId>>
+      node_index_;
+
+  // Rack interning + per-rack live-worker counts.
+  std::map<std::string, int32_t> rack_ids_;
+  std::vector<int> rack_live_workers_;
+
+  // Incrementally maintained aggregates.
+  int num_live_workers_ = 0;
+  int num_live_racks_ = 0;
+  std::array<int, 8> tier_live_media_{};
+  int num_active_tiers_ = 0;
+  std::vector<int> conn_hist_;
+  int live_media_count_ = 0;
+  int min_conn_ = 0;
+
+  // Lazily recomputed aggregates (dirtied only by mutations that can
+  // actually change them; recomputation scans the live indexes).
+  mutable double max_remaining_fraction_ = 0;
+  mutable bool max_rem_dirty_ = false;
+  mutable std::array<double, 8> tier_avg_write_{};
+  mutable std::array<double, 8> tier_avg_read_{};
+  mutable std::array<bool, 8> tier_rates_dirty_{};
 };
 
 }  // namespace octo

@@ -29,6 +29,15 @@ Objectives::Objectives(const ClusterState& state, int64_t block_size)
   for (TierId t = 0; t < 8; ++t) {
     tier_avg_write_bps_[t] = state.TierAvgWriteBps(t);
   }
+  if (max_tier_write_bps_ > 0) {
+    double denom = LogMBps(max_tier_write_bps_);
+    if (denom > 0) {
+      tm_active_ = true;
+      for (TierId t = 0; t < 8; ++t) {
+        tm_term_[t] = LogMBps(tier_avg_write_bps_[t]) / denom;
+      }
+    }
+  }
 }
 
 double Objectives::DataBalancing(
@@ -130,6 +139,142 @@ double Objectives::SingleObjectiveScore(
   ObjectiveVector z = Ideal(static_cast<int>(chosen.size()));
   int i = static_cast<int>(objective);
   return std::abs(f[i] - z[i]);
+}
+
+void ScoreAccumulator::Reset(const Objectives* objectives) {
+  objectives_ = objectives;
+  size_ = 0;
+  db_sum_ = 0;
+  lb_sum_ = 0;
+  tm_sum_ = 0;
+  tier_count_.fill(0);
+  distinct_tiers_ = 0;
+  nodes_.clear();
+  racks_.clear();
+}
+
+void ScoreAccumulator::Add(const MediumInfo& m) {
+  ++size_;
+  if (m.capacity_bytes > 0) {
+    db_sum_ += static_cast<double>(m.remaining_bytes - objectives_->block_size()) /
+               static_cast<double>(m.capacity_bytes);
+  }
+  lb_sum_ += 1.0 / (m.nr_connections + 1);
+  tm_sum_ += objectives_->tm_term(m.tier);
+  if (tier_count_[m.tier & 7]++ == 0) ++distinct_tiers_;
+  if (std::find(nodes_.begin(), nodes_.end(), m.worker) == nodes_.end()) {
+    nodes_.push_back(m.worker);
+  }
+  if (std::find(racks_.begin(), racks_.end(), m.rack_id) == racks_.end()) {
+    racks_.push_back(m.rack_id);
+  }
+}
+
+double ScoreAccumulator::FaultToleranceOf(int r, int tiers, int nodes,
+                                          int racks) const {
+  if (r == 0) return 0;
+  int total_tiers = objectives_->total_tiers();
+  int total_nodes = objectives_->total_nodes();
+  int total_racks = objectives_->total_racks();
+  double tier_term =
+      total_tiers == 0
+          ? 0.0
+          : static_cast<double>(tiers) / std::min(r, total_tiers);
+  double node_term =
+      total_nodes == 0
+          ? 0.0
+          : static_cast<double>(nodes) / std::min(r, total_nodes);
+  double rack_term =
+      total_racks == 1 ? 1.0 : 1.0 / (std::abs(racks - 2) + 1);
+  return tier_term + node_term + rack_term;
+}
+
+double ScoreAccumulator::ScoreOf(int r, double db, double lb, int tiers,
+                                 int nodes, int racks, double tm) const {
+  // Same term order as Objectives::Score so rounding is identical.
+  double f_ft = FaultToleranceOf(r, tiers, nodes, racks);
+  double ideal_db = r * objectives_->max_remaining_fraction();
+  double ideal_lb = r * (1.0 / (objectives_->min_connections() + 1));
+  double d0 = db - ideal_db;
+  double d1 = lb - ideal_lb;
+  double d2 = f_ft - 3.0;
+  double d3 = tm - static_cast<double>(r);
+  double sum_sq = 0;
+  sum_sq += d0 * d0;
+  sum_sq += d1 * d1;
+  sum_sq += d2 * d2;
+  sum_sq += d3 * d3;
+  return std::sqrt(sum_sq);
+}
+
+double ScoreAccumulator::Score() const {
+  return ScoreOf(size_, db_sum_, lb_sum_, distinct_tiers_,
+                 static_cast<int>(nodes_.size()),
+                 static_cast<int>(racks_.size()), tm_sum_);
+}
+
+double ScoreAccumulator::ScoreWith(const MediumInfo& candidate) const {
+  double db = db_sum_;
+  if (candidate.capacity_bytes > 0) {
+    db += static_cast<double>(candidate.remaining_bytes -
+                              objectives_->block_size()) /
+          static_cast<double>(candidate.capacity_bytes);
+  }
+  double lb = lb_sum_ + 1.0 / (candidate.nr_connections + 1);
+  double tm = tm_sum_ + objectives_->tm_term(candidate.tier);
+  int tiers = distinct_tiers_ + (tier_count_[candidate.tier & 7] == 0 ? 1 : 0);
+  int nodes = static_cast<int>(nodes_.size()) +
+              (std::find(nodes_.begin(), nodes_.end(), candidate.worker) ==
+                       nodes_.end()
+                   ? 1
+                   : 0);
+  int racks = static_cast<int>(racks_.size()) +
+              (std::find(racks_.begin(), racks_.end(), candidate.rack_id) ==
+                       racks_.end()
+                   ? 1
+                   : 0);
+  return ScoreOf(size_ + 1, db, lb, tiers, nodes, racks, tm);
+}
+
+double ScoreAccumulator::SingleObjectiveScoreWith(
+    Objective objective, const MediumInfo& candidate) const {
+  const int r = size_ + 1;
+  switch (objective) {
+    case Objective::kDataBalancing: {
+      double db = db_sum_;
+      if (candidate.capacity_bytes > 0) {
+        db += static_cast<double>(candidate.remaining_bytes -
+                                  objectives_->block_size()) /
+              static_cast<double>(candidate.capacity_bytes);
+      }
+      return std::abs(db - r * objectives_->max_remaining_fraction());
+    }
+    case Objective::kLoadBalancing: {
+      double lb = lb_sum_ + 1.0 / (candidate.nr_connections + 1);
+      return std::abs(lb - r * (1.0 / (objectives_->min_connections() + 1)));
+    }
+    case Objective::kFaultTolerance: {
+      int tiers =
+          distinct_tiers_ + (tier_count_[candidate.tier & 7] == 0 ? 1 : 0);
+      int nodes = static_cast<int>(nodes_.size()) +
+                  (std::find(nodes_.begin(), nodes_.end(), candidate.worker) ==
+                           nodes_.end()
+                       ? 1
+                       : 0);
+      int racks =
+          static_cast<int>(racks_.size()) +
+          (std::find(racks_.begin(), racks_.end(), candidate.rack_id) ==
+                   racks_.end()
+               ? 1
+               : 0);
+      return std::abs(FaultToleranceOf(r, tiers, nodes, racks) - 3.0);
+    }
+    case Objective::kThroughputMax: {
+      double tm = tm_sum_ + objectives_->tm_term(candidate.tier);
+      return std::abs(tm - static_cast<double>(r));
+    }
+  }
+  return 0;
 }
 
 }  // namespace octo

@@ -57,6 +57,19 @@ class Objectives {
 
   int64_t block_size() const { return block_size_; }
 
+  // Aggregates captured at construction, exposed for ScoreAccumulator.
+  int total_tiers() const { return total_tiers_; }
+  int total_nodes() const { return total_nodes_; }
+  int total_racks() const { return total_racks_; }
+  double max_remaining_fraction() const { return max_remaining_fraction_; }
+  int min_connections() const { return min_connections_; }
+  /// True when the throughput objective is active (some tier has a
+  /// positive average write rate).
+  bool tm_active() const { return tm_active_; }
+  /// Precomputed f_tm contribution of one medium on `tier`:
+  /// log(WThru_tier) / log(max_tier WThru). Zero when !tm_active().
+  double tm_term(TierId tier) const { return tm_term_[tier & 7]; }
+
  private:
   const ClusterState& state_;
   int64_t block_size_;
@@ -69,6 +82,57 @@ class Objectives {
   int min_connections_;
   double max_tier_write_bps_;
   std::array<double, 8> tier_avg_write_bps_;  // indexed by TierId
+  bool tm_active_ = false;
+  std::array<double, 8> tm_term_{};
+};
+
+/// Incremental evaluator for Algorithm 1's inner loop. Maintains the
+/// running objective sums (and exact distinct tier/node/rack counts) of
+/// the replicas chosen so far, so scoring one more candidate is O(1)
+/// instead of O(|chosen|) set rebuilding. Committed media are never
+/// removed — greedy selection only grows the set, and callers that need
+/// leave-one-out scores (replica removal) re-accumulate.
+///
+/// Scores are bit-identical to Objectives::Score on the equivalent
+/// vector: sums are committed in choice order and the candidate's term is
+/// added last, reproducing the original left-to-right summation; the
+/// fault-tolerance terms are ratios of exact integer counts.
+class ScoreAccumulator {
+ public:
+  ScoreAccumulator() = default;
+
+  /// Rebinds to `objectives` and clears all running state. Retains vector
+  /// capacity, so a reused accumulator does not allocate.
+  void Reset(const Objectives* objectives);
+
+  /// Commits one chosen medium into the running sums.
+  void Add(const MediumInfo& m);
+
+  int size() const { return size_; }
+
+  /// ‖f − z*‖₂ of the committed set.
+  double Score() const;
+  /// ‖f − z*‖₂ of the committed set plus `candidate`, without committing.
+  double ScoreWith(const MediumInfo& candidate) const;
+  /// |f_i − z*_i| of the committed set plus `candidate`.
+  double SingleObjectiveScoreWith(Objective objective,
+                                  const MediumInfo& candidate) const;
+
+ private:
+  double ScoreOf(int r, double db, double lb, int tiers, int nodes, int racks,
+                 double tm) const;
+  double FaultToleranceOf(int r, int tiers, int nodes, int racks) const;
+
+  const Objectives* objectives_ = nullptr;
+  int size_ = 0;
+  double db_sum_ = 0;
+  double lb_sum_ = 0;
+  double tm_sum_ = 0;
+  // Exact distinct counts for the fault-tolerance terms.
+  std::array<int, 8> tier_count_{};
+  int distinct_tiers_ = 0;
+  std::vector<WorkerId> nodes_;   // distinct workers seen
+  std::vector<int32_t> racks_;    // distinct interned rack ids seen
 };
 
 }  // namespace octo

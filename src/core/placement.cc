@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
 #include "common/logging.h"
 
@@ -10,28 +9,40 @@ namespace octo {
 
 namespace {
 
-std::vector<const MediumInfo*> ResolveMedia(const ClusterState& state,
-                                            const std::vector<MediumId>& ids) {
-  std::vector<const MediumInfo*> out;
-  out.reserve(ids.size());
+/// Reusable per-policy working set: every vector a placement decision
+/// needs, retained across decisions so the steady-state hot path performs
+/// no heap allocations per candidate (and almost none per decision).
+struct PlacementScratch {
+  std::vector<const MediumInfo*> chosen;    // existing + picked so far
+  std::vector<const MediumInfo*> options;   // GenOptions output
+  std::vector<const MediumInfo*> filtered;  // pruning scratch
+  std::vector<TierId> entries;              // expanded replication vector
+  std::vector<int32_t> rack_seq;            // racks of chosen, in pick order
+  std::vector<WorkerId> nodes;              // HDFS node candidates
+  ScoreAccumulator acc;
+};
+
+void ResolveMediaInto(const ClusterState& state,
+                      const std::vector<MediumId>& ids,
+                      std::vector<const MediumInfo*>* out) {
+  out->clear();
+  out->reserve(ids.size());
   for (MediumId id : ids) {
     const MediumInfo* m = state.FindMedium(id);
-    if (m != nullptr) out.push_back(m);
+    if (m != nullptr) out->push_back(m);
   }
-  return out;
 }
 
 /// Expands a replication vector into per-replica tier entries: explicitly
 /// named tiers first (fastest tier first), then the Unspecified entries.
-std::vector<TierId> ExpandEntries(const ReplicationVector& v) {
-  std::vector<TierId> entries;
+void ExpandEntriesInto(const ReplicationVector& v, std::vector<TierId>* out) {
+  out->clear();
   for (TierId t = 0; t < kMaxTiers; ++t) {
-    for (int i = 0; i < v.Get(t); ++i) entries.push_back(t);
+    for (int i = 0; i < v.Get(t); ++i) out->push_back(t);
   }
   for (int i = 0; i < v.unspecified(); ++i) {
-    entries.push_back(kUnspecifiedTier);
+    out->push_back(kUnspecifiedTier);
   }
-  return entries;
 }
 
 bool AlreadyChosen(const std::vector<const MediumInfo*>& chosen,
@@ -42,95 +53,100 @@ bool AlreadyChosen(const std::vector<const MediumInfo*>& chosen,
   return false;
 }
 
-int CountVolatile(const std::vector<const MediumInfo*>& chosen) {
-  int n = 0;
-  for (const MediumInfo* m : chosen) n += IsVolatile(m->type) ? 1 : 0;
-  return n;
-}
-
 /// GenOptions from Algorithm 2: produces the feasible candidate media for
 /// the next replica, applying the feasibility constraints and the pruning
 /// heuristics of §3.3. Falls back to a less-pruned set rather than
 /// returning empty when a heuristic (not a hard constraint) eliminates
 /// every option.
-std::vector<const MediumInfo*> GenOptions(
-    const ClusterState& state, const PlacementRequest& request,
-    const std::vector<const MediumInfo*>& chosen, TierId entry,
-    const MoopOptions& options, int total_replicas) {
-  std::vector<const MediumInfo*> base;
-  for (const auto& [id, m] : state.media()) {
-    if (!state.MediumLive(id)) continue;
-    if (AlreadyChosen(chosen, id)) continue;  // never two replicas on one m
+///
+/// Candidates come from the state's maintained live-media indexes (whole
+/// cluster for an Unspecified entry, one tier otherwise) instead of a
+/// scan over every registered medium; both enumerate in ascending
+/// MediumId order, so the candidate list — and therefore the Shuffle
+/// permutation consumed from `rng` by the caller — is unchanged.
+void GenOptions(const ClusterState& state, const PlacementRequest& request,
+                TierId entry, const MoopOptions& options, int total_replicas,
+                int volatile_count, PlacementScratch* scratch) {
+  std::vector<const MediumInfo*>& base = scratch->options;
+  base.clear();
+  const std::vector<MediumInfo>& slab = state.media_slab();
+  const bool unspecified = entry == kUnspecifiedTier;
+  const std::vector<uint32_t>& index =
+      unspecified ? state.live_media() : state.live_media_on_tier(entry);
+  const int volatile_cap =
+      static_cast<int>(total_replicas * options.memory_fraction_cap);
+  for (uint32_t slot : index) {
+    const MediumInfo& m = slab[slot];
+    if (!unspecified && m.tier != entry) continue;  // user pinned the tier
+    if (AlreadyChosen(scratch->chosen, m.id)) continue;  // one replica per m
     if (m.remaining_bytes - request.block_size < 0) continue;  // space
-    if (entry != kUnspecifiedTier) {
-      if (m.tier != entry) continue;  // user pinned the tier
-    } else if (IsVolatile(m.type)) {
+    if (unspecified && IsVolatile(m.type)) {
       if (!options.use_memory) continue;  // memory is opt-in for U entries
       // Cap the fraction of replicas on volatile media (paper: <= 1/3).
-      int cap = static_cast<int>(total_replicas * options.memory_fraction_cap);
-      if (CountVolatile(chosen) + 1 > cap) continue;
+      if (volatile_count + 1 > volatile_cap) continue;
     }
     base.push_back(&m);
   }
-  if (base.empty()) return base;
+  if (base.empty()) return;
 
   // Rack heuristics: after m1 prune m1's rack (forces the 2nd rack);
   // after m2 restrict to the two racks already used.
   if (options.rack_pruning && state.NumRacks() > 1) {
-    std::vector<std::string> racks;  // racks of chosen, in selection order
-    for (const MediumInfo* m : chosen) {
-      if (std::find(racks.begin(), racks.end(), m->location.rack()) ==
-          racks.end()) {
-        racks.push_back(m->location.rack());
+    std::vector<int32_t>& racks = scratch->rack_seq;
+    racks.clear();
+    for (const MediumInfo* m : scratch->chosen) {
+      if (std::find(racks.begin(), racks.end(), m->rack_id) == racks.end()) {
+        racks.push_back(m->rack_id);
       }
     }
-    std::vector<const MediumInfo*> pruned;
-    if (racks.size() == 1) {
-      for (const MediumInfo* m : base) {
-        if (m->location.rack() != racks[0]) pruned.push_back(m);
-      }
-    } else if (racks.size() >= 2) {
-      for (const MediumInfo* m : base) {
-        if (m->location.rack() == racks[0] || m->location.rack() == racks[1]) {
-          pruned.push_back(m);
+    if (!racks.empty()) {
+      std::vector<const MediumInfo*>& pruned = scratch->filtered;
+      pruned.clear();
+      if (racks.size() == 1) {
+        for (const MediumInfo* m : base) {
+          if (m->rack_id != racks[0]) pruned.push_back(m);
+        }
+      } else {
+        for (const MediumInfo* m : base) {
+          if (m->rack_id == racks[0] || m->rack_id == racks[1]) {
+            pruned.push_back(m);
+          }
         }
       }
-    } else {
-      pruned = base;
+      if (!pruned.empty()) base.swap(pruned);
     }
-    if (!pruned.empty()) base = std::move(pruned);
   }
 
   // First replica: prefer the client's own worker when collocated.
-  if (options.prefer_client_local && chosen.empty()) {
+  if (options.prefer_client_local && scratch->chosen.empty()) {
     const WorkerInfo* local = state.WorkerAt(request.client);
     if (local != nullptr) {
-      std::vector<const MediumInfo*> local_media;
+      std::vector<const MediumInfo*>& local_media = scratch->filtered;
+      local_media.clear();
       for (const MediumInfo* m : base) {
         if (m->worker == local->id) local_media.push_back(m);
       }
-      if (!local_media.empty()) base = std::move(local_media);
+      if (!local_media.empty()) base.swap(local_media);
     }
   }
-  return base;
 }
 
-/// Algorithm 1: evaluates adding each option to the chosen list and
-/// returns the option with the lowest score. `score` is the MOOP distance
-/// (or a single-objective distance). The caller shuffles `options`, so
-/// equal-score candidates are chosen uniformly at random — without this,
-/// every concurrent writer would pile onto the same media whenever a
-/// whole tier scores identically (fresh cluster, uniform devices).
-template <typename ScoreFn>
+/// Algorithm 1: scores adding each option to the chosen set and returns
+/// the option with the lowest score, evaluated in O(1) per candidate via
+/// the accumulator's running sums (`single == nullptr` means the full
+/// MOOP distance). The caller shuffles `options`, so equal-score
+/// candidates are chosen uniformly at random — without this, every
+/// concurrent writer would pile onto the same media whenever a whole tier
+/// scores identically (fresh cluster, uniform devices).
 const MediumInfo* SolveMoop(const std::vector<const MediumInfo*>& options,
-                            std::vector<const MediumInfo*>* chosen,
-                            const ScoreFn& score) {
+                            const ScoreAccumulator& acc,
+                            const Objective* single) {
   double best_score = 0;
   const MediumInfo* best = nullptr;
   for (const MediumInfo* option : options) {
-    chosen->push_back(option);
-    double s = score(*chosen);
-    chosen->pop_back();
+    double s = single == nullptr
+                   ? acc.ScoreWith(*option)
+                   : acc.SingleObjectiveScoreWith(*single, *option);
     if (best == nullptr || s < best_score - 1e-12) {
       best_score = s;
       best = option;
@@ -140,26 +156,39 @@ const MediumInfo* SolveMoop(const std::vector<const MediumInfo*>& options,
 }
 
 /// Shared driver for the MOOP and single-objective policies (Algorithm 2).
-template <typename ScoreFn>
 Result<std::vector<MediumId>> GreedyPlace(const ClusterState& state,
                                           const PlacementRequest& request,
                                           const MoopOptions& options,
-                                          const ScoreFn& score, Random* rng) {
-  std::vector<const MediumInfo*> chosen = ResolveMedia(state, request.existing);
+                                          const Objective* single,
+                                          PlacementScratch* scratch,
+                                          Random* rng) {
+  Objectives objectives(state, request.block_size);
+  std::vector<const MediumInfo*>& chosen = scratch->chosen;
+  ResolveMediaInto(state, request.existing, &chosen);
+  scratch->acc.Reset(&objectives);
+  int volatile_count = 0;
+  for (const MediumInfo* m : chosen) {
+    scratch->acc.Add(*m);
+    volatile_count += IsVolatile(m->type) ? 1 : 0;
+  }
   const int total_replicas =
       static_cast<int>(chosen.size()) + request.rep_vector.total();
-  std::vector<TierId> entries = ExpandEntries(request.rep_vector);
+  ExpandEntriesInto(request.rep_vector, &scratch->entries);
   std::vector<MediumId> placed;
-  for (TierId entry : entries) {
-    std::vector<const MediumInfo*> opts =
-        GenOptions(state, request, chosen, entry, options, total_replicas);
+  placed.reserve(scratch->entries.size());
+  for (TierId entry : scratch->entries) {
+    GenOptions(state, request, entry, options, total_replicas, volatile_count,
+               scratch);
+    std::vector<const MediumInfo*>& opts = scratch->options;
     if (opts.empty()) continue;  // cannot satisfy this entry; place the rest
     rng->Shuffle(&opts);  // random tie-breaking (see SolveMoop)
-    const MediumInfo* best = SolveMoop(opts, &chosen, score);
+    const MediumInfo* best = SolveMoop(opts, scratch->acc, single);
     chosen.push_back(best);
+    scratch->acc.Add(*best);
+    volatile_count += IsVolatile(best->type) ? 1 : 0;
     placed.push_back(best->id);
   }
-  if (placed.empty() && !entries.empty()) {
+  if (placed.empty() && !scratch->entries.empty()) {
     return Status::NoSpace("no feasible media for any requested replica");
   }
   return placed;
@@ -174,16 +203,12 @@ class MoopPlacementPolicy : public PlacementPolicy {
   Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
                                               const PlacementRequest& request,
                                               Random* rng) override {
-    Objectives objectives(state, request.block_size);
-    return GreedyPlace(state, request, options_,
-                       [&objectives](const auto& chosen) {
-                         return objectives.Score(chosen);
-                       },
-                       rng);
+    return GreedyPlace(state, request, options_, nullptr, &scratch_, rng);
   }
 
  private:
   MoopOptions options_;
+  PlacementScratch scratch_;
 };
 
 class SingleObjectivePolicy : public PlacementPolicy {
@@ -211,19 +236,14 @@ class SingleObjectivePolicy : public PlacementPolicy {
   Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
                                               const PlacementRequest& request,
                                               Random* rng) override {
-    Objectives objectives(state, request.block_size);
-    return GreedyPlace(
-        state, request, options_,
-        [this, &objectives](const auto& chosen) {
-          return objectives.SingleObjectiveScore(objective_, chosen);
-        },
-        rng);
+    return GreedyPlace(state, request, options_, &objective_, &scratch_, rng);
   }
 
  private:
   Objective objective_;
   MoopOptions options_;
   std::string name_;
+  PlacementScratch scratch_;
 };
 
 class RuleBasedPolicy : public PlacementPolicy {
@@ -234,30 +254,28 @@ class RuleBasedPolicy : public PlacementPolicy {
                                               const PlacementRequest& request,
                                               Random* rng) override {
     // Active tiers, fastest first; replicas rotate across them.
-    std::set<TierId> tier_set;
-    for (const auto& [id, m] : state.media()) {
-      if (state.MediumLive(id)) tier_set.insert(m.tier);
+    std::vector<TierId> tiers;
+    for (TierId t = 0; t < kMaxTiers; ++t) {
+      if (!state.live_media_on_tier(t).empty()) tiers.push_back(t);
     }
-    if (tier_set.empty()) return Status::NoSpace("no live media");
-    std::vector<TierId> tiers(tier_set.begin(), tier_set.end());
+    if (tiers.empty()) return Status::NoSpace("no live media");
 
-    // Pick (up to) two racks at random for this block.
-    std::vector<std::string> all_racks;
-    {
-      std::set<std::string> rack_set;
-      for (const auto& [id, w] : state.workers()) {
-        if (w.alive) rack_set.insert(w.location.rack());
-      }
-      all_racks.assign(rack_set.begin(), rack_set.end());
-      rng->Shuffle(&all_racks);
-      if (all_racks.size() > 2) all_racks.resize(2);
+    // Pick (up to) two racks at random for this block. rack_index() is
+    // ordered by rack name, matching the old sorted-set enumeration.
+    std::vector<int32_t> block_racks;
+    for (const auto& [name, rid] : state.rack_index()) {
+      if (state.LiveWorkersInRack(rid) > 0) block_racks.push_back(rid);
     }
+    rng->Shuffle(&block_racks);
+    if (block_racks.size() > 2) block_racks.resize(2);
 
-    std::vector<const MediumInfo*> chosen =
-        ResolveMedia(state, request.existing);
+    std::vector<const MediumInfo*>& chosen = scratch_.chosen;
+    ResolveMediaInto(state, request.existing, &chosen);
     std::vector<MediumId> placed;
     const int want = request.rep_vector.total();
-    std::vector<TierId> entries = ExpandEntries(request.rep_vector);
+    ExpandEntriesInto(request.rep_vector, &scratch_.entries);
+    const std::vector<TierId>& entries = scratch_.entries;
+    const std::vector<int32_t> no_racks;
     for (int i = 0; i < want; ++i) {
       // Honor an explicitly requested tier; otherwise rotate.
       const MediumInfo* pick = nullptr;
@@ -266,7 +284,7 @@ class RuleBasedPolicy : public PlacementPolicy {
         TierId tier = entries[i] != kUnspecifiedTier
                           ? entries[i]
                           : tiers[rr_++ % tiers.size()];
-        pick = PickOnTier(state, request, chosen, tier, all_racks, rng);
+        pick = PickOnTier(state, request, tier, block_racks, rng);
         if (entries[i] != kUnspecifiedTier) break;
       }
       if (pick == nullptr) {
@@ -274,7 +292,7 @@ class RuleBasedPolicy : public PlacementPolicy {
         TierId tier = entries[i] != kUnspecifiedTier
                           ? entries[i]
                           : tiers[rr_++ % tiers.size()];
-        pick = PickOnTier(state, request, chosen, tier, {}, rng);
+        pick = PickOnTier(state, request, tier, no_racks, rng);
       }
       if (pick == nullptr) continue;
       chosen.push_back(pick);
@@ -288,33 +306,54 @@ class RuleBasedPolicy : public PlacementPolicy {
 
  private:
   /// Random node (within `racks` if non-empty) then random medium of
-  /// `tier` on it with space.
+  /// `tier` on it with space. Candidates are grouped by worker in
+  /// ascending (WorkerId, MediumId) order, reproducing the grouped map
+  /// the original implementation built, with the same two rng draws.
   const MediumInfo* PickOnTier(const ClusterState& state,
-                               const PlacementRequest& request,
-                               const std::vector<const MediumInfo*>& chosen,
-                               TierId tier,
-                               const std::vector<std::string>& racks,
-                               Random* rng) const {
-    std::map<WorkerId, std::vector<const MediumInfo*>> by_worker;
-    for (const auto& [id, m] : state.media()) {
-      if (m.tier != tier || !state.MediumLive(id)) continue;
-      if (AlreadyChosen(chosen, id)) continue;
+                               const PlacementRequest& request, TierId tier,
+                               const std::vector<int32_t>& racks, Random* rng) {
+    std::vector<const MediumInfo*>& cands = scratch_.options;
+    cands.clear();
+    const std::vector<MediumInfo>& slab = state.media_slab();
+    for (uint32_t slot : state.live_media_on_tier(tier)) {
+      const MediumInfo& m = slab[slot];
+      if (m.tier != tier) continue;
+      if (AlreadyChosen(scratch_.chosen, m.id)) continue;
       if (m.remaining_bytes - request.block_size < 0) continue;
       if (!racks.empty() &&
-          std::find(racks.begin(), racks.end(), m.location.rack()) ==
-              racks.end()) {
+          std::find(racks.begin(), racks.end(), m.rack_id) == racks.end()) {
         continue;
       }
-      by_worker[m.worker].push_back(&m);
+      cands.push_back(&m);
     }
-    if (by_worker.empty()) return nullptr;
-    auto it = by_worker.begin();
-    std::advance(it, rng->Uniform(by_worker.size()));
-    const auto& media = it->second;
-    return media[rng->Uniform(media.size())];
+    if (cands.empty()) return nullptr;
+    std::sort(cands.begin(), cands.end(),
+              [](const MediumInfo* a, const MediumInfo* b) {
+                return a->worker != b->worker ? a->worker < b->worker
+                                              : a->id < b->id;
+              });
+    size_t num_workers = 0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (i == 0 || cands[i]->worker != cands[i - 1]->worker) ++num_workers;
+    }
+    size_t target = rng->Uniform(num_workers);
+    size_t group = 0, begin = 0;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (i > 0 && cands[i]->worker != cands[i - 1]->worker) {
+        if (group == target) return PickInGroup(begin, i, rng);
+        ++group;
+        begin = i;
+      }
+    }
+    return PickInGroup(begin, cands.size(), rng);
+  }
+
+  const MediumInfo* PickInGroup(size_t begin, size_t end, Random* rng) {
+    return scratch_.options[begin + rng->Uniform(end - begin)];
   }
 
   size_t rr_ = 0;
+  PlacementScratch scratch_;
 };
 
 class HdfsPlacementPolicy : public PlacementPolicy {
@@ -333,10 +372,10 @@ class HdfsPlacementPolicy : public PlacementPolicy {
                                               Random* rng) override {
     // HDFS has no tier concept: the whole vector collapses to its total.
     const int want = request.rep_vector.total();
-    std::vector<const MediumInfo*> chosen =
-        ResolveMedia(state, request.existing);
-    std::set<WorkerId> used_nodes;
-    for (const MediumInfo* m : chosen) used_nodes.insert(m->worker);
+    std::vector<const MediumInfo*>& chosen = scratch_.chosen;
+    ResolveMediaInto(state, request.existing, &chosen);
+    used_nodes_.clear();
+    for (const MediumInfo* m : chosen) MarkUsed(m->worker);
 
     std::vector<MediumId> placed;
     for (int i = 0; i < want; ++i) {
@@ -345,31 +384,24 @@ class HdfsPlacementPolicy : public PlacementPolicy {
       if (replica_index == 0) {
         // First replica: the writer's node when collocated.
         const WorkerInfo* local = state.WorkerAt(request.client);
-        if (local != nullptr && used_nodes.count(local->id) == 0) {
-          pick = PickOnNode(state, request, chosen, local->id, rng);
+        if (local != nullptr && !IsUsed(local->id)) {
+          pick = PickOnNode(state, request, local->id);
         }
-        if (pick == nullptr) pick = PickAnyNode(state, request, chosen,
-                                                used_nodes, "", "", rng);
+        if (pick == nullptr) pick = PickAnyNode(state, request, -1, -1, rng);
       } else if (replica_index == 1) {
         // Second replica: a different rack than the first.
-        pick = PickAnyNode(state, request, chosen, used_nodes, "",
-                           chosen[0]->location.rack(), rng);
-        if (pick == nullptr) {
-          pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
-        }
+        pick = PickAnyNode(state, request, -1, chosen[0]->rack_id, rng);
+        if (pick == nullptr) pick = PickAnyNode(state, request, -1, -1, rng);
       } else if (replica_index == 2) {
         // Third replica: same rack as the second, different node.
-        pick = PickAnyNode(state, request, chosen, used_nodes,
-                           chosen[1]->location.rack(), "", rng);
-        if (pick == nullptr) {
-          pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
-        }
+        pick = PickAnyNode(state, request, chosen[1]->rack_id, -1, rng);
+        if (pick == nullptr) pick = PickAnyNode(state, request, -1, -1, rng);
       } else {
-        pick = PickAnyNode(state, request, chosen, used_nodes, "", "", rng);
+        pick = PickAnyNode(state, request, -1, -1, rng);
       }
       if (pick == nullptr) continue;
       chosen.push_back(pick);
-      used_nodes.insert(pick->worker);
+      MarkUsed(pick->worker);
       placed.push_back(pick->id);
     }
     if (placed.empty() && want > 0) {
@@ -383,15 +415,23 @@ class HdfsPlacementPolicy : public PlacementPolicy {
     return std::find(allowed_.begin(), allowed_.end(), type) != allowed_.end();
   }
 
+  bool IsUsed(WorkerId id) const {
+    return std::find(used_nodes_.begin(), used_nodes_.end(), id) !=
+           used_nodes_.end();
+  }
+  void MarkUsed(WorkerId id) {
+    if (!IsUsed(id)) used_nodes_.push_back(id);
+  }
+
   const MediumInfo* PickOnNode(const ClusterState& state,
-                               const PlacementRequest& request,
-                               const std::vector<const MediumInfo*>& chosen,
-                               WorkerId node, Random* /*rng*/) const {
-    std::vector<const MediumInfo*> media;
-    for (const auto& [id, m] : state.media()) {
-      if (m.worker != node || !state.MediumLive(id)) continue;
+                               const PlacementRequest& request, WorkerId node) {
+    std::vector<const MediumInfo*>& media = scratch_.filtered;
+    media.clear();
+    const std::vector<MediumInfo>& slab = state.media_slab();
+    for (uint32_t slot : state.media_of_worker(node)) {
+      const MediumInfo& m = slab[slot];
       if (!Allowed(m.type)) continue;
-      if (AlreadyChosen(chosen, id)) continue;
+      if (AlreadyChosen(scratch_.chosen, m.id)) continue;
       if (m.remaining_bytes - request.block_size < 0) continue;
       media.push_back(&m);
     }
@@ -402,24 +442,23 @@ class HdfsPlacementPolicy : public PlacementPolicy {
   }
 
   /// Picks a random node (optionally constrained to `in_rack` / excluding
-  /// `not_in_rack`) that is not in `used_nodes`, then a random medium.
+  /// `not_in_rack`, both interned rack ids with -1 = unconstrained) that
+  /// has not been used yet, then a medium on it.
   const MediumInfo* PickAnyNode(const ClusterState& state,
                                 const PlacementRequest& request,
-                                const std::vector<const MediumInfo*>& chosen,
-                                const std::set<WorkerId>& used_nodes,
-                                const std::string& in_rack,
-                                const std::string& not_in_rack,
-                                Random* rng) const {
-    std::vector<WorkerId> nodes;
+                                int32_t in_rack, int32_t not_in_rack,
+                                Random* rng) {
+    std::vector<WorkerId>& nodes = scratch_.nodes;
+    nodes.clear();
     for (const auto& [id, w] : state.workers()) {
-      if (!w.alive || used_nodes.count(id) > 0) continue;
-      if (!in_rack.empty() && w.location.rack() != in_rack) continue;
-      if (!not_in_rack.empty() && w.location.rack() == not_in_rack) continue;
+      if (!w.alive || IsUsed(id)) continue;
+      if (in_rack >= 0 && w.rack_id != in_rack) continue;
+      if (not_in_rack >= 0 && w.rack_id == not_in_rack) continue;
       nodes.push_back(id);
     }
     rng->Shuffle(&nodes);
     for (WorkerId node : nodes) {
-      const MediumInfo* pick = PickOnNode(state, request, chosen, node, rng);
+      const MediumInfo* pick = PickOnNode(state, request, node);
       if (pick != nullptr) return pick;
     }
     return nullptr;
@@ -427,7 +466,9 @@ class HdfsPlacementPolicy : public PlacementPolicy {
 
   std::vector<MediaType> allowed_;
   std::string name_;
-  mutable std::map<WorkerId, size_t> volume_rr_;
+  std::map<WorkerId, size_t> volume_rr_;
+  std::vector<WorkerId> used_nodes_;
+  PlacementScratch scratch_;
 };
 
 }  // namespace
@@ -453,18 +494,21 @@ std::unique_ptr<PlacementPolicy> MakeHdfsPolicy(
 Result<MediumId> SelectReplicaToRemove(const ClusterState& state,
                                        const std::vector<MediumId>& replicas,
                                        TierId tier, int64_t block_size) {
-  std::vector<const MediumInfo*> all = ResolveMedia(state, replicas);
+  std::vector<const MediumInfo*> all;
+  ResolveMediaInto(state, replicas, &all);
   Objectives objectives(state, block_size);
+  ScoreAccumulator acc;
   MediumId best = kInvalidMedium;
   double best_score = 0;
   for (size_t i = 0; i < all.size(); ++i) {
     if (all[i]->tier != tier) continue;  // only drop from the crowded tier
-    std::vector<const MediumInfo*> rest;
-    rest.reserve(all.size() - 1);
+    // Re-accumulate the leave-one-out set in the original replica order,
+    // matching the summation order of the old rest-vector evaluation.
+    acc.Reset(&objectives);
     for (size_t j = 0; j < all.size(); ++j) {
-      if (j != i) rest.push_back(all[j]);
+      if (j != i) acc.Add(*all[j]);
     }
-    double score = objectives.Score(rest);
+    double score = acc.Score();
     if (best == kInvalidMedium || score < best_score - 1e-12 ||
         (score < best_score + 1e-12 && all[i]->id < best)) {
       best = all[i]->id;

@@ -53,7 +53,8 @@ class OctopusRetrievalPolicy : public RetrievalPolicy {
                                       const NetworkLocation& client,
                                       const std::vector<MediumId>& replicas,
                                       Random* rng) const override {
-    std::vector<RankedReplica> ranked;
+    std::vector<RankedReplica>& ranked = ranked_;
+    ranked.clear();
     ranked.reserve(replicas.size());
     for (MediumId id : replicas) {
       RankedReplica r = Rank(state, client, id);
@@ -80,6 +81,9 @@ class OctopusRetrievalPolicy : public RetrievalPolicy {
     for (const RankedReplica& r : ranked) out.push_back(r.medium);
     return out;
   }
+
+ private:
+  mutable std::vector<RankedReplica> ranked_;  // reused ranking scratch
 };
 
 class HdfsRetrievalPolicy : public RetrievalPolicy {
@@ -90,7 +94,8 @@ class HdfsRetrievalPolicy : public RetrievalPolicy {
                                       const NetworkLocation& client,
                                       const std::vector<MediumId>& replicas,
                                       Random* rng) const override {
-    std::vector<RankedReplica> ranked;
+    std::vector<RankedReplica>& ranked = ranked_;
+    ranked.clear();
     ranked.reserve(replicas.size());
     for (MediumId id : replicas) {
       RankedReplica r = Rank(state, client, id);
@@ -110,6 +115,9 @@ class HdfsRetrievalPolicy : public RetrievalPolicy {
     for (const RankedReplica& r : ranked) out.push_back(r.medium);
     return out;
   }
+
+ private:
+  mutable std::vector<RankedReplica> ranked_;  // reused ranking scratch
 };
 
 }  // namespace

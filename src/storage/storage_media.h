@@ -23,6 +23,10 @@ struct MediumInfo {
   NetworkLocation location;  // /rack/node of the hosting worker
   TierId tier = 0;
   MediaType type = MediaType::kHdd;
+  /// Interned id of location.rack(), assigned by ClusterState::AddMedium
+  /// (any caller-supplied value is overwritten). Lets the placement hot
+  /// path compare racks with an int instead of a string.
+  int32_t rack_id = -1;
 
   int64_t capacity_bytes = 0;
   int64_t remaining_bytes = 0;

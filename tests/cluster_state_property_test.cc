@@ -1,0 +1,213 @@
+// Property test for ClusterState's incrementally maintained aggregates
+// and live-media indexes: after any randomized sequence of mutations
+// (registrations, deaths, revivals, removals, heartbeat stat updates,
+// connection and space churn), every O(1) aggregate must equal a naive
+// full-scan recomputation over the public media/worker views, and the
+// candidate indexes must enumerate exactly the live media in MediumId
+// order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "core/cluster_state.h"
+
+namespace octo {
+namespace {
+
+struct NaiveAggregates {
+  int num_live_workers = 0;
+  int num_racks = 0;
+  int num_active_tiers = 0;
+  int min_connections = 0;
+  double max_remaining_fraction = 0;
+  double tier_avg_write[8] = {0};
+  double tier_avg_read[8] = {0};
+  std::vector<MediumId> live;
+  std::vector<MediumId> live_on_tier[8];
+};
+
+NaiveAggregates Recompute(const ClusterState& state) {
+  NaiveAggregates n;
+  std::set<std::string> racks;
+  for (const auto& [id, w] : state.workers()) {
+    if (!w.alive) continue;
+    n.num_live_workers++;
+    racks.insert(w.location.rack());
+  }
+  n.num_racks = static_cast<int>(racks.size());
+
+  std::set<TierId> tiers;
+  bool any = false;
+  double write_sum[8] = {0}, read_sum[8] = {0};
+  int count[8] = {0};
+  for (const auto& [id, m] : state.media()) {
+    if (!state.MediumLive(id)) continue;
+    tiers.insert(m.tier);
+    n.live.push_back(id);
+    n.live_on_tier[m.tier & 7].push_back(id);
+    if (!any || m.nr_connections < n.min_connections) {
+      n.min_connections = m.nr_connections;
+    }
+    any = true;
+    n.max_remaining_fraction =
+        std::max(n.max_remaining_fraction, m.remaining_fraction());
+    write_sum[m.tier & 7] += m.write_bps;
+    read_sum[m.tier & 7] += m.read_bps;
+    count[m.tier & 7]++;
+  }
+  n.num_active_tiers = static_cast<int>(tiers.size());
+  for (int t = 0; t < 8; ++t) {
+    n.tier_avg_write[t] = count[t] == 0 ? 0 : write_sum[t] / count[t];
+    n.tier_avg_read[t] = count[t] == 0 ? 0 : read_sum[t] / count[t];
+  }
+  return n;
+}
+
+std::vector<MediumId> IdsOf(const ClusterState& state,
+                            const std::vector<uint32_t>& slots) {
+  std::vector<MediumId> out;
+  out.reserve(slots.size());
+  for (uint32_t slot : slots) out.push_back(state.media_slab()[slot].id);
+  return out;
+}
+
+void CheckAgainstNaive(const ClusterState& state) {
+  NaiveAggregates n = Recompute(state);
+  EXPECT_EQ(state.NumLiveWorkers(), n.num_live_workers);
+  EXPECT_EQ(state.NumRacks(), n.num_racks);
+  EXPECT_EQ(state.NumActiveTiers(), n.num_active_tiers);
+  EXPECT_EQ(state.MinMediumConnections(), n.min_connections);
+  EXPECT_DOUBLE_EQ(state.MaxRemainingFraction(), n.max_remaining_fraction);
+  for (TierId t = 0; t < 8; ++t) {
+    EXPECT_DOUBLE_EQ(state.TierAvgWriteBps(t), n.tier_avg_write[t]) << int(t);
+    EXPECT_DOUBLE_EQ(state.TierAvgReadBps(t), n.tier_avg_read[t]) << int(t);
+  }
+  EXPECT_EQ(IdsOf(state, state.live_media()), n.live);
+  for (TierId t = 0; t < 8; ++t) {
+    EXPECT_EQ(IdsOf(state, state.live_media_on_tier(t)), n.live_on_tier[t])
+        << int(t);
+  }
+  // media_of_worker covers each worker's media exactly once, in id order.
+  for (const auto& [wid, w] : state.workers()) {
+    std::vector<MediumId> expect;
+    for (const auto& [id, m] : state.media()) {
+      if (m.worker == wid) expect.push_back(id);
+    }
+    EXPECT_EQ(state.MediaOnWorker(wid), expect) << wid;
+  }
+}
+
+TEST(ClusterStatePropertyTest, IncrementalAggregatesMatchFullRecompute) {
+  for (uint64_t seed : {1u, 7u, 20170614u}) {
+    Random rng(seed);
+    ClusterState state;
+    for (TierId t = 0; t < 3; ++t) {
+      state.AddTier({t, "tier" + std::to_string(t), MediaType::kHdd});
+    }
+    std::vector<WorkerId> workers;
+    std::vector<MediumId> media;
+    WorkerId next_worker = 0;
+    MediumId next_medium = 0;
+
+    auto add_worker = [&] {
+      WorkerInfo w;
+      w.id = next_worker++;
+      w.location =
+          NetworkLocation("r" + std::to_string(w.id % 5),
+                          "n" + std::to_string(w.id));
+      w.alive = rng.Uniform(4) != 0;  // some register dead
+      ASSERT_TRUE(state.AddWorker(w).ok());
+      workers.push_back(w.id);
+      int media_count = 1 + static_cast<int>(rng.Uniform(3));
+      for (int j = 0; j < media_count; ++j) {
+        MediumInfo m;
+        m.id = next_medium++;
+        m.worker = w.id;
+        m.location = w.location;
+        m.tier = static_cast<TierId>(rng.Uniform(3));
+        m.type = m.tier == 0 ? MediaType::kMemory : MediaType::kHdd;
+        m.capacity_bytes = static_cast<int64_t>(1 + rng.Uniform(64)) * kMiB;
+        m.remaining_bytes = static_cast<int64_t>(rng.Uniform(m.capacity_bytes));
+        m.nr_connections = static_cast<int>(rng.Uniform(6));
+        m.write_bps = FromMBps(50 + static_cast<double>(rng.Uniform(400)));
+        m.read_bps = FromMBps(80 + static_cast<double>(rng.Uniform(400)));
+        ASSERT_TRUE(state.AddMedium(m).ok());
+        media.push_back(m.id);
+      }
+    };
+
+    for (int i = 0; i < 4; ++i) add_worker();
+
+    const int kOps = 1500;
+    for (int op = 0; op < kOps; ++op) {
+      switch (rng.Uniform(10)) {
+        case 0:
+          add_worker();
+          break;
+        case 1:  // kill or revive a worker
+          if (!workers.empty()) {
+            WorkerId id = workers[rng.Uniform(workers.size())];
+            const WorkerInfo* w = state.FindWorker(id);
+            ASSERT_TRUE(state.SetWorkerAlive(id, !w->alive).ok());
+          }
+          break;
+        case 2:  // decommission a worker and its media
+          if (workers.size() > 2) {
+            size_t k = rng.Uniform(workers.size());
+            WorkerId id = workers[k];
+            ASSERT_TRUE(state.RemoveWorker(id).ok());
+            workers.erase(workers.begin() + k);
+            std::erase_if(media, [&state](MediumId m) {
+              return state.FindMedium(m) == nullptr;
+            });
+          }
+          break;
+        case 3:  // heartbeat stats replace remaining + connections
+          if (!media.empty()) {
+            MediumId id = media[rng.Uniform(media.size())];
+            const MediumInfo* m = state.FindMedium(id);
+            ASSERT_TRUE(state
+                            .UpdateMediumStats(
+                                id,
+                                static_cast<int64_t>(
+                                    rng.Uniform(m->capacity_bytes + 1)),
+                                static_cast<int>(rng.Uniform(8)))
+                            .ok());
+          }
+          break;
+        case 4:  // re-profiled device rates
+          if (!media.empty()) {
+            MediumId id = media[rng.Uniform(media.size())];
+            ASSERT_TRUE(
+                state
+                    .SetMediumRates(
+                        id, FromMBps(50 + static_cast<double>(rng.Uniform(400))),
+                        FromMBps(80 + static_cast<double>(rng.Uniform(400))))
+                    .ok());
+          }
+          break;
+        default:  // placement-storm churn: space + connection deltas
+          if (!media.empty()) {
+            MediumId id = media[rng.Uniform(media.size())];
+            state.AddMediumConnections(id, rng.Uniform(2) == 0 ? 1 : -1);
+            int64_t delta = static_cast<int64_t>(rng.Uniform(2 * kMiB)) - kMiB;
+            // NoSpace (delta would overdraw) is a legal outcome here.
+            Status st = state.AdjustMediumRemaining(id, delta);
+            ASSERT_TRUE(st.ok() || st.IsNoSpace());
+          }
+          break;
+      }
+      if (op % 16 == 0) CheckAgainstNaive(state);
+    }
+    CheckAgainstNaive(state);
+  }
+}
+
+}  // namespace
+}  // namespace octo

@@ -184,5 +184,47 @@ TEST_F(ObjectivesTest, SingleRackClusterRackTermIsOne) {
   EXPECT_DOUBLE_EQ(obj.FaultTolerance(chosen), 1.0 + 1.0 + 1.0);
 }
 
+// The incremental accumulator must reproduce the vector-based evaluation
+// bit-for-bit (EXPECT_EQ on doubles, no tolerance): the placement solver's
+// candidate ranking — and therefore every placement decision — depends on
+// exact score equality with the pre-optimization implementation.
+TEST_F(ObjectivesTest, AccumulatorMatchesVectorEvaluationBitwise) {
+  Objectives obj(state_, 10);
+  // Every ordered prefix walk over a few representative pick orders,
+  // including duplicates of tier/node/rack along the way.
+  const std::vector<std::vector<MediumId>> orders = {
+      {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 1}, {1, 2}, {3}, {0, 4, 2, 3},
+  };
+  for (const auto& order : orders) {
+    ScoreAccumulator acc;
+    acc.Reset(&obj);
+    std::vector<const MediumInfo*> chosen;
+    for (MediumId id : order) {
+      const MediumInfo* m = state_.FindMedium(id);
+      // Score of chosen + candidate, before committing.
+      chosen.push_back(m);
+      EXPECT_EQ(acc.ScoreWith(*m), obj.Score(chosen)) << "order len "
+                                                      << chosen.size();
+      for (Objective o : {Objective::kDataBalancing, Objective::kLoadBalancing,
+                          Objective::kFaultTolerance,
+                          Objective::kThroughputMax}) {
+        EXPECT_EQ(acc.SingleObjectiveScoreWith(o, *m),
+                  obj.SingleObjectiveScore(o, chosen))
+            << static_cast<int>(o) << " at len " << chosen.size();
+      }
+      acc.Add(*m);
+      EXPECT_EQ(acc.Score(), obj.Score(chosen));
+      EXPECT_EQ(acc.size(), static_cast<int>(chosen.size()));
+    }
+  }
+}
+
+TEST_F(ObjectivesTest, AccumulatorEmptySetMatchesVector) {
+  Objectives obj(state_, 10);
+  ScoreAccumulator acc;
+  acc.Reset(&obj);
+  EXPECT_EQ(acc.Score(), obj.Score({}));  // distance to Ideal(0) = 3.0
+}
+
 }  // namespace
 }  // namespace octo

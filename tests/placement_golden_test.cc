@@ -1,0 +1,245 @@
+// Golden determinism test for the placement policies: a fixed 3-rack,
+// 3-tier cluster, a seeded Random, and a scripted sequence of placement
+// decisions interleaved with cluster mutations must reproduce exactly
+// the checked-in media ids. This pins the policies' observable behaviour
+// bit-for-bit, so hot-path rewrites (incremental scoring, candidate
+// indexes) can be validated as pure optimizations: the expectations were
+// captured before the optimization landed and must never change.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "core/cluster_state.h"
+#include "core/placement.h"
+
+namespace octo {
+namespace {
+
+// Captured from the original (pre-optimization) implementation. Any diff
+// here means placements are no longer deterministic or the policy
+// semantics changed — both are regressions, not tuning.
+constexpr const char* kGolden =
+    "moop0:0,33,9;moop1:20,29,35;moop2:28,21,17;moop3:8,13,23;moop4:1,32,5;"
+    "moop5:20,25,34;dflt0:22,9,37;dflt1:29,11,7;dflt2:10,33,6;dflt3:1,31,26;"
+    "rerep:21;db0:2,30,10;db1:22,30,14;db2:30,15,27;lb0:23,3,12;"
+    "lb1:31,36,39;lb2:38,24,37;ft0:29,6,0;ft1:8,23,5;ft2:0,31,5;"
+    "tm0:20,5,37;tm1:0,33,9;tm2:20,9,21;rule0:4,25,10;rule1:8,25,34;"
+    "rule2:16,17,18;rule3:24,9,6;hdfs0:29,37,21;hdfs1:13,33,30;"
+    "hdfs2:1,38,22;hdfs3:23,25,31;rm0:6;rm1:1;rm2:-;";
+
+class GoldenCluster {
+ public:
+  GoldenCluster() {
+    state_.AddTier({kMemoryTier, "Memory", MediaType::kMemory});
+    state_.AddTier({kSsdTier, "SSD", MediaType::kSsd});
+    state_.AddTier({kHddTier, "HDD", MediaType::kHdd});
+    for (int r = 0; r < 3; ++r) {
+      for (int n = 0; n < 3; ++n) AddWorker(r, n);
+    }
+  }
+
+  void AddWorker(int rack, int node) {
+    WorkerInfo w;
+    w.id = next_worker_++;
+    w.location = NetworkLocation("r" + std::to_string(rack),
+                                 "n" + std::to_string(node));
+    w.net_bps = 1.25e9;
+    ASSERT_TRUE_OK(state_.AddWorker(w));
+    // Capacities vary per worker so scores are not fully symmetric.
+    int64_t scale = 1 + w.id % 3;
+    Add(w, kMemoryTier, MediaType::kMemory, 64 * kMiB * scale, 1900, 3200);
+    Add(w, kSsdTier, MediaType::kSsd, 256 * kMiB * scale, 340, 420);
+    Add(w, kHddTier, MediaType::kHdd, 1024 * kMiB * scale, 126, 177);
+    Add(w, kHddTier, MediaType::kHdd, 1024 * kMiB * scale, 110, 150);
+  }
+
+  ClusterState& state() { return state_; }
+
+ private:
+  static void ASSERT_TRUE_OK(const Status& s) { ASSERT_TRUE(s.ok()); }
+
+  void Add(const WorkerInfo& w, TierId tier, MediaType type, int64_t cap,
+           double write_mbps, double read_mbps) {
+    MediumInfo m;
+    m.id = next_medium_++;
+    m.worker = w.id;
+    m.location = w.location;
+    m.tier = tier;
+    m.type = type;
+    m.capacity_bytes = cap;
+    m.remaining_bytes = cap;
+    m.write_bps = FromMBps(write_mbps);
+    m.read_bps = FromMBps(read_mbps);
+    ASSERT_TRUE_OK(state_.AddMedium(m));
+  }
+
+  ClusterState state_;
+  WorkerId next_worker_ = 0;
+  MediumId next_medium_ = 0;
+};
+
+// Runs the scripted scenario and serializes every decision:
+//   "<tag>:<id>,<id>,...;" per placement, "<tag>:-" on failure.
+std::string RunScenario() {
+  GoldenCluster cluster;
+  ClusterState& state = cluster.state();
+  Random rng(20170614);
+  std::string out;
+
+  auto record = [&out](const std::string& tag,
+                       const Result<std::vector<MediumId>>& placed) {
+    out += tag + ":";
+    if (!placed.ok()) {
+      out += "-";
+    } else {
+      for (size_t i = 0; i < placed->size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string((*placed)[i]);
+      }
+    }
+    out += ";";
+  };
+
+  // Churn applied after every placement, as the Master would.
+  auto commit = [&state](const Result<std::vector<MediumId>>& placed,
+                         int64_t block) {
+    if (!placed.ok()) return;
+    for (MediumId id : *placed) {
+      EXPECT_TRUE(state.AdjustMediumRemaining(id, -block).ok());
+      state.AddMediumConnections(id, 1);
+    }
+  };
+
+  const NetworkLocation clients[] = {
+      NetworkLocation("r0", "n0"), NetworkLocation("r1", "n2"),
+      NetworkLocation("r2", "n1"), NetworkLocation(),  // off-cluster
+  };
+
+  // 1. MOOP with memory enabled: mixed replication vectors.
+  {
+    MoopOptions options;
+    options.use_memory = true;
+    auto policy = MakeMoopPolicy(options);
+    for (int i = 0; i < 6; ++i) {
+      PlacementRequest request;
+      request.client = clients[i % 4];
+      request.rep_vector = i % 2 == 0 ? ReplicationVector::OfTotal(3)
+                                      : ReplicationVector::Of(1, 1, 1);
+      request.block_size = 8 * kMiB;
+      auto placed = policy->PlaceReplicas(state, request, &rng);
+      record("moop" + std::to_string(i), placed);
+      commit(placed, request.block_size);
+    }
+  }
+
+  // 2. Mutations between decisions: heartbeat stats, a worker death, a
+  //    late-registering worker with fresh media.
+  EXPECT_TRUE(state.UpdateMediumStats(4, 10 * kMiB, 7).ok());
+  EXPECT_TRUE(state.UpdateMediumStats(13, 100 * kMiB, 2).ok());
+  EXPECT_TRUE(state.SetWorkerAlive(4, false).ok());
+  cluster.AddWorker(1, 9);  // worker 9, media 36..39
+
+  // 3. Default MOOP (memory off for U) after the mutations.
+  {
+    auto policy = MakeMoopPolicy();
+    for (int i = 0; i < 4; ++i) {
+      PlacementRequest request;
+      request.client = clients[(i + 1) % 4];
+      request.rep_vector = i % 2 == 0 ? ReplicationVector::OfTotal(3)
+                                      : ReplicationVector::Of(0, 1, 2);
+      request.block_size = 4 * kMiB;
+      auto placed = policy->PlaceReplicas(state, request, &rng);
+      record("dflt" + std::to_string(i), placed);
+      commit(placed, request.block_size);
+    }
+  }
+
+  // 4. Re-replication: existing replicas count toward diversity.
+  {
+    auto policy = MakeMoopPolicy();
+    PlacementRequest request;
+    request.rep_vector = ReplicationVector::OfTotal(1);
+    request.block_size = 4 * kMiB;
+    request.existing = {2, 3};  // two HDDs on worker 0 (rack r0)
+    auto placed = policy->PlaceReplicas(state, request, &rng);
+    record("rerep", placed);
+    commit(placed, request.block_size);
+  }
+
+  // 5. Every single-objective policy.
+  const Objective objectives[] = {
+      Objective::kDataBalancing, Objective::kLoadBalancing,
+      Objective::kFaultTolerance, Objective::kThroughputMax};
+  const char* names[] = {"db", "lb", "ft", "tm"};
+  for (int o = 0; o < 4; ++o) {
+    auto policy = MakeSingleObjectivePolicy(objectives[o]);
+    for (int i = 0; i < 3; ++i) {
+      PlacementRequest request;
+      request.client = clients[(o + i) % 4];
+      request.rep_vector = ReplicationVector::OfTotal(3);
+      request.block_size = 2 * kMiB;
+      auto placed = policy->PlaceReplicas(state, request, &rng);
+      record(std::string(names[o]) + std::to_string(i), placed);
+      commit(placed, request.block_size);
+    }
+  }
+
+  // 6. The worker comes back; more churn.
+  EXPECT_TRUE(state.SetWorkerAlive(4, true).ok());
+  EXPECT_TRUE(state.UpdateMediumStats(20, 200 * kMiB, 1).ok());
+
+  // 7. Rule-based and HDFS baselines.
+  {
+    auto policy = MakeRuleBasedPolicy();
+    for (int i = 0; i < 4; ++i) {
+      PlacementRequest request;
+      request.client = clients[i % 4];
+      request.rep_vector = ReplicationVector::OfTotal(3);
+      request.block_size = 2 * kMiB;
+      auto placed = policy->PlaceReplicas(state, request, &rng);
+      record("rule" + std::to_string(i), placed);
+      commit(placed, request.block_size);
+    }
+  }
+  {
+    auto policy = MakeHdfsPolicy({MediaType::kHdd, MediaType::kSsd});
+    for (int i = 0; i < 4; ++i) {
+      PlacementRequest request;
+      request.client = clients[(i + 2) % 4];
+      request.rep_vector = ReplicationVector::OfTotal(3);
+      request.block_size = 2 * kMiB;
+      auto placed = policy->PlaceReplicas(state, request, &rng);
+      record("hdfs" + std::to_string(i), placed);
+      commit(placed, request.block_size);
+    }
+  }
+
+  // 8. Over-replication victims.
+  {
+    auto v1 = SelectReplicaToRemove(state, {2, 3, 6, 10}, kHddTier, kMiB);
+    out += "rm0:" + (v1.ok() ? std::to_string(*v1) : "-") + ";";
+    auto v2 = SelectReplicaToRemove(state, {0, 1, 5, 9}, kSsdTier, kMiB);
+    out += "rm1:" + (v2.ok() ? std::to_string(*v2) : "-") + ";";
+    auto v3 = SelectReplicaToRemove(state, {2, 6, 10, 14}, kMemoryTier, kMiB);
+    out += "rm2:" + (v3.ok() ? std::to_string(*v3) : "-") + ";";
+  }
+
+  return out;
+}
+
+TEST(PlacementGoldenTest, ScriptedScenarioIsBitIdentical) {
+  std::string actual = RunScenario();
+  EXPECT_EQ(actual, kGolden) << "ACTUAL: " << actual;
+}
+
+// Two back-to-back runs from the same seed must agree with each other
+// even if the golden string is regenerated.
+TEST(PlacementGoldenTest, RepeatedRunsAgree) {
+  EXPECT_EQ(RunScenario(), RunScenario());
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Builds the benchmarks in an optimized tree and runs the placement
+# hot-path bench, writing BENCH_placement.json to the repo root.
+#
+# Usage: tools/run_benches.sh [build-dir]
+#   build-dir defaults to build-bench (Release: -O2/-O3, -DNDEBUG).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-bench"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target bench_placement_hotpath
+
+"$build_dir/bench/bench_placement_hotpath" "$repo_root/BENCH_placement.json"
+echo "results: $repo_root/BENCH_placement.json"
+echo "baseline (pre-optimization): $repo_root/BENCH_placement.baseline.json"
