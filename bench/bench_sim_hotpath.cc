@@ -1,0 +1,253 @@
+// Micro-benchmark for the flow-simulator hot path: how many flow
+// completion events per second the octo::sim event engine sustains at
+// ~100 / 1k / 5k concurrent flows. Unlike the figure benches (which
+// measure what the simulated cluster does), this measures the engine
+// itself — the constant factor that bounds how large a cluster and how
+// long a trace every experiment driver (DFSIO, S-Live, HiBench,
+// Pegasus, the transfer engine) can evaluate.
+//
+// Three traffic shapes with different contention-graph topologies:
+//   local  — every flow crosses only its own worker's disk; the
+//            contention graph shatters into per-disk components, the
+//            incremental solver's best case.
+//   rack   — replication pipelines confined to 8-worker racks (source
+//            NIC out, destination NIC in, destination disk write);
+//            components are rack-sized, the realistic case.
+//   mesh   — rack pipelines that additionally cross one shared core
+//            switch; the whole cluster is one connected component, the
+//            incremental solver's worst case (rates may genuinely
+//            ripple everywhere on every event).
+//
+// The workload is closed-loop: every completion immediately starts a
+// replacement flow, so the concurrency level stays fixed while flow
+// sizes (and hence completion interleavings) churn via a deterministic
+// LCG. Emits BENCH_sim.json (path overridable via argv[1]) with
+// events/sec and heap allocations per event for every (shape,
+// concurrency) pair, mirroring bench_placement_hotpath.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (bench binary only): counts every operator new
+// so the JSON can report allocations per event.
+
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace octo {
+namespace {
+
+using sim::ResourceId;
+using sim::Simulation;
+
+constexpr int kRackSize = 8;
+constexpr double kStreamCap = 600e6;  // engine-default per-stream cap
+
+enum class Shape { kLocal, kRack, kMesh };
+
+const char* ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kLocal: return "local";
+    case Shape::kRack: return "rack";
+    case Shape::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+/// Closed-loop driver: keeps `flows` transfers in flight; every
+/// completion (one "event") immediately starts a replacement.
+class Driver {
+ public:
+  Driver(Shape shape, int flows) : shape_(shape), flows_(flows) {
+    // One worker per ~4 flows keeps per-disk contention realistic as
+    // the concurrency level scales, rounded up to whole racks.
+    int workers = (flows / 4 + kRackSize - 1) / kRackSize * kRackSize;
+    if (workers < kRackSize) workers = kRackSize;
+    for (int w = 0; w < workers; ++w) {
+      std::string p = "w" + std::to_string(w);
+      nic_in_.push_back(sim_.AddResource(p + ":in", 1.25e9));
+      nic_out_.push_back(sim_.AddResource(p + ":out", 1.25e9));
+      disk_w_.push_back(sim_.AddResource(p + ":dw", 126e6));
+      disk_r_.push_back(sim_.AddResource(p + ":dr", 177e6));
+    }
+    if (shape == Shape::kMesh) {
+      core_ = sim_.AddResource("core", 400e9);
+    }
+  }
+
+  void Fill() {
+    for (int i = 0; i < flows_; ++i) StartOne(i);
+    // Let the closed loop reach steady state (scratch buffers sized,
+    // flow mix randomized) before the timed region.
+    sim_.RunUntil(sim_.now() + 0.5);
+  }
+
+  uint64_t events() const { return events_; }
+
+  /// Runs the closed loop until ~`seconds` of wall time elapsed;
+  /// returns (events, wall seconds).
+  std::pair<uint64_t, double> RunTimed(double seconds) {
+    using WallClock = std::chrono::steady_clock;
+    uint64_t start_events = events_;
+    auto start = WallClock::now();
+    double elapsed = 0;
+    do {
+      sim_.RunUntil(sim_.now() + 0.05);  // 50 virtual ms per slice
+      elapsed =
+          std::chrono::duration<double>(WallClock::now() - start).count();
+    } while (elapsed < seconds);
+    return {events_ - start_events, elapsed};
+  }
+
+ private:
+  uint64_t NextRand() {  // deterministic LCG (Numerical Recipes)
+    rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return rng_state_ >> 33;
+  }
+
+  void StartOne(int seed) {
+    int w = seed >= 0 ? seed % NumWorkers()
+                      : static_cast<int>(NextRand() % NumWorkers());
+    // 16..80 MB, varied so completions interleave instead of phasing.
+    double bytes = 16e6 + 1e6 * static_cast<double>(NextRand() % 64);
+    scratch_resources_.clear();
+    switch (shape_) {
+      case Shape::kLocal:
+        scratch_resources_.push_back(disk_w_[w]);
+        break;
+      case Shape::kRack:
+      case Shape::kMesh: {
+        // Pipeline to another node in the same rack.
+        int rack = w / kRackSize;
+        int dst = rack * kRackSize +
+                  static_cast<int>(NextRand() % kRackSize);
+        if (dst == w) dst = rack * kRackSize + (w + 1) % kRackSize;
+        scratch_resources_.push_back(nic_out_[w]);
+        scratch_resources_.push_back(nic_in_[dst]);
+        scratch_resources_.push_back(disk_w_[dst]);
+        if (shape_ == Shape::kMesh) scratch_resources_.push_back(core_);
+        break;
+      }
+    }
+    // Cap every other flow, so both solver paths (capped + bottleneck
+    // freezing) stay exercised.
+    double cap = (NextRand() & 1) ? kStreamCap : 0;
+    sim_.StartFlow(bytes, scratch_resources_, [this] { OnComplete(); }, cap);
+  }
+
+  void OnComplete() {
+    ++events_;
+    StartOne(-1);
+  }
+
+  int NumWorkers() const { return static_cast<int>(disk_w_.size()); }
+
+  Shape shape_;
+  int flows_;
+  Simulation sim_;
+  std::vector<ResourceId> nic_in_, nic_out_, disk_w_, disk_r_;
+  ResourceId core_ = sim::kInvalidResource;
+  std::vector<ResourceId> scratch_resources_;
+  uint64_t rng_state_ = 0xc70b05f5ULL;
+  uint64_t events_ = 0;
+};
+
+struct BenchResult {
+  std::string shape;
+  int flows = 0;
+  double events_per_sec = 0;
+  double micros_per_event = 0;
+  double allocs_per_event = 0;
+  uint64_t events = 0;
+};
+
+BenchResult RunOne(Shape shape, int flows, double seconds) {
+  Driver driver(shape, flows);
+  driver.Fill();
+  uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  auto [events, elapsed] = driver.RunTimed(seconds);
+  uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  BenchResult result;
+  result.shape = ShapeName(shape);
+  result.flows = flows;
+  result.events = events;
+  result.events_per_sec = events / elapsed;
+  result.micros_per_event = events > 0 ? 1e6 * elapsed / events : 0;
+  result.allocs_per_event =
+      events > 0 ? static_cast<double>(allocs) / events : 0;
+  return result;
+}
+
+}  // namespace
+}  // namespace octo
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 0.4;
+  const int sizes[] = {100, 1000, 5000};
+  const octo::Shape shapes[] = {octo::Shape::kLocal, octo::Shape::kRack,
+                                octo::Shape::kMesh};
+
+  std::vector<octo::BenchResult> results;
+  for (octo::Shape shape : shapes) {
+    for (int flows : sizes) {
+      octo::BenchResult r = octo::RunOne(shape, flows, seconds);
+      std::printf("%-6s %5d flows: %12.0f events/s  %10.2f us/event"
+                  "  %8.1f allocs/event\n",
+                  r.shape.c_str(), r.flows, r.events_per_sec,
+                  r.micros_per_event, r.allocs_per_event);
+      std::fflush(stdout);
+      results.push_back(std::move(r));
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_hotpath\",\n");
+  std::fprintf(f, "  \"closed_loop\": true,\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"flows\": %d, "
+                 "\"events_per_sec\": %.1f, \"micros_per_event\": %.3f, "
+                 "\"allocs_per_event\": %.2f, \"events\": %llu}%s\n",
+                 r.shape.c_str(), r.flows, r.events_per_sec,
+                 r.micros_per_event, r.allocs_per_event,
+                 static_cast<unsigned long long>(r.events),
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

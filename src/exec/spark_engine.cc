@@ -104,7 +104,11 @@ Result<JobStats> SparkEngine::RunJob(const SparkJobSpec& spec) {
   // compute) followed by a shuffle barrier.
   std::shared_ptr<std::function<void()>> run_iteration =
       std::make_shared<std::function<void()>>();
-  *run_iteration = [this, run, master, write_output, run_iteration]() {
+  // Inner closures hold only weak references to the iteration driver:
+  // the stack-local shared_ptr outlives RunUntilIdle() below, and no
+  // shared_ptr cycle (function capturing itself) survives this call.
+  std::weak_ptr<std::function<void()>> weak_iteration = run_iteration;
+  *run_iteration = [this, run, master, write_output, weak_iteration]() {
     if (run->iteration >= run->spec.num_iterations) {
       write_output();
       return;
@@ -122,12 +126,12 @@ Result<JobStats> SparkEngine::RunJob(const SparkJobSpec& spec) {
         tasks[i].preferred_workers = p.hosts;
       }
     }
-    auto after_tasks = [this, run, run_iteration]() {
+    auto after_tasks = [this, run, weak_iteration]() {
       // Per-iteration shuffle: reducers pull their partitions.
       int64_t iter_shuffle = static_cast<int64_t>(
           run->stats.input_bytes * run->spec.shuffle_ratio);
       if (iter_shuffle <= 0 || run->spec.num_reducers == 0) {
-        (*run_iteration)();
+        if (auto next = weak_iteration.lock()) (*next)();
         return;
       }
       auto remaining = std::make_shared<int>(run->spec.num_reducers);
@@ -139,9 +143,11 @@ Result<JobStats> SparkEngine::RunJob(const SparkJobSpec& spec) {
         NetworkLocation to =
             cluster_->worker(ids[(i + 1) % ids.size()])->location();
         engine_->NodeTransferAsync(
-            share, from, to, [run, remaining, run_iteration](Status st) {
+            share, from, to, [run, remaining, weak_iteration](Status st) {
               if (!st.ok()) run->status = st;
-              if (--*remaining == 0) (*run_iteration)();
+              if (--*remaining == 0) {
+                if (auto next = weak_iteration.lock()) (*next)();
+              }
             });
       }
     };

@@ -13,12 +13,70 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 // Flows with fewer remaining bytes than this are considered finished
 // (guards against floating-point residue).
 constexpr double kBytesEpsilon = 1e-3;
+// Relative tolerance when matching a share against the round's minimum
+// (identical to the pre-rewrite solver's tie window).
+constexpr double kShareSlack = 1 + 1e-12;
+// Events within this window of now_ run in the same loop iteration.
+constexpr double kTimeSlack = 1e-12;
+// Components at or below this size solve with plain reference scans;
+// larger ones use the worklist solver (same bits, see SolveComponent).
+constexpr size_t kSmallComponent = 64;
+// Multiply-before-divide guard for the at-min test: IEEE rounding means
+// residual/unfrozen <= thresh implies residual <= thresh*unfrozen*(1+4u)
+// with u = 2^-53, so screening against the product with 1e-9 of slack
+// can never skip a resource the exact divide-and-compare would accept —
+// it only spares far-from-the-minimum resources the division.
+constexpr double kGuardSlack = 1 + 1e-9;
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// EventHeap
+
+void Simulation::EventHeap::Push(TimedEvent e) {
+  v_.push_back(std::move(e));
+  size_t i = v_.size() - 1;
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Before(v_[i], v_[parent])) break;
+    std::swap(v_[i], v_[parent]);
+    i = parent;
+  }
+}
+
+Simulation::TimedEvent Simulation::EventHeap::Pop() {
+  TimedEvent out = std::move(v_.front());
+  v_.front() = std::move(v_.back());
+  v_.pop_back();
+  size_t i = 0;
+  const size_t n = v_.size();
+  while (true) {
+    size_t smallest = i;
+    size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && Before(v_[l], v_[smallest])) smallest = l;
+    if (r < n && Before(v_[r], v_[smallest])) smallest = r;
+    if (smallest == i) break;
+    std::swap(v_[i], v_[smallest]);
+    i = smallest;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Resources
 
 ResourceId Simulation::AddResource(std::string name, double capacity_bps) {
   OCTO_CHECK(capacity_bps > 0) << "resource " << name
                                << " must have positive capacity";
-  resources_.push_back(Resource{std::move(name), capacity_bps, 0, 0.0});
+  Resource r;
+  r.capacity_bps = capacity_bps;
+  r.updated_at = now_;
+  r.name = std::move(name);
+  resources_.push_back(std::move(r));
+  resource_mark_.push_back(0);
+  res_solve_.push_back(ResSolve{});
+  init_share_.push_back(0);  // meaningful only while flows are attached
+  res_enlist_mark_.push_back(0);
+  agg_dirty_.push_back(0);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -34,196 +92,789 @@ const std::string& Simulation::ResourceName(ResourceId id) const {
 
 int Simulation::ActiveFlows(ResourceId id) const {
   OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
-  return resources_[id].active_flows;
+  return static_cast<int>(resources_[id].flows.size());
 }
 
-double Simulation::ResourceBytesTransferred(ResourceId id) const {
+double Simulation::ResourceBytesTransferred(ResourceId id) {
   OCTO_CHECK(id >= 0 && id < static_cast<ResourceId>(resources_.size()));
-  return resources_[id].bytes_transferred;
+  EnsureRatesCurrent();
+  const Resource& r = resources_[id];
+  // Lazy: integrate the (constant since updated_at) aggregate rate.
+  return r.bytes_transferred + r.agg_rate_bps * (now_ - r.updated_at);
 }
+
+// ---------------------------------------------------------------------------
+// Flow slab
+
+int64_t Simulation::DecodeLiveId(FlowId id) const {
+  if (id < 0) return -1;
+  uint32_t slot = static_cast<uint32_t>(id & 0xffffffff);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (slot >= flows_.size()) return -1;
+  const Flow& f = flows_[slot];
+  if (!f.active || f.generation != generation) return -1;
+  return slot;
+}
+
+uint32_t Simulation::AllocSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  flows_.emplace_back();
+  rate_bps_.push_back(0);
+  rate_cap_bps_.push_back(0);
+  flow_mark_.push_back(0);
+  visit_mark_.push_back(0);
+  solve_rate_.push_back(0);
+  adj_deg_.push_back(0);
+  adj_.resize(flows_.size() * adj_stride_);
+  return static_cast<uint32_t>(flows_.size() - 1);
+}
+
+void Simulation::GrowAdjStride(uint32_t min_stride) {
+  uint32_t new_stride = adj_stride_;
+  while (new_stride < min_stride) new_stride *= 2;
+  std::vector<ResourceId> wide(flows_.size() * new_stride);
+  for (size_t slot = 0; slot < flows_.size(); ++slot) {
+    for (uint32_t i = 0; i < adj_deg_[slot]; ++i) {
+      wide[slot * new_stride + i] = adj_[slot * adj_stride_ + i];
+    }
+  }
+  adj_ = std::move(wide);
+  adj_stride_ = new_stride;
+}
+
+void Simulation::DetachAndRelease(uint32_t slot) {
+  Flow& f = flows_[slot];
+  for (auto [r, pos] : f.resources) {
+    std::vector<uint32_t>& list = resources_[r].flows;
+    uint32_t moved = list.back();
+    list[pos] = moved;
+    list.pop_back();
+    if (moved != slot) {
+      // Fix the swapped-in flow's backpointer for this resource.
+      for (auto& pr : flows_[moved].resources) {
+        if (pr.first == r) {
+          pr.second = pos;
+          break;
+        }
+      }
+    }
+    // The departed flow's rate leaves the aggregate even if every
+    // remaining flow keeps its rate, so force a fresh re-aggregation.
+    agg_dirty_[r] = 1;
+    seed_resources_.push_back(r);
+    if (!list.empty()) {
+      init_share_[r] = resources_[r].capacity_bps /
+                       static_cast<double>(list.size());
+    }
+  }
+  rates_dirty_ = true;
+  f.resources.clear();       // keeps capacity for the slot's next tenant
+  f.on_complete = nullptr;   // release the closure now, not at reuse
+  f.active = false;
+  adj_deg_[slot] = 0;
+  rate_bps_[slot] = 0;
+  ++f.generation;            // retire every outstanding id/heap entry
+  free_slots_.push_back(slot);
+  --active_flows_;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental max-min solver
+
+bool Simulation::CollectComponent(ResourceId seed) {
+  if (resource_mark_[seed] == wave_) return false;
+  comp_flows_.clear();
+  comp_resources_.clear();
+  comp_min_cap_ = kInfinity;
+  resource_mark_[seed] = wave_;
+  comp_resources_.push_back(seed);
+  res_solve_[seed].residual = resources_[seed].capacity_bps;
+  res_solve_[seed].unfrozen = static_cast<int>(resources_[seed].flows.size());
+  // comp_resources_ doubles as the BFS frontier (scan by index). Solver
+  // init (residual/unfrozen/solve_rate) rides along with discovery so
+  // SolveComponent needs no second pass over the component.
+  for (size_t i = 0; i < comp_resources_.size(); ++i) {
+    for (uint32_t slot : resources_[comp_resources_[i]].flows) {
+      if (flow_mark_[slot] == wave_) continue;
+      flow_mark_[slot] = wave_;
+      comp_flows_.push_back(slot);
+      solve_rate_[slot] = -1;  // unfrozen
+      double cap = rate_cap_bps_[slot];
+      if (cap > 0 && cap < comp_min_cap_) comp_min_cap_ = cap;
+      const ResourceId* adj = &adj_[slot * adj_stride_];
+      for (uint32_t k = 0; k < adj_deg_[slot]; ++k) {
+        ResourceId r = adj[k];
+        if (resource_mark_[r] != wave_) {
+          resource_mark_[r] = wave_;
+          comp_resources_.push_back(r);
+          res_solve_[r].residual = resources_[r].capacity_bps;
+          res_solve_[r].unfrozen = static_cast<int>(resources_[r].flows.size());
+        }
+      }
+    }
+  }
+  // No sort: the canonical ascending-slot freezing order is enforced by
+  // the solver's worklists, not by this discovery order.
+  return true;
+}
+
+void Simulation::SolveComponent() {
+  // Progressive filling (max-min fairness) over one connected component.
+  // Residual capacity starts at full capacity; in each round the
+  // tightest resource fixes the rate of all its still-unfrozen flows,
+  // with rate caps freezing first when they bind below the round share.
+  // Rates in other components cannot change (no shared resource), so
+  // this is bit-identical to a whole-system solve done one component at
+  // a time — the invariant NaiveRatesForTest() checks.
+  ++stats_.recomputes;
+  stats_.flows_visited += comp_flows_.size();
+  // residual_/unfrozen_/solve_rate_ were initialized during collection.
+  // Reference semantics (kept verbatim in NaiveRatesForTest, and used
+  // directly below for small components): each round scans all
+  // still-unfrozen flows in ascending slot order; capped flows with
+  // cap <= min_share*slack freeze first at their cap; otherwise every
+  // flow that crosses a currently-at-min resource freezes at min_share,
+  // with the at-min test evaluated against live residuals as the scan
+  // proceeds.
+  if (comp_flows_.size() <= kSmallComponent) {
+    SolveRoundsSmall();
+  } else {
+    SolveRoundsLarge();
+  }
+  ApplyAndRefresh();
+}
+
+void Simulation::SolveRoundsSmall() {
+  // The reference round loop, verbatim: cheapest for the small
+  // components that dominate realistic topologies.
+  std::sort(comp_flows_.begin(), comp_flows_.end());
+  size_t frozen = 0;
+  while (frozen < comp_flows_.size()) {
+    ++stats_.solve_rounds;
+    double min_share = kInfinity;
+    for (ResourceId r : comp_resources_) {
+      if (res_solve_[r].unfrozen > 0) {
+        min_share = std::min(min_share, res_solve_[r].residual / res_solve_[r].unfrozen);
+      }
+    }
+    const double thresh = min_share * kShareSlack;
+    bool froze_capped = false;
+    for (uint32_t slot : comp_flows_) {
+      if (solve_rate_[slot] >= 0) continue;
+      double cap = rate_cap_bps_[slot];
+      if (cap > 0 && cap <= thresh) {
+        solve_rate_[slot] = cap;
+        ++frozen;
+        froze_capped = true;
+        const ResourceId* adj = &adj_[slot * adj_stride_];
+        for (uint32_t k = 0; k < adj_deg_[slot]; ++k) {
+          ResourceId r = adj[k];
+          res_solve_[r].residual -= cap;
+          if (res_solve_[r].residual < 0) res_solve_[r].residual = 0;
+          --res_solve_[r].unfrozen;
+        }
+      }
+    }
+    if (froze_capped) continue;
+    OCTO_CHECK(min_share < kInfinity) << "unfrozen flow with no resource";
+    for (uint32_t slot : comp_flows_) {
+      if (solve_rate_[slot] >= 0) continue;
+      const ResourceId* adj = &adj_[slot * adj_stride_];
+      const uint32_t deg = adj_deg_[slot];
+      bool bottlenecked = false;
+      for (uint32_t k = 0; k < deg; ++k) {
+        ResourceId r = adj[k];
+        if (res_solve_[r].unfrozen > 0 && res_solve_[r].residual / res_solve_[r].unfrozen <= thresh) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      solve_rate_[slot] = min_share;
+      ++frozen;
+      for (uint32_t k = 0; k < deg; ++k) {
+        ResourceId r = adj[k];
+        res_solve_[r].residual -= min_share;
+        if (res_solve_[r].residual < 0) res_solve_[r].residual = 0;
+        --res_solve_[r].unfrozen;
+      }
+    }
+  }
+}
+
+void Simulation::SolveRoundsLarge() {
+  // Worklist solver: visits exactly the flows the reference scans would
+  // freeze, in the same order, with the same arithmetic — but a round
+  // costs O(frozen + candidates + heap traffic) instead of
+  // O(component).
+  //
+  // The bottleneck share is tracked with a lazy monotone min-heap of
+  // (share-at-push, resource) entries. Invariant: every resource with
+  // unfrozen flows owns at least one entry whose key is <= its live
+  // share. Bottleneck freezes only raise shares (the frozen value never
+  // exceeds the share of any resource it crosses), so existing entries
+  // stay valid lower bounds. The one move that can lower a share — a
+  // capped freeze whose cap sits inside the slack window above the
+  // share — is followed by an eager exact re-push for every resource it
+  // touched, restoring the invariant before the next pop.
+  auto key_later = [](const auto& a, const auto& b) {
+    return a.first > b.first;
+  };
+  share_heap_.clear();
+  for (ResourceId r : comp_resources_) {
+    if (res_solve_[r].unfrozen > 0) {
+      // init_share_[r] == fl(res_solve_[r].residual / res_solve_[r].unfrozen) here: residual
+      // was just reset to capacity and the cache tracks attach/detach.
+      share_heap_.emplace_back(init_share_[r], r);
+    }
+  }
+  std::make_heap(share_heap_.begin(), share_heap_.end(), key_later);
+  auto repush = [&](double share, ResourceId r) {
+    share_heap_.emplace_back(share, r);
+    std::push_heap(share_heap_.begin(), share_heap_.end(), key_later);
+  };
+  bool cap_heap_built = false;
+  size_t frozen = 0;
+  while (frozen < comp_flows_.size()) {
+    ++stats_.solve_rounds;
+    // Find the bottleneck: pop until the top entry's key matches its
+    // resource's live share. That value is the exact global minimum —
+    // every other live resource holds an entry at least this large and
+    // no larger than its own share.
+    double min_share = kInfinity;
+    while (!share_heap_.empty()) {
+      auto [v, r] = share_heap_.front();
+      std::pop_heap(share_heap_.begin(), share_heap_.end(), key_later);
+      share_heap_.pop_back();
+      if (res_solve_[r].unfrozen == 0) continue;  // fully frozen; retire the entry
+      double cur = res_solve_[r].residual / res_solve_[r].unfrozen;
+      if (cur == v) {
+        min_share = cur;
+        repush(cur, r);  // keep it live for the collection below
+        break;
+      }
+      repush(cur, r);  // stale key: refresh and keep looking
+    }
+    OCTO_CHECK(min_share < kInfinity) << "unfrozen flow with no resource";
+    const double thresh = min_share * kShareSlack;
+    const double guard = thresh * kGuardSlack;
+    // Flows whose rate cap binds below the current bottleneck share
+    // freeze first at their cap (they cannot use their full share). No
+    // cap in this component sits below comp_min_cap_, so until the
+    // bottleneck share climbs there the pass — and the heap itself — is
+    // skipped entirely.
+    if (comp_min_cap_ <= thresh) {
+      if (!cap_heap_built) {
+        cap_heap_built = true;
+        cap_heap_.clear();
+        for (uint32_t slot : comp_flows_) {
+          if (rate_cap_bps_[slot] > 0 && solve_rate_[slot] < 0) {
+            cap_heap_.emplace_back(rate_cap_bps_[slot], slot);
+          }
+        }
+        std::make_heap(cap_heap_.begin(), cap_heap_.end(), key_later);
+      }
+      // Eligibility depends only on the cap and this round's min_share,
+      // so the eligible set is a prefix of the cap heap; it is frozen
+      // in ascending slot order, matching the reference scan.
+      elig_.clear();
+      while (!cap_heap_.empty() && cap_heap_.front().first <= thresh) {
+        uint32_t slot = cap_heap_.front().second;
+        std::pop_heap(cap_heap_.begin(), cap_heap_.end(), key_later);
+        cap_heap_.pop_back();
+        if (solve_rate_[slot] < 0) elig_.push_back(slot);
+      }
+      if (!elig_.empty()) {
+        std::sort(elig_.begin(), elig_.end());
+        BumpVisitEpoch();
+        round_res_.clear();
+        for (uint32_t slot : elig_) {
+          double cap = rate_cap_bps_[slot];
+          solve_rate_[slot] = cap;
+          ++frozen;
+          const ResourceId* adj = &adj_[slot * adj_stride_];
+          const uint32_t deg = adj_deg_[slot];
+          for (uint32_t k = 0; k < deg; ++k) {
+            ResourceId r = adj[k];
+            res_solve_[r].residual -= cap;
+            if (res_solve_[r].residual < 0) res_solve_[r].residual = 0;
+            --res_solve_[r].unfrozen;
+            if (res_enlist_mark_[r] != visit_epoch_) {
+              res_enlist_mark_[r] = visit_epoch_;
+              round_res_.push_back(r);
+            }
+          }
+        }
+        // A cap may sit up to the slack factor above the share it
+        // beat, so these freezes can lower shares: restore the heap
+        // invariant with an exact entry per touched resource.
+        for (ResourceId r : round_res_) {
+          if (res_solve_[r].unfrozen > 0) repush(res_solve_[r].residual / res_solve_[r].unfrozen, r);
+        }
+        continue;  // residuals moved; recompute min_share first
+      }
+    }
+    // Bottleneck pass. Every at-min resource holds all its entries at
+    // keys <= its share <= thresh, so popping the <=thresh prefix finds
+    // each one. Seed the worklist with their unfrozen flows; when a
+    // freeze drags another resource to the minimum mid-pass, its
+    // unfrozen flows with larger slots join the worklist (smaller slots
+    // were already passed over by the reference scan at a point where
+    // the resource was not yet at-min). Each resource enlists at most
+    // once per pass: no flow joins a resource mid-solve, so its first
+    // enlistment already covered every candidate it can contribute.
+    BumpVisitEpoch();
+    cand_.clear();
+    round_res_.clear();
+    while (!share_heap_.empty() && share_heap_.front().first <= thresh) {
+      ResourceId r = share_heap_.front().second;
+      std::pop_heap(share_heap_.begin(), share_heap_.end(), key_later);
+      share_heap_.pop_back();
+      if (res_solve_[r].unfrozen == 0 || res_enlist_mark_[r] == visit_epoch_) {
+        continue;  // retired, or a duplicate of an already-collected one
+      }
+      double cur = res_solve_[r].residual / res_solve_[r].unfrozen;
+      if (cur > thresh) {
+        repush(cur, r);  // stale-low key, not actually at-min
+        continue;
+      }
+      res_enlist_mark_[r] = visit_epoch_;
+      round_res_.push_back(r);
+      for (uint32_t slot : resources_[r].flows) {
+        if (solve_rate_[slot] < 0) cand_.push_back(slot);
+      }
+    }
+    // Ascending slot order via one sort; a heap's per-pop log-factor of
+    // scattered swaps loses to a single cache-friendly sort at this
+    // size. Mid-pass enlistments only ever append slots greater than
+    // the one being processed, so re-sorting the unprocessed tail (a
+    // rare event) restores the exact order.
+    std::sort(cand_.begin(), cand_.end());
+    bool tail_dirty = false;
+    for (size_t ci = 0; ci < cand_.size(); ++ci) {
+      if (tail_dirty) {
+        std::sort(cand_.begin() + static_cast<ptrdiff_t>(ci), cand_.end());
+        tail_dirty = false;
+      }
+      uint32_t slot = cand_[ci];
+      if (solve_rate_[slot] >= 0 || visit_mark_[slot] == visit_epoch_) {
+        continue;
+      }
+      visit_mark_[slot] = visit_epoch_;
+      const ResourceId* adj = &adj_[slot * adj_stride_];
+      const uint32_t deg = adj_deg_[slot];
+      bool bottlenecked = false;
+      for (uint32_t k = 0; k < deg; ++k) {
+        ResourceId r = adj[k];
+        int u = res_solve_[r].unfrozen;
+        if (u > 0 && res_solve_[r].residual <= guard * u &&
+            res_solve_[r].residual / u <= thresh) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      solve_rate_[slot] = min_share;
+      ++frozen;
+      for (uint32_t k = 0; k < deg; ++k) {
+        ResourceId r = adj[k];
+        res_solve_[r].residual -= min_share;
+        if (res_solve_[r].residual < 0) res_solve_[r].residual = 0;
+        --res_solve_[r].unfrozen;
+        if (res_enlist_mark_[r] != visit_epoch_ && res_solve_[r].unfrozen > 0 &&
+            res_solve_[r].residual <= guard * res_solve_[r].unfrozen &&
+            res_solve_[r].residual / res_solve_[r].unfrozen <= thresh) {
+          // Newly at-min: enlist its unfrozen later flows. Its heap
+          // entries were never popped this round (shares only rose on
+          // the way here), so it needs no re-push below.
+          res_enlist_mark_[r] = visit_epoch_;
+          for (uint32_t other : resources_[r].flows) {
+            if (other > slot && solve_rate_[other] < 0 &&
+                visit_mark_[other] != visit_epoch_) {
+              cand_.push_back(other);
+              tail_dirty = true;
+            }
+          }
+        }
+      }
+    }
+    // The collected resources lost their heap entries; those still
+    // carrying unfrozen flows re-enter at their exact new share.
+    for (ResourceId r : round_res_) {
+      if (res_solve_[r].unfrozen > 0) repush(res_solve_[r].residual / res_solve_[r].unfrozen, r);
+    }
+  }
+}
+
+void Simulation::ApplyAndRefresh() {
+  // Apply: materialize lazy progress only for flows whose rate actually
+  // changed (bitwise), then re-arm their completion entries.
+  for (uint32_t slot : comp_flows_) {
+    double new_rate = solve_rate_[slot];
+    if (new_rate == rate_bps_[slot]) continue;
+    Flow& f = flows_[slot];
+    f.remaining_bytes -= rate_bps_[slot] * (now_ - f.updated_at);
+    if (f.remaining_bytes < 0) f.remaining_bytes = 0;
+    f.updated_at = now_;
+    rate_bps_[slot] = new_rate;
+    ++f.rate_version;
+    PushCompletion(slot);
+    const ResourceId* adj = &adj_[slot * adj_stride_];
+    for (uint32_t k = 0; k < adj_deg_[slot]; ++k) {
+      agg_dirty_[adj[k]] = 1;
+    }
+  }
+  // Refresh per-resource aggregates: integrate transferred bytes at the
+  // old aggregate rate through now, then swap in the new aggregate.
+  // Only resources whose flow set or member rates moved need it — for
+  // the rest both the sum (same values, same order) and the lazy byte
+  // formula are unchanged.
+  for (ResourceId r : comp_resources_) {
+    if (!agg_dirty_[r]) continue;
+    agg_dirty_[r] = 0;
+    Resource& res = resources_[r];
+    res.bytes_transferred += res.agg_rate_bps * (now_ - res.updated_at);
+    res.updated_at = now_;
+    double agg = 0;
+    for (uint32_t slot : res.flows) agg += rate_bps_[slot];
+    res.agg_rate_bps = agg;
+  }
+}
+
+void Simulation::BumpWave() {
+  if (++wave_ == 0) {
+    std::fill(flow_mark_.begin(), flow_mark_.end(), 0u);
+    std::fill(resource_mark_.begin(), resource_mark_.end(), 0u);
+    wave_ = 1;
+  }
+}
+
+void Simulation::BumpVisitEpoch() {
+  if (++visit_epoch_ == 0) {
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0u);
+    std::fill(res_enlist_mark_.begin(), res_enlist_mark_.end(), 0u);
+    visit_epoch_ = 1;
+  }
+}
+
+void Simulation::RecomputeFromSeeds() {
+  // One wave may touch several now-disjoint components (e.g. the flow
+  // that linked them just retired); each is solved independently.
+  BumpWave();
+  for (ResourceId seed : seed_resources_) {
+    if (CollectComponent(seed)) SolveComponent();
+  }
+  seed_resources_.clear();
+}
+
+void Simulation::EnsureRatesCurrent() {
+  if (!rates_dirty_) return;
+  rates_dirty_ = false;
+  RecomputeFromSeeds();
+}
+
+// ---------------------------------------------------------------------------
+// Flow lifecycle
 
 FlowId Simulation::StartFlow(double bytes,
                              const std::vector<ResourceId>& resources,
                              std::function<void()> on_complete,
                              double rate_cap_bps) {
   OCTO_CHECK(bytes >= 0) << "flow size must be non-negative";
-  FlowId id = next_flow_id_++;
   // A zero-byte flow (or an uncapped flow crossing no resources)
   // completes immediately, as a timer.
   if (bytes <= kBytesEpsilon || (resources.empty() && rate_cap_bps <= 0)) {
     if (on_complete) Schedule(0.0, std::move(on_complete));
-    return id;
+    return next_instant_id_--;
   }
-  Flow flow;
-  flow.remaining_bytes = bytes;
-  flow.rate_cap_bps = rate_cap_bps;
-  flow.resources = resources;
-  std::sort(flow.resources.begin(), flow.resources.end());
-  flow.resources.erase(
-      std::unique(flow.resources.begin(), flow.resources.end()),
-      flow.resources.end());
-  for (ResourceId r : flow.resources) {
+  uint32_t slot = AllocSlot();
+  Flow& f = flows_[slot];
+  f.remaining_bytes = bytes;
+  f.updated_at = now_;
+  rate_bps_[slot] = 0;
+  rate_cap_bps_[slot] = rate_cap_bps;
+  f.active = true;
+  f.on_complete = std::move(on_complete);
+  f.resources.clear();
+  for (ResourceId r : resources) {
     OCTO_CHECK(r >= 0 && r < static_cast<ResourceId>(resources_.size()))
         << "unknown resource id " << r;
-    resources_[r].active_flows++;
+    f.resources.emplace_back(r, 0);
   }
-  flow.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(flow));
-  RecomputeRates();
+  std::sort(f.resources.begin(), f.resources.end());
+  f.resources.erase(std::unique(f.resources.begin(), f.resources.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.first == b.first;
+                                }),
+                    f.resources.end());
+  if (f.resources.size() > adj_stride_) {
+    GrowAdjStride(static_cast<uint32_t>(f.resources.size()));
+  }
+  adj_deg_[slot] = static_cast<uint32_t>(f.resources.size());
+  for (size_t i = 0; i < f.resources.size(); ++i) {
+    auto& [r, pos] = f.resources[i];
+    pos = static_cast<uint32_t>(resources_[r].flows.size());
+    resources_[r].flows.push_back(slot);
+    adj_[slot * adj_stride_ + i] = r;
+    init_share_[r] = resources_[r].capacity_bps /
+                     static_cast<double>(resources_[r].flows.size());
+  }
+  ++active_flows_;
+  FlowId id = PackId(slot, f.generation);
+  if (f.resources.empty()) {
+    // Cap-only flow: rate is its cap, permanently (it shares nothing).
+    rate_bps_[slot] = rate_cap_bps_[slot];
+    ++f.rate_version;
+    PushCompletion(slot);
+  } else {
+    // Defer the re-solve: a burst of starts/cancels at one virtual time
+    // is solved once, when a rate is next observed or time advances.
+    seed_resources_.push_back(f.resources.front().first);
+    rates_dirty_ = true;
+  }
   return id;
 }
 
 void Simulation::CancelFlow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  for (ResourceId r : it->second.resources) resources_[r].active_flows--;
-  flows_.erase(it);
-  RecomputeRates();
+  int64_t slot = DecodeLiveId(id);
+  if (slot < 0) return;
+  DetachAndRelease(static_cast<uint32_t>(slot));  // defers the re-solve
 }
 
-double Simulation::FlowRate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate_bps;
+double Simulation::FlowRate(FlowId id) {
+  EnsureRatesCurrent();
+  int64_t slot = DecodeLiveId(id);
+  return slot < 0 ? 0.0 : rate_bps_[slot];
 }
+
+// ---------------------------------------------------------------------------
+// Completions
+
+void Simulation::PushCompletion(uint32_t slot) {
+  const Flow& f = flows_[slot];
+  if (rate_bps_[slot] <= 0) return;
+  Completion c;
+  c.time = f.updated_at + f.remaining_bytes / rate_bps_[slot];
+  c.rate_version = f.rate_version;
+  c.slot = slot;
+  c.generation = f.generation;
+  completions_.push_back(c);
+  std::push_heap(completions_.begin(), completions_.end(),
+                 [](const Completion& a, const Completion& b) {
+                   return a.time > b.time;
+                 });
+  ++stats_.completion_pushes;
+}
+
+double Simulation::NextFlowCompletionTime() {
+  auto later = [](const Completion& a, const Completion& b) {
+    return a.time > b.time;
+  };
+  while (!completions_.empty()) {
+    const Completion& top = completions_.front();
+    const Flow& f = flows_[top.slot];
+    if (f.active && f.generation == top.generation &&
+        f.rate_version == top.rate_version) {
+      return top.time;
+    }
+    std::pop_heap(completions_.begin(), completions_.end(), later);
+    completions_.pop_back();
+    ++stats_.stale_pops;
+  }
+  return kInfinity;
+}
+
+void Simulation::CompleteDueFlows() {
+  auto later = [](const Completion& a, const Completion& b) {
+    return a.time > b.time;
+  };
+  due_slots_.clear();
+  while (!completions_.empty()) {
+    const Completion& top = completions_.front();
+    const Flow& f = flows_[top.slot];
+    bool valid = f.active && f.generation == top.generation &&
+                 f.rate_version == top.rate_version;
+    if (valid && top.time > now_ + kTimeSlack) break;
+    if (!valid) ++stats_.stale_pops;
+    if (valid) due_slots_.push_back(top.slot);
+    std::pop_heap(completions_.begin(), completions_.end(), later);
+    completions_.pop_back();
+  }
+  if (due_slots_.empty()) return;
+  // Detach the whole batch first so the re-solve sees the post-batch
+  // flow sets, then fire callbacks in flow-id (creation) order — the
+  // iteration order of the pre-slab std::map implementation.
+  std::vector<std::pair<FlowId, std::function<void()>>> callbacks =
+      std::move(due_callbacks_);  // swap trick: reentrancy-safe scratch
+  callbacks.clear();
+  for (uint32_t slot : due_slots_) {
+    Flow& f = flows_[slot];
+    f.remaining_bytes = 0;
+    f.updated_at = now_;
+    if (f.on_complete) {
+      callbacks.emplace_back(PackId(slot, f.generation),
+                             std::move(f.on_complete));
+    }
+    DetachAndRelease(slot);  // defers the re-solve; callbacks usually
+                             // start replacement flows, so the whole
+                             // batch solves once, afterwards
+  }
+  std::sort(callbacks.begin(), callbacks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [id, cb] : callbacks) cb();
+  callbacks.clear();
+  due_callbacks_ = std::move(callbacks);
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
 
 void Simulation::Schedule(double delay_seconds, std::function<void()> fn) {
   OCTO_CHECK(delay_seconds >= 0) << "cannot schedule in the past";
-  events_.push(TimedEvent{now_ + delay_seconds, next_event_seq_++,
-                          std::move(fn)});
-}
-
-void Simulation::RecomputeRates() {
-  // Progressive filling (max-min fairness). Residual capacity starts at
-  // full capacity; in each round the tightest resource fixes the rate of
-  // all its still-unfrozen flows.
-  const size_t nr = resources_.size();
-  std::vector<double> residual(nr);
-  std::vector<int> unfrozen_count(nr, 0);
-  for (size_t i = 0; i < nr; ++i) residual[i] = resources_[i].capacity_bps;
-  for (auto& [id, flow] : flows_) {
-    flow.rate_bps = -1;  // -1 marks unfrozen
-    for (ResourceId r : flow.resources) unfrozen_count[r]++;
-  }
-  size_t frozen = 0;
-  while (frozen < flows_.size()) {
-    // Find the bottleneck resource: the smallest equal share.
-    double min_share = kInfinity;
-    for (size_t i = 0; i < nr; ++i) {
-      if (unfrozen_count[i] > 0) {
-        double share = residual[i] / unfrozen_count[i];
-        min_share = std::min(min_share, share);
-      }
-    }
-    // Flows whose rate cap binds below the current bottleneck share
-    // freeze first at their cap (they cannot use their full share).
-    bool froze_capped = false;
-    for (auto& [id, flow] : flows_) {
-      if (flow.rate_bps >= 0) continue;
-      if (flow.rate_cap_bps > 0 &&
-          flow.rate_cap_bps <= min_share * (1 + 1e-12)) {
-        flow.rate_bps = flow.rate_cap_bps;
-        ++frozen;
-        froze_capped = true;
-        for (ResourceId r : flow.resources) {
-          residual[r] -= flow.rate_bps;
-          if (residual[r] < 0) residual[r] = 0;
-          unfrozen_count[r]--;
-        }
-      }
-    }
-    if (froze_capped) continue;
-    OCTO_CHECK(min_share < kInfinity) << "unfrozen flow with no resource";
-    // Freeze every unfrozen flow crossing a resource at that share.
-    for (auto& [id, flow] : flows_) {
-      if (flow.rate_bps >= 0) continue;
-      bool bottlenecked = false;
-      for (ResourceId r : flow.resources) {
-        if (unfrozen_count[r] > 0 &&
-            residual[r] / unfrozen_count[r] <= min_share * (1 + 1e-12)) {
-          bottlenecked = true;
-          break;
-        }
-      }
-      if (!bottlenecked) continue;
-      flow.rate_bps = min_share;
-      ++frozen;
-      for (ResourceId r : flow.resources) {
-        residual[r] -= min_share;
-        if (residual[r] < 0) residual[r] = 0;
-        unfrozen_count[r]--;
-      }
-    }
-  }
-}
-
-double Simulation::NextFlowCompletionTime() const {
-  double t = kInfinity;
-  for (const auto& [id, flow] : flows_) {
-    if (flow.rate_bps > 0) {
-      t = std::min(t, now_ + flow.remaining_bytes / flow.rate_bps);
-    }
-  }
-  return t;
-}
-
-void Simulation::AdvanceTo(double t) {
-  double dt = t - now_;
-  if (dt <= 0) {
-    now_ = std::max(now_, t);
-    return;
-  }
-  for (auto& [id, flow] : flows_) {
-    double transferred = flow.rate_bps * dt;
-    if (transferred > flow.remaining_bytes) transferred = flow.remaining_bytes;
-    flow.remaining_bytes -= transferred;
-    for (ResourceId r : flow.resources) {
-      resources_[r].bytes_transferred += transferred;
-    }
-  }
-  now_ = t;
-}
-
-void Simulation::CompleteFinishedFlows() {
-  std::vector<std::function<void()>> callbacks;
-  std::vector<FlowId> done;
-  for (auto& [id, flow] : flows_) {
-    if (flow.remaining_bytes <= kBytesEpsilon) done.push_back(id);
-  }
-  if (done.empty()) return;
-  for (FlowId id : done) {
-    auto it = flows_.find(id);
-    for (ResourceId r : it->second.resources) resources_[r].active_flows--;
-    if (it->second.on_complete) {
-      callbacks.push_back(std::move(it->second.on_complete));
-    }
-    flows_.erase(it);
-  }
-  RecomputeRates();
-  for (auto& cb : callbacks) cb();
+  events_.Push(
+      TimedEvent{now_ + delay_seconds, next_event_seq_++, std::move(fn)});
 }
 
 void Simulation::RunUntilIdle() { RunUntil(kInfinity); }
 
 void Simulation::RunUntil(double t_seconds) {
   while (!Idle()) {
-    double t_event = events_.empty() ? kInfinity : events_.top().time;
+    // Flush deferred rate work before looking at completion times or
+    // letting the clock move: lazy byte/progress integration is only
+    // valid while rates are current.
+    EnsureRatesCurrent();
+    double t_event = events_.empty() ? kInfinity : events_.top_time();
     double t_flow = NextFlowCompletionTime();
     double t_next = std::min(t_event, t_flow);
+    OCTO_CHECK(t_next < kInfinity) << "active flows but no runnable event";
     if (t_next > t_seconds) {
-      if (t_seconds < kInfinity && t_seconds > now_) AdvanceTo(t_seconds);
+      if (t_seconds < kInfinity && t_seconds > now_) now_ = t_seconds;
       return;
     }
-    AdvanceTo(t_next);
-    CompleteFinishedFlows();
+    if (t_next > now_) now_ = t_next;
+    if (t_flow <= now_ + kTimeSlack) CompleteDueFlows();
     // Run every event due at (or before) the current time. Callbacks may
     // enqueue new events/flows; the loop re-evaluates each iteration.
-    while (!events_.empty() && events_.top().time <= now_ + 1e-12) {
-      auto fn = std::move(const_cast<TimedEvent&>(events_.top()).fn);
-      events_.pop();
-      fn();
+    while (!events_.empty() && events_.top_time() <= now_ + kTimeSlack) {
+      TimedEvent e = events_.Pop();
+      e.fn();
     }
   }
+  EnsureRatesCurrent();  // final detaches must leave the aggregates
+                         // before the clock is clamped forward
   if (t_seconds < kInfinity && t_seconds > now_) now_ = t_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// Naive oracle (test only)
+
+std::vector<std::pair<FlowId, double>> Simulation::NaiveRatesForTest() const {
+  // Deliberately simple and allocation-happy: rediscover components and
+  // re-run whole-system progressive filling from scratch, sharing no
+  // incremental state with the production solver. Components are solved
+  // independently, lowest member slot first, flows in ascending slot
+  // order within each — the canonical order the incremental solver must
+  // reproduce bitwise.
+  std::vector<std::pair<FlowId, double>> out;
+  const size_t num_slots = flows_.size();
+  std::vector<char> flow_seen(num_slots, 0);
+  std::vector<char> res_seen(resources_.size(), 0);
+  for (uint32_t start = 0; start < num_slots; ++start) {
+    if (!flows_[start].active || flow_seen[start]) continue;
+    if (flows_[start].resources.empty()) {
+      // Cap-only flow: its own component; rate is its cap.
+      flow_seen[start] = 1;
+      out.emplace_back(PackId(start, flows_[start].generation),
+                       rate_cap_bps_[start]);
+      continue;
+    }
+    // Collect the component by BFS over shared resources.
+    std::vector<uint32_t> comp = {start};
+    std::vector<ResourceId> comp_res;
+    flow_seen[start] = 1;
+    for (size_t i = 0; i < comp.size(); ++i) {
+      for (auto [r, pos] : flows_[comp[i]].resources) {
+        (void)pos;
+        if (res_seen[r]) continue;
+        res_seen[r] = 1;
+        comp_res.push_back(r);
+        for (uint32_t other : resources_[r].flows) {
+          if (!flow_seen[other]) {
+            flow_seen[other] = 1;
+            comp.push_back(other);
+          }
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    // Progressive filling over the component.
+    std::vector<double> residual(resources_.size(), 0);
+    std::vector<int> unfrozen(resources_.size(), 0);
+    for (ResourceId r : comp_res) {
+      residual[r] = resources_[r].capacity_bps;
+      unfrozen[r] = static_cast<int>(resources_[r].flows.size());
+    }
+    std::vector<double> rate(num_slots, -1);
+    size_t frozen = 0;
+    while (frozen < comp.size()) {
+      double min_share = kInfinity;
+      for (ResourceId r : comp_res) {
+        if (unfrozen[r] > 0) {
+          min_share = std::min(min_share, residual[r] / unfrozen[r]);
+        }
+      }
+      bool froze_capped = false;
+      for (uint32_t slot : comp) {
+        if (rate[slot] >= 0) continue;
+        const Flow& f = flows_[slot];
+        double fcap = rate_cap_bps_[slot];
+        if (fcap > 0 && fcap <= min_share * kShareSlack) {
+          rate[slot] = fcap;
+          ++frozen;
+          froze_capped = true;
+          for (auto [r, pos] : f.resources) {
+            (void)pos;
+            residual[r] -= fcap;
+            if (residual[r] < 0) residual[r] = 0;
+            --unfrozen[r];
+          }
+        }
+      }
+      if (froze_capped) continue;
+      OCTO_CHECK(min_share < kInfinity) << "unfrozen flow with no resource";
+      for (uint32_t slot : comp) {
+        if (rate[slot] >= 0) continue;
+        const Flow& f = flows_[slot];
+        bool bottlenecked = false;
+        for (auto [r, pos] : f.resources) {
+          (void)pos;
+          if (unfrozen[r] > 0 &&
+              residual[r] / unfrozen[r] <= min_share * kShareSlack) {
+            bottlenecked = true;
+            break;
+          }
+        }
+        if (!bottlenecked) continue;
+        rate[slot] = min_share;
+        ++frozen;
+        for (auto [r, pos] : f.resources) {
+          (void)pos;
+          residual[r] -= min_share;
+          if (residual[r] < 0) residual[r] = 0;
+          --unfrozen[r];
+        }
+      }
+    }
+    for (uint32_t slot : comp) {
+      out.emplace_back(PackId(slot, flows_[slot].generation), rate[slot]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace octo::sim

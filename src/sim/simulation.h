@@ -3,9 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -16,7 +15,12 @@ namespace octo::sim {
 /// Identifies a capacity resource (a storage medium's read or write side,
 /// or a node NIC's ingress/egress side) inside the flow simulator.
 using ResourceId = int32_t;
-/// Identifies an in-flight data transfer.
+/// Identifies an in-flight data transfer. Ids are generation-checked:
+/// the low 32 bits index a recycled flow slot and the high bits carry the
+/// slot's generation, so a stale id held across the flow's completion
+/// (or cancellation) is detected instead of silently matching whatever
+/// flow reused the slot. Instantly-completing flows (zero bytes, or no
+/// resources and no cap) get negative one-shot ids.
 using FlowId = int64_t;
 
 inline constexpr ResourceId kInvalidResource = -1;
@@ -38,6 +42,15 @@ inline constexpr FlowId kInvalidFlow = -1;
 /// The simulation also supports scheduled callbacks (timers), which
 /// workloads use to sequence block writes and model compute time.
 /// Deterministic: identical inputs yield identical event orderings.
+///
+/// Hot-path architecture (see DESIGN.md): flows live in a contiguous
+/// slab with per-resource flow lists; a flow start/cancel/completion
+/// re-runs progressive filling only over the connected component of
+/// resources reachable from the touched resources (rates elsewhere are
+/// provably unchanged); per-flow progress and per-resource byte counters
+/// are lazy (materialized on rate change, integrated from aggregate
+/// rates); completions come from a min-heap with lazy invalidation, so
+/// the event loop never scans the flow table.
 class Simulation {
  public:
   Simulation() = default;
@@ -61,7 +74,8 @@ class Simulation {
   /// Number of flows currently crossing the resource.
   int ActiveFlows(ResourceId id) const;
   /// Total bytes that have passed through the resource so far.
-  double ResourceBytesTransferred(ResourceId id) const;
+  /// Non-const: flushes any deferred rate re-solve first.
+  double ResourceBytesTransferred(ResourceId id);
 
   /// Starts a transfer of `bytes` crossing all `resources` simultaneously.
   /// Duplicate resource ids in the list are collapsed. `on_complete` fires
@@ -74,10 +88,16 @@ class Simulation {
                    double rate_cap_bps = 0);
 
   /// Cancels an in-flight flow; its completion callback never fires.
+  /// O(flow degree) plus one component re-solve. Stale or recycled ids
+  /// are detected via the generation check and ignored (an instantly
+  /// completed flow's callback is already scheduled and still fires).
   void CancelFlow(FlowId id);
 
-  /// Current max-min fair rate of a flow in bytes/second (0 if finished).
-  double FlowRate(FlowId id) const;
+  /// Current max-min fair rate of a flow in bytes/second (0 if finished,
+  /// cancelled, or the id is stale). O(1) once any deferred re-solve is
+  /// flushed (hence non-const); a burst of starts/cancels at one virtual
+  /// time is solved once, on the first rate query or time advance.
+  double FlowRate(FlowId id);
 
   /// Schedules `fn` to run at now() + delay_seconds.
   void Schedule(double delay_seconds, std::function<void()> fn);
@@ -90,23 +110,46 @@ class Simulation {
   void RunUntil(double t_seconds);
 
   /// True when no flows and no pending events remain.
-  bool Idle() const { return flows_.empty() && events_.empty(); }
+  bool Idle() const { return active_flows_ == 0 && events_.empty(); }
 
-  int num_active_flows() const { return static_cast<int>(flows_.size()); }
+  int num_active_flows() const { return active_flows_; }
+
+  /// Counters for benchmarks and tests; monotonic over the simulation.
+  struct SolverStats {
+    uint64_t recomputes = 0;        ///< component re-solves
+    uint64_t flows_visited = 0;     ///< flows touched across re-solves
+    uint64_t solve_rounds = 0;      ///< progressive-filling rounds run
+    uint64_t completion_pushes = 0; ///< completion-heap entries pushed
+    uint64_t stale_pops = 0;        ///< lazily discarded heap entries
+  };
+  const SolverStats& solver_stats() const { return stats_; }
+
+  /// Test oracle: recomputes every active flow's max-min rate from
+  /// scratch with naive whole-system progressive filling (fresh
+  /// allocations, no incremental state), returning (id, rate) sorted by
+  /// id. The incremental solver's stored rates must match this bitwise
+  /// at all times; see tests/sim_property_test.cc.
+  std::vector<std::pair<FlowId, double>> NaiveRatesForTest() const;
 
  private:
   struct Resource {
-    std::string name;
     double capacity_bps = 0;
-    int active_flows = 0;
-    double bytes_transferred = 0;
+    double agg_rate_bps = 0;      // sum of current rates of `flows`
+    double bytes_transferred = 0; // materialized through `updated_at`
+    double updated_at = 0;
+    std::vector<uint32_t> flows;  // slots of flows crossing this resource
+    std::string name;
   };
 
   struct Flow {
-    double remaining_bytes = 0;
-    double rate_bps = 0;       // current max-min allocation
-    double rate_cap_bps = 0;   // 0 = uncapped
-    std::vector<ResourceId> resources;
+    double remaining_bytes = 0;  // as of `updated_at`
+    double updated_at = 0;
+    uint32_t generation = 0;
+    bool active = false;
+    uint64_t rate_version = 0;   // bumped on every rate change
+    // (resource, index of this flow in the resource's flow list); the
+    // backpointer makes removal O(degree) via swap-remove.
+    std::vector<std::pair<ResourceId, uint32_t>> resources;
     std::function<void()> on_complete;
   };
 
@@ -114,10 +157,34 @@ class Simulation {
     double time;
     int64_t seq;  // tie-breaker for determinism
     std::function<void()> fn;
-    bool operator>(const TimedEvent& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+  };
+
+  /// Hand-rolled binary min-heap ordered by (time, seq). Unlike
+  /// std::priority_queue, extraction moves the element out (no const_cast
+  /// on a const top, no std::function copies) and the backing vector's
+  /// capacity is reused across the run.
+  class EventHeap {
+   public:
+    bool empty() const { return v_.empty(); }
+    double top_time() const { return v_.front().time; }
+    void Push(TimedEvent e);
+    TimedEvent Pop();
+
+   private:
+    static bool Before(const TimedEvent& a, const TimedEvent& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
+    std::vector<TimedEvent> v_;
+  };
+
+  /// Lazily invalidated completion-heap entry: stale when the flow's
+  /// generation or rate version moved on.
+  struct Completion {
+    double time;
+    uint64_t rate_version;
+    uint32_t slot;
+    uint32_t generation;
   };
 
   // Clock adapter exposing virtual time through octo::Clock.
@@ -132,26 +199,129 @@ class Simulation {
     const Simulation* sim_;
   };
 
-  /// Recomputes all flow rates with progressive filling; O(R^2 + R*F).
-  void RecomputeRates();
+  static FlowId PackId(uint32_t slot, uint32_t generation) {
+    return (static_cast<FlowId>(generation) << 32) | slot;
+  }
+  /// Slot for a live id, or -1 when out of range / stale / inactive.
+  int64_t DecodeLiveId(FlowId id) const;
 
-  /// Advances virtual time, draining bytes from active flows.
-  void AdvanceTo(double t);
+  uint32_t AllocSlot();
+  /// Rebuilds the adjacency arena with a wider stride (rare).
+  void GrowAdjStride(uint32_t min_stride);
+  /// Detaches `slot` from its resources (seeding `seed_resources_`),
+  /// retires the generation and returns the slot to the free list.
+  void DetachAndRelease(uint32_t slot);
 
-  /// Time of the earliest flow completion (infinity if none).
-  double NextFlowCompletionTime() const;
+  /// Collects the connected component of flows/resources reachable from
+  /// `seed` into comp_flows_ (sorted ascending) / comp_resources_.
+  /// Returns false if the seed was already visited in this wave.
+  bool CollectComponent(ResourceId seed);
+  /// Advance the BFS wave / per-pass visit epoch, clearing the mark
+  /// arrays on 32-bit wraparound so a stale mark can never collide.
+  void BumpWave();
+  void BumpVisitEpoch();
+  /// Progressive filling over the collected component only; applies new
+  /// rates (materializing lazy progress for flows whose rate changed) and
+  /// refreshes per-resource aggregate rates and byte counters.
+  void SolveComponent();
+  /// Reference round loop (full ascending scans) for small components.
+  void SolveRoundsSmall();
+  /// Worklist round loop for large components; freezes exactly the same
+  /// flows at the same values in the same order as SolveRoundsSmall.
+  void SolveRoundsLarge();
+  /// Post-solve phase shared by both round loops: materializes lazy
+  /// progress for rate-changed flows and re-aggregates dirty resources.
+  void ApplyAndRefresh();
+  /// Re-solves every component touching `seed_resources_`, one component
+  /// at a time (components are solved independently so results are
+  /// bit-identical to whole-system progressive filling).
+  void RecomputeFromSeeds();
+  /// Flushes a deferred re-solve (no-op when rates are current). Starts,
+  /// cancels and completions only accumulate seeds; the solve runs once
+  /// per burst, here — always before virtual time advances or a rate /
+  /// byte counter is read.
+  void EnsureRatesCurrent();
 
-  /// Finishes flows whose remaining bytes hit zero at the current time.
-  void CompleteFinishedFlows();
+  void PushCompletion(uint32_t slot);
+  /// Time of the earliest valid completion-heap entry (infinity if none),
+  /// lazily discarding stale entries.
+  double NextFlowCompletionTime();
+  /// Completes every flow due at now_ (single batch: resources detached,
+  /// affected components re-solved once, callbacks fired in flow-id
+  /// order, matching the pre-slab std::map iteration order).
+  void CompleteDueFlows();
 
   double now_ = 0;
   int64_t next_event_seq_ = 0;
-  FlowId next_flow_id_ = 0;
+  FlowId next_instant_id_ = -2;  // ids for instantly-completing flows
+  int active_flows_ = 0;
+  bool rates_dirty_ = false;     // seeds pending; flush before time moves
+
   std::vector<Resource> resources_;
-  std::map<FlowId, Flow> flows_;
-  std::priority_queue<TimedEvent, std::vector<TimedEvent>,
-                      std::greater<TimedEvent>>
-      events_;
+  std::vector<Flow> flows_;            // slab; slots recycled LIFO
+  // Hot per-slot state kept out of the fat Flow struct so solver passes
+  // stream over dense double arrays instead of chasing struct lines.
+  std::vector<double> rate_bps_;       // current max-min allocation
+  std::vector<double> rate_cap_bps_;   // 0 = uncapped
+  // Strided adjacency arena mirroring Flow::resources (ids only, same
+  // order): one contiguous line per flow for the solver's inner loops.
+  std::vector<ResourceId> adj_;        // slot*adj_stride_ .. +adj_deg_
+  std::vector<uint32_t> adj_deg_;      // by slot
+  uint32_t adj_stride_ = 12;
+  std::vector<uint32_t> free_slots_;
+
+  EventHeap events_;
+  std::vector<Completion> completions_;  // binary heap via std::*_heap
+
+  // Reusable scratch for component discovery / solving (epoch-stamped
+  // visited marks; no per-recompute allocations in steady state).
+  // Marks are 32-bit to halve the randomly-accessed footprint of the
+  // component BFS; BumpWave / BumpVisitEpoch clear them on wraparound.
+  uint32_t wave_ = 0;
+  std::vector<uint32_t> flow_mark_;      // by slot
+  std::vector<uint32_t> resource_mark_;  // by resource id
+  std::vector<uint32_t> comp_flows_;
+  std::vector<ResourceId> comp_resources_;
+  // Per-resource solver state fused into one 16-byte record: the freeze
+  // loops hit residual and unfrozen together for every adjacent
+  // resource, so one cache line serves both.
+  struct ResSolve {
+    double residual = 0;    // capacity minus frozen demand, valid in solve
+    int32_t unfrozen = 0;   // flows not yet frozen, valid in solve
+    uint32_t pad = 0;
+  };
+  std::vector<ResSolve> res_solve_;  // by resource id
+  // fl(capacity / flow count), maintained on attach/detach: the share
+  // every resource starts a solve with, precomputed so seeding the share
+  // heap costs no divisions.
+  std::vector<double> init_share_; // by resource id
+  std::vector<double> solve_rate_; // by slot, -1 = unfrozen, valid in solve
+  // Bottleneck-pass worklist: candidate slots (ascending via sort) and
+  // per-pass visited stamps so each flow is inspected at most once per
+  // pass, exactly like the full ascending scan it replaces.
+  std::vector<uint32_t> cand_;
+  std::vector<uint32_t> visit_mark_;     // by slot
+  uint32_t visit_epoch_ = 0;
+  // Capped flows of the component ordered by cap (min-heap with lazy
+  // deletion): a round's eligible set is the heap prefix with
+  // cap <= min_share * slack, frozen in ascending-slot order.
+  std::vector<std::pair<double, uint32_t>> cap_heap_;
+  std::vector<uint32_t> elig_;
+  std::vector<uint32_t> res_enlist_mark_;  // by resource id, per pass
+  // Lazy min-heap of (share-at-push, resource): shares only grow under
+  // bottleneck freezes, so a top entry whose pushed share still equals
+  // the live share is the exact global minimum; capped freezes (which
+  // can nudge a share down within the slack window) re-push the touched
+  // resources eagerly to keep the entry-below-live invariant.
+  std::vector<std::pair<double, ResourceId>> share_heap_;
+  std::vector<ResourceId> round_res_;      // at-min resources this round
+  double comp_min_cap_ = 0;                // smallest cap in the component
+  std::vector<char> agg_dirty_;            // by resource id
+  std::vector<ResourceId> seed_resources_;
+  std::vector<uint32_t> due_slots_;
+  std::vector<std::pair<FlowId, std::function<void()>>> due_callbacks_;
+
+  SolverStats stats_;
   SimClockAdapter clock_adapter_{this};
 };
 

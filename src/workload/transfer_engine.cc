@@ -49,9 +49,10 @@ void TransferEngine::NoteEnd(const std::vector<MediumId>& media,
   }
 }
 
-std::vector<sim::ResourceId> TransferEngine::PipelineResources(
+std::vector<sim::ResourceId>& TransferEngine::PipelineResources(
     const NetworkLocation& client, const std::vector<PlacedReplica>& chain) {
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   NetworkLocation prev = client;
   const WorkerInfo* prev_worker = master_->cluster_state().WorkerAt(client);
   for (const PlacedReplica& replica : chain) {
@@ -78,9 +79,10 @@ std::vector<sim::ResourceId> TransferEngine::PipelineResources(
   return resources;
 }
 
-std::vector<sim::ResourceId> TransferEngine::ReadResources(
+std::vector<sim::ResourceId>& TransferEngine::ReadResources(
     const NetworkLocation& client, const PlacedReplica& source) {
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   Worker* w = cluster_->worker(source.worker);
   if (w == nullptr) return resources;
   auto read_res = w->MediumReadResource(source.medium);
@@ -140,7 +142,7 @@ void TransferEngine::WriteNextBlock(std::shared_ptr<WriteJob> job) {
                               job->path));
     return;
   }
-  std::vector<sim::ResourceId> resources =
+  std::vector<sim::ResourceId>& resources =
       PipelineResources(job->client, located->locations);
   std::vector<MediumId> media;
   std::vector<WorkerId> workers;
@@ -200,7 +202,7 @@ void TransferEngine::ReadNextBlock(std::shared_ptr<ReadJob> job) {
     return;
   }
   const PlacedReplica source = lb.locations.front();
-  std::vector<sim::ResourceId> resources = ReadResources(job->client, source);
+  std::vector<sim::ResourceId>& resources = ReadResources(job->client, source);
   std::vector<MediumId> media = {source.medium};
   std::vector<WorkerId> workers = {source.worker};
   NoteStart(media, workers);
@@ -221,7 +223,7 @@ void TransferEngine::ReadReplicaAsync(int64_t bytes,
                                       const PlacedReplica& source,
                                       const NetworkLocation& client,
                                       DoneCallback done) {
-  std::vector<sim::ResourceId> resources = ReadResources(client, source);
+  std::vector<sim::ResourceId>& resources = ReadResources(client, source);
   std::vector<MediumId> media = {source.medium};
   std::vector<WorkerId> workers;
   if (!client.SameNode(source.location)) workers.push_back(source.worker);
@@ -241,7 +243,8 @@ void TransferEngine::NodeTransferAsync(int64_t bytes,
     sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
     return;
   }
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   std::vector<WorkerId> workers;
   const WorkerInfo* fw = master_->cluster_state().WorkerAt(from);
   if (fw != nullptr) {
@@ -304,7 +307,8 @@ void TransferEngine::ScratchWriteAsync(int64_t bytes,
     sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
     return;
   }
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   auto res = worker->MediumWriteResource(medium);
   if (res.ok()) resources.push_back(*res);
   NoteStart({medium}, {});
@@ -325,7 +329,8 @@ void TransferEngine::ScratchReadAsync(int64_t bytes,
     sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
     return;
   }
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   auto res = worker->MediumReadResource(medium);
   if (res.ok()) resources.push_back(*res);
   NoteStart({medium}, {});
@@ -346,7 +351,8 @@ void TransferEngine::CacheReadAsync(int64_t bytes,
     sim_->Schedule(0, [done = std::move(done)]() { done(Status::OK()); });
     return;
   }
-  std::vector<sim::ResourceId> resources;
+  std::vector<sim::ResourceId>& resources = res_scratch_;
+  resources.clear();
   auto res = worker->MediumReadResource(medium);
   if (res.ok()) resources.push_back(*res);
   StartCappedFlow(static_cast<double>(bytes), resources,
@@ -408,7 +414,7 @@ Result<int> TransferEngine::PumpCommandsTimed() {
           source.worker = src_info->worker;
           source.tier = src_info->tier;
           source.location = src_info->location;
-          std::vector<sim::ResourceId> resources =
+          std::vector<sim::ResourceId>& resources =
               ReadResources(target.location, source);
           Worker* target_worker = cluster_->worker(target.worker);
           if (target_worker != nullptr) {

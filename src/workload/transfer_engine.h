@@ -130,11 +130,14 @@ class TransferEngine {
   void ReadNextBlock(std::shared_ptr<ReadJob> job);
 
   /// Resources of a replication pipeline client -> m1 -> ... -> mr.
-  std::vector<sim::ResourceId> PipelineResources(
+  /// Returns res_scratch_ (valid until the next *Resources call; the
+  /// simulator copies the list synchronously in StartFlow).
+  std::vector<sim::ResourceId>& PipelineResources(
       const NetworkLocation& client, const std::vector<PlacedReplica>& chain);
-  /// Resources of a single-replica read to `client`.
-  std::vector<sim::ResourceId> ReadResources(const NetworkLocation& client,
-                                             const PlacedReplica& source);
+  /// Resources of a single-replica read to `client`. Same scratch reuse
+  /// as PipelineResources; callers may append before starting the flow.
+  std::vector<sim::ResourceId>& ReadResources(const NetworkLocation& client,
+                                              const PlacedReplica& source);
 
   /// Connection bookkeeping for a transfer over `media` and `workers`.
   void NoteStart(const std::vector<MediumId>& media,
@@ -158,6 +161,9 @@ class TransferEngine {
   std::map<BlockId, int64_t> block_lengths_;
   WriteEventCallback on_write_;
   ReadEventCallback on_read_;
+  // Reused by PipelineResources / ReadResources: one allocation for the
+  // life of the engine instead of one per block transfer.
+  std::vector<sim::ResourceId> res_scratch_;
 };
 
 }  // namespace octo::workload

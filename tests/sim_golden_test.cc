@@ -1,0 +1,172 @@
+// Golden determinism test for the flow simulator: a fixed multi-tier
+// cluster of resources, a scripted sequence of replication-pipeline
+// writes, reads, timers, cancellations and chained starts must
+// reproduce exactly the checked-in completion order, timestamps and
+// per-resource byte totals. The expectations were captured on the
+// original (whole-system progressive-filling, eager accounting)
+// implementation, so solver rewrites (incremental recomputation, lazy
+// progress, completion heaps) can be validated as pure optimizations:
+// any diff here is a semantic regression, not tuning.
+//
+// Same pattern as tests/placement_golden_test.cc. Timestamps are
+// serialized at nanosecond precision and byte totals at six significant
+// digits — far coarser than the ~1e-12 relative float jitter that
+// different-but-equivalent summation orders can introduce, and far
+// finer than any real behavioural change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace octo {
+namespace {
+
+using sim::FlowId;
+using sim::ResourceId;
+using sim::Simulation;
+
+// Captured from the pre-rewrite solver. Regenerate only if the scenario
+// itself changes, never to paper over a solver difference.
+constexpr const char* kGolden =
+    "z@0.000000000;t2.0:active=6;r0@2.209944751;c0@3.000000000;"
+    "r2@3.300000000;timer2;p1@5.158730159;p2@5.968750000;p0@6.278846154;"
+    "p3@9.794471154;end@9.794471154;bytes:client_out=2600,w0_in=2600,"
+    "w0_out=2550,w0_mem_w=1250,w0_mem_r=0,w0_ssd_w=700,w0_ssd_r=600,"
+    "w0_hdd_w=650,w0_hdd_r=0,w1_in=2600,w1_out=1850,w1_mem_w=650,"
+    "w1_mem_r=0,w1_ssd_w=800,w1_ssd_r=0,w1_hdd_w=1150,w1_hdd_r=400,"
+    "w2_in=2600,w2_out=1874,w2_mem_w=700,w2_mem_r=0,w2_ssd_w=1100,"
+    "w2_ssd_r=0,w2_hdd_w=816.25,w2_hdd_r=74,core=16.25;";
+
+struct GoldenRig {
+  Simulation sim;
+  ResourceId client_out;
+  // Per worker: nic in/out and write/read sides of memory, SSD, HDD.
+  struct W {
+    ResourceId in, out, mem_w, mem_r, ssd_w, ssd_r, hdd_w, hdd_r;
+  };
+  std::vector<W> w;
+  ResourceId core;
+  std::vector<std::pair<std::string, ResourceId>> all;
+
+  GoldenRig() {
+    auto add = [&](const std::string& name, double cap) {
+      ResourceId id = sim.AddResource(name, cap);
+      all.emplace_back(name, id);
+      return id;
+    };
+    client_out = add("client_out", 1000);
+    // Distinct capacities everywhere so no two resources ever tie.
+    for (int i = 0; i < 3; ++i) {
+      std::string p = "w" + std::to_string(i) + "_";
+      W wk;
+      wk.in = add(p + "in", 900 + 17 * i);
+      wk.out = add(p + "out", 880 + 13 * i);
+      wk.mem_w = add(p + "mem_w", 500 + 7 * i);
+      wk.mem_r = add(p + "mem_r", 600 + 11 * i);
+      wk.ssd_w = add(p + "ssd_w", 340 + 5 * i);
+      wk.ssd_r = add(p + "ssd_r", 420 + 3 * i);
+      wk.hdd_w = add(p + "hdd_w", 126 + 2 * i);
+      wk.hdd_r = add(p + "hdd_r", 177 + 4 * i);
+      w.push_back(wk);
+    }
+    core = add("core", 4000);
+  }
+
+  /// A 3-replica write pipeline: client -> mem@a -> ssd@b -> hdd@c.
+  std::vector<ResourceId> Pipeline(int a, int b, int c) {
+    return {client_out, w[a].in,  w[a].mem_w, w[a].out, w[b].in,
+            w[b].ssd_w, w[b].out, w[c].in,   w[c].hdd_w};
+  }
+
+  /// A remote read from a medium's read side over the serving NIC.
+  std::vector<ResourceId> Read(ResourceId medium_read, int worker) {
+    return {medium_read, w[worker].out};
+  }
+};
+
+std::string Fmt(double t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", t);
+  return buf;
+}
+
+std::string RunScenario() {
+  GoldenRig rig;
+  Simulation& sim = rig.sim;
+  std::string out;
+  auto done = [&out, &sim](const char* tag) {
+    return
+        [&out, &sim, tag] { out += std::string(tag) + "@" + Fmt(sim.now()) + ";"; };
+  };
+
+  constexpr double kCap = 300;  // uniform per-stream cap, like the engine's
+
+  // t=0: two replication pipelines (p0 chains p3 from its completion,
+  // exercising id/slot reuse), a remote read, a cap-only stream (models
+  // client-side processing crossing no cluster resources) and a
+  // zero-byte flow.
+  sim.StartFlow(800, rig.Pipeline(0, 1, 2),
+                [&] {
+                  out += "p0@" + Fmt(sim.now()) + ";";
+                  sim.StartFlow(450, rig.Pipeline(0, 2, 1), done("p3"), kCap);
+                },
+                kCap);
+  sim.StartFlow(650, rig.Pipeline(1, 2, 0), done("p1"), kCap);
+  sim.StartFlow(400, rig.Read(rig.w[1].hdd_r, 1), done("r0"));
+  sim.StartFlow(120, {}, done("c0"), 40);
+  sim.StartFlow(0, rig.Pipeline(0, 1, 2), done("z"));
+
+  // A short-lived flow cancelled by a timer before it can finish.
+  FlowId hw = sim.StartFlow(250, {rig.w[2].hdd_w, rig.core}, done("hw"));
+  sim.Schedule(0.25, [&] {
+    sim.CancelFlow(hw);
+    EXPECT_EQ(sim.FlowRate(hw), 0.0);
+  });
+
+  // Timers interleave with flow completions.
+  FlowId r1 = sim::kInvalidFlow;
+  sim.Schedule(0.5, [&] {
+    sim.StartFlow(700, rig.Pipeline(2, 0, 1), done("p2"), kCap);
+    r1 = sim.StartFlow(500, rig.Read(rig.w[2].hdd_r, 2), done("r1"));
+  });
+  sim.Schedule(0.9, [&] {
+    sim.CancelFlow(r1);
+    EXPECT_EQ(sim.FlowRate(r1), 0.0);
+  });
+  sim.Schedule(1.3, [&] {
+    sim.StartFlow(600, rig.Read(rig.w[0].ssd_r, 0), done("r2"), kCap);
+  });
+  sim.Schedule(4.6, [&out] { out += "timer2;"; });
+
+  sim.RunUntil(2.0);
+  out += "t2.0:active=" + std::to_string(sim.num_active_flows()) + ";";
+  sim.RunUntilIdle();
+
+  out += "end@" + Fmt(sim.now()) + ";bytes:";
+  for (size_t i = 0; i < rig.all.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g",
+                  sim.ResourceBytesTransferred(rig.all[i].second));
+    out += rig.all[i].first + "=" + buf;
+    out += i + 1 == rig.all.size() ? ";" : ",";
+  }
+  return out;
+}
+
+TEST(SimGoldenTest, ScriptedScenarioIsBitIdentical) {
+  std::string actual = RunScenario();
+  EXPECT_EQ(actual, kGolden) << "ACTUAL: " << actual;
+}
+
+// Two back-to-back runs from identical inputs must agree with each
+// other even if the golden string is regenerated.
+TEST(SimGoldenTest, RepeatedRunsAgree) {
+  EXPECT_EQ(RunScenario(), RunScenario());
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Builds the benchmarks in an optimized tree and runs the placement
-# hot-path bench, writing BENCH_placement.json to the repo root.
+# Builds the benchmarks in an optimized tree and runs the hot-path
+# benches (placement decisions, simulation event engine), writing
+# BENCH_placement.json and BENCH_sim.json to the repo root.
 #
 # Usage: tools/run_benches.sh [build-dir]
 #   build-dir defaults to build-bench (Release: -O2/-O3, -DNDEBUG).
@@ -10,8 +11,11 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j --target bench_placement_hotpath
+cmake --build "$build_dir" -j --target bench_placement_hotpath \
+    --target bench_sim_hotpath
 
 "$build_dir/bench/bench_placement_hotpath" "$repo_root/BENCH_placement.json"
-echo "results: $repo_root/BENCH_placement.json"
-echo "baseline (pre-optimization): $repo_root/BENCH_placement.baseline.json"
+"$build_dir/bench/bench_sim_hotpath" "$repo_root/BENCH_sim.json"
+echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json"
+echo "baselines (pre-optimization): BENCH_placement.baseline.json," \
+     "BENCH_sim.baseline.json"
