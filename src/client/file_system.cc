@@ -166,6 +166,11 @@ Status FileWriter::FlushBlock() {
   for (const PlacedReplica& replica : located.locations) {
     Worker* worker = fs_->cluster_->worker(replica.worker);
     if (worker == nullptr) continue;
+    if (fs_->cluster_->IsStopped(replica.worker)) {
+      OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
+                     << " skipping crashed worker " << replica.worker;
+      continue;
+    }
     Status st = worker->WriteBlock(replica.medium, located.block.id, buffer_);
     if (st.ok()) {
       succeeded.push_back(replica.medium);
@@ -207,6 +212,42 @@ FileReader::FileReader(FileSystem* fs, std::string path,
   }
 }
 
+bool FileReader::TryReadBlock(const LocatedBlock& located) {
+  for (const PlacedReplica& replica : located.locations) {
+    Worker* worker = fs_->cluster_->worker(replica.worker);
+    if (worker == nullptr) continue;
+    // A crashed worker's replica is unreachable, not bad: skip it
+    // without a report and let liveness tracking handle the worker.
+    if (fs_->cluster_->IsStopped(replica.worker)) continue;
+    auto data = worker->ReadBlock(replica.medium, located.block.id);
+    if (data.ok()) {
+      if (static_cast<int64_t>(data->size()) != located.block.length) {
+        // A short (or overlong) replica diverges from the committed
+        // block metadata — e.g. a truncated copy. Unusable: report it
+        // and fail over rather than serving partial bytes.
+        OCTO_LOG(Warn) << "replica of block " << located.block.id << " on "
+                       << replica.medium << " has " << data->size()
+                       << " bytes, expected " << located.block.length;
+        (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+        continue;
+      }
+      cached_data_ = std::move(data).value();
+      return true;
+    }
+    OCTO_LOG(Warn) << "read of block " << located.block.id << " replica on "
+                   << replica.medium << " failed: "
+                   << data.status().ToString();
+    if (data.status().IsCorruption() || data.status().IsNotFound()) {
+      // The replica itself is gone or rotten: tell the Master so the
+      // replication monitor can repair it.
+      (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+    }
+    // Other errors are treated as transient (e.g. a momentary I/O
+    // failure): fail over without writing the replica off.
+  }
+  return false;
+}
+
 Result<const std::string*> FileReader::FetchBlockAt(int64_t offset,
                                                     size_t* index) {
   size_t i = 0;
@@ -219,26 +260,38 @@ Result<const std::string*> FileReader::FetchBlockAt(int64_t offset,
   *index = i;
   if (cached_index_ == i) return &cached_data_;
 
-  const LocatedBlock& located = blocks_[i];
-  for (const PlacedReplica& replica : located.locations) {
-    Worker* worker = fs_->cluster_->worker(replica.worker);
-    if (worker == nullptr) continue;
-    auto data = worker->ReadBlock(replica.medium, located.block.id);
-    if (data.ok()) {
+  const ReadRetryOptions& retry = fs_->read_retry_options();
+  int64_t backoff = retry.initial_backoff_micros;
+  for (int attempt = 0;; ++attempt) {
+    if (TryReadBlock(blocks_[i])) {
       cached_index_ = i;
-      cached_data_ = std::move(data).value();
       return &cached_data_;
     }
-    // A corrupt or missing replica: tell the Master so the replication
-    // monitor can repair it, then fail over to the next location.
-    OCTO_LOG(Warn) << "read of block " << located.block.id << " replica on "
-                   << replica.medium << " failed: "
-                   << data.status().ToString();
-    (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+    if (attempt >= retry.max_location_refreshes) break;
+    // The locations this reader snapshotted at open may be stale: the
+    // monitor may have repaired the block elsewhere since. Back off,
+    // re-fetch locations from the master, and try again.
+    fs_->RetryWait(backoff);
+    backoff = std::min(
+        static_cast<int64_t>(static_cast<double>(backoff) *
+                             retry.backoff_multiplier),
+        retry.max_backoff_micros);
+    auto fresh = fs_->master_->GetBlockLocations(path_, fs_->location_);
+    if (!fresh.ok()) break;
+    bool found = false;
+    for (LocatedBlock& fresh_block : *fresh) {
+      if (fresh_block.block.id == blocks_[i].block.id) {
+        blocks_[i].locations = std::move(fresh_block.locations);
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;  // the file changed under us; give up
+    ++locations_refreshed_;
   }
   return Status::IoError("all replicas of block " +
-                         std::to_string(located.block.id) + " of " + path_ +
-                         " are unreadable");
+                         std::to_string(blocks_[i].block.id) + " of " +
+                         path_ + " are unreadable");
 }
 
 Result<std::string> FileReader::Pread(int64_t offset, int64_t n) {
@@ -253,6 +306,14 @@ Result<std::string> FileReader::Pread(int64_t offset, int64_t n) {
     int64_t available =
         static_cast<int64_t>(data->size()) - block_offset;
     int64_t take = std::min(n, available);
+    if (take <= 0) {
+      // FetchBlockAt rejects short replicas, so the cached block always
+      // spans block_offset; a non-positive take would previously spin
+      // this loop forever. Fail loudly if the invariant ever breaks.
+      return Status::Internal(
+          "block " + std::to_string(located.block.id) + " of " + path_ +
+          " returned no data at offset " + std::to_string(block_offset));
+    }
     out.append(*data, static_cast<size_t>(block_offset),
                static_cast<size_t>(take));
     offset += take;

@@ -1,6 +1,7 @@
 #ifndef OCTOPUSFS_CLIENT_FILE_SYSTEM_H_
 #define OCTOPUSFS_CLIENT_FILE_SYSTEM_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,19 @@ struct CreateOptions {
   ReplicationVector rep_vector = ReplicationVector::OfTotal(3);
   int64_t block_size = kDefaultBlockSize;
   bool overwrite = false;
+};
+
+/// Client-side read retry policy. When every location a reader knows for
+/// a block fails, the reader re-fetches locations from the master (the
+/// replication monitor may have repaired the block since the reader
+/// opened it) with bounded exponential backoff between attempts, before
+/// declaring the block lost.
+struct ReadRetryOptions {
+  /// Location re-fetches per block read; 0 disables the retry path.
+  int max_location_refreshes = 2;
+  int64_t initial_backoff_micros = 50 * 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 2 * 1000 * 1000;
 };
 
 /// The OctopusFS Client (paper §2.3): the enhanced FileSystem API through
@@ -110,15 +124,35 @@ class FileSystem {
   const std::string& client_name() const { return client_name_; }
   Cluster* cluster() { return cluster_; }
 
+  void set_read_retry_options(const ReadRetryOptions& options) {
+    read_retry_ = options;
+  }
+  const ReadRetryOptions& read_retry_options() const { return read_retry_; }
+
+  /// How readers sleep between location-refresh attempts. The default is
+  /// a no-op: the in-process cluster has no concurrent repair to wait
+  /// for, and tests stay instant. A deployment would install a real
+  /// sleeper (or a sim-clock advance).
+  using RetryWaiter = std::function<void(int64_t micros)>;
+  void set_retry_waiter(RetryWaiter waiter) {
+    retry_waiter_ = std::move(waiter);
+  }
+
  private:
   friend class FileWriter;
   friend class FileReader;
+
+  void RetryWait(int64_t micros) {
+    if (retry_waiter_) retry_waiter_(micros);
+  }
 
   Cluster* cluster_;
   Master* master_;
   NetworkLocation location_;
   UserContext ctx_;
   std::string client_name_;
+  ReadRetryOptions read_retry_;
+  RetryWaiter retry_waiter_;
 };
 
 /// Streaming writer: buffers to the block size, then obtains locations
@@ -178,6 +212,10 @@ class FileReader {
 
   int64_t length() const { return length_; }
 
+  /// Times this reader re-fetched a block's locations from the master
+  /// after exhausting the ones it knew.
+  int locations_refreshed() const { return locations_refreshed_; }
+
  private:
   friend class FileSystem;
   FileReader(FileSystem* fs, std::string path,
@@ -186,11 +224,16 @@ class FileReader {
   /// Fetches (with failover) the block containing `offset`.
   Result<const std::string*> FetchBlockAt(int64_t offset, size_t* index);
 
+  /// One failover pass over a block's known locations; true = block
+  /// bytes are in cached_data_.
+  bool TryReadBlock(const LocatedBlock& located);
+
   FileSystem* fs_;
   std::string path_;
   std::vector<LocatedBlock> blocks_;
   int64_t length_ = 0;
   int64_t position_ = 0;
+  int locations_refreshed_ = 0;
   // Single-block cache for sequential reads.
   size_t cached_index_ = SIZE_MAX;
   std::string cached_data_;

@@ -67,6 +67,11 @@ const BlockRecord* BlockManager::Find(BlockId id) const {
   return it == blocks_.end() ? nullptr : &it->second;
 }
 
+BlockRecord* BlockManager::FindMutable(BlockId id) {
+  auto it = blocks_.find(id);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
 std::vector<BlockId> BlockManager::BlocksOnMedium(MediumId medium) const {
   std::vector<BlockId> out;
   for (const auto& [id, record] : blocks_) {

@@ -45,6 +45,10 @@ class BlockManager {
                      int64_t* length_out = nullptr);
 
   const BlockRecord* Find(BlockId id) const;
+  /// Mutable lookup for callers that edit a record in place (the
+  /// replication monitor pruning dead replicas). Record pointers stay
+  /// valid across map mutations (std::map node stability).
+  BlockRecord* FindMutable(BlockId id);
   bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
 
   /// All blocks that have a replica on `medium` (used when a medium or

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "fault/fault.h"
 
 namespace octo {
 
@@ -90,11 +91,20 @@ Result<int> Cluster::ExecuteCommands(
     Worker* target, const std::vector<WorkerCommand>& commands) {
   int executed = 0;
   for (const WorkerCommand& cmd : commands) {
+    // The delivered-but-unexecuted window: a crash here leaves this and
+    // the remaining commands unacknowledged, so the master redelivers
+    // them after the command timeout.
+    if (faults_ != nullptr &&
+        !faults_->Check(fault::Site::kCrashMidCommands, target->id()).ok()) {
+      StopWorker(target->id());
+      return executed;
+    }
     switch (cmd.kind) {
       case WorkerCommand::Kind::kDeleteReplica: {
         Status st = target->DeleteBlock(cmd.target_medium, cmd.block);
         if (st.ok() || st.IsNotFound()) {
           ++executed;
+          (void)master_->AckCommand(target->id(), cmd.id);
         } else {
           return st;
         }
@@ -123,6 +133,11 @@ Result<int> Cluster::ExecuteCommands(
           OCTO_LOG(Warn) << "copy of block " << cmd.block << " to medium "
                          << cmd.target_medium << " found no usable source";
         }
+        // Acked either way: on failure the in-flight entry still expires
+        // (or the next block report clears it) and the monitor
+        // reschedules with fresh sources, rather than this exact command
+        // retrying stale ones.
+        (void)master_->AckCommand(target->id(), cmd.id);
         break;
       }
     }
@@ -137,12 +152,28 @@ void Cluster::StopWorker(WorkerId id) {
   (void)master_->cluster_state().SetWorkerAlive(id, false);
 }
 
+void Cluster::CrashWorkerSilently(WorkerId id) { stopped_.insert(id); }
+
 void Cluster::RestartWorker(WorkerId id) { stopped_.erase(id); }
+
+void Cluster::InstallFaultRegistry(fault::FaultRegistry* faults) {
+  faults_ = faults;
+  for (auto& [id, w] : workers_) w->SetFaultRegistry(faults);
+}
 
 Result<int> Cluster::PumpHeartbeats() {
   int executed = 0;
   for (WorkerId id : worker_ids_) {
     if (stopped_.count(id) > 0) continue;
+    if (faults_ != nullptr) {
+      if (!faults_->Check(fault::Site::kWorkerCrash, id).ok()) {
+        StopWorker(id);
+        continue;
+      }
+      // A dropped (or delayed past the round) heartbeat: the worker
+      // neither reports stats nor receives commands this round.
+      if (!faults_->Check(fault::Site::kHeartbeat, id).ok()) continue;
+    }
     Worker* w = worker(id);
     OCTO_ASSIGN_OR_RETURN(std::vector<WorkerCommand> commands,
                           master_->Heartbeat(w->BuildHeartbeat()));
@@ -154,6 +185,13 @@ Result<int> Cluster::PumpHeartbeats() {
 
 Status Cluster::SendBlockReports() {
   for (WorkerId id : worker_ids_) {
+    // A crashed worker cannot report; processing its report anyway would
+    // resurrect replicas the master has already written off.
+    if (stopped_.count(id) > 0) continue;
+    if (faults_ != nullptr &&
+        !faults_->Check(fault::Site::kBlockReport, id).ok()) {
+      continue;
+    }
     Worker* w = worker(id);
     OCTO_RETURN_IF_ERROR(
         master_->ProcessBlockReport(id, w->BuildBlockReport()));

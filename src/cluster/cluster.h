@@ -12,6 +12,10 @@
 #include "common/status.h"
 #include "sim/simulation.h"
 
+namespace octo::fault {
+class FaultRegistry;
+}  // namespace octo::fault
+
 namespace octo {
 
 /// Shape of an in-process cluster.
@@ -57,9 +61,21 @@ class Cluster {
   /// it dead after the timeout, or immediately via CheckWorkerLiveness)
   /// and its stores become unreachable to command execution.
   void StopWorker(WorkerId id);
+  /// Like StopWorker, but without telling the master: the worker merely
+  /// stops heartbeating, and the master only learns through
+  /// CheckWorkerLiveness after the heartbeat timeout — the realistic
+  /// crash-detection path.
+  void CrashWorkerSilently(WorkerId id);
   /// Brings a stopped worker back; its next heartbeat revives it.
   void RestartWorker(WorkerId id);
   bool IsStopped(WorkerId id) const { return stopped_.count(id) > 0; }
+
+  /// Installs (or, with nullptr, removes) a fault registry: worker block
+  /// stores get per-medium hooks, and the control loop starts consulting
+  /// the crash/drop sites. The registry must outlive the cluster's use of
+  /// it.
+  void InstallFaultRegistry(fault::FaultRegistry* faults);
+  fault::FaultRegistry* fault_registry() { return faults_; }
 
   /// One control-plane round: every live worker heartbeats and executes
   /// the commands the master returns (replica deletions, copies). Copies
@@ -89,6 +105,7 @@ class Cluster {
   std::map<WorkerId, std::unique_ptr<Worker>> workers_;
   std::vector<WorkerId> worker_ids_;
   std::set<WorkerId> stopped_;
+  fault::FaultRegistry* faults_ = nullptr;
 };
 
 }  // namespace octo

@@ -106,13 +106,41 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
     Status st = tree_->CompleteFile(path);
     if (st.ok()) log_->LogComplete(path);
   }
+  // Deliver undelivered commands, and redeliver any whose previous
+  // delivery expired unacknowledged (the worker may have crashed between
+  // receiving and executing them). Commands stay queued until AckCommand.
   std::vector<WorkerCommand> commands;
   auto it = command_queues_.find(hb.worker);
   if (it != command_queues_.end()) {
-    commands = std::move(it->second);
-    command_queues_.erase(it);
+    int64_t now = clock_->NowMicros();
+    for (QueuedCommand& queued : it->second) {
+      if (queued.delivered_micros < 0) {
+        queued.delivered_micros = now;
+        commands.push_back(queued.command);
+      } else if (now - queued.delivered_micros >
+                 options_.command_timeout_micros) {
+        queued.delivered_micros = now;
+        ++commands_redelivered_;
+        commands.push_back(queued.command);
+      }
+    }
   }
   return commands;
+}
+
+Status Master::AckCommand(WorkerId worker, uint64_t command_id) {
+  auto it = command_queues_.find(worker);
+  if (it != command_queues_.end()) {
+    for (auto cmd = it->second.begin(); cmd != it->second.end(); ++cmd) {
+      if (cmd->command.id == command_id) {
+        it->second.erase(cmd);
+        if (it->second.empty()) command_queues_.erase(it);
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("command " + std::to_string(command_id) +
+                          " for worker " + std::to_string(worker));
 }
 
 Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report) {
@@ -178,6 +206,21 @@ std::vector<WorkerId> Master::CheckWorkerLiveness() {
   for (WorkerId id : newly_dead) {
     OCTO_CHECK_OK(state_.SetWorkerAlive(id, false));
     OCTO_LOG(Warn) << "worker " << id << " declared dead";
+    // Its queued commands will never execute. Copies targeting the dead
+    // worker release their in-flight bookkeeping so the monitor repairs
+    // elsewhere; deletes are dropped (the worker's first block report
+    // after a revival reconciles them).
+    auto queue = command_queues_.find(id);
+    if (queue != command_queues_.end()) {
+      std::vector<QueuedCommand> commands = std::move(queue->second);
+      command_queues_.erase(queue);
+      for (const QueuedCommand& queued : commands) {
+        if (queued.command.kind == WorkerCommand::Kind::kCopyReplica) {
+          AbortInflightCopy(queued.command.block,
+                            queued.command.target_medium);
+        }
+      }
+    }
   }
   return newly_dead;
 }
@@ -509,7 +552,8 @@ Result<std::vector<StorageTierReport>> Master::GetStorageTierReports() const {
 void Master::QueueCommand(MediumId target_medium, WorkerCommand command) {
   const MediumInfo* m = state_.FindMedium(target_medium);
   if (m == nullptr) return;
-  command_queues_[m->worker].push_back(std::move(command));
+  command.id = next_command_id_++;
+  command_queues_[m->worker].push_back(QueuedCommand{std::move(command)});
 }
 
 std::vector<MediumId> Master::LiveLocations(const BlockRecord& record) const {
@@ -534,24 +578,47 @@ void Master::PruneDeadReplicas(BlockRecord* record) {
 
 void Master::ExpireInflight() {
   int64_t now = clock_->NowMicros();
-  for (auto it = inflight_copies_.begin(); it != inflight_copies_.end();) {
-    if (now - it->second > options_.replication_timeout_micros) {
-      // A move whose copy never confirmed: release the target reservation
-      // and forget the move (the source replica was never touched).
-      auto move = pending_moves_.find(it->first);
-      if (move != pending_moves_.end()) {
-        const BlockRecord* record = blocks_.Find(it->first.first);
-        if (record != nullptr) {
-          (void)state_.AdjustMediumRemaining(it->first.second,
-                                             record->length);
-        }
-        pending_moves_.erase(move);
-      }
-      it = inflight_copies_.erase(it);
-    } else {
-      ++it;
+  std::vector<std::pair<BlockId, MediumId>> expired;
+  for (const auto& [key, when] : inflight_copies_) {
+    if (now - when > options_.replication_timeout_micros) {
+      expired.push_back(key);
     }
   }
+  for (const auto& [block, target] : expired) {
+    AbortInflightCopy(block, target);
+  }
+}
+
+void Master::AbortInflightCopy(BlockId block, MediumId target) {
+  // A move whose copy never confirmed: release the target reservation
+  // and forget the move (the source replica was never touched).
+  auto move = pending_moves_.find({block, target});
+  if (move != pending_moves_.end()) {
+    const BlockRecord* record = blocks_.Find(block);
+    if (record != nullptr) {
+      (void)state_.AdjustMediumRemaining(target, record->length);
+    }
+    pending_moves_.erase(move);
+  }
+  inflight_copies_.erase({block, target});
+  // Scrub the matching queued command: once the monitor reschedules the
+  // repair, a late delivery of the old command must not execute a second,
+  // untracked copy.
+  const MediumInfo* m = state_.FindMedium(target);
+  if (m == nullptr) return;
+  auto queue = command_queues_.find(m->worker);
+  if (queue == command_queues_.end()) return;
+  auto& commands = queue->second;
+  commands.erase(
+      std::remove_if(commands.begin(), commands.end(),
+                     [&](const QueuedCommand& queued) {
+                       return queued.command.kind ==
+                                  WorkerCommand::Kind::kCopyReplica &&
+                              queued.command.block == block &&
+                              queued.command.target_medium == target;
+                     }),
+      commands.end());
+  if (commands.empty()) command_queues_.erase(queue);
 }
 
 int Master::ReconcileBlock(const BlockRecord& record) {
@@ -674,9 +741,9 @@ int Master::RunReplicationMonitor() {
       [&ids](const BlockRecord& record) { ids.push_back(record.id); });
   for (BlockId id : ids) {
     // Re-find each round: reconciliation mutates location lists.
-    const BlockRecord* record = blocks_.Find(id);
+    BlockRecord* record = blocks_.FindMutable(id);
     if (record == nullptr) continue;
-    PruneDeadReplicas(const_cast<BlockRecord*>(record));
+    PruneDeadReplicas(record);
     commands += ReconcileBlock(*record);
   }
   return commands;
@@ -819,6 +886,14 @@ int Master::NumQueuedCommands() const {
     n += static_cast<int>(commands.size());
   }
   return n;
+}
+
+std::vector<std::pair<BlockId, MediumId>> Master::InflightCopiesForTest()
+    const {
+  std::vector<std::pair<BlockId, MediumId>> out;
+  out.reserve(inflight_copies_.size());
+  for (const auto& [key, when] : inflight_copies_) out.push_back(key);
+  return out;
 }
 
 }  // namespace octo

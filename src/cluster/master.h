@@ -34,6 +34,10 @@ struct MasterOptions {
   /// A queued replication command not confirmed within this window is
   /// re-issued by the replication monitor.
   int64_t replication_timeout_micros = 60 * kMicrosPerSecond;
+  /// A command delivered in a heartbeat response but not acknowledged
+  /// (Master::AckCommand) within this window is redelivered on the next
+  /// heartbeat — the worker may have crashed after receiving it.
+  int64_t command_timeout_micros = 30 * kMicrosPerSecond;
   bool enable_permissions = false;
   /// When set, Delete moves entries into /.Trash/<user>/ instead of
   /// destroying them (HDFS trash parity); ExpungeTrash reclaims space.
@@ -79,8 +83,16 @@ class Master {
 
   // -- heartbeats, reports, liveness ----------------------------------------
 
-  /// Ingests a heartbeat and returns the commands queued for that worker.
+  /// Ingests a heartbeat and returns the commands due for that worker:
+  /// those never delivered plus those delivered longer than
+  /// `command_timeout_micros` ago but never acknowledged. Commands stay
+  /// queued (and are redelivered) until AckCommand.
   Result<std::vector<WorkerCommand>> Heartbeat(const HeartbeatPayload& hb);
+
+  /// Acknowledges execution of a delivered command; the master stops
+  /// redelivering it. NotFound if the id is unknown (already acked, or
+  /// dropped when the worker was declared dead).
+  Status AckCommand(WorkerId worker, uint64_t command_id);
 
   /// Full block report reconciliation: unknown replicas are scheduled for
   /// deletion, missing ones removed from the map (paper §5: the Master
@@ -222,8 +234,14 @@ class Master {
   LeaseManager& lease_manager() { return leases_; }
   Clock* clock() { return clock_; }
 
-  /// Pending (not yet heartbeat-delivered) command count, for tests.
+  /// Queued-and-unacknowledged command count, for tests.
   int NumQueuedCommands() const;
+
+  /// Commands re-sent after their delivery expired unacknowledged.
+  int64_t commands_redelivered() const { return commands_redelivered_; }
+
+  /// Snapshot of in-flight copy targets (block, target medium), for tests.
+  std::vector<std::pair<BlockId, MediumId>> InflightCopiesForTest() const;
 
  private:
   struct PendingBlock {
@@ -232,6 +250,10 @@ class Master {
   };
 
   void QueueCommand(MediumId target_medium, WorkerCommand command);
+  /// Releases all bookkeeping for a copy that will never confirm: the
+  /// move-target space reservation, the pending move, the in-flight
+  /// entry, and any still-queued kCopyReplica command for it.
+  void AbortInflightCopy(BlockId block, MediumId target);
   /// Generates copy/delete commands to reconcile one block's replicas
   /// with its expected vector. Returns commands queued.
   int ReconcileBlock(const BlockRecord& record);
@@ -260,7 +282,14 @@ class Master {
   MediumId next_medium_id_ = 0;
 
   std::map<BlockId, PendingBlock> pending_blocks_;
-  std::map<WorkerId, std::vector<WorkerCommand>> command_queues_;
+  struct QueuedCommand {
+    WorkerCommand command;
+    /// Last heartbeat delivery time; -1 = never delivered.
+    int64_t delivered_micros = -1;
+  };
+  std::map<WorkerId, std::vector<QueuedCommand>> command_queues_;
+  uint64_t next_command_id_ = 1;
+  int64_t commands_redelivered_ = 0;
   /// (block, medium) -> time a copy command was queued; counted as a
   /// replica during reconciliation to avoid duplicate scheduling.
   std::map<std::pair<BlockId, MediumId>, int64_t> inflight_copies_;

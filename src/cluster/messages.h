@@ -38,6 +38,11 @@ struct WorkerCommand {
   };
 
   Kind kind = Kind::kDeleteReplica;
+  /// Master-assigned id, unique per master. Workers acknowledge execution
+  /// with Master::AckCommand(worker, id); an unacknowledged command is
+  /// redelivered after `MasterOptions::command_timeout_micros` (the worker
+  /// may have crashed between receiving it and executing it).
+  uint64_t id = 0;
   BlockId block = kInvalidBlock;
   MediumId target_medium = kInvalidMedium;
   std::vector<MediumId> sources;

@@ -1,6 +1,7 @@
 #include "cluster/worker.h"
 
 #include "common/units.h"
+#include "fault/fault.h"
 
 namespace octo {
 
@@ -44,6 +45,9 @@ Result<ProfiledRates> Worker::AttachMedium(MediumId id,
     medium.profiled = ProfiledRates{spec.write_bps, spec.read_bps};
   }
   ProfiledRates rates = medium.profiled;
+  if (faults_ != nullptr) {
+    medium.store->set_fault_hook(faults_->MakeStoreHook(id_, id));
+  }
   media_.emplace(id, std::move(medium));
   return rates;
 }
@@ -136,6 +140,15 @@ Status Worker::CorruptBlock(MediumId medium, BlockId block) {
     return Status::NotFound("medium " + std::to_string(medium));
   }
   return m->store->CorruptForTesting(block);
+}
+
+void Worker::SetFaultRegistry(fault::FaultRegistry* faults) {
+  faults_ = faults;
+  for (auto& [id, m] : media_) {
+    if (m.sharers > 1) continue;  // shared store: other mounts own it too
+    m.store->set_fault_hook(
+        faults != nullptr ? faults->MakeStoreHook(id_, id) : nullptr);
+  }
 }
 
 std::vector<std::pair<MediumId, BlockId>> Worker::ScrubBlocks() const {

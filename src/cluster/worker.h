@@ -14,6 +14,10 @@
 #include "storage/throughput_profiler.h"
 #include "topology/network_location.h"
 
+namespace octo::fault {
+class FaultRegistry;
+}  // namespace octo::fault
+
 namespace octo {
 
 /// Construction parameters of a worker node.
@@ -77,6 +81,11 @@ class Worker {
   /// Injects corruption for failure testing.
   Status CorruptBlock(MediumId medium, BlockId block);
 
+  /// Installs (or, with nullptr, removes) per-medium fault hooks on this
+  /// worker's block stores. Shared stores (remote tier) are left alone:
+  /// a per-worker hook would clobber the other mounts'.
+  void SetFaultRegistry(fault::FaultRegistry* faults);
+
   /// Background block scrubber (the HDFS DataNode block scanner):
   /// verifies the checksum of every stored block and returns the corrupt
   /// replicas found as (medium, block) pairs.
@@ -122,6 +131,7 @@ class Worker {
   WorkerId id_;
   WorkerOptions options_;
   sim::Simulation* sim_;
+  fault::FaultRegistry* faults_ = nullptr;
   sim::ResourceId nic_in_ = sim::kInvalidResource;
   sim::ResourceId nic_out_ = sim::kInvalidResource;
   std::map<MediumId, Medium> media_;

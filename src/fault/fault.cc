@@ -1,0 +1,171 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <string>
+
+namespace octo::fault {
+
+namespace {
+
+bool ScopeMatches(const FaultSpec& spec, WorkerId worker, MediumId medium,
+                  BlockId block) {
+  if (spec.worker != kInvalidWorker && spec.worker != worker) return false;
+  if (spec.medium != kInvalidMedium && spec.medium != medium) return false;
+  if (spec.block != kInvalidBlock && spec.block != block) return false;
+  return true;
+}
+
+std::string ScopeString(WorkerId worker, MediumId medium, BlockId block) {
+  std::string out;
+  if (worker != kInvalidWorker) out += " worker=" + std::to_string(worker);
+  if (medium != kInvalidMedium) out += " medium=" + std::to_string(medium);
+  if (block != kInvalidBlock) out += " block=" + std::to_string(block);
+  return out;
+}
+
+}  // namespace
+
+std::string_view SiteName(Site site) {
+  switch (site) {
+    case Site::kHeartbeat:
+      return "heartbeat";
+    case Site::kBlockReport:
+      return "block-report";
+    case Site::kWorkerCrash:
+      return "worker-crash";
+    case Site::kCrashMidCommands:
+      return "crash-mid-commands";
+    case Site::kStoreWrite:
+      return "store-write";
+    case Site::kStoreRead:
+      return "store-read";
+    case Site::kCorruptOnWrite:
+      return "corrupt-on-write";
+    case Site::kTransferSource:
+      return "transfer-source";
+    case Site::kMediumThrottle:
+      return "medium-throttle";
+  }
+  return "unknown";
+}
+
+int FaultRegistry::Arm(const FaultSpec& spec) {
+  faults_.push_back(Armed{spec});
+  return static_cast<int>(faults_.size()) - 1;
+}
+
+void FaultRegistry::Disarm(int handle) {
+  if (handle >= 0 && handle < static_cast<int>(faults_.size())) {
+    faults_[static_cast<size_t>(handle)].active = false;
+  }
+}
+
+void FaultRegistry::ClearAll() {
+  for (Armed& armed : faults_) armed.active = false;
+}
+
+FaultRegistry::Armed* FaultRegistry::Fire(Site site, WorkerId worker,
+                                          MediumId medium, BlockId block) {
+  for (Armed& armed : faults_) {
+    if (!armed.active || armed.spec.site != site) continue;
+    if (!ScopeMatches(armed.spec, worker, medium, block)) continue;
+    if (armed.spec.max_hits >= 0 && armed.hits >= armed.spec.max_hits) {
+      continue;
+    }
+    // Only sub-certain probabilities consume randomness, so arming a
+    // deterministic fault never perturbs the schedule of another.
+    if (armed.spec.probability < 1.0 &&
+        !rng_.Bernoulli(armed.spec.probability)) {
+      continue;
+    }
+    ++armed.hits;
+    ++site_hits_[static_cast<int>(site)];
+    return &armed;
+  }
+  return nullptr;
+}
+
+Status FaultRegistry::Check(Site site, WorkerId worker, MediumId medium,
+                            BlockId block) {
+  Armed* armed = Fire(site, worker, medium, block);
+  if (armed == nullptr) return Status::OK();
+  return Status(armed->spec.code,
+                "injected " + std::string(SiteName(site)) + " fault" +
+                    ScopeString(worker, medium, block));
+}
+
+bool FaultRegistry::CheckCorruptOnWrite(WorkerId worker, MediumId medium,
+                                        BlockId block) {
+  return Fire(Site::kCorruptOnWrite, worker, medium, block) != nullptr;
+}
+
+FaultRegistry::SourceFault FaultRegistry::CheckSource(WorkerId worker,
+                                                      MediumId medium,
+                                                      BlockId block) {
+  SourceFault out;
+  Armed* armed = Fire(Site::kTransferSource, worker, medium, block);
+  if (armed != nullptr) {
+    out.status = Status(armed->spec.code,
+                        "injected transfer-source fault" +
+                            ScopeString(worker, medium, block));
+    out.transient = armed->spec.transient;
+  }
+  return out;
+}
+
+double FaultRegistry::ThrottleFactor(WorkerId worker, MediumId medium) const {
+  double factor = 1.0;
+  for (const Armed& armed : faults_) {
+    if (!armed.active || armed.spec.site != Site::kMediumThrottle) continue;
+    if (!ScopeMatches(armed.spec, worker, medium, kInvalidBlock)) continue;
+    factor = std::min(factor, armed.spec.throttle_factor);
+  }
+  return factor;
+}
+
+namespace {
+
+/// Routes one (worker, medium)'s store traffic into the registry.
+class RegistryStoreHook : public StoreFaultHook {
+ public:
+  RegistryStoreHook(FaultRegistry* registry, WorkerId worker, MediumId medium)
+      : registry_(registry), worker_(worker), medium_(medium) {}
+
+  PutOutcome OnPut(BlockId id) override {
+    PutOutcome out;
+    out.status = registry_->Check(Site::kStoreWrite, worker_, medium_, id);
+    if (out.status.ok()) {
+      out.corrupt_after =
+          registry_->CheckCorruptOnWrite(worker_, medium_, id);
+    }
+    return out;
+  }
+
+  Status OnGet(BlockId id) override {
+    return registry_->Check(Site::kStoreRead, worker_, medium_, id);
+  }
+
+ private:
+  FaultRegistry* registry_;
+  WorkerId worker_;
+  MediumId medium_;
+};
+
+}  // namespace
+
+std::shared_ptr<StoreFaultHook> FaultRegistry::MakeStoreHook(WorkerId worker,
+                                                             MediumId medium) {
+  return std::make_shared<RegistryStoreHook>(this, worker, medium);
+}
+
+int64_t FaultRegistry::hits(Site site) const {
+  return site_hits_[static_cast<int>(site)];
+}
+
+int64_t FaultRegistry::total_hits() const {
+  int64_t total = 0;
+  for (int64_t h : site_hits_) total += h;
+  return total;
+}
+
+}  // namespace octo::fault

@@ -1,0 +1,139 @@
+#ifndef OCTOPUSFS_FAULT_FAULT_H_
+#define OCTOPUSFS_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/block.h"
+#include "storage/block_store.h"
+
+namespace octo::fault {
+
+/// Injection points consulted by the cluster / storage / workload layers.
+/// Each site corresponds to a seam where a real deployment can fail:
+enum class Site {
+  /// A worker's heartbeat is lost (or delayed past the round — in the
+  /// round-based control loop a delay of one round is indistinguishable
+  /// from a drop, so both collapse onto this site).
+  kHeartbeat,
+  /// A worker's full block report is lost.
+  kBlockReport,
+  /// The worker process dies before it heartbeats this round.
+  kWorkerCrash,
+  /// The worker process dies after receiving commands, before executing
+  /// the next one — the delivered-but-unacknowledged window.
+  kCrashMidCommands,
+  /// BlockStore::Put fails with the armed status (disk full, EIO, ...).
+  kStoreWrite,
+  /// BlockStore::Get fails with the armed status.
+  kStoreRead,
+  /// BlockStore::Put reports success but the stored bytes silently rot
+  /// (bit flip after the checksum was computed).
+  kCorruptOnWrite,
+  /// A timed replica-copy source fails; `FaultSpec::transient` decides
+  /// whether the engine just tries another source or reports the replica
+  /// bad to the master.
+  kTransferSource,
+  /// A medium becomes slow: timed flows touching it are capped at
+  /// `throttle_factor` times the device rate. Pure query — no hit
+  /// accounting, probability ignored.
+  kMediumThrottle,
+};
+
+inline constexpr int kNumSites = 9;
+
+std::string_view SiteName(Site site);
+
+/// One armed fault. Wildcard scope fields (`kInvalidWorker` etc.) match
+/// everything; set them to narrow the blast radius.
+struct FaultSpec {
+  Site site = Site::kStoreRead;
+  WorkerId worker = kInvalidWorker;
+  MediumId medium = kInvalidMedium;
+  BlockId block = kInvalidBlock;
+  /// Chance that a matching consult actually fires. Rolls consume the
+  /// registry's seeded generator only when < 1.0, so schedules stay
+  /// deterministic for a fixed seed and consult order.
+  double probability = 1.0;
+  /// Total number of times this fault may fire; -1 = unlimited.
+  int max_hits = -1;
+  /// Status code injected at status-returning sites.
+  StatusCode code = StatusCode::kIoError;
+  /// kTransferSource only: transient failures are retried against other
+  /// sources, permanent ones get the replica reported bad.
+  bool transient = true;
+  /// kMediumThrottle only: multiplier on the medium's device rate.
+  double throttle_factor = 1.0;
+};
+
+/// Deterministic seeded fault schedule. Single-threaded, like the
+/// in-process cluster that consults it: the sequence of Check() calls is
+/// fixed by the (seeded) control flow, so a given (seed, test body) pair
+/// always produces the same fault schedule.
+///
+/// The registry must outlive every component it is installed into
+/// (Cluster::InstallFaultRegistry, BlockStore hooks).
+class FaultRegistry {
+ public:
+  explicit FaultRegistry(uint64_t seed) : rng_(seed) {}
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Arms a fault; returns a handle for Disarm.
+  int Arm(const FaultSpec& spec);
+  void Disarm(int handle);
+  void ClearAll();
+
+  /// Core consult: OK means "no fault here", anything else is the
+  /// injected failure. Sites that are not status-shaped have dedicated
+  /// accessors below.
+  Status Check(Site site, WorkerId worker = kInvalidWorker,
+               MediumId medium = kInvalidMedium, BlockId block = kInvalidBlock);
+
+  /// kCorruptOnWrite consult: true = rot the stored bytes.
+  bool CheckCorruptOnWrite(WorkerId worker, MediumId medium, BlockId block);
+
+  struct SourceFault {
+    Status status;  // OK = no fault
+    bool transient = true;
+  };
+  /// kTransferSource consult.
+  SourceFault CheckSource(WorkerId worker, MediumId medium, BlockId block);
+
+  /// Combined kMediumThrottle multiplier for a medium (min over matching
+  /// armed throttles); 1.0 = full speed. Does not count hits.
+  double ThrottleFactor(WorkerId worker, MediumId medium) const;
+
+  /// Storage-layer adapter bound to one (worker, medium); install with
+  /// BlockStore::set_fault_hook.
+  std::shared_ptr<StoreFaultHook> MakeStoreHook(WorkerId worker,
+                                                MediumId medium);
+
+  /// Times site has fired (probability roll passed + hit budget left).
+  int64_t hits(Site site) const;
+  int64_t total_hits() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    int hits = 0;
+    bool active = true;
+  };
+
+  /// Finds the first armed fault matching the consult and charges a hit
+  /// against it (probability roll + max_hits budget). nullptr = no fire.
+  Armed* Fire(Site site, WorkerId worker, MediumId medium, BlockId block);
+
+  Random rng_;
+  std::vector<Armed> faults_;
+  int64_t site_hits_[kNumSites] = {};
+};
+
+}  // namespace octo::fault
+
+#endif  // OCTOPUSFS_FAULT_FAULT_H_

@@ -13,18 +13,31 @@ namespace octo {
 // MemoryBlockStore
 
 Status MemoryBlockStore::Put(BlockId id, std::string data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint32_t crc = Crc32c(data);
-  auto it = blocks_.find(id);
-  if (it != blocks_.end()) {
-    used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+  bool corrupt_after = false;
+  if (fault_hook_ != nullptr) {
+    StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
+    OCTO_RETURN_IF_ERROR(outcome.status);
+    corrupt_after = outcome.corrupt_after;
   }
-  used_bytes_ += static_cast<int64_t>(data.size());
-  blocks_[id] = Entry{std::move(data), crc};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t crc = Crc32c(data);
+    auto it = blocks_.find(id);
+    if (it != blocks_.end()) {
+      used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+    }
+    used_bytes_ += static_cast<int64_t>(data.size());
+    blocks_[id] = Entry{std::move(data), crc};
+  }
+  // Outside the lock: CorruptForTesting re-acquires mu_.
+  if (corrupt_after) return CorruptForTesting(id);
   return Status::OK();
 }
 
 Result<std::string> MemoryBlockStore::Get(BlockId id) const {
+  if (fault_hook_ != nullptr) {
+    OCTO_RETURN_IF_ERROR(fault_hook_->OnGet(id));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
@@ -117,28 +130,41 @@ std::string DiskBlockStore::BlockPath(BlockId id) const {
 }
 
 Status DiskBlockStore::Put(BlockId id, std::string data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint32_t crc = Crc32c(data);
-  std::ofstream out(BlockPath(id), std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open " + BlockPath(id) + " for write");
+  bool corrupt_after = false;
+  if (fault_hook_ != nullptr) {
+    StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
+    OCTO_RETURN_IF_ERROR(outcome.status);
+    corrupt_after = outcome.corrupt_after;
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  char trailer[4];
-  std::memcpy(trailer, &crc, 4);
-  out.write(trailer, 4);
-  out.close();
-  if (!out) {
-    return Status::IoError("short write to " + BlockPath(id));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t crc = Crc32c(data);
+    std::ofstream out(BlockPath(id), std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + BlockPath(id) + " for write");
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    char trailer[4];
+    std::memcpy(trailer, &crc, 4);
+    out.write(trailer, 4);
+    out.close();
+    if (!out) {
+      return Status::IoError("short write to " + BlockPath(id));
+    }
+    auto it = lengths_.find(id);
+    if (it != lengths_.end()) used_bytes_ -= it->second;
+    lengths_[id] = static_cast<int64_t>(data.size());
+    used_bytes_ += static_cast<int64_t>(data.size());
   }
-  auto it = lengths_.find(id);
-  if (it != lengths_.end()) used_bytes_ -= it->second;
-  lengths_[id] = static_cast<int64_t>(data.size());
-  used_bytes_ += static_cast<int64_t>(data.size());
+  // Outside the lock: CorruptForTesting re-acquires mu_.
+  if (corrupt_after) return CorruptForTesting(id);
   return Status::OK();
 }
 
 Result<std::string> DiskBlockStore::Get(BlockId id) const {
+  if (fault_hook_ != nullptr) {
+    OCTO_RETURN_IF_ERROR(fault_hook_->OnGet(id));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = lengths_.find(id);
   if (it == lengths_.end()) {

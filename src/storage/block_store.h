@@ -13,11 +13,34 @@
 
 namespace octo {
 
+/// Failure-injection seam for a block store. A hook is consulted at the
+/// top of every Put/Get; it can veto the operation with an error status
+/// or ask for the freshly stored bytes to be silently corrupted (a bit
+/// flip after the checksum was computed — "silent rot").
+class StoreFaultHook {
+ public:
+  virtual ~StoreFaultHook() = default;
+
+  struct PutOutcome {
+    Status status;               // non-OK: fail the Put with this status
+    bool corrupt_after = false;  // OK + true: store, then rot the bytes
+  };
+  virtual PutOutcome OnPut(BlockId id) = 0;
+  virtual Status OnGet(BlockId id) = 0;
+};
+
 /// Functional data plane of one storage medium: stores block bytes with a
 /// CRC-32C checksum verified on every read. Thread-safe.
 class BlockStore {
  public:
   virtual ~BlockStore() = default;
+
+  /// Installs (or, with nullptr, removes) a fault-injection hook. Not
+  /// synchronized against concurrent Put/Get — install before handing
+  /// the store to other threads.
+  void set_fault_hook(std::shared_ptr<StoreFaultHook> hook) {
+    fault_hook_ = std::move(hook);
+  }
 
   /// Stores (or replaces) the bytes of a block.
   virtual Status Put(BlockId id, std::string data) = 0;
@@ -40,6 +63,9 @@ class BlockStore {
   /// Flips bits in a stored block without updating its checksum, so the
   /// next Get reports Corruption. For failure-injection tests.
   virtual Status CorruptForTesting(BlockId id) = 0;
+
+ protected:
+  std::shared_ptr<StoreFaultHook> fault_hook_;
 };
 
 /// Heap-backed store (used for memory tiers and for simulated devices).

@@ -1,8 +1,10 @@
 #include "workload/transfer_engine.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 
 namespace octo::workload {
 
@@ -20,8 +22,26 @@ TransferEngine::TransferEngine(Cluster* cluster)
 
 void TransferEngine::StartCappedFlow(double bytes,
                                      const std::vector<sim::ResourceId>& res,
-                                     std::function<void()> on_complete) {
-  sim_->StartFlow(bytes, res, std::move(on_complete), stream_cap_bps_);
+                                     std::function<void()> on_complete,
+                                     double extra_cap) {
+  double cap = stream_cap_bps_;
+  if (extra_cap > 0.0) {
+    cap = cap > 0.0 ? std::min(cap, extra_cap) : extra_cap;
+  }
+  sim_->StartFlow(bytes, res, std::move(on_complete), cap);
+}
+
+double TransferEngine::ThrottleCap(WorkerId worker, MediumId medium,
+                                   bool read) {
+  fault::FaultRegistry* faults = cluster_->fault_registry();
+  if (faults == nullptr) return 0.0;
+  double factor = faults->ThrottleFactor(worker, medium);
+  if (factor >= 1.0) return 0.0;
+  Worker* w = cluster_->worker(worker);
+  if (w == nullptr) return 0.0;
+  auto spec = w->GetSpec(medium);
+  if (!spec.ok()) return 0.0;
+  return factor * (read ? spec->read_bps : spec->write_bps);
 }
 
 int64_t TransferEngine::BlockLength(BlockId id) const {
@@ -151,6 +171,11 @@ void TransferEngine::WriteNextBlock(std::shared_ptr<WriteJob> job) {
     workers.push_back(r.worker);
   }
   NoteStart(media, workers);
+  double throttle = 0.0;
+  for (const PlacedReplica& r : located->locations) {
+    double cap = ThrottleCap(r.worker, r.medium, /*read=*/false);
+    if (cap > 0.0 && (throttle == 0.0 || cap < throttle)) throttle = cap;
+  }
   BlockId block = located->block.id;
   StartCappedFlow(
       static_cast<double>(length), resources,
@@ -170,7 +195,8 @@ void TransferEngine::WriteNextBlock(std::shared_ptr<WriteJob> job) {
         bytes_written_ += length;
         if (on_write_) on_write_(sim_->now(), length, media);
         WriteNextBlock(std::move(job));
-      });
+      },
+      throttle);
 }
 
 void TransferEngine::ReadFileAsync(const std::string& path,
@@ -216,7 +242,8 @@ void TransferEngine::ReadNextBlock(std::shared_ptr<ReadJob> job) {
         if (on_read_) on_read_(sim_->now(), length, source.medium);
         job->next_block++;
         ReadNextBlock(std::move(job));
-      });
+      },
+      ThrottleCap(source.worker, source.medium, /*read=*/true));
 }
 
 void TransferEngine::ReadReplicaAsync(int64_t bytes,
@@ -232,7 +259,8 @@ void TransferEngine::ReadReplicaAsync(int64_t bytes,
                   [this, media, workers, done = std::move(done)]() {
                     NoteEnd(media, workers);
                     done(Status::OK());
-                  });
+                  },
+                  ThrottleCap(source.worker, source.medium, /*read=*/true));
 }
 
 void TransferEngine::NodeTransferAsync(int64_t bytes,
@@ -376,6 +404,7 @@ Result<int> TransferEngine::PumpCommandsTimed() {
             // Virtual replica: release the accounted space instead.
             (void)worker->AddVirtualBytes(cmd.target_medium, -length);
           }
+          (void)master_->AckCommand(id, cmd.id);
           ++started;
           break;
         }
@@ -394,17 +423,38 @@ Result<int> TransferEngine::PumpCommandsTimed() {
             return pr;
           }();
           const MediumInfo* src_info = nullptr;
+          fault::FaultRegistry* faults = cluster_->fault_registry();
           for (MediumId source : cmd.sources) {
             const MediumInfo* info =
                 master_->cluster_state().FindMedium(source);
-            if (info != nullptr && master_->cluster_state().MediumLive(source)
-                && !cluster_->IsStopped(info->worker)) {
-              src_info = info;
-              break;
+            if (info == nullptr ||
+                !master_->cluster_state().MediumLive(source) ||
+                cluster_->IsStopped(info->worker)) {
+              continue;
             }
+            if (faults != nullptr) {
+              auto fail = faults->CheckSource(info->worker, source, cmd.block);
+              if (!fail.status.ok()) {
+                OCTO_LOG(Warn)
+                    << "copy source medium " << source << " for block "
+                    << cmd.block << " failed: " << fail.status.ToString();
+                // A permanent source failure means that replica is bad;
+                // transient ones just steer this copy to another source.
+                if (!fail.transient) {
+                  (void)master_->ReportBadBlock(cmd.block, source);
+                }
+                continue;
+              }
+            }
+            src_info = info;
+            break;
           }
           if (src_info == nullptr) {
             OCTO_LOG(Warn) << "no live source to copy block " << cmd.block;
+            // Acked so the exact command is not redelivered with its now
+            // stale source list; the in-flight expiry reschedules the
+            // copy with fresh sources.
+            (void)master_->AckCommand(id, cmd.id);
             break;
           }
           // Resources: source media read + network hop + target media
@@ -428,8 +478,17 @@ Result<int> TransferEngine::PumpCommandsTimed() {
             workers = {source.worker, target.worker};
           }
           NoteStart(media, workers);
+          double throttle = 0.0;
+          for (bool read : {true, false}) {
+            const PlacedReplica& leg = read ? source : target;
+            double cap = ThrottleCap(leg.worker, leg.medium, read);
+            if (cap > 0.0 && (throttle == 0.0 || cap < throttle)) {
+              throttle = cap;
+            }
+          }
           BlockId block = cmd.block;
           MediumId target_medium = target.medium;
+          (void)master_->AckCommand(id, cmd.id);
           StartCappedFlow(
               static_cast<double>(length), resources,
               [this, block, target_medium, length, media, workers]() {
@@ -439,7 +498,8 @@ Result<int> TransferEngine::PumpCommandsTimed() {
                   (void)w->AddVirtualBytes(target_medium, length);
                 }
                 OCTO_CHECK_OK(master_->CommitReplica(block, target_medium));
-              });
+              },
+              throttle);
           ++started;
           break;
         }

@@ -147,9 +147,15 @@ class TransferEngine {
 
   int64_t BlockLength(BlockId id) const;
 
-  /// StartFlow with this engine's per-stream cap applied.
+  /// StartFlow with this engine's per-stream cap applied; `extra_cap`
+  /// (when > 0) tightens it further — used for throttle faults.
   void StartCappedFlow(double bytes, const std::vector<sim::ResourceId>& res,
-                       std::function<void()> on_complete);
+                       std::function<void()> on_complete,
+                       double extra_cap = 0.0);
+
+  /// Rate cap induced by an armed medium-throttle fault on one flow leg:
+  /// throttle factor times the device rate. 0 = no throttle armed.
+  double ThrottleCap(WorkerId worker, MediumId medium, bool read);
 
   Cluster* cluster_;
   Master* master_;

@@ -1,0 +1,808 @@
+// Fault-injection tests: the deterministic seeded FaultRegistry, the
+// crash/retry paths it exercises (command redelivery, client location
+// refresh, replica failover), the regressions this PR fixes (block
+// reports from dead workers, short replicas, stale location snapshots),
+// and a seeded chaos harness asserting no data loss while concurrent
+// failures stay below the replication factor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "fault/fault.h"
+#include "workload/transfer_engine.h"
+
+namespace octo {
+namespace {
+
+using fault::FaultRegistry;
+using fault::FaultSpec;
+using fault::Site;
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 3;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {hdd, hdd};
+  return spec;
+}
+
+/// Advances the cluster's simulated clock (heartbeats, leases, and the
+/// command/worker timeouts all read it).
+void AdvanceSim(Cluster* cluster, double seconds) {
+  cluster->simulation()->Schedule(seconds, [] {});
+  cluster->simulation()->RunUntilIdle();
+}
+
+WorkerId WorkerOfMedium(Cluster* cluster, MediumId medium) {
+  const MediumInfo* info = cluster->master()->cluster_state().FindMedium(
+      medium);
+  return info != nullptr ? info->worker : kInvalidWorker;
+}
+
+// ---------------------------------------------------------------------------
+// FaultRegistry unit tests
+
+TEST(FaultRegistryTest, ScopingAndHitBudget) {
+  FaultRegistry faults(1);
+  int h = faults.Arm({.site = Site::kStoreRead, .worker = 3, .max_hits = 2});
+  // Wrong worker: no fire.
+  EXPECT_TRUE(faults.Check(Site::kStoreRead, 4, 0, 0).ok());
+  // Wrong site: no fire.
+  EXPECT_TRUE(faults.Check(Site::kStoreWrite, 3, 0, 0).ok());
+  // Matching consults fire until the budget runs out.
+  EXPECT_TRUE(faults.Check(Site::kStoreRead, 3, 0, 0).IsIoError());
+  EXPECT_TRUE(faults.Check(Site::kStoreRead, 3, 1, 7).IsIoError());
+  EXPECT_TRUE(faults.Check(Site::kStoreRead, 3, 0, 0).ok());
+  EXPECT_EQ(faults.hits(Site::kStoreRead), 2);
+  faults.Disarm(h);
+  EXPECT_TRUE(faults.Check(Site::kStoreRead, 3, 0, 0).ok());
+}
+
+TEST(FaultRegistryTest, InjectedCodeAndClearAll) {
+  FaultRegistry faults(1);
+  faults.Arm({.site = Site::kStoreWrite, .code = StatusCode::kNoSpace});
+  EXPECT_TRUE(faults.Check(Site::kStoreWrite, 0, 0, 0).IsNoSpace());
+  faults.ClearAll();
+  EXPECT_TRUE(faults.Check(Site::kStoreWrite, 0, 0, 0).ok());
+  EXPECT_EQ(faults.total_hits(), 1);
+}
+
+TEST(FaultRegistryTest, ProbabilisticScheduleIsSeedDeterministic) {
+  auto trace = [](uint64_t seed) {
+    FaultRegistry faults(seed);
+    faults.Arm({.site = Site::kHeartbeat, .probability = 0.5});
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!faults.Check(Site::kHeartbeat, i % 5).ok());
+    }
+    return fired;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  // The schedule actually mixes hits and misses.
+  std::vector<bool> t = trace(7);
+  EXPECT_GT(std::count(t.begin(), t.end(), true), 0);
+  EXPECT_GT(std::count(t.begin(), t.end(), false), 0);
+}
+
+TEST(FaultRegistryTest, CertainFaultsConsumeNoRandomness) {
+  // Arming a deterministic fault before a probabilistic one must not
+  // shift the latter's schedule.
+  auto trace = [](bool with_certain) {
+    FaultRegistry faults(9);
+    if (with_certain) {
+      faults.Arm({.site = Site::kStoreWrite, .max_hits = -1});
+    }
+    faults.Arm({.site = Site::kHeartbeat, .probability = 0.5});
+    std::vector<bool> fired;
+    for (int i = 0; i < 100; ++i) {
+      (void)faults.Check(Site::kStoreWrite, 0, 0, 0);
+      fired.push_back(!faults.Check(Site::kHeartbeat, 0).ok());
+    }
+    return fired;
+  };
+  EXPECT_EQ(trace(false), trace(true));
+}
+
+TEST(FaultRegistryTest, ThrottleFactorIsPureQuery) {
+  FaultRegistry faults(1);
+  faults.Arm({.site = Site::kMediumThrottle, .medium = 2,
+              .throttle_factor = 0.25});
+  faults.Arm({.site = Site::kMediumThrottle, .medium = 2,
+              .throttle_factor = 0.5});
+  EXPECT_DOUBLE_EQ(faults.ThrottleFactor(0, 2), 0.25);  // min wins
+  EXPECT_DOUBLE_EQ(faults.ThrottleFactor(0, 3), 1.0);
+  EXPECT_EQ(faults.hits(Site::kMediumThrottle), 0);  // queries do not count
+}
+
+// ---------------------------------------------------------------------------
+// Storage-layer faults through the full stack
+
+class FaultClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(SmallSpec()); }
+
+  void Reset(const ClusterSpec& spec) {
+    auto cluster = Cluster::Create(spec);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    faults_ = std::make_unique<FaultRegistry>(1234);
+    cluster_->InstallFaultRegistry(faults_.get());
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+  }
+
+  void WriteTestFile(const std::string& path, const std::string& content,
+                     const ReplicationVector& rv) {
+    CreateOptions options;
+    options.block_size = kMiB;
+    options.rep_vector = rv;
+    ASSERT_TRUE(fs_->WriteFile(path, content, options).ok());
+  }
+
+  const BlockRecord* FirstBlock(const std::string& path) {
+    auto located = fs_->GetFileBlockLocations(path, 0, 1);
+    if (!located.ok() || located->empty()) return nullptr;
+    return cluster_->master()->block_manager().Find((*located)[0].block.id);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FaultRegistry> faults_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+TEST_F(FaultClusterTest, StoreWriteFaultDropsOnePipelineLeg) {
+  faults_->Arm({.site = Site::kStoreWrite, .max_hits = 1,
+                .code = StatusCode::kIoError});
+  WriteTestFile("/f", std::string(256 * 1024, 'w'),
+                ReplicationVector::OfTotal(3));
+  EXPECT_EQ(faults_->hits(Site::kStoreWrite), 1);
+  // The failed leg was dropped; the block committed with 2 replicas and
+  // the monitor tops it back up.
+  const BlockRecord* record = FirstBlock("/f");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 2u);
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  EXPECT_EQ(FirstBlock("/f")->locations.size(), 3u);
+  EXPECT_EQ(*fs_->ReadFile("/f"), std::string(256 * 1024, 'w'));
+}
+
+TEST_F(FaultClusterTest, TransientStoreReadFaultFailsOverWithoutReport) {
+  WriteTestFile("/f", std::string(256 * 1024, 'r'),
+                ReplicationVector::OfTotal(3));
+  faults_->Arm({.site = Site::kStoreRead, .max_hits = 1,
+                .code = StatusCode::kIoError});
+  EXPECT_EQ(*fs_->ReadFile("/f"), std::string(256 * 1024, 'r'));
+  EXPECT_EQ(faults_->hits(Site::kStoreRead), 1);
+  // A transient I/O error must not cost the block a replica.
+  EXPECT_EQ(FirstBlock("/f")->locations.size(), 3u);
+}
+
+TEST_F(FaultClusterTest, SilentCorruptionOnWriteIsCaughtAndRepaired) {
+  faults_->Arm({.site = Site::kCorruptOnWrite, .max_hits = 1});
+  WriteTestFile("/f", std::string(256 * 1024, 'c'),
+                ReplicationVector::OfTotal(3));
+  EXPECT_EQ(faults_->hits(Site::kCorruptOnWrite), 1);
+  // All three replicas committed; one of them silently rotted after the
+  // checksum was computed. The scrubber finds it without any client read.
+  EXPECT_EQ(FirstBlock("/f")->locations.size(), 3u);
+  ASSERT_TRUE(cluster_->RunScrubber().ok());
+  EXPECT_EQ(FirstBlock("/f")->locations.size(), 2u);
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  EXPECT_EQ(FirstBlock("/f")->locations.size(), 3u);
+  EXPECT_EQ(*cluster_->RunScrubber(), 0);
+  EXPECT_EQ(*fs_->ReadFile("/f"), std::string(256 * 1024, 'c'));
+}
+
+TEST_F(FaultClusterTest, HeartbeatDropDelaysCommandsAndLiveness) {
+  WriteTestFile("/f", std::string(256 * 1024, 'h'),
+                ReplicationVector::OfTotal(3));
+  const BlockRecord* record = FirstBlock("/f");
+  ASSERT_NE(record, nullptr);
+  WorkerId victim = WorkerOfMedium(cluster_.get(), record->locations[0]);
+  // The victim's heartbeats vanish. From the master's side that is
+  // indistinguishable from a crash: after the worker timeout the
+  // liveness check declares it dead even though the process is fine.
+  faults_->Arm({.site = Site::kHeartbeat, .worker = victim});
+  AdvanceSim(cluster_.get(), 31.0);  // worker_timeout is 30 s
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  EXPECT_GE(faults_->hits(Site::kHeartbeat), 1);
+  std::vector<WorkerId> dead = cluster_->master()->CheckWorkerLiveness();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], victim);
+  // The block repairs around the silenced worker.
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  const BlockRecord* repaired = FirstBlock("/f");
+  ASSERT_NE(repaired, nullptr);
+  EXPECT_EQ(repaired->locations.size(), 3u);
+  for (MediumId m : repaired->locations) {
+    EXPECT_NE(WorkerOfMedium(cluster_.get(), m), victim);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command redelivery (tentpole): the delivered-but-unexecuted crash window
+
+TEST(CommandRedeliveryTest, CrashMidCommandsIsRedeliveredAfterTimeout) {
+  ClusterSpec spec = SmallSpec();
+  spec.master.command_timeout_micros = 1 * kMicrosPerSecond;
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FaultRegistry faults(1);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  std::string content(256 * 1024, 'x');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  ASSERT_TRUE(located.ok());
+  BlockId block = (*located)[0].block.id;
+  WorkerId lost = (*located)[0].locations[0].worker;
+  cluster->StopWorker(lost);
+  // The monitor queues a repair copy; find its target worker.
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  auto inflight = cluster->master()->InflightCopiesForTest();
+  ASSERT_EQ(inflight.size(), 1u);
+  WorkerId target = WorkerOfMedium(cluster.get(), inflight[0].second);
+  ASSERT_NE(target, kInvalidWorker);
+
+  // The target receives the copy command and dies before executing it —
+  // the command is delivered but never acknowledged.
+  faults.Arm({.site = Site::kCrashMidCommands, .worker = target,
+              .max_hits = 1});
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_EQ(faults.hits(Site::kCrashMidCommands), 1);
+  EXPECT_TRUE(cluster->IsStopped(target));
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 2u);
+  EXPECT_EQ(cluster->master()->commands_redelivered(), 0);
+
+  // The worker process restarts (stores intact). Once the command
+  // timeout passes, the master redelivers the unacknowledged copy on the
+  // next heartbeat instead of silently dropping it.
+  cluster->RestartWorker(target);
+  AdvanceSim(cluster.get(), 2.0);
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_GE(cluster->master()->commands_redelivered(), 1);
+  record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 3u);
+  EXPECT_EQ(cluster->master()->NumQueuedCommands(), 0);
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+}
+
+TEST(CommandRedeliveryTest, DeadTargetInflightCopyIsAbortedAndRescheduled) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs.WriteFile("/f", std::string(256 * 1024, 'd'), options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  WorkerId lost = (*located)[0].locations[0].worker;
+  cluster->StopWorker(lost);
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  auto inflight = cluster->master()->InflightCopiesForTest();
+  ASSERT_EQ(inflight.size(), 1u);
+  WorkerId target = WorkerOfMedium(cluster.get(), inflight[0].second);
+
+  // The copy's target crashes silently before its heartbeat delivers the
+  // command. After the worker timeout the liveness check must release
+  // the in-flight reservation and drop the queued command, so the
+  // monitor can re-plan the repair elsewhere.
+  cluster->CrashWorkerSilently(target);
+  AdvanceSim(cluster.get(), 31.0);
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  std::vector<WorkerId> dead = cluster->master()->CheckWorkerLiveness();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], target);
+  EXPECT_TRUE(cluster->master()->InflightCopiesForTest().empty());
+
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence().ok());
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->locations.size(), 3u);
+  for (MediumId m : record->locations) {
+    WorkerId w = WorkerOfMedium(cluster.get(), m);
+    EXPECT_NE(w, lost);
+    EXPECT_NE(w, target);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1 regression: a dead worker's block report must not be
+// processed (it would resurrect replicas the master already wrote off).
+
+TEST(BlockReportTest, StoppedWorkerReportDoesNotResurrectReplicas) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs.WriteFile("/f", std::string(256 * 1024, 'b'), options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  const PlacedReplica lost = (*located)[0].locations[0];
+  cluster->StopWorker(lost.worker);
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(std::count(record->locations.begin(), record->locations.end(),
+                       lost.medium),
+            0);
+
+  // Pre-fix, SendBlockReports polled every worker including stopped
+  // ones, re-adopting the dead worker's replica here.
+  ASSERT_TRUE(cluster->SendBlockReports().ok());
+  record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(std::count(record->locations.begin(), record->locations.end(),
+                       lost.medium),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 5: full crash -> timeout -> restart -> revival lifecycle
+
+TEST(WorkerLifecycleTest, CrashTimeoutRestartRevival) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  std::string content(256 * 1024, 'l');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  WorkerId victim = (*located)[0].locations[0].worker;
+
+  // Crash without telling the master; nothing changes until the worker
+  // timeout elapses and the liveness check runs.
+  cluster->CrashWorkerSilently(victim);
+  EXPECT_TRUE(cluster->master()->cluster_state().FindWorker(victim)->alive);
+  AdvanceSim(cluster.get(), 31.0);
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  std::vector<WorkerId> dead = cluster->master()->CheckWorkerLiveness();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], victim);
+
+  // Repair proceeds around the dead worker.
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence().ok());
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_EQ(record->locations.size(), 3u);
+  for (MediumId m : record->locations) {
+    EXPECT_NE(WorkerOfMedium(cluster.get(), m), victim);
+  }
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+
+  // The worker restarts with its stores intact; its first heartbeat
+  // revives it, and its block report re-adopts the stale replica, which
+  // the monitor then trims as over-replication.
+  cluster->RestartWorker(victim);
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_TRUE(cluster->master()->cluster_state().FindWorker(victim)->alive);
+  ASSERT_TRUE(cluster->SendBlockReports().ok());
+  record = cluster->master()->block_manager().Find(block);
+  EXPECT_EQ(record->locations.size(), 4u);
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence().ok());
+  record = cluster->master()->block_manager().Find(block);
+  EXPECT_EQ(record->locations.size(), 3u);
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2 regression: short replicas (size != committed length)
+
+TEST(ShortReplicaTest, ShortReplicaIsReportedAndReadFailsOver) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  std::string content(512 * 1024, 's');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  // Truncate two of the three replicas (internally consistent bytes with
+  // a fresh checksum — only the length betrays them).
+  for (int i = 0; i < 2; ++i) {
+    const PlacedReplica& victim = (*located)[0].locations[i];
+    ASSERT_TRUE(cluster->worker(victim.worker)
+                    ->WriteBlock(victim.medium, block, content.substr(0, 100))
+                    .ok());
+  }
+  // The read skips both short replicas (reporting them bad) and serves
+  // the full bytes from the surviving one.
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 1u);
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence().ok());
+  EXPECT_EQ(cluster->master()->block_manager().Find(block)->locations.size(),
+            3u);
+}
+
+TEST(ShortReplicaTest, SingleShortReplicaReturnsBoundedError) {
+  // Pre-fix, FileReader::Pread spun forever on a truncated sole replica
+  // (available == 0 => take == 0 => no progress). The ctest TIMEOUT on
+  // this binary turns that hang into a failure.
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  options.rep_vector = ReplicationVector::OfTotal(1);
+  std::string content(512 * 1024, '1');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  const PlacedReplica only = (*located)[0].locations[0];
+  ASSERT_TRUE(cluster->worker(only.worker)
+                  ->WriteBlock(only.medium, (*located)[0].block.id,
+                               content.substr(0, 100))
+                  .ok());
+  auto read = fs.ReadFile("/f");
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3 regression: a reader's open-time location snapshot goes
+// stale; it must re-fetch from the master before declaring the block lost.
+
+TEST(StaleLocationsTest, ReaderRefreshesLocationsFromMaster) {
+  ClusterSpec spec = SmallSpec();
+  spec.num_racks = 2;
+  spec.workers_per_rack = 2;  // 4 workers
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  options.rep_vector = ReplicationVector::OfTotal(2);
+  std::string content(512 * 1024, 'z');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  // Snapshot the two locations, then migrate the block: replicate to all
+  // four workers and crash the two snapshotted ones.
+  auto reader = fs.Open("/f");
+  ASSERT_TRUE(reader.ok());
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  std::set<WorkerId> snapshot;
+  for (const PlacedReplica& r : (*located)[0].locations) {
+    snapshot.insert(r.worker);
+  }
+  ASSERT_EQ(snapshot.size(), 2u);
+  ASSERT_TRUE(fs.SetReplication("/f", ReplicationVector::OfTotal(4)).ok());
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence().ok());
+  for (WorkerId w : snapshot) cluster->StopWorker(w);
+
+  // Every location the reader knows is down; pre-fix this returned
+  // IoError despite two healthy replicas existing.
+  auto data = (*reader)->ReadAll();
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, content);
+  EXPECT_GE((*reader)->locations_refreshed(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TransferEngine: transient vs permanent source faults, slow media
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cluster = Cluster::Create(SmallSpec());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    faults_ = std::make_unique<FaultRegistry>(77);
+    cluster_->InstallFaultRegistry(faults_.get());
+    engine_ = std::make_unique<workload::TransferEngine>(cluster_.get());
+  }
+
+  /// Writes a virtual file through the engine and waits for it.
+  void EngineWrite(const std::string& path, int64_t bytes, int rf) {
+    Status result = Status::Internal("pending");
+    engine_->WriteFileAsync(path, bytes, 64 * kMiB,
+                            ReplicationVector::OfTotal(rf),
+                            NetworkLocation("rack0", "node0"),
+                            [&](Status st) { result = st; });
+    cluster_->simulation()->RunUntilIdle();
+    ASSERT_TRUE(result.ok()) << result.ToString();
+  }
+
+  /// Monitor + timed command pump until quiescent.
+  void PumpToQuiescence() {
+    for (int round = 0; round < 20; ++round) {
+      int queued = cluster_->master()->RunReplicationMonitor();
+      auto started = engine_->PumpCommandsTimed();
+      ASSERT_TRUE(started.ok());
+      cluster_->simulation()->RunUntilIdle();
+      if (queued == 0 && *started == 0) return;
+    }
+    FAIL() << "no quiescence after 20 rounds";
+  }
+
+  BlockId OnlyBlock(const std::string& path) {
+    auto located = cluster_->master()->GetBlockLocations(
+        path, NetworkLocation("rack0", "node0"));
+    EXPECT_TRUE(located.ok());
+    EXPECT_EQ(located->size(), 1u);
+    return (*located)[0].block.id;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FaultRegistry> faults_;
+  std::unique_ptr<workload::TransferEngine> engine_;
+};
+
+TEST_F(EngineFaultTest, TransientSourceFaultUsesAnotherSource) {
+  EngineWrite("/t", 64 * kMiB, 2);
+  BlockId block = OnlyBlock("/t");
+  faults_->Arm({.site = Site::kTransferSource, .max_hits = 1,
+                .transient = true});
+  ASSERT_TRUE(cluster_->master()
+                  ->SetReplication("/t", ReplicationVector::OfTotal(3),
+                                   UserContext{"root", {}})
+                  .ok());
+  PumpToQuiescence();
+  EXPECT_EQ(faults_->hits(Site::kTransferSource), 1);
+  const BlockRecord* record = cluster_->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  // The copy succeeded from the other source, and the transiently
+  // failing replica was not written off.
+  EXPECT_EQ(record->locations.size(), 3u);
+}
+
+TEST_F(EngineFaultTest, PermanentSourceFaultReportsReplicaBad) {
+  EngineWrite("/p", 64 * kMiB, 2);
+  BlockId block = OnlyBlock("/p");
+  faults_->Arm({.site = Site::kTransferSource, .max_hits = 1,
+                .code = StatusCode::kCorruption, .transient = false});
+  ASSERT_TRUE(cluster_->master()
+                  ->SetReplication("/p", ReplicationVector::OfTotal(3),
+                                   UserContext{"root", {}})
+                  .ok());
+  // SetReplication queued the copy; the engine consults the fault when
+  // picking its source.
+  auto started = engine_->PumpCommandsTimed();
+  ASSERT_TRUE(started.ok());
+  cluster_->simulation()->RunUntilIdle();
+  EXPECT_EQ(faults_->hits(Site::kTransferSource), 1);
+  // The bad source was reported (dropping one of the two original
+  // replicas) and the copy was served from the survivor: 2 replicas now,
+  // where a transient fault would have left 3.
+  const BlockRecord* record = cluster_->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 2u);
+  // The monitor finishes the repair.
+  PumpToQuiescence();
+  record = cluster_->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 3u);
+}
+
+TEST_F(EngineFaultTest, MediumThrottleSlowsTimedReads) {
+  EngineWrite("/slow", 64 * kMiB, 1);
+  auto located = cluster_->master()->GetBlockLocations(
+      "/slow", NetworkLocation("rack1", "node0"));
+  ASSERT_TRUE(located.ok());
+  const PlacedReplica source = (*located)[0].locations[0];
+
+  auto timed_read = [&]() {
+    double start = cluster_->simulation()->now();
+    Status result = Status::Internal("pending");
+    engine_->ReadFileAsync("/slow", NetworkLocation("rack1", "node0"),
+                           [&](Status st) { result = st; });
+    cluster_->simulation()->RunUntilIdle();
+    EXPECT_TRUE(result.ok()) << result.ToString();
+    return cluster_->simulation()->now() - start;
+  };
+
+  double healthy = timed_read();
+  ASSERT_GT(healthy, 0.0);
+  // The source medium degrades to a tenth of its device rate.
+  faults_->Arm({.site = Site::kMediumThrottle, .worker = source.worker,
+                .medium = source.medium, .throttle_factor = 0.1});
+  double throttled = timed_read();
+  EXPECT_GT(throttled, 2.0 * healthy);
+  faults_->ClearAll();
+  EXPECT_NEAR(timed_read(), healthy, healthy * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos: concurrent crashes, corruption, dropped control traffic.
+// Invariant: with fewer concurrent failures than the replication factor,
+// no committed byte is ever lost, and the cluster converges back to full
+// replication once the faults clear.
+
+struct ChaosSummary {
+  int64_t fault_hits = 0;
+  int reads_ok = 0;
+  int recovery_rounds = 0;
+  size_t content_hash = 0;
+
+  bool operator==(const ChaosSummary& other) const {
+    return fault_hits == other.fault_hits && reads_ok == other.reads_ok &&
+           recovery_rounds == other.recovery_rounds &&
+           content_hash == other.content_hash;
+  }
+};
+
+ChaosSummary RunChaos(uint64_t seed) {
+  ChaosSummary summary;
+  ClusterSpec spec = SmallSpec();
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FaultRegistry faults(seed);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  fs.set_read_retry_options(ReadRetryOptions{});
+
+  // Six files, three 128 KiB blocks each, RF 3.
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/chaos/f" + std::to_string(i);
+    std::string content(3 * 128 * 1024,
+                        static_cast<char>('a' + (i + seed) % 26));
+    CreateOptions options;
+    options.block_size = 128 * 1024;
+    EXPECT_TRUE(fs.WriteFile(path, content, options).ok());
+    expected[path] = content;
+  }
+
+  Random rng(seed * 31 + 17);
+  const std::vector<WorkerId>& ids = cluster->worker_ids();
+  auto stopped_count = [&] {
+    int n = 0;
+    for (WorkerId id : ids) n += cluster->IsStopped(id) ? 1 : 0;
+    return n;
+  };
+  // True when every block of the file has a registered replica on a live
+  // worker — the reachability precondition for asserting a read.
+  auto reachable = [&](const std::string& path) {
+    auto located = fs.GetFileBlockLocations(
+        path, 0, static_cast<int64_t>(expected[path].size()));
+    if (!located.ok()) return false;
+    for (const LocatedBlock& lb : *located) {
+      bool live = false;
+      for (const PlacedReplica& r : lb.locations) {
+        if (!cluster->IsStopped(r.worker)) live = true;
+      }
+      if (!live) return false;
+    }
+    return true;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    switch (rng.Uniform(8)) {
+      case 0: {  // crash a worker (keep concurrent failures < RF)
+        if (stopped_count() >= 2) break;
+        WorkerId id = ids[rng.Uniform(ids.size())];
+        if (!cluster->IsStopped(id)) cluster->StopWorker(id);
+        break;
+      }
+      case 1: {  // restart one stopped worker
+        for (WorkerId id : ids) {
+          if (cluster->IsStopped(id)) {
+            cluster->RestartWorker(id);
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {  // corrupt a replica of a fully replicated block
+        auto it = expected.begin();
+        std::advance(it, rng.Uniform(expected.size()));
+        auto located = fs.GetFileBlockLocations(
+            it->first, 0, static_cast<int64_t>(it->second.size()));
+        if (!located.ok() || located->empty()) break;
+        const LocatedBlock& lb =
+            (*located)[rng.Uniform(located->size())];
+        if (lb.locations.size() < 3) break;  // keep >= 2 intact copies
+        const PlacedReplica& victim =
+            lb.locations[rng.Uniform(lb.locations.size())];
+        if (cluster->IsStopped(victim.worker)) break;
+        (void)cluster->worker(victim.worker)
+            ->CorruptBlock(victim.medium, lb.block.id);
+        break;
+      }
+      case 3:  // lose one heartbeat of a random worker
+        faults.Arm({.site = Site::kHeartbeat,
+                    .worker = ids[rng.Uniform(ids.size())], .max_hits = 1});
+        break;
+      case 4:  // a worker's stores go flaky for a few operations
+        faults.Arm({.site = Site::kStoreRead,
+                    .worker = ids[rng.Uniform(ids.size())],
+                    .probability = 0.5, .max_hits = 3});
+        break;
+      case 5:  // lose one block report
+        faults.Arm({.site = Site::kBlockReport,
+                    .worker = ids[rng.Uniform(ids.size())], .max_hits = 1});
+        break;
+      case 6: {  // a worker crashes mid-round (at most 2 down at once)
+        if (stopped_count() >= 2) break;
+        faults.Arm({.site = Site::kWorkerCrash,
+                    .worker = ids[rng.Uniform(ids.size())], .max_hits = 1});
+        break;
+      }
+      case 7: {  // read a reachable file and verify its bytes
+        auto it = expected.begin();
+        std::advance(it, rng.Uniform(expected.size()));
+        if (!reachable(it->first)) break;
+        auto data = fs.ReadFile(it->first);
+        EXPECT_TRUE(data.ok())
+            << it->first << ": " << data.status().ToString();
+        if (data.ok()) {
+          EXPECT_EQ(*data, it->second) << it->first;
+          ++summary.reads_ok;
+        }
+        break;
+      }
+    }
+    // One control-plane round: repair planning, heartbeats/commands,
+    // periodic reports and scrubbing.
+    cluster->master()->RunReplicationMonitor();
+    EXPECT_TRUE(cluster->PumpHeartbeats().ok());
+    if (round % 4 == 3) {
+      EXPECT_TRUE(cluster->SendBlockReports().ok());
+      EXPECT_TRUE(cluster->RunScrubber().ok());
+    }
+  }
+
+  // Faults clear, everything restarts; the cluster must converge.
+  faults.ClearAll();
+  for (WorkerId id : ids) {
+    if (cluster->IsStopped(id)) cluster->RestartWorker(id);
+  }
+  EXPECT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_TRUE(cluster->SendBlockReports().ok());
+  EXPECT_TRUE(cluster->RunScrubber().ok());
+  auto rounds = cluster->RunReplicationToQuiescence(50);
+  EXPECT_TRUE(rounds.ok());
+  summary.recovery_rounds = *rounds;
+  EXPECT_LT(summary.recovery_rounds, 50);
+  // A second report/scrub pass catches replicas adopted or corrupted in
+  // the last moments of the chaos phase.
+  EXPECT_TRUE(cluster->SendBlockReports().ok());
+  EXPECT_TRUE(cluster->RunScrubber().ok());
+  EXPECT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+
+  // No data loss, full replication, clean scrub.
+  for (const auto& [path, content] : expected) {
+    auto data = fs.ReadFile(path);
+    EXPECT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    if (data.ok()) {
+      EXPECT_EQ(*data, content) << path;
+      summary.content_hash ^= std::hash<std::string>{}(*data) +
+                              0x9e3779b97f4a7c15ULL +
+                              (summary.content_hash << 6);
+    }
+    auto located = fs.GetFileBlockLocations(
+        path, 0, static_cast<int64_t>(content.size()));
+    EXPECT_TRUE(located.ok());
+    for (const LocatedBlock& lb : *located) {
+      EXPECT_EQ(lb.locations.size(), 3u) << path;
+    }
+  }
+  EXPECT_EQ(*cluster->RunScrubber(), 0);
+  summary.fault_hits = faults.total_hits();
+  return summary;
+}
+
+TEST(FaultChaosTest, Seed101) { RunChaos(101); }
+TEST(FaultChaosTest, Seed202) { RunChaos(202); }
+TEST(FaultChaosTest, Seed303) { RunChaos(303); }
+
+TEST(FaultChaosTest, SameSeedSameSchedule) {
+  EXPECT_TRUE(RunChaos(101) == RunChaos(101));
+}
+
+}  // namespace
+}  // namespace octo

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the tree under ASan+UBSan and runs the fault-injection / chaos
+# suite (ctest label "fault") with its fixed seeds. The chaos harness is
+# deterministic per seed, so a failure here is always reproducible by
+# rerunning the same binary.
+#
+# Usage: tools/run_chaos.sh [extra ctest args...]
+#   e.g. tools/run_chaos.sh --repeat until-fail:5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
+export UBSAN_OPTIONS=print_stacktrace=1
+
+ctest --preset asan-ubsan -L fault -j "$(nproc)" "$@"
+echo "chaos pass clean"
