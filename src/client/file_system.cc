@@ -18,71 +18,74 @@ std::string NextClientName() {
 FileSystem::FileSystem(Cluster* cluster, NetworkLocation location,
                        UserContext ctx)
     : cluster_(cluster),
-      master_(cluster->master()),
       location_(std::move(location)),
       ctx_(std::move(ctx)),
       client_name_(NextClientName()) {}
 
 Status FileSystem::Mkdirs(const std::string& path) {
-  return master_->Mkdirs(path, ctx_);
+  return CallMaster([&](Master* m) { return m->Mkdirs(path, ctx_); });
 }
 
 Status FileSystem::Rename(const std::string& src, const std::string& dst) {
-  return master_->Rename(src, dst, ctx_);
+  return CallMaster([&](Master* m) { return m->Rename(src, dst, ctx_); });
 }
 
 Status FileSystem::Delete(const std::string& path, bool recursive,
                           bool skip_trash) {
-  auto result = master_->Delete(path, recursive, ctx_, skip_trash);
+  auto result = CallMaster(
+      [&](Master* m) { return m->Delete(path, recursive, ctx_, skip_trash); });
   return result.ok() ? Status::OK() : result.status();
 }
 
 Status FileSystem::ExpungeTrash() {
-  auto result = master_->ExpungeTrash(ctx_);
+  auto result = CallMaster([&](Master* m) { return m->ExpungeTrash(ctx_); });
   return result.ok() ? Status::OK() : result.status();
 }
 
 Result<std::vector<FileStatus>> FileSystem::ListDirectory(
     const std::string& path) {
-  return master_->ListDirectory(path, ctx_);
+  return CallMaster([&](Master* m) { return m->ListDirectory(path, ctx_); });
 }
 
 Result<FileStatus> FileSystem::GetFileStatus(const std::string& path) {
-  return master_->GetFileStatus(path, ctx_);
+  return CallMaster([&](Master* m) { return m->GetFileStatus(path, ctx_); });
 }
 
 bool FileSystem::Exists(const std::string& path) {
-  return master_->GetFileStatus(path, ctx_).ok();
+  return GetFileStatus(path).ok();
 }
 
 Result<std::unique_ptr<FileWriter>> FileSystem::Create(
     const std::string& path, const CreateOptions& options) {
-  OCTO_RETURN_IF_ERROR(master_->Create(path, options.rep_vector,
-                                       options.block_size, options.overwrite,
-                                       ctx_, client_name_));
+  OCTO_RETURN_IF_ERROR(CallMaster([&](Master* m) {
+    return m->Create(path, options.rep_vector, options.block_size,
+                     options.overwrite, ctx_, client_name_);
+  }));
   return std::unique_ptr<FileWriter>(
       new FileWriter(this, path, options.block_size));
 }
 
 Result<std::unique_ptr<FileWriter>> FileSystem::Append(
     const std::string& path) {
-  OCTO_ASSIGN_OR_RETURN(FileStatus status, master_->GetFileStatus(path, ctx_));
+  OCTO_ASSIGN_OR_RETURN(FileStatus status, GetFileStatus(path));
   if (status.is_dir) {
     return Status::InvalidArgument(path + " is a directory");
   }
-  OCTO_RETURN_IF_ERROR(master_->Append(path, ctx_, client_name_));
+  OCTO_RETURN_IF_ERROR(
+      CallMaster([&](Master* m) { return m->Append(path, ctx_, client_name_); }));
   return std::unique_ptr<FileWriter>(
       new FileWriter(this, path, status.block_size));
 }
 
 Result<std::unique_ptr<FileReader>> FileSystem::Open(const std::string& path) {
   // Permission/existence check through the normal status path first.
-  OCTO_ASSIGN_OR_RETURN(FileStatus status, master_->GetFileStatus(path, ctx_));
+  OCTO_ASSIGN_OR_RETURN(FileStatus status, GetFileStatus(path));
   if (status.is_dir) {
     return Status::InvalidArgument(path + " is a directory");
   }
-  OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> blocks,
-                        master_->GetBlockLocations(path, location_));
+  OCTO_ASSIGN_OR_RETURN(
+      std::vector<LocatedBlock> blocks,
+      CallMaster([&](Master* m) { return m->GetBlockLocations(path, location_); }));
   return std::unique_ptr<FileReader>(
       new FileReader(this, path, std::move(blocks)));
 }
@@ -102,7 +105,7 @@ Result<std::string> FileSystem::ReadFile(const std::string& path) {
 
 Status FileSystem::SetReplication(const std::string& path,
                                   const ReplicationVector& rv) {
-  return master_->SetReplication(path, rv, ctx_);
+  return CallMaster([&](Master* m) { return m->SetReplication(path, rv, ctx_); });
 }
 
 Result<std::vector<LocatedBlock>> FileSystem::GetFileBlockLocations(
@@ -110,8 +113,9 @@ Result<std::vector<LocatedBlock>> FileSystem::GetFileBlockLocations(
   if (start < 0 || len < 0) {
     return Status::InvalidArgument("negative start/len");
   }
-  OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> all,
-                        master_->GetBlockLocations(path, location_));
+  OCTO_ASSIGN_OR_RETURN(
+      std::vector<LocatedBlock> all,
+      CallMaster([&](Master* m) { return m->GetBlockLocations(path, location_); }));
   std::vector<LocatedBlock> out;
   for (LocatedBlock& block : all) {
     int64_t begin = block.offset;
@@ -124,7 +128,7 @@ Result<std::vector<LocatedBlock>> FileSystem::GetFileBlockLocations(
 }
 
 Result<std::vector<StorageTierReport>> FileSystem::GetStorageTierReports() {
-  return master_->GetStorageTierReports();
+  return CallMaster([&](Master* m) { return m->GetStorageTierReports(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -156,49 +160,71 @@ Status FileWriter::Write(std::string_view data) {
 
 Status FileWriter::FlushBlock() {
   if (buffer_.empty()) return Status::OK();
-  Master* master = fs_->master_;
-  OCTO_ASSIGN_OR_RETURN(
-      LocatedBlock located,
-      master->AddBlock(path_, fs_->client_name_, fs_->location_));
-  // Worker-to-worker pipeline (paper §3.1): the block flows through each
-  // location in order; a failed hop drops that medium from the pipeline.
-  std::vector<MediumId> succeeded;
-  for (const PlacedReplica& replica : located.locations) {
-    Worker* worker = fs_->cluster_->worker(replica.worker);
-    if (worker == nullptr) continue;
-    if (fs_->cluster_->IsStopped(replica.worker)) {
-      OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
-                     << " skipping crashed worker " << replica.worker;
+  // Whole-block retry: when the entire pipeline fails (or the allocation
+  // was lost across a master failover), abandon the block, re-request
+  // locations from the (possibly new) master once, and push the buffered
+  // bytes again. Replicas orphaned by a half-failed first attempt are
+  // reconciled away by the next block report.
+  const int kMaxBlockAttempts = 2;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxBlockAttempts; ++attempt) {
+    OCTO_ASSIGN_OR_RETURN(LocatedBlock located, fs_->CallMaster([&](Master* m) {
+      return m->AddBlock(path_, fs_->client_name_, fs_->location_);
+    }));
+    // Worker-to-worker pipeline (paper §3.1): the block flows through each
+    // location in order; a failed hop drops that medium from the pipeline.
+    std::vector<MediumId> succeeded;
+    for (const PlacedReplica& replica : located.locations) {
+      Worker* worker = fs_->cluster_->worker(replica.worker);
+      if (worker == nullptr) continue;
+      if (fs_->cluster_->IsStopped(replica.worker)) {
+        OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
+                       << " skipping crashed worker " << replica.worker;
+        continue;
+      }
+      Status st = worker->WriteBlock(replica.medium, located.block.id, buffer_);
+      if (st.ok()) {
+        succeeded.push_back(replica.medium);
+      } else {
+        OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
+                       << " to medium " << replica.medium
+                       << " failed: " << st.ToString();
+      }
+    }
+    if (succeeded.empty()) {
+      (void)fs_->CallMaster([&](Master* m) {
+        return m->AbandonBlock(path_, fs_->client_name_, located.block.id);
+      });
+      last = Status::IoError("every pipeline write of a block of " + path_ +
+                             " failed");
       continue;
     }
-    Status st = worker->WriteBlock(replica.medium, located.block.id, buffer_);
-    if (st.ok()) {
-      succeeded.push_back(replica.medium);
-    } else {
-      OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
-                     << " to medium " << replica.medium
-                     << " failed: " << st.ToString();
+    int64_t length = static_cast<int64_t>(buffer_.size());
+    Status commit = fs_->CallMaster([&](Master* m) {
+      return m->CommitBlock(path_, fs_->client_name_, located.block.id, length,
+                            succeeded);
+    });
+    if (commit.IsNotFound()) {
+      // The allocation did not survive a failover (AddBlock is not
+      // journaled; only committed blocks reach the backup). The written
+      // replicas are orphans; retry against the promoted master.
+      last = commit;
+      continue;
     }
+    OCTO_RETURN_IF_ERROR(commit);
+    bytes_written_ += length;
+    buffer_.clear();
+    return Status::OK();
   }
-  if (succeeded.empty()) {
-    (void)master->AbandonBlock(path_, fs_->client_name_, located.block.id);
-    return Status::IoError("every pipeline write of a block of " + path_ +
-                           " failed");
-  }
-  int64_t length = static_cast<int64_t>(buffer_.size());
-  OCTO_RETURN_IF_ERROR(master->CommitBlock(path_, fs_->client_name_,
-                                           located.block.id, length,
-                                           succeeded));
-  bytes_written_ += length;
-  buffer_.clear();
-  return Status::OK();
+  return last;
 }
 
 Status FileWriter::Close() {
   if (closed_) return Status::OK();
   OCTO_RETURN_IF_ERROR(FlushBlock());
   closed_ = true;
-  return fs_->master_->CompleteFile(path_, fs_->client_name_);
+  return fs_->CallMaster(
+      [&](Master* m) { return m->CompleteFile(path_, fs_->client_name_); });
 }
 
 // ---------------------------------------------------------------------------
@@ -228,7 +254,9 @@ bool FileReader::TryReadBlock(const LocatedBlock& located) {
         OCTO_LOG(Warn) << "replica of block " << located.block.id << " on "
                        << replica.medium << " has " << data->size()
                        << " bytes, expected " << located.block.length;
-        (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+        (void)fs_->CallMaster([&](Master* m) {
+          return m->ReportBadBlock(located.block.id, replica.medium);
+        });
         continue;
       }
       cached_data_ = std::move(data).value();
@@ -240,7 +268,9 @@ bool FileReader::TryReadBlock(const LocatedBlock& located) {
     if (data.status().IsCorruption() || data.status().IsNotFound()) {
       // The replica itself is gone or rotten: tell the Master so the
       // replication monitor can repair it.
-      (void)fs_->master_->ReportBadBlock(located.block.id, replica.medium);
+      (void)fs_->CallMaster([&](Master* m) {
+        return m->ReportBadBlock(located.block.id, replica.medium);
+      });
     }
     // Other errors are treated as transient (e.g. a momentary I/O
     // failure): fail over without writing the replica off.
@@ -276,7 +306,8 @@ Result<const std::string*> FileReader::FetchBlockAt(int64_t offset,
         static_cast<int64_t>(static_cast<double>(backoff) *
                              retry.backoff_multiplier),
         retry.max_backoff_micros);
-    auto fresh = fs_->master_->GetBlockLocations(path_, fs_->location_);
+    auto fresh = fs_->CallMaster(
+        [&](Master* m) { return m->GetBlockLocations(path_, fs_->location_); });
     if (!fresh.ok()) break;
     bool found = false;
     for (LocatedBlock& fresh_block : *fresh) {

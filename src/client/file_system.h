@@ -18,6 +18,14 @@ namespace octo {
 class FileWriter;
 class FileReader;
 
+namespace client_internal {
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace client_internal
+
 /// Options for FileSystem::Create (paper Table 1: the original API's
 /// "short replication" became a ReplicationVector).
 struct CreateOptions {
@@ -146,8 +154,32 @@ class FileSystem {
     if (retry_waiter_) retry_waiter_(micros);
   }
 
+  /// Runs `op` (a callable taking Master* and returning Status or
+  /// Result<T>) against the current primary, resolved through the
+  /// cluster's MasterChannel on every attempt. Two failure modes retry
+  /// with the channel's seeded backoff: no primary installed (the window
+  /// between a crash and the promotion — handled inside Resolve) and
+  /// Unavailable from the master itself (a freshly promoted master still
+  /// in safe mode). Everything else returns straight through.
+  template <typename Op>
+  auto CallMaster(Op&& op) {
+    MasterChannel* channel = cluster_->master_channel();
+    const MasterChannelOptions& opts = channel->options();
+    for (int attempt = 1;; ++attempt) {
+      Result<Master*> master = channel->Resolve();
+      if (!master.ok()) {
+        return decltype(op(static_cast<Master*>(nullptr)))(master.status());
+      }
+      auto result = op(master.value());
+      if (!client_internal::ToStatus(result).IsUnavailable() ||
+          attempt >= opts.max_attempts) {
+        return result;
+      }
+      channel->Wait(channel->BackoffMicros(attempt));
+    }
+  }
+
   Cluster* cluster_;
-  Master* master_;
   NetworkLocation location_;
   UserContext ctx_;
   std::string client_name_;

@@ -13,8 +13,22 @@ BackupMaster::BackupMaster(Master* primary, Clock* clock)
 Status BackupMaster::Sync() {
   const std::vector<std::string>& entries = primary_->edit_log()->entries();
   if (synced_ >= static_cast<int64_t>(entries.size())) return Status::OK();
-  OCTO_RETURN_IF_ERROR(EditLog::Replay(entries, synced_, mirror_.get()));
+  EditReplayInfo info;
+  OCTO_RETURN_IF_ERROR(EditLog::Replay(entries, synced_, mirror_.get(), &info));
   synced_ = static_cast<int64_t>(entries.size());
+  if (info.max_epoch > epoch_floor_) epoch_floor_ = info.max_epoch;
+  return Status::OK();
+}
+
+Status BackupMaster::Bootstrap() {
+  checkpoint_ = FsImage::Serialize(primary_->namespace_tree());
+  checkpoint_offset_ =
+      static_cast<int64_t>(primary_->edit_log()->entries().size());
+  synced_ = checkpoint_offset_;
+  epoch_floor_ = primary_->epoch();
+  mirror_ = std::make_unique<NamespaceTree>(clock_);
+  OCTO_RETURN_IF_ERROR(FsImage::Deserialize(checkpoint_, mirror_.get()));
+  primary_->edit_log()->MarkCheckpointed(checkpoint_offset_);
   return Status::OK();
 }
 
@@ -40,6 +54,11 @@ Result<std::unique_ptr<Master>> BackupMaster::TakeOver(MasterOptions options,
   }
   OCTO_RETURN_IF_ERROR(
       master->LoadImage(image, primary_->edit_log()->entries(), from));
+  // Fence: the replacement claims an epoch strictly above anything the
+  // dead primary ever stamped, whether that epoch reached the replayed
+  // tail or was folded into the checkpoint.
+  master->NoteEpochFloor(epoch_floor_);
+  master->BumpEpoch();
   return master;
 }
 

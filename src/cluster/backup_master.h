@@ -25,6 +25,15 @@ class BackupMaster {
   /// Applies edit log records appended since the last Sync to the mirror.
   Status Sync();
 
+  /// Seeds this backup from the live state of its (already promoted)
+  /// primary: checkpoints the primary's current namespace, marks the
+  /// whole existing edit log as folded in, and records the primary's
+  /// epoch as the floor for a future TakeOver. Called when a backup is
+  /// attached to a master that was itself produced by a failover — that
+  /// master's edit log does not re-journal the namespace it inherited,
+  /// so tailing it from offset 0 would lose everything pre-failover.
+  Status Bootstrap();
+
   /// Syncs, serializes the mirror namespace, and records the log offset
   /// the checkpoint covers. Returns the checkpoint image.
   Result<std::string> CreateCheckpoint();
@@ -35,6 +44,9 @@ class BackupMaster {
   int64_t checkpoint_offset() const { return checkpoint_offset_; }
   /// Edit records applied to the mirror so far.
   int64_t synced_entries() const { return synced_; }
+  /// Highest master epoch folded into the checkpoint or synced from the
+  /// log — the promoted master must fence above this.
+  uint64_t epoch_floor() const { return epoch_floor_; }
 
   const NamespaceTree& mirror() const { return *mirror_; }
 
@@ -51,6 +63,7 @@ class BackupMaster {
   int64_t synced_ = 0;
   std::string checkpoint_;
   int64_t checkpoint_offset_ = 0;
+  uint64_t epoch_floor_ = 0;
 };
 
 }  // namespace octo

@@ -23,6 +23,18 @@ ClusterSpec PaperClusterSpec() {
   return spec;
 }
 
+namespace {
+
+void DefineCanonicalTiers(Master* master) {
+  // The canonical four tiers; only those with registered media activate.
+  master->DefineTier({kMemoryTier, "Memory", MediaType::kMemory});
+  master->DefineTier({kSsdTier, "SSD", MediaType::kSsd});
+  master->DefineTier({kHddTier, "HDD", MediaType::kHdd});
+  master->DefineTier({kRemoteTier, "Remote", MediaType::kRemote});
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterSpec& spec) {
   if (spec.num_racks < 1 || spec.workers_per_rack < 1) {
     return Status::InvalidArgument("cluster needs at least one worker");
@@ -37,13 +49,13 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const ClusterSpec& spec) {
   Clock* clock = cluster->sim_ != nullptr
                      ? cluster->sim_->clock()
                      : static_cast<Clock*>(SystemClock::Default());
+  cluster->clock_ = clock;
+  cluster->master_options_ = spec.master;
   cluster->master_ = std::make_unique<Master>(spec.master, clock);
+  cluster->channel_ = std::make_unique<MasterChannel>(spec.channel);
+  cluster->channel_->Retarget(cluster->master_.get());
 
-  // The canonical four tiers; only those with registered media activate.
-  cluster->master_->DefineTier({kMemoryTier, "Memory", MediaType::kMemory});
-  cluster->master_->DefineTier({kSsdTier, "SSD", MediaType::kSsd});
-  cluster->master_->DefineTier({kHddTier, "HDD", MediaType::kHdd});
-  cluster->master_->DefineTier({kRemoteTier, "Remote", MediaType::kRemote});
+  DefineCanonicalTiers(cluster->master_.get());
 
   for (int rack = 0; rack < spec.num_racks; ++rack) {
     for (int node = 0; node < spec.workers_per_rack; ++node) {
@@ -83,8 +95,87 @@ Worker* Cluster::worker(WorkerId id) {
 }
 
 Worker* Cluster::WorkerForMedium(MediumId medium) {
+  if (master_ == nullptr) return nullptr;
   const MediumInfo* info = master_->cluster_state().FindMedium(medium);
   return info == nullptr ? nullptr : worker(info->worker);
+}
+
+Status Cluster::EnableBackup() {
+  if (master_ == nullptr) {
+    return Status::FailedPrecondition("no primary master to back up");
+  }
+  backup_ = std::make_unique<BackupMaster>(master_.get(), clock_);
+  return backup_->Sync();
+}
+
+Status Cluster::CheckpointBackup() {
+  if (backup_ == nullptr) {
+    return Status::FailedPrecondition("no backup master enabled");
+  }
+  OCTO_RETURN_IF_ERROR(backup_->Sync());
+  if (faults_ != nullptr && master_ != nullptr &&
+      !faults_->Check(fault::Site::kMasterCrashDuringCheckpoint).ok()) {
+    CrashMaster();
+    return Status::Unavailable("primary crashed during checkpoint");
+  }
+  OCTO_RETURN_IF_ERROR(backup_->CreateCheckpoint().status());
+  return Status::OK();
+}
+
+void Cluster::CrashMaster() {
+  if (master_ == nullptr) return;
+  // Keep the corpse: the backup tails its edit log for the takeover. Its
+  // command queues and in-flight replication entries are never consulted
+  // again — the promoted master rebuilds that state from block reports.
+  deposed_masters_.push_back(std::move(master_));
+  channel_->Retarget(nullptr);
+}
+
+Status Cluster::PromoteBackup() {
+  if (backup_ == nullptr) {
+    return Status::FailedPrecondition("no backup master enabled");
+  }
+  if (master_ != nullptr) {
+    return Status::FailedPrecondition("primary still alive; crash it first");
+  }
+  MasterOptions options = master_options_;
+  // The promoted master journals afresh in memory; the dead primary's log
+  // file must not be appended to by two masters.
+  options.edit_log_path.clear();
+  OCTO_ASSIGN_OR_RETURN(std::unique_ptr<Master> promoted,
+                        backup_->TakeOver(options, clock_));
+  DefineCanonicalTiers(promoted.get());
+  master_ = std::move(promoted);
+  // The old backup is bound to the dead primary's log; replace it with
+  // one seeded from the replacement's live state so a second failover
+  // does not lose the pre-takeover namespace.
+  backup_ = std::make_unique<BackupMaster>(master_.get(), clock_);
+  OCTO_RETURN_IF_ERROR(backup_->Bootstrap());
+  channel_->Retarget(master_.get());
+  return Status::OK();
+}
+
+Status Cluster::EnsureRegistered(Worker* w) {
+  if (master_ == nullptr) return Status::Unavailable("no primary master");
+  OCTO_RETURN_IF_ERROR(
+      master_->ReRegisterWorker(w->id(), w->location(), w->net_bps()));
+  for (MediumId medium : w->MediumIds()) {
+    OCTO_ASSIGN_OR_RETURN(MediumSpec spec, w->GetSpec(medium));
+    OCTO_ASSIGN_OR_RETURN(ProfiledRates rates, w->GetProfiledRates(medium));
+    OCTO_RETURN_IF_ERROR(
+        master_->ReRegisterMedium(w->id(), medium, spec, rates));
+  }
+  w->ObserveMasterEpoch(master_->epoch());
+  return Status::OK();
+}
+
+Result<int> Cluster::DeliverCommands(
+    WorkerId id, const std::vector<WorkerCommand>& commands) {
+  Worker* w = worker(id);
+  if (w == nullptr) {
+    return Status::NotFound("unknown worker " + std::to_string(id));
+  }
+  return ExecuteCommands(w, commands);
 }
 
 Result<int> Cluster::ExecuteCommands(
@@ -99,12 +190,18 @@ Result<int> Cluster::ExecuteCommands(
       StopWorker(target->id());
       return executed;
     }
+    // Fencing: commands stamped by a deposed master (older epoch than the
+    // worker has observed) are refused, not acked — they die with their
+    // issuer.
+    if (!target->AdmitCommand(cmd)) continue;
     switch (cmd.kind) {
       case WorkerCommand::Kind::kDeleteReplica: {
         Status st = target->DeleteBlock(cmd.target_medium, cmd.block);
         if (st.ok() || st.IsNotFound()) {
           ++executed;
-          (void)master_->AckCommand(target->id(), cmd.id);
+          if (master_ != nullptr) {
+            (void)master_->AckCommand(target->id(), cmd.id);
+          }
         } else {
           return st;
         }
@@ -123,8 +220,10 @@ Result<int> Cluster::ExecuteCommands(
           Status st = target->WriteBlock(cmd.target_medium, cmd.block,
                                          std::move(data).value());
           if (!st.ok()) break;
-          OCTO_RETURN_IF_ERROR(
-              master_->CommitReplica(cmd.block, cmd.target_medium));
+          if (master_ != nullptr) {
+            OCTO_RETURN_IF_ERROR(
+                master_->CommitReplica(cmd.block, cmd.target_medium));
+          }
           copied = true;
           ++executed;
           break;
@@ -137,7 +236,9 @@ Result<int> Cluster::ExecuteCommands(
         // (or the next block report clears it) and the monitor
         // reschedules with fresh sources, rather than this exact command
         // retrying stale ones.
-        (void)master_->AckCommand(target->id(), cmd.id);
+        if (master_ != nullptr) {
+          (void)master_->AckCommand(target->id(), cmd.id);
+        }
         break;
       }
     }
@@ -149,7 +250,9 @@ void Cluster::StopWorker(WorkerId id) {
   stopped_.insert(id);
   // A crashed worker would be noticed after the heartbeat timeout; mark it
   // immediately so tests need not advance the clock.
-  (void)master_->cluster_state().SetWorkerAlive(id, false);
+  if (master_ != nullptr) {
+    (void)master_->cluster_state().SetWorkerAlive(id, false);
+  }
 }
 
 void Cluster::CrashWorkerSilently(WorkerId id) { stopped_.insert(id); }
@@ -162,6 +265,13 @@ void Cluster::InstallFaultRegistry(fault::FaultRegistry* faults) {
 }
 
 Result<int> Cluster::PumpHeartbeats() {
+  if (faults_ != nullptr && master_ != nullptr &&
+      !faults_->Check(fault::Site::kMasterCrash).ok()) {
+    CrashMaster();
+  }
+  // Headless round: workers have no master to heartbeat to. Their state
+  // is untouched; the channel's waiter (or the test) promotes the backup.
+  if (master_ == nullptr) return 0;
   int executed = 0;
   for (WorkerId id : worker_ids_) {
     if (stopped_.count(id) > 0) continue;
@@ -175,15 +285,27 @@ Result<int> Cluster::PumpHeartbeats() {
       if (!faults_->Check(fault::Site::kHeartbeat, id).ok()) continue;
     }
     Worker* w = worker(id);
-    OCTO_ASSIGN_OR_RETURN(std::vector<WorkerCommand> commands,
-                          master_->Heartbeat(w->BuildHeartbeat()));
-    OCTO_ASSIGN_OR_RETURN(int n, ExecuteCommands(w, commands));
+    Result<std::vector<WorkerCommand>> commands =
+        master_->Heartbeat(w->BuildHeartbeat());
+    if (!commands.ok() && (commands.status().IsNotFound() ||
+                           commands.status().IsFailedPrecondition())) {
+      // Unknown to (or fenced off by) a freshly promoted master: run the
+      // registration handshake and retry once.
+      OCTO_RETURN_IF_ERROR(EnsureRegistered(w));
+      commands = master_->Heartbeat(w->BuildHeartbeat());
+    }
+    OCTO_RETURN_IF_ERROR(commands.status());
+    // The master consumed queued corrupt-replica reports (it skips them
+    // in safe mode — keep those pending for after reconstruction).
+    if (!master_->in_safe_mode()) w->ClearPendingBadReplicas();
+    OCTO_ASSIGN_OR_RETURN(int n, ExecuteCommands(w, commands.value()));
     executed += n;
   }
   return executed;
 }
 
 Status Cluster::SendBlockReports() {
+  if (master_ == nullptr) return Status::Unavailable("no primary master");
   for (WorkerId id : worker_ids_) {
     // A crashed worker cannot report; processing its report anyway would
     // resurrect replicas the master has already written off.
@@ -193,13 +315,20 @@ Status Cluster::SendBlockReports() {
       continue;
     }
     Worker* w = worker(id);
-    OCTO_RETURN_IF_ERROR(
-        master_->ProcessBlockReport(id, w->BuildBlockReport()));
+    Status st = master_->ProcessBlockReport(id, w->BuildBlockReport(),
+                                            w->master_epoch());
+    if (st.IsNotFound() || st.IsFailedPrecondition()) {
+      OCTO_RETURN_IF_ERROR(EnsureRegistered(w));
+      st = master_->ProcessBlockReport(id, w->BuildBlockReport(),
+                                       w->master_epoch());
+    }
+    OCTO_RETURN_IF_ERROR(st);
   }
   return Status::OK();
 }
 
 Result<int> Cluster::RunScrubber() {
+  if (master_ == nullptr) return Status::Unavailable("no primary master");
   int found = 0;
   for (WorkerId id : worker_ids_) {
     if (stopped_.count(id) > 0) continue;
@@ -211,6 +340,9 @@ Result<int> Cluster::RunScrubber() {
       if (!st.ok() && !st.IsNotFound()) return st;
       ++found;
     }
+    // Findings were reported directly; don't repeat them via heartbeat.
+    // In safe mode the master ignored them — keep them queued instead.
+    if (!master_->in_safe_mode()) w->ClearPendingBadReplicas();
   }
   return found;
 }
@@ -218,6 +350,7 @@ Result<int> Cluster::RunScrubber() {
 Result<int> Cluster::RunReplicationToQuiescence(int max_rounds) {
   int rounds = 0;
   for (; rounds < max_rounds; ++rounds) {
+    if (master_ == nullptr) break;
     int queued = master_->RunReplicationMonitor();
     OCTO_ASSIGN_OR_RETURN(int executed, PumpHeartbeats());
     if (queued == 0 && executed == 0) break;

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/backup_master.h"
 #include "cluster/master.h"
+#include "cluster/master_channel.h"
 #include "cluster/worker.h"
 #include "common/status.h"
 #include "sim/simulation.h"
@@ -27,6 +29,8 @@ struct ClusterSpec {
   /// NIC capacity per worker, bytes/second each direction.
   double net_bps = 1.25e9;  // 10 Gbps
   MasterOptions master;
+  /// Retry/backoff policy of the master channel clients resolve through.
+  MasterChannelOptions channel;
   /// Attach a flow simulator (virtual time) to the cluster. Without one,
   /// workers are functional-only and time comes from the master clock.
   bool with_simulation = true;
@@ -42,6 +46,13 @@ ClusterSpec PaperClusterSpec();
 /// An in-process OctopusFS cluster: one Master, N Workers, an optional
 /// flow simulator, and the control loop (heartbeats, block reports,
 /// command execution) that in a deployment would run over RPC.
+///
+/// High availability: EnableBackup attaches a Backup Master that tails
+/// the primary's edit log; CrashMaster kills the primary (the cluster
+/// runs headless — the channel has no target); PromoteBackup stands up a
+/// replacement at a bumped fencing epoch and retargets the channel.
+/// Clients reach the master only through master_channel(), so calls made
+/// across a failover retry into the promoted master.
 class Cluster {
  public:
   static Result<std::unique_ptr<Cluster>> Create(const ClusterSpec& spec);
@@ -49,8 +60,13 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  /// Current primary (nullptr while headless between crash and promotion).
   Master* master() { return master_.get(); }
+  /// The indirection clients hold instead of a raw Master*.
+  MasterChannel* master_channel() { return channel_.get(); }
+  BackupMaster* backup_master() { return backup_.get(); }
   sim::Simulation* simulation() { return sim_.get(); }
+  bool headless() const { return master_ == nullptr; }
 
   const std::vector<WorkerId>& worker_ids() const { return worker_ids_; }
   Worker* worker(WorkerId id);
@@ -70,6 +86,41 @@ class Cluster {
   void RestartWorker(WorkerId id);
   bool IsStopped(WorkerId id) const { return stopped_.count(id) > 0; }
 
+  // -- master failover -------------------------------------------------------
+
+  /// Attaches a Backup Master tailing the current primary's edit log.
+  Status EnableBackup();
+
+  /// Backup checkpoint cycle: sync the edit log tail, then serialize the
+  /// mirror. Consults kMasterCrashDuringCheckpoint between the two — a
+  /// crash there leaves the synced tail but no new checkpoint, so a later
+  /// takeover replays from the previous one.
+  Status CheckpointBackup();
+
+  /// Kills the primary. Its in-flight replication entries and per-worker
+  /// command queues die with it (they are never consulted again); the
+  /// object is kept so the backup can still read its edit log.
+  void CrashMaster();
+
+  /// Stands up the backup's replacement master (fencing epoch bumped,
+  /// safe mode entered), defines the canonical tiers, attaches a fresh
+  /// backup bootstrapped from the replacement's live state, and retargets
+  /// the channel. Workers re-register lazily: their first fenced
+  /// heartbeat/report triggers EnsureRegistered.
+  Status PromoteBackup();
+
+  /// Re-runs the registration handshake of one worker against the current
+  /// primary (idempotent) and raises the worker's epoch to the primary's.
+  Status EnsureRegistered(Worker* w);
+
+  /// Delivers an explicit command batch to a worker through the normal
+  /// execution path (fencing included). Tests use this to prove a deposed
+  /// master's commands are rejected. Returns commands executed.
+  Result<int> DeliverCommands(WorkerId id,
+                              const std::vector<WorkerCommand>& commands);
+
+  // -- control loop ----------------------------------------------------------
+
   /// Installs (or, with nullptr, removes) a fault registry: worker block
   /// stores get per-medium hooks, and the control loop starts consulting
   /// the crash/drop sites. The registry must outlive the cluster's use of
@@ -79,10 +130,13 @@ class Cluster {
 
   /// One control-plane round: every live worker heartbeats and executes
   /// the commands the master returns (replica deletions, copies). Copies
-  /// move real bytes between block stores. Returns commands executed.
+  /// move real bytes between block stores. Consults kMasterCrash first;
+  /// a headless round is a no-op. Returns commands executed.
   Result<int> PumpHeartbeats();
 
-  /// Sends a full block report from every worker.
+  /// Sends a full block report from every worker, stamped with the epoch
+  /// the worker believes it reports to; fenced workers re-register and
+  /// retry. Unavailable while headless.
   Status SendBlockReports();
 
   /// Runs the block scrubber on every live worker and reports corrupt
@@ -100,8 +154,15 @@ class Cluster {
   Result<int> ExecuteCommands(Worker* worker,
                               const std::vector<WorkerCommand>& commands);
 
+  Clock* clock_ = nullptr;
+  MasterOptions master_options_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<Master> master_;
+  std::unique_ptr<MasterChannel> channel_;
+  std::unique_ptr<BackupMaster> backup_;
+  /// Crashed primaries, kept alive: the backup tails their edit logs, and
+  /// tests inspect their (now fenced-off) command queues.
+  std::vector<std::unique_ptr<Master>> deposed_masters_;
   std::map<WorkerId, std::unique_ptr<Worker>> workers_;
   std::vector<WorkerId> worker_ids_;
   std::set<WorkerId> stopped_;

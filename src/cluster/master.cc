@@ -85,8 +85,63 @@ Result<MediumId> Master::RegisterMedium(WorkerId worker,
   return id;
 }
 
+Status Master::ReRegisterWorker(WorkerId id, const NetworkLocation& location,
+                                double net_bps) {
+  if (state_.FindWorker(id) != nullptr) return Status::OK();
+  Status st = topology_.AddNode(location);
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+  WorkerInfo info;
+  info.id = id;
+  info.location = location;
+  info.net_bps = net_bps;
+  info.alive = true;
+  info.last_heartbeat_micros = clock_->NowMicros();
+  OCTO_RETURN_IF_ERROR(state_.AddWorker(std::move(info)));
+  if (id >= next_worker_id_) next_worker_id_ = id + 1;
+  return Status::OK();
+}
+
+Status Master::ReRegisterMedium(WorkerId worker, MediumId id,
+                                const MediumSpec& spec,
+                                const ProfiledRates& profiled) {
+  if (state_.FindMedium(id) != nullptr) return Status::OK();
+  const WorkerInfo* w = state_.FindWorker(worker);
+  if (w == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  if (state_.FindTier(spec.tier) == nullptr) {
+    state_.AddTier(TierInfo{spec.tier, std::string(MediaTypeName(spec.type)),
+                            spec.type});
+  }
+  MediumInfo info;
+  info.id = id;
+  info.worker = worker;
+  info.location = w->location;
+  info.tier = spec.tier;
+  info.type = spec.type;
+  info.capacity_bytes = spec.capacity_bytes;
+  info.remaining_bytes = spec.capacity_bytes;
+  info.write_bps = profiled.write_bps > 0 ? profiled.write_bps : spec.write_bps;
+  info.read_bps = profiled.read_bps > 0 ? profiled.read_bps : spec.read_bps;
+  OCTO_RETURN_IF_ERROR(state_.AddMedium(std::move(info)));
+  if (id >= next_medium_id_) next_medium_id_ = id + 1;
+  return Status::OK();
+}
+
 Result<std::vector<WorkerCommand>> Master::Heartbeat(
     const HeartbeatPayload& hb) {
+  if (hb.master_epoch > epoch_) {
+    return Status::FailedPrecondition(
+        "master deposed: worker " + std::to_string(hb.worker) +
+        " is at epoch " + std::to_string(hb.master_epoch) + ", this master at " +
+        std::to_string(epoch_));
+  }
+  if (hb.master_epoch != 0 && hb.master_epoch < epoch_) {
+    return Status::FailedPrecondition(
+        "stale epoch " + std::to_string(hb.master_epoch) + " from worker " +
+        std::to_string(hb.worker) + " (current " + std::to_string(epoch_) +
+        "); re-register first");
+  }
   const WorkerInfo* w = state_.FindWorker(hb.worker);
   if (w == nullptr) {
     return Status::NotFound("worker " + std::to_string(hb.worker));
@@ -100,11 +155,24 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
     OCTO_RETURN_IF_ERROR(state_.UpdateMediumStats(
         stats.medium, stats.remaining_bytes, m->nr_connections));
   }
+  // Corrupt replicas found by the worker's scrubber ride the heartbeat
+  // (the DataNode's bad-block report). NotFound is fine: the replica may
+  // already have been dropped via a client read report or RunScrubber.
+  if (!safe_mode_) {
+    for (const auto& [medium, block] : hb.bad_replicas) {
+      Status st = ReportBadBlock(block, medium);
+      if (!st.ok() && !st.IsNotFound()) return st;
+    }
+  }
   // Lease reaping piggy-backs on heartbeat processing: expired writers'
-  // files are force-completed so their blocks become readable.
-  for (const std::string& path : leases_.ReapExpired()) {
-    Status st = tree_->CompleteFile(path);
-    if (st.ok()) log_->LogComplete(path);
+  // files are force-completed so their blocks become readable. Skipped in
+  // safe mode: reconstructed leases must not expire while the cluster is
+  // still re-assembling its block map.
+  if (!safe_mode_) {
+    for (const std::string& path : leases_.ReapExpired()) {
+      Status st = tree_->CompleteFile(path);
+      if (st.ok()) log_->LogComplete(path);
+    }
   }
   // Deliver undelivered commands, and redeliver any whose previous
   // delivery expired unacknowledged (the worker may have crashed between
@@ -143,7 +211,17 @@ Status Master::AckCommand(WorkerId worker, uint64_t command_id) {
                           " for worker " + std::to_string(worker));
 }
 
-Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report) {
+Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report,
+                                  uint64_t reporter_epoch) {
+  if (reporter_epoch != 0 && reporter_epoch != epoch_) {
+    // Fencing both ways: a report addressed to a predecessor of this
+    // master (reporter ahead) or built for a deposed one (reporter
+    // behind) must not mutate the block map.
+    return Status::FailedPrecondition(
+        "block report from worker " + std::to_string(worker) + " at epoch " +
+        std::to_string(reporter_epoch) + " rejected by master at epoch " +
+        std::to_string(epoch_));
+  }
   if (state_.FindWorker(worker) == nullptr) {
     return Status::NotFound("worker " + std::to_string(worker));
   }
@@ -160,6 +238,13 @@ Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report) {
     for (BlockId b : reported) {
       const BlockRecord* record = blocks_.Find(b);
       if (record == nullptr) {
+        if (safe_mode_) {
+          // The namespace may still be mid-reconstruction; destroying
+          // bytes now could orphan the only copy of a block a later edit
+          // replay or report legitimizes. Defer until safe-mode exit.
+          deferred_orphans_.insert({medium, b});
+          continue;
+        }
         WorkerCommand cmd;
         cmd.kind = WorkerCommand::Kind::kDeleteReplica;
         cmd.block = b;
@@ -191,6 +276,7 @@ Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report) {
       }
     }
   }
+  if (safe_mode_) MaybeExitSafeMode();
   return Status::OK();
 }
 
@@ -229,6 +315,7 @@ std::vector<WorkerId> Master::CheckWorkerLiveness() {
 // Namespace operations
 
 Status Master::Mkdirs(const std::string& path, const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("mkdirs"));
   OCTO_RETURN_IF_ERROR(tree_->Mkdirs(path, ctx));
   log_->LogMkdirs(path);
   return Status::OK();
@@ -246,6 +333,7 @@ Result<FileStatus> Master::GetFileStatus(const std::string& path,
 
 Status Master::Rename(const std::string& src, const std::string& dst,
                       const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("rename"));
   OCTO_RETURN_IF_ERROR(tree_->Rename(src, dst, ctx));
   log_->LogRename(src, dst);
   return Status::OK();
@@ -253,6 +341,7 @@ Status Master::Rename(const std::string& src, const std::string& dst,
 
 Result<int> Master::Delete(const std::string& path, bool recursive,
                            const UserContext& ctx, bool skip_trash) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("delete"));
   if (options_.enable_trash && !skip_trash) {
     OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
     std::string trash_root = "/.Trash/" + ctx.user;
@@ -329,6 +418,7 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
                       int64_t block_size, bool overwrite,
                       const UserContext& ctx,
                       const std::string& lease_holder) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("create"));
   // Another writer's live lease blocks re-creation even with overwrite
   // (HDFS's AlreadyBeingCreatedException).
   auto holder = leases_.Holder(path);
@@ -338,7 +428,7 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
   std::vector<BlockInfo> replaced;
   OCTO_RETURN_IF_ERROR(
       tree_->CreateFile(path, rv, block_size, overwrite, ctx, &replaced));
-  log_->LogCreate(path, rv, block_size, overwrite);
+  log_->LogCreate(path, rv, block_size, overwrite, lease_holder);
   for (const BlockInfo& info : replaced) {
     const BlockRecord* record = blocks_.Find(info.id);
     if (record == nullptr) continue;
@@ -358,12 +448,13 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
 
 Status Master::Append(const std::string& path, const UserContext& ctx,
                       const std::string& lease_holder) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("append"));
   auto holder = leases_.Holder(path);
   if (holder.ok() && *holder != lease_holder) {
     return Status::AlreadyExists(path + " is being written by " + *holder);
   }
   OCTO_RETURN_IF_ERROR(tree_->ReopenForAppend(path, ctx));
-  log_->LogAppend(path);
+  log_->LogAppend(path, lease_holder);
   leases_.Remove(path);
   return leases_.Acquire(path, lease_holder);
 }
@@ -383,6 +474,7 @@ PlacedReplica Master::MakePlacedReplica(MediumId medium) const {
 Result<LocatedBlock> Master::AddBlock(const std::string& path,
                                       const std::string& lease_holder,
                                       const NetworkLocation& client) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("addBlock"));
   OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
   if (holder != lease_holder) {
     return Status::PermissionDenied("lease on " + path + " held by " + holder);
@@ -423,6 +515,7 @@ Status Master::CommitBlock(const std::string& path,
                            const std::string& lease_holder, BlockId block,
                            int64_t length,
                            const std::vector<MediumId>& succeeded) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("commitBlock"));
   OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
   if (holder != lease_holder) {
     return Status::PermissionDenied("lease on " + path + " held by " + holder);
@@ -460,6 +553,7 @@ Status Master::CommitBlock(const std::string& path,
 
 Status Master::CompleteFile(const std::string& path,
                             const std::string& lease_holder) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("completeFile"));
   OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
   if (holder != lease_holder) {
     return Status::PermissionDenied("lease on " + path + " held by " + holder);
@@ -509,6 +603,10 @@ std::vector<MediumId> Master::OrderReplicasFor(
 }
 
 Status Master::ReportBadBlock(BlockId block, MediumId medium) {
+  // In safe mode the block map is still being reconstructed; dropping
+  // locations now could make reconstruction count a reported block as
+  // lost. Ignore — the scrubber/reader will re-report after exit.
+  if (safe_mode_) return Status::OK();
   OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(block, medium));
   const BlockRecord* record = blocks_.Find(block);
   if (record != nullptr) {
@@ -528,6 +626,7 @@ Status Master::ReportBadBlock(BlockId block, MediumId medium) {
 Status Master::SetReplication(const std::string& path,
                               const ReplicationVector& rv,
                               const UserContext& ctx) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("setReplication"));
   OCTO_RETURN_IF_ERROR(tree_->SetReplicationVector(path, rv, ctx));
   log_->LogSetReplication(path, rv);
   OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks, tree_->GetBlocks(path));
@@ -553,6 +652,7 @@ void Master::QueueCommand(MediumId target_medium, WorkerCommand command) {
   const MediumInfo* m = state_.FindMedium(target_medium);
   if (m == nullptr) return;
   command.id = next_command_id_++;
+  command.epoch = epoch_;
   command_queues_[m->worker].push_back(QueuedCommand{std::move(command)});
 }
 
@@ -734,6 +834,9 @@ int Master::ReconcileBlock(const BlockRecord& record) {
 }
 
 int Master::RunReplicationMonitor() {
+  // Re-replication decisions made on a partial block map would copy and
+  // delete the wrong things; wait for safe-mode exit.
+  if (safe_mode_) return 0;
   ExpireInflight();
   int commands = 0;
   std::vector<BlockId> ids;
@@ -784,6 +887,7 @@ Status Master::CommitReplica(BlockId block, MediumId medium) {
 }
 
 Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("replica move"));
   const BlockRecord* record = blocks_.Find(block);
   if (record == nullptr) {
     return Status::NotFound("block " + std::to_string(block));
@@ -856,13 +960,21 @@ Status Master::LoadImage(const std::string& image,
   auto tree = std::make_unique<NamespaceTree>(clock_);
   tree->EnablePermissions(options_.enable_permissions);
   OCTO_RETURN_IF_ERROR(FsImage::Deserialize(image, tree.get()));
-  OCTO_RETURN_IF_ERROR(EditLog::Replay(edit_entries, edits_from, tree.get()));
+  EditReplayInfo replay_info;
+  OCTO_RETURN_IF_ERROR(
+      EditLog::Replay(edit_entries, edits_from, tree.get(), &replay_info));
   tree_ = std::move(tree);
+  if (replay_info.max_epoch > epoch_) epoch_ = replay_info.max_epoch;
   // Rebuild block records from the namespace; replica locations repopulate
-  // from worker block reports.
+  // from worker block reports. Files still under construction get their
+  // write lease re-acquired (journaled holder when available, a synthetic
+  // one otherwise — it expires and the file is force-completed, the HDFS
+  // lease-recovery endgame).
   blocks_ = BlockManager();
+  leases_ = LeaseManager(clock_, options_.lease_duration_micros);
   Status status = Status::OK();
-  tree_->Visit([this, &status](const NamespaceTree::VisitEntry& e) {
+  tree_->Visit([this, &replay_info, &status](
+                   const NamespaceTree::VisitEntry& e) {
     if (e.status.is_dir || !status.ok()) return;
     for (const BlockInfo& info : e.blocks) {
       BlockRecord record;
@@ -873,11 +985,97 @@ Status Master::LoadImage(const std::string& image,
       Status st = blocks_.AddBlock(std::move(record));
       if (!st.ok()) status = st;
     }
+    if (e.status.under_construction) {
+      auto holder = replay_info.lease_holders.find(e.status.path);
+      std::string name = holder != replay_info.lease_holders.end() &&
+                                 !holder->second.empty()
+                             ? holder->second
+                             : "lease-recovery";
+      Status st = leases_.Acquire(e.status.path, name);
+      if (!st.ok()) status = st;
+    }
   });
   pending_blocks_.clear();
   inflight_copies_.clear();
+  pending_moves_.clear();
   command_queues_.clear();
+  deferred_orphans_.clear();
+  lost_blocks_.clear();
+  // Until the surviving workers re-report, every replica location is
+  // unknown: hold off on placement and re-replication decisions.
+  safe_mode_block_target_ = blocks_.NumBlocks();
+  safe_mode_ = safe_mode_block_target_ > 0;
   return status;
+}
+
+void Master::NoteEpochFloor(uint64_t floor) {
+  if (floor > epoch_) epoch_ = floor;
+}
+
+void Master::BumpEpoch() {
+  ++epoch_;
+  log_->LogEpoch(epoch_);
+}
+
+Status Master::CheckNotInSafeMode(const char* op) const {
+  if (!safe_mode_) return Status::OK();
+  return Status::Unavailable(
+      std::string(op) + " rejected: master in safe mode (" +
+      std::to_string(SafeModeReportedFraction() * 100.0) + "% of " +
+      std::to_string(safe_mode_block_target_) + " blocks reported)");
+}
+
+double Master::SafeModeReportedFraction() const {
+  if (!safe_mode_ || safe_mode_block_target_ <= 0) return 1.0;
+  int64_t reported = 0;
+  blocks_.ForEach([&reported](const BlockRecord& record) {
+    if (!record.locations.empty()) ++reported;
+  });
+  return static_cast<double>(reported) /
+         static_cast<double>(safe_mode_block_target_);
+}
+
+void Master::MaybeExitSafeMode() {
+  if (!safe_mode_) return;
+  if (SafeModeReportedFraction() + 1e-12 < options_.safe_mode_threshold) {
+    return;
+  }
+  LeaveSafeMode();
+}
+
+void Master::ForceExitSafeMode() {
+  if (safe_mode_) LeaveSafeMode();
+}
+
+void Master::LeaveSafeMode() {
+  safe_mode_ = false;
+  // Reconcile what reconstruction found. Replicas reported for blocks the
+  // namespace never legitimized are true orphans now: scrub them.
+  for (const auto& [medium, block] : deferred_orphans_) {
+    const BlockRecord* record = blocks_.Find(block);
+    if (record != nullptr &&
+        std::find(record->locations.begin(), record->locations.end(),
+                  medium) != record->locations.end()) {
+      continue;  // adopted by a later report after all
+    }
+    WorkerCommand cmd;
+    cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+    cmd.block = block;
+    cmd.target_medium = medium;
+    QueueCommand(medium, std::move(cmd));
+  }
+  deferred_orphans_.clear();
+  // Blocks nobody reported are lost (no source to re-replicate from);
+  // under-replicated ones are queued for repair by the monitor below.
+  lost_blocks_.clear();
+  blocks_.ForEach([this](const BlockRecord& record) {
+    if (record.locations.empty()) lost_blocks_.push_back(record.id);
+  });
+  if (!lost_blocks_.empty()) {
+    OCTO_LOG(Warn) << "safe mode exit: " << lost_blocks_.size()
+                   << " block(s) have no reported replica (lost)";
+  }
+  RunReplicationMonitor();
 }
 
 int Master::NumQueuedCommands() const {

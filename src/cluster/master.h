@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,6 +46,11 @@ struct MasterOptions {
   uint64_t seed = 42;
   /// When set, the edit log is persisted to this file.
   std::string edit_log_path;
+  /// Safe-mode exit threshold (HDFS dfs.namenode.safemode.threshold-pct):
+  /// a recovering master refuses placement/re-replication/rebalancing and
+  /// namespace mutations until at least this fraction of the block
+  /// population it knows about has at least one reported replica.
+  double safe_mode_threshold = 0.999;
 };
 
 /// The OctopusFS (Primary) Master (paper §2.1): owns the directory
@@ -81,6 +87,15 @@ class Master {
   Result<MediumId> RegisterMedium(WorkerId worker, const MediumSpec& spec,
                                   const ProfiledRates& profiled);
 
+  /// Re-admits a worker under its existing id (registration with a
+  /// promoted master after failover). Idempotent.
+  Status ReRegisterWorker(WorkerId id, const NetworkLocation& location,
+                          double net_bps);
+  /// Re-admits a medium under its existing id on a re-registered worker.
+  Status ReRegisterMedium(WorkerId worker, MediumId id,
+                          const MediumSpec& spec,
+                          const ProfiledRates& profiled);
+
   // -- heartbeats, reports, liveness ----------------------------------------
 
   /// Ingests a heartbeat and returns the commands due for that worker:
@@ -97,8 +112,13 @@ class Master {
   /// Full block report reconciliation: unknown replicas are scheduled for
   /// deletion, missing ones removed from the map (paper §5: the Master
   /// "can detect the situations of under- or over-replication during the
-  /// periodic block reports").
-  Status ProcessBlockReport(WorkerId worker, const BlockReport& report);
+  /// periodic block reports"). `reporter_epoch` is the master epoch the
+  /// worker believes it reports to; a mismatch (a report addressed to a
+  /// predecessor or successor of this master) is fenced off. 0 =
+  /// legacy/unfenced. In safe mode, orphan deletions are deferred until
+  /// exit so reconstruction cannot destroy data it has not yet accounted.
+  Status ProcessBlockReport(WorkerId worker, const BlockReport& report,
+                            uint64_t reporter_epoch = 0);
 
   /// Marks workers without recent heartbeats dead; returns the newly dead.
   std::vector<WorkerId> CheckWorkerLiveness();
@@ -213,15 +233,40 @@ class Master {
   void NoteTransferStarted(WorkerId worker, MediumId medium);
   void NoteTransferEnded(WorkerId worker, MediumId medium);
 
-  // -- recovery ------------------------------------------------------------------
+  // -- recovery, fencing, safe mode ------------------------------------------
 
   /// Installs a namespace checkpoint (fsimage contents) into a fresh
   /// Master, optionally replaying the edit log tail written after the
   /// checkpoint, and rebuilds block records (replica locations then
-  /// arrive via block reports, as in HDFS).
+  /// arrive via block reports, as in HDFS). Write leases are rebuilt for
+  /// files still under construction (from journaled holders), the fencing
+  /// epoch is restored from replayed EPOCH records, and — when any blocks
+  /// exist — the master enters safe mode until enough of them are
+  /// reported.
   Status LoadImage(const std::string& image,
                    const std::vector<std::string>& edit_entries = {},
                    int64_t edits_from = 0);
+
+  /// Monotonic fencing epoch. Starts at 1; advanced only at takeover.
+  uint64_t epoch() const { return epoch_; }
+  /// Raises the epoch to at least `floor` (epochs folded into a
+  /// checkpoint, carried by the backup's metadata).
+  void NoteEpochFloor(uint64_t floor);
+  /// Advances the epoch by one and journals it (takeover). All commands
+  /// queued so far are re-stamped dead: workers at the new epoch will
+  /// reject anything issued before this call.
+  void BumpEpoch();
+
+  bool in_safe_mode() const { return safe_mode_; }
+  /// Fraction of the block population known at safe-mode entry that has
+  /// at least one reported replica (1.0 outside safe mode).
+  double SafeModeReportedFraction() const;
+  /// Manual override (the HDFS `dfsadmin -safemode leave`): exits safe
+  /// mode regardless of the reported fraction and reconciles.
+  void ForceExitSafeMode();
+  /// Blocks that had no replica anywhere when safe mode ended (lost data;
+  /// nothing to re-replicate from).
+  const std::vector<BlockId>& lost_blocks() const { return lost_blocks_; }
 
   // -- accessors -------------------------------------------------------------------
 
@@ -263,6 +308,13 @@ class Master {
   PlacedReplica MakePlacedReplica(MediumId medium) const;
   /// Expires in-flight replication entries older than the timeout.
   void ExpireInflight();
+  /// Unavailable while in safe mode, OK otherwise (mutation gate).
+  Status CheckNotInSafeMode(const char* op) const;
+  /// Exits safe mode once the reported fraction crosses the threshold.
+  void MaybeExitSafeMode();
+  /// Queues deletions for orphans deferred during safe mode and records
+  /// blocks that ended reconstruction with no replica at all.
+  void LeaveSafeMode();
 
   MasterOptions options_;
   Clock* clock_;
@@ -296,6 +348,17 @@ class Master {
   /// (block, copy target) -> source medium to invalidate once the copy
   /// confirms (replica moves scheduled by the rebalancer).
   std::map<std::pair<BlockId, MediumId>, MediumId> pending_moves_;
+
+  /// Fencing epoch stamped on every issued command and checked against
+  /// heartbeats/reports. 1 on a fresh master; bumped at takeover.
+  uint64_t epoch_ = 1;
+  /// Post-takeover reconstruction state (HDFS-style safe mode).
+  bool safe_mode_ = false;
+  int64_t safe_mode_block_target_ = 0;
+  /// Replicas reported during safe mode for blocks this master does not
+  /// know; their deletion is deferred until safe mode ends.
+  std::set<std::pair<MediumId, BlockId>> deferred_orphans_;
+  std::vector<BlockId> lost_blocks_;
 };
 
 }  // namespace octo

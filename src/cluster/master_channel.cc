@@ -1,0 +1,44 @@
+#include "cluster/master_channel.h"
+
+#include <algorithm>
+
+namespace octo {
+
+MasterChannel::MasterChannel(MasterChannelOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void MasterChannel::Retarget(Master* primary) {
+  if (primary == primary_) return;
+  primary_ = primary;
+  ++generation_;
+}
+
+int64_t MasterChannel::BackoffMicros(int attempt) {
+  double base = static_cast<double>(options_.initial_backoff_micros);
+  for (int i = 1; i < attempt; ++i) base *= options_.backoff_multiplier;
+  int64_t capped = std::min(static_cast<int64_t>(base),
+                            options_.max_backoff_micros);
+  if (capped <= 1) return capped;
+  // Jitter to [capped/2, capped]: spreads retry storms in a deployment
+  // while staying deterministic for a fixed seed here.
+  int64_t half = capped / 2;
+  return half + static_cast<int64_t>(
+                    rng_.Uniform(static_cast<uint64_t>(capped - half + 1)));
+}
+
+void MasterChannel::Wait(int64_t micros) {
+  if (waiter_) waiter_(micros);
+}
+
+Result<Master*> MasterChannel::Resolve() {
+  if (primary_ != nullptr) return primary_;
+  for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    Wait(BackoffMicros(attempt));
+    if (primary_ != nullptr) return primary_;
+  }
+  return Status::Unavailable("no primary master after " +
+                             std::to_string(options_.max_attempts) +
+                             " attempts");
+}
+
+}  // namespace octo

@@ -1,0 +1,82 @@
+#ifndef OCTOPUSFS_CLUSTER_MASTER_CHANNEL_H_
+#define OCTOPUSFS_CLUSTER_MASTER_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace octo {
+
+class Master;
+
+/// Retry/backoff policy of a MasterChannel.
+struct MasterChannelOptions {
+  /// Resolution attempts while no primary is installed before giving up
+  /// (each attempt waits one backoff interval and re-checks).
+  int max_attempts = 8;
+  int64_t initial_backoff_micros = 50 * 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 2 * 1000 * 1000;
+  /// Seed for backoff jitter (deterministic per channel).
+  uint64_t seed = 42;
+};
+
+/// Indirection through which clients and the worker control loop reach
+/// the current primary master. In a deployment this would be the
+/// NameNode-address resolver (e.g. configured HA pair + failover proxy);
+/// in-process it holds a raw pointer that the Cluster retargets when the
+/// primary crashes and the backup is promoted.
+///
+/// Calls made while no primary is live retry with seeded, jittered
+/// exponential backoff: the installed waiter runs between attempts (a
+/// test pumps promotion/recovery there; a deployment would sleep), so
+/// callers fail over to the promoted master instead of crashing or
+/// wedging against a dangling pointer.
+class MasterChannel {
+ public:
+  explicit MasterChannel(MasterChannelOptions options = {});
+
+  MasterChannel(const MasterChannel&) = delete;
+  MasterChannel& operator=(const MasterChannel&) = delete;
+
+  /// Installs the current primary (nullptr = headless, e.g. between a
+  /// crash and the promotion). Bumps the generation when it changes.
+  void Retarget(Master* primary);
+
+  /// Current primary without waiting (nullptr when headless).
+  Master* primary() const { return primary_; }
+
+  /// Resolves the current primary, waiting with backoff while headless.
+  /// Unavailable once the attempt budget is spent with no primary.
+  Result<Master*> Resolve();
+
+  /// Times Retarget changed the primary (a failover observed by holders).
+  int64_t generation() const { return generation_; }
+
+  /// Jittered exponential backoff for `attempt` (1-based). Deterministic
+  /// for a fixed seed and call sequence.
+  int64_t BackoffMicros(int attempt);
+
+  /// Runs the waiter hook for `micros` (no-op when none installed).
+  void Wait(int64_t micros);
+
+  /// Hook run while a caller backs off (between resolution or safe-mode
+  /// retry attempts). Tests install the recovery pump here.
+  using Waiter = std::function<void(int64_t micros)>;
+  void set_waiter(Waiter waiter) { waiter_ = std::move(waiter); }
+
+  const MasterChannelOptions& options() const { return options_; }
+
+ private:
+  MasterChannelOptions options_;
+  Random rng_;
+  Master* primary_ = nullptr;
+  int64_t generation_ = 0;
+  Waiter waiter_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_MASTER_CHANNEL_H_

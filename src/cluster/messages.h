@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/block.h"
@@ -23,6 +24,13 @@ struct MediumStats {
 struct HeartbeatPayload {
   WorkerId worker = kInvalidWorker;
   std::vector<MediumStats> media;
+  /// Epoch of the master this worker believes it is registered with
+  /// (fencing, HDFS-style). 0 = legacy/unfenced: the worker has not yet
+  /// observed an epoch, and the master accepts the heartbeat.
+  uint64_t master_epoch = 0;
+  /// Corrupt replicas found by the worker's background scrubber since the
+  /// last successfully processed heartbeat, as (medium, block) pairs.
+  std::vector<std::pair<MediumId, BlockId>> bad_replicas;
 };
 
 /// Replication/invalidations work the master hands a worker in its
@@ -38,6 +46,10 @@ struct WorkerCommand {
   };
 
   Kind kind = Kind::kDeleteReplica;
+  /// Epoch of the master that issued this command. A worker that has
+  /// observed a newer master epoch rejects the command (fencing against a
+  /// deposed master's stale queue); 0 = legacy/unfenced.
+  uint64_t epoch = 0;
   /// Master-assigned id, unique per master. Workers acknowledge execution
   /// with Master::AckCommand(worker, id); an unacknowledged command is
   /// redelivered after `MasterOptions::command_timeout_micros` (the worker

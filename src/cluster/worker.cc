@@ -151,21 +151,46 @@ void Worker::SetFaultRegistry(fault::FaultRegistry* faults) {
   }
 }
 
-std::vector<std::pair<MediumId, BlockId>> Worker::ScrubBlocks() const {
+std::vector<std::pair<MediumId, BlockId>> Worker::ScrubBlocks() {
   std::vector<std::pair<MediumId, BlockId>> corrupt;
   for (const auto& [id, m] : media_) {
     for (BlockId block : m.store->List()) {
       if (m.store->Get(block).status().IsCorruption()) {
         corrupt.emplace_back(id, block);
+        NoteCorruptReplica(id, block);
       }
     }
   }
   return corrupt;
 }
 
+void Worker::NoteCorruptReplica(MediumId medium, BlockId block) {
+  std::pair<MediumId, BlockId> key{medium, block};
+  for (const auto& pending : pending_bad_replicas_) {
+    if (pending == key) return;
+  }
+  pending_bad_replicas_.push_back(key);
+}
+
+void Worker::ObserveMasterEpoch(uint64_t epoch) {
+  if (epoch > master_epoch_) master_epoch_ = epoch;
+}
+
+bool Worker::AdmitCommand(const WorkerCommand& command) {
+  if (command.epoch == 0) return true;  // legacy/unfenced
+  if (command.epoch < master_epoch_) {
+    ++stale_commands_rejected_;
+    return false;
+  }
+  ObserveMasterEpoch(command.epoch);
+  return true;
+}
+
 HeartbeatPayload Worker::BuildHeartbeat() const {
   HeartbeatPayload hb;
   hb.worker = id_;
+  hb.master_epoch = master_epoch_;
+  hb.bad_replicas = pending_bad_replicas_;
   for (const auto& [id, m] : media_) {
     MediumStats stats;
     stats.medium = id;
@@ -204,6 +229,14 @@ Result<MediumSpec> Worker::GetSpec(MediumId medium) const {
     return Status::NotFound("medium " + std::to_string(medium));
   }
   return m->spec;
+}
+
+Result<ProfiledRates> Worker::GetProfiledRates(MediumId medium) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium));
+  }
+  return m->profiled;
 }
 
 Result<sim::ResourceId> Worker::MediumWriteResource(MediumId medium) const {

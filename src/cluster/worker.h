@@ -1,9 +1,11 @@
 #ifndef OCTOPUSFS_CLUSTER_WORKER_H_
 #define OCTOPUSFS_CLUSTER_WORKER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/messages.h"
@@ -88,19 +90,41 @@ class Worker {
 
   /// Background block scrubber (the HDFS DataNode block scanner):
   /// verifies the checksum of every stored block and returns the corrupt
-  /// replicas found as (medium, block) pairs.
-  std::vector<std::pair<MediumId, BlockId>> ScrubBlocks() const;
+  /// replicas found as (medium, block) pairs. Findings are also queued so
+  /// the next heartbeat reports them to the master automatically.
+  std::vector<std::pair<MediumId, BlockId>> ScrubBlocks();
 
   // -- control plane -------------------------------------------------------
 
   HeartbeatPayload BuildHeartbeat() const;
   BlockReport BuildBlockReport() const;
 
+  /// Records the epoch of the master this worker is registered with.
+  /// Never regresses: a worker that has seen epoch n ignores older ones.
+  void ObserveMasterEpoch(uint64_t epoch);
+  uint64_t master_epoch() const { return master_epoch_; }
+
+  /// Fencing gate for command execution: false when the command carries a
+  /// stale master epoch (a deposed master's queue). Commands from a newer
+  /// epoch advance the worker's view and are admitted.
+  bool AdmitCommand(const WorkerCommand& command);
+  /// Commands refused by AdmitCommand for carrying a stale epoch.
+  int64_t stale_commands_rejected() const { return stale_commands_rejected_; }
+
+  /// Queues a corrupt replica for reporting in the next heartbeat
+  /// (deduplicated). ScrubBlocks calls this for every finding.
+  void NoteCorruptReplica(MediumId medium, BlockId block);
+  /// Drops queued corrupt-replica reports (the master has processed them).
+  void ClearPendingBadReplicas() { pending_bad_replicas_.clear(); }
+
   /// Remaining capacity of one medium (capacity - stored - virtual).
   Result<int64_t> RemainingBytes(MediumId medium) const;
 
   std::vector<MediumId> MediumIds() const;
   Result<MediumSpec> GetSpec(MediumId medium) const;
+  /// Launch-time profiled rates of a medium (for re-registration with a
+  /// promoted master, which replays the original registration handshake).
+  Result<ProfiledRates> GetProfiledRates(MediumId medium) const;
 
   // -- simulator resources --------------------------------------------------
 
@@ -135,6 +159,9 @@ class Worker {
   sim::ResourceId nic_in_ = sim::kInvalidResource;
   sim::ResourceId nic_out_ = sim::kInvalidResource;
   std::map<MediumId, Medium> media_;
+  uint64_t master_epoch_ = 0;
+  int64_t stale_commands_rejected_ = 0;
+  std::vector<std::pair<MediumId, BlockId>> pending_bad_replicas_;
 };
 
 }  // namespace octo

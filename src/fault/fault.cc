@@ -45,6 +45,10 @@ std::string_view SiteName(Site site) {
       return "transfer-source";
     case Site::kMediumThrottle:
       return "medium-throttle";
+    case Site::kMasterCrash:
+      return "master-crash";
+    case Site::kMasterCrashDuringCheckpoint:
+      return "master-crash-during-checkpoint";
   }
   return "unknown";
 }

@@ -42,9 +42,16 @@ enum class Site {
   /// `throttle_factor` times the device rate. Pure query — no hit
   /// accounting, probability ignored.
   kMediumThrottle,
+  /// The primary master process dies before serving this control-plane
+  /// round; the cluster runs headless until the backup is promoted.
+  kMasterCrash,
+  /// The primary master dies mid-checkpoint: the backup has synced the
+  /// edit log tail but the checkpoint is aborted, so a takeover replays
+  /// from the previous checkpoint.
+  kMasterCrashDuringCheckpoint,
 };
 
-inline constexpr int kNumSites = 9;
+inline constexpr int kNumSites = 11;
 
 std::string_view SiteName(Site site);
 

@@ -49,10 +49,12 @@ void EditLog::LogMkdirs(const std::string& path) {
 }
 
 void EditLog::LogCreate(const std::string& path, const ReplicationVector& rv,
-                        int64_t block_size, bool overwrite) {
+                        int64_t block_size, bool overwrite,
+                        const std::string& lease_holder) {
   std::ostringstream os;
   os << "CREATE\t" << path << "\t" << rv.Encode() << "\t" << block_size
      << "\t" << (overwrite ? 1 : 0);
+  if (!lease_holder.empty()) os << "\t" << lease_holder;
   Append(os.str());
 }
 
@@ -66,8 +68,13 @@ void EditLog::LogComplete(const std::string& path) {
   Append("COMPLETE\t" + path);
 }
 
-void EditLog::LogAppend(const std::string& path) {
-  Append("APPEND\t" + path);
+void EditLog::LogAppend(const std::string& path,
+                        const std::string& lease_holder) {
+  if (lease_holder.empty()) {
+    Append("APPEND\t" + path);
+  } else {
+    Append("APPEND\t" + path + "\t" + lease_holder);
+  }
 }
 
 void EditLog::LogRename(const std::string& src, const std::string& dst) {
@@ -97,6 +104,10 @@ void EditLog::LogSetMode(const std::string& path, uint16_t mode) {
   Append("SETMODE\t" + path + "\t" + std::to_string(mode));
 }
 
+void EditLog::LogEpoch(uint64_t epoch) {
+  Append("EPOCH\t" + std::to_string(epoch));
+}
+
 Status EditLog::Truncate() {
   entries_.clear();
   checkpointed_ = 0;
@@ -108,30 +119,51 @@ Status EditLog::Truncate() {
 }
 
 Status EditLog::Replay(const std::vector<std::string>& entries, int64_t from,
-                       NamespaceTree* tree) {
+                       NamespaceTree* tree, EditReplayInfo* info) {
   for (size_t i = static_cast<size_t>(from); i < entries.size(); ++i) {
     std::vector<std::string> f = Split(entries[i], '\t');
     const std::string& op = f[0];
     Status st;
     if (op == "MKDIR" && f.size() == 2) {
       st = tree->Mkdirs(f[1], kSuperuser);
-    } else if (op == "CREATE" && f.size() == 5) {
+    } else if (op == "CREATE" && (f.size() == 5 || f.size() == 6)) {
       st = tree->CreateFile(
           f[1],
           ReplicationVector::FromEncoded(
               static_cast<uint64_t>(ParseI64(f[2]))),
           ParseI64(f[3]), f[4] == "1", kSuperuser);
+      if (st.ok() && info != nullptr) {
+        info->lease_holders[f[1]] = f.size() == 6 ? f[5] : "";
+      }
     } else if (op == "ADDBLOCK" && f.size() == 4) {
       st = tree->AddBlock(f[1], BlockInfo{ParseI64(f[2]), ParseI64(f[3])});
     } else if (op == "COMPLETE" && f.size() == 2) {
       st = tree->CompleteFile(f[1]);
-    } else if (op == "APPEND" && f.size() == 2) {
+      if (st.ok() && info != nullptr) info->lease_holders.erase(f[1]);
+    } else if (op == "APPEND" && (f.size() == 2 || f.size() == 3)) {
       st = tree->ReopenForAppend(f[1], kSuperuser);
+      if (st.ok() && info != nullptr) {
+        info->lease_holders[f[1]] = f.size() == 3 ? f[2] : "";
+      }
     } else if (op == "RENAME" && f.size() == 3) {
       st = tree->Rename(f[1], f[2], kSuperuser);
+      if (st.ok() && info != nullptr) {
+        auto holder = info->lease_holders.find(f[1]);
+        if (holder != info->lease_holders.end()) {
+          info->lease_holders[f[2]] = std::move(holder->second);
+          info->lease_holders.erase(holder);
+        }
+      }
     } else if (op == "DELETE" && f.size() == 3) {
       auto result = tree->Delete(f[1], f[2] == "1", kSuperuser);
       st = result.ok() ? Status::OK() : result.status();
+      if (st.ok() && info != nullptr) info->lease_holders.erase(f[1]);
+    } else if (op == "EPOCH" && f.size() == 2) {
+      // Fencing metadata, no namespace effect.
+      if (info != nullptr) {
+        uint64_t epoch = static_cast<uint64_t>(ParseI64(f[1]));
+        if (epoch > info->max_epoch) info->max_epoch = epoch;
+      }
     } else if (op == "SETRV" && f.size() == 3) {
       st = tree->SetReplicationVector(
           f[1],

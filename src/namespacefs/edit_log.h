@@ -2,6 +2,7 @@
 #define OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,18 @@
 #include "storage/block.h"
 
 namespace octo {
+
+/// Side information collected while replaying an edit log, beyond the
+/// namespace mutations themselves. Used by master recovery to restore
+/// fencing and lease state.
+struct EditReplayInfo {
+  /// Highest EPOCH record seen (0 when the log carries none).
+  uint64_t max_epoch = 0;
+  /// Lease holder of each file whose journaled CREATE/APPEND has not been
+  /// closed by a later COMPLETE/DELETE. "" = record predates holder
+  /// journaling (or the holder was unknown).
+  std::map<std::string, std::string> lease_holders;
+};
 
 /// Append-only journal of namespace mutations (the HDFS "edit log").
 /// Each record is one tab-separated text line. The Master appends a record
@@ -31,11 +44,15 @@ class EditLog {
 
   // Typed record appenders, one per journaled operation.
   void LogMkdirs(const std::string& path);
+  /// `lease_holder` (when non-empty) is journaled so a promoted master can
+  /// rebuild the write lease for a file still under construction.
   void LogCreate(const std::string& path, const ReplicationVector& rv,
-                 int64_t block_size, bool overwrite);
+                 int64_t block_size, bool overwrite,
+                 const std::string& lease_holder = "");
   void LogAddBlock(const std::string& path, const BlockInfo& block);
   void LogComplete(const std::string& path);
-  void LogAppend(const std::string& path);
+  void LogAppend(const std::string& path,
+                 const std::string& lease_holder = "");
   void LogRename(const std::string& src, const std::string& dst);
   void LogDelete(const std::string& path, bool recursive);
   void LogSetReplication(const std::string& path,
@@ -44,6 +61,9 @@ class EditLog {
   void LogSetOwner(const std::string& path, const std::string& owner,
                    const std::string& group);
   void LogSetMode(const std::string& path, uint16_t mode);
+  /// Journals a master-epoch advance (written by a promoted master so the
+  /// fencing epoch survives checkpoint+replay chains).
+  void LogEpoch(uint64_t epoch);
 
   const std::vector<std::string>& entries() const { return entries_; }
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
@@ -58,9 +78,10 @@ class EditLog {
   Status Truncate();
 
   /// Applies records [from, entries.size()) to `tree` with superuser
-  /// rights. Stops at the first malformed record.
+  /// rights. Stops at the first malformed record. When `info` is given it
+  /// collects the max epoch and open lease holders seen in the range.
   static Status Replay(const std::vector<std::string>& entries, int64_t from,
-                       NamespaceTree* tree);
+                       NamespaceTree* tree, EditReplayInfo* info = nullptr);
 
  private:
   void Append(std::string line);

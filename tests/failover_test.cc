@@ -1,0 +1,764 @@
+// Master-failover tests: the MasterChannel retry path, epoch fencing in
+// both directions (stale commands at workers, stale heartbeats/reports at
+// the promoted master), takeover from cold checkpoint / edit-log tail /
+// double failover, HDFS-style safe mode (mutation gating, threshold
+// exit, lost blocks, deferred orphan invalidation), lease reconstruction
+// for writers that outlive the primary, and a seeded chaos harness that
+// kills the primary at three distinct injection points mid-workload and
+// asserts no acknowledged write is lost and no stale-epoch command runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "cluster/master_channel.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "fault/fault.h"
+
+namespace octo {
+namespace {
+
+using fault::FaultRegistry;
+using fault::FaultSpec;
+using fault::Site;
+
+ClusterSpec SmallSpec() {
+  ClusterSpec spec;
+  spec.num_racks = 2;
+  spec.workers_per_rack = 3;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {hdd, hdd};
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// MasterChannel unit tests
+
+TEST(MasterChannelTest, ResolveFailsAfterAttemptBudget) {
+  MasterChannelOptions options;
+  options.max_attempts = 3;
+  MasterChannel channel(options);
+  int waits = 0;
+  channel.set_waiter([&waits](int64_t) { ++waits; });
+  Result<Master*> r = channel.Resolve();
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_GE(waits, 1);
+  EXPECT_LE(waits, options.max_attempts);
+}
+
+TEST(MasterChannelTest, ResolveSucceedsWhenWaiterInstallsPrimary) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  Master* primary = cluster->master();
+  MasterChannel channel;
+  int waits = 0;
+  channel.set_waiter([&](int64_t) {
+    // A promotion lands mid-backoff (what the failover pump does).
+    if (++waits == 2) channel.Retarget(primary);
+  });
+  Result<Master*> r = channel.Resolve();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), primary);
+  EXPECT_EQ(waits, 2);
+}
+
+TEST(MasterChannelTest, BackoffIsSeededJitteredAndCapped) {
+  MasterChannelOptions options;
+  options.seed = 9;
+  MasterChannel a(options), b(options);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    int64_t micros = a.BackoffMicros(attempt);
+    EXPECT_EQ(micros, b.BackoffMicros(attempt)) << "attempt " << attempt;
+    EXPECT_GT(micros, 0);
+    EXPECT_LE(micros, options.max_backoff_micros);
+  }
+  // A different seed produces a different jitter schedule somewhere.
+  options.seed = 10;
+  MasterChannel c(options);
+  bool differs = false;
+  MasterChannel a2({.seed = 9});
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    if (a2.BackoffMicros(attempt) != c.BackoffMicros(attempt)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MasterChannelTest, GenerationCountsFailovers) {
+  auto cluster = std::move(Cluster::Create(SmallSpec())).value();
+  MasterChannel* channel = cluster->master_channel();
+  int64_t at_start = channel->generation();
+  ASSERT_TRUE(cluster->EnableBackup().ok());
+  cluster->CrashMaster();
+  EXPECT_EQ(channel->primary(), nullptr);
+  EXPECT_EQ(channel->generation(), at_start + 1);
+  ASSERT_TRUE(cluster->PromoteBackup().ok());
+  EXPECT_EQ(channel->primary(), cluster->master());
+  EXPECT_EQ(channel->generation(), at_start + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Failover fixture
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(SmallSpec()); }
+
+  void Build(const ClusterSpec& spec) {
+    auto cluster = Cluster::Create(spec);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+    ASSERT_TRUE(cluster_->EnableBackup().ok());
+    fs_ = std::make_unique<FileSystem>(cluster_.get(),
+                                       NetworkLocation("rack0", "node0"));
+  }
+
+  void WriteTestFile(const std::string& path, const std::string& content,
+                     const CreateOptions& options = CreateOptions{}) {
+    ASSERT_TRUE(fs_->WriteFile(path, content, options).ok()) << path;
+  }
+
+  /// Crashes the primary and brings the replacement all the way up:
+  /// promotion, worker re-registration, block-report replay, safe-mode
+  /// exit.
+  void Failover() {
+    cluster_->CrashMaster();
+    ASSERT_TRUE(cluster_->headless());
+    ASSERT_TRUE(cluster_->PromoteBackup().ok());
+    ASSERT_TRUE(cluster_->SendBlockReports().ok());
+    ASSERT_FALSE(cluster_->master()->in_safe_mode());
+  }
+
+  Result<LocatedBlock> FirstBlockOf(const std::string& path) {
+    OCTO_ASSIGN_OR_RETURN(std::vector<LocatedBlock> blocks,
+                          fs_->GetFileBlockLocations(path, 0, 1));
+    if (blocks.empty()) return Status::NotFound("no blocks: " + path);
+    return blocks.front();
+  }
+
+  int NumLocations(BlockId block) {
+    const BlockRecord* record =
+        cluster_->master()->block_manager().Find(block);
+    return record == nullptr ? -1 : static_cast<int>(record->locations.size());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<FileSystem> fs_;
+};
+
+// ---------------------------------------------------------------------------
+// Takeover paths (satellite d)
+
+TEST_F(FailoverTest, TakeoverWithColdCheckpoint) {
+  const std::string content(96 * 1024, 'a');
+  WriteTestFile("/warm/a", content);
+  ASSERT_TRUE(fs_->Mkdirs("/warm/dir").ok());
+  // Everything is folded into the checkpoint; the tail is empty.
+  ASSERT_TRUE(cluster_->CheckpointBackup().ok());
+  ASSERT_GT(cluster_->backup_master()->checkpoint_offset(), 0);
+  Failover();
+
+  EXPECT_EQ(cluster_->master()->epoch(), 2u);
+  EXPECT_TRUE(fs_->Exists("/warm/dir"));
+  auto data = fs_->ReadFile("/warm/a");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, content);
+  // The rebuilt block map converges back to full replication.
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  auto located = FirstBlockOf("/warm/a");
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(NumLocations(located->block.id), 3);
+}
+
+TEST_F(FailoverTest, TakeoverReplaysEditLogTail) {
+  const std::string before(64 * 1024, 'b');
+  const std::string after(64 * 1024, 'c');
+  WriteTestFile("/pre", before);
+  ASSERT_TRUE(cluster_->CheckpointBackup().ok());
+  // Journaled after the checkpoint: only the edit-log tail carries these.
+  WriteTestFile("/post", after);
+  ASSERT_TRUE(fs_->Rename("/pre", "/pre2").ok());
+  Failover();
+
+  EXPECT_EQ(cluster_->master()->epoch(), 2u);
+  EXPECT_FALSE(fs_->Exists("/pre"));
+  auto b = fs_->ReadFile("/pre2");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, before);
+  auto a = fs_->ReadFile("/post");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, after);
+}
+
+TEST_F(FailoverTest, TakeoverWithNoCheckpointReplaysWholeLog) {
+  const std::string content(32 * 1024, 'd');
+  WriteTestFile("/nockpt", content);
+  Failover();
+  auto data = fs_->ReadFile("/nockpt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, content);
+}
+
+TEST_F(FailoverTest, DoubleTakeoverBumpsEpochTwiceAndKeepsNamespace) {
+  const std::string one(48 * 1024, '1');
+  const std::string two(48 * 1024, '2');
+  WriteTestFile("/one", one);
+  Failover();
+  EXPECT_EQ(cluster_->master()->epoch(), 2u);
+  // The fresh backup bootstrapped from the promoted master's live state;
+  // writes against the new primary land in its (new) edit log.
+  WriteTestFile("/two", two);
+  Failover();
+  EXPECT_EQ(cluster_->master()->epoch(), 3u);
+
+  auto a = fs_->ReadFile("/one");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(*a, one);
+  auto b = fs_->ReadFile("/two");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(*b, two);
+  // Workers follow the epoch chain.
+  for (WorkerId id : cluster_->worker_ids()) {
+    EXPECT_EQ(cluster_->worker(id)->master_epoch(), 3u);
+  }
+}
+
+TEST_F(FailoverTest, CrashDuringCheckpointFallsBackToSyncedTail) {
+  const std::string early(40 * 1024, 'e');
+  const std::string late(40 * 1024, 'l');
+  WriteTestFile("/early", early);
+  ASSERT_TRUE(cluster_->CheckpointBackup().ok());
+  int64_t offset_before = cluster_->backup_master()->checkpoint_offset();
+  WriteTestFile("/late", late);
+
+  FaultRegistry faults(5);
+  cluster_->InstallFaultRegistry(&faults);
+  faults.Arm({.site = Site::kMasterCrashDuringCheckpoint, .max_hits = 1});
+  Status st = cluster_->CheckpointBackup();
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_TRUE(cluster_->headless());
+  // The aborted cycle synced the tail but kept the previous checkpoint.
+  EXPECT_EQ(cluster_->backup_master()->checkpoint_offset(), offset_before);
+
+  ASSERT_TRUE(cluster_->PromoteBackup().ok());
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  auto a = fs_->ReadFile("/early");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, early);
+  auto b = fs_->ReadFile("/late");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, late);
+  EXPECT_EQ(faults.hits(Site::kMasterCrashDuringCheckpoint), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch fencing
+
+TEST_F(FailoverTest, StaleEpochCommandsAreRejectedByWorkers) {
+  const std::string content(80 * 1024, 's');
+  WriteTestFile("/fenced", content);
+  auto located = FirstBlockOf("/fenced");
+  ASSERT_TRUE(located.ok());
+  ASSERT_EQ(located->locations.size(), 3u);
+
+  // Lose one replica so the (old) primary queues a re-replication copy.
+  WorkerId lost = located->locations[0].worker;
+  cluster_->StopWorker(lost);
+  ASSERT_GE(cluster_->master()->RunReplicationMonitor(), 1);
+  auto inflight = cluster_->master()->InflightCopiesForTest();
+  ASSERT_FALSE(inflight.empty());
+  const MediumInfo* target_medium =
+      cluster_->master()->cluster_state().FindMedium(inflight[0].second);
+  ASSERT_NE(target_medium, nullptr);
+  WorkerId target = target_medium->worker;
+  Worker* tw = cluster_->worker(target);
+  ASSERT_NE(tw, nullptr);
+
+  // Fetch the copy command from the doomed primary but do NOT execute it
+  // — this is the in-flight command a real deployment would have on the
+  // wire when the master dies.
+  auto commands = cluster_->master()->Heartbeat(tw->BuildHeartbeat());
+  ASSERT_TRUE(commands.ok());
+  ASSERT_FALSE(commands->empty());
+  EXPECT_EQ((*commands)[0].epoch, 1u);
+
+  Failover();
+  EXPECT_EQ(tw->master_epoch(), 2u);
+
+  // Delivering the deposed master's commands now must execute nothing:
+  // the worker refuses the stale epoch. Removing AdmitCommand from the
+  // execution path makes this fail.
+  int64_t rejected_before = tw->stale_commands_rejected();
+  auto executed = cluster_->DeliverCommands(target, *commands);
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(*executed, 0);
+  EXPECT_GT(tw->stale_commands_rejected(), rejected_before);
+  for (const WorkerCommand& cmd : *commands) {
+    if (cmd.kind == WorkerCommand::Kind::kCopyReplica) {
+      EXPECT_FALSE(tw->HasBlock(cmd.target_medium, cmd.block));
+    }
+  }
+
+  // The promoted master repairs through its own, current-epoch commands.
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  EXPECT_EQ(NumLocations(located->block.id), 3);
+}
+
+TEST_F(FailoverTest, StaleHeartbeatsAndReportsAreFenced) {
+  WriteTestFile("/fence2", std::string(16 * 1024, 'f'));
+  Failover();
+  Master* m = cluster_->master();
+  ASSERT_EQ(m->epoch(), 2u);
+  WorkerId id = cluster_->worker_ids().front();
+  Worker* w = cluster_->worker(id);
+
+  // A heartbeat addressed to the predecessor (epoch 1) is refused.
+  HeartbeatPayload hb = w->BuildHeartbeat();
+  hb.master_epoch = 1;
+  EXPECT_TRUE(m->Heartbeat(hb).status().IsFailedPrecondition());
+  // A heartbeat from a worker that has seen a *newer* master means this
+  // master itself is deposed.
+  hb.master_epoch = 3;
+  EXPECT_TRUE(m->Heartbeat(hb).status().IsFailedPrecondition());
+  // Same fencing on block reports, both directions.
+  BlockReport report = w->BuildBlockReport();
+  EXPECT_TRUE(m->ProcessBlockReport(id, report, 1).IsFailedPrecondition());
+  EXPECT_TRUE(m->ProcessBlockReport(id, report, 3).IsFailedPrecondition());
+  // The current epoch is accepted.
+  EXPECT_TRUE(m->ProcessBlockReport(id, report, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Safe mode
+
+TEST_F(FailoverTest, SafeModeGatesMutationsUntilBlocksReported) {
+  const std::string content(24 * 1024, 'g');
+  WriteTestFile("/gated", content);
+  auto located = FirstBlockOf("/gated");
+  ASSERT_TRUE(located.ok());
+  std::set<WorkerId> hosts;
+  for (const PlacedReplica& r : located->locations) hosts.insert(r.worker);
+
+  cluster_->CrashMaster();
+  EXPECT_TRUE(cluster_->SendBlockReports().IsUnavailable());
+  ASSERT_TRUE(cluster_->PromoteBackup().ok());
+  Master* m = cluster_->master();
+  EXPECT_TRUE(m->in_safe_mode());
+  EXPECT_EQ(m->SafeModeReportedFraction(), 0.0);
+
+  // Mutations are refused; reads of the reconstructed namespace work.
+  EXPECT_TRUE(m->Mkdirs("/nope", UserContext{}).IsUnavailable());
+  EXPECT_TRUE(
+      m->Create("/nope2", ReplicationVector::OfTotal(3), 64 * 1024, false,
+                UserContext{}, "writer")
+          .IsUnavailable());
+  EXPECT_TRUE(m->SetReplication("/gated", ReplicationVector::OfTotal(2),
+                                UserContext{})
+                  .IsUnavailable());
+  EXPECT_EQ(m->RunReplicationMonitor(), 0);
+  EXPECT_TRUE(fs_->Exists("/gated"));
+
+  // A report from a worker hosting no replica of the block moves nothing.
+  WorkerId outsider = kInvalidWorker;
+  for (WorkerId id : cluster_->worker_ids()) {
+    if (hosts.count(id) == 0) outsider = id;
+  }
+  ASSERT_NE(outsider, kInvalidWorker);
+  Worker* ow = cluster_->worker(outsider);
+  ASSERT_TRUE(cluster_->EnsureRegistered(ow).ok());
+  ASSERT_TRUE(
+      m->ProcessBlockReport(outsider, ow->BuildBlockReport(), m->epoch())
+          .ok());
+  EXPECT_TRUE(m->in_safe_mode());
+  EXPECT_LT(m->SafeModeReportedFraction(), 1.0);
+
+  // Full reports push the fraction over the threshold; safe mode exits.
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  EXPECT_FALSE(m->in_safe_mode());
+  EXPECT_EQ(m->SafeModeReportedFraction(), 1.0);
+  EXPECT_TRUE(m->lost_blocks().empty());
+  EXPECT_TRUE(m->Mkdirs("/yes", UserContext{}).ok());
+  auto data = fs_->ReadFile("/gated");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, content);
+}
+
+TEST_F(FailoverTest, SafeModeRecordsLostBlocksOnForcedExit) {
+  CreateOptions solo;
+  solo.rep_vector = ReplicationVector::OfTotal(1);
+  WriteTestFile("/solo", std::string(16 * 1024, 's'), solo);
+  WriteTestFile("/sturdy", std::string(16 * 1024, 't'));
+  auto located = FirstBlockOf("/solo");
+  ASSERT_TRUE(located.ok());
+  ASSERT_EQ(located->locations.size(), 1u);
+  WorkerId host = located->locations[0].worker;
+  BlockId solo_block = located->block.id;
+
+  cluster_->CrashMaster();
+  cluster_->StopWorker(host);  // the only replica dies with its worker
+  ASSERT_TRUE(cluster_->PromoteBackup().ok());
+  Master* m = cluster_->master();
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  // /sturdy reported, /solo cannot be: below the (0.999) threshold.
+  EXPECT_TRUE(m->in_safe_mode());
+  EXPECT_LT(m->SafeModeReportedFraction(), 1.0);
+  EXPECT_GT(m->SafeModeReportedFraction(), 0.0);
+
+  // The operator override (dfsadmin -safemode leave) reconciles anyway.
+  m->ForceExitSafeMode();
+  EXPECT_FALSE(m->in_safe_mode());
+  ASSERT_EQ(m->lost_blocks().size(), 1u);
+  EXPECT_EQ(m->lost_blocks()[0], solo_block);
+  // The sturdy file survived; the lost one has nothing to read from.
+  EXPECT_TRUE(fs_->ReadFile("/sturdy").ok());
+  EXPECT_FALSE(fs_->ReadFile("/solo").ok());
+}
+
+TEST_F(FailoverTest, SafeModeThresholdIsConfigurable) {
+  ClusterSpec spec = SmallSpec();
+  spec.master.safe_mode_threshold = 0.5;
+  Build(spec);
+
+  CreateOptions solo;
+  solo.rep_vector = ReplicationVector::OfTotal(1);
+  WriteTestFile("/solo", std::string(16 * 1024, 's'), solo);
+  WriteTestFile("/sturdy", std::string(16 * 1024, 't'));
+  auto located = FirstBlockOf("/solo");
+  ASSERT_TRUE(located.ok());
+  cluster_->CrashMaster();
+  cluster_->StopWorker(located->locations[0].worker);
+  ASSERT_TRUE(cluster_->PromoteBackup().ok());
+  // 1 of 2 blocks reported = 0.5 >= threshold: exits on its own, and the
+  // unreported block is declared lost at exit.
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  EXPECT_FALSE(cluster_->master()->in_safe_mode());
+  ASSERT_EQ(cluster_->master()->lost_blocks().size(), 1u);
+  EXPECT_EQ(cluster_->master()->lost_blocks()[0], located->block.id);
+}
+
+TEST_F(FailoverTest, SafeModeDefersOrphanInvalidationUntilExit) {
+  const std::string keep(16 * 1024, 'k');
+  WriteTestFile("/keep", keep);
+  ASSERT_TRUE(cluster_->CheckpointBackup().ok());
+  WriteTestFile("/orphan", std::string(16 * 1024, 'o'));
+  auto located = FirstBlockOf("/orphan");
+  ASSERT_TRUE(located.ok());
+  BlockId orphan = located->block.id;
+  MediumId medium = located->locations[0].medium;
+  Worker* host = cluster_->worker(located->locations[0].worker);
+  ASSERT_NE(host, nullptr);
+
+  // Delete journals into the tail; the invalidation commands die with the
+  // primary before any heartbeat delivers them — the bytes stay put.
+  ASSERT_TRUE(fs_->Delete("/orphan").ok());
+  ASSERT_TRUE(host->HasBlock(medium, orphan));
+  cluster_->CrashMaster();
+  ASSERT_TRUE(cluster_->PromoteBackup().ok());
+  ASSERT_TRUE(cluster_->master()->in_safe_mode());
+
+  // Reports during reconstruction surface the orphan replicas, but safe
+  // mode must not destroy data it has not finished accounting: the bytes
+  // survive until exit, then the deferred scrub runs via commands.
+  ASSERT_TRUE(cluster_->SendBlockReports().ok());
+  EXPECT_FALSE(cluster_->master()->in_safe_mode());
+  EXPECT_TRUE(host->HasBlock(medium, orphan));
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  EXPECT_FALSE(host->HasBlock(medium, orphan));
+  // The kept file is untouched throughout.
+  auto data = fs_->ReadFile("/keep");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, keep);
+}
+
+// ---------------------------------------------------------------------------
+// Lease reconstruction (satellite d)
+
+TEST_F(FailoverTest, WriterLeaseSurvivesFailover) {
+  CreateOptions options;
+  options.block_size = 64 * 1024;
+  auto writer = fs_->Create("/journal", options);
+  ASSERT_TRUE(writer.ok());
+  const std::string first(64 * 1024, '1');   // full block: flushed+committed
+  const std::string second(64 * 1024, '2');
+  ASSERT_TRUE((*writer)->Write(first).ok());
+
+  Failover();
+
+  // The promoted master rebuilt the lease from the journaled CREATE
+  // holder; the surviving writer keeps writing and completes the file.
+  ASSERT_TRUE((*writer)->Write(second).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto data = fs_->ReadFile("/journal");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, first + second);
+
+  // And the lease was real: a second client cannot reopen mid-write...
+  auto writer2 = fs_->Create("/journal2", options);
+  ASSERT_TRUE(writer2.ok());
+  ASSERT_TRUE((*writer2)->Write(first).ok());
+  Failover();
+  FileSystem other(cluster_.get(), NetworkLocation("rack1", "node0"));
+  EXPECT_FALSE(other.Append("/journal2").ok());
+  ASSERT_TRUE((*writer2)->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline abandon-and-retry (satellite a)
+
+TEST_F(FailoverTest, WriterAbandonsBlockAndRetriesOnWholePipelineFailure) {
+  FaultRegistry faults(11);
+  cluster_->InstallFaultRegistry(&faults);
+  // Exactly one whole pipeline's worth of write failures (3 legs for
+  // RF 3): the first allocation fails everywhere, is abandoned, and the
+  // retried allocation goes through cleanly.
+  faults.Arm({.site = Site::kStoreWrite, .max_hits = 3});
+  const std::string content(32 * 1024, 'p');
+  ASSERT_TRUE(fs_->WriteFile("/retried", content, CreateOptions{}).ok());
+  EXPECT_EQ(faults.hits(Site::kStoreWrite), 3);
+
+  auto data = fs_->ReadFile("/retried");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, content);
+  // Exactly one (live) block: the abandoned allocation left no record.
+  auto blocks = fs_->GetFileBlockLocations("/retried", 0, content.size());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0].locations.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Scrub findings ride the heartbeat (satellite b)
+
+TEST_F(FailoverTest, ScrubFindingsReachMasterViaHeartbeat) {
+  const std::string content(20 * 1024, 'c');
+  WriteTestFile("/scrubbed", content);
+  auto located = FirstBlockOf("/scrubbed");
+  ASSERT_TRUE(located.ok());
+  BlockId block = located->block.id;
+  MediumId medium = located->locations[0].medium;
+  Worker* host = cluster_->worker(located->locations[0].worker);
+  ASSERT_TRUE(host->CorruptBlock(medium, block).ok());
+
+  // The scrubber runs locally on the worker; nothing reported yet.
+  auto findings = host->ScrubBlocks();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0], std::make_pair(medium, block));
+  EXPECT_EQ(NumLocations(block), 3);
+
+  // The next heartbeat carries the bad-replica report; the master drops
+  // the corrupt location and the monitor restores full replication.
+  ASSERT_TRUE(cluster_->PumpHeartbeats().ok());
+  EXPECT_EQ(NumLocations(block), 2);
+  ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
+  EXPECT_EQ(NumLocations(block), 3);
+  auto data = fs_->ReadFile("/scrubbed");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, content);
+}
+
+// ---------------------------------------------------------------------------
+// Clients ride through a failover via the channel
+
+TEST_F(FailoverTest, ClientCallDuringHeadlessWindowFailsOverToPromoted) {
+  const std::string content(28 * 1024, 'h');
+  WriteTestFile("/window", content);
+  cluster_->CrashMaster();
+  int promotions = 0;
+  cluster_->master_channel()->set_waiter([&](int64_t) {
+    if (cluster_->headless()) {
+      ASSERT_TRUE(cluster_->PromoteBackup().ok());
+      ASSERT_TRUE(cluster_->SendBlockReports().ok());
+      ++promotions;
+    }
+  });
+  // The read was issued into a headless cluster; the channel retries and
+  // lands on the promoted master.
+  auto data = fs_->ReadFile("/window");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, content);
+  EXPECT_EQ(promotions, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded failover chaos: the primary dies at three distinct injection
+// points while a DFSIO-style workload runs. Invariants: every
+// acknowledged write stays readable byte-for-byte, no stale-epoch
+// command executes, and the cluster converges to full replication.
+
+struct FailoverChaosSummary {
+  int files_acked = 0;
+  int64_t bytes_acked = 0;
+  uint64_t content_hash = 0;
+  int64_t stale_rejected = 0;
+  uint64_t final_epoch = 0;
+
+  bool operator==(const FailoverChaosSummary& other) const {
+    return files_acked == other.files_acked &&
+           bytes_acked == other.bytes_acked &&
+           content_hash == other.content_hash &&
+           stale_rejected == other.stale_rejected &&
+           final_epoch == other.final_epoch;
+  }
+};
+
+FailoverChaosSummary RunFailoverChaos(uint64_t seed) {
+  FailoverChaosSummary summary;
+  ClusterSpec spec = SmallSpec();
+  spec.channel.seed = seed;
+  auto created = Cluster::Create(spec);
+  EXPECT_TRUE(created.ok());
+  auto cluster = std::move(created).value();
+  FaultRegistry faults(seed);
+  cluster->InstallFaultRegistry(&faults);
+  EXPECT_TRUE(cluster->EnableBackup().ok());
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+
+  // The recovery pump lives in the channel waiter, exactly where a
+  // deployment's failover proxy would block: promote when headless, then
+  // feed reports until the replacement leaves safe mode.
+  cluster->master_channel()->set_waiter([&](int64_t) {
+    if (cluster->headless()) {
+      EXPECT_TRUE(cluster->PromoteBackup().ok());
+    }
+    if (!cluster->headless()) {
+      (void)cluster->SendBlockReports();
+      (void)cluster->PumpHeartbeats();
+    }
+  });
+
+  Random rng(seed * 131 + 7);
+  // Three distinct, seeded injection points in disjoint round windows:
+  // (1) the primary dies at the start of a control round, (2) it dies
+  // mid-checkpoint, (3) it dies between two blocks of an open write.
+  const int crash_round = 3 + static_cast<int>(rng.Uniform(5));
+  const int ckpt_crash_round = 12 + static_cast<int>(rng.Uniform(5));
+  const int midwrite_crash_round = 22 + static_cast<int>(rng.Uniform(5));
+  int midwrite_crashes = 0;
+
+  std::map<std::string, std::string> acked;
+  constexpr int kRounds = 32;
+  constexpr int64_t kBlock = 64 * 1024;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == crash_round) {
+      faults.Arm({.site = Site::kMasterCrash, .max_hits = 1});
+    }
+    if (round == ckpt_crash_round) {
+      faults.Arm({.site = Site::kMasterCrashDuringCheckpoint, .max_hits = 1});
+    }
+
+    // DFSIO-style writer: two blocks per file, fresh path per round.
+    const std::string path = "/chaos/f" + std::to_string(round);
+    std::string content(2 * kBlock, static_cast<char>(
+                                        'a' + (round + seed) % 26));
+    CreateOptions options;
+    options.block_size = kBlock;
+    auto writer = fs.Create(path, options);
+    EXPECT_TRUE(writer.ok()) << path << ": " << writer.status().ToString();
+    if (writer.ok()) {
+      bool ok = (*writer)->Write(
+          std::string_view(content).substr(0, kBlock)).ok();
+      if (round == midwrite_crash_round && !cluster->headless()) {
+        cluster->CrashMaster();  // the writer's next flush rides it out
+        ++midwrite_crashes;
+      }
+      ok = ok && (*writer)->Write(
+          std::string_view(content).substr(kBlock)).ok();
+      ok = ok && (*writer)->Close().ok();
+      if (ok) {
+        acked[path] = std::move(content);
+        summary.bytes_acked += 2 * kBlock;
+      }
+    }
+
+    // Periodic checkpoint cycle (may itself kill the primary).
+    if (round % 3 == 2) (void)cluster->CheckpointBackup();
+    // Control round (may fire kMasterCrash; headless rounds are no-ops).
+    if (!cluster->headless()) {
+      cluster->master()->RunReplicationMonitor();
+      EXPECT_TRUE(cluster->PumpHeartbeats().ok());
+    }
+    if (round % 4 == 3 && !cluster->headless()) {
+      EXPECT_TRUE(cluster->SendBlockReports().ok());
+    }
+
+    // Read back a random acknowledged file — including across the
+    // headless window, where the channel retries into the replacement.
+    if (!acked.empty() && rng.Uniform(2) == 0) {
+      auto it = acked.begin();
+      std::advance(it, rng.Uniform(acked.size()));
+      auto data = fs.ReadFile(it->first);
+      EXPECT_TRUE(data.ok()) << it->first;
+      if (data.ok()) {
+        EXPECT_EQ(*data, it->second) << it->first;
+      }
+    }
+  }
+
+  // All three injection points actually fired.
+  EXPECT_EQ(faults.hits(Site::kMasterCrash), 1);
+  EXPECT_EQ(faults.hits(Site::kMasterCrashDuringCheckpoint), 1);
+  EXPECT_EQ(midwrite_crashes, 1);
+
+  // Drain: ensure a primary, then converge.
+  faults.ClearAll();
+  if (cluster->headless()) {
+    EXPECT_TRUE(cluster->PromoteBackup().ok());
+  }
+  EXPECT_TRUE(cluster->SendBlockReports().ok());
+  EXPECT_FALSE(cluster->master()->in_safe_mode());
+  EXPECT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  EXPECT_TRUE(cluster->SendBlockReports().ok());
+  EXPECT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  EXPECT_TRUE(cluster->master()->lost_blocks().empty());
+
+  // Zero acknowledged-write loss, full replication for every block.
+  for (const auto& [path, content] : acked) {
+    auto data = fs.ReadFile(path);
+    EXPECT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    if (data.ok()) {
+      EXPECT_EQ(*data, content) << path;
+    }
+    auto blocks = fs.GetFileBlockLocations(
+        path, 0, static_cast<int64_t>(content.size()));
+    EXPECT_TRUE(blocks.ok());
+    if (blocks.ok()) {
+      for (const LocatedBlock& lb : *blocks) {
+        EXPECT_EQ(lb.locations.size(), 3u) << path;
+      }
+    }
+    // Order-stable digest (std::map iterates sorted paths).
+    for (char c : path) summary.content_hash = summary.content_hash * 131 + c;
+    summary.content_hash =
+        summary.content_hash * 1000003 + (data.ok() ? content.size() : 0);
+    ++summary.files_acked;
+  }
+  for (WorkerId id : cluster->worker_ids()) {
+    summary.stale_rejected += cluster->worker(id)->stale_commands_rejected();
+  }
+  summary.final_epoch = cluster->master()->epoch();
+  // Three crashes → three promotions.
+  EXPECT_EQ(summary.final_epoch, 4u);
+  EXPECT_EQ(summary.files_acked, kRounds);
+  return summary;
+}
+
+TEST(FailoverChaosTest, Seed1) { RunFailoverChaos(1); }
+TEST(FailoverChaosTest, Seed7) { RunFailoverChaos(7); }
+TEST(FailoverChaosTest, Seed42) { RunFailoverChaos(42); }
+
+TEST(FailoverChaosTest, SameSeedSameOutcome) {
+  FailoverChaosSummary a = RunFailoverChaos(1234);
+  FailoverChaosSummary b = RunFailoverChaos(1234);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace octo

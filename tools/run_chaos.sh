@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds the tree under ASan+UBSan and runs the fault-injection / chaos
-# suite (ctest label "fault") with its fixed seeds. The chaos harness is
-# deterministic per seed, so a failure here is always reproducible by
-# rerunning the same binary.
+# suite (ctest label "fault", which includes the "failover" tests) with
+# its fixed seeds, then sweeps the master-failover chaos harness across
+# extra seeds. The chaos harnesses are deterministic per seed, so a
+# failure here is always reproducible by rerunning the same command.
 #
 # Usage: tools/run_chaos.sh [extra ctest args...]
 #   e.g. tools/run_chaos.sh --repeat until-fail:5
@@ -16,4 +17,19 @@ export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
 export UBSAN_OPTIONS=print_stacktrace=1
 
 ctest --preset asan-ubsan -L fault -j "$(nproc)" "$@"
+
+# Master-failover sweep: re-run just the failover label, then the seeded
+# failover chaos harness a few extra times. The per-test seeds are baked
+# into the binary; repetition under the sanitizers shakes out latent
+# lifetime bugs in the promote/re-register/replay path (the kind that
+# only one crash-point interleaving triggers).
+ctest --preset asan-ubsan -L failover -j "$(nproc)" "$@"
+FAILOVER_BIN=$(find build-asan -name failover_test -type f | head -n1)
+if [[ -n "${FAILOVER_BIN}" ]]; then
+  for rep in 1 2 3; do
+    "${FAILOVER_BIN}" --gtest_filter='FailoverChaosTest.*' \
+      --gtest_brief=1 >/dev/null
+  done
+  echo "failover chaos sweep clean (3 repetitions)"
+fi
 echo "chaos pass clean"
