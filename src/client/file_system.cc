@@ -1,8 +1,10 @@
 #include "client/file_system.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 
 namespace octo {
 
@@ -135,7 +137,7 @@ Result<std::vector<StorageTierReport>> FileSystem::GetStorageTierReports() {
 // FileWriter
 
 FileWriter::~FileWriter() {
-  if (!closed_) {
+  if (!closed_ && !dead_) {
     Status st = Close();
     if (!st.ok()) {
       OCTO_LOG(Warn) << "implicit close of " << path_
@@ -146,74 +148,276 @@ FileWriter::~FileWriter() {
 
 Status FileWriter::Write(std::string_view data) {
   if (closed_) return Status::FailedPrecondition(path_ + " is closed");
+  if (dead_) return Status::FailedPrecondition(path_ + ": writer failed");
   while (!data.empty()) {
-    int64_t room = block_size_ - static_cast<int64_t>(buffer_.size());
+    int64_t room = block_size_ - static_cast<int64_t>(block_data_.size());
     int64_t take = std::min<int64_t>(room, static_cast<int64_t>(data.size()));
-    buffer_.append(data.substr(0, static_cast<size_t>(take)));
+    block_data_.append(data.substr(0, static_cast<size_t>(take)));
     data.remove_prefix(static_cast<size_t>(take));
-    if (static_cast<int64_t>(buffer_.size()) == block_size_) {
-      OCTO_RETURN_IF_ERROR(FlushBlock());
+    // Stream eagerly in whole packets; a partial tail stays buffered
+    // until more data arrives, an Hflush, or the end of the block.
+    int64_t full = (static_cast<int64_t>(block_data_.size()) / kPacketSize) *
+                   kPacketSize;
+    if (full > streamed_) OCTO_RETURN_IF_ERROR(StreamTo(full));
+    if (static_cast<int64_t>(block_data_.size()) == block_size_) {
+      OCTO_RETURN_IF_ERROR(FinishBlock());
     }
   }
   return Status::OK();
 }
 
-Status FileWriter::FlushBlock() {
-  if (buffer_.empty()) return Status::OK();
-  // Whole-block retry: when the entire pipeline fails (or the allocation
-  // was lost across a master failover), abandon the block, re-request
-  // locations from the (possibly new) master once, and push the buffered
-  // bytes again. Replicas orphaned by a half-failed first attempt are
-  // reconciled away by the next block report.
+Status FileWriter::Hflush() {
+  if (closed_) return Status::FailedPrecondition(path_ + " is closed");
+  if (dead_) return Status::FailedPrecondition(path_ + ": writer failed");
+  if (static_cast<int64_t>(block_data_.size()) > streamed_) {
+    OCTO_RETURN_IF_ERROR(StreamTo(static_cast<int64_t>(block_data_.size())));
+  }
+  return Status::OK();
+}
+
+Status FileWriter::EnsurePipeline() {
+  if (pipeline_open_) return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(located_, fs_->CallMaster([&](Master* m) {
+    return m->AddBlock(path_, fs_->client_name_, fs_->location_);
+  }));
+  genstamp_ = located_.block.genstamp;
+  members_.clear();
+  for (const PlacedReplica& replica : located_.locations) {
+    Worker* worker = fs_->cluster_->worker(replica.worker);
+    if (worker == nullptr || fs_->cluster_->IsStopped(replica.worker)) {
+      OCTO_LOG(Warn) << "pipeline for block " << located_.block.id
+                     << " skipping unreachable worker " << replica.worker;
+      continue;
+    }
+    Status st = worker->OpenBlock(replica.medium, located_.block.id, genstamp_);
+    if (st.ok()) {
+      members_.push_back(replica);
+    } else {
+      OCTO_LOG(Warn) << "open of block " << located_.block.id << " on medium "
+                     << replica.medium << " failed: " << st.ToString();
+    }
+  }
+  if (members_.empty()) {
+    (void)fs_->CallMaster([&](Master* m) {
+      return m->AbandonBlock(path_, fs_->client_name_, located_.block.id);
+    });
+    return Status::IoError("no pipeline member reachable for a block of " +
+                           path_);
+  }
+  pipeline_open_ = true;
+  streamed_ = 0;
+  return Status::OK();
+}
+
+void FileWriter::AbandonCurrent() {
+  if (pipeline_open_) {
+    (void)fs_->CallMaster([&](Master* m) {
+      return m->AbandonBlock(path_, fs_->client_name_, located_.block.id);
+    });
+  }
+  pipeline_open_ = false;
+  streamed_ = 0;
+  members_.clear();
+}
+
+Status FileWriter::StreamTo(int64_t upto) {
   const int kMaxBlockAttempts = 2;
   Status last = Status::OK();
   for (int attempt = 0; attempt < kMaxBlockAttempts; ++attempt) {
-    OCTO_ASSIGN_OR_RETURN(LocatedBlock located, fs_->CallMaster([&](Master* m) {
-      return m->AddBlock(path_, fs_->client_name_, fs_->location_);
-    }));
-    // Worker-to-worker pipeline (paper §3.1): the block flows through each
-    // location in order; a failed hop drops that medium from the pipeline.
+    Status st = EnsurePipeline();
+    if (st.ok()) {
+      while (streamed_ < upto) {
+        int64_t len = std::min(kPacketSize, upto - streamed_);
+        st = SendPacket(streamed_, len);
+        if (!st.ok()) break;
+      }
+      if (st.ok()) return Status::OK();
+    }
+    if (dead_) return st;
+    // Whole-pipeline loss or a dead allocation: abandon the block and
+    // retry from scratch — the client still holds every byte, so the
+    // re-streamed block loses nothing. Replicas orphaned by the first
+    // attempt are reconciled away by later block reports.
+    last = st;
+    AbandonCurrent();
+  }
+  return last;
+}
+
+Status FileWriter::SendPacket(int64_t offset, int64_t len) {
+  std::string_view packet =
+      std::string_view(block_data_).substr(static_cast<size_t>(offset),
+                                           static_cast<size_t>(len));
+  const int kMaxAttempts = 5;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    fault::FaultRegistry* faults = fs_->cluster_->fault_registry();
+    if (faults != nullptr &&
+        !faults->Check(fault::Site::kWriterCrash).ok()) {
+      // The writing process dies mid-fan-out: some members may already
+      // hold this packet, others not, and nobody commits. The lease
+      // expires and block recovery reconciles the divergent replicas.
+      dead_ = true;
+      return Status::IoError("writer of " + path_ + " crashed (injected)");
+    }
+    bytes_streamed_ += len;
+    std::vector<PlacedReplica> survivors;
+    survivors.reserve(members_.size());
+    for (const PlacedReplica& member : members_) {
+      Worker* worker = fs_->cluster_->worker(member.worker);
+      bool ok = worker != nullptr && !fs_->cluster_->IsStopped(member.worker);
+      if (ok && faults != nullptr &&
+          !faults->Check(fault::Site::kPipelineNodeCrash, member.worker)
+               .ok()) {
+        fs_->cluster_->StopWorker(member.worker);
+        ok = false;
+      }
+      if (ok) {
+        Status st = worker->WritePacket(member.medium, located_.block.id,
+                                        offset, packet, genstamp_);
+        if (!st.ok()) {
+          OCTO_LOG(Warn) << "packet at " << offset << " of block "
+                         << located_.block.id << " to medium "
+                         << member.medium << " failed: " << st.ToString();
+          ok = false;
+        }
+      }
+      if (ok) survivors.push_back(member);
+    }
+    if (survivors.size() == members_.size()) {
+      streamed_ = offset + len;
+      return Status::OK();
+    }
+    members_ = std::move(survivors);
+    OCTO_RETURN_IF_ERROR(RecoverPipeline());
+    // Retry the packet against the recovered pipeline (the survivors were
+    // truncated back to `offset`, so the resend starts clean).
+  }
+  return Status::IoError("packet at offset " + std::to_string(offset) +
+                         " of a block of " + path_ +
+                         " undeliverable after repeated pipeline recoveries");
+}
+
+Status FileWriter::RecoverPipeline() {
+  if (members_.empty()) {
+    return Status::IoError("every pipeline member for block " +
+                           std::to_string(located_.block.id) + " of " + path_ +
+                           " failed");
+  }
+  std::vector<MediumId> survivor_media;
+  survivor_media.reserve(members_.size());
+  for (const PlacedReplica& m : members_) survivor_media.push_back(m.medium);
+  OCTO_ASSIGN_OR_RETURN(
+      PipelineRecoveryResult recovery, fs_->CallMaster([&](Master* m) {
+        return m->RecoverPipeline(path_, fs_->client_name_, located_.block.id,
+                                  survivor_media, fs_->location_);
+      }));
+  // Truncate every survivor back to the acked offset under the new stamp
+  // (members that took the failed packet drop those bytes again). A
+  // survivor that fails recovery drops out of the pipeline.
+  std::vector<PlacedReplica> recovered;
+  for (const PlacedReplica& member : members_) {
+    Worker* worker = fs_->cluster_->worker(member.worker);
+    if (worker == nullptr || fs_->cluster_->IsStopped(member.worker)) continue;
+    Status st = worker->RecoverReplica(member.medium, located_.block.id,
+                                       streamed_, recovery.genstamp);
+    if (st.ok()) {
+      recovered.push_back(member);
+    } else {
+      OCTO_LOG(Warn) << "recovery of block " << located_.block.id
+                     << " replica on medium " << member.medium
+                     << " failed: " << st.ToString();
+    }
+  }
+  if (recovered.empty()) {
+    return Status::IoError("no pipeline member of block " +
+                           std::to_string(located_.block.id) +
+                           " survived recovery");
+  }
+  // Bootstrap the replacement from a survivor's acked prefix — the
+  // client never retransmits acked bytes.
+  if (recovery.has_replacement) {
+    const PlacedReplica& replacement = recovery.replacement;
+    Worker* worker = fs_->cluster_->worker(replacement.worker);
+    if (worker != nullptr && !fs_->cluster_->IsStopped(replacement.worker) &&
+        worker
+            ->OpenBlock(replacement.medium, located_.block.id,
+                        recovery.genstamp)
+            .ok()) {
+      bool bootstrapped = true;
+      if (streamed_ > 0) {
+        Worker* source = fs_->cluster_->worker(recovered.front().worker);
+        auto prefix = source->ReadForRecovery(recovered.front().medium,
+                                              located_.block.id);
+        bootstrapped =
+            prefix.ok() &&
+            worker
+                ->WritePacket(replacement.medium, located_.block.id, 0,
+                              *prefix, recovery.genstamp)
+                .ok();
+      }
+      if (bootstrapped) recovered.push_back(replacement);
+    }
+  }
+  members_ = std::move(recovered);
+  genstamp_ = recovery.genstamp;
+  ++pipeline_recoveries_;
+  return Status::OK();
+}
+
+Status FileWriter::FinishBlock() {
+  if (block_data_.empty()) return Status::OK();
+  // The finalize/commit retry: when every finalize fails or the
+  // allocation was lost across a master failover, re-stream the whole
+  // block against a fresh allocation (StreamTo retries pipeline-level
+  // failures internally). Replicas orphaned by a half-failed first
+  // attempt are reconciled away by block reports.
+  const int kMaxBlockAttempts = 2;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kMaxBlockAttempts; ++attempt) {
+    Status st = StreamTo(static_cast<int64_t>(block_data_.size()));
+    if (!st.ok()) {
+      if (dead_) return st;
+      last = st;
+      continue;
+    }
+    int64_t length = static_cast<int64_t>(block_data_.size());
     std::vector<MediumId> succeeded;
-    for (const PlacedReplica& replica : located.locations) {
-      Worker* worker = fs_->cluster_->worker(replica.worker);
-      if (worker == nullptr) continue;
-      if (fs_->cluster_->IsStopped(replica.worker)) {
-        OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
-                       << " skipping crashed worker " << replica.worker;
+    for (const PlacedReplica& member : members_) {
+      Worker* worker = fs_->cluster_->worker(member.worker);
+      if (worker == nullptr || fs_->cluster_->IsStopped(member.worker)) {
         continue;
       }
-      Status st = worker->WriteBlock(replica.medium, located.block.id, buffer_);
-      if (st.ok()) {
-        succeeded.push_back(replica.medium);
-      } else {
-        OCTO_LOG(Warn) << "pipeline write of block " << located.block.id
-                       << " to medium " << replica.medium
-                       << " failed: " << st.ToString();
+      if (worker->FinalizeBlock(member.medium, located_.block.id, genstamp_)
+              .ok()) {
+        succeeded.push_back(member.medium);
       }
     }
     if (succeeded.empty()) {
-      (void)fs_->CallMaster([&](Master* m) {
-        return m->AbandonBlock(path_, fs_->client_name_, located.block.id);
-      });
-      last = Status::IoError("every pipeline write of a block of " + path_ +
+      AbandonCurrent();
+      last = Status::IoError("every pipeline finalize of a block of " + path_ +
                              " failed");
       continue;
     }
-    int64_t length = static_cast<int64_t>(buffer_.size());
     Status commit = fs_->CallMaster([&](Master* m) {
-      return m->CommitBlock(path_, fs_->client_name_, located.block.id, length,
-                            succeeded);
+      return m->CommitBlock(path_, fs_->client_name_, located_.block.id,
+                            length, succeeded, genstamp_);
     });
     if (commit.IsNotFound()) {
       // The allocation did not survive a failover (AddBlock is not
       // journaled; only committed blocks reach the backup). The written
       // replicas are orphans; retry against the promoted master.
+      pipeline_open_ = false;
+      streamed_ = 0;
+      members_.clear();
       last = commit;
       continue;
     }
     OCTO_RETURN_IF_ERROR(commit);
     bytes_written_ += length;
-    buffer_.clear();
+    block_data_.clear();
+    pipeline_open_ = false;
+    streamed_ = 0;
+    members_.clear();
     return Status::OK();
   }
   return last;
@@ -221,7 +425,12 @@ Status FileWriter::FlushBlock() {
 
 Status FileWriter::Close() {
   if (closed_) return Status::OK();
-  OCTO_RETURN_IF_ERROR(FlushBlock());
+  if (dead_) {
+    return Status::FailedPrecondition(
+        path_ + ": writer failed; its lease must expire so block recovery "
+                "can reconcile the tail block");
+  }
+  OCTO_RETURN_IF_ERROR(FinishBlock());
   closed_ = true;
   return fs_->CallMaster(
       [&](Master* m) { return m->CompleteFile(path_, fs_->client_name_); });
@@ -245,6 +454,26 @@ bool FileReader::TryReadBlock(const LocatedBlock& located) {
     // A crashed worker's replica is unreachable, not bad: skip it
     // without a report and let liveness tracking handle the worker.
     if (fs_->cluster_->IsStopped(replica.worker)) continue;
+    auto info = worker->GetReplicaInfo(replica.medium, located.block.id);
+    if (info.ok() &&
+        ((located.block.genstamp != 0 &&
+          info->genstamp != located.block.genstamp) ||
+         info->state != ReplicaState::kFinalized)) {
+      // Stale generation stamp (the replica missed a pipeline recovery)
+      // or still under construction: never serve it. Report staleness so
+      // the Master invalidates the fenced replica.
+      OCTO_LOG(Warn) << "replica of block " << located.block.id << " on "
+                     << replica.medium << " is stale (genstamp "
+                     << info->genstamp << " vs " << located.block.genstamp
+                     << "): skipping";
+      if (located.block.genstamp != 0 &&
+          info->genstamp != located.block.genstamp) {
+        (void)fs_->CallMaster([&](Master* m) {
+          return m->ReportBadBlock(located.block.id, replica.medium);
+        });
+      }
+      continue;
+    }
     auto data = worker->ReadBlock(replica.medium, located.block.id);
     if (data.ok()) {
       if (static_cast<int64_t>(data->size()) != located.block.length) {

@@ -187,11 +187,13 @@ class FileSystem {
   RetryWaiter retry_waiter_;
 };
 
-/// Streaming writer: buffers to the block size, then obtains locations
-/// from the Master and pushes the block through the worker pipeline
-/// (paper §3.1). Media whose writes fail are dropped from the pipeline;
-/// the block commits with the successful subset and the replication
-/// monitor tops it up later.
+/// Streaming writer (paper §3.1, HDFS-style): bytes are cut into packets
+/// and pushed to every pipeline replica as they accumulate. A mid-block
+/// member failure triggers pipeline recovery: the Master issues a fresh
+/// generation stamp (fencing the failed member's replica as stale), the
+/// survivors are truncated to the acked offset, a replacement member is
+/// bootstrapped from a survivor's prefix, and streaming resumes where it
+/// left off — acked bytes are never retransmitted by the client.
 class FileWriter {
  public:
   ~FileWriter();
@@ -201,25 +203,70 @@ class FileWriter {
 
   Status Write(std::string_view data);
 
+  /// Pushes all buffered bytes to every live pipeline replica without
+  /// committing the block (the HDFS hflush): once it returns, the bytes
+  /// survive any pipeline member crash — block recovery keeps the common
+  /// acked prefix even if this writer never gets to commit.
+  Status Hflush();
+
   /// Flushes the final partial block and completes the file.
   Status Close();
 
   int64_t bytes_written() const { return bytes_written_; }
   bool closed() const { return closed_; }
+  /// Packet payload bytes pushed into the pipeline, retransmissions
+  /// included (recovery resumes from the acked offset, so this exceeds
+  /// bytes_written by less than a block after a mid-block recovery).
+  int64_t bytes_streamed() const { return bytes_streamed_; }
+  /// Mid-block pipeline recoveries this writer performed.
+  int pipeline_recoveries() const { return pipeline_recoveries_; }
 
  private:
   friend class FileSystem;
+
+  /// Pipeline packet size (HDFS dfs.client-write-packet-size).
+  static constexpr int64_t kPacketSize = 64 * 1024;
+
   FileWriter(FileSystem* fs, std::string path, int64_t block_size)
       : fs_(fs), path_(std::move(path)), block_size_(block_size) {}
 
-  Status FlushBlock();
+  /// Allocates the next block and opens an RBW replica on every placed
+  /// medium.
+  Status EnsurePipeline();
+  /// Abandons the current allocation (if any) and resets streaming state
+  /// so the whole block can be retried against a fresh pipeline.
+  void AbandonCurrent();
+  /// Streams block_data_[streamed_, upto) through the pipeline in
+  /// packets. When the entire pipeline is lost (or the allocation dies
+  /// with a master), abandons the block and re-streams from scratch —
+  /// block_data_ holds every byte of the block under construction.
+  Status StreamTo(int64_t upto);
+  /// One packet fan-out, with recovery and retry on member failure.
+  Status SendPacket(int64_t offset, int64_t len);
+  /// Master-coordinated recovery after pipeline members dropped out.
+  Status RecoverPipeline();
+  /// Finalizes the replicas and commits the block.
+  Status FinishBlock();
 
   FileSystem* fs_;
   std::string path_;
   int64_t block_size_;
-  std::string buffer_;
+  /// Bytes of the block under construction (kept whole so the block can
+  /// be re-streamed from scratch if its allocation dies with a master).
+  std::string block_data_;
+  /// Prefix of block_data_ acked by every live pipeline member.
+  int64_t streamed_ = 0;
+  LocatedBlock located_;
+  std::vector<PlacedReplica> members_;  // live pipeline members
+  uint64_t genstamp_ = 0;
+  bool pipeline_open_ = false;
   int64_t bytes_written_ = 0;
+  int64_t bytes_streamed_ = 0;
+  int pipeline_recoveries_ = 0;
   bool closed_ = false;
+  /// Unrecoverable (every member lost, or an injected writer crash):
+  /// the lease must expire and block recovery reconcile the tail.
+  bool dead_ = false;
 };
 
 /// Streaming reader with replica failover: replicas are tried in the

@@ -17,6 +17,9 @@ Status BackupMaster::Sync() {
   OCTO_RETURN_IF_ERROR(EditLog::Replay(entries, synced_, mirror_.get(), &info));
   synced_ = static_cast<int64_t>(entries.size());
   if (info.max_epoch > epoch_floor_) epoch_floor_ = info.max_epoch;
+  if (info.max_genstamp > genstamp_floor_) {
+    genstamp_floor_ = info.max_genstamp;
+  }
   return Status::OK();
 }
 
@@ -26,6 +29,7 @@ Status BackupMaster::Bootstrap() {
       static_cast<int64_t>(primary_->edit_log()->entries().size());
   synced_ = checkpoint_offset_;
   epoch_floor_ = primary_->epoch();
+  genstamp_floor_ = primary_->current_genstamp();
   mirror_ = std::make_unique<NamespaceTree>(clock_);
   OCTO_RETURN_IF_ERROR(FsImage::Deserialize(checkpoint_, mirror_.get()));
   primary_->edit_log()->MarkCheckpointed(checkpoint_offset_);
@@ -58,6 +62,7 @@ Result<std::unique_ptr<Master>> BackupMaster::TakeOver(MasterOptions options,
   // dead primary ever stamped, whether that epoch reached the replayed
   // tail or was folded into the checkpoint.
   master->NoteEpochFloor(epoch_floor_);
+  master->NoteGenstampFloor(genstamp_floor_);
   master->BumpEpoch();
   return master;
 }

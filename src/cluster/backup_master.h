@@ -47,6 +47,9 @@ class BackupMaster {
   /// Highest master epoch folded into the checkpoint or synced from the
   /// log — the promoted master must fence above this.
   uint64_t epoch_floor() const { return epoch_floor_; }
+  /// Highest generation stamp folded into the checkpoint or synced from
+  /// the log — the promoted master's allocator resumes above this.
+  uint64_t genstamp_floor() const { return genstamp_floor_; }
 
   const NamespaceTree& mirror() const { return *mirror_; }
 
@@ -64,6 +67,7 @@ class BackupMaster {
   std::string checkpoint_;
   int64_t checkpoint_offset_ = 0;
   uint64_t epoch_floor_ = 0;
+  uint64_t genstamp_floor_ = 0;
 };
 
 }  // namespace octo

@@ -18,6 +18,10 @@ struct BlockRecord {
   BlockId id = kInvalidBlock;
   std::string file;  // owning file path (for diagnostics/invalidation)
   int64_t length = 0;
+  /// The block's current generation stamp. A reported replica carrying
+  /// an older genstamp is stale: never adopted into `locations`, never
+  /// used as a re-replication source, and queued for invalidation.
+  uint64_t genstamp = 0;
   ReplicationVector expected;  // the owning file's replication vector
   std::vector<MediumId> locations;
 };

@@ -215,10 +215,18 @@ Result<int> Cluster::ExecuteCommands(
               stopped_.count(source_worker->id()) > 0) {
             continue;
           }
+          // Never replicate from a stale replica: one that missed a
+          // recovery carries an older generation stamp than the command
+          // and may hold bytes the recovery truncated away.
+          if (cmd.genstamp != 0) {
+            auto info = source_worker->GetReplicaInfo(source, cmd.block);
+            if (!info.ok() || info->genstamp != cmd.genstamp) continue;
+          }
           auto data = source_worker->ReadBlock(source, cmd.block);
           if (!data.ok()) continue;
           Status st = target->WriteBlock(cmd.target_medium, cmd.block,
-                                         std::move(data).value());
+                                         std::move(data).value(),
+                                         cmd.genstamp);
           if (!st.ok()) break;
           if (master_ != nullptr) {
             OCTO_RETURN_IF_ERROR(
@@ -239,6 +247,50 @@ Result<int> Cluster::ExecuteCommands(
         if (master_ != nullptr) {
           (void)master_->AckCommand(target->id(), cmd.id);
         }
+        break;
+      }
+      case WorkerCommand::Kind::kRecoverBlock: {
+        // This worker is the recovery primary (HDFS: the DataNode leading
+        // block recovery). It may crash before reconciling anything — the
+        // master's recovery lease then expires and a new primary is
+        // picked from the remaining survivors.
+        if (faults_ != nullptr &&
+            !faults_->Check(fault::Site::kRecoveryPrimaryCrash, target->id())
+                 .ok()) {
+          StopWorker(target->id());
+          return executed;
+        }
+        // Survivors may hold different lengths (the writer's crash cut
+        // the pipeline mid-packet); only the common prefix is known good.
+        int64_t min_len = -1;
+        std::vector<std::pair<Worker*, MediumId>> holders;
+        for (MediumId m : cmd.sources) {
+          Worker* holder = WorkerForMedium(m);
+          if (holder == nullptr || stopped_.count(holder->id()) > 0) continue;
+          auto info = holder->GetReplicaInfo(m, cmd.block);
+          if (!info.ok()) continue;
+          holders.push_back({holder, m});
+          if (min_len < 0 || info->length < min_len) min_len = info->length;
+        }
+        std::vector<MediumId> good;
+        for (auto& [holder, m] : holders) {
+          Status st = holder->RecoverReplica(m, cmd.block, min_len,
+                                             cmd.genstamp);
+          if (st.ok()) st = holder->FinalizeBlock(m, cmd.block, cmd.genstamp);
+          if (st.ok()) good.push_back(m);
+        }
+        if (master_ != nullptr) {
+          Status st = master_->CommitBlockSynchronization(
+              cmd.block, cmd.genstamp, good.empty() ? 0 : min_len, good);
+          // NotFound / FailedPrecondition: the block was already committed
+          // or a newer recovery round superseded this one — drop the
+          // command, don't fail the pump.
+          if (!st.ok() && !st.IsNotFound() && !st.IsFailedPrecondition()) {
+            return st;
+          }
+          (void)master_->AckCommand(target->id(), cmd.id);
+        }
+        ++executed;
         break;
       }
     }

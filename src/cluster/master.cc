@@ -155,6 +155,13 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
     OCTO_RETURN_IF_ERROR(state_.UpdateMediumStats(
         stats.medium, stats.remaining_bytes, m->nr_connections));
   }
+  // Media whose device died (I/O errors): drop their replicas and
+  // re-replicate from the surviving copies.
+  for (MediumId medium : hb.failed_media) {
+    const MediumInfo* m = state_.FindMedium(medium);
+    if (m == nullptr || m->worker != hb.worker) continue;
+    HandleFailedMedium(medium);
+  }
   // Corrupt replicas found by the worker's scrubber ride the heartbeat
   // (the DataNode's bad-block report). NotFound is fine: the replica may
   // already have been dropped via a client read report or RunScrubber.
@@ -164,14 +171,17 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
       if (!st.ok() && !st.IsNotFound()) return st;
     }
   }
-  // Lease reaping piggy-backs on heartbeat processing: expired writers'
-  // files are force-completed so their blocks become readable. Skipped in
-  // safe mode: reconstructed leases must not expire while the cluster is
-  // still re-assembling its block map.
+  // Lease reaping piggy-backs on heartbeat processing: an expired
+  // writer's file enters lease recovery — a recovery primary reconciles
+  // the divergent tail-block replicas before the file is completed (the
+  // HDFS recoverLease path). Trusting the writer's last claim instead
+  // would register whatever length it happened to report, even when the
+  // surviving replicas disagree. Skipped in safe mode: reconstructed
+  // leases must not expire while the cluster is still re-assembling its
+  // block map.
   if (!safe_mode_) {
     for (const std::string& path : leases_.ReapExpired()) {
-      Status st = tree_->CompleteFile(path);
-      if (st.ok()) log_->LogComplete(path);
+      StartLeaseRecovery(path);
     }
   }
   // Deliver undelivered commands, and redeliver any whose previous
@@ -232,30 +242,48 @@ Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report,
                                      " does not belong to worker " +
                                      std::to_string(worker));
     }
-    std::set<BlockId> reported(blocks.begin(), blocks.end());
+    std::set<BlockId> reported;
     // Unknown replicas are orphans -> invalidate. Known but unregistered
-    // replicas (e.g. after master recovery) are adopted.
-    for (BlockId b : reported) {
-      const BlockRecord* record = blocks_.Find(b);
-      if (record == nullptr) {
+    // replicas (e.g. after master recovery) are adopted — but only when
+    // they carry the record's generation stamp and length and are
+    // finalized; anything else missed a recovery and is stale.
+    for (const ReplicaDescriptor& r : blocks) {
+      reported.insert(r.block);
+      // Under-construction blocks are the writer's business: their RBW
+      // replicas are neither adopted nor invalidated until the block is
+      // committed or recovered.
+      if (pending_blocks_.count(r.block) > 0) continue;
+      const BlockRecord* record = blocks_.Find(r.block);
+      bool orphan = record == nullptr;
+      bool stale = !orphan && !(r.finalized && r.genstamp == record->genstamp &&
+                                r.length == record->length);
+      if (orphan || stale) {
+        if (stale &&
+            std::find(record->locations.begin(), record->locations.end(),
+                      medium) != record->locations.end()) {
+          OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(r.block, medium));
+          (void)state_.AdjustMediumRemaining(medium, record->length);
+        }
         if (safe_mode_) {
           // The namespace may still be mid-reconstruction; destroying
           // bytes now could orphan the only copy of a block a later edit
           // replay or report legitimizes. Defer until safe-mode exit.
-          deferred_orphans_.insert({medium, b});
+          // (Stale replicas never re-legitimize, but deferring their
+          // invalidation too is harmless.)
+          deferred_orphans_.insert({medium, r.block});
           continue;
         }
         WorkerCommand cmd;
         cmd.kind = WorkerCommand::Kind::kDeleteReplica;
-        cmd.block = b;
+        cmd.block = r.block;
         cmd.target_medium = medium;
         QueueCommand(medium, std::move(cmd));
         continue;
       }
       if (std::find(record->locations.begin(), record->locations.end(),
                     medium) == record->locations.end()) {
-        OCTO_RETURN_IF_ERROR(blocks_.AddReplica(b, medium));
-        inflight_copies_.erase({b, medium});
+        OCTO_RETURN_IF_ERROR(blocks_.AddReplica(r.block, medium));
+        inflight_copies_.erase({r.block, medium});
       }
     }
     // Replicas the map believes are here but the worker no longer has.
@@ -492,9 +520,12 @@ Result<LocatedBlock> Master::AddBlock(const std::string& path,
   OCTO_ASSIGN_OR_RETURN(std::vector<MediumId> media,
                         placement_->PlaceReplicas(state_, request, &rng_));
   BlockId id = blocks_.NextBlockId();
-  pending_blocks_[id] = PendingBlock{path, media};
+  // Every block is born under a fresh generation stamp; pipeline and
+  // lease recovery bump it to fence off writers that missed the recovery.
+  uint64_t genstamp = NextGenstamp();
+  pending_blocks_[id] = PendingBlock{path, media, genstamp};
   LocatedBlock located;
-  located.block = BlockInfo{id, 0};
+  located.block = BlockInfo{id, 0, genstamp};
   located.offset = status.length;
   located.locations.reserve(media.size());
   for (MediumId m : media) located.locations.push_back(MakePlacedReplica(m));
@@ -514,7 +545,8 @@ Status Master::AbandonBlock(const std::string& path,
 Status Master::CommitBlock(const std::string& path,
                            const std::string& lease_holder, BlockId block,
                            int64_t length,
-                           const std::vector<MediumId>& succeeded) {
+                           const std::vector<MediumId>& succeeded,
+                           uint64_t genstamp) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("commitBlock"));
   OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
   if (holder != lease_holder) {
@@ -529,26 +561,235 @@ Status Master::CommitBlock(const std::string& path,
     return Status::InvalidArgument("block " + std::to_string(block) +
                                    " belongs to " + pending->second.file);
   }
+  if (genstamp != 0 && genstamp != pending->second.genstamp) {
+    // The block was recovered past this writer (its lease expired, or a
+    // concurrent recovery restamped the replicas): its view of the bytes
+    // no longer matches what lives on the workers.
+    return Status::FailedPrecondition(
+        "commit of block " + std::to_string(block) + " under stamp " +
+        std::to_string(genstamp) + " fenced off (current " +
+        std::to_string(pending->second.genstamp) + ")");
+  }
   if (succeeded.empty()) {
     return Status::IoError("no replica of block " + std::to_string(block) +
                            " was written");
   }
   OCTO_ASSIGN_OR_RETURN(FileStatus status,
                         tree_->GetFileStatus(path, kSuperuser));
+  BlockInfo info{block, length, pending->second.genstamp};
   BlockRecord record;
   record.id = block;
   record.file = path;
   record.length = length;
+  record.genstamp = info.genstamp;
   record.expected = status.rep_vector;
   record.locations = succeeded;
-  OCTO_RETURN_IF_ERROR(tree_->AddBlock(path, BlockInfo{block, length}));
-  log_->LogAddBlock(path, BlockInfo{block, length});
+  OCTO_RETURN_IF_ERROR(tree_->AddBlock(path, info));
+  log_->LogAddBlock(path, info);
   OCTO_RETURN_IF_ERROR(blocks_.AddBlock(std::move(record)));
   for (MediumId medium : succeeded) {
     (void)state_.AdjustMediumRemaining(medium, -length);
   }
   pending_blocks_.erase(pending);
   return Status::OK();
+}
+
+Result<PipelineRecoveryResult> Master::RecoverPipeline(
+    const std::string& path, const std::string& lease_holder, BlockId block,
+    const std::vector<MediumId>& survivors, const NetworkLocation& client) {
+  OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("recoverPipeline"));
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  if (holder != lease_holder) {
+    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  }
+  OCTO_RETURN_IF_ERROR(leases_.Renew(path, lease_holder));
+  auto pending = pending_blocks_.find(block);
+  if (pending == pending_blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " was not allocated");
+  }
+  if (pending->second.file != path) {
+    return Status::InvalidArgument("block " + std::to_string(block) +
+                                   " belongs to " + pending->second.file);
+  }
+  if (survivors.empty()) {
+    return Status::InvalidArgument(
+        "pipeline recovery of block " + std::to_string(block) +
+        " with no survivors; abandon the block instead");
+  }
+  PipelineRecoveryResult result;
+  result.genstamp = NextGenstamp();
+  pending->second.genstamp = result.genstamp;
+  pending->second.targets = survivors;
+  // Try to restore the pipeline's width with a replacement medium; the
+  // block still completes (under-replicated) when placement cannot.
+  PlacementRequest request;
+  request.client = client;
+  request.rep_vector.Set(kUnspecifiedTier, 1);
+  auto status = tree_->GetFileStatus(path, kSuperuser);
+  request.block_size = status.ok() ? status->block_size : 0;
+  request.existing = survivors;
+  auto placed = placement_->PlaceReplicas(state_, request, &rng_);
+  if (placed.ok() && !placed->empty()) {
+    MediumId target = placed->front();
+    pending->second.targets.push_back(target);
+    result.has_replacement = true;
+    result.replacement = MakePlacedReplica(target);
+  }
+  return result;
+}
+
+Status Master::CommitBlockSynchronization(
+    BlockId block, uint64_t genstamp, int64_t length,
+    const std::vector<MediumId>& good_media) {
+  auto pending = pending_blocks_.find(block);
+  if (pending == pending_blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " is not awaiting recovery");
+  }
+  if (genstamp != pending->second.genstamp) {
+    // A newer recovery round superseded the one this callback belongs to.
+    return Status::FailedPrecondition(
+        "recovery of block " + std::to_string(block) + " under stamp " +
+        std::to_string(genstamp) + " superseded (current " +
+        std::to_string(pending->second.genstamp) + ")");
+  }
+  const std::string path = pending->second.file;
+  auto status = tree_->GetFileStatus(path, kSuperuser);
+  if (!status.ok()) {
+    // The file vanished (deleted) while recovery ran; the leftover
+    // replicas are orphans and block reports will scrub them.
+    pending_blocks_.erase(block);
+    return Status::OK();
+  }
+  if (!good_media.empty() && length > 0) {
+    BlockInfo info{block, length, genstamp};
+    BlockRecord record;
+    record.id = block;
+    record.file = path;
+    record.length = length;
+    record.genstamp = genstamp;
+    record.expected = status->rep_vector;
+    record.locations = good_media;
+    OCTO_RETURN_IF_ERROR(tree_->AddBlock(path, info));
+    log_->LogAddBlock(path, info);
+    OCTO_RETURN_IF_ERROR(blocks_.AddBlock(std::move(record)));
+    for (MediumId medium : good_media) {
+      (void)state_.AdjustMediumRemaining(medium, -length);
+    }
+  }
+  // With no good replica (or zero reconciled bytes) the tail block is
+  // dropped: the file closes at its last committed length, and the empty
+  // leftover replicas are scrubbed as orphans by later block reports.
+  pending_blocks_.erase(block);
+  OCTO_RETURN_IF_ERROR(tree_->CompleteFile(path));
+  log_->LogComplete(path);
+  leases_.Remove(path);
+  return Status::OK();
+}
+
+void Master::StartLeaseRecovery(const std::string& path) {
+  // Locate the file's under-construction tail block (writers allocate one
+  // block at a time, so there is at most one).
+  BlockId block = kInvalidBlock;
+  PendingBlock* pending = nullptr;
+  for (auto& [id, pb] : pending_blocks_) {
+    if (pb.file == path) {
+      block = id;
+      pending = &pb;
+      break;
+    }
+  }
+  if (pending == nullptr) {
+    // No tail block in flight: the committed prefix is all there is.
+    Status st = tree_->CompleteFile(path);
+    if (st.ok()) log_->LogComplete(path);
+    return;
+  }
+  std::vector<MediumId> live;
+  for (MediumId m : pending->targets) {
+    if (state_.MediumLive(m)) live.push_back(m);
+  }
+  if (live.empty()) {
+    // Every replica of the tail is gone; nothing to reconcile.
+    pending_blocks_.erase(block);
+    Status st = tree_->CompleteFile(path);
+    if (st.ok()) log_->LogComplete(path);
+    return;
+  }
+  // Fence the (possibly still running) writer and any stale recovery
+  // round, then dispatch a recovery primary. The file completes when the
+  // primary reports back via CommitBlockSynchronization.
+  uint64_t genstamp = NextGenstamp();
+  pending->genstamp = genstamp;
+  pending->targets = live;
+  for (auto& [worker, commands] : command_queues_) {
+    commands.erase(
+        std::remove_if(commands.begin(), commands.end(),
+                       [&](const QueuedCommand& queued) {
+                         return queued.command.kind ==
+                                    WorkerCommand::Kind::kRecoverBlock &&
+                                queued.command.block == block;
+                       }),
+        commands.end());
+  }
+  WorkerCommand cmd;
+  cmd.kind = WorkerCommand::Kind::kRecoverBlock;
+  cmd.block = block;
+  cmd.target_medium = live.front();
+  cmd.sources = live;
+  cmd.genstamp = genstamp;
+  QueueCommand(live.front(), std::move(cmd));
+  // Hold the lease under a synthetic recovery holder: if the primary
+  // crashes before reporting back, this lease expires too and recovery
+  // restarts with the then-live survivors and a fresh stamp.
+  OCTO_CHECK_OK(leases_.Acquire(path, "block-recovery"));
+}
+
+void Master::HandleFailedMedium(MediumId medium) {
+  const MediumInfo* m = state_.FindMedium(medium);
+  if (m == nullptr || m->failed) return;  // unknown or already handled
+  OCTO_LOG(Warn) << "medium " << medium << " on worker " << m->worker
+                 << " reported failed";
+  OCTO_CHECK_OK(state_.SetMediumFailed(medium, true));
+  // Commands targeting the dead device will never execute; copies to it
+  // release their in-flight bookkeeping (like a dead worker's queue).
+  auto queue = command_queues_.find(m->worker);
+  if (queue != command_queues_.end()) {
+    std::vector<QueuedCommand> dropped;
+    auto& commands = queue->second;
+    for (auto it = commands.begin(); it != commands.end();) {
+      if (it->command.target_medium == medium) {
+        dropped.push_back(*it);
+        it = commands.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (commands.empty()) command_queues_.erase(queue);
+    for (const QueuedCommand& queued : dropped) {
+      if (queued.command.kind == WorkerCommand::Kind::kCopyReplica) {
+        AbortInflightCopy(queued.command.block, queued.command.target_medium);
+      }
+    }
+  }
+  // Already-delivered copies to the medium can never confirm either.
+  std::vector<BlockId> inflight;
+  for (const auto& [key, when] : inflight_copies_) {
+    if (key.second == medium) inflight.push_back(key.first);
+  }
+  for (BlockId b : inflight) AbortInflightCopy(b, medium);
+  if (safe_mode_) return;  // replicas were never adopted; nothing to drop
+  // Drop its replicas — without queueing invalidations, the device being
+  // unable to execute them — and repair from the surviving copies.
+  std::vector<BlockId> blocks = blocks_.BlocksOnMedium(medium);
+  for (BlockId b : blocks) {
+    OCTO_CHECK_OK(blocks_.RemoveReplica(b, medium));
+  }
+  for (BlockId b : blocks) {
+    const BlockRecord* record = blocks_.Find(b);
+    if (record != nullptr) ReconcileBlock(*record);
+  }
 }
 
 Status Master::CompleteFile(const std::string& path,
@@ -758,6 +999,7 @@ int Master::ReconcileBlock(const BlockRecord& record) {
     cmd.kind = WorkerCommand::Kind::kCopyReplica;
     cmd.block = record.id;
     cmd.target_medium = target;
+    cmd.genstamp = record.genstamp;
     // The receiving worker copies from the most efficient source
     // (paper §5: the new host "will utilize the data retrieval policy").
     const MediumInfo* target_info = state_.FindMedium(target);
@@ -924,6 +1166,7 @@ Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
   cmd.kind = WorkerCommand::Kind::kCopyReplica;
   cmd.block = block;
   cmd.target_medium = target;
+  cmd.genstamp = record->genstamp;
   const MediumInfo* target_info = state_.FindMedium(target);
   cmd.sources = retrieval_->OrderReplicas(
       state_,
@@ -965,6 +1208,9 @@ Status Master::LoadImage(const std::string& image,
       EditLog::Replay(edit_entries, edits_from, tree.get(), &replay_info));
   tree_ = std::move(tree);
   if (replay_info.max_epoch > epoch_) epoch_ = replay_info.max_epoch;
+  if (replay_info.max_genstamp > genstamp_) {
+    genstamp_ = replay_info.max_genstamp;
+  }
   // Rebuild block records from the namespace; replica locations repopulate
   // from worker block reports. Files still under construction get their
   // write lease re-acquired (journaled holder when available, a synthetic
@@ -981,7 +1227,11 @@ Status Master::LoadImage(const std::string& image,
       record.id = info.id;
       record.file = e.status.path;
       record.length = info.length;
+      record.genstamp = info.genstamp;
       record.expected = e.status.rep_vector;
+      // The allocator must clear every stamp in use, even ones whose
+      // GENSTAMP record was folded into the checkpoint.
+      if (info.genstamp > genstamp_) genstamp_ = info.genstamp;
       Status st = blocks_.AddBlock(std::move(record));
       if (!st.ok()) status = st;
     }
@@ -1015,6 +1265,16 @@ void Master::NoteEpochFloor(uint64_t floor) {
 void Master::BumpEpoch() {
   ++epoch_;
   log_->LogEpoch(epoch_);
+}
+
+void Master::NoteGenstampFloor(uint64_t floor) {
+  if (floor > genstamp_) genstamp_ = floor;
+}
+
+uint64_t Master::NextGenstamp() {
+  ++genstamp_;
+  log_->LogGenstamp(genstamp_);
+  return genstamp_;
 }
 
 Status Master::CheckNotInSafeMode(const char* op) const {

@@ -27,6 +27,17 @@
 
 namespace octo {
 
+/// Outcome of a pipeline-recovery request (mid-write failure handling):
+/// the surviving replicas must be truncated to the writer's acked offset
+/// and restamped with `genstamp` before streaming resumes. When the
+/// placement policy can supply a replacement for the failed pipeline
+/// member, `replacement` names it.
+struct PipelineRecoveryResult {
+  uint64_t genstamp = 0;
+  bool has_replacement = false;
+  PlacedReplica replacement;
+};
+
 struct MasterOptions {
   /// Single-writer lease duration for files under construction.
   int64_t lease_duration_micros = 60 * kMicrosPerSecond;
@@ -174,10 +185,37 @@ class Master {
 
   /// Confirms a block: `succeeded` lists the media whose pipeline writes
   /// completed (possibly fewer than requested; the replication monitor
-  /// tops the block up later).
+  /// tops the block up later). `genstamp` is the stamp the client wrote
+  /// the replicas under; a mismatch with the block's current pending
+  /// stamp means the commit comes from a fenced-off (recovered-past)
+  /// writer and is rejected. 0 = legacy caller, accept the pending stamp.
   Status CommitBlock(const std::string& path, const std::string& lease_holder,
                      BlockId block, int64_t length,
-                     const std::vector<MediumId>& succeeded);
+                     const std::vector<MediumId>& succeeded,
+                     uint64_t genstamp = 0);
+
+  /// Mid-write pipeline failure (HDFS updateBlockForPipeline +
+  /// getAdditionalDatanode): allocates a fresh generation stamp for the
+  /// under-construction block, narrows its pending targets to `survivors`,
+  /// and tries to place one replacement medium. The caller truncates the
+  /// survivors to its acked offset, restamps them, bootstraps the
+  /// replacement from a survivor, and resumes streaming — replicas left on
+  /// the failed member keep the old stamp and are invalidated as stale.
+  Result<PipelineRecoveryResult> RecoverPipeline(
+      const std::string& path, const std::string& lease_holder, BlockId block,
+      const std::vector<MediumId>& survivors, const NetworkLocation& client);
+
+  /// Completion callback of a kRecoverBlock command (HDFS
+  /// commitBlockSynchronization): the recovery primary reconciled the
+  /// surviving replicas of an abandoned under-construction block to
+  /// `length` bytes under `genstamp`. Registers the block with the
+  /// reconciled length and closes the file. With no good replicas the
+  /// tail block is dropped and the file closes at its committed length.
+  /// Stale attempts (stamp no longer pending) are rejected with
+  /// FailedPrecondition.
+  Status CommitBlockSynchronization(BlockId block, uint64_t genstamp,
+                                    int64_t length,
+                                    const std::vector<MediumId>& good_media);
 
   Status CompleteFile(const std::string& path,
                       const std::string& lease_holder);
@@ -257,6 +295,13 @@ class Master {
   /// reject anything issued before this call.
   void BumpEpoch();
 
+  /// Highest generation stamp this master has allocated (0 = none yet).
+  uint64_t current_genstamp() const { return genstamp_; }
+  /// Raises the generation-stamp allocator to at least `floor` (stamps
+  /// folded into a checkpoint, carried by the backup's metadata), so a
+  /// promoted master never re-issues a stamp its predecessor used.
+  void NoteGenstampFloor(uint64_t floor);
+
   bool in_safe_mode() const { return safe_mode_; }
   /// Fraction of the block population known at safe-mode entry that has
   /// at least one reported replica (1.0 outside safe mode).
@@ -292,6 +337,10 @@ class Master {
   struct PendingBlock {
     std::string file;
     std::vector<MediumId> targets;
+    /// Generation stamp the block is currently being written under;
+    /// bumped by pipeline recovery and lease recovery to fence off
+    /// writers that missed the recovery.
+    uint64_t genstamp = 0;
   };
 
   void QueueCommand(MediumId target_medium, WorkerCommand command);
@@ -315,6 +364,18 @@ class Master {
   /// Queues deletions for orphans deferred during safe mode and records
   /// blocks that ended reconstruction with no replica at all.
   void LeaveSafeMode();
+  /// Allocates the next generation stamp and journals it.
+  uint64_t NextGenstamp();
+  /// Lease expiry on a file with an under-construction tail block: picks
+  /// a recovery primary among the live pending targets and dispatches a
+  /// kRecoverBlock command (the file closes when the primary calls back
+  /// via CommitBlockSynchronization). Files with no pending block — or no
+  /// live replica of it — are force-completed immediately.
+  void StartLeaseRecovery(const std::string& path);
+  /// A worker reported this medium's device dead: takes it out of the
+  /// live indexes, drops its replicas (no invalidation commands — the
+  /// disk is gone), aborts copies targeting it, and re-replicates.
+  void HandleFailedMedium(MediumId medium);
 
   MasterOptions options_;
   Clock* clock_;
@@ -352,6 +413,9 @@ class Master {
   /// Fencing epoch stamped on every issued command and checked against
   /// heartbeats/reports. 1 on a fresh master; bumped at takeover.
   uint64_t epoch_ = 1;
+  /// Monotonic generation-stamp allocator (HDFS generation stamps); every
+  /// allocation is journaled so the counter survives checkpoint/replay.
+  uint64_t genstamp_ = 0;
   /// Post-takeover reconstruction state (HDFS-style safe mode).
   bool safe_mode_ = false;
   int64_t safe_mode_block_target_ = 0;

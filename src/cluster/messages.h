@@ -31,6 +31,9 @@ struct HeartbeatPayload {
   /// Corrupt replicas found by the worker's background scrubber since the
   /// last successfully processed heartbeat, as (medium, block) pairs.
   std::vector<std::pair<MediumId, BlockId>> bad_replicas;
+  /// Media on this worker whose device has failed (every I/O errors).
+  /// The master drops their replicas and re-replicates elsewhere.
+  std::vector<MediumId> failed_media;
 };
 
 /// Replication/invalidations work the master hands a worker in its
@@ -41,8 +44,16 @@ struct WorkerCommand {
     kDeleteReplica,
     /// Create a replica of `block` on `target_medium`, copying from the
     /// first reachable entry of `sources` (already ordered best-first by
-    /// the retrieval policy, paper §5).
+    /// the retrieval policy, paper §5). `genstamp` is the block record's
+    /// generation stamp; stale sources are skipped.
     kCopyReplica,
+    /// Block recovery (the commitBlockSynchronization analogue): the
+    /// worker owning `target_medium` acts as recovery primary. It asks
+    /// every replica holder in `sources` for its replica length,
+    /// truncates all of them to the minimum, re-stamps them with the
+    /// recovery `genstamp`, finalizes them, and reports the outcome via
+    /// Master::CommitBlockSynchronization.
+    kRecoverBlock,
   };
 
   Kind kind = Kind::kDeleteReplica;
@@ -58,6 +69,9 @@ struct WorkerCommand {
   BlockId block = kInvalidBlock;
   MediumId target_medium = kInvalidMedium;
   std::vector<MediumId> sources;
+  /// kCopyReplica: the genstamp the copied replica must carry.
+  /// kRecoverBlock: the recovery genstamp to stamp survivors with.
+  uint64_t genstamp = 0;
 };
 
 /// One replica location handed to clients: which medium/worker/tier hosts
@@ -78,8 +92,22 @@ struct LocatedBlock {
   std::vector<PlacedReplica> locations;
 };
 
-/// A worker's full block report: medium -> blocks it currently stores.
-using BlockReport = std::map<MediumId, std::vector<BlockId>>;
+/// One replica as a worker reports it: identity plus the generation
+/// stamp, length, and whether the replica has been finalized. The master
+/// compares (genstamp, length, finalized) against its block record to
+/// decide whether the replica is adoptable or stale.
+struct ReplicaDescriptor {
+  BlockId block = kInvalidBlock;
+  uint64_t genstamp = 0;
+  int64_t length = 0;
+  bool finalized = true;
+
+  friend bool operator==(const ReplicaDescriptor&,
+                         const ReplicaDescriptor&) = default;
+};
+
+/// A worker's full block report: medium -> replicas it currently stores.
+using BlockReport = std::map<MediumId, std::vector<ReplicaDescriptor>>;
 
 }  // namespace octo
 

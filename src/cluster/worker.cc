@@ -86,19 +86,29 @@ Worker::Medium* Worker::FindMedium(MediumId id) {
   return it == media_.end() ? nullptr : &it->second;
 }
 
-Status Worker::WriteBlock(MediumId medium, BlockId block, std::string data) {
+Status Worker::CheckMediumUsable(MediumId medium) const {
+  if (faults_ != nullptr && faults_->MediumFailed(id_, medium)) {
+    return Status::IoError("medium " + std::to_string(medium) + " on worker " +
+                           std::to_string(id_) + " has failed");
+  }
+  return Status::OK();
+}
+
+Status Worker::WriteBlock(MediumId medium, BlockId block, std::string data,
+                          uint64_t genstamp) {
   Medium* m = FindMedium(medium);
   if (m == nullptr) {
     return Status::NotFound("medium " + std::to_string(medium) +
                             " not attached to worker " + std::to_string(id_));
   }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
   int64_t remaining = m->remaining();
   if (static_cast<int64_t>(data.size()) > remaining) {
     return Status::NoSpace("medium " + std::to_string(medium) + " has " +
                            FormatBytes(remaining) + " left, block needs " +
                            FormatBytes(static_cast<int64_t>(data.size())));
   }
-  return m->store->Put(block, std::move(data));
+  return m->store->Put(block, std::move(data), genstamp);
 }
 
 Result<std::string> Worker::ReadBlock(MediumId medium, BlockId block) const {
@@ -107,6 +117,85 @@ Result<std::string> Worker::ReadBlock(MediumId medium, BlockId block) const {
     return Status::NotFound("medium " + std::to_string(medium) +
                             " not attached to worker " + std::to_string(id_));
   }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  Result<ReplicaInfo> info = m->store->GetReplicaInfo(block);
+  OCTO_RETURN_IF_ERROR(info.status());
+  if (info.value().state != ReplicaState::kFinalized) {
+    return Status::FailedPrecondition("block " + std::to_string(block) +
+                                      " on medium " + std::to_string(medium) +
+                                      " is still being written");
+  }
+  return m->store->Get(block);
+}
+
+Status Worker::OpenBlock(MediumId medium, BlockId block, uint64_t genstamp) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  return m->store->Create(block, genstamp);
+}
+
+Status Worker::WritePacket(MediumId medium, BlockId block, int64_t offset,
+                           std::string_view data, uint64_t genstamp) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  int64_t remaining = m->remaining();
+  if (static_cast<int64_t>(data.size()) > remaining) {
+    return Status::NoSpace("medium " + std::to_string(medium) + " has " +
+                           FormatBytes(remaining) + " left, packet needs " +
+                           FormatBytes(static_cast<int64_t>(data.size())));
+  }
+  return m->store->Append(block, offset, data, genstamp);
+}
+
+Status Worker::FinalizeBlock(MediumId medium, BlockId block,
+                             uint64_t genstamp) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  return m->store->Finalize(block, genstamp);
+}
+
+Status Worker::RecoverReplica(MediumId medium, BlockId block,
+                              int64_t new_length, uint64_t new_genstamp) {
+  Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  return m->store->Recover(block, new_length, new_genstamp);
+}
+
+Result<ReplicaInfo> Worker::GetReplicaInfo(MediumId medium,
+                                           BlockId block) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
+  return m->store->GetReplicaInfo(block);
+}
+
+Result<std::string> Worker::ReadForRecovery(MediumId medium,
+                                            BlockId block) const {
+  const Medium* m = FindMedium(medium);
+  if (m == nullptr) {
+    return Status::NotFound("medium " + std::to_string(medium) +
+                            " not attached to worker " + std::to_string(id_));
+  }
+  OCTO_RETURN_IF_ERROR(CheckMediumUsable(medium));
   return m->store->Get(block);
 }
 
@@ -192,6 +281,10 @@ HeartbeatPayload Worker::BuildHeartbeat() const {
   hb.master_epoch = master_epoch_;
   hb.bad_replicas = pending_bad_replicas_;
   for (const auto& [id, m] : media_) {
+    if (faults_ != nullptr && faults_->MediumFailed(id_, id)) {
+      hb.failed_media.push_back(id);
+      continue;  // a dead disk has no usable statistics
+    }
     MediumStats stats;
     stats.medium = id;
     stats.remaining_bytes = m.remaining();
@@ -203,7 +296,15 @@ HeartbeatPayload Worker::BuildHeartbeat() const {
 BlockReport Worker::BuildBlockReport() const {
   BlockReport report;
   for (const auto& [id, m] : media_) {
-    report[id] = m.store->List();
+    // A failed medium's replicas are unreadable; reporting them would
+    // only make the master re-adopt what it already dropped.
+    if (faults_ != nullptr && faults_->MediumFailed(id_, id)) continue;
+    std::vector<ReplicaDescriptor>& replicas = report[id];
+    for (const auto& [block, info] : m.store->ListReplicas()) {
+      replicas.push_back(ReplicaDescriptor{
+          block, info.genstamp, info.length,
+          info.state == ReplicaState::kFinalized});
+    }
   }
   return report;
 }

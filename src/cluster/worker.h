@@ -70,10 +70,36 @@ class Worker {
 
   // -- data plane ---------------------------------------------------------
 
-  Status WriteBlock(MediumId medium, BlockId block, std::string data);
+  /// Stores a whole block as a FINALIZED replica stamped `genstamp`
+  /// (replica copies and legacy single-shot writes).
+  Status WriteBlock(MediumId medium, BlockId block, std::string data,
+                    uint64_t genstamp = 0);
+  /// Reads a finalized replica; RBW replicas are rejected with
+  /// FailedPrecondition (readers must never see in-flight bytes).
   Result<std::string> ReadBlock(MediumId medium, BlockId block) const;
   Status DeleteBlock(MediumId medium, BlockId block);
   bool HasBlock(MediumId medium, BlockId block) const;
+
+  // -- streaming write pipeline (paper §3.1, HDFS-style) -------------------
+
+  /// Opens an empty RBW replica for a pipeline stamped `genstamp`.
+  Status OpenBlock(MediumId medium, BlockId block, uint64_t genstamp);
+  /// Appends one pipeline packet at `offset` (must equal the replica's
+  /// current length) to an RBW replica with a matching genstamp.
+  Status WritePacket(MediumId medium, BlockId block, int64_t offset,
+                     std::string_view data, uint64_t genstamp);
+  /// Seals an RBW replica.
+  Status FinalizeBlock(MediumId medium, BlockId block, uint64_t genstamp);
+  /// Block recovery on one replica: truncate to `new_length`, re-stamp
+  /// with `new_genstamp` (state preserved).
+  Status RecoverReplica(MediumId medium, BlockId block, int64_t new_length,
+                        uint64_t new_genstamp);
+  /// Replica metadata (any state).
+  Result<ReplicaInfo> GetReplicaInfo(MediumId medium, BlockId block) const;
+  /// Reads a replica's bytes regardless of state — used by block
+  /// recovery and by pipeline repair to bootstrap a replacement member
+  /// from a survivor's RBW prefix. Not for client readers.
+  Result<std::string> ReadForRecovery(MediumId medium, BlockId block) const;
 
   /// Accounts space for a block tracked by the Master but whose bytes are
   /// not materialized (used by the large-scale benchmark harnesses, where
@@ -151,6 +177,10 @@ class Worker {
 
   const Medium* FindMedium(MediumId id) const;
   Medium* FindMedium(MediumId id);
+
+  /// IoError while an armed kMediumFail fault covers (worker, medium);
+  /// consulted by every data-plane operation (dead disk: all I/O fails).
+  Status CheckMediumUsable(MediumId medium) const;
 
   WorkerId id_;
   WorkerOptions options_;

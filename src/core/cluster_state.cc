@@ -142,7 +142,7 @@ Status ClusterState::AddMedium(MediumInfo medium) {
   const MediumInfo& m = media_slab_[slot];
   media_index_[m.id] = slot;
   IndexInsert(&worker_media_[m.worker], slot);
-  if (wit->second.alive) OnMediumBecomesLive(slot);
+  if (wit->second.alive && !m.failed) OnMediumBecomesLive(slot);
   return Status::OK();
 }
 
@@ -155,7 +155,7 @@ Status ClusterState::RemoveWorker(WorkerId id) {
   auto mit = worker_media_.find(id);
   if (mit != worker_media_.end()) {
     for (uint32_t slot : mit->second) {
-      if (was_alive) OnMediumBecomesDead(slot);
+      if (was_alive && !media_slab_[slot].failed) OnMediumBecomesDead(slot);
       media_index_.erase(media_slab_[slot].id);
       free_slots_.push_back(slot);
     }
@@ -235,12 +235,39 @@ Status ClusterState::SetWorkerAlive(WorkerId id, bool alive) {
   auto mit = worker_media_.find(id);
   if (mit != worker_media_.end()) {
     for (uint32_t slot : mit->second) {
+      // Failed media were already removed from the live indexes when
+      // their failure was recorded; flipping the worker must not
+      // double-insert or double-erase them.
+      if (media_slab_[slot].failed) continue;
       if (alive) {
         OnMediumBecomesLive(slot);
       } else {
         OnMediumBecomesDead(slot);
       }
     }
+  }
+  return Status::OK();
+}
+
+Status ClusterState::SetMediumFailed(MediumId id, bool failed) {
+  auto it = media_index_.find(id);
+  if (it == media_index_.end()) {
+    return Status::NotFound("medium " + std::to_string(id));
+  }
+  uint32_t slot = it->second;
+  MediumInfo& m = media_slab_[slot];
+  if (m.failed == failed) return Status::OK();
+  const WorkerInfo* w = FindWorker(m.worker);
+  const bool worker_alive = w != nullptr && w->alive;
+  // Order matters: the live-index transition reads m.failed through
+  // MediumLive-equivalent state, so flip the flag around the transition
+  // that matches its direction.
+  if (failed) {
+    if (worker_alive) OnMediumBecomesDead(slot);
+    m.failed = true;
+  } else {
+    m.failed = false;
+    if (worker_alive) OnMediumBecomesLive(slot);
   }
   return Status::OK();
 }
@@ -310,7 +337,7 @@ bool ClusterState::MediumLive(MediumId id) const {
   const MediumInfo* m = FindMedium(id);
   if (m == nullptr) return false;
   const WorkerInfo* w = FindWorker(m->worker);
-  return w != nullptr && w->alive;
+  return w != nullptr && w->alive && !m->failed;
 }
 
 std::vector<MediumId> ClusterState::MediaOnTier(TierId tier) const {

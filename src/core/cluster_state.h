@@ -73,6 +73,9 @@ class ClusterState {
   Status UpdateWorkerStats(WorkerId id, int nr_connections,
                            int64_t heartbeat_micros);
   Status SetWorkerAlive(WorkerId id, bool alive);
+  /// Marks one medium's device failed (or recovered): a failed medium
+  /// leaves the live-candidate indexes even while its worker is alive.
+  Status SetMediumFailed(MediumId id, bool failed);
 
   /// Adjusts connection counts when transfers start/stop (delta = +1/-1).
   void AddMediumConnections(MediumId id, int delta);
@@ -193,7 +196,8 @@ class ClusterState {
   /// Per-tier aggregate report for the client API.
   std::vector<StorageTierReport> TierReports() const;
 
-  /// True when the medium's worker is alive.
+  /// True when the medium's worker is alive and its device has not
+  /// failed.
   bool MediumLive(MediumId id) const;
 
  private:

@@ -49,6 +49,14 @@ std::string_view SiteName(Site site) {
       return "master-crash";
     case Site::kMasterCrashDuringCheckpoint:
       return "master-crash-during-checkpoint";
+    case Site::kPipelineNodeCrash:
+      return "pipeline-node-crash";
+    case Site::kWriterCrash:
+      return "writer-crash";
+    case Site::kRecoveryPrimaryCrash:
+      return "recovery-primary-crash";
+    case Site::kMediumFail:
+      return "medium-fail";
   }
   return "unknown";
 }
@@ -125,6 +133,14 @@ double FaultRegistry::ThrottleFactor(WorkerId worker, MediumId medium) const {
     factor = std::min(factor, armed.spec.throttle_factor);
   }
   return factor;
+}
+
+bool FaultRegistry::MediumFailed(WorkerId worker, MediumId medium) const {
+  for (const Armed& armed : faults_) {
+    if (!armed.active || armed.spec.site != Site::kMediumFail) continue;
+    if (ScopeMatches(armed.spec, worker, medium, kInvalidBlock)) return true;
+  }
+  return false;
 }
 
 namespace {

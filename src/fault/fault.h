@@ -49,9 +49,25 @@ enum class Site {
   /// edit log tail but the checkpoint is aborted, so a takeover replays
   /// from the previous checkpoint.
   kMasterCrashDuringCheckpoint,
+  /// A pipeline member dies while a write packet is in flight to it: the
+  /// worker process crashes and the packet is lost.
+  kPipelineNodeCrash,
+  /// The writing client dies mid-packet fan-out: some pipeline members
+  /// got the packet, others did not, and nobody finalizes — the lease
+  /// must expire and block recovery reconcile the divergent replicas.
+  kWriterCrash,
+  /// The worker chosen as block-recovery primary crashes before running
+  /// the kRecoverBlock command; the master retries with a new primary
+  /// and a fresh recovery genstamp when the recovery lease expires.
+  kRecoveryPrimaryCrash,
+  /// A whole medium on a worker fails (dead disk): every read/write on
+  /// it errors, the worker reports it dead in its next heartbeat, and
+  /// the master drops its replicas and re-replicates. Pure query like
+  /// kMediumThrottle — no hit accounting.
+  kMediumFail,
 };
 
-inline constexpr int kNumSites = 11;
+inline constexpr int kNumSites = 15;
 
 std::string_view SiteName(Site site);
 
@@ -115,6 +131,11 @@ class FaultRegistry {
   /// Combined kMediumThrottle multiplier for a medium (min over matching
   /// armed throttles); 1.0 = full speed. Does not count hits.
   double ThrottleFactor(WorkerId worker, MediumId medium) const;
+
+  /// kMediumFail consult: true while an armed kMediumFail matches the
+  /// medium. Pure query — no hit accounting, probability ignored — so a
+  /// failed disk stays failed across every operation that touches it.
+  bool MediumFailed(WorkerId worker, MediumId medium) const;
 
   /// Storage-layer adapter bound to one (worker, medium); install with
   /// BlockStore::set_fault_hook.

@@ -60,7 +60,8 @@ void EditLog::LogCreate(const std::string& path, const ReplicationVector& rv,
 
 void EditLog::LogAddBlock(const std::string& path, const BlockInfo& block) {
   std::ostringstream os;
-  os << "ADDBLOCK\t" << path << "\t" << block.id << "\t" << block.length;
+  os << "ADDBLOCK\t" << path << "\t" << block.id << "\t" << block.length
+     << "\t" << block.genstamp;
   Append(os.str());
 }
 
@@ -108,6 +109,10 @@ void EditLog::LogEpoch(uint64_t epoch) {
   Append("EPOCH\t" + std::to_string(epoch));
 }
 
+void EditLog::LogGenstamp(uint64_t genstamp) {
+  Append("GENSTAMP\t" + std::to_string(genstamp));
+}
+
 Status EditLog::Truncate() {
   entries_.clear();
   checkpointed_ = 0;
@@ -135,8 +140,14 @@ Status EditLog::Replay(const std::vector<std::string>& entries, int64_t from,
       if (st.ok() && info != nullptr) {
         info->lease_holders[f[1]] = f.size() == 6 ? f[5] : "";
       }
-    } else if (op == "ADDBLOCK" && f.size() == 4) {
-      st = tree->AddBlock(f[1], BlockInfo{ParseI64(f[2]), ParseI64(f[3])});
+    } else if (op == "ADDBLOCK" && (f.size() == 4 || f.size() == 5)) {
+      // The 5th field (generation stamp) was added with block recovery;
+      // 4-field records from older logs replay with genstamp 0.
+      BlockInfo block{ParseI64(f[2]), ParseI64(f[3])};
+      if (f.size() == 5) {
+        block.genstamp = static_cast<uint64_t>(ParseI64(f[4]));
+      }
+      st = tree->AddBlock(f[1], block);
     } else if (op == "COMPLETE" && f.size() == 2) {
       st = tree->CompleteFile(f[1]);
       if (st.ok() && info != nullptr) info->lease_holders.erase(f[1]);
@@ -163,6 +174,12 @@ Status EditLog::Replay(const std::vector<std::string>& entries, int64_t from,
       if (info != nullptr) {
         uint64_t epoch = static_cast<uint64_t>(ParseI64(f[1]));
         if (epoch > info->max_epoch) info->max_epoch = epoch;
+      }
+    } else if (op == "GENSTAMP" && f.size() == 2) {
+      // Generation-stamp allocator state, no namespace effect.
+      if (info != nullptr) {
+        uint64_t genstamp = static_cast<uint64_t>(ParseI64(f[1]));
+        if (genstamp > info->max_genstamp) info->max_genstamp = genstamp;
       }
     } else if (op == "SETRV" && f.size() == 3) {
       st = tree->SetReplicationVector(

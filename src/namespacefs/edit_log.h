@@ -20,6 +20,9 @@ namespace octo {
 struct EditReplayInfo {
   /// Highest EPOCH record seen (0 when the log carries none).
   uint64_t max_epoch = 0;
+  /// Highest GENSTAMP record seen (0 when the log carries none); the
+  /// generation-stamp allocator resumes past this after replay.
+  uint64_t max_genstamp = 0;
   /// Lease holder of each file whose journaled CREATE/APPEND has not been
   /// closed by a later COMPLETE/DELETE. "" = record predates holder
   /// journaling (or the holder was unknown).
@@ -64,6 +67,9 @@ class EditLog {
   /// Journals a master-epoch advance (written by a promoted master so the
   /// fencing epoch survives checkpoint+replay chains).
   void LogEpoch(uint64_t epoch);
+  /// Journals a generation-stamp allocation, so the monotonic allocator
+  /// survives checkpoint/replay and failover like the epoch does.
+  void LogGenstamp(uint64_t genstamp);
 
   const std::vector<std::string>& entries() const { return entries_; }
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }

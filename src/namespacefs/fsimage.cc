@@ -35,7 +35,7 @@ std::string FsImage::Serialize(const NamespaceTree& tree) {
          << st.rep_vector.Encode() << "\t" << st.block_size << "\t"
          << (st.under_construction ? 1 : 0) << "\t" << e.blocks.size();
       for (const BlockInfo& b : e.blocks) {
-        os << "\t" << b.id << ":" << b.length;
+        os << "\t" << b.id << ":" << b.length << ":" << b.genstamp;
       }
       os << "\n";
     }
@@ -101,8 +101,14 @@ Status FsImage::Deserialize(const std::string& image, NamespaceTree* tree) {
           return Status::Corruption("fsimage line " + std::to_string(line_no) +
                                     ": bad block entry " + pair);
         }
-        BlockInfo b{ParseI64(pair.substr(0, colon)),
-                    ParseI64(pair.substr(colon + 1))};
+        // id:length, with an optional :genstamp third part (images written
+        // before block recovery landed carry only two).
+        std::string rest = pair.substr(colon + 1);
+        size_t colon2 = rest.find(':');
+        BlockInfo b{ParseI64(pair.substr(0, colon)), ParseI64(rest)};
+        if (colon2 != std::string::npos) {
+          b.genstamp = static_cast<uint64_t>(ParseI64(rest.substr(colon2 + 1)));
+        }
         st = tree->AddBlock(path, b);
         if (!st.ok()) return st;
       }

@@ -24,10 +24,14 @@ inline constexpr WorkerId kInvalidWorker = -1;
 /// Default block size (the paper and HDFS use 128 MB).
 inline constexpr int64_t kDefaultBlockSize = int64_t{128} << 20;
 
-/// Identity and length of one block of a file.
+/// Identity, length, and generation stamp of one block of a file. The
+/// generation stamp is a master-allocated monotonic counter bumped on
+/// every (re)allocation and pipeline/block recovery; replicas stamped
+/// with an older generation are stale.
 struct BlockInfo {
   BlockId id = kInvalidBlock;
   int64_t length = 0;
+  uint64_t genstamp = 0;
 
   friend bool operator==(const BlockInfo&, const BlockInfo&) = default;
 };

@@ -9,10 +9,28 @@
 
 namespace octo {
 
+namespace {
+
+// On-disk trailer: [crc32c:4][genstamp:8][state:1].
+constexpr int64_t kTrailerBytes = 13;
+
+Status StateMismatch(BlockId id) {
+  return Status::FailedPrecondition("replica " + std::to_string(id) +
+                                    " is not being written");
+}
+
+Status GenstampMismatch(BlockId id, uint64_t have, uint64_t want) {
+  return Status::FailedPrecondition(
+      "replica " + std::to_string(id) + " genstamp " + std::to_string(have) +
+      " does not match " + std::to_string(want));
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // MemoryBlockStore
 
-Status MemoryBlockStore::Put(BlockId id, std::string data) {
+Status MemoryBlockStore::Put(BlockId id, std::string data, uint64_t genstamp) {
   bool corrupt_after = false;
   if (fault_hook_ != nullptr) {
     StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
@@ -27,10 +45,91 @@ Status MemoryBlockStore::Put(BlockId id, std::string data) {
       used_bytes_ -= static_cast<int64_t>(it->second.data.size());
     }
     used_bytes_ += static_cast<int64_t>(data.size());
-    blocks_[id] = Entry{std::move(data), crc};
+    blocks_[id] = Entry{std::move(data), crc, genstamp,
+                        ReplicaState::kFinalized};
   }
   // Outside the lock: CorruptForTesting re-acquires mu_.
   if (corrupt_after) return CorruptForTesting(id);
+  return Status::OK();
+}
+
+Status MemoryBlockStore::Create(BlockId id, uint64_t genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    used_bytes_ -= static_cast<int64_t>(it->second.data.size());
+  }
+  blocks_[id] = Entry{std::string(), Crc32c(std::string_view()), genstamp,
+                      ReplicaState::kRbw};
+  return Status::OK();
+}
+
+Status MemoryBlockStore::Append(BlockId id, int64_t offset,
+                                std::string_view data, uint64_t genstamp) {
+  bool corrupt_after = false;
+  if (fault_hook_ != nullptr) {
+    StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
+    OCTO_RETURN_IF_ERROR(outcome.status);
+    corrupt_after = outcome.corrupt_after;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(id);
+    if (it == blocks_.end()) {
+      return Status::NotFound("block " + std::to_string(id));
+    }
+    Entry& e = it->second;
+    if (e.state != ReplicaState::kRbw) return StateMismatch(id);
+    if (e.genstamp != genstamp) return GenstampMismatch(id, e.genstamp, genstamp);
+    if (offset != static_cast<int64_t>(e.data.size())) {
+      return Status::FailedPrecondition(
+          "replica " + std::to_string(id) + " append at " +
+          std::to_string(offset) + " but replica length is " +
+          std::to_string(e.data.size()));
+    }
+    // Extend the running checksum with the bytes the writer sent rather
+    // than recomputing over e.data: recomputation would launder any
+    // corruption the stored bytes suffered since the last append.
+    e.crc = Crc32cExtend(e.crc, data);
+    e.data.append(data);
+    used_bytes_ += static_cast<int64_t>(data.size());
+  }
+  if (corrupt_after) return CorruptForTesting(id);
+  return Status::OK();
+}
+
+Status MemoryBlockStore::Finalize(BlockId id, uint64_t genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  Entry& e = it->second;
+  if (e.genstamp != genstamp) return GenstampMismatch(id, e.genstamp, genstamp);
+  e.state = ReplicaState::kFinalized;
+  return Status::OK();
+}
+
+Status MemoryBlockStore::Recover(BlockId id, int64_t new_length,
+                                 uint64_t new_genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  Entry& e = it->second;
+  if (new_genstamp < e.genstamp) {
+    return GenstampMismatch(id, e.genstamp, new_genstamp);
+  }
+  if (new_length > static_cast<int64_t>(e.data.size())) {
+    return Status::FailedPrecondition(
+        "replica " + std::to_string(id) + " cannot grow to " +
+        std::to_string(new_length) + " from " + std::to_string(e.data.size()));
+  }
+  used_bytes_ -= static_cast<int64_t>(e.data.size()) - new_length;
+  e.data.resize(static_cast<size_t>(new_length));
+  e.crc = Crc32c(e.data);
+  e.genstamp = new_genstamp;
   return Status::OK();
 }
 
@@ -66,11 +165,33 @@ bool MemoryBlockStore::Contains(BlockId id) const {
   return blocks_.count(id) > 0;
 }
 
+Result<ReplicaInfo> MemoryBlockStore::GetReplicaInfo(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return ReplicaInfo{static_cast<int64_t>(it->second.data.size()),
+                     it->second.genstamp, it->second.state};
+}
+
 std::vector<BlockId> MemoryBlockStore::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<BlockId> out;
   out.reserve(blocks_.size());
   for (const auto& [id, _] : blocks_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::pair<BlockId, ReplicaInfo>> MemoryBlockStore::ListReplicas()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<BlockId, ReplicaInfo>> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, e] : blocks_) {
+    out.emplace_back(id, ReplicaInfo{static_cast<int64_t>(e.data.size()),
+                                     e.genstamp, e.state});
+  }
   return out;
 }
 
@@ -114,9 +235,28 @@ Result<std::unique_ptr<DiskBlockStore>> DiskBlockStore::Open(std::string dir) {
     BlockId id = std::strtoll(name.c_str() + 4, &end, 10);
     if (end == name.c_str() + 4 || *end != '\0') continue;
     int64_t file_size = static_cast<int64_t>(entry.file_size());
-    int64_t payload = file_size >= 4 ? file_size - 4 : 0;
-    store->lengths_[id] = payload;
-    store->used_bytes_ += payload;
+    ReplicaInfo info;
+    info.length = file_size >= kTrailerBytes ? file_size - kTrailerBytes : 0;
+    // Read genstamp and state back from the trailer; a truncated file
+    // (crash mid-write) indexes as an empty stamped-0 RBW replica the
+    // master will invalidate on the next block report.
+    if (file_size >= kTrailerBytes) {
+      std::ifstream in(store->BlockPath(id), std::ios::binary);
+      if (in) {
+        in.seekg(info.length + 4);
+        char tail[9];
+        in.read(tail, 9);
+        if (in) {
+          std::memcpy(&info.genstamp, tail, 8);
+          info.state = tail[8] == 0 ? ReplicaState::kRbw
+                                    : ReplicaState::kFinalized;
+        }
+      }
+    } else {
+      info.state = ReplicaState::kRbw;
+    }
+    store->replicas_[id] = info;
+    store->used_bytes_ += info.length;
   }
   if (ec) {
     return Status::IoError("cannot scan block dir " + dir + ": " +
@@ -129,7 +269,57 @@ std::string DiskBlockStore::BlockPath(BlockId id) const {
   return dir_ + "/blk_" + std::to_string(id);
 }
 
-Status DiskBlockStore::Put(BlockId id, std::string data) {
+Status DiskBlockStore::WriteFileLocked(BlockId id, const std::string& payload,
+                                       const ReplicaInfo& info, uint32_t crc) {
+  std::ofstream out(BlockPath(id), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + BlockPath(id) + " for write");
+  }
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  char trailer[kTrailerBytes];
+  std::memcpy(trailer, &crc, 4);
+  std::memcpy(trailer + 4, &info.genstamp, 8);
+  trailer[12] = info.state == ReplicaState::kRbw ? 0 : 1;
+  out.write(trailer, kTrailerBytes);
+  out.close();
+  if (!out) {
+    return Status::IoError("short write to " + BlockPath(id));
+  }
+  return Status::OK();
+}
+
+Result<std::string> DiskBlockStore::ReadPayloadLocked(BlockId id,
+                                                      int64_t length) const {
+  std::ifstream in(BlockPath(id), std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + BlockPath(id) + " for read");
+  }
+  std::string payload(static_cast<size_t>(length), '\0');
+  in.read(payload.data(), length);
+  if (!in) {
+    return Status::IoError("short read from " + BlockPath(id));
+  }
+  return payload;
+}
+
+Result<uint32_t> DiskBlockStore::ReadCrcLocked(BlockId id,
+                                               int64_t length) const {
+  std::ifstream in(BlockPath(id), std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + BlockPath(id) + " for read");
+  }
+  in.seekg(length);
+  char trailer[4];
+  in.read(trailer, 4);
+  if (!in) {
+    return Status::IoError("short trailer read from " + BlockPath(id));
+  }
+  uint32_t crc;
+  std::memcpy(&crc, trailer, 4);
+  return crc;
+}
+
+Status DiskBlockStore::Put(BlockId id, std::string data, uint64_t genstamp) {
   bool corrupt_after = false;
   if (fault_hook_ != nullptr) {
     StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
@@ -138,26 +328,121 @@ Status DiskBlockStore::Put(BlockId id, std::string data) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    uint32_t crc = Crc32c(data);
-    std::ofstream out(BlockPath(id), std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + BlockPath(id) + " for write");
-    }
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    char trailer[4];
-    std::memcpy(trailer, &crc, 4);
-    out.write(trailer, 4);
-    out.close();
-    if (!out) {
-      return Status::IoError("short write to " + BlockPath(id));
-    }
-    auto it = lengths_.find(id);
-    if (it != lengths_.end()) used_bytes_ -= it->second;
-    lengths_[id] = static_cast<int64_t>(data.size());
-    used_bytes_ += static_cast<int64_t>(data.size());
+    ReplicaInfo info{static_cast<int64_t>(data.size()), genstamp,
+                     ReplicaState::kFinalized};
+    OCTO_RETURN_IF_ERROR(WriteFileLocked(id, data, info, Crc32c(data)));
+    auto it = replicas_.find(id);
+    if (it != replicas_.end()) used_bytes_ -= it->second.length;
+    replicas_[id] = info;
+    used_bytes_ += info.length;
   }
   // Outside the lock: CorruptForTesting re-acquires mu_.
   if (corrupt_after) return CorruptForTesting(id);
+  return Status::OK();
+}
+
+Status DiskBlockStore::Create(BlockId id, uint64_t genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicaInfo info{0, genstamp, ReplicaState::kRbw};
+  OCTO_RETURN_IF_ERROR(WriteFileLocked(id, std::string(), info,
+                                       Crc32c(std::string_view())));
+  auto it = replicas_.find(id);
+  if (it != replicas_.end()) used_bytes_ -= it->second.length;
+  replicas_[id] = info;
+  return Status::OK();
+}
+
+Status DiskBlockStore::Append(BlockId id, int64_t offset, std::string_view data,
+                              uint64_t genstamp) {
+  bool corrupt_after = false;
+  if (fault_hook_ != nullptr) {
+    StoreFaultHook::PutOutcome outcome = fault_hook_->OnPut(id);
+    OCTO_RETURN_IF_ERROR(outcome.status);
+    corrupt_after = outcome.corrupt_after;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      return Status::NotFound("block " + std::to_string(id));
+    }
+    ReplicaInfo& info = it->second;
+    if (info.state != ReplicaState::kRbw) return StateMismatch(id);
+    if (info.genstamp != genstamp) {
+      return GenstampMismatch(id, info.genstamp, genstamp);
+    }
+    if (offset != info.length) {
+      return Status::FailedPrecondition(
+          "replica " + std::to_string(id) + " append at " +
+          std::to_string(offset) + " but replica length is " +
+          std::to_string(info.length));
+    }
+    Result<std::string> payload = ReadPayloadLocked(id, info.length);
+    OCTO_RETURN_IF_ERROR(payload.status());
+    // Extend the stored trailer CRC with the appended bytes; never
+    // recompute from the re-read payload (that would launder any
+    // corruption the stored bytes suffered since the last append).
+    Result<uint32_t> crc = ReadCrcLocked(id, info.length);
+    OCTO_RETURN_IF_ERROR(crc.status());
+    payload.value().append(data);
+    ReplicaInfo updated{static_cast<int64_t>(payload.value().size()),
+                        info.genstamp, info.state};
+    OCTO_RETURN_IF_ERROR(WriteFileLocked(id, payload.value(), updated,
+                                         Crc32cExtend(*crc, data)));
+    used_bytes_ += updated.length - info.length;
+    info = updated;
+  }
+  if (corrupt_after) return CorruptForTesting(id);
+  return Status::OK();
+}
+
+Status DiskBlockStore::Finalize(BlockId id, uint64_t genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  ReplicaInfo& info = it->second;
+  if (info.genstamp != genstamp) {
+    return GenstampMismatch(id, info.genstamp, genstamp);
+  }
+  if (info.state == ReplicaState::kFinalized) return Status::OK();
+  Result<std::string> payload = ReadPayloadLocked(id, info.length);
+  OCTO_RETURN_IF_ERROR(payload.status());
+  Result<uint32_t> crc = ReadCrcLocked(id, info.length);
+  OCTO_RETURN_IF_ERROR(crc.status());
+  ReplicaInfo updated{info.length, info.genstamp, ReplicaState::kFinalized};
+  OCTO_RETURN_IF_ERROR(WriteFileLocked(id, payload.value(), updated, *crc));
+  info = updated;
+  return Status::OK();
+}
+
+Status DiskBlockStore::Recover(BlockId id, int64_t new_length,
+                               uint64_t new_genstamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  ReplicaInfo& info = it->second;
+  if (new_genstamp < info.genstamp) {
+    return GenstampMismatch(id, info.genstamp, new_genstamp);
+  }
+  if (new_length > info.length) {
+    return Status::FailedPrecondition(
+        "replica " + std::to_string(id) + " cannot grow to " +
+        std::to_string(new_length) + " from " + std::to_string(info.length));
+  }
+  Result<std::string> payload = ReadPayloadLocked(id, info.length);
+  OCTO_RETURN_IF_ERROR(payload.status());
+  payload.value().resize(static_cast<size_t>(new_length));
+  // Truncation cannot un-extend a CRC; recomputing over the kept prefix
+  // is the one legitimate recompute (HDFS re-checksums on truncate too).
+  ReplicaInfo updated{new_length, new_genstamp, info.state};
+  OCTO_RETURN_IF_ERROR(
+      WriteFileLocked(id, payload.value(), updated, Crc32c(payload.value())));
+  used_bytes_ -= info.length - new_length;
+  info = updated;
   return Status::OK();
 }
 
@@ -166,16 +451,16 @@ Result<std::string> DiskBlockStore::Get(BlockId id) const {
     OCTO_RETURN_IF_ERROR(fault_hook_->OnGet(id));
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = lengths_.find(id);
-  if (it == lengths_.end()) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
     return Status::NotFound("block " + std::to_string(id));
   }
   std::ifstream in(BlockPath(id), std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + BlockPath(id) + " for read");
   }
-  std::string payload(static_cast<size_t>(it->second), '\0');
-  in.read(payload.data(), it->second);
+  std::string payload(static_cast<size_t>(it->second.length), '\0');
+  in.read(payload.data(), it->second.length);
   char trailer[4];
   in.read(trailer, 4);
   if (!in) {
@@ -192,8 +477,8 @@ Result<std::string> DiskBlockStore::Get(BlockId id) const {
 
 Status DiskBlockStore::Delete(BlockId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = lengths_.find(id);
-  if (it == lengths_.end()) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
     return Status::NotFound("block " + std::to_string(id));
   }
   std::error_code ec;
@@ -202,22 +487,37 @@ Status DiskBlockStore::Delete(BlockId id) {
     return Status::IoError("cannot remove " + BlockPath(id) + ": " +
                            ec.message());
   }
-  used_bytes_ -= it->second;
-  lengths_.erase(it);
+  used_bytes_ -= it->second.length;
+  replicas_.erase(it);
   return Status::OK();
 }
 
 bool DiskBlockStore::Contains(BlockId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return lengths_.count(id) > 0;
+  return replicas_.count(id) > 0;
+}
+
+Result<ReplicaInfo> DiskBlockStore::GetReplicaInfo(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  return it->second;
 }
 
 std::vector<BlockId> DiskBlockStore::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<BlockId> out;
-  out.reserve(lengths_.size());
-  for (const auto& [id, _] : lengths_) out.push_back(id);
+  out.reserve(replicas_.size());
+  for (const auto& [id, _] : replicas_) out.push_back(id);
   return out;
+}
+
+std::vector<std::pair<BlockId, ReplicaInfo>> DiskBlockStore::ListReplicas()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {replicas_.begin(), replicas_.end()};
 }
 
 int64_t DiskBlockStore::UsedBytes() const {
@@ -227,10 +527,12 @@ int64_t DiskBlockStore::UsedBytes() const {
 
 Status DiskBlockStore::CorruptForTesting(BlockId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = lengths_.find(id);
-  if (it == lengths_.end()) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) {
     return Status::NotFound("block " + std::to_string(id));
   }
+  // Flips the file's first byte: a payload byte when the replica has
+  // data, otherwise the checksum itself — either way Get mismatches.
   std::fstream f(BlockPath(id), std::ios::binary | std::ios::in | std::ios::out);
   if (!f) {
     return Status::IoError("cannot open " + BlockPath(id));

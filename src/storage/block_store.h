@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -29,8 +31,27 @@ class StoreFaultHook {
   virtual Status OnGet(BlockId id) = 0;
 };
 
+/// Lifecycle of a stored replica (HDFS §block states, reduced to the two
+/// we need): RBW ("replica being written") while a pipeline streams into
+/// it, FINALIZED once the writer (or block recovery) seals it.
+enum class ReplicaState : uint8_t { kRbw = 0, kFinalized = 1 };
+
+/// Per-replica metadata the store tracks alongside the bytes. The
+/// generation stamp is the one the replica last heard from the master;
+/// a replica whose genstamp trails the block record's is stale.
+struct ReplicaInfo {
+  int64_t length = 0;
+  uint64_t genstamp = 0;
+  ReplicaState state = ReplicaState::kFinalized;
+
+  friend bool operator==(const ReplicaInfo&, const ReplicaInfo&) = default;
+};
+
 /// Functional data plane of one storage medium: stores block bytes with a
-/// CRC-32C checksum verified on every read. Thread-safe.
+/// CRC-32C checksum verified on every read. Replicas carry
+/// (genstamp, length, state); the streaming write path creates an RBW
+/// replica, appends packets, and finalizes it, while block recovery
+/// truncates and re-stamps survivors in place. Thread-safe.
 class BlockStore {
  public:
   virtual ~BlockStore() = default;
@@ -42,11 +63,39 @@ class BlockStore {
     fault_hook_ = std::move(hook);
   }
 
-  /// Stores (or replaces) the bytes of a block.
-  virtual Status Put(BlockId id, std::string data) = 0;
+  /// Stores (or replaces) the bytes of a block as a FINALIZED replica
+  /// stamped `genstamp` (replica copies arrive whole, already sealed).
+  virtual Status Put(BlockId id, std::string data, uint64_t genstamp = 0) = 0;
+
+  /// Opens an empty RBW replica stamped `genstamp`, replacing any
+  /// leftover replica of the same block (the master only directs a
+  /// pipeline at media without a registered replica, so a collision is
+  /// a stale leftover).
+  virtual Status Create(BlockId id, uint64_t genstamp) = 0;
+
+  /// Appends one packet to an RBW replica. The write is rejected with
+  /// FailedPrecondition when the replica is already FINALIZED, carries a
+  /// different genstamp (a fenced zombie pipeline), or `offset` is not
+  /// the current replica length (a gap or overlap).
+  virtual Status Append(BlockId id, int64_t offset, std::string_view data,
+                        uint64_t genstamp) = 0;
+
+  /// Seals an RBW replica; idempotent on an already-FINALIZED replica
+  /// with a matching genstamp. FailedPrecondition on genstamp mismatch.
+  virtual Status Finalize(BlockId id, uint64_t genstamp) = 0;
+
+  /// Block recovery: truncates the replica to `new_length` and re-stamps
+  /// it with `new_genstamp`. Keeps the replica's state: pipeline repair
+  /// recovers RBW replicas and keeps streaming; lease recovery calls
+  /// Finalize afterwards.
+  /// FailedPrecondition when new_genstamp is older than the replica's or
+  /// new_length exceeds the stored length.
+  virtual Status Recover(BlockId id, int64_t new_length,
+                         uint64_t new_genstamp) = 0;
 
   /// Reads a block's bytes; Corruption if the checksum no longer matches,
-  /// NotFound if absent.
+  /// NotFound if absent. Serves RBW replicas too — callers that must not
+  /// see in-flight bytes (readers) check GetReplicaInfo first.
   virtual Result<std::string> Get(BlockId id) const = 0;
 
   /// Removes a block; NotFound if absent.
@@ -54,8 +103,16 @@ class BlockStore {
 
   virtual bool Contains(BlockId id) const = 0;
 
+  /// Metadata of one replica; NotFound if absent.
+  virtual Result<ReplicaInfo> GetReplicaInfo(BlockId id) const = 0;
+
   /// Stored block ids, sorted (the worker's block report).
   virtual std::vector<BlockId> List() const = 0;
+
+  /// Stored replicas with metadata, sorted by id (the worker's
+  /// generation-stamped block report).
+  virtual std::vector<std::pair<BlockId, ReplicaInfo>> ListReplicas()
+      const = 0;
 
   /// Total payload bytes currently stored.
   virtual int64_t UsedBytes() const = 0;
@@ -73,11 +130,19 @@ class MemoryBlockStore : public BlockStore {
  public:
   MemoryBlockStore() = default;
 
-  Status Put(BlockId id, std::string data) override;
+  Status Put(BlockId id, std::string data, uint64_t genstamp = 0) override;
+  Status Create(BlockId id, uint64_t genstamp) override;
+  Status Append(BlockId id, int64_t offset, std::string_view data,
+                uint64_t genstamp) override;
+  Status Finalize(BlockId id, uint64_t genstamp) override;
+  Status Recover(BlockId id, int64_t new_length,
+                 uint64_t new_genstamp) override;
   Result<std::string> Get(BlockId id) const override;
   Status Delete(BlockId id) override;
   bool Contains(BlockId id) const override;
+  Result<ReplicaInfo> GetReplicaInfo(BlockId id) const override;
   std::vector<BlockId> List() const override;
+  std::vector<std::pair<BlockId, ReplicaInfo>> ListReplicas() const override;
   int64_t UsedBytes() const override;
   Status CorruptForTesting(BlockId id) override;
 
@@ -85,6 +150,8 @@ class MemoryBlockStore : public BlockStore {
   struct Entry {
     std::string data;
     uint32_t crc = 0;
+    uint64_t genstamp = 0;
+    ReplicaState state = ReplicaState::kFinalized;
   };
 
   mutable std::mutex mu_;
@@ -93,17 +160,26 @@ class MemoryBlockStore : public BlockStore {
 };
 
 /// Filesystem-backed store: one file per block under `dir`, with the
-/// checksum kept in a 4-byte trailer. Survives process restarts.
+/// checksum, generation stamp, and replica state kept in a 13-byte
+/// trailer [crc32c:4][genstamp:8][state:1]. Survives process restarts.
 class DiskBlockStore : public BlockStore {
  public:
   /// Creates the directory if needed and indexes any existing blocks.
   static Result<std::unique_ptr<DiskBlockStore>> Open(std::string dir);
 
-  Status Put(BlockId id, std::string data) override;
+  Status Put(BlockId id, std::string data, uint64_t genstamp = 0) override;
+  Status Create(BlockId id, uint64_t genstamp) override;
+  Status Append(BlockId id, int64_t offset, std::string_view data,
+                uint64_t genstamp) override;
+  Status Finalize(BlockId id, uint64_t genstamp) override;
+  Status Recover(BlockId id, int64_t new_length,
+                 uint64_t new_genstamp) override;
   Result<std::string> Get(BlockId id) const override;
   Status Delete(BlockId id) override;
   bool Contains(BlockId id) const override;
+  Result<ReplicaInfo> GetReplicaInfo(BlockId id) const override;
   std::vector<BlockId> List() const override;
+  std::vector<std::pair<BlockId, ReplicaInfo>> ListReplicas() const override;
   int64_t UsedBytes() const override;
   Status CorruptForTesting(BlockId id) override;
 
@@ -111,10 +187,20 @@ class DiskBlockStore : public BlockStore {
   explicit DiskBlockStore(std::string dir) : dir_(std::move(dir)) {}
 
   std::string BlockPath(BlockId id) const;
+  /// Writes payload + trailer to the block file with an explicit
+  /// checksum (appends extend the stored CRC with the new bytes instead
+  /// of recomputing over possibly-corrupted stored data); caller holds
+  /// mu_.
+  Status WriteFileLocked(BlockId id, const std::string& payload,
+                         const ReplicaInfo& info, uint32_t crc);
+  /// Reads the payload (no CRC verify); caller holds mu_.
+  Result<std::string> ReadPayloadLocked(BlockId id, int64_t length) const;
+  /// Reads the trailer's stored CRC; caller holds mu_.
+  Result<uint32_t> ReadCrcLocked(BlockId id, int64_t length) const;
 
   std::string dir_;
   mutable std::mutex mu_;
-  std::map<BlockId, int64_t> lengths_;  // id -> payload length
+  std::map<BlockId, ReplicaInfo> replicas_;
   int64_t used_bytes_ = 0;
 };
 

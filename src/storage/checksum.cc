@@ -31,4 +31,16 @@ uint32_t Crc32c(const void* data, size_t n) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  // Un-finalize the previous digest, run the remaining bytes through the
+  // same register, and re-finalize.
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 }  // namespace octo

@@ -13,6 +13,17 @@ uint32_t Crc32c(const void* data, size_t n);
 
 inline uint32_t Crc32c(std::string_view s) { return Crc32c(s.data(), s.size()); }
 
+/// Continues a checksum over appended bytes:
+/// Crc32cExtend(Crc32c(a), b) == Crc32c(a + b). Appenders maintain the
+/// running checksum from the bytes they were handed — never by
+/// recomputing over stored data, which would silently seal any
+/// corruption the store suffered between packets.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32cExtend(uint32_t crc, std::string_view s) {
+  return Crc32cExtend(crc, s.data(), s.size());
+}
+
 }  // namespace octo
 
 #endif  // OCTOPUSFS_STORAGE_CHECKSUM_H_

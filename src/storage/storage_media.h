@@ -32,6 +32,11 @@ struct MediumInfo {
   int64_t remaining_bytes = 0;
   int nr_connections = 0;
 
+  /// True once the worker reported this medium's device failed (dead
+  /// disk). A failed medium is excluded from the live-candidate indexes
+  /// even while its worker stays alive; the failure is sticky.
+  bool failed = false;
+
   double write_bps = 0;  // profiled sustained write throughput
   double read_bps = 0;   // profiled sustained read throughput
 

@@ -171,7 +171,10 @@ TEST(WorkerTest, HeartbeatAndBlockReport) {
   ASSERT_EQ(hb.media.size(), 2u);
   EXPECT_EQ(hb.media[0].remaining_bytes, 97);
   BlockReport report = worker.BuildBlockReport();
-  EXPECT_EQ(report[0], (std::vector<BlockId>{7}));
+  ASSERT_EQ(report[0].size(), 1u);
+  EXPECT_EQ(report[0][0].block, 7);
+  EXPECT_EQ(report[0][0].length, 3);
+  EXPECT_TRUE(report[0][0].finalized);
   EXPECT_TRUE(report[1].empty());
 }
 

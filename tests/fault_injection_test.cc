@@ -167,11 +167,12 @@ TEST_F(FaultClusterTest, StoreWriteFaultDropsOnePipelineLeg) {
   WriteTestFile("/f", std::string(256 * 1024, 'w'),
                 ReplicationVector::OfTotal(3));
   EXPECT_EQ(faults_->hits(Site::kStoreWrite), 1);
-  // The failed leg was dropped; the block committed with 2 replicas and
-  // the monitor tops it back up.
+  // The failed leg was dropped mid-block and pipeline recovery brought in
+  // a replacement member: the block commits fully replicated without the
+  // monitor's help.
   const BlockRecord* record = FirstBlock("/f");
   ASSERT_NE(record, nullptr);
-  EXPECT_EQ(record->locations.size(), 2u);
+  EXPECT_EQ(record->locations.size(), 3u);
   ASSERT_TRUE(cluster_->RunReplicationToQuiescence().ok());
   EXPECT_EQ(FirstBlock("/f")->locations.size(), 3u);
   EXPECT_EQ(*fs_->ReadFile("/f"), std::string(256 * 1024, 'w'));

@@ -178,7 +178,7 @@ TEST_P(FuzzInvariantsTest, RandomOperationsPreserveInvariants) {
       Worker* worker = cluster_->worker(w);
       for (auto& [medium, blocks] : worker->BuildBlockReport()) {
         if (blocks.empty() || !rng.Bernoulli(0.3)) continue;
-        BlockId candidate = blocks[rng.Uniform(blocks.size())];
+        BlockId candidate = blocks[rng.Uniform(blocks.size())].block;
         const BlockRecord* record =
             cluster_->master()->block_manager().Find(candidate);
         if (record != nullptr && record->locations.size() >= 2 &&

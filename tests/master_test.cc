@@ -345,7 +345,9 @@ TEST_F(MasterTest, BlockReportDeletesOrphansAdoptsKnownDropsLost) {
       locations.end();
 
   BlockReport report;
-  report[reporting] = {block, /*orphan=*/9999};
+  report[reporting] = {
+      ReplicaDescriptor{block, record->genstamp, record->length, true},
+      ReplicaDescriptor{/*orphan=*/9999, 0, kMiB, true}};
   ASSERT_TRUE(master_->ProcessBlockReport(workers_[0], report).ok());
 
   // The orphan got a delete command; the known block was adopted if new.

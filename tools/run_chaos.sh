@@ -32,4 +32,20 @@ if [[ -n "${FAILOVER_BIN}" ]]; then
   done
   echo "failover chaos sweep clean (3 repetitions)"
 fi
+
+# Write-pipeline sweep: the block-recovery suite (generation stamps,
+# mid-block pipeline repair, lease recovery, dead media), then the
+# 3-seed pipeline chaos harness a few extra times. Each seed injects a
+# different single fault per round (pipeline-node crash, writer crash,
+# dead medium, recovery-primary crash) and asserts zero
+# acked-or-hflushed byte loss.
+ctest --preset asan-ubsan -L pipeline -j "$(nproc)" "$@"
+PIPELINE_BIN=$(find build-asan -name pipeline_recovery_test -type f | head -n1)
+if [[ -n "${PIPELINE_BIN}" ]]; then
+  for rep in 1 2 3; do
+    "${PIPELINE_BIN}" --gtest_filter='PipelineChaosTest.*' \
+      --gtest_brief=1 >/dev/null
+  done
+  echo "pipeline chaos sweep clean (3 repetitions)"
+fi
 echo "chaos pass clean"
