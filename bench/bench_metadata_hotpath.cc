@@ -1,0 +1,498 @@
+// Micro-benchmark for the Master's concurrent metadata plane: how many
+// namespace operations per second the fine-grained locking sustains, at
+// 1/2/4/8 client threads, against a >=1M-file namespace.
+//
+// Sections:
+//   read_scaling   read-mostly mix (stat/open/ls) over 1024 dirs x 1024
+//                  files; reads take only shared locks, so throughput
+//                  should scale with threads on multi-core hosts.
+//   slive          per-operation-type S-Live throughput at each thread
+//                  count (fresh Master per run, identical op set).
+//   group_commit   create throughput against a file-backed edit log:
+//                  per-record flush vs group commit at 8 threads, plus
+//                  flushes per journal record.
+//   report_batching  full block reports applied one service-lock
+//                  acquisition per report (ProcessBlockReport) vs staged
+//                  and folded in by one FlushStagedReports call.
+//   allocations    heap allocations per op on the resolve (path lookup)
+//                  and journal-append hot paths.
+//
+// Single-core hosts cannot show wall-clock parallel speedup, so the JSON
+// reports, next to the measured rates, an Amdahl-style model:
+// modeled_speedup(T) = T * (ops_T / ops_1). On one core ops_T/ops_1 is
+// the locking efficiency under full contention (1.0 = no overhead), and
+// T of those time-sliced threads would run concurrently on T cores.
+// host_cores in the JSON says which regime produced the numbers.
+//
+// Emits BENCH_metadata.json (path overridable via argv[1]).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "namespacefs/edit_log.h"
+#include "workload/slive.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (bench binary only).
+
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace octo {
+namespace {
+
+const UserContext kUser{"root", {}};
+constexpr int kDirs = 1024;
+constexpr int kFilesPerDir = 1024;  // kDirs * kFilesPerDir = 1,048,576 files
+
+uint64_t Mix64(uint64_t x) {  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// -- Section A: read-mostly scaling over a 1M-file namespace ---------------
+
+std::unique_ptr<Master> BuildBigNamespace(SystemClock* clock) {
+  auto master = std::make_unique<Master>(MasterOptions{}, clock);
+  auto start = std::chrono::steady_clock::now();
+  OCTO_CHECK_OK(master->Mkdirs("/meta", kUser));
+  ReplicationVector rv = ReplicationVector::OfTotal(3);
+  for (int d = 0; d < kDirs; ++d) {
+    std::string dir = "/meta/d" + std::to_string(d);
+    OCTO_CHECK_OK(master->Mkdirs(dir, kUser));
+    for (int f = 0; f < kFilesPerDir; ++f) {
+      std::string path = dir + "/f" + std::to_string(f);
+      OCTO_CHECK_OK(master->Create(path, rv, 128 * kMiB, false, kUser,
+                                   "bench"));
+      OCTO_CHECK_OK(master->CompleteFile(path, "bench"));
+    }
+  }
+  std::printf("built %d-file namespace in %.1fs\n", kDirs * kFilesPerDir,
+              Seconds(start));
+  return master;
+}
+
+struct ReadScalingResult {
+  int threads = 0;
+  double ops_per_sec = 0;
+  double efficiency_vs_1t = 0;   // ops_T / ops_1
+  double modeled_speedup = 0;    // T * efficiency (see file comment)
+};
+
+// 48% GetFileStatus, 48% GetBlockLocations, 4% ListDirectory (a 1024-entry
+// listing costs ~3 orders more than a stat; 4% keeps the mix read-mostly
+// without the listings drowning out the point lookups).
+double RunReadMix(Master* master, int threads, int total_ops) {
+  auto one_op = [master](int i) {
+    uint64_t h = Mix64(static_cast<uint64_t>(i));
+    int d = static_cast<int>(h % kDirs);
+    int f = static_cast<int>((h >> 10) % kFilesPerDir);
+    std::string dir = "/meta/d" + std::to_string(d);
+    int kind = i % 25;
+    if (kind < 12) {
+      auto st = master->GetFileStatus(dir + "/f" + std::to_string(f), kUser);
+      OCTO_CHECK(st.ok()) << st.status().ToString();
+    } else if (kind < 24) {
+      auto located = master->GetBlockLocations(dir + "/f" + std::to_string(f),
+                                               NetworkLocation());
+      OCTO_CHECK(located.ok()) << located.status().ToString();
+    } else {
+      auto listing = master->ListDirectory(dir, kUser);
+      OCTO_CHECK(listing.ok()) << listing.status().ToString();
+    }
+  };
+  auto start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    for (int i = 0; i < total_ops; ++i) one_op(i);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < total_ops; i += threads) one_op(i);
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  return total_ops / Seconds(start);
+}
+
+// -- Section C: group commit vs per-record flush ---------------------------
+
+struct GroupCommitResult {
+  std::string mode;
+  std::string durability;
+  int threads = 0;
+  double creates_per_sec = 0;
+  double flushes_per_record = 0;
+  int64_t records = 0;
+  int64_t flushes = 0;
+};
+
+GroupCommitResult RunGroupCommit(SystemClock* clock, bool sync_each_record,
+                                 bool fsync, int threads, int total_creates) {
+  std::string log_path = "/tmp/octo_bench_metadata_editlog.log";
+  std::remove(log_path.c_str());
+  MasterOptions options;
+  options.edit_log_path = log_path;
+  Master master(options, clock);
+  if (sync_each_record) master.edit_log()->SetSyncEachRecord(true);
+  if (fsync) master.edit_log()->SetFsyncOnFlush(true);
+  for (int t = 0; t < threads; ++t) {
+    OCTO_CHECK_OK(master.Mkdirs("/gc/d" + std::to_string(t), kUser));
+  }
+  ReplicationVector rv = ReplicationVector::OfTotal(3);
+  int64_t records_before = master.edit_log()->size();
+  int64_t flushes_before = master.edit_log()->sync_count();
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::string dir = "/gc/d" + std::to_string(t) + "/f";
+      for (int i = t; i < total_creates; i += threads) {
+        std::string path = dir + std::to_string(i);
+        OCTO_CHECK_OK(master.Create(path, rv, 128 * kMiB, false, kUser,
+                                    "bench" + std::to_string(t)));
+        OCTO_CHECK_OK(master.CompleteFile(path, "bench" + std::to_string(t)));
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  double elapsed = Seconds(start);
+  GroupCommitResult result;
+  result.mode = sync_each_record ? "per_record_flush" : "group_commit";
+  result.durability = fsync ? "fsync" : "page_cache";
+  result.threads = threads;
+  result.creates_per_sec = total_creates / elapsed;
+  result.records = master.edit_log()->size() - records_before;
+  result.flushes = master.edit_log()->sync_count() - flushes_before;
+  result.flushes_per_record =
+      result.records > 0
+          ? static_cast<double>(result.flushes) / result.records
+          : 0.0;
+  std::remove(log_path.c_str());
+  return result;
+}
+
+// -- Section D: immediate vs staged block-report application ---------------
+
+struct ReportBatchingResult {
+  double immediate_reports_per_sec = 0;
+  double staged_reports_per_sec = 0;
+  int workers = 0;
+  int blocks = 0;
+};
+
+ReportBatchingResult RunReportBatching(SystemClock* clock) {
+  constexpr int kWorkers = 16;
+  constexpr int kFiles = 1024;
+  Master master(MasterOptions{}, clock);
+  master.DefineTier({kHddTier, "HDD", MediaType::kHdd});
+  std::vector<MediumId> media;
+  for (int w = 0; w < kWorkers; ++w) {
+    auto worker = master.RegisterWorker(
+        NetworkLocation("r" + std::to_string(w % 2), "n" + std::to_string(w)),
+        1.25e9);
+    OCTO_CHECK(worker.ok());
+    MediumSpec spec;
+    spec.tier = kHddTier;
+    spec.type = MediaType::kHdd;
+    spec.capacity_bytes = 1024 * kGiB;
+    spec.write_bps = FromMBps(126);
+    spec.read_bps = FromMBps(177);
+    auto medium = master.RegisterMedium(*worker, spec, ProfiledRates{});
+    OCTO_CHECK(medium.ok());
+    media.push_back(*medium);
+  }
+  ReplicationVector rv = ReplicationVector::OfTotal(3);
+  OCTO_CHECK_OK(master.Mkdirs("/reports", kUser));
+  for (int f = 0; f < kFiles; ++f) {
+    std::string path = "/reports/f" + std::to_string(f);
+    OCTO_CHECK_OK(master.Create(path, rv, 64 * kMiB, false, kUser, "bench"));
+    auto located = master.AddBlock(path, "bench", NetworkLocation());
+    OCTO_CHECK(located.ok()) << located.status().ToString();
+    std::vector<MediumId> succeeded;
+    for (const PlacedReplica& r : located->locations) {
+      succeeded.push_back(r.medium);
+    }
+    OCTO_CHECK_OK(master.CommitBlock(path, "bench", located->block.id,
+                                     64 * kMiB, succeeded,
+                                     located->block.genstamp));
+    OCTO_CHECK_OK(master.CompleteFile(path, "bench"));
+  }
+  // Reports that exactly mirror the master's map: applying them is pure
+  // reconciliation work, no command churn.
+  std::vector<std::pair<WorkerId, BlockReport>> reports(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) reports[w].first = w;
+  std::map<MediumId, WorkerId> owner;
+  for (int w = 0; w < kWorkers; ++w) owner[media[w]] = w;
+  int blocks = 0;
+  master.block_manager().ForEach([&](const BlockRecord& record) {
+    ++blocks;
+    for (MediumId m : record.locations) {
+      ReplicaDescriptor r;
+      r.block = record.id;
+      r.genstamp = record.genstamp;
+      r.length = record.length;
+      r.finalized = true;
+      reports[owner[m]].second[m].push_back(r);
+    }
+  });
+
+  constexpr int kRounds = 200;
+  auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& [worker, report] : reports) {
+      OCTO_CHECK_OK(master.ProcessBlockReport(worker, report));
+    }
+  }
+  double immediate = Seconds(start);
+  start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& [worker, report] : reports) {
+      master.StageBlockReport(worker, report);
+    }
+    int applied = master.FlushStagedReports();
+    OCTO_CHECK(applied == kWorkers);
+  }
+  double staged = Seconds(start);
+
+  ReportBatchingResult result;
+  result.workers = kWorkers;
+  result.blocks = blocks;
+  result.immediate_reports_per_sec = kRounds * kWorkers / immediate;
+  result.staged_reports_per_sec = kRounds * kWorkers / staged;
+  return result;
+}
+
+// -- Section E: allocations per op on the hot paths ------------------------
+
+struct AllocResult {
+  double resolve_allocs_per_op = 0;
+  double journal_allocs_per_record = 0;
+};
+
+AllocResult RunAllocCounts(Master* master) {
+  AllocResult result;
+  constexpr int kOps = 100000;
+  const NamespaceTree& tree = master->namespace_tree();
+  const std::string path = "/meta/d7/f123";
+  // Warm-up (first lookups may fault in nothing, but keep symmetry).
+  for (int i = 0; i < 1000; ++i) OCTO_CHECK(tree.ExistsNormalized(path));
+  uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOps; ++i) {
+    OCTO_CHECK(tree.ExistsNormalized(path));
+  }
+  uint64_t resolves =
+      g_alloc_count.load(std::memory_order_relaxed) - before;
+  result.resolve_allocs_per_op = static_cast<double>(resolves) / kOps;
+
+  EditLog log;
+  log.LogMkdirs("/warmup/abcdefgh");  // size the scratch buffer
+  before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kOps; ++i) {
+    log.LogAddBlock(path, BlockInfo{1234567, 64 * kMiB, 42});
+  }
+  uint64_t appends = g_alloc_count.load(std::memory_order_relaxed) - before;
+  // Each record is stored (one string copy); the formatting itself must
+  // not allocate, so this should hover just above 1 (amortized vector
+  // growth included).
+  result.journal_allocs_per_record = static_cast<double>(appends) / kOps;
+  return result;
+}
+
+}  // namespace
+}  // namespace octo
+
+int main(int argc, char** argv) {
+  using namespace octo;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_metadata.json";
+  const int thread_counts[] = {1, 2, 4, 8};
+  SystemClock clock;
+  unsigned host_cores = std::thread::hardware_concurrency();
+
+  // Section A: read scaling.
+  std::unique_ptr<Master> big = BuildBigNamespace(&clock);
+  constexpr int kReadOps = 200000;
+  std::vector<ReadScalingResult> read_results;
+  double ops_1t = 0;
+  for (int threads : thread_counts) {
+    ReadScalingResult r;
+    r.threads = threads;
+    r.ops_per_sec = RunReadMix(big.get(), threads, kReadOps);
+    if (threads == 1) ops_1t = r.ops_per_sec;
+    r.efficiency_vs_1t = ops_1t > 0 ? r.ops_per_sec / ops_1t : 0;
+    r.modeled_speedup = threads * r.efficiency_vs_1t;
+    std::printf("read mix  %d thread(s): %10.0f ops/s  (efficiency %.2f, "
+                "modeled speedup on %d cores: %.1fx)\n",
+                threads, r.ops_per_sec, r.efficiency_vs_1t, threads,
+                r.modeled_speedup);
+    std::fflush(stdout);
+    read_results.push_back(r);
+  }
+
+  // Section B: per-type S-Live at each thread count.
+  struct SliveRow {
+    int threads;
+    workload::SliveResult result;
+  };
+  std::vector<SliveRow> slive_rows;
+  for (int threads : thread_counts) {
+    Master master(MasterOptions{}, &clock);
+    workload::SliveOptions options;
+    options.ops_per_type = 20000;
+    options.threads = threads;
+    auto result = workload::RunSlive(&master, options);
+    OCTO_CHECK(result.ok()) << result.status().ToString();
+    std::printf("slive     %d thread(s):", threads);
+    for (const auto& [op, rate] : result->ops_per_second) {
+      std::printf("  %s %.0f/s", op.c_str(), rate);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+    slive_rows.push_back(SliveRow{threads, *std::move(result)});
+  }
+
+  // Section C: group commit vs per-record flush (file-backed journal).
+  // The page-cache rows show the non-durable baseline; the fsync rows are
+  // the configuration group commit exists for — one fdatasync covering a
+  // whole batch, with followers piling on while the leader syncs.
+  GroupCommitResult pc_per_record = RunGroupCommit(
+      &clock, /*sync_each_record=*/true, /*fsync=*/false, 8, 40000);
+  GroupCommitResult pc_grouped = RunGroupCommit(
+      &clock, /*sync_each_record=*/false, /*fsync=*/false, 8, 40000);
+  GroupCommitResult per_record = RunGroupCommit(
+      &clock, /*sync_each_record=*/true, /*fsync=*/true, 8, 4000);
+  GroupCommitResult grouped = RunGroupCommit(
+      &clock, /*sync_each_record=*/false, /*fsync=*/true, 8, 4000);
+  const GroupCommitResult* gc_rows[] = {&pc_per_record, &pc_grouped,
+                                        &per_record, &grouped};
+  for (const GroupCommitResult* r : gc_rows) {
+    std::printf("journal   %-16s %-10s 8 threads: %8.0f creates/s  "
+                "%.3f flushes/record\n",
+                r->mode.c_str(), r->durability.c_str(), r->creates_per_sec,
+                r->flushes_per_record);
+  }
+  std::fflush(stdout);
+
+  // Section D: report batching.
+  ReportBatchingResult reports = RunReportBatching(&clock);
+  std::printf("reports   immediate %.0f/s  staged %.0f/s  (%d workers, %d "
+              "blocks)\n",
+              reports.immediate_reports_per_sec,
+              reports.staged_reports_per_sec, reports.workers,
+              reports.blocks);
+
+  // Section E: allocation counts.
+  AllocResult allocs = RunAllocCounts(big.get());
+  std::printf("allocs    resolve %.3f/op  journal append %.3f/record\n",
+              allocs.resolve_allocs_per_op, allocs.journal_allocs_per_record);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"metadata_hotpath\",\n");
+  std::fprintf(f, "  \"namespace_files\": %d,\n", kDirs * kFilesPerDir);
+  std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+  std::fprintf(f,
+               "  \"model_note\": \"modeled_speedup = threads * (ops_T / "
+               "ops_1): reads take only shared locks, so T time-sliced "
+               "threads at efficiency e model T*e on T cores; on hosts with "
+               ">= T cores the measured speedup itself applies\",\n");
+  std::fprintf(f, "  \"read_scaling\": [\n");
+  for (size_t i = 0; i < read_results.size(); ++i) {
+    const auto& r = read_results[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"ops_per_sec\": %.1f, "
+                 "\"efficiency_vs_1t\": %.3f, \"modeled_speedup\": %.2f}%s\n",
+                 r.threads, r.ops_per_sec, r.efficiency_vs_1t,
+                 r.modeled_speedup, i + 1 == read_results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"read_scaling_1_to_8_modeled\": %.2f,\n",
+               read_results.back().modeled_speedup);
+  std::fprintf(f, "  \"slive\": [\n");
+  for (size_t i = 0; i < slive_rows.size(); ++i) {
+    const auto& row = slive_rows[i];
+    std::fprintf(f, "    {\"threads\": %d", row.threads);
+    for (const auto& [op, rate] : row.result.ops_per_second) {
+      std::fprintf(f, ", \"%s\": %.1f", op.c_str(), rate);
+    }
+    std::fprintf(f, "}%s\n", i + 1 == slive_rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"group_commit\": [\n");
+  for (size_t i = 0; i < 4; ++i) {
+    const auto& r = *gc_rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"durability\": \"%s\", "
+                 "\"threads\": %d, \"creates_per_sec\": %.1f, "
+                 "\"flushes_per_record\": %.4f, \"records\": %lld, "
+                 "\"flushes\": %lld}%s\n",
+                 r.mode.c_str(), r.durability.c_str(), r.threads,
+                 r.creates_per_sec, r.flushes_per_record,
+                 static_cast<long long>(r.records),
+                 static_cast<long long>(r.flushes), i == 3 ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"group_commit_speedup_8t\": %.3f,\n",
+               per_record.creates_per_sec > 0
+                   ? grouped.creates_per_sec / per_record.creates_per_sec
+                   : 0.0);
+  std::fprintf(f,
+               "  \"report_batching\": {\"workers\": %d, \"blocks\": %d, "
+               "\"immediate_reports_per_sec\": %.1f, "
+               "\"staged_reports_per_sec\": %.1f, "
+               "\"immediate_service_lock_acquisitions_per_round\": %d, "
+               "\"staged_service_lock_acquisitions_per_round\": 1},\n",
+               reports.workers, reports.blocks,
+               reports.immediate_reports_per_sec,
+               reports.staged_reports_per_sec, reports.workers);
+  std::fprintf(f,
+               "  \"allocations\": {\"resolve_allocs_per_op\": %.4f, "
+               "\"journal_allocs_per_record\": %.4f}\n",
+               allocs.resolve_allocs_per_op,
+               allocs.journal_allocs_per_record);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,8 +1,11 @@
 #ifndef OCTOPUSFS_CLUSTER_BLOCK_MANAGER_H_
 #define OCTOPUSFS_CLUSTER_BLOCK_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -29,12 +32,24 @@ struct BlockRecord {
 /// The Master's block-location map (paper §2.1: "the mapping of file
 /// blocks to Workers and storage media"). Pure bookkeeping; placement
 /// decisions live in the policies and replication logic in the Master.
+///
+/// Thread-safe: records are hash-partitioned over internal reader-writer
+/// stripes keyed by block id, so lookups and mutations of unrelated
+/// blocks do not serialize. Stripe mutexes are leaves in the lock order.
+/// Exception: the raw pointers from Find()/FindMutable() are only stable
+/// while no other thread removes blocks — callers that hold them across
+/// statements must serialize with mutators (the Master's service lock
+/// does); use Snapshot() from unserialized contexts.
 class BlockManager {
  public:
   BlockManager() = default;
+  BlockManager(const BlockManager&) = delete;
+  BlockManager& operator=(const BlockManager&) = delete;
 
   /// Allocates a fresh block id.
-  BlockId NextBlockId() { return next_block_id_++; }
+  BlockId NextBlockId() {
+    return next_block_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   Status AddBlock(BlockRecord record);
   Status RemoveBlock(BlockId id);
@@ -48,25 +63,49 @@ class BlockManager {
   Status SetExpected(BlockId id, const ReplicationVector& expected,
                      int64_t* length_out = nullptr);
 
+  /// See the class comment for the pointer-stability contract.
   const BlockRecord* Find(BlockId id) const;
   /// Mutable lookup for callers that edit a record in place (the
-  /// replication monitor pruning dead replicas). Record pointers stay
-  /// valid across map mutations (std::map node stability).
+  /// replication monitor pruning dead replicas).
   BlockRecord* FindMutable(BlockId id);
-  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+  bool Contains(BlockId id) const;
+
+  /// Copies the record under the stripe lock; safe from any thread.
+  /// Returns false when the block is unknown.
+  bool Snapshot(BlockId id, BlockRecord* out) const;
 
   /// All blocks that have a replica on `medium` (used when a medium or
-  /// worker dies).
+  /// worker dies). Ascending id order.
   std::vector<BlockId> BlocksOnMedium(MediumId medium) const;
 
-  /// Iterates over every block record (the replication monitor's scan).
+  /// Iterates over every block record in ascending id order (the
+  /// replication monitor's scan). The visitor receives a copy taken just
+  /// before the call, so it may itself call back into the manager.
   void ForEach(const std::function<void(const BlockRecord&)>& fn) const;
 
-  int64_t NumBlocks() const { return static_cast<int64_t>(blocks_.size()); }
+  int64_t NumBlocks() const;
+
+  /// Drops every record and resets the id allocator (image load rebuilds
+  /// the map from scratch).
+  void Reset();
 
  private:
-  BlockId next_block_id_ = 1;
-  std::map<BlockId, BlockRecord> blocks_;
+  static constexpr size_t kStripeCount = 64;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::map<BlockId, BlockRecord> blocks;
+  };
+
+  Stripe& StripeFor(BlockId id) {
+    return stripes_[static_cast<uint64_t>(id) % kStripeCount];
+  }
+  const Stripe& StripeFor(BlockId id) const {
+    return stripes_[static_cast<uint64_t>(id) % kStripeCount];
+  }
+
+  std::atomic<BlockId> next_block_id_{1};
+  std::array<Stripe, kStripeCount> stripes_;
 };
 
 }  // namespace octo

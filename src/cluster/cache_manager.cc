@@ -16,6 +16,7 @@ CacheManager::CacheManager(Master* master, CacheManagerOptions options)
       last_decay_micros_(master->clock()->NowMicros()) {}
 
 void CacheManager::RecordAccess(const std::string& path, int weight) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileHeat& heat = heat_[path];
   heat.count += weight;
   heat.last_access_micros = master_->clock()->NowMicros();
@@ -81,6 +82,7 @@ Status CacheManager::Evict(const std::string& path, CacheTickReport* report) {
 }
 
 Result<CacheTickReport> CacheManager::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
   CacheTickReport report;
   int64_t now = master_->clock()->NowMicros();
 
@@ -134,6 +136,7 @@ Result<CacheTickReport> CacheManager::Tick() {
 }
 
 std::vector<std::string> CacheManager::PromotedFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(promoted_.size());
   for (const auto& [path, bytes] : promoted_) out.push_back(path);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,12 @@ struct CacheTickReport {
 ///     the budget is exceeded or a hotter file needs the space.
 /// Only replicas the manager itself added are ever evicted — user-pinned
 /// memory replicas (explicit replication vectors) are untouched.
+///
+/// Thread-safe: RecordAccess may be called from the Master's (parallel)
+/// read paths while Tick runs. An internal mutex guards the heat and
+/// promotion state; it is held across the Master calls a Tick issues,
+/// so it sits above every Master lock in the global order (the Master
+/// never calls back into the manager).
 class CacheManager {
  public:
   CacheManager(Master* master, CacheManagerOptions options = {});
@@ -61,6 +68,7 @@ class CacheManager {
   std::vector<std::string> PromotedFiles() const;
 
   bool IsPromoted(const std::string& path) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return promoted_.count(path) > 0;
   }
 
@@ -70,6 +78,8 @@ class CacheManager {
     int64_t last_access_micros = 0;
   };
 
+  // The private helpers run with mu_ held.
+
   /// Memory-tier bytes the manager may still claim.
   int64_t MemoryBudgetRemaining() const;
 
@@ -78,6 +88,8 @@ class CacheManager {
 
   Master* master_;
   CacheManagerOptions options_;
+  /// Guards heat_, promoted_, and last_decay_micros_.
+  mutable std::mutex mu_;
   std::map<std::string, FileHeat> heat_;
   /// path -> bytes of the memory replica the manager added.
   std::map<std::string, int64_t> promoted_;

@@ -31,22 +31,31 @@ Master::Master(MasterOptions options, Clock* clock)
   }
   placement_ = MakeMoopPolicy();
   retrieval_ = MakeOctopusRetrievalPolicy();
+  // The Master group-commits: every mutation calls log_->Commit() before
+  // acknowledging, so the per-record flush would only add syscalls.
+  log_->SetSyncEachRecord(false);
 }
 
 void Master::SetPlacementPolicy(std::unique_ptr<PlacementPolicy> policy) {
   OCTO_CHECK(policy != nullptr);
+  std::lock_guard<std::mutex> service(service_mu_);
   placement_ = std::move(policy);
 }
 
 void Master::SetRetrievalPolicy(std::unique_ptr<RetrievalPolicy> policy) {
   OCTO_CHECK(policy != nullptr);
+  std::lock_guard<std::mutex> service(service_mu_);
   retrieval_ = std::move(policy);
 }
 
-void Master::DefineTier(TierInfo tier) { state_.AddTier(std::move(tier)); }
+void Master::DefineTier(TierInfo tier) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  state_.AddTier(std::move(tier));
+}
 
 Result<WorkerId> Master::RegisterWorker(const NetworkLocation& location,
                                         double net_bps) {
+  std::lock_guard<std::mutex> service(service_mu_);
   OCTO_RETURN_IF_ERROR(topology_.AddNode(location));
   WorkerId id = next_worker_id_++;
   WorkerInfo info;
@@ -62,6 +71,7 @@ Result<WorkerId> Master::RegisterWorker(const NetworkLocation& location,
 Result<MediumId> Master::RegisterMedium(WorkerId worker,
                                         const MediumSpec& spec,
                                         const ProfiledRates& profiled) {
+  std::lock_guard<std::mutex> service(service_mu_);
   const WorkerInfo* w = state_.FindWorker(worker);
   if (w == nullptr) {
     return Status::NotFound("worker " + std::to_string(worker));
@@ -87,6 +97,7 @@ Result<MediumId> Master::RegisterMedium(WorkerId worker,
 
 Status Master::ReRegisterWorker(WorkerId id, const NetworkLocation& location,
                                 double net_bps) {
+  std::lock_guard<std::mutex> service(service_mu_);
   if (state_.FindWorker(id) != nullptr) return Status::OK();
   Status st = topology_.AddNode(location);
   if (!st.ok() && !st.IsAlreadyExists()) return st;
@@ -104,6 +115,7 @@ Status Master::ReRegisterWorker(WorkerId id, const NetworkLocation& location,
 Status Master::ReRegisterMedium(WorkerId worker, MediumId id,
                                 const MediumSpec& spec,
                                 const ProfiledRates& profiled) {
+  std::lock_guard<std::mutex> service(service_mu_);
   if (state_.FindMedium(id) != nullptr) return Status::OK();
   const WorkerInfo* w = state_.FindWorker(worker);
   if (w == nullptr) {
@@ -128,20 +140,7 @@ Status Master::ReRegisterMedium(WorkerId worker, MediumId id,
   return Status::OK();
 }
 
-Result<std::vector<WorkerCommand>> Master::Heartbeat(
-    const HeartbeatPayload& hb) {
-  if (hb.master_epoch > epoch_) {
-    return Status::FailedPrecondition(
-        "master deposed: worker " + std::to_string(hb.worker) +
-        " is at epoch " + std::to_string(hb.master_epoch) + ", this master at " +
-        std::to_string(epoch_));
-  }
-  if (hb.master_epoch != 0 && hb.master_epoch < epoch_) {
-    return Status::FailedPrecondition(
-        "stale epoch " + std::to_string(hb.master_epoch) + " from worker " +
-        std::to_string(hb.worker) + " (current " + std::to_string(epoch_) +
-        "); re-register first");
-  }
+Status Master::ApplyHeartbeatStatsLocked(const HeartbeatPayload& hb) {
   const WorkerInfo* w = state_.FindWorker(hb.worker);
   if (w == nullptr) {
     return Status::NotFound("worker " + std::to_string(hb.worker));
@@ -162,51 +161,83 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
     if (m == nullptr || m->worker != hb.worker) continue;
     HandleFailedMedium(medium);
   }
-  // Corrupt replicas found by the worker's scrubber ride the heartbeat
-  // (the DataNode's bad-block report). NotFound is fine: the replica may
-  // already have been dropped via a client read report or RunScrubber.
-  if (!safe_mode_) {
-    for (const auto& [medium, block] : hb.bad_replicas) {
-      Status st = ReportBadBlock(block, medium);
-      if (!st.ok() && !st.IsNotFound()) return st;
+  return Status::OK();
+}
+
+Result<std::vector<WorkerCommand>> Master::Heartbeat(
+    const HeartbeatPayload& hb) {
+  // Phase 1 (service lock): stats, failed media, bad replicas, and lease
+  // reaping. Lease recovery itself runs between the phases because it
+  // acquires namespace locks, which always come before the service lock.
+  std::vector<std::string> expired;
+  {
+    std::lock_guard<std::mutex> service(service_mu_);
+    uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if (hb.master_epoch > epoch) {
+      return Status::FailedPrecondition(
+          "master deposed: worker " + std::to_string(hb.worker) +
+          " is at epoch " + std::to_string(hb.master_epoch) +
+          ", this master at " + std::to_string(epoch));
+    }
+    if (hb.master_epoch != 0 && hb.master_epoch < epoch) {
+      return Status::FailedPrecondition(
+          "stale epoch " + std::to_string(hb.master_epoch) + " from worker " +
+          std::to_string(hb.worker) + " (current " + std::to_string(epoch) +
+          "); re-register first");
+    }
+    OCTO_RETURN_IF_ERROR(ApplyHeartbeatStatsLocked(hb));
+    // Corrupt replicas found by the worker's scrubber ride the heartbeat
+    // (the DataNode's bad-block report). NotFound is fine: the replica may
+    // already have been dropped via a client read report or RunScrubber.
+    if (!in_safe_mode()) {
+      for (const auto& [medium, block] : hb.bad_replicas) {
+        Status st = ReportBadBlockLocked(block, medium);
+        if (!st.ok() && !st.IsNotFound()) return st;
+      }
+      // Lease reaping piggy-backs on heartbeat processing: an expired
+      // writer's file enters lease recovery — a recovery primary
+      // reconciles the divergent tail-block replicas before the file is
+      // completed (the HDFS recoverLease path). Trusting the writer's
+      // last claim instead would register whatever length it happened to
+      // report, even when the surviving replicas disagree. Skipped in
+      // safe mode: reconstructed leases must not expire while the
+      // cluster is still re-assembling its block map.
+      expired = leases_.ReapExpired();
     }
   }
-  // Lease reaping piggy-backs on heartbeat processing: an expired
-  // writer's file enters lease recovery — a recovery primary reconciles
-  // the divergent tail-block replicas before the file is completed (the
-  // HDFS recoverLease path). Trusting the writer's last claim instead
-  // would register whatever length it happened to report, even when the
-  // surviving replicas disagree. Skipped in safe mode: reconstructed
-  // leases must not expire while the cluster is still re-assembling its
-  // block map.
-  if (!safe_mode_) {
-    for (const std::string& path : leases_.ReapExpired()) {
-      StartLeaseRecovery(path);
-    }
+  for (const std::string& path : expired) {
+    StartLeaseRecovery(path);
   }
-  // Deliver undelivered commands, and redeliver any whose previous
-  // delivery expired unacknowledged (the worker may have crashed between
-  // receiving and executing them). Commands stay queued until AckCommand.
+  // Phase 2 (service lock again): deliver undelivered commands, and
+  // redeliver any whose previous delivery expired unacknowledged (the
+  // worker may have crashed between receiving and executing them).
+  // Commands stay queued until AckCommand.
   std::vector<WorkerCommand> commands;
-  auto it = command_queues_.find(hb.worker);
-  if (it != command_queues_.end()) {
-    int64_t now = clock_->NowMicros();
-    for (QueuedCommand& queued : it->second) {
-      if (queued.delivered_micros < 0) {
-        queued.delivered_micros = now;
-        commands.push_back(queued.command);
-      } else if (now - queued.delivered_micros >
-                 options_.command_timeout_micros) {
-        queued.delivered_micros = now;
-        ++commands_redelivered_;
-        commands.push_back(queued.command);
+  {
+    std::lock_guard<std::mutex> service(service_mu_);
+    auto it = command_queues_.find(hb.worker);
+    if (it != command_queues_.end()) {
+      int64_t now = clock_->NowMicros();
+      for (QueuedCommand& queued : it->second) {
+        if (queued.delivered_micros < 0) {
+          queued.delivered_micros = now;
+          commands.push_back(queued.command);
+        } else if (now - queued.delivered_micros >
+                   options_.command_timeout_micros) {
+          queued.delivered_micros = now;
+          ++commands_redelivered_;
+          commands.push_back(queued.command);
+        }
       }
     }
   }
+  // Flush any records lease recovery appended before acking the round.
+  OCTO_RETURN_IF_ERROR(log_->Commit());
   return commands;
 }
 
 Status Master::AckCommand(WorkerId worker, uint64_t command_id) {
+  std::lock_guard<std::mutex> service(service_mu_);
   auto it = command_queues_.find(worker);
   if (it != command_queues_.end()) {
     for (auto cmd = it->second.begin(); cmd != it->second.end(); ++cmd) {
@@ -223,14 +254,62 @@ Status Master::AckCommand(WorkerId worker, uint64_t command_id) {
 
 Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report,
                                   uint64_t reporter_epoch) {
-  if (reporter_epoch != 0 && reporter_epoch != epoch_) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return ApplyBlockReportLocked(worker, report, reporter_epoch);
+}
+
+void Master::StageBlockReport(WorkerId worker, BlockReport report,
+                              uint64_t reporter_epoch) {
+  std::lock_guard<std::mutex> staging(staging_mu_);
+  staged_reports_.push_back(
+      StagedBlockReport{worker, std::move(report), reporter_epoch});
+}
+
+void Master::StageHeartbeatStats(HeartbeatPayload hb) {
+  std::lock_guard<std::mutex> staging(staging_mu_);
+  staged_heartbeats_.push_back(std::move(hb));
+}
+
+int Master::FlushStagedReports() {
+  std::vector<HeartbeatPayload> heartbeats;
+  std::vector<StagedBlockReport> reports;
+  {
+    std::lock_guard<std::mutex> staging(staging_mu_);
+    heartbeats.swap(staged_heartbeats_);
+    reports.swap(staged_reports_);
+  }
+  if (heartbeats.empty() && reports.empty()) return 0;
+  int applied = 0;
+  std::lock_guard<std::mutex> service(service_mu_);
+  for (const HeartbeatPayload& hb : heartbeats) {
+    uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if (hb.master_epoch > epoch ||
+        (hb.master_epoch != 0 && hb.master_epoch < epoch)) {
+      continue;  // fenced: addressed to a different master incarnation
+    }
+    if (ApplyHeartbeatStatsLocked(hb).ok()) ++applied;
+  }
+  for (const StagedBlockReport& staged : reports) {
+    if (ApplyBlockReportLocked(staged.worker, staged.report,
+                               staged.reporter_epoch)
+            .ok()) {
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+Status Master::ApplyBlockReportLocked(WorkerId worker,
+                                      const BlockReport& report,
+                                      uint64_t reporter_epoch) {
+  if (reporter_epoch != 0 && reporter_epoch != epoch()) {
     // Fencing both ways: a report addressed to a predecessor of this
     // master (reporter ahead) or built for a deposed one (reporter
     // behind) must not mutate the block map.
     return Status::FailedPrecondition(
         "block report from worker " + std::to_string(worker) + " at epoch " +
         std::to_string(reporter_epoch) + " rejected by master at epoch " +
-        std::to_string(epoch_));
+        std::to_string(epoch()));
   }
   if (state_.FindWorker(worker) == nullptr) {
     return Status::NotFound("worker " + std::to_string(worker));
@@ -264,7 +343,7 @@ Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report,
           OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(r.block, medium));
           (void)state_.AdjustMediumRemaining(medium, record->length);
         }
-        if (safe_mode_) {
+        if (in_safe_mode()) {
           // The namespace may still be mid-reconstruction; destroying
           // bytes now could orphan the only copy of a block a later edit
           // replay or report legitimizes. Defer until safe-mode exit.
@@ -304,11 +383,12 @@ Status Master::ProcessBlockReport(WorkerId worker, const BlockReport& report,
       }
     }
   }
-  if (safe_mode_) MaybeExitSafeMode();
+  if (in_safe_mode()) MaybeExitSafeMode();
   return Status::OK();
 }
 
 std::vector<WorkerId> Master::CheckWorkerLiveness() {
+  std::lock_guard<std::mutex> service(service_mu_);
   std::vector<WorkerId> newly_dead;
   int64_t now = clock_->NowMicros();
   for (const auto& [id, w] : state_.workers()) {
@@ -344,99 +424,163 @@ std::vector<WorkerId> Master::CheckWorkerLiveness() {
 
 Status Master::Mkdirs(const std::string& path, const UserContext& ctx) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("mkdirs"));
-  OCTO_RETURN_IF_ERROR(tree_->Mkdirs(path, ctx));
-  log_->LogMkdirs(path);
-  return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    // Optimistic flat attempt: when every ancestor already exists only the
+    // parent and the new directory need exclusive locks. The tree refuses
+    // (Unavailable) when deeper ancestors are missing — those creations
+    // touch an unbounded prefix of the path, so escalate to a structural
+    // lock and let Mkdirs create the whole chain.
+    auto oplock = nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kMutate);
+    Status st = tree_->Mkdirs(normalized, ctx, AncestorPolicy::kRequireExisting);
+    if (st.IsUnavailable()) {
+      oplock.Release();
+      auto structural = nslocks_.LockStructural();
+      OCTO_RETURN_IF_ERROR(tree_->Mkdirs(normalized, ctx));
+      log_->LogMkdirs(normalized);
+    } else {
+      OCTO_RETURN_IF_ERROR(st);
+      log_->LogMkdirs(normalized);
+    }
+  }
+  return log_->Commit();
 }
 
 Result<std::vector<FileStatus>> Master::ListDirectory(
     const std::string& path, const UserContext& ctx) const {
-  return tree_->ListDirectory(path, ctx);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  auto oplock = nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
+  return tree_->ListDirectory(normalized, ctx);
 }
 
 Result<FileStatus> Master::GetFileStatus(const std::string& path,
                                          const UserContext& ctx) const {
-  return tree_->GetFileStatus(path, ctx);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  auto oplock = nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
+  return tree_->GetFileStatus(normalized, ctx);
 }
 
 Status Master::Rename(const std::string& src, const std::string& dst,
                       const UserContext& ctx) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("rename"));
-  OCTO_RETURN_IF_ERROR(tree_->Rename(src, dst, ctx));
-  log_->LogRename(src, dst);
-  return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string nsrc, NormalizePath(src));
+  OCTO_ASSIGN_OR_RETURN(std::string ndst, NormalizePath(dst));
+  {
+    auto oplock = nslocks_.LockStructural();
+    OCTO_RETURN_IF_ERROR(tree_->Rename(nsrc, ndst, ctx));
+    log_->LogRename(nsrc, ndst);
+  }
+  return log_->Commit();
 }
 
 Result<int> Master::Delete(const std::string& path, bool recursive,
                            const UserContext& ctx, bool skip_trash) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("delete"));
-  if (options_.enable_trash && !skip_trash) {
-    OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  if (options_.enable_trash && !skip_trash &&
+      !IsSelfOrDescendant("/.Trash", normalized)) {
+    // Move into the user's trash, keeping the base name; disambiguate
+    // collisions with a monotonically growing suffix. One structural lock
+    // covers the mkdir + probe + rename, so the chosen target cannot be
+    // taken by a concurrent delete of the same name.
     std::string trash_root = "/.Trash/" + ctx.user;
-    if (!IsSelfOrDescendant("/.Trash", normalized)) {
-      // Move into the user's trash, keeping the base name; disambiguate
-      // collisions with a monotonically growing suffix.
-      OCTO_RETURN_IF_ERROR(Mkdirs(trash_root, ctx));
+    {
+      auto oplock = nslocks_.LockStructural();
+      OCTO_RETURN_IF_ERROR(tree_->Mkdirs(trash_root, ctx));
+      log_->LogMkdirs(trash_root);
       std::string target = trash_root + "/" + BaseName(normalized);
       int suffix = 1;
       while (tree_->Exists(target)) {
         target = trash_root + "/" + BaseName(normalized) + "." +
                  std::to_string(suffix++);
       }
-      OCTO_RETURN_IF_ERROR(Rename(normalized, target, ctx));
-      return 0;  // nothing invalidated; data is recoverable from trash
+      OCTO_RETURN_IF_ERROR(tree_->Rename(normalized, target, ctx));
+      log_->LogRename(normalized, target);
+    }
+    OCTO_RETURN_IF_ERROR(log_->Commit());
+    return 0;  // nothing invalidated; data is recoverable from trash
+  }
+  std::vector<BlockInfo> removed;
+  {
+    // A recursive delete detaches a whole subtree — its lock footprint is
+    // not one prefix chain. Non-recursive deletes touch only parent +
+    // terminal.
+    auto oplock =
+        recursive ? nslocks_.LockStructural()
+                  : nslocks_.Lock(normalized,
+                                  NamespaceLockManager::OpMode::kMutate);
+    OCTO_ASSIGN_OR_RETURN(removed, tree_->Delete(normalized, recursive, ctx));
+    log_->LogDelete(normalized, recursive);
+    leases_.Remove(normalized);
+    std::lock_guard<std::mutex> service(service_mu_);
+    for (const BlockInfo& info : removed) {
+      const BlockRecord* record = blocks_.Find(info.id);
+      if (record == nullptr) continue;
+      for (MediumId medium : record->locations) {
+        WorkerCommand cmd;
+        cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+        cmd.block = info.id;
+        cmd.target_medium = medium;
+        // Free the master-side space accounting right away; the worker's
+        // next heartbeat will confirm.
+        (void)state_.AdjustMediumRemaining(medium, info.length);
+        QueueCommand(medium, std::move(cmd));
+      }
+      OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
     }
   }
-  OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> removed,
-                        tree_->Delete(path, recursive, ctx));
-  log_->LogDelete(path, recursive);
-  leases_.Remove(path);
-  for (const BlockInfo& info : removed) {
-    const BlockRecord* record = blocks_.Find(info.id);
-    if (record == nullptr) continue;
-    for (MediumId medium : record->locations) {
-      WorkerCommand cmd;
-      cmd.kind = WorkerCommand::Kind::kDeleteReplica;
-      cmd.block = info.id;
-      cmd.target_medium = medium;
-      // Free the master-side space accounting right away; the worker's
-      // next heartbeat will confirm.
-      (void)state_.AdjustMediumRemaining(medium, info.length);
-      QueueCommand(medium, std::move(cmd));
-    }
-    OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
-  }
+  OCTO_RETURN_IF_ERROR(log_->Commit());
   return static_cast<int>(removed.size());
 }
 
 Result<int> Master::ExpungeTrash(const UserContext& ctx) {
   std::string trash_root = "/.Trash/" + ctx.user;
-  if (!tree_->Exists(trash_root)) return 0;
+  {
+    auto oplock =
+        nslocks_.Lock(trash_root, NamespaceLockManager::OpMode::kRead);
+    if (!tree_->Exists(trash_root)) return 0;
+  }
   return Delete(trash_root, /*recursive=*/true, ctx, /*skip_trash=*/true);
 }
 
 Status Master::SetQuota(const std::string& path, int slot, int64_t bytes) {
-  OCTO_RETURN_IF_ERROR(tree_->SetQuota(path, slot, bytes));
-  log_->LogSetQuota(path, slot, bytes);
-  return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock = nslocks_.LockStructural();
+    OCTO_RETURN_IF_ERROR(tree_->SetQuota(normalized, slot, bytes));
+    log_->LogSetQuota(normalized, slot, bytes);
+  }
+  return log_->Commit();
 }
 
 Result<QuotaUsage> Master::GetQuotaUsage(const std::string& path) const {
-  return tree_->GetQuotaUsage(path);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  auto oplock = nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
+  return tree_->GetQuotaUsage(normalized);
 }
 
 Status Master::SetOwner(const std::string& path, const std::string& owner,
                         const std::string& group, const UserContext& ctx) {
-  OCTO_RETURN_IF_ERROR(tree_->SetOwner(path, owner, group, ctx));
-  log_->LogSetOwner(path, owner, group);
-  return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    // Structural: ownership feeds the traversal permission checks of every
+    // path below this one.
+    auto oplock = nslocks_.LockStructural();
+    OCTO_RETURN_IF_ERROR(tree_->SetOwner(normalized, owner, group, ctx));
+    log_->LogSetOwner(normalized, owner, group);
+  }
+  return log_->Commit();
 }
 
 Status Master::SetMode(const std::string& path, uint16_t mode,
                        const UserContext& ctx) {
-  OCTO_RETURN_IF_ERROR(tree_->SetMode(path, mode, ctx));
-  log_->LogSetMode(path, mode);
-  return Status::OK();
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock = nslocks_.LockStructural();
+    OCTO_RETURN_IF_ERROR(tree_->SetMode(normalized, mode, ctx));
+    log_->LogSetMode(normalized, mode);
+  }
+  return log_->Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -447,44 +591,73 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
                       const UserContext& ctx,
                       const std::string& lease_holder) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("create"));
-  // Another writer's live lease blocks re-creation even with overwrite
-  // (HDFS's AlreadyBeingCreatedException).
-  auto holder = leases_.Holder(path);
-  if (holder.ok() && *holder != lease_holder) {
-    return Status::AlreadyExists(path + " is being written by " + *holder);
-  }
-  std::vector<BlockInfo> replaced;
-  OCTO_RETURN_IF_ERROR(
-      tree_->CreateFile(path, rv, block_size, overwrite, ctx, &replaced));
-  log_->LogCreate(path, rv, block_size, overwrite, lease_holder);
-  for (const BlockInfo& info : replaced) {
-    const BlockRecord* record = blocks_.Find(info.id);
-    if (record == nullptr) continue;
-    for (MediumId medium : record->locations) {
-      WorkerCommand cmd;
-      cmd.kind = WorkerCommand::Kind::kDeleteReplica;
-      cmd.block = info.id;
-      cmd.target_medium = medium;
-      (void)state_.AdjustMediumRemaining(medium, info.length);
-      QueueCommand(medium, std::move(cmd));
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  // First attempt assumes the parent chain exists (the common case; only
+  // parent + file lock exclusive); when the tree reports missing
+  // ancestors, retry under the structural lock creating them.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool structural = attempt == 1;
+    auto oplock = structural
+                      ? nslocks_.LockStructural()
+                      : nslocks_.Lock(normalized,
+                                      NamespaceLockManager::OpMode::kMutate);
+    // Another writer's live lease blocks re-creation even with overwrite
+    // (HDFS's AlreadyBeingCreatedException).
+    auto holder = leases_.Holder(normalized);
+    if (holder.ok() && *holder != lease_holder) {
+      return Status::AlreadyExists(normalized + " is being written by " +
+                                   *holder);
     }
-    OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
+    std::vector<BlockInfo> replaced;
+    Status st = tree_->CreateFile(normalized, rv, block_size, overwrite, ctx,
+                                  &replaced,
+                                  structural ? AncestorPolicy::kCreate
+                                             : AncestorPolicy::kRequireExisting);
+    if (!structural && st.IsUnavailable()) continue;
+    OCTO_RETURN_IF_ERROR(st);
+    log_->LogCreate(normalized, rv, block_size, overwrite, lease_holder);
+    {
+      std::lock_guard<std::mutex> service(service_mu_);
+      for (const BlockInfo& info : replaced) {
+        const BlockRecord* record = blocks_.Find(info.id);
+        if (record == nullptr) continue;
+        for (MediumId medium : record->locations) {
+          WorkerCommand cmd;
+          cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+          cmd.block = info.id;
+          cmd.target_medium = medium;
+          (void)state_.AdjustMediumRemaining(medium, info.length);
+          QueueCommand(medium, std::move(cmd));
+        }
+        OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
+      }
+    }
+    leases_.Remove(normalized);
+    OCTO_RETURN_IF_ERROR(leases_.Acquire(normalized, lease_holder));
+    oplock.Release();
+    return log_->Commit();
   }
-  leases_.Remove(path);
-  return leases_.Acquire(path, lease_holder);
+  return Status::Internal("create of " + normalized + " failed to escalate");
 }
 
 Status Master::Append(const std::string& path, const UserContext& ctx,
                       const std::string& lease_holder) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("append"));
-  auto holder = leases_.Holder(path);
-  if (holder.ok() && *holder != lease_holder) {
-    return Status::AlreadyExists(path + " is being written by " + *holder);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kMutate);
+    auto holder = leases_.Holder(normalized);
+    if (holder.ok() && *holder != lease_holder) {
+      return Status::AlreadyExists(normalized + " is being written by " +
+                                   *holder);
+    }
+    OCTO_RETURN_IF_ERROR(tree_->ReopenForAppend(normalized, ctx));
+    log_->LogAppend(normalized, lease_holder);
+    leases_.Remove(normalized);
+    OCTO_RETURN_IF_ERROR(leases_.Acquire(normalized, lease_holder));
   }
-  OCTO_RETURN_IF_ERROR(tree_->ReopenForAppend(path, ctx));
-  log_->LogAppend(path, lease_holder);
-  leases_.Remove(path);
-  return leases_.Acquire(path, lease_holder);
+  return log_->Commit();
 }
 
 PlacedReplica Master::MakePlacedReplica(MediumId medium) const {
@@ -503,41 +676,55 @@ Result<LocatedBlock> Master::AddBlock(const std::string& path,
                                       const std::string& lease_holder,
                                       const NetworkLocation& client) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("addBlock"));
-  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
-  if (holder != lease_holder) {
-    return Status::PermissionDenied("lease on " + path + " held by " + holder);
-  }
-  OCTO_RETURN_IF_ERROR(leases_.Renew(path, lease_holder));
-  OCTO_ASSIGN_OR_RETURN(FileStatus status,
-                        tree_->GetFileStatus(path, kSuperuser));
-  if (!status.under_construction) {
-    return Status::FailedPrecondition(path + " is not under construction");
-  }
-  PlacementRequest request;
-  request.client = client;
-  request.rep_vector = status.rep_vector;
-  request.block_size = status.block_size;
-  OCTO_ASSIGN_OR_RETURN(std::vector<MediumId> media,
-                        placement_->PlaceReplicas(state_, request, &rng_));
-  BlockId id = blocks_.NextBlockId();
-  // Every block is born under a fresh generation stamp; pipeline and
-  // lease recovery bump it to fence off writers that missed the recovery.
-  uint64_t genstamp = NextGenstamp();
-  pending_blocks_[id] = PendingBlock{path, media, genstamp};
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
   LocatedBlock located;
-  located.block = BlockInfo{id, 0, genstamp};
-  located.offset = status.length;
-  located.locations.reserve(media.size());
-  for (MediumId m : media) located.locations.push_back(MakePlacedReplica(m));
+  {
+    // Block allocation reads the file (length, rep vector) but mutates
+    // only service state, so a shared namespace lock suffices.
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
+    OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(normalized));
+    if (holder != lease_holder) {
+      return Status::PermissionDenied("lease on " + normalized + " held by " +
+                                      holder);
+    }
+    OCTO_RETURN_IF_ERROR(leases_.Renew(normalized, lease_holder));
+    OCTO_ASSIGN_OR_RETURN(FileStatus status,
+                          tree_->GetFileStatus(normalized, kSuperuser));
+    if (!status.under_construction) {
+      return Status::FailedPrecondition(normalized +
+                                        " is not under construction");
+    }
+    PlacementRequest request;
+    request.client = client;
+    request.rep_vector = status.rep_vector;
+    request.block_size = status.block_size;
+    std::lock_guard<std::mutex> service(service_mu_);
+    OCTO_ASSIGN_OR_RETURN(std::vector<MediumId> media,
+                          placement_->PlaceReplicas(state_, request, &rng_));
+    BlockId id = blocks_.NextBlockId();
+    // Every block is born under a fresh generation stamp; pipeline and
+    // lease recovery bump it to fence off writers that missed the recovery.
+    uint64_t genstamp = NextGenstamp();
+    pending_blocks_[id] = PendingBlock{normalized, media, genstamp};
+    located.block = BlockInfo{id, 0, genstamp};
+    located.offset = status.length;
+    located.locations.reserve(media.size());
+    for (MediumId m : media) located.locations.push_back(MakePlacedReplica(m));
+  }
+  OCTO_RETURN_IF_ERROR(log_->Commit());  // the GENSTAMP record
   return located;
 }
 
 Status Master::AbandonBlock(const std::string& path,
                             const std::string& lease_holder, BlockId block) {
-  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(normalized));
   if (holder != lease_holder) {
-    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+    return Status::PermissionDenied("lease on " + normalized + " held by " +
+                                    holder);
   }
+  std::lock_guard<std::mutex> service(service_mu_);
   pending_blocks_.erase(block);
   return Status::OK();
 }
@@ -548,98 +735,129 @@ Status Master::CommitBlock(const std::string& path,
                            const std::vector<MediumId>& succeeded,
                            uint64_t genstamp) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("commitBlock"));
-  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
-  if (holder != lease_holder) {
-    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kMutate);
+    OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(normalized));
+    if (holder != lease_holder) {
+      return Status::PermissionDenied("lease on " + normalized + " held by " +
+                                      holder);
+    }
+    std::lock_guard<std::mutex> service(service_mu_);
+    auto pending = pending_blocks_.find(block);
+    if (pending == pending_blocks_.end()) {
+      return Status::NotFound("block " + std::to_string(block) +
+                              " was not allocated");
+    }
+    if (pending->second.file != normalized) {
+      return Status::InvalidArgument("block " + std::to_string(block) +
+                                     " belongs to " + pending->second.file);
+    }
+    if (genstamp != 0 && genstamp != pending->second.genstamp) {
+      // The block was recovered past this writer (its lease expired, or a
+      // concurrent recovery restamped the replicas): its view of the bytes
+      // no longer matches what lives on the workers.
+      return Status::FailedPrecondition(
+          "commit of block " + std::to_string(block) + " under stamp " +
+          std::to_string(genstamp) + " fenced off (current " +
+          std::to_string(pending->second.genstamp) + ")");
+    }
+    if (succeeded.empty()) {
+      return Status::IoError("no replica of block " + std::to_string(block) +
+                             " was written");
+    }
+    OCTO_ASSIGN_OR_RETURN(FileStatus status,
+                          tree_->GetFileStatus(normalized, kSuperuser));
+    BlockInfo info{block, length, pending->second.genstamp};
+    BlockRecord record;
+    record.id = block;
+    record.file = normalized;
+    record.length = length;
+    record.genstamp = info.genstamp;
+    record.expected = status.rep_vector;
+    record.locations = succeeded;
+    OCTO_RETURN_IF_ERROR(tree_->AddBlock(normalized, info));
+    log_->LogAddBlock(normalized, info);
+    OCTO_RETURN_IF_ERROR(blocks_.AddBlock(std::move(record)));
+    for (MediumId medium : succeeded) {
+      (void)state_.AdjustMediumRemaining(medium, -length);
+    }
+    pending_blocks_.erase(pending);
   }
-  auto pending = pending_blocks_.find(block);
-  if (pending == pending_blocks_.end()) {
-    return Status::NotFound("block " + std::to_string(block) +
-                            " was not allocated");
-  }
-  if (pending->second.file != path) {
-    return Status::InvalidArgument("block " + std::to_string(block) +
-                                   " belongs to " + pending->second.file);
-  }
-  if (genstamp != 0 && genstamp != pending->second.genstamp) {
-    // The block was recovered past this writer (its lease expired, or a
-    // concurrent recovery restamped the replicas): its view of the bytes
-    // no longer matches what lives on the workers.
-    return Status::FailedPrecondition(
-        "commit of block " + std::to_string(block) + " under stamp " +
-        std::to_string(genstamp) + " fenced off (current " +
-        std::to_string(pending->second.genstamp) + ")");
-  }
-  if (succeeded.empty()) {
-    return Status::IoError("no replica of block " + std::to_string(block) +
-                           " was written");
-  }
-  OCTO_ASSIGN_OR_RETURN(FileStatus status,
-                        tree_->GetFileStatus(path, kSuperuser));
-  BlockInfo info{block, length, pending->second.genstamp};
-  BlockRecord record;
-  record.id = block;
-  record.file = path;
-  record.length = length;
-  record.genstamp = info.genstamp;
-  record.expected = status.rep_vector;
-  record.locations = succeeded;
-  OCTO_RETURN_IF_ERROR(tree_->AddBlock(path, info));
-  log_->LogAddBlock(path, info);
-  OCTO_RETURN_IF_ERROR(blocks_.AddBlock(std::move(record)));
-  for (MediumId medium : succeeded) {
-    (void)state_.AdjustMediumRemaining(medium, -length);
-  }
-  pending_blocks_.erase(pending);
-  return Status::OK();
+  return log_->Commit();
 }
 
 Result<PipelineRecoveryResult> Master::RecoverPipeline(
     const std::string& path, const std::string& lease_holder, BlockId block,
     const std::vector<MediumId>& survivors, const NetworkLocation& client) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("recoverPipeline"));
-  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
-  if (holder != lease_holder) {
-    return Status::PermissionDenied("lease on " + path + " held by " + holder);
-  }
-  OCTO_RETURN_IF_ERROR(leases_.Renew(path, lease_holder));
-  auto pending = pending_blocks_.find(block);
-  if (pending == pending_blocks_.end()) {
-    return Status::NotFound("block " + std::to_string(block) +
-                            " was not allocated");
-  }
-  if (pending->second.file != path) {
-    return Status::InvalidArgument("block " + std::to_string(block) +
-                                   " belongs to " + pending->second.file);
-  }
-  if (survivors.empty()) {
-    return Status::InvalidArgument(
-        "pipeline recovery of block " + std::to_string(block) +
-        " with no survivors; abandon the block instead");
-  }
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
   PipelineRecoveryResult result;
-  result.genstamp = NextGenstamp();
-  pending->second.genstamp = result.genstamp;
-  pending->second.targets = survivors;
-  // Try to restore the pipeline's width with a replacement medium; the
-  // block still completes (under-replicated) when placement cannot.
-  PlacementRequest request;
-  request.client = client;
-  request.rep_vector.Set(kUnspecifiedTier, 1);
-  auto status = tree_->GetFileStatus(path, kSuperuser);
-  request.block_size = status.ok() ? status->block_size : 0;
-  request.existing = survivors;
-  auto placed = placement_->PlaceReplicas(state_, request, &rng_);
-  if (placed.ok() && !placed->empty()) {
-    MediumId target = placed->front();
-    pending->second.targets.push_back(target);
-    result.has_replacement = true;
-    result.replacement = MakePlacedReplica(target);
+  {
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
+    OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(normalized));
+    if (holder != lease_holder) {
+      return Status::PermissionDenied("lease on " + normalized + " held by " +
+                                      holder);
+    }
+    OCTO_RETURN_IF_ERROR(leases_.Renew(normalized, lease_holder));
+    std::lock_guard<std::mutex> service(service_mu_);
+    auto pending = pending_blocks_.find(block);
+    if (pending == pending_blocks_.end()) {
+      return Status::NotFound("block " + std::to_string(block) +
+                              " was not allocated");
+    }
+    if (pending->second.file != normalized) {
+      return Status::InvalidArgument("block " + std::to_string(block) +
+                                     " belongs to " + pending->second.file);
+    }
+    if (survivors.empty()) {
+      return Status::InvalidArgument(
+          "pipeline recovery of block " + std::to_string(block) +
+          " with no survivors; abandon the block instead");
+    }
+    result.genstamp = NextGenstamp();
+    pending->second.genstamp = result.genstamp;
+    pending->second.targets = survivors;
+    // Try to restore the pipeline's width with a replacement medium; the
+    // block still completes (under-replicated) when placement cannot.
+    PlacementRequest request;
+    request.client = client;
+    request.rep_vector.Set(kUnspecifiedTier, 1);
+    auto status = tree_->GetFileStatus(normalized, kSuperuser);
+    request.block_size = status.ok() ? status->block_size : 0;
+    request.existing = survivors;
+    auto placed = placement_->PlaceReplicas(state_, request, &rng_);
+    if (placed.ok() && !placed->empty()) {
+      MediumId target = placed->front();
+      pending->second.targets.push_back(target);
+      result.has_replacement = true;
+      result.replacement = MakePlacedReplica(target);
+    }
   }
+  OCTO_RETURN_IF_ERROR(log_->Commit());  // the GENSTAMP record
   return result;
 }
 
 Status Master::CommitBlockSynchronization(
+    BlockId block, uint64_t genstamp, int64_t length,
+    const std::vector<MediumId>& good_media) {
+  Status st;
+  {
+    // The file the block belongs to is only known once the pending entry
+    // is found under the service lock — too late to take a per-path lock
+    // in order. Recovery callbacks are rare; take the structural lock.
+    auto oplock = nslocks_.LockStructural();
+    std::lock_guard<std::mutex> service(service_mu_);
+    st = CommitBlockSynchronizationLocked(block, genstamp, length, good_media);
+  }
+  Status committed = log_->Commit();
+  return st.ok() ? committed : st;
+}
+
+Status Master::CommitBlockSynchronizationLocked(
     BlockId block, uint64_t genstamp, int64_t length,
     const std::vector<MediumId>& good_media) {
   auto pending = pending_blocks_.find(block);
@@ -689,6 +907,10 @@ Status Master::CommitBlockSynchronization(
 }
 
 void Master::StartLeaseRecovery(const std::string& path) {
+  // Paths come from the lease table, which the Master keys by normalized
+  // path. Recovery mutates the file (force-complete) and service state.
+  auto oplock = nslocks_.Lock(path, NamespaceLockManager::OpMode::kMutate);
+  std::lock_guard<std::mutex> service(service_mu_);
   // Locate the file's under-construction tail block (writers allocate one
   // block at a time, so there is at most one).
   BlockId block = kInvalidBlock;
@@ -779,7 +1001,7 @@ void Master::HandleFailedMedium(MediumId medium) {
     if (key.second == medium) inflight.push_back(key.first);
   }
   for (BlockId b : inflight) AbortInflightCopy(b, medium);
-  if (safe_mode_) return;  // replicas were never adopted; nothing to drop
+  if (in_safe_mode()) return;  // replicas were never adopted; nothing to drop
   // Drop its replicas — without queueing invalidations, the device being
   // unable to execute them — and repair from the surviving copies.
   std::vector<BlockId> blocks = blocks_.BlocksOnMedium(medium);
@@ -795,18 +1017,26 @@ void Master::HandleFailedMedium(MediumId medium) {
 Status Master::CompleteFile(const std::string& path,
                             const std::string& lease_holder) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("completeFile"));
-  OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(path));
-  if (holder != lease_holder) {
-    return Status::PermissionDenied("lease on " + path + " held by " + holder);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kMutate);
+    OCTO_ASSIGN_OR_RETURN(std::string holder, leases_.Holder(normalized));
+    if (holder != lease_holder) {
+      return Status::PermissionDenied("lease on " + normalized + " held by " +
+                                      holder);
+    }
+    OCTO_RETURN_IF_ERROR(tree_->CompleteFile(normalized));
+    log_->LogComplete(normalized);
+    OCTO_RETURN_IF_ERROR(leases_.Release(normalized, lease_holder));
   }
-  OCTO_RETURN_IF_ERROR(tree_->CompleteFile(path));
-  log_->LogComplete(path);
-  return leases_.Release(path, lease_holder);
+  return log_->Commit();
 }
 
 Status Master::RenewLease(const std::string& path,
                           const std::string& lease_holder) {
-  return leases_.Renew(path, lease_holder);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  return leases_.Renew(normalized, lease_holder);
 }
 
 // ---------------------------------------------------------------------------
@@ -814,11 +1044,18 @@ Status Master::RenewLease(const std::string& path,
 
 Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
     const std::string& path, const NetworkLocation& client) {
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  auto oplock = nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kRead);
   OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
-                        tree_->GetBlocks(path));
+                        tree_->GetBlocks(normalized));
   std::vector<LocatedBlock> out;
   out.reserve(blocks.size());
+  // Empty files never touch service state: opens of fresh/zero-length
+  // files stay on the contention-free read path.
+  if (blocks.empty()) return out;
   int64_t offset = 0;
+  // Replica ordering consumes the shared rng and reads cluster state.
+  std::lock_guard<std::mutex> service(service_mu_);
   for (const BlockInfo& info : blocks) {
     LocatedBlock located;
     located.block = info;
@@ -840,14 +1077,20 @@ Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
 
 std::vector<MediumId> Master::OrderReplicasFor(
     const NetworkLocation& client, const std::vector<MediumId>& media) {
+  std::lock_guard<std::mutex> service(service_mu_);
   return retrieval_->OrderReplicas(state_, client, media, &rng_);
 }
 
 Status Master::ReportBadBlock(BlockId block, MediumId medium) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return ReportBadBlockLocked(block, medium);
+}
+
+Status Master::ReportBadBlockLocked(BlockId block, MediumId medium) {
   // In safe mode the block map is still being reconstructed; dropping
   // locations now could make reconstruction count a reported block as
   // lost. Ignore — the scrubber/reader will re-report after exit.
-  if (safe_mode_) return Status::OK();
+  if (in_safe_mode()) return Status::OK();
   OCTO_RETURN_IF_ERROR(blocks_.RemoveReplica(block, medium));
   const BlockRecord* record = blocks_.Find(block);
   if (record != nullptr) {
@@ -868,21 +1111,29 @@ Status Master::SetReplication(const std::string& path,
                               const ReplicationVector& rv,
                               const UserContext& ctx) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("setReplication"));
-  OCTO_RETURN_IF_ERROR(tree_->SetReplicationVector(path, rv, ctx));
-  log_->LogSetReplication(path, rv);
-  OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks, tree_->GetBlocks(path));
-  // Reconcile each block right away; the generated copy/delete commands
-  // execute asynchronously on the workers (paper §5: "the Client will not
-  // wait until the copying or removal of blocks is completed").
-  for (const BlockInfo& info : blocks) {
-    OCTO_RETURN_IF_ERROR(blocks_.SetExpected(info.id, rv));
-    const BlockRecord* record = blocks_.Find(info.id);
-    if (record != nullptr) ReconcileBlock(*record);
+  OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
+  {
+    auto oplock =
+        nslocks_.Lock(normalized, NamespaceLockManager::OpMode::kMutate);
+    OCTO_RETURN_IF_ERROR(tree_->SetReplicationVector(normalized, rv, ctx));
+    log_->LogSetReplication(normalized, rv);
+    OCTO_ASSIGN_OR_RETURN(std::vector<BlockInfo> blocks,
+                          tree_->GetBlocks(normalized));
+    // Reconcile each block right away; the generated copy/delete commands
+    // execute asynchronously on the workers (paper §5: "the Client will
+    // not wait until the copying or removal of blocks is completed").
+    std::lock_guard<std::mutex> service(service_mu_);
+    for (const BlockInfo& info : blocks) {
+      OCTO_RETURN_IF_ERROR(blocks_.SetExpected(info.id, rv));
+      const BlockRecord* record = blocks_.Find(info.id);
+      if (record != nullptr) ReconcileBlock(*record);
+    }
   }
-  return Status::OK();
+  return log_->Commit();
 }
 
 Result<std::vector<StorageTierReport>> Master::GetStorageTierReports() const {
+  std::lock_guard<std::mutex> service(service_mu_);
   return state_.TierReports();
 }
 
@@ -893,7 +1144,7 @@ void Master::QueueCommand(MediumId target_medium, WorkerCommand command) {
   const MediumInfo* m = state_.FindMedium(target_medium);
   if (m == nullptr) return;
   command.id = next_command_id_++;
-  command.epoch = epoch_;
+  command.epoch = epoch();
   command_queues_[m->worker].push_back(QueuedCommand{std::move(command)});
 }
 
@@ -1076,9 +1327,14 @@ int Master::ReconcileBlock(const BlockRecord& record) {
 }
 
 int Master::RunReplicationMonitor() {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return RunReplicationMonitorLocked();
+}
+
+int Master::RunReplicationMonitorLocked() {
   // Re-replication decisions made on a partial block map would copy and
   // delete the wrong things; wait for safe-mode exit.
-  if (safe_mode_) return 0;
+  if (in_safe_mode()) return 0;
   ExpireInflight();
   int commands = 0;
   std::vector<BlockId> ids;
@@ -1095,6 +1351,7 @@ int Master::RunReplicationMonitor() {
 }
 
 Status Master::CommitReplica(BlockId block, MediumId medium) {
+  std::lock_guard<std::mutex> service(service_mu_);
   inflight_copies_.erase({block, medium});
   Status st = blocks_.AddReplica(block, medium);
   if (!st.ok() && !st.IsAlreadyExists()) return st;
@@ -1130,6 +1387,7 @@ Status Master::CommitReplica(BlockId block, MediumId medium) {
 
 Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
   OCTO_RETURN_IF_ERROR(CheckNotInSafeMode("replica move"));
+  std::lock_guard<std::mutex> service(service_mu_);
   const BlockRecord* record = blocks_.Find(block);
   if (record == nullptr) {
     return Status::NotFound("block " + std::to_string(block));
@@ -1185,11 +1443,13 @@ Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
 // Transfer accounting
 
 void Master::NoteTransferStarted(WorkerId worker, MediumId medium) {
+  std::lock_guard<std::mutex> service(service_mu_);
   state_.AddWorkerConnections(worker, +1);
   state_.AddMediumConnections(medium, +1);
 }
 
 void Master::NoteTransferEnded(WorkerId worker, MediumId medium) {
+  std::lock_guard<std::mutex> service(service_mu_);
   state_.AddWorkerConnections(worker, -1);
   state_.AddMediumConnections(medium, -1);
 }
@@ -1200,6 +1460,9 @@ void Master::NoteTransferEnded(WorkerId worker, MediumId medium) {
 Status Master::LoadImage(const std::string& image,
                          const std::vector<std::string>& edit_entries,
                          int64_t edits_from) {
+  // Replaces the whole namespace and block map: exclude everything.
+  auto oplock = nslocks_.LockStructural();
+  std::lock_guard<std::mutex> service(service_mu_);
   auto tree = std::make_unique<NamespaceTree>(clock_);
   tree->EnablePermissions(options_.enable_permissions);
   OCTO_RETURN_IF_ERROR(FsImage::Deserialize(image, tree.get()));
@@ -1207,17 +1470,19 @@ Status Master::LoadImage(const std::string& image,
   OCTO_RETURN_IF_ERROR(
       EditLog::Replay(edit_entries, edits_from, tree.get(), &replay_info));
   tree_ = std::move(tree);
-  if (replay_info.max_epoch > epoch_) epoch_ = replay_info.max_epoch;
-  if (replay_info.max_genstamp > genstamp_) {
-    genstamp_ = replay_info.max_genstamp;
+  if (replay_info.max_epoch > epoch()) {
+    epoch_.store(replay_info.max_epoch, std::memory_order_relaxed);
+  }
+  if (replay_info.max_genstamp > current_genstamp()) {
+    genstamp_.store(replay_info.max_genstamp, std::memory_order_relaxed);
   }
   // Rebuild block records from the namespace; replica locations repopulate
   // from worker block reports. Files still under construction get their
   // write lease re-acquired (journaled holder when available, a synthetic
   // one otherwise — it expires and the file is force-completed, the HDFS
   // lease-recovery endgame).
-  blocks_ = BlockManager();
-  leases_ = LeaseManager(clock_, options_.lease_duration_micros);
+  blocks_.Reset();
+  leases_.Clear();
   Status status = Status::OK();
   tree_->Visit([this, &replay_info, &status](
                    const NamespaceTree::VisitEntry& e) {
@@ -1231,7 +1496,9 @@ Status Master::LoadImage(const std::string& image,
       record.expected = e.status.rep_vector;
       // The allocator must clear every stamp in use, even ones whose
       // GENSTAMP record was folded into the checkpoint.
-      if (info.genstamp > genstamp_) genstamp_ = info.genstamp;
+      if (info.genstamp > current_genstamp()) {
+        genstamp_.store(info.genstamp, std::memory_order_relaxed);
+      }
       Status st = blocks_.AddBlock(std::move(record));
       if (!st.ok()) status = st;
     }
@@ -1253,50 +1520,61 @@ Status Master::LoadImage(const std::string& image,
   lost_blocks_.clear();
   // Until the surviving workers re-report, every replica location is
   // unknown: hold off on placement and re-replication decisions.
-  safe_mode_block_target_ = blocks_.NumBlocks();
-  safe_mode_ = safe_mode_block_target_ > 0;
+  safe_mode_block_target_.store(blocks_.NumBlocks(),
+                                std::memory_order_relaxed);
+  safe_mode_.store(safe_mode_block_target_.load(std::memory_order_relaxed) > 0,
+                   std::memory_order_relaxed);
   return status;
 }
 
 void Master::NoteEpochFloor(uint64_t floor) {
-  if (floor > epoch_) epoch_ = floor;
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (floor > epoch()) epoch_.store(floor, std::memory_order_relaxed);
 }
 
 void Master::BumpEpoch() {
-  ++epoch_;
-  log_->LogEpoch(epoch_);
+  {
+    std::lock_guard<std::mutex> service(service_mu_);
+    uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    log_->LogEpoch(epoch);
+  }
+  OCTO_CHECK_OK(log_->Commit());
 }
 
 void Master::NoteGenstampFloor(uint64_t floor) {
-  if (floor > genstamp_) genstamp_ = floor;
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (floor > current_genstamp()) {
+    genstamp_.store(floor, std::memory_order_relaxed);
+  }
 }
 
 uint64_t Master::NextGenstamp() {
-  ++genstamp_;
-  log_->LogGenstamp(genstamp_);
-  return genstamp_;
+  uint64_t genstamp = genstamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  log_->LogGenstamp(genstamp);
+  return genstamp;
 }
 
 Status Master::CheckNotInSafeMode(const char* op) const {
-  if (!safe_mode_) return Status::OK();
+  if (!in_safe_mode()) return Status::OK();
   return Status::Unavailable(
       std::string(op) + " rejected: master in safe mode (" +
       std::to_string(SafeModeReportedFraction() * 100.0) + "% of " +
-      std::to_string(safe_mode_block_target_) + " blocks reported)");
+      std::to_string(safe_mode_block_target_.load(std::memory_order_relaxed)) +
+      " blocks reported)");
 }
 
 double Master::SafeModeReportedFraction() const {
-  if (!safe_mode_ || safe_mode_block_target_ <= 0) return 1.0;
+  int64_t target = safe_mode_block_target_.load(std::memory_order_relaxed);
+  if (!in_safe_mode() || target <= 0) return 1.0;
   int64_t reported = 0;
   blocks_.ForEach([&reported](const BlockRecord& record) {
     if (!record.locations.empty()) ++reported;
   });
-  return static_cast<double>(reported) /
-         static_cast<double>(safe_mode_block_target_);
+  return static_cast<double>(reported) / static_cast<double>(target);
 }
 
 void Master::MaybeExitSafeMode() {
-  if (!safe_mode_) return;
+  if (!in_safe_mode()) return;
   if (SafeModeReportedFraction() + 1e-12 < options_.safe_mode_threshold) {
     return;
   }
@@ -1304,11 +1582,12 @@ void Master::MaybeExitSafeMode() {
 }
 
 void Master::ForceExitSafeMode() {
-  if (safe_mode_) LeaveSafeMode();
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (in_safe_mode()) LeaveSafeMode();
 }
 
 void Master::LeaveSafeMode() {
-  safe_mode_ = false;
+  safe_mode_.store(false, std::memory_order_relaxed);
   // Reconcile what reconstruction found. Replicas reported for blocks the
   // namespace never legitimized are true orphans now: scrub them.
   for (const auto& [medium, block] : deferred_orphans_) {
@@ -1335,10 +1614,11 @@ void Master::LeaveSafeMode() {
     OCTO_LOG(Warn) << "safe mode exit: " << lost_blocks_.size()
                    << " block(s) have no reported replica (lost)";
   }
-  RunReplicationMonitor();
+  RunReplicationMonitorLocked();
 }
 
 int Master::NumQueuedCommands() const {
+  std::lock_guard<std::mutex> service(service_mu_);
   int n = 0;
   for (const auto& [worker, commands] : command_queues_) {
     n += static_cast<int>(commands.size());
@@ -1348,6 +1628,7 @@ int Master::NumQueuedCommands() const {
 
 std::vector<std::pair<BlockId, MediumId>> Master::InflightCopiesForTest()
     const {
+  std::lock_guard<std::mutex> service(service_mu_);
   std::vector<std::pair<BlockId, MediumId>> out;
   out.reserve(inflight_copies_.size());
   for (const auto& [key, when] : inflight_copies_) out.push_back(key);

@@ -1,9 +1,11 @@
 #ifndef OCTOPUSFS_CLUSTER_MASTER_H_
 #define OCTOPUSFS_CLUSTER_MASTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -21,6 +23,7 @@
 #include "core/retrieval.h"
 #include "namespacefs/edit_log.h"
 #include "namespacefs/lease_manager.h"
+#include "namespacefs/lock_manager.h"
 #include "namespacefs/namespace_tree.h"
 #include "storage/throughput_profiler.h"
 #include "topology/topology.h"
@@ -69,10 +72,36 @@ struct MasterOptions {
 /// media into tiers, serves placement and retrieval decisions through the
 /// pluggable policies, and drives replication management (§5).
 ///
-/// All methods are synchronous; the class is not internally locked — in
-/// this in-process reproduction callers (client, heartbeat pump, benches)
-/// invoke it from one thread, mirroring the single global namespace lock
-/// of the HDFS NameNode.
+/// All methods are synchronous and thread-safe; unlike the single global
+/// namespace lock of the HDFS NameNode, the metadata plane is concurrent:
+///
+///  - Namespace operations take per-path reader/writer locks from an
+///    internal NamespaceLockManager. Reads (GetFileStatus, ListDirectory,
+///    GetBlockLocations, GetQuotaUsage) run fully in parallel; flat
+///    mutations (Create, Mkdirs of an existing parent, Append,
+///    CompleteFile, CommitBlock, SetReplication, non-recursive Delete)
+///    serialize only when their lock footprints overlap; structural
+///    operations (Rename, recursive Delete, ancestor-creating
+///    Mkdirs/Create, SetOwner, SetMode, SetQuota, LoadImage,
+///    CommitBlockSynchronization) briefly exclude everything.
+///  - Cluster/service state (ClusterState, command queues, pending blocks,
+///    in-flight copies, the placement/retrieval policies and their rng) is
+///    guarded by a single internal service mutex; heartbeats, reports, and
+///    the replication monitor serialize on it but never block namespace
+///    reads.
+///  - Journal records are appended (under the path's namespace lock, so
+///    journal order matches the linearization order) and group-committed:
+///    each mutation calls EditLog::Commit() after releasing its locks, so
+///    concurrent mutations share one flush and every op is durable before
+///    it is acknowledged.
+///  - Heartbeat/block-report payloads may also be staged lock-free-ish via
+///    StageHeartbeatStats/StageBlockReport and folded in by a single
+///    FlushStagedReports call holding the service mutex once.
+///
+/// Lock order (outermost first): namespace structure/stripe locks ->
+/// namespace-tree quota mutex -> service mutex -> lease/block stripe
+/// mutexes and the edit-log mutex (leaves). EditLog::Commit is always
+/// invoked with no other lock held.
 class Master {
  public:
   Master(MasterOptions options, Clock* clock);
@@ -130,6 +159,22 @@ class Master {
   /// exit so reconstruction cannot destroy data it has not yet accounted.
   Status ProcessBlockReport(WorkerId worker, const BlockReport& report,
                             uint64_t reporter_epoch = 0);
+
+  /// Batched-report ingestion: stages a full block report in a per-master
+  /// staging buffer (its own small mutex; never touches the service
+  /// mutex), to be applied later by FlushStagedReports. Lets many report
+  /// threads hand off work without convoying on the service lock.
+  void StageBlockReport(WorkerId worker, BlockReport report,
+                        uint64_t reporter_epoch = 0);
+  /// Stages the statistics portion of a heartbeat (liveness, capacity and
+  /// connection stats, media health) for batched application. Command
+  /// delivery and lease reaping still require the full Heartbeat call.
+  void StageHeartbeatStats(HeartbeatPayload hb);
+  /// Applies everything staged so far under one service-mutex critical
+  /// section. Returns the number of staged payloads applied (payloads
+  /// failing validation, e.g. epoch fencing, are dropped and counted as
+  /// not applied).
+  int FlushStagedReports();
 
   /// Marks workers without recent heartbeats dead; returns the newly dead.
   std::vector<WorkerId> CheckWorkerLiveness();
@@ -286,7 +331,7 @@ class Master {
                    int64_t edits_from = 0);
 
   /// Monotonic fencing epoch. Starts at 1; advanced only at takeover.
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   /// Raises the epoch to at least `floor` (epochs folded into a
   /// checkpoint, carried by the backup's metadata).
   void NoteEpochFloor(uint64_t floor);
@@ -296,13 +341,17 @@ class Master {
   void BumpEpoch();
 
   /// Highest generation stamp this master has allocated (0 = none yet).
-  uint64_t current_genstamp() const { return genstamp_; }
+  uint64_t current_genstamp() const {
+    return genstamp_.load(std::memory_order_relaxed);
+  }
   /// Raises the generation-stamp allocator to at least `floor` (stamps
   /// folded into a checkpoint, carried by the backup's metadata), so a
   /// promoted master never re-issues a stamp its predecessor used.
   void NoteGenstampFloor(uint64_t floor);
 
-  bool in_safe_mode() const { return safe_mode_; }
+  bool in_safe_mode() const {
+    return safe_mode_.load(std::memory_order_relaxed);
+  }
   /// Fraction of the block population known at safe-mode entry that has
   /// at least one reported replica (1.0 outside safe mode).
   double SafeModeReportedFraction() const;
@@ -343,6 +392,34 @@ class Master {
     uint64_t genstamp = 0;
   };
 
+  /// A staged block report awaiting FlushStagedReports.
+  struct StagedBlockReport {
+    WorkerId worker = 0;
+    BlockReport report;
+    uint64_t reporter_epoch = 0;
+  };
+
+  // All private helpers below are *Locked: they require service_mu_ to be
+  // held by the caller (and, where they touch the tree, the appropriate
+  // namespace lock).
+
+  /// Liveness + capacity/connection stats + per-medium stats of one
+  /// heartbeat (no command delivery, lease reaping, or failed-media
+  /// handling).
+  Status ApplyHeartbeatStatsLocked(const HeartbeatPayload& hb);
+  /// Body of ProcessBlockReport.
+  Status ApplyBlockReportLocked(WorkerId worker, const BlockReport& report,
+                                uint64_t reporter_epoch);
+  /// Body of ReportBadBlock.
+  Status ReportBadBlockLocked(BlockId block, MediumId medium);
+  /// Body of RunReplicationMonitor (also run when leaving safe mode).
+  int RunReplicationMonitorLocked();
+  /// Body of CommitBlockSynchronization; caller also holds the structural
+  /// namespace lock.
+  Status CommitBlockSynchronizationLocked(
+      BlockId block, uint64_t genstamp, int64_t length,
+      const std::vector<MediumId>& good_media);
+
   void QueueCommand(MediumId target_medium, WorkerCommand command);
   /// Releases all bookkeeping for a copy that will never confirm: the
   /// move-target space reservation, the pending move, the in-flight
@@ -364,13 +441,17 @@ class Master {
   /// Queues deletions for orphans deferred during safe mode and records
   /// blocks that ended reconstruction with no replica at all.
   void LeaveSafeMode();
-  /// Allocates the next generation stamp and journals it.
+  /// Allocates the next generation stamp and journals it. Requires
+  /// service_mu_ (allocation order and its journal records stay in step
+  /// with the decisions they stamp).
   uint64_t NextGenstamp();
   /// Lease expiry on a file with an under-construction tail block: picks
   /// a recovery primary among the live pending targets and dispatches a
   /// kRecoverBlock command (the file closes when the primary calls back
   /// via CommitBlockSynchronization). Files with no pending block — or no
-  /// live replica of it — are force-completed immediately.
+  /// live replica of it — are force-completed immediately. Unlike the
+  /// other private helpers this one acquires its own locks (namespace
+  /// kMutate on `path`, then service_mu_) — callers must hold neither.
   void StartLeaseRecovery(const std::string& path);
   /// A worker reported this medium's device dead: takes it out of the
   /// live indexes, drops its replicas (no invalidation commands — the
@@ -380,6 +461,20 @@ class Master {
   MasterOptions options_;
   Clock* clock_;
   Random rng_;
+
+  /// Per-path namespace locking (see the class comment). Mutable: reads
+  /// through const methods still take shared locks.
+  mutable NamespaceLockManager nslocks_;
+  /// Guards all cluster/service state: state_, topology_, the policies
+  /// and rng_, pending_blocks_, command_queues_, inflight_copies_,
+  /// pending_moves_, deferred_orphans_, lost_blocks_, and the id/epoch/
+  /// genstamp allocators' journal ordering.
+  mutable std::mutex service_mu_;
+  /// Guards only the staging buffers below; never held together with any
+  /// other lock.
+  std::mutex staging_mu_;
+  std::vector<HeartbeatPayload> staged_heartbeats_;
+  std::vector<StagedBlockReport> staged_reports_;
 
   std::unique_ptr<NamespaceTree> tree_;
   std::unique_ptr<EditLog> log_;
@@ -412,13 +507,16 @@ class Master {
 
   /// Fencing epoch stamped on every issued command and checked against
   /// heartbeats/reports. 1 on a fresh master; bumped at takeover.
-  uint64_t epoch_ = 1;
+  /// Atomic so epoch() needs no lock; mutated only under service_mu_.
+  std::atomic<uint64_t> epoch_{1};
   /// Monotonic generation-stamp allocator (HDFS generation stamps); every
   /// allocation is journaled so the counter survives checkpoint/replay.
-  uint64_t genstamp_ = 0;
-  /// Post-takeover reconstruction state (HDFS-style safe mode).
-  bool safe_mode_ = false;
-  int64_t safe_mode_block_target_ = 0;
+  /// Mutated only under service_mu_ (see NextGenstamp).
+  std::atomic<uint64_t> genstamp_{0};
+  /// Post-takeover reconstruction state (HDFS-style safe mode). Atomic so
+  /// the mutation gate reads it without the service lock.
+  std::atomic<bool> safe_mode_{false};
+  std::atomic<int64_t> safe_mode_block_target_{0};
   /// Replicas reported during safe mode for blocks this master does not
   /// know; their deletion is deferred until safe mode ends.
   std::set<std::pair<MediumId, BlockId>> deferred_orphans_;

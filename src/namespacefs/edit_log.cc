@@ -1,8 +1,10 @@
 #include "namespacefs/edit_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <charconv>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
 #include "common/strings.h"
 
@@ -16,7 +18,31 @@ int64_t ParseI64(const std::string& s) {
   return std::strtoll(s.c_str(), nullptr, 10);
 }
 
+// Appends the decimal form of `v` to `out` without allocating
+// intermediates.
+template <typename Int>
+void AppendInt(std::string* out, Int v) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->append(buf, ptr - buf);
+}
+
 }  // namespace
+
+EditLog::EditLog() { scratch_.reserve(256); }
+
+EditLog::~EditLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool EditLog::FlushFile() {
+  out_.flush();
+  if (fsync_on_flush_ && fd_ >= 0) {
+    if (::fdatasync(fd_) != 0) return false;
+  }
+  return out_.good();
+}
 
 Result<std::unique_ptr<EditLog>> EditLog::Open(const std::string& path) {
   auto log = std::make_unique<EditLog>();
@@ -28,97 +54,236 @@ Result<std::unique_ptr<EditLog>> EditLog::Open(const std::string& path) {
       if (!line.empty()) log->entries_.push_back(line);
     }
   }
-  // Confirm the file is writable (creating it if absent).
-  std::ofstream out(path, std::ios::app);
-  if (!out) {
+  log->out_.open(path, std::ios::app);
+  if (!log->out_) {
     return Status::IoError("cannot open edit log for append: " + path);
   }
+  log->durable_records_ = log->entries_.size();
   return log;
 }
 
-void EditLog::Append(std::string line) {
-  if (!file_path_.empty()) {
-    std::ofstream out(file_path_, std::ios::app);
-    out << line << "\n";
+void EditLog::AppendScratchLocked() {
+  entries_.push_back(scratch_);
+  if (!file_path_.empty() && sync_each_record_) {
+    out_ << scratch_ << '\n';
+    FlushFile();
+    durable_records_ = entries_.size();
+    ++sync_count_;
   }
-  entries_.push_back(std::move(line));
+}
+
+Status EditLog::Commit() {
+  if (file_path_.empty()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t target = entries_.size();
+  // Wait while a leader is flushing; its batch may already cover us.
+  while (durable_records_ < target && sync_active_) {
+    sync_cv_.wait(lock);
+  }
+  if (durable_records_ >= target) return Status::OK();
+
+  // Become the leader: snapshot the undurable suffix, then flush it with
+  // mu_ released so concurrent appenders accumulate the next batch
+  // instead of stalling behind the write.
+  sync_active_ = true;
+  batch_.assign(entries_.begin() + static_cast<ptrdiff_t>(durable_records_),
+                entries_.end());
+  size_t new_durable = entries_.size();
+  lock.unlock();
+  for (const std::string& line : batch_) out_ << line << '\n';
+  bool ok = FlushFile();
+  lock.lock();
+  durable_records_ = new_durable;
+  ++sync_count_;
+  sync_active_ = false;
+  sync_cv_.notify_all();
+  if (!ok) {
+    return Status::IoError("edit log flush failed: " + file_path_);
+  }
+  return Status::OK();
+}
+
+void EditLog::SetSyncEachRecord(bool sync_each_record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_each_record_ = sync_each_record;
+}
+
+void EditLog::SetFsyncOnFlush(bool fsync_on_flush) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fsync_on_flush_ = fsync_on_flush;
+  if (fsync_on_flush_ && fd_ < 0 && !file_path_.empty()) {
+    fd_ = ::open(file_path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  }
+}
+
+int64_t EditLog::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
+int64_t EditLog::durable_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(durable_records_);
+}
+
+int64_t EditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+int64_t EditLog::checkpointed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpointed_;
+}
+
+void EditLog::MarkCheckpointed(int64_t up_to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpointed_ = up_to;
 }
 
 void EditLog::LogMkdirs(const std::string& path) {
-  Append("MKDIR\t" + path);
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("MKDIR\t");
+  scratch_.append(path);
+  AppendScratchLocked();
 }
 
 void EditLog::LogCreate(const std::string& path, const ReplicationVector& rv,
                         int64_t block_size, bool overwrite,
                         const std::string& lease_holder) {
-  std::ostringstream os;
-  os << "CREATE\t" << path << "\t" << rv.Encode() << "\t" << block_size
-     << "\t" << (overwrite ? 1 : 0);
-  if (!lease_holder.empty()) os << "\t" << lease_holder;
-  Append(os.str());
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("CREATE\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, rv.Encode());
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, block_size);
+  scratch_.push_back('\t');
+  scratch_.push_back(overwrite ? '1' : '0');
+  if (!lease_holder.empty()) {
+    scratch_.push_back('\t');
+    scratch_.append(lease_holder);
+  }
+  AppendScratchLocked();
 }
 
 void EditLog::LogAddBlock(const std::string& path, const BlockInfo& block) {
-  std::ostringstream os;
-  os << "ADDBLOCK\t" << path << "\t" << block.id << "\t" << block.length
-     << "\t" << block.genstamp;
-  Append(os.str());
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("ADDBLOCK\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, block.id);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, block.length);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, block.genstamp);
+  AppendScratchLocked();
 }
 
 void EditLog::LogComplete(const std::string& path) {
-  Append("COMPLETE\t" + path);
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("COMPLETE\t");
+  scratch_.append(path);
+  AppendScratchLocked();
 }
 
 void EditLog::LogAppend(const std::string& path,
                         const std::string& lease_holder) {
-  if (lease_holder.empty()) {
-    Append("APPEND\t" + path);
-  } else {
-    Append("APPEND\t" + path + "\t" + lease_holder);
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("APPEND\t");
+  scratch_.append(path);
+  if (!lease_holder.empty()) {
+    scratch_.push_back('\t');
+    scratch_.append(lease_holder);
   }
+  AppendScratchLocked();
 }
 
 void EditLog::LogRename(const std::string& src, const std::string& dst) {
-  Append("RENAME\t" + src + "\t" + dst);
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("RENAME\t");
+  scratch_.append(src);
+  scratch_.push_back('\t');
+  scratch_.append(dst);
+  AppendScratchLocked();
 }
 
 void EditLog::LogDelete(const std::string& path, bool recursive) {
-  Append("DELETE\t" + path + "\t" + (recursive ? std::string("1") : "0"));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("DELETE\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  scratch_.push_back(recursive ? '1' : '0');
+  AppendScratchLocked();
 }
 
 void EditLog::LogSetReplication(const std::string& path,
                                 const ReplicationVector& rv) {
-  Append("SETRV\t" + path + "\t" + std::to_string(rv.Encode()));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("SETRV\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, rv.Encode());
+  AppendScratchLocked();
 }
 
 void EditLog::LogSetQuota(const std::string& path, int slot, int64_t bytes) {
-  Append("SETQUOTA\t" + path + "\t" + std::to_string(slot) + "\t" +
-         std::to_string(bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("SETQUOTA\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, slot);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, bytes);
+  AppendScratchLocked();
 }
 
 void EditLog::LogSetOwner(const std::string& path, const std::string& owner,
                           const std::string& group) {
-  Append("SETOWNER\t" + path + "\t" + owner + "\t" + group);
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("SETOWNER\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  scratch_.append(owner);
+  scratch_.push_back('\t');
+  scratch_.append(group);
+  AppendScratchLocked();
 }
 
 void EditLog::LogSetMode(const std::string& path, uint16_t mode) {
-  Append("SETMODE\t" + path + "\t" + std::to_string(mode));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("SETMODE\t");
+  scratch_.append(path);
+  scratch_.push_back('\t');
+  AppendInt(&scratch_, static_cast<int64_t>(mode));
+  AppendScratchLocked();
 }
 
 void EditLog::LogEpoch(uint64_t epoch) {
-  Append("EPOCH\t" + std::to_string(epoch));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("EPOCH\t");
+  AppendInt(&scratch_, epoch);
+  AppendScratchLocked();
 }
 
 void EditLog::LogGenstamp(uint64_t genstamp) {
-  Append("GENSTAMP\t" + std::to_string(genstamp));
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.assign("GENSTAMP\t");
+  AppendInt(&scratch_, genstamp);
+  AppendScratchLocked();
 }
 
 Status EditLog::Truncate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Let an in-flight group commit finish before yanking the file.
+  while (sync_active_) sync_cv_.wait(lock);
   entries_.clear();
   checkpointed_ = 0;
+  durable_records_ = 0;
   if (!file_path_.empty()) {
-    std::ofstream out(file_path_, std::ios::trunc);
-    if (!out) return Status::IoError("cannot truncate " + file_path_);
+    out_.close();
+    out_.open(file_path_, std::ios::trunc);
+    if (!out_) return Status::IoError("cannot truncate " + file_path_);
   }
   return Status::OK();
 }

@@ -1,9 +1,12 @@
 #ifndef OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_
 #define OCTOPUSFS_NAMESPACEFS_EDIT_LOG_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,17 +36,36 @@ struct EditReplayInfo {
 /// Each record is one tab-separated text line. The Master appends a record
 /// for every successful mutation; a Backup Master replays records on top
 /// of the last checkpoint to reconstruct the namespace after a failure.
+///
+/// Threading contract: the typed Log* appenders, Commit(), size(),
+/// sync_count(), checkpointed()/MarkCheckpointed(), and Truncate() are
+/// thread-safe. A mutation's record must be appended while the caller
+/// still holds that path's namespace lock, so the journal order equals
+/// the linearization order that failover replay reconstructs; Commit()
+/// (durability) may — and for lock-ordering reasons must — happen after
+/// the namespace lock is released, but before the mutation is acked.
+/// entries() returns a reference into internal state and is only safe
+/// when no appender is running (replay/checkpoint paths, tests).
+///
+/// Durability: with sync_each_record (the default) every append is
+/// written and flushed immediately, and Commit() is a no-op. With it
+/// off, appends only buffer and Commit() runs a group commit: one
+/// caller becomes the leader and flushes every record appended so far
+/// in a single write, while concurrent appenders keep accumulating the
+/// next batch; callers whose records a leader already covered return
+/// without touching the file.
 class EditLog {
  public:
   /// In-memory journal.
-  EditLog() = default;
+  EditLog();
 
-  /// File-backed journal: records are appended (and flushed) to `path`;
-  /// existing records are loaded into memory first.
+  /// File-backed journal: records are appended to `path`; existing
+  /// records are loaded into memory first.
   static Result<std::unique_ptr<EditLog>> Open(const std::string& path);
 
   EditLog(const EditLog&) = delete;
   EditLog& operator=(const EditLog&) = delete;
+  ~EditLog();
 
   // Typed record appenders, one per journaled operation.
   void LogMkdirs(const std::string& path);
@@ -71,13 +93,39 @@ class EditLog {
   /// survives checkpoint/replay and failover like the epoch does.
   void LogGenstamp(uint64_t genstamp);
 
+  /// Makes every record appended so far durable (group commit, see the
+  /// class comment). No-op for in-memory journals and in
+  /// sync_each_record mode. Must be called with no namespace/service
+  /// locks held.
+  Status Commit();
+
+  /// Toggles per-record flushing (on by default). Turn off to enable
+  /// group commit via Commit(). Only meaningful for file-backed logs.
+  void SetSyncEachRecord(bool sync_each_record);
+
+  /// When on, every flush is followed by fdatasync so records survive a
+  /// host crash, not just a process crash (off by default: flushes reach
+  /// the page cache only). This is where group commit pays off — a
+  /// leader's single fdatasync covers every record in its batch, and
+  /// because the syncing leader blocks in the kernel, concurrent
+  /// mutators pile their records into the next batch. Only meaningful
+  /// for file-backed logs.
+  void SetFsyncOnFlush(bool fsync_on_flush);
+
+  /// Number of physical flushes performed so far (one per record in
+  /// sync_each_record mode, one per batch under group commit).
+  int64_t sync_count() const;
+  /// Number of records already written to the backing file.
+  int64_t durable_records() const;
+
+  /// Only safe when no appender runs concurrently (see class comment).
   const std::vector<std::string>& entries() const { return entries_; }
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t size() const;
 
   /// Number of records already folded into the latest checkpoint; replay
   /// resumes after this offset.
-  int64_t checkpointed() const { return checkpointed_; }
-  void MarkCheckpointed(int64_t up_to) { checkpointed_ = up_to; }
+  int64_t checkpointed() const;
+  void MarkCheckpointed(int64_t up_to);
 
   /// Drops all records (after a successful checkpoint). Truncates the
   /// backing file when present.
@@ -90,11 +138,27 @@ class EditLog {
                        NamespaceTree* tree, EditReplayInfo* info = nullptr);
 
  private:
-  void Append(std::string line);
+  // Appends scratch_ as one record; called with mu_ held.
+  void AppendScratchLocked();
 
+  // Flushes out_ and, when fsync_on_flush_ is set, fdatasyncs the backing
+  // file; called with mu_ released (leader) or held (per-record mode).
+  bool FlushFile();
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
   std::vector<std::string> entries_;
   int64_t checkpointed_ = 0;
   std::string file_path_;  // empty for in-memory journals
+  std::ofstream out_;      // open for the lifetime of a file-backed log
+  int fd_ = -1;            // same file, for fdatasync (-1 = not open)
+  bool fsync_on_flush_ = false;
+  bool sync_each_record_ = true;
+  bool sync_active_ = false;     // a group-commit leader is flushing
+  size_t durable_records_ = 0;   // records already written to out_
+  int64_t sync_count_ = 0;
+  std::string scratch_;          // reused record-format buffer
+  std::vector<std::string> batch_;  // reused leader batch buffer
 };
 
 }  // namespace octo

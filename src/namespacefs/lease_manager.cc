@@ -1,23 +1,29 @@
 #include "namespacefs/lease_manager.h"
 
+#include <algorithm>
+
 namespace octo {
 
 Status LeaseManager::Acquire(const std::string& path,
                              const std::string& holder) {
-  auto it = leases_.find(path);
-  if (it != leases_.end() && !Expired(it->second) &&
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.leases.find(path);
+  if (it != stripe.leases.end() && !Expired(it->second) &&
       it->second.holder != holder) {
     return Status::AlreadyExists("lease on " + path + " held by " +
                                  it->second.holder);
   }
-  leases_[path] = Lease{holder, clock_->NowMicros() + duration_micros_};
+  stripe.leases[path] = Lease{holder, clock_->NowMicros() + duration_micros_};
   return Status::OK();
 }
 
 Status LeaseManager::Renew(const std::string& path,
                            const std::string& holder) {
-  auto it = leases_.find(path);
-  if (it == leases_.end() || Expired(it->second)) {
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.leases.find(path);
+  if (it == stripe.leases.end() || Expired(it->second)) {
     return Status::NotFound("no live lease on " + path);
   }
   if (it->second.holder != holder) {
@@ -30,42 +36,76 @@ Status LeaseManager::Renew(const std::string& path,
 
 Status LeaseManager::Release(const std::string& path,
                              const std::string& holder) {
-  auto it = leases_.find(path);
-  if (it == leases_.end()) {
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.leases.find(path);
+  if (it == stripe.leases.end()) {
     return Status::NotFound("no lease on " + path);
   }
   if (it->second.holder != holder) {
     return Status::PermissionDenied("lease on " + path + " held by " +
                                     it->second.holder + ", not " + holder);
   }
-  leases_.erase(it);
+  stripe.leases.erase(it);
   return Status::OK();
 }
 
 Result<std::string> LeaseManager::Holder(const std::string& path) const {
-  auto it = leases_.find(path);
-  if (it == leases_.end() || Expired(it->second)) {
+  const Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.leases.find(path);
+  if (it == stripe.leases.end() || Expired(it->second)) {
     return Status::NotFound("no live lease on " + path);
   }
   return it->second.holder;
 }
 
 bool LeaseManager::IsHeld(const std::string& path) const {
-  auto it = leases_.find(path);
-  return it != leases_.end() && !Expired(it->second);
+  const Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.leases.find(path);
+  return it != stripe.leases.end() && !Expired(it->second);
 }
 
 std::vector<std::string> LeaseManager::ReapExpired() {
   std::vector<std::string> expired;
-  for (auto it = leases_.begin(); it != leases_.end();) {
-    if (Expired(it->second)) {
-      expired.push_back(it->first);
-      it = leases_.erase(it);
-    } else {
-      ++it;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.leases.begin(); it != stripe.leases.end();) {
+      if (Expired(it->second)) {
+        expired.push_back(it->first);
+        it = stripe.leases.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
+  // Keep the pre-striping (single sorted map) order: recovery actions
+  // and their journal records stay deterministic.
+  std::sort(expired.begin(), expired.end());
   return expired;
+}
+
+void LeaseManager::Remove(const std::string& path) {
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.leases.erase(path);
+}
+
+void LeaseManager::Clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.leases.clear();
+  }
+}
+
+int LeaseManager::num_leases() const {
+  int n = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += static_cast<int>(stripe.leases.size());
+  }
+  return n;
 }
 
 }  // namespace octo

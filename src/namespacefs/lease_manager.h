@@ -1,9 +1,12 @@
 #ifndef OCTOPUSFS_NAMESPACEFS_LEASE_MANAGER_H_
 #define OCTOPUSFS_NAMESPACEFS_LEASE_MANAGER_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -14,10 +17,18 @@ namespace octo {
 /// Single-writer lease tracking for files under construction (HDFS-style).
 /// A client must hold the lease on a path to append blocks; leases expire
 /// when not renewed so crashed writers do not wedge their files.
+///
+/// Thread-safe: the lease table is hash-partitioned over internal stripes
+/// (each its own mutex keyed by path), so lease traffic on different
+/// files does not serialize. Lease-stripe mutexes are leaves in the lock
+/// order — no other lock is acquired while one is held.
 class LeaseManager {
  public:
   LeaseManager(Clock* clock, int64_t lease_duration_micros)
       : clock_(clock), duration_micros_(lease_duration_micros) {}
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
 
   /// Grants the lease to `holder`; fails with AlreadyExists while another
   /// live holder has it. Re-acquiring one's own lease renews it.
@@ -39,15 +50,32 @@ class LeaseManager {
   std::vector<std::string> ReapExpired();
 
   /// Unconditionally drops the lease on a path (file deletion).
-  void Remove(const std::string& path) { leases_.erase(path); }
+  void Remove(const std::string& path);
 
-  int num_leases() const { return static_cast<int>(leases_.size()); }
+  /// Drops every lease (image load rebuilds the table from scratch).
+  void Clear();
+
+  int num_leases() const;
 
  private:
+  static constexpr size_t kStripeCount = 16;
+
   struct Lease {
     std::string holder;
     int64_t expiry_micros = 0;
   };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, Lease, std::less<>> leases;
+  };
+
+  Stripe& StripeFor(std::string_view path) {
+    return stripes_[std::hash<std::string_view>{}(path) % kStripeCount];
+  }
+  const Stripe& StripeFor(std::string_view path) const {
+    return stripes_[std::hash<std::string_view>{}(path) % kStripeCount];
+  }
 
   bool Expired(const Lease& lease) const {
     return clock_->NowMicros() >= lease.expiry_micros;
@@ -55,7 +83,7 @@ class LeaseManager {
 
   Clock* clock_;
   int64_t duration_micros_;
-  std::map<std::string, Lease> leases_;
+  std::array<Stripe, kStripeCount> stripes_;
 };
 
 }  // namespace octo

@@ -1,0 +1,151 @@
+#include "namespacefs/lock_manager.h"
+
+#include <utility>
+
+namespace octo {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvStep(uint64_t h, char c) {
+  return (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+}
+
+}  // namespace
+
+NamespaceLockManager::OpLock& NamespaceLockManager::OpLock::operator=(
+    OpLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    structure_exclusive_ = other.structure_exclusive_;
+    structure_shared_ = other.structure_shared_;
+    stripes_ = other.stripes_;
+    exclusive_ = other.exclusive_;
+    num_stripes_ = other.num_stripes_;
+    other.mgr_ = nullptr;
+    other.structure_exclusive_ = false;
+    other.structure_shared_ = false;
+    other.num_stripes_ = 0;
+  }
+  return *this;
+}
+
+void NamespaceLockManager::OpLock::Release() {
+  if (mgr_ == nullptr) return;
+  // Reverse acquisition order: stripes descending, then the structure
+  // mutex.
+  for (size_t i = num_stripes_; i-- > 0;) {
+    auto& mu = mgr_->stripes_[stripes_[i]].mu;
+    if (exclusive_[i]) {
+      mu.unlock();
+    } else {
+      mu.unlock_shared();
+    }
+  }
+  if (structure_exclusive_) {
+    mgr_->structure_mu_.unlock();
+  } else if (structure_shared_) {
+    mgr_->structure_mu_.unlock_shared();
+  }
+  mgr_ = nullptr;
+  structure_exclusive_ = false;
+  structure_shared_ = false;
+  num_stripes_ = 0;
+}
+
+NamespaceLockManager::OpLock NamespaceLockManager::LockStructural() {
+  OpLock lock;
+  lock.mgr_ = this;
+  structure_mu_.lock();
+  lock.structure_exclusive_ = true;
+  return lock;
+}
+
+NamespaceLockManager::OpLock NamespaceLockManager::Lock(
+    std::string_view normalized_path, OpMode mode) {
+  if (mode == OpMode::kStructural) return LockStructural();
+
+  // Hash every prefix of the path incrementally: "/a/b" yields the
+  // hashes of "/", "/a", and "/a/b". The separator is folded into the
+  // hash so "/ab" and "/a/b" land on independent stripes.
+  std::array<uint16_t, kMaxTrackedDepth + 1> prefix{};
+  size_t depth = 0;
+  uint64_t h = FnvStep(kFnvOffset, '/');
+  prefix[depth++] = static_cast<uint16_t>(h % kStripeCount);
+  size_t i = 1;
+  bool overflow = false;
+  while (i < normalized_path.size()) {
+    size_t start = i;
+    while (i < normalized_path.size() && normalized_path[i] != '/') ++i;
+    for (size_t j = start; j < i; ++j) h = FnvStep(h, normalized_path[j]);
+    if (depth > kMaxTrackedDepth) {
+      overflow = true;
+      break;
+    }
+    prefix[depth++] = static_cast<uint16_t>(h % kStripeCount);
+    if (i < normalized_path.size()) {
+      h = FnvStep(h, '/');
+      ++i;
+    }
+  }
+  if (overflow) return LockStructural();
+
+  OpLock lock;
+  lock.mgr_ = this;
+
+  // Which prefixes need exclusive access? A mutation rewrites the
+  // terminal inode and its parent's child set; everything above is only
+  // traversed.
+  std::array<bool, kMaxTrackedDepth + 1> want_excl{};
+  if (mode == OpMode::kMutate) {
+    want_excl[depth - 1] = true;
+    if (depth >= 2) want_excl[depth - 2] = true;
+  }
+
+  // Sort ascending and merge duplicates, exclusive winning, so two
+  // threads always acquire common stripes in the same order.
+  size_t n = 0;
+  for (size_t k = 0; k < depth; ++k) {
+    uint16_t s = prefix[k];
+    bool excl = want_excl[k];
+    size_t pos = n;
+    bool dup = false;
+    for (size_t m = 0; m < n; ++m) {
+      if (lock.stripes_[m] == s) {
+        lock.exclusive_[m] = lock.exclusive_[m] || excl;
+        dup = true;
+        break;
+      }
+      if (lock.stripes_[m] > s) {
+        pos = m;
+        break;
+      }
+    }
+    if (dup) continue;
+    for (size_t m = n; m-- > pos;) {
+      lock.stripes_[m + 1] = lock.stripes_[m];
+      lock.exclusive_[m + 1] = lock.exclusive_[m];
+    }
+    lock.stripes_[pos] = s;
+    lock.exclusive_[pos] = excl;
+    ++n;
+  }
+
+  structure_mu_.lock_shared();
+  lock.structure_shared_ = true;
+  for (size_t m = 0; m < n; ++m) {
+    auto& mu = stripes_[lock.stripes_[m]].mu;
+    if (lock.exclusive_[m]) {
+      mu.lock();
+    } else {
+      mu.lock_shared();
+    }
+    lock.num_stripes_ = m + 1;
+  }
+  return lock;
+}
+
+}  // namespace octo

@@ -1,0 +1,105 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_LOCK_MANAGER_H_
+#define OCTOPUSFS_NAMESPACEFS_LOCK_MANAGER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <string_view>
+
+namespace octo {
+
+/// Fine-grained locking for the Master's namespace operations.
+///
+/// Rather than a single global namespace lock (the HDFS NameNode model),
+/// paths are protected by a fixed array of reader-writer stripes indexed
+/// by a hash of each *path prefix*. An operation on "/a/b/c" touches the
+/// stripes of "/", "/a", "/a/b", and "/a/b/c":
+///
+///  - kRead locks every prefix stripe shared, so any number of
+///    non-conflicting reads proceed in parallel.
+///  - kMutate locks the terminal and its parent exclusive (the mutation
+///    changes the child set / inode of those two) and the remaining
+///    ancestors shared, so mutations in disjoint directories also run in
+///    parallel while a mutation under "/a/b" conflicts with reads of
+///    "/a/b/..." but not with reads of "/x/...".
+///  - kStructural takes the global structure mutex exclusive and is used
+///    for operations whose footprint is not a single path prefix chain:
+///    Rename (two chains plus the moved subtree), recursive Delete,
+///    multi-level Mkdirs, permission/quota changes that affect traversal
+///    checks of every path below, and image loading.
+///
+/// Every kRead/kMutate acquisition also takes the structure mutex shared,
+/// so kStructural excludes everything.
+///
+/// Deadlock freedom: stripes are acquired in ascending index order (with
+/// duplicates merged, exclusive winning), and the structure mutex is
+/// always acquired before any stripe. Paths deeper than kMaxTrackedDepth
+/// components fall back to kStructural.
+///
+/// Paths passed to Lock() must already be normalized (NormalizePath).
+class NamespaceLockManager {
+ public:
+  static constexpr size_t kStripeCount = 256;
+  static constexpr size_t kMaxTrackedDepth = 24;
+
+  enum class OpMode {
+    kRead,        // all prefixes shared
+    kMutate,      // parent + terminal exclusive, ancestors shared
+    kStructural,  // global exclusive
+  };
+
+  /// RAII guard over one acquisition. Movable; unlocks on destruction (or
+  /// on an explicit Release()) in reverse acquisition order.
+  class OpLock {
+   public:
+    OpLock() = default;
+    ~OpLock() { Release(); }
+    OpLock(OpLock&& other) noexcept { *this = std::move(other); }
+    OpLock& operator=(OpLock&& other) noexcept;
+    OpLock(const OpLock&) = delete;
+    OpLock& operator=(const OpLock&) = delete;
+
+    /// Unlocks everything now; the guard becomes empty.
+    void Release();
+
+    bool holds_structure_exclusive() const { return structure_exclusive_; }
+
+   private:
+    friend class NamespaceLockManager;
+
+    NamespaceLockManager* mgr_ = nullptr;
+    bool structure_exclusive_ = false;
+    bool structure_shared_ = false;
+    // Stripe indices held, ascending; exclusive_[i] says how stripe
+    // stripes_[i] was locked. +1 slot for the root prefix.
+    std::array<uint16_t, kMaxTrackedDepth + 1> stripes_{};
+    std::array<bool, kMaxTrackedDepth + 1> exclusive_{};
+    size_t num_stripes_ = 0;
+  };
+
+  NamespaceLockManager() = default;
+  NamespaceLockManager(const NamespaceLockManager&) = delete;
+  NamespaceLockManager& operator=(const NamespaceLockManager&) = delete;
+
+  /// Locks `normalized_path` for `mode`. kStructural ignores the path.
+  /// Paths deeper than kMaxTrackedDepth escalate to kStructural.
+  OpLock Lock(std::string_view normalized_path, OpMode mode);
+
+  /// Shorthand for Lock("/", OpMode::kStructural).
+  OpLock LockStructural();
+
+ private:
+  struct alignas(64) Stripe {
+    std::shared_mutex mu;
+  };
+
+  // Structure mutex: shared by every per-path op, exclusive for
+  // structural ops. Acquired before any stripe.
+  std::shared_mutex structure_mu_;
+  std::array<Stripe, kStripeCount> stripes_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_LOCK_MANAGER_H_

@@ -20,10 +20,15 @@ struct NamespaceTree::Inode {
   std::string owner;
   std::string group;
   uint16_t mode = 0755;
-  int64_t mtime_micros = 0;
+  // Atomic because a reader listing the *parent* directory (holding only
+  // the parent's stripe shared) reads these while a mutation one level
+  // below (holding this inode + one child exclusive) updates them.
+  std::atomic<int64_t> mtime_micros{0};
+  std::atomic<int> num_children{0};
 
-  // Directory state.
-  std::map<std::string, std::unique_ptr<Inode>> children;
+  // Directory state. std::less<> enables allocation-free string_view
+  // lookups.
+  std::map<std::string, std::unique_ptr<Inode>, std::less<>> children;
   std::array<int64_t, 8> quota = kNoQuota;
   std::array<int64_t, 8> usage = kZeroCharge;
 
@@ -51,10 +56,9 @@ NamespaceTree::NamespaceTree(Clock* clock) : clock_(clock) {
 
 NamespaceTree::~NamespaceTree() = default;
 
-NamespaceTree::Inode* NamespaceTree::Lookup(
-    const std::string& normalized) const {
+NamespaceTree::Inode* NamespaceTree::Lookup(std::string_view normalized) const {
   Inode* cur = root_.get();
-  for (const std::string& part : PathComponents(normalized)) {
+  for (std::string_view part : PathComponentRange(normalized)) {
     if (!cur->is_dir) return nullptr;
     auto it = cur->children.find(part);
     if (it == cur->children.end()) return nullptr;
@@ -91,11 +95,11 @@ Status NamespaceTree::CheckAccess(const Inode* inode, const UserContext& ctx,
   return Status::OK();
 }
 
-Status NamespaceTree::CheckTraversal(const std::string& normalized,
+Status NamespaceTree::CheckTraversal(std::string_view normalized,
                                      const UserContext& ctx) const {
   if (IsSuper(ctx)) return Status::OK();
   Inode* cur = root_.get();
-  for (const std::string& part : PathComponents(normalized)) {
+  for (std::string_view part : PathComponentRange(normalized)) {
     OCTO_RETURN_IF_ERROR(CheckAccess(cur, ctx, 1));  // x on each ancestor
     if (!cur->is_dir) break;
     auto it = cur->children.find(part);
@@ -116,9 +120,9 @@ FileStatus NamespaceTree::MakeStatus(const std::string& path,
   st.owner = inode->owner;
   st.group = inode->group;
   st.mode = inode->mode;
-  st.mtime_micros = inode->mtime_micros;
+  st.mtime_micros = inode->mtime_micros.load(std::memory_order_relaxed);
   st.under_construction = inode->under_construction;
-  st.num_children = static_cast<int>(inode->children.size());
+  st.num_children = inode->num_children.load(std::memory_order_relaxed);
   return st;
 }
 
@@ -138,8 +142,9 @@ std::array<int64_t, 8> NamespaceTree::SubtreeCharge(const Inode* inode) {
   return FileCharge(inode->rep_vector, inode->FileLength());
 }
 
-void NamespaceTree::ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
-                                int sign) {
+void NamespaceTree::ApplyChargeLocked(Inode* dir,
+                                      const std::array<int64_t, 8>& delta,
+                                      int sign) {
   for (Inode* cur = dir; cur != nullptr; cur = cur->parent) {
     for (int i = 0; i < 8; ++i) {
       cur->usage[i] += sign * delta[i];
@@ -148,8 +153,15 @@ void NamespaceTree::ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
   }
 }
 
+void NamespaceTree::ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
+                                int sign) {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  ApplyChargeLocked(dir, delta, sign);
+}
+
 Status NamespaceTree::CheckAndApplyCharge(
     Inode* parent_dir, const std::array<int64_t, 8>& delta) {
+  std::lock_guard<std::mutex> lock(quota_mu_);
   for (Inode* cur = parent_dir; cur != nullptr; cur = cur->parent) {
     for (int i = 0; i < 8; ++i) {
       if (delta[i] > 0 && cur->quota[i] >= 0 &&
@@ -161,36 +173,50 @@ Status NamespaceTree::CheckAndApplyCharge(
       }
     }
   }
-  ApplyCharge(parent_dir, delta, +1);
+  ApplyChargeLocked(parent_dir, delta, +1);
   return Status::OK();
 }
 
-Status NamespaceTree::Mkdirs(const std::string& path, const UserContext& ctx) {
+Status NamespaceTree::Mkdirs(const std::string& path, const UserContext& ctx,
+                             AncestorPolicy ancestors) {
   OCTO_ASSIGN_OR_RETURN(std::string normalized, NormalizePath(path));
   OCTO_RETURN_IF_ERROR(CheckTraversal(normalized, ctx));
   Inode* cur = root_.get();
-  for (const std::string& part : PathComponents(normalized)) {
+  PathComponentRange range(normalized);
+  for (auto it = range.begin(); !it.AtEnd();) {
+    std::string_view part = *it;
+    ++it;
+    bool is_last = it.AtEnd();
     if (!cur->is_dir) {
-      return Status::AlreadyExists("path component is a file: " + part);
+      return Status::AlreadyExists("path component is a file: " +
+                                   std::string(part));
     }
-    auto it = cur->children.find(part);
-    if (it != cur->children.end()) {
-      cur = it->second.get();
+    auto child_it = cur->children.find(part);
+    if (child_it != cur->children.end()) {
+      cur = child_it->second.get();
       continue;
+    }
+    if (!is_last && ancestors == AncestorPolicy::kRequireExisting) {
+      // Creating this component would mutate a directory the caller
+      // only holds shared; escalate.
+      return Status::Unavailable("mkdirs requires missing ancestors: " +
+                                 normalized);
     }
     OCTO_RETURN_IF_ERROR(CheckAccess(cur, ctx, 2));  // w to create
     auto child = std::make_unique<Inode>();
-    child->name = part;
+    child->name = std::string(part);
     child->is_dir = true;
     child->parent = cur;
     child->owner = ctx.user;
     child->group = ctx.groups.empty() ? ctx.user : ctx.groups[0];
-    child->mtime_micros = clock_->NowMicros();
-    cur->mtime_micros = child->mtime_micros;
+    int64_t now = clock_->NowMicros();
+    child->mtime_micros.store(now, std::memory_order_relaxed);
+    cur->mtime_micros.store(now, std::memory_order_relaxed);
+    cur->num_children.fetch_add(1, std::memory_order_relaxed);
     Inode* raw = child.get();
-    cur->children.emplace(part, std::move(child));
+    cur->children.emplace(std::string(part), std::move(child));
     cur = raw;
-    ++num_dirs_;
+    num_dirs_.fetch_add(1, std::memory_order_relaxed);
   }
   if (!cur->is_dir) {
     return Status::AlreadyExists("file exists at " + normalized);
@@ -222,7 +248,8 @@ Status NamespaceTree::CreateFile(const std::string& path,
                                  const ReplicationVector& rv,
                                  int64_t block_size, bool overwrite,
                                  const UserContext& ctx,
-                                 std::vector<BlockInfo>* replaced_blocks) {
+                                 std::vector<BlockInfo>* replaced_blocks,
+                                 AncestorPolicy ancestors) {
   if (rv.total() < 1) {
     return Status::InvalidArgument("replication vector must request >=1 "
                                    "replica: " +
@@ -235,9 +262,25 @@ Status NamespaceTree::CreateFile(const std::string& path,
   if (normalized == "/") {
     return Status::InvalidArgument("cannot create file at /");
   }
-  OCTO_RETURN_IF_ERROR(Mkdirs(ParentPath(normalized), ctx));
-  Inode* parent = Lookup(ParentPath(normalized));
-  OCTO_CHECK(parent != nullptr && parent->is_dir);
+  std::string parent_path = ParentPath(normalized);
+  Inode* parent;
+  if (ancestors == AncestorPolicy::kRequireExisting) {
+    // A flat create only holds the parent + terminal exclusive; the
+    // parent itself must already exist.
+    OCTO_RETURN_IF_ERROR(CheckTraversal(parent_path, ctx));
+    parent = Lookup(parent_path);
+    if (parent == nullptr) {
+      return Status::Unavailable("create requires missing ancestors: " +
+                                 normalized);
+    }
+    if (!parent->is_dir) {
+      return Status::AlreadyExists("file exists at " + parent_path);
+    }
+  } else {
+    OCTO_RETURN_IF_ERROR(Mkdirs(parent_path, ctx));
+    parent = Lookup(parent_path);
+    OCTO_CHECK(parent != nullptr && parent->is_dir);
+  }
   OCTO_RETURN_IF_ERROR(CheckAccess(parent, ctx, 2));
 
   std::string base = BaseName(normalized);
@@ -254,7 +297,8 @@ Status NamespaceTree::CreateFile(const std::string& path,
     }
     ApplyCharge(parent, SubtreeCharge(it->second.get()), -1);
     parent->children.erase(it);
-    --num_files_;
+    parent->num_children.fetch_sub(1, std::memory_order_relaxed);
+    num_files_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   auto file = std::make_unique<Inode>();
@@ -264,13 +308,15 @@ Status NamespaceTree::CreateFile(const std::string& path,
   file->owner = ctx.user;
   file->group = ctx.groups.empty() ? ctx.user : ctx.groups[0];
   file->mode = 0644;
-  file->mtime_micros = clock_->NowMicros();
+  int64_t now = clock_->NowMicros();
+  file->mtime_micros.store(now, std::memory_order_relaxed);
   file->rep_vector = rv;
   file->block_size = block_size;
   file->under_construction = true;
-  parent->mtime_micros = file->mtime_micros;
+  parent->mtime_micros.store(now, std::memory_order_relaxed);
+  parent->num_children.fetch_add(1, std::memory_order_relaxed);
   parent->children.emplace(base, std::move(file));
-  ++num_files_;
+  num_files_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -284,7 +330,7 @@ Status NamespaceTree::AddBlock(const std::string& path,
   OCTO_RETURN_IF_ERROR(CheckAndApplyCharge(
       inode->parent, FileCharge(inode->rep_vector, block.length)));
   inode->blocks.push_back(block);
-  inode->mtime_micros = clock_->NowMicros();
+  inode->mtime_micros.store(clock_->NowMicros(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -307,7 +353,7 @@ Status NamespaceTree::ReopenForAppend(const std::string& path,
     return Status::FailedPrecondition(path + " is already open for writing");
   }
   inode->under_construction = true;
-  inode->mtime_micros = clock_->NowMicros();
+  inode->mtime_micros.store(clock_->NowMicros(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -353,7 +399,7 @@ Status NamespaceTree::SetReplicationVector(const std::string& path,
   for (int i = 0; i < 8; ++i) delta[i] = new_charge[i] - old_charge[i];
   OCTO_RETURN_IF_ERROR(CheckAndApplyCharge(inode->parent, delta));
   inode->rep_vector = rv;
-  inode->mtime_micros = clock_->NowMicros();
+  inode->mtime_micros.store(clock_->NowMicros(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -392,19 +438,22 @@ Status NamespaceTree::Rename(const std::string& src, const std::string& dst,
   // Detach, move the charge, and re-attach; roll back on quota failure.
   auto holder = std::move(src_parent->children.at(node->name));
   src_parent->children.erase(node->name);
+  src_parent->num_children.fetch_sub(1, std::memory_order_relaxed);
   ApplyCharge(src_parent, charge, -1);
   Status quota_ok = CheckAndApplyCharge(dst_parent, charge);
   if (!quota_ok.ok()) {
     ApplyCharge(src_parent, charge, +1);
+    src_parent->num_children.fetch_add(1, std::memory_order_relaxed);
     src_parent->children.emplace(holder->name, std::move(holder));
     return quota_ok;
   }
   holder->name = BaseName(ndst);
   holder->parent = dst_parent;
   int64_t now = clock_->NowMicros();
-  holder->mtime_micros = now;
-  src_parent->mtime_micros = now;
-  dst_parent->mtime_micros = now;
+  holder->mtime_micros.store(now, std::memory_order_relaxed);
+  src_parent->mtime_micros.store(now, std::memory_order_relaxed);
+  dst_parent->mtime_micros.store(now, std::memory_order_relaxed);
+  dst_parent->num_children.fetch_add(1, std::memory_order_relaxed);
   dst_parent->children.emplace(holder->name, std::move(holder));
   return Status::OK();
 }
@@ -442,15 +491,16 @@ Result<std::vector<BlockInfo>> NamespaceTree::Delete(const std::string& path,
   // Update file/dir counters over the removed subtree.
   std::function<void(const Inode*)> count = [&](const Inode* n) {
     if (n->is_dir) {
-      --num_dirs_;
+      num_dirs_.fetch_sub(1, std::memory_order_relaxed);
       for (const auto& [_, c] : n->children) count(c.get());
     } else {
-      --num_files_;
+      num_files_.fetch_sub(1, std::memory_order_relaxed);
     }
   };
   count(node);
 
-  parent->mtime_micros = clock_->NowMicros();
+  parent->mtime_micros.store(clock_->NowMicros(), std::memory_order_relaxed);
+  parent->num_children.fetch_sub(1, std::memory_order_relaxed);
   parent->children.erase(node->name);
   return blocks;
 }
@@ -464,6 +514,7 @@ Status NamespaceTree::SetQuota(const std::string& path, int slot,
   if (!inode->is_dir) {
     return Status::InvalidArgument("quotas apply to directories only");
   }
+  std::lock_guard<std::mutex> lock(quota_mu_);
   inode->quota[slot] = bytes < 0 ? -1 : bytes;
   return Status::OK();
 }
@@ -474,6 +525,7 @@ Result<QuotaUsage> NamespaceTree::GetQuotaUsage(const std::string& path) const {
     return Status::InvalidArgument("quotas apply to directories only");
   }
   QuotaUsage qu;
+  std::lock_guard<std::mutex> lock(quota_mu_);
   qu.quota = inode->quota;
   qu.usage = inode->usage;
   return qu;

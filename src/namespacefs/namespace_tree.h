@@ -2,11 +2,14 @@
 #define OCTOPUSFS_NAMESPACEFS_NAMESPACE_TREE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -49,10 +52,38 @@ struct QuotaUsage {
 /// The quota/usage slot index for total space across tiers.
 inline constexpr int kTotalSpaceSlot = 7;
 
+/// Whether path-creating operations may create missing ancestor
+/// directories. kRequireExisting is the fine-grained-lock variant: a
+/// flat mutation only holds the terminal and its parent exclusive, so
+/// creating deeper ancestors is not safe and the tree signals the case
+/// with Status::Unavailable — the Master escalates to a structural lock
+/// and retries with kCreate.
+enum class AncestorPolicy {
+  kCreate,
+  kRequireExisting,
+};
+
 /// The Master's hierarchical directory namespace (paper §2.1): inode tree
 /// with file block lists, replication vectors, POSIX-style permissions,
-/// and per-tier quotas. Not internally synchronized — the Master
-/// serializes access.
+/// and per-tier quotas.
+///
+/// Synchronization contract (see NamespaceLockManager and DESIGN.md §10):
+/// the tree does not lock paths itself — the Master's namespace lock
+/// manager does. A caller must hold, for the operation's path, at least
+///  - shared stripes on every prefix for read methods (ListDirectory,
+///    GetFileStatus, GetBlocks, Exists*, GetReplicationVector,
+///    GetQuotaUsage), and
+///  - exclusive stripes on the terminal + parent (shared on the other
+///    ancestors) for flat mutations (CreateFile/Mkdirs with
+///    kRequireExisting, AddBlock, CompleteFile, ReopenForAppend,
+///    SetReplicationVector, Delete of a file or empty directory), or
+///  - the structural (global exclusive) lock for everything else
+///    (Rename, recursive Delete, multi-level Mkdirs/CreateFile with
+///    kCreate, SetOwner, SetMode, SetQuota, Visit).
+/// Quota/usage arrays are additionally guarded by an internal mutex
+/// (charges propagate to ancestors the caller only holds shared), and
+/// the fields a shared-holding reader may see while a child mutates
+/// (mtime, child count, file/dir totals) are atomics.
 class NamespaceTree {
  public:
   explicit NamespaceTree(Clock* clock);
@@ -71,7 +102,10 @@ class NamespaceTree {
   // -- directory operations ---------------------------------------------
 
   /// Creates a directory and any missing ancestors (like `mkdir -p`).
-  Status Mkdirs(const std::string& path, const UserContext& ctx);
+  /// With AncestorPolicy::kRequireExisting only the final component may
+  /// be created; a deeper missing ancestor returns Status::Unavailable.
+  Status Mkdirs(const std::string& path, const UserContext& ctx,
+                AncestorPolicy ancestors = AncestorPolicy::kCreate);
 
   Result<std::vector<FileStatus>> ListDirectory(const std::string& path,
                                                 const UserContext& ctx) const;
@@ -79,11 +113,14 @@ class NamespaceTree {
   // -- file operations ---------------------------------------------------
 
   /// Creates an empty file in the under-construction state. Missing parent
-  /// directories are created. With `overwrite`, an existing file is
-  /// replaced and its blocks are returned through `replaced_blocks`.
+  /// directories are created (with AncestorPolicy::kRequireExisting a
+  /// missing parent returns Status::Unavailable instead). With
+  /// `overwrite`, an existing file is replaced and its blocks are
+  /// returned through `replaced_blocks`.
   Status CreateFile(const std::string& path, const ReplicationVector& rv,
                     int64_t block_size, bool overwrite, const UserContext& ctx,
-                    std::vector<BlockInfo>* replaced_blocks = nullptr);
+                    std::vector<BlockInfo>* replaced_blocks = nullptr,
+                    AncestorPolicy ancestors = AncestorPolicy::kCreate);
 
   /// Appends a block to an under-construction file, charging quotas.
   Status AddBlock(const std::string& path, const BlockInfo& block);
@@ -98,6 +135,11 @@ class NamespaceTree {
   Result<FileStatus> GetFileStatus(const std::string& path,
                                    const UserContext& ctx) const;
   bool Exists(const std::string& path) const;
+  /// Allocation-free existence probe for a path that is already
+  /// normalized (hot read path; skips NormalizePath).
+  bool ExistsNormalized(std::string_view normalized) const {
+    return Lookup(normalized) != nullptr;
+  }
 
   Result<std::vector<BlockInfo>> GetBlocks(const std::string& path) const;
 
@@ -133,8 +175,12 @@ class NamespaceTree {
 
   // -- introspection ------------------------------------------------------
 
-  int64_t NumFiles() const { return num_files_; }
-  int64_t NumDirectories() const { return num_dirs_; }
+  int64_t NumFiles() const {
+    return num_files_.load(std::memory_order_relaxed);
+  }
+  int64_t NumDirectories() const {
+    return num_dirs_.load(std::memory_order_relaxed);
+  }
 
   /// Pre-order walk over all inodes (used by the fsimage writer). The
   /// visitor receives the normalized path and the FileStatus, plus the
@@ -150,11 +196,11 @@ class NamespaceTree {
   struct Inode;
 
   // Resolves a normalized path; returns nullptr when missing.
-  Inode* Lookup(const std::string& normalized) const;
+  Inode* Lookup(std::string_view normalized) const;
   // Resolves and validates a raw path to an inode.
   Result<Inode*> Resolve(const std::string& path) const;
 
-  Status CheckTraversal(const std::string& normalized,
+  Status CheckTraversal(std::string_view normalized,
                         const UserContext& ctx) const;
   Status CheckAccess(const Inode* inode, const UserContext& ctx,
                      int need /* 4=r,2=w,1=x */) const;
@@ -167,23 +213,29 @@ class NamespaceTree {
   /// Per-slot quota charge of a file's content: counts[t] * length.
   static std::array<int64_t, 8> FileCharge(const ReplicationVector& rv,
                                            int64_t length);
-  /// Aggregated charge of an inode subtree.
+  /// Aggregated charge of an inode subtree. Reads a directory's usage
+  /// without quota_mu_, so directory arguments require the structural
+  /// lock; file arguments only need the terminal stripe.
   static std::array<int64_t, 8> SubtreeCharge(const Inode* inode);
   /// Checks that adding `delta` along the ancestor chain of `inode`
-  /// (inclusive for dirs) violates no quota; then applies it.
+  /// (inclusive for dirs) violates no quota; then applies it. Takes
+  /// quota_mu_ (charges touch ancestors the caller only holds shared).
   Status CheckAndApplyCharge(Inode* parent_dir,
                              const std::array<int64_t, 8>& delta);
-  static void ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta,
-                          int sign);
+  void ApplyCharge(Inode* dir, const std::array<int64_t, 8>& delta, int sign);
+  static void ApplyChargeLocked(Inode* dir,
+                                const std::array<int64_t, 8>& delta, int sign);
 
   static void CollectBlocks(const Inode* inode, std::vector<BlockInfo>* out);
 
   Clock* clock_;
   std::unique_ptr<Inode> root_;
-  int64_t num_files_ = 0;
-  int64_t num_dirs_ = 0;  // excludes root
+  std::atomic<int64_t> num_files_{0};
+  std::atomic<int64_t> num_dirs_{0};  // excludes root
   bool permissions_enabled_ = false;
   std::string superuser_ = "root";
+  // Guards every quota/usage array in the tree (see class comment).
+  mutable std::mutex quota_mu_;
 };
 
 }  // namespace octo

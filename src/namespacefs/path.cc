@@ -9,8 +9,20 @@ Result<std::string> NormalizePath(std::string_view path) {
     return Status::InvalidArgument("path must be absolute: " +
                                    std::string(path));
   }
-  std::vector<std::string> parts = SplitSkipEmpty(path, '/');
-  for (const std::string& part : parts) {
+  // Single validating scan; the common case (input already canonical)
+  // copies the input once without building a component vector.
+  bool canonical = true;
+  size_t ncomponents = 0;
+  size_t i = 1;
+  while (i < path.size()) {
+    if (path[i] == '/') {  // empty component ("//")
+      canonical = false;
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    std::string_view part = path.substr(start, i - start);
     if (part == "." || part == "..") {
       return Status::InvalidArgument("path may not contain '.' or '..': " +
                                      std::string(path));
@@ -21,12 +33,22 @@ Result<std::string> NormalizePath(std::string_view path) {
                                        std::string(path));
       }
     }
+    ++ncomponents;
+    if (i < path.size()) {
+      // path[i] is the separator after this component; consume it. A
+      // second '/' right behind it re-enters the branch above, and a
+      // trailing one ends the string here — both non-canonical.
+      ++i;
+      if (i == path.size()) canonical = false;
+    }
   }
-  if (parts.empty()) return std::string("/");
+  if (ncomponents == 0) return std::string("/");
+  if (canonical) return std::string(path);
   std::string out;
-  for (const std::string& part : parts) {
-    out += "/";
-    out += part;
+  out.reserve(path.size());
+  for (std::string_view part : PathComponentRange(path)) {
+    out += '/';
+    out.append(part);
   }
   return out;
 }
@@ -52,7 +74,9 @@ bool IsSelfOrDescendant(std::string_view ancestor,
                         std::string_view descendant) {
   if (ancestor == descendant) return true;
   if (ancestor == "/") return true;
-  return StartsWith(descendant, std::string(ancestor) + "/");
+  return descendant.size() > ancestor.size() &&
+         descendant.substr(0, ancestor.size()) == ancestor &&
+         descendant[ancestor.size()] == '/';
 }
 
 }  // namespace octo

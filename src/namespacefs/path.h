@@ -1,6 +1,8 @@
 #ifndef OCTOPUSFS_NAMESPACEFS_PATH_H_
 #define OCTOPUSFS_NAMESPACEFS_PATH_H_
 
+#include <cstddef>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,7 +26,66 @@ std::string ParentPath(std::string_view normalized_path);
 std::string BaseName(std::string_view normalized_path);
 
 /// Components of a normalized path ("/a/b" -> {"a","b"}; "/" -> {}).
+/// Allocates one string per component; hot paths iterate with
+/// PathComponentRange instead.
 std::vector<std::string> PathComponents(std::string_view normalized_path);
+
+/// Allocation-free forward range over the components of a path as
+/// string_views into the original buffer ("/a/b" -> "a", "b"; "/" ->
+/// empty range). Empty components (repeated or trailing slashes) are
+/// skipped, matching PathComponents. The underlying string must outlive
+/// the range.
+class PathComponentRange {
+ public:
+  class Iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = std::string_view;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::string_view*;
+    using reference = std::string_view;
+
+    std::string_view operator*() const { return path_.substr(pos_, len_); }
+    Iterator& operator++() {
+      Locate(pos_ + len_);
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return pos_ == other.pos_; }
+    bool operator!=(const Iterator& other) const { return pos_ != other.pos_; }
+    bool AtEnd() const { return pos_ == std::string_view::npos; }
+
+   private:
+    friend class PathComponentRange;
+    Iterator(std::string_view path, size_t from) : path_(path) {
+      Locate(from);
+    }
+    void Locate(size_t from) {
+      while (from < path_.size() && path_[from] == '/') ++from;
+      if (from >= path_.size()) {
+        pos_ = std::string_view::npos;
+        len_ = 0;
+        return;
+      }
+      size_t end = from;
+      while (end < path_.size() && path_[end] != '/') ++end;
+      pos_ = from;
+      len_ = end - from;
+    }
+
+    std::string_view path_;
+    size_t pos_ = std::string_view::npos;
+    size_t len_ = 0;
+  };
+
+  explicit PathComponentRange(std::string_view path) : path_(path) {}
+  Iterator begin() const { return Iterator(path_, 0); }
+  Iterator end() const {
+    return Iterator(path_, std::string_view::npos);
+  }
+
+ private:
+  std::string_view path_;
+};
 
 /// True when `descendant` equals `ancestor` or lies underneath it.
 bool IsSelfOrDescendant(std::string_view ancestor, std::string_view descendant);

@@ -1,7 +1,9 @@
 #include "workload/slive.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -13,12 +15,28 @@ namespace {
 
 const UserContext kUser{"root", {}};
 
-double TimeOps(int n, const std::function<Status(int)>& op,
+double TimeOps(int n, int threads, const std::function<Status(int)>& op,
                const std::string& what) {
   auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < n; ++i) {
-    Status st = op(i);
-    OCTO_CHECK(st.ok()) << what << "[" << i << "]: " << st.ToString();
+  if (threads <= 1) {
+    for (int i = 0; i < n; ++i) {
+      Status st = op(i);
+      OCTO_CHECK(st.ok()) << what << "[" << i << "]: " << st.ToString();
+    }
+  } else {
+    // Stride partitioning: thread t issues ops t, t+threads, t+2*threads…
+    // so every thread count executes the same op set.
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = t; i < n; i += threads) {
+          Status st = op(i);
+          OCTO_CHECK(st.ok()) << what << "[" << i << "]: " << st.ToString();
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
   }
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
@@ -30,6 +48,7 @@ double TimeOps(int n, const std::function<Status(int)>& op,
 Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
   const std::string& root = options.root;
   const int n = options.ops_per_type;
+  const int threads = std::max(1, options.threads);
   OCTO_RETURN_IF_ERROR(master->Mkdirs(root, kUser));
   SliveResult result;
 
@@ -39,14 +58,14 @@ Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
   };
 
   result.ops_per_second["mkdir"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         return master->Mkdirs(dir_of(i) + "/sub" + std::to_string(i), kUser);
       },
       "mkdir");
 
   result.ops_per_second["create"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         std::string path = dir_of(i) + "/file" + std::to_string(i);
         std::string holder = "slive";
@@ -58,7 +77,7 @@ Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
       "create");
 
   result.ops_per_second["ls"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         auto listing = master->ListDirectory(dir_of(i), kUser);
         return listing.ok() ? Status::OK() : listing.status();
@@ -66,7 +85,7 @@ Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
       "ls");
 
   result.ops_per_second["open"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         auto located = master->GetBlockLocations(
             dir_of(i) + "/file" + std::to_string(i), NetworkLocation());
@@ -75,7 +94,7 @@ Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
       "open");
 
   result.ops_per_second["rename"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         return master->Rename(dir_of(i) + "/file" + std::to_string(i),
                               dir_of(i) + "/renamed" + std::to_string(i),
@@ -84,7 +103,7 @@ Result<SliveResult> RunSlive(Master* master, const SliveOptions& options) {
       "rename");
 
   result.ops_per_second["delete"] = TimeOps(
-      n,
+      n, threads,
       [&](int i) {
         auto deleted = master->Delete(
             dir_of(i) + "/renamed" + std::to_string(i), false, kUser);

@@ -20,6 +20,11 @@ struct SliveOptions {
   /// Replication vector used when creating files (OctopusFS mode uses a
   /// tier-explicit vector; HDFS-compatible mode uses U=r).
   ReplicationVector rep_vector = ReplicationVector::OfTotal(3);
+  /// Client threads hammering the Master concurrently. Thread t issues the
+  /// ops with index ≡ t (mod threads), so the overall op set (and thus the
+  /// resulting namespace) is identical at every thread count; 1 preserves
+  /// the exact single-threaded issue order.
+  int threads = 1;
 };
 
 /// Wall-clock operations/second for each namespace operation type.

@@ -16,4 +16,13 @@ export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
 export UBSAN_OPTIONS=print_stacktrace=1
 
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+# ThreadSanitizer over the concurrency suite (the "concurrency" ctest
+# label): races in the fine-grained namespace locking, group-commit
+# journal, or staged report paths fail the run.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target metadata_concurrency_test
+
+export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+ctest --preset tsan "$@"
 echo "sanitizer pass clean"

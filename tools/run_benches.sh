@@ -1,7 +1,8 @@
 #!/bin/sh
 # Builds the benchmarks in an optimized tree and runs the hot-path
-# benches (placement decisions, simulation event engine), writing
-# BENCH_placement.json and BENCH_sim.json to the repo root.
+# benches (placement decisions, simulation event engine, metadata
+# plane), writing BENCH_placement.json, BENCH_sim.json, and
+# BENCH_metadata.json to the repo root.
 #
 # Usage: tools/run_benches.sh [build-dir]
 #   build-dir defaults to build-bench (Release: -O2/-O3, -DNDEBUG).
@@ -12,10 +13,12 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_placement_hotpath \
-    --target bench_sim_hotpath
+    --target bench_sim_hotpath --target bench_metadata_hotpath
 
 "$build_dir/bench/bench_placement_hotpath" "$repo_root/BENCH_placement.json"
 "$build_dir/bench/bench_sim_hotpath" "$repo_root/BENCH_sim.json"
-echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json"
+"$build_dir/bench/bench_metadata_hotpath" "$repo_root/BENCH_metadata.json"
+echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json," \
+     "$repo_root/BENCH_metadata.json"
 echo "baselines (pre-optimization): BENCH_placement.baseline.json," \
      "BENCH_sim.baseline.json"
