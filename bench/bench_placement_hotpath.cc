@@ -110,6 +110,12 @@ std::unique_ptr<PlacementPolicy> MakeMoop() {
   options.use_memory = true;
   return MakeMoopPolicy(options);
 }
+std::unique_ptr<PlacementPolicy> MakeMoopSampled() {
+  MoopOptions options;
+  options.use_memory = true;
+  options.mode = PlacementMode::kSampled;
+  return MakeMoopPolicy(options);
+}
 std::unique_ptr<PlacementPolicy> MakeMoopDefault() { return MakeMoopPolicy(); }
 std::unique_ptr<PlacementPolicy> MakeDb() {
   MoopOptions options;
@@ -197,9 +203,10 @@ BenchResult RunOne(int workers, const PolicyConfig& config) {
 
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_placement.json";
-  const int sizes[] = {10, 100, 1000};
+  const int sizes[] = {10, 100, 1000, 10000};
   const octo::PolicyConfig policies[] = {
       {"MOOP", octo::MakeMoop},
+      {"MOOP-sampled", octo::MakeMoopSampled},
       {"MOOP-default", octo::MakeMoopDefault},
       {"DB", octo::MakeDb},
       {"Rule-based", octo::MakeRule},
@@ -215,6 +222,17 @@ int main(int argc, char** argv) {
                   r.policy.c_str(), r.workers, r.decisions_per_sec,
                   r.micros_per_decision, r.allocs_per_decision);
       std::fflush(stdout);
+      // The steady-state hot paths must not allocate per candidate or per
+      // rack: every policy that reuses scratch stays O(1) allocs per
+      // decision at every cluster size (the rule-based policy used to
+      // grow its rack list with the cluster: 8 → 13 allocs/decision).
+      if (r.policy == "MOOP" || r.policy == "MOOP-sampled" ||
+          r.policy == "MOOP-default" || r.policy == "DB" ||
+          r.policy == "Rule-based") {
+        OCTO_CHECK(r.allocs_per_decision < 4.0)
+            << r.policy << " at " << r.workers << " workers: "
+            << r.allocs_per_decision << " allocs/decision";
+      }
       results.push_back(std::move(r));
     }
   }

@@ -29,7 +29,9 @@ Master::Master(MasterOptions options, Clock* clock)
     OCTO_CHECK(opened.ok()) << opened.status().ToString();
     log_ = std::move(opened).value();
   }
-  placement_ = MakeMoopPolicy();
+  MoopOptions moop;
+  moop.mode = options_.placement_mode;
+  placement_ = MakeMoopPolicy(moop);
   retrieval_ = MakeOctopusRetrievalPolicy();
   // The Master group-commits: every mutation calls log_->Commit() before
   // acknowledging, so the per-record flush would only add syscalls.

@@ -65,6 +65,14 @@ struct MasterOptions {
   /// namespace mutations until at least this fraction of the block
   /// population it knows about has at least one reported replica.
   double safe_mode_threshold = 0.999;
+  /// Candidate-selection mode for the default MOOP placement policy (and
+  /// so for every path that delegates to it: block allocation, pipeline
+  /// replacement, re-replication, the rebalancer's and cache manager's
+  /// moves). kExhaustive is the exact golden-tested oracle; kSampled
+  /// keeps decisions sublinear in cluster size (DESIGN.md §11) and is
+  /// the right choice for 1000+ worker clusters. Ignored after
+  /// SetPlacementPolicy installs a custom policy.
+  PlacementMode placement_mode = PlacementMode::kExhaustive;
 };
 
 /// The OctopusFS (Primary) Master (paper §2.1): owns the directory

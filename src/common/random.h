@@ -20,6 +20,17 @@ class Random {
     return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
   }
 
+  /// Uniform in [0, bound) via Lemire's multiply-shift reduction: one
+  /// engine draw and one multiply, no rejection loop. The bias is at
+  /// most bound/2^64 — immaterial for candidate sampling — so hot paths
+  /// that draw thousands of indexes per second (sampled placement) use
+  /// this instead of Uniform. Not a drop-in replacement: the stream of
+  /// values differs from Uniform's for the same engine state.
+  uint64_t FastUniform(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(engine_()) * bound) >> 64);
+  }
+
   /// Uniform in [lo, hi] inclusive.
   int64_t UniformRange(int64_t lo, int64_t hi) {
     return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);

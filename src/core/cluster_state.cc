@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "core/objectives.h"
+
 namespace octo {
 
 namespace {
@@ -62,16 +64,100 @@ void ClusterState::HistRemove(int connections) {
   }
 }
 
+ClusterState::RackCell* ClusterState::MutableRackCell(TierId tier,
+                                                      int32_t rack_id) {
+  std::vector<RackCell>& cells = tier_rack_cells_[tier & 7];
+  if (rack_id < 0) return nullptr;
+  if (static_cast<size_t>(rack_id) >= cells.size()) {
+    cells.resize(rack_id + 1);
+  }
+  return &cells[rack_id];
+}
+
+const ClusterState::RackCell* ClusterState::FindRackCell(
+    TierId tier, int32_t rack_id) const {
+  const std::vector<RackCell>& cells = tier_rack_cells_[tier & 7];
+  if (rack_id < 0 || static_cast<size_t>(rack_id) >= cells.size()) {
+    return nullptr;
+  }
+  return &cells[rack_id];
+}
+
+void ClusterState::RackCellInsert(uint32_t slot) {
+  const MediumInfo& m = media_slab_[slot];
+  RackCell* cell = MutableRackCell(m.tier, m.rack_id);
+  if (cell == nullptr) return;
+  if (slot_rack_pos_.size() <= slot) slot_rack_pos_.resize(slot + 1, 0);
+  slot_rack_pos_[slot] = static_cast<uint32_t>(cell->slots.size());
+  cell->slots.push_back(slot);
+  double g = ScoreAccumulator::StaticGoodness(m);
+  cell->good.push_back(g);
+  if (cell->slots.size() == 1) {
+    cell->best_slot = slot;
+    cell->best_goodness = g;
+    cell->best_dirty = false;
+  } else if (!cell->best_dirty && g > cell->best_goodness) {
+    cell->best_slot = slot;
+    cell->best_goodness = g;
+  }
+}
+
+void ClusterState::RackCellErase(uint32_t slot) {
+  const MediumInfo& m = media_slab_[slot];
+  RackCell* cell = MutableRackCell(m.tier, m.rack_id);
+  if (cell == nullptr || cell->slots.empty()) return;
+  if (slot >= slot_rack_pos_.size()) return;
+  uint32_t pos = slot_rack_pos_[slot];
+  if (pos >= cell->slots.size() || cell->slots[pos] != slot) return;
+  cell->slots[pos] = cell->slots.back();
+  cell->good[pos] = cell->good.back();
+  slot_rack_pos_[cell->slots[pos]] = pos;
+  cell->slots.pop_back();
+  cell->good.pop_back();
+  if (cell->slots.empty()) {
+    cell->best_goodness = 0;
+    cell->best_dirty = false;
+  } else if (cell->best_slot == slot) {
+    cell->best_dirty = true;
+  }
+}
+
+void ClusterState::OnGoodnessChange(uint32_t slot, double g_new) {
+  const MediumInfo& m = media_slab_[slot];
+  RackCell* cell = MutableRackCell(m.tier, m.rack_id);
+  if (cell == nullptr || slot >= slot_rack_pos_.size()) return;
+  uint32_t pos = slot_rack_pos_[slot];
+  if (pos >= cell->slots.size() || cell->slots[pos] != slot) return;
+  cell->good[pos] = g_new;  // keep the contiguous mirror current
+  if (cell->best_dirty) return;
+  if (cell->best_slot == slot) {
+    if (g_new >= cell->best_goodness) {
+      cell->best_goodness = g_new;  // the maximum improved in place
+    } else {
+      cell->best_dirty = true;  // the maximum degraded; recompute lazily
+    }
+  } else if (g_new > cell->best_goodness) {
+    cell->best_slot = slot;
+    cell->best_goodness = g_new;
+  }
+}
+
 void ClusterState::OnMediumBecomesLive(uint32_t slot) {
   const MediumInfo& m = media_slab_[slot];
   int bucket = m.tier & 7;
   IndexInsert(&all_live_, slot);
   IndexInsert(&tier_live_[bucket], slot);
+  RackCellInsert(slot);
   if (++tier_live_media_[bucket] == 1) ++num_active_tiers_;
   HistInsert(m.nr_connections);
   double f = m.remaining_fraction();
-  if (!max_rem_dirty_ && f >= max_remaining_fraction_) {
-    max_remaining_fraction_ = f;
+  if (!max_rem_dirty_) {
+    if (f > max_remaining_fraction_ || max_rem_count_ == 0) {
+      max_remaining_fraction_ = f;
+      max_rem_count_ = 1;
+    } else if (f == max_remaining_fraction_) {
+      ++max_rem_count_;
+    }
   }
   tier_rates_dirty_[bucket] = true;
 }
@@ -81,21 +167,29 @@ void ClusterState::OnMediumBecomesDead(uint32_t slot) {
   int bucket = m.tier & 7;
   IndexErase(&all_live_, slot);
   IndexErase(&tier_live_[bucket], slot);
+  RackCellErase(slot);
   if (--tier_live_media_[bucket] == 0) --num_active_tiers_;
   HistRemove(m.nr_connections);
-  // The departing medium may have been the remaining-fraction maximum.
+  // The departing medium may have been the remaining-fraction maximum;
+  // only the last max-holder leaving forces a rescan.
   if (!max_rem_dirty_ && m.remaining_fraction() >= max_remaining_fraction_) {
-    max_rem_dirty_ = true;
+    if (--max_rem_count_ <= 0) max_rem_dirty_ = true;
   }
   tier_rates_dirty_[bucket] = true;
 }
 
 void ClusterState::OnFractionChange(double f_old, double f_new) {
-  if (max_rem_dirty_) return;
-  if (f_new >= max_remaining_fraction_) {
+  if (max_rem_dirty_ || f_old == f_new) return;
+  if (f_new > max_remaining_fraction_) {
     max_remaining_fraction_ = f_new;
+    max_rem_count_ = 1;
+  } else if (f_new == max_remaining_fraction_) {
+    if (f_old < max_remaining_fraction_) ++max_rem_count_;
   } else if (f_old >= max_remaining_fraction_) {
-    max_rem_dirty_ = true;  // the (possibly unique) maximum shrank
+    // A max-holder shrank; rescan only once the tie-set is empty. This
+    // keeps the steady state (many media tied at the max, a few churning
+    // below it) free of O(media) rescans per decision.
+    if (--max_rem_count_ <= 0) max_rem_dirty_ = true;
   }
 }
 
@@ -186,11 +280,13 @@ Status ClusterState::UpdateMediumStats(MediumId id, int64_t remaining_bytes,
     HistInsert(nr_connections);
     double f_old = m->remaining_fraction();
     m->remaining_bytes = remaining_bytes;
+    m->nr_connections = nr_connections;
     OnFractionChange(f_old, m->remaining_fraction());
+    OnGoodnessChange(media_index_[id], ScoreAccumulator::StaticGoodness(*m));
   } else {
     m->remaining_bytes = remaining_bytes;
+    m->nr_connections = nr_connections;
   }
-  m->nr_connections = nr_connections;
   return Status::OK();
 }
 
@@ -279,8 +375,11 @@ void ClusterState::AddMediumConnections(MediumId id, int delta) {
   if (MediumLive(id)) {
     HistRemove(m->nr_connections);
     HistInsert(updated);
+    m->nr_connections = updated;
+    OnGoodnessChange(media_index_[id], ScoreAccumulator::StaticGoodness(*m));
+  } else {
+    m->nr_connections = updated;
   }
-  m->nr_connections = updated;
 }
 
 void ClusterState::AddWorkerConnections(WorkerId id, int delta) {
@@ -301,7 +400,10 @@ Status ClusterState::AdjustMediumRemaining(MediumId id, int64_t delta_bytes) {
   }
   double f_old = m->remaining_fraction();
   m->remaining_bytes = std::min(updated, m->capacity_bytes);
-  if (MediumLive(id)) OnFractionChange(f_old, m->remaining_fraction());
+  if (MediumLive(id)) {
+    OnFractionChange(f_old, m->remaining_fraction());
+    OnGoodnessChange(media_index_[id], ScoreAccumulator::StaticGoodness(*m));
+  }
   return Status::OK();
 }
 
@@ -325,6 +427,36 @@ const TierInfo* ClusterState::FindTier(TierId id) const {
 const std::vector<uint32_t>& ClusterState::media_of_worker(WorkerId id) const {
   auto it = worker_media_.find(id);
   return it == worker_media_.end() ? kNoMedia : it->second;
+}
+
+const std::vector<uint32_t>& ClusterState::live_media_in_rack(
+    TierId tier, int32_t rack_id) const {
+  const RackCell* cell = FindRackCell(tier, rack_id);
+  return cell == nullptr ? kNoMedia : cell->slots;
+}
+
+bool ClusterState::BestInRack(TierId tier, int32_t rack_id, uint32_t* slot,
+                              double* goodness) const {
+  const RackCell* cell = FindRackCell(tier, rack_id);
+  if (cell == nullptr || cell->slots.empty()) return false;
+  if (cell->best_dirty) {
+    // Recompute touches only the cell's own goodness mirror — a short
+    // contiguous scan, no dereferences into the (much larger) slab.
+    size_t best = 0;
+    double best_g = cell->good[0];
+    for (size_t i = 1; i < cell->good.size(); ++i) {
+      if (cell->good[i] > best_g) {
+        best = i;
+        best_g = cell->good[i];
+      }
+    }
+    cell->best_slot = cell->slots[best];
+    cell->best_goodness = best_g;
+    cell->best_dirty = false;
+  }
+  *slot = cell->best_slot;
+  if (goodness != nullptr) *goodness = cell->best_goodness;
+  return true;
 }
 
 int ClusterState::LiveWorkersInRack(int32_t rack_id) const {
@@ -373,10 +505,18 @@ const WorkerInfo* ClusterState::WorkerAt(
 double ClusterState::MaxRemainingFraction() const {
   if (max_rem_dirty_) {
     double best = 0;
+    int count = 0;
     for (uint32_t slot : all_live_) {
-      best = std::max(best, media_slab_[slot].remaining_fraction());
+      double f = media_slab_[slot].remaining_fraction();
+      if (f > best) {
+        best = f;
+        count = 1;
+      } else if (f == best) {
+        ++count;
+      }
     }
     max_remaining_fraction_ = best;
+    max_rem_count_ = count;
     max_rem_dirty_ = false;
   }
   return max_remaining_fraction_;

@@ -164,6 +164,31 @@ class ClusterState {
   }
   int LiveWorkersInRack(int32_t rack_id) const;
 
+  // -- sampled-placement indexes (DESIGN.md §11) ---------------------------
+
+  /// Upper bound (exclusive) on interned rack ids; rack cells below are
+  /// addressed by rack id in [0, NumRackIds()).
+  int32_t NumRackIds() const { return static_cast<int32_t>(rack_ids_.size()); }
+
+  /// Slots of live media with tier == `tier` hosted in rack `rack_id`.
+  /// Unlike the sorted tier index, cells are unsorted (O(1) swap-erase
+  /// maintenance); order is deterministic given the mutation history.
+  /// Sampled placement draws power-of-d candidates from these cells.
+  const std::vector<uint32_t>& live_media_in_rack(TierId tier,
+                                                  int32_t rack_id) const;
+
+  /// A cell member achieving the cell's maximum of
+  /// ScoreAccumulator::StaticGoodness — the rack-level score summary
+  /// sampled placement seeds each examined rack with. Which of several
+  /// tied maxima is returned is unspecified but deterministic given the
+  /// mutation history. The cached maximum is maintained incrementally as
+  /// heartbeats/reservations mutate media stats and recomputed lazily
+  /// (a linear scan of the cell's contiguous goodness array) when the
+  /// previous maximum degraded. Returns false when the cell is empty;
+  /// `goodness` may be null.
+  bool BestInRack(TierId tier, int32_t rack_id, uint32_t* slot,
+                  double* goodness) const;
+
   /// Media hosted by live workers with tier == `tier`.
   std::vector<MediumId> MediaOnTier(TierId tier) const;
   /// Media hosted by one worker.
@@ -201,6 +226,20 @@ class ClusterState {
   bool MediumLive(MediumId id) const;
 
  private:
+  /// One (tier, rack) cell of the sampled-placement index: the live media
+  /// of that tier in that rack, plus a lazily maintained cache of the
+  /// goodness maximum (see BestInRack).
+  struct RackCell {
+    std::vector<uint32_t> slots;
+    /// good[i] == StaticGoodness(media_slab_[slots[i]]), kept current on
+    /// every stats mutation so the lazy best recompute is a linear scan
+    /// of this contiguous array — no scattered slab reads.
+    std::vector<double> good;
+    mutable uint32_t best_slot = 0;
+    mutable double best_goodness = 0;
+    mutable bool best_dirty = false;
+  };
+
   int32_t InternRack(const std::string& rack);
   MediumInfo* MutableMedium(MediumId id);
 
@@ -222,6 +261,15 @@ class ClusterState {
   /// fraction changed from `f_old` to `f_new`.
   void OnFractionChange(double f_old, double f_new);
 
+  /// Rack-cell membership maintenance (called from the live/dead
+  /// transitions) and cached-best maintenance for a live medium whose
+  /// static goodness changed.
+  void RackCellInsert(uint32_t slot);
+  void RackCellErase(uint32_t slot);
+  void OnGoodnessChange(uint32_t slot, double g_new);
+  RackCell* MutableRackCell(TierId tier, int32_t rack_id);
+  const RackCell* FindRackCell(TierId tier, int32_t rack_id) const;
+
   std::map<WorkerId, WorkerInfo> workers_;
   std::map<TierId, TierInfo> tiers_;
 
@@ -234,6 +282,11 @@ class ClusterState {
   std::vector<uint32_t> all_live_;
   std::array<std::vector<uint32_t>, 8> tier_live_;
   std::map<WorkerId, std::vector<uint32_t>> worker_media_;
+
+  // Sampled-placement index: per-(tier, rack) cells addressed by interned
+  // rack id, plus each slot's position inside its cell for O(1) erase.
+  std::array<std::vector<RackCell>, 8> tier_rack_cells_;
+  std::vector<uint32_t> slot_rack_pos_;
 
   // Node-location index for WorkerAt (worker ids sorted ascending).
   std::map<std::pair<std::string, std::string>, std::vector<WorkerId>>
@@ -253,8 +306,12 @@ class ClusterState {
   int min_conn_ = 0;
 
   // Lazily recomputed aggregates (dirtied only by mutations that can
-  // actually change them; recomputation scans the live indexes).
+  // actually change them; recomputation scans the live indexes). The
+  // max-remaining cache also counts the live media tied at the maximum,
+  // so one max-holder churning below it (every placement reservation in
+  // a fresh cluster) does not force an O(media) rescan per decision.
   mutable double max_remaining_fraction_ = 0;
+  mutable int max_rem_count_ = 0;
   mutable bool max_rem_dirty_ = false;
   mutable std::array<double, 8> tier_avg_write_{};
   mutable std::array<double, 8> tier_avg_read_{};

@@ -141,6 +141,10 @@ double Objectives::SingleObjectiveScore(
   return std::abs(f[i] - z[i]);
 }
 
+double ScoreAccumulator::StaticGoodness(const MediumInfo& m) {
+  return m.remaining_fraction() + 1.0 / (m.nr_connections + 1);
+}
+
 void ScoreAccumulator::Reset(const Objectives* objectives) {
   objectives_ = objectives;
   size_ = 0;

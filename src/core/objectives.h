@@ -101,6 +101,17 @@ class ScoreAccumulator {
  public:
   ScoreAccumulator() = default;
 
+  /// The set-independent part of one medium's marginal contribution to
+  /// the MOOP distance: its data-balancing fraction plus its
+  /// load-balancing term, Rem[m]/Cap[m] + 1/(NrConn[m]+1). Higher is
+  /// closer to the per-replica ideals z* (Eqs. 2 and 4); the block-size
+  /// shift in f_db and the per-tier throughput term are constant within a
+  /// tier and so do not affect the within-tier ordering. ClusterState
+  /// keys its per-(tier, rack) best-candidate caches on this value so
+  /// sampled placement (DESIGN.md §11) can seed each examined rack with
+  /// its strongest candidate without scanning.
+  static double StaticGoodness(const MediumInfo& m);
+
   /// Rebinds to `objectives` and clears all running state. Retains vector
   /// capacity, so a reused accumulator does not allocate.
   void Reset(const Objectives* objectives);

@@ -19,6 +19,10 @@ struct PlacementScratch {
   std::vector<TierId> entries;              // expanded replication vector
   std::vector<int32_t> rack_seq;            // racks of chosen, in pick order
   std::vector<WorkerId> nodes;              // HDFS node candidates
+  std::vector<TierId> tier_cycle;           // rule-based tier rotation
+  std::vector<int32_t> block_racks;         // rule-based rack choice
+  std::vector<int32_t> sel_racks;           // sampled mode: winning racks
+  std::vector<double> sel_goodness;         // sampled mode: their summaries
   ScoreAccumulator acc;
 };
 
@@ -131,6 +135,162 @@ void GenOptions(const ClusterState& state, const PlacementRequest& request,
   }
 }
 
+/// Sampled-mode candidate generation (DESIGN.md §11): instead of scanning
+/// every live medium, picks winning racks from the per-(tier, rack)
+/// best-goodness summaries, seeds each examined rack with its cached best
+/// candidate, and adds `sample_d` power-of-d-choices draws from the rack
+/// cells. Applies exactly the feasibility filters of GenOptions (space,
+/// one-replica-per-medium, the volatile cap) and the same rack-spread
+/// constraint derived from the chosen set. When nothing feasible is
+/// sampled, falls back to the exhaustive GenOptions scan so an entry is
+/// placeable in sampled mode iff it is placeable in exhaustive mode.
+void SampleOptions(const ClusterState& state, const PlacementRequest& request,
+                   TierId entry, const MoopOptions& options,
+                   int total_replicas, int volatile_count,
+                   PlacementScratch* scratch, Random* rng) {
+  std::vector<const MediumInfo*>& base = scratch->options;
+  base.clear();
+  const std::vector<MediumInfo>& slab = state.media_slab();
+  const bool unspecified = entry == kUnspecifiedTier;
+  const int volatile_cap =
+      static_cast<int>(total_replicas * options.memory_fraction_cap);
+
+  auto feasible = [&](const MediumInfo& m) {
+    if (AlreadyChosen(scratch->chosen, m.id)) return false;
+    if (m.remaining_bytes - request.block_size < 0) return false;
+    if (unspecified && IsVolatile(m.type)) {
+      if (!options.use_memory) return false;
+      if (volatile_count + 1 > volatile_cap) return false;
+    }
+    return true;
+  };
+  auto push_unique = [&](const MediumInfo& m) {
+    for (const MediumInfo* p : base) {
+      if (p->id == m.id) return;
+    }
+    base.push_back(&m);
+  };
+
+  // First replica: the client's local feasible media win outright, as in
+  // the exhaustive path's local filter.
+  if (options.prefer_client_local && scratch->chosen.empty()) {
+    const WorkerInfo* local = state.WorkerAt(request.client);
+    if (local != nullptr) {
+      for (uint32_t slot : state.media_of_worker(local->id)) {
+        const MediumInfo& m = slab[slot];
+        if (!unspecified && m.tier != entry) continue;
+        if (!state.MediumLive(m.id)) continue;
+        if (feasible(m)) push_unique(m);
+      }
+      if (!base.empty()) return;
+    }
+  }
+
+  // Rack-spread constraint from the chosen set: after one rack is used
+  // the next replica must leave it; once two racks are used candidates
+  // are restricted to those two (GenOptions' pruning, applied directly
+  // to the per-rack cells instead of by filtering a full scan).
+  std::vector<int32_t>& racks = scratch->rack_seq;
+  racks.clear();
+  if (options.rack_pruning && state.NumRacks() > 1) {
+    for (const MediumInfo* m : scratch->chosen) {
+      if (std::find(racks.begin(), racks.end(), m->rack_id) == racks.end()) {
+        racks.push_back(m->rack_id);
+      }
+    }
+  }
+  const int32_t exclude_rack = racks.size() == 1 ? racks[0] : -1;
+  const bool restrict_two = racks.size() >= 2;
+
+  auto sample_tier = [&](TierId t, int budget) {
+    std::vector<int32_t>& sel = scratch->sel_racks;
+    std::vector<double>& sel_g = scratch->sel_goodness;
+    sel.clear();
+    sel_g.clear();
+    if (restrict_two) {
+      sel.push_back(racks[0]);
+      sel.push_back(racks[1]);
+    } else {
+      // Rack pre-aggregation: rank racks by their cached best-candidate
+      // goodness and keep the top `sample_racks`. Small rack counts are
+      // scanned exactly; large ones are probed power-of-d style.
+      const int32_t nracks = state.NumRackIds();
+      auto consider = [&](int32_t rid) {
+        if (rid == exclude_rack) return;
+        uint32_t slot;
+        double g;
+        if (!state.BestInRack(t, rid, &slot, &g)) return;
+        if (std::find(sel.begin(), sel.end(), rid) != sel.end()) return;
+        // Insertion sort into the top-k (k = sample_racks, tiny).
+        size_t pos = sel.size();
+        while (pos > 0 && g > sel_g[pos - 1]) --pos;
+        if (pos >= static_cast<size_t>(options.sample_racks)) return;
+        sel.insert(sel.begin() + pos, rid);
+        sel_g.insert(sel_g.begin() + pos, g);
+        if (sel.size() > static_cast<size_t>(options.sample_racks)) {
+          sel.pop_back();
+          sel_g.pop_back();
+        }
+      };
+      if (nracks <= options.rack_probe_limit) {
+        for (int32_t rid = 0; rid < nracks; ++rid) consider(rid);
+      } else {
+        for (int i = 0; i < options.rack_probe_d; ++i) {
+          consider(static_cast<int32_t>(rng->FastUniform(nracks)));
+        }
+      }
+    }
+    if (sel.empty()) return;
+    const int per_rack = (budget + static_cast<int>(sel.size()) - 1) /
+                         static_cast<int>(sel.size());
+    for (int32_t rid : sel) {
+      uint32_t best_slot;
+      if (state.BestInRack(t, rid, &best_slot, nullptr)) {
+        const MediumInfo& m = slab[best_slot];
+        if (feasible(m)) push_unique(m);
+      }
+      const std::vector<uint32_t>& cell = state.live_media_in_rack(t, rid);
+      if (cell.empty()) continue;
+      for (int i = 0; i < per_rack; ++i) {
+        const MediumInfo& m = slab[cell[rng->FastUniform(cell.size())]];
+        if (feasible(m)) push_unique(m);
+      }
+    }
+  };
+
+  if (!unspecified) {
+    sample_tier(entry, options.sample_d);
+  } else {
+    // An Unspecified entry competes across every eligible tier; the
+    // sample budget is split among them (each tier still seeds its
+    // winning racks' best candidates, so small shares stay informed).
+    int eligible = 0;
+    auto tier_eligible = [&](TierId t) {
+      if (state.live_media_on_tier(t).empty()) return false;
+      const TierInfo* tier = state.FindTier(t);
+      if (tier != nullptr && IsVolatile(tier->type) &&
+          (!options.use_memory || volatile_count + 1 > volatile_cap)) {
+        return false;  // every medium of the tier would fail the cap
+      }
+      return true;
+    };
+    for (TierId t = 0; t < kMaxTiers; ++t) {
+      if (tier_eligible(t)) ++eligible;
+    }
+    if (eligible > 0) {
+      const int share = (options.sample_d + eligible - 1) / eligible;
+      for (TierId t = 0; t < kMaxTiers; ++t) {
+        if (tier_eligible(t)) sample_tier(t, share);
+      }
+    }
+  }
+
+  if (base.empty()) {
+    GenOptions(state, request, entry, options, total_replicas, volatile_count,
+               scratch);
+  }
+}
+
 /// Algorithm 1: scores adding each option to the chosen set and returns
 /// the option with the lowest score, evaluated in O(1) per candidate via
 /// the accumulator's running sums (`single == nullptr` means the full
@@ -177,11 +337,25 @@ Result<std::vector<MediumId>> GreedyPlace(const ClusterState& state,
   std::vector<MediumId> placed;
   placed.reserve(scratch->entries.size());
   for (TierId entry : scratch->entries) {
-    GenOptions(state, request, entry, options, total_replicas, volatile_count,
-               scratch);
+    if (options.mode == PlacementMode::kSampled) {
+      SampleOptions(state, request, entry, options, total_replicas,
+                    volatile_count, scratch, rng);
+    } else {
+      GenOptions(state, request, entry, options, total_replicas,
+                 volatile_count, scratch);
+    }
     std::vector<const MediumInfo*>& opts = scratch->options;
     if (opts.empty()) continue;  // cannot satisfy this entry; place the rest
-    rng->Shuffle(&opts);  // random tie-breaking (see SolveMoop)
+    // Random tie-breaking (see SolveMoop). The exhaustive stream must
+    // stay bit-identical to the golden placements; the sampled mode has
+    // no such constraint and uses the cheap reduction.
+    if (options.mode == PlacementMode::kSampled) {
+      for (size_t i = opts.size(); i > 1; --i) {
+        std::swap(opts[i - 1], opts[rng->FastUniform(i)]);
+      }
+    } else {
+      rng->Shuffle(&opts);
+    }
     const MediumInfo* best = SolveMoop(opts, scratch->acc, single);
     chosen.push_back(best);
     scratch->acc.Add(*best);
@@ -198,7 +372,9 @@ class MoopPlacementPolicy : public PlacementPolicy {
  public:
   explicit MoopPlacementPolicy(MoopOptions options) : options_(options) {}
 
-  std::string_view name() const override { return "MOOP"; }
+  std::string_view name() const override {
+    return options_.mode == PlacementMode::kSampled ? "MOOP-sampled" : "MOOP";
+  }
 
   Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
                                               const PlacementRequest& request,
@@ -253,8 +429,11 @@ class RuleBasedPolicy : public PlacementPolicy {
   Result<std::vector<MediumId>> PlaceReplicas(const ClusterState& state,
                                               const PlacementRequest& request,
                                               Random* rng) override {
-    // Active tiers, fastest first; replicas rotate across them.
-    std::vector<TierId> tiers;
+    // Active tiers, fastest first; replicas rotate across them. Reuses
+    // the scratch vectors so allocs/decision stay O(1) regardless of
+    // cluster size (the rack list used to reallocate log(#racks) times).
+    std::vector<TierId>& tiers = scratch_.tier_cycle;
+    tiers.clear();
     for (TierId t = 0; t < kMaxTiers; ++t) {
       if (!state.live_media_on_tier(t).empty()) tiers.push_back(t);
     }
@@ -262,7 +441,8 @@ class RuleBasedPolicy : public PlacementPolicy {
 
     // Pick (up to) two racks at random for this block. rack_index() is
     // ordered by rack name, matching the old sorted-set enumeration.
-    std::vector<int32_t> block_racks;
+    std::vector<int32_t>& block_racks = scratch_.block_racks;
+    block_racks.clear();
     for (const auto& [name, rid] : state.rack_index()) {
       if (state.LiveWorkersInRack(rid) > 0) block_racks.push_back(rid);
     }
@@ -273,6 +453,7 @@ class RuleBasedPolicy : public PlacementPolicy {
     ResolveMediaInto(state, request.existing, &chosen);
     std::vector<MediumId> placed;
     const int want = request.rep_vector.total();
+    placed.reserve(want);
     ExpandEntriesInto(request.rep_vector, &scratch_.entries);
     const std::vector<TierId>& entries = scratch_.entries;
     const std::vector<int32_t> no_racks;

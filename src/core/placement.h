@@ -45,7 +45,26 @@ class PlacementPolicy {
       Random* rng) = 0;
 };
 
-/// Tunables of the MOOP policy's pruning heuristics (§3.3).
+/// How the MOOP-family policies enumerate candidates per replica entry.
+enum class PlacementMode {
+  /// Score every feasible live medium (the paper's Algorithm 2). Exact
+  /// and bit-identical to the golden placements, but O(cluster) per
+  /// replica — the oracle the sampled mode is tested against.
+  kExhaustive,
+  /// Sublinear candidate selection (DESIGN.md §11): rack-level
+  /// pre-aggregation picks winning racks from the per-(tier, rack)
+  /// best-goodness summaries, each examined rack is seeded with its
+  /// cached best candidate, and `sample_d` power-of-d-choices draws from
+  /// the rack cells add the probabilistic safety net. Falls back to the
+  /// exhaustive scan for an entry whenever the sampled set is empty, so
+  /// a request is placeable in sampled mode iff it is placeable in
+  /// exhaustive mode. Near-exact: bounded regret vs. the exhaustive
+  /// argmin (tests/placement_sampled_test.cc).
+  kSampled,
+};
+
+/// Tunables of the MOOP policy's pruning heuristics (§3.3) and of the
+/// sampled candidate-selection mode.
 struct MoopOptions {
   /// Volatile memory participates in Unspecified-replica placement.
   /// Disabled by default, as in the paper.
@@ -57,6 +76,21 @@ struct MoopOptions {
   bool rack_pruning = true;
   /// Consider the client's own worker first for the first replica.
   bool prefer_client_local = true;
+
+  /// Candidate enumeration. Exhaustive stays the default; kSampled makes
+  /// decisions O(sample_d + racks examined) instead of O(workers).
+  PlacementMode mode = PlacementMode::kExhaustive;
+  /// Sampled mode: random candidates drawn per replica entry and tier
+  /// (the "d" of power-of-d-choices).
+  int sample_d = 8;
+  /// Sampled mode: winning racks examined per tier, chosen by the cached
+  /// per-rack best-goodness summaries.
+  int sample_racks = 2;
+  /// Sampled mode: when a tier spans more racks than this, rack
+  /// selection probes `rack_probe_d` random racks instead of scanning
+  /// every rack summary.
+  int rack_probe_limit = 64;
+  int rack_probe_d = 16;
 };
 
 /// The default MOOP placement policy: greedy per-replica minimization of

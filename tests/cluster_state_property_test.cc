@@ -4,7 +4,9 @@
 // connection and space churn), every O(1) aggregate must equal a naive
 // full-scan recomputation over the public media/worker views, and the
 // candidate indexes must enumerate exactly the live media in MediumId
-// order.
+// order. The sampled-placement per-(tier, rack) cells are held to the
+// same standard: they must partition the live media by rack, and each
+// cached BestInRack summary must equal a naive goodness maximum.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +18,7 @@
 #include "common/random.h"
 #include "common/units.h"
 #include "core/cluster_state.h"
+#include "core/objectives.h"
 
 namespace octo {
 namespace {
@@ -100,6 +103,33 @@ void CheckAgainstNaive(const ClusterState& state) {
       if (m.worker == wid) expect.push_back(id);
     }
     EXPECT_EQ(state.MediaOnWorker(wid), expect) << wid;
+  }
+  // The sampled-placement rack cells partition the live media of each
+  // tier by rack (order unspecified), and BestInRack reports a member
+  // achieving the cell's true goodness maximum.
+  for (TierId t = 0; t < 8; ++t) {
+    for (int32_t rid = 0; rid < state.NumRackIds(); ++rid) {
+      std::vector<MediumId> expect;
+      double max_g = 0;
+      for (const auto& [id, m] : state.media()) {
+        if (m.tier != t || m.rack_id != rid || !state.MediumLive(id)) continue;
+        expect.push_back(id);
+        max_g = std::max(max_g, ScoreAccumulator::StaticGoodness(m));
+      }
+      std::vector<MediumId> cell = IdsOf(state, state.live_media_in_rack(t, rid));
+      std::sort(cell.begin(), cell.end());
+      EXPECT_EQ(cell, expect) << "tier " << int(t) << " rack " << rid;
+      uint32_t best_slot = 0;
+      double best_g = 0;
+      bool has = state.BestInRack(t, rid, &best_slot, &best_g);
+      EXPECT_EQ(has, !expect.empty()) << "tier " << int(t) << " rack " << rid;
+      if (has) {
+        const MediumInfo& bm = state.media_slab()[best_slot];
+        EXPECT_TRUE(std::binary_search(cell.begin(), cell.end(), bm.id));
+        EXPECT_DOUBLE_EQ(best_g, max_g) << "tier " << int(t) << " rack " << rid;
+        EXPECT_DOUBLE_EQ(ScoreAccumulator::StaticGoodness(bm), max_g);
+      }
+    }
   }
 }
 

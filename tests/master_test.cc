@@ -22,6 +22,13 @@ class MasterTest : public ::testing::Test {
   void SetUp() override {
     MasterOptions options;
     options.worker_timeout_micros = 1000;
+    Rebuild(options);
+  }
+
+  // Replaces the master with a freshly-optioned one and re-registers the
+  // standard 2-rack x 3-worker topology.
+  void Rebuild(const MasterOptions& options) {
+    workers_.clear();
     master_ = std::make_unique<Master>(options, &clock_);
     master_->DefineTier({kMemoryTier, "Memory", MediaType::kMemory});
     master_->DefineTier({kSsdTier, "SSD", MediaType::kSsd});
@@ -201,6 +208,33 @@ TEST_F(MasterTest, ExpiredLeaseForceCompletesFile) {
   ASSERT_TRUE(master.Heartbeat(HeartbeatPayload{*worker, {}}).ok());
   EXPECT_FALSE(
       master.GetFileStatus("/f", kRoot)->under_construction);
+}
+
+TEST_F(MasterTest, SampledPlacementModePlacesValidReplicas) {
+  // MasterOptions::placement_mode routes every MOOP decision through the
+  // sublinear sampled enumeration; the protocol-visible behavior (live
+  // media, explicit tiers honored, rack spread) must be unchanged.
+  MasterOptions options;
+  options.worker_timeout_micros = 1000;
+  options.placement_mode = PlacementMode::kSampled;
+  Rebuild(options);
+  for (int i = 0; i < 8; ++i) {
+    std::string path = "/sampled" + std::to_string(i);
+    BlockId block = WriteOneBlockFile(path, ReplicationVector::Of(1, 1, 1),
+                                      4 * kMiB);
+    EXPECT_EQ(TiersOf(block),
+              (std::multiset<TierId>{kMemoryTier, kSsdTier, kHddTier}));
+    const BlockRecord* record = master_->block_manager().Find(block);
+    ASSERT_NE(record, nullptr);
+    std::set<std::string> racks;
+    for (MediumId m : record->locations) {
+      const MediumInfo* info = master_->cluster_state().FindMedium(m);
+      ASSERT_NE(info, nullptr);
+      EXPECT_TRUE(master_->cluster_state().MediumLive(m));
+      racks.insert(info->location.rack());
+    }
+    EXPECT_EQ(racks.size(), 2u);
+  }
 }
 
 // ---------------------------------------------------------------------------

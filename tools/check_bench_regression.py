@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compares a bench JSON against its checked-in baseline and fails on
+throughput regressions.
+
+Usage:
+  tools/check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.2]
+
+Rows are matched by (workers, policy). A row whose decisions_per_sec
+falls more than `tolerance` below the baseline's is a regression and the
+script exits non-zero (run_benches.sh propagates this). Rows with no
+baseline counterpart — a new cluster size or a new policy — are reported
+and skipped, so extending the sweep does not require regenerating the
+baseline in the same change.
+
+The baseline is a floor, not a target: beating it (as the sampled
+placement mode does by orders of magnitude at 10k workers) never fails.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        rows[(row["workers"], row["policy"])] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drop vs baseline "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--metric", default="decisions_per_sec",
+                        help="higher-is-better metric to compare")
+    args = parser.parse_args()
+
+    current = load_results(args.current)
+    baseline = load_results(args.baseline)
+
+    regressions = []
+    print(f"{'workers':>8} {'policy':<14} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>7}")
+    for key in sorted(current, key=lambda k: (k[0], k[1])):
+        workers, policy = key
+        cur = current[key].get(args.metric)
+        base_row = baseline.get(key)
+        if base_row is None or args.metric not in base_row:
+            print(f"{workers:>8} {policy:<14} {'(none)':>12} {cur:>12.0f} "
+                  f"{'new':>7}")
+            continue
+        base = base_row[args.metric]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = " REGRESSION" if ratio < 1.0 - args.tolerance else ""
+        print(f"{workers:>8} {policy:<14} {base:>12.0f} {cur:>12.0f} "
+              f"{ratio:>6.2f}x{flag}")
+        if flag:
+            regressions.append((workers, policy, base, cur, ratio))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for workers, policy, base, cur, ratio in regressions:
+            print(f"  {policy} at {workers} workers: {base:.0f} -> {cur:.0f} "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

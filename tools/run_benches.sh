@@ -15,6 +15,9 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_placement_hotpath \
     --target bench_sim_hotpath --target bench_metadata_hotpath
 
+# The placement bench sweeps 10/100/1000/10000 workers for every policy,
+# including both MOOP candidate-enumeration modes (exhaustive and the
+# sublinear sampled mode of DESIGN.md §11).
 "$build_dir/bench/bench_placement_hotpath" "$repo_root/BENCH_placement.json"
 "$build_dir/bench/bench_sim_hotpath" "$repo_root/BENCH_sim.json"
 "$build_dir/bench/bench_metadata_hotpath" "$repo_root/BENCH_metadata.json"
@@ -22,3 +25,13 @@ echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json," \
      "$repo_root/BENCH_metadata.json"
 echo "baselines (pre-optimization): BENCH_placement.baseline.json," \
      "BENCH_sim.baseline.json"
+
+# Gate: any (workers, policy) pair that lost more than 20% throughput
+# against the checked-in baseline fails the run (set -e propagates).
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo_root/tools/check_bench_regression.py" \
+      "$repo_root/BENCH_placement.json" \
+      "$repo_root/BENCH_placement.baseline.json"
+else
+  echo "warning: python3 not found, skipping bench regression check" >&2
+fi
