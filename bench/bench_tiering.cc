@@ -1,0 +1,125 @@
+// Automated tiering engine vs. static placement on the three skewed
+// read scenarios of workload/tiering_scenarios.h. The same 24 x 1 GiB
+// HDD-resident data set is read for several rounds; the "auto" runs
+// close the loop end to end (reads -> worker heartbeat statistics ->
+// TieringEngine::Tick -> timed replica migrations), the "static" runs
+// leave the data where placement put it. Migration traffic runs inside
+// the measured window, so the reported throughput pays for the copies.
+//
+// Emits BENCH_tiering.json (path overridable via argv[1]); rows are
+// keyed (workers, policy) with read_mbps as the gated metric.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/tiering_engine.h"
+#include "workload/tiering_scenarios.h"
+
+using namespace octo;
+
+namespace {
+
+struct BenchRow {
+  std::string policy;
+  workload::TieringScenarioResult result;
+};
+
+// One full file read generates ~17 heat points (one GetBlockLocations
+// per block plus one block read per 128 MiB block of a 1 GiB file), so
+// the thresholds below are "roughly 2.5 reads per decay window" for the
+// Memory level and "more than half a read" for the SSD level.
+TieringOptions EngineOptions() {
+  TieringOptions options;
+  options.levels = {{kMemoryTier, /*capacity_fraction=*/0.2,
+                     /*promote_threshold=*/40.0},
+                    {kSsdTier, /*capacity_fraction=*/0.5,
+                     /*promote_threshold=*/10.0}};
+  options.decay_interval_micros = 20 * kMicrosPerSecond;
+  options.max_promotions_per_tick = 16;
+  options.collect_access_stats = true;
+  return options;
+}
+
+workload::TieringScenarioResult RunOne(workload::TieringScenarioKind kind,
+                                       bool automated) {
+  auto cluster = bench::MakeBenchCluster(bench::FsMode::kOctopusDefault, 31);
+  workload::TransferEngine engine(cluster.get());
+  workload::TieringScenarioOptions options;
+  options.rounds = 9;
+  options.reads_per_round = 27;
+  options.drift_period = 3;
+
+  std::unique_ptr<TieringEngine> tiering;
+  if (automated) {
+    tiering =
+        std::make_unique<TieringEngine>(cluster->master(), EngineOptions());
+  }
+  auto result = workload::RunTieringScenario(cluster.get(), &engine, kind,
+                                             tiering.get(), options);
+  OCTO_CHECK(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_tiering.json";
+  bench::PrintHeader(
+      "Automated tiering engine vs. static placement (skewed reads)");
+
+  const workload::TieringScenarioKind kinds[] = {
+      workload::TieringScenarioKind::kZipfHotSetDrift,
+      workload::TieringScenarioKind::kDiurnal,
+      workload::TieringScenarioKind::kScanPointMix,
+  };
+
+  std::vector<BenchRow> rows;
+  for (workload::TieringScenarioKind kind : kinds) {
+    BenchRow fixed{std::string(workload::TieringScenarioName(kind)) +
+                       "-static",
+                   RunOne(kind, false)};
+    BenchRow automated{std::string(workload::TieringScenarioName(kind)) +
+                           "-auto",
+                       RunOne(kind, true)};
+    std::printf("%-22s %8.1f MB/s\n", fixed.policy.c_str(),
+                fixed.result.read_mbps);
+    std::printf(
+        "%-22s %8.1f MB/s  (%.2fx; %d promotions, %d demotions, "
+        "%d evictions)\n",
+        automated.policy.c_str(), automated.result.read_mbps,
+        automated.result.read_mbps / fixed.result.read_mbps,
+        automated.result.totals.promotions, automated.result.totals.demotions,
+        automated.result.totals.evictions);
+    std::fflush(stdout);
+    rows.push_back(std::move(fixed));
+    rows.push_back(std::move(automated));
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  OCTO_CHECK(f != nullptr) << "cannot write " << out_path;
+  std::fprintf(f, "{\n  \"bench\": \"tiering\",\n");
+  std::fprintf(f, "  \"files\": 24,\n  \"file_bytes\": %lld,\n",
+               static_cast<long long>(kGiB));
+  std::fprintf(f, "  \"rounds\": 9,\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": 9, \"policy\": \"%s\", \"read_mbps\": %.1f, "
+        "\"bytes_read\": %lld, \"elapsed_seconds\": %.2f, "
+        "\"promotions\": %d, \"demotions\": %d, \"evictions\": %d, "
+        "\"eviction_skips\": %d}%s\n",
+        row.policy.c_str(), row.result.read_mbps,
+        static_cast<long long>(row.result.bytes_read),
+        row.result.elapsed_seconds, row.result.totals.promotions,
+        row.result.totals.demotions, row.result.totals.evictions,
+        row.result.totals.eviction_skips,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

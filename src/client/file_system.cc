@@ -488,6 +488,9 @@ bool FileReader::TryReadBlock(const LocatedBlock& located) {
         });
         continue;
       }
+      // A served application read: feed the worker's per-block counters
+      // so the next heartbeat carries it into the master's access stats.
+      worker->NoteBlockRead(located.block.id, located.block.length);
       cached_data_ = std::move(data).value();
       return true;
     }

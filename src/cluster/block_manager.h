@@ -20,6 +20,11 @@ namespace octo {
 struct BlockRecord {
   BlockId id = kInvalidBlock;
   std::string file;  // owning file path (for diagnostics/invalidation)
+  /// Stable inode id of the owning file (FileStatus::file_id). `file`
+  /// goes stale when the file is renamed; the id does not, so read
+  /// statistics folded from heartbeats stay attributable. 0 = unknown
+  /// (records rebuilt from a checkpoint predating the file-id field).
+  uint64_t file_id = 0;
   int64_t length = 0;
   /// The block's current generation stamp. A reported replica carrying
   /// an older genstamp is stale: never adopted into `locations`, never

@@ -1,146 +1,42 @@
 #include "cluster/cache_manager.h"
 
-#include <algorithm>
-
-#include "common/logging.h"
+#include <utility>
 
 namespace octo {
 
 namespace {
-const UserContext kSuperuser{"root", {}};
+TieringOptions ToEngineOptions(const CacheManagerOptions& options) {
+  TieringOptions out;
+  out.levels = {{kMemoryTier, options.memory_budget_fraction,
+                 static_cast<double>(options.promotion_threshold)}};
+  out.decay_interval_micros = options.decay_interval_micros;
+  out.max_promotions_per_tick = options.max_promotions_per_tick;
+  out.collect_access_stats = false;  // fed via RecordAccess only
+  return out;
+}
 }  // namespace
 
 CacheManager::CacheManager(Master* master, CacheManagerOptions options)
-    : master_(master),
-      options_(options),
-      last_decay_micros_(master->clock()->NowMicros()) {}
+    : engine_(master, ToEngineOptions(options)) {}
 
 void CacheManager::RecordAccess(const std::string& path, int weight) {
-  std::lock_guard<std::mutex> lock(mu_);
-  FileHeat& heat = heat_[path];
-  heat.count += weight;
-  heat.last_access_micros = master_->clock()->NowMicros();
-}
-
-int64_t CacheManager::MemoryBudgetRemaining() const {
-  const ClusterState& state = master_->cluster_state();
-  int64_t memory_capacity = 0;
-  const std::vector<MediumInfo>& slab = state.media_slab();
-  for (uint32_t slot : state.live_media()) {
-    if (IsVolatile(slab[slot].type)) {
-      memory_capacity += slab[slot].capacity_bytes;
-    }
-  }
-  int64_t budget = static_cast<int64_t>(memory_capacity *
-                                        options_.memory_budget_fraction);
-  for (const auto& [path, bytes] : promoted_) budget -= bytes;
-  return budget;
-}
-
-Status CacheManager::Promote(const std::string& path,
-                             CacheTickReport* report) {
-  auto status = master_->GetFileStatus(path, kSuperuser);
-  if (!status.ok()) return status.status();
-  if (status->is_dir || status->under_construction) {
-    return Status::FailedPrecondition(path + " is not a readable file");
-  }
-  ReplicationVector rv = status->rep_vector;
-  TierId memory_slot = kMemoryTier;
-  if (rv.Get(memory_slot) == 255) {
-    return Status::FailedPrecondition("memory slot saturated");
-  }
-  rv.Set(memory_slot, rv.Get(memory_slot) + 1);
-  OCTO_RETURN_IF_ERROR(master_->SetReplication(path, rv, kSuperuser));
-  promoted_[path] = status->length;
-  report->promotions++;
-  report->bytes_promoted += status->length;
-  return Status::OK();
-}
-
-Status CacheManager::Evict(const std::string& path, CacheTickReport* report) {
-  auto it = promoted_.find(path);
-  if (it == promoted_.end()) {
-    return Status::NotFound(path + " was not promoted by the cache manager");
-  }
-  auto status = master_->GetFileStatus(path, kSuperuser);
-  if (status.ok()) {
-    ReplicationVector rv = status->rep_vector;
-    if (rv.Get(kMemoryTier) > 0) {
-      rv.Set(kMemoryTier, rv.Get(kMemoryTier) - 1);
-      // Never drop the last replica (the manager only removes the copy it
-      // added; if the user meanwhile reduced replication, skip).
-      if (rv.total() >= 1) {
-        OCTO_RETURN_IF_ERROR(master_->SetReplication(path, rv, kSuperuser));
-      }
-    }
-  }
-  // A deleted file simply leaves the promoted set.
-  report->evictions++;
-  report->bytes_evicted += it->second;
-  promoted_.erase(it);
-  return Status::OK();
+  engine_.RecordAccess(path, static_cast<double>(weight));
 }
 
 Result<CacheTickReport> CacheManager::Tick() {
-  std::lock_guard<std::mutex> lock(mu_);
-  CacheTickReport report;
-  int64_t now = master_->clock()->NowMicros();
-
-  // Exponential decay of access counts.
-  while (now - last_decay_micros_ >= options_.decay_interval_micros) {
-    for (auto& [path, heat] : heat_) heat.count /= 2;
-    last_decay_micros_ += options_.decay_interval_micros;
-  }
-  // Drop stone-cold entries.
-  for (auto it = heat_.begin(); it != heat_.end();) {
-    if (it->second.count < 0.5 && promoted_.count(it->first) == 0) {
-      it = heat_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
-  // Hottest first.
-  std::vector<std::pair<double, std::string>> by_heat;
-  for (const auto& [path, heat] : heat_) {
-    by_heat.emplace_back(heat.count, path);
-  }
-  std::sort(by_heat.rbegin(), by_heat.rend());
-
-  // Evict promoted files that cooled below the threshold.
-  std::vector<std::string> cooled;
-  for (const auto& [path, bytes] : promoted_) {
-    auto it = heat_.find(path);
-    if (it == heat_.end() || it->second.count < options_.promotion_threshold) {
-      cooled.push_back(path);
-    }
-  }
-  for (const std::string& path : cooled) {
-    OCTO_RETURN_IF_ERROR(Evict(path, &report));
-  }
-
-  // Promote hot, not-yet-promoted files while the budget lasts.
-  for (const auto& [count, path] : by_heat) {
-    if (report.promotions >= options_.max_promotions_per_tick) break;
-    if (count < options_.promotion_threshold) break;  // sorted: all colder
-    if (promoted_.count(path) > 0) continue;
-    auto status = master_->GetFileStatus(path, kSuperuser);
-    if (!status.ok() || status->is_dir || status->under_construction) {
-      continue;
-    }
-    if (status->length > MemoryBudgetRemaining()) continue;
-    Status st = Promote(path, &report);
-    if (!st.ok() && !st.IsFailedPrecondition()) return st;
-  }
-  return report;
+  auto report = engine_.Tick();
+  OCTO_RETURN_IF_ERROR(report.status());
+  CacheTickReport out;
+  out.promotions = report->promotions;
+  out.evictions = report->evictions;
+  out.eviction_skips = report->eviction_skips;
+  out.bytes_promoted = report->bytes_promoted;
+  out.bytes_evicted = report->bytes_evicted;
+  return out;
 }
 
 std::vector<std::string> CacheManager::PromotedFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> out;
-  out.reserve(promoted_.size());
-  for (const auto& [path, bytes] : promoted_) out.push_back(path);
-  return out;
+  return engine_.ManagedFiles();
 }
 
 }  // namespace octo

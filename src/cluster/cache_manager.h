@@ -2,12 +2,11 @@
 #define OCTOPUSFS_CLUSTER_CACHE_MANAGER_H_
 
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/master.h"
+#include "cluster/tiering_engine.h"
 #include "common/status.h"
 
 namespace octo {
@@ -16,11 +15,11 @@ struct CacheManagerOptions {
   /// Fraction of the Memory tier the cache may occupy with promoted
   /// replicas (the rest stays available for user-pinned data).
   double memory_budget_fraction = 0.8;
-  /// A file becomes promotion-eligible after this many recorded accesses
-  /// within the decay window.
+  /// A file becomes promotion-eligible once its decayed heat reaches
+  /// this value.
   int promotion_threshold = 3;
-  /// Access counts are halved when this interval elapses, aging out
-  /// yesterday's hot set.
+  /// Heat halves every interval (continuous exponential decay), aging
+  /// out yesterday's hot set.
   int64_t decay_interval_micros = int64_t{60} * kMicrosPerSecond;
   /// Upper bound on promotions scheduled per Tick.
   int max_promotions_per_tick = 16;
@@ -30,29 +29,32 @@ struct CacheManagerOptions {
 struct CacheTickReport {
   int promotions = 0;
   int evictions = 0;
+  /// Times the manager wanted to drop its memory replica but could not
+  /// (the user removed it, or it became the last remaining replica) and
+  /// disowned it instead. Not counted as evictions.
+  int eviction_skips = 0;
   int64_t bytes_promoted = 0;
   int64_t bytes_evicted = 0;
 };
 
 /// The paper's internal multi-level cache management policy (§6,
-/// "Multi-level cache management": "OctopusFS offers pluggable policies
-/// for managing the storage resources as a cache internally").
+/// "Multi-level cache management"), kept as a memory-tier-only
+/// compatibility facade over the generalized TieringEngine.
 ///
-/// The manager watches read traffic (RecordAccess, fed by the Master's
-/// read path or by the application), keeps decayed per-file access
-/// counts, and on each Tick:
+/// The manager is fed explicitly through RecordAccess (batch reporting by
+/// the application or a workload driver); it does NOT tap the Master's
+/// access statistics — use a TieringEngine with collect_access_stats for
+/// the closed-loop automated version. On each Tick it:
 ///   * promotes hot files by adding one Memory-tier replica
 ///     (setReplication +1 memory), while the memory budget allows;
-///   * evicts the coldest promoted files (setReplication -1 memory) when
-///     the budget is exceeded or a hotter file needs the space.
+///   * evicts promoted files whose heat decayed below the threshold
+///     (setReplication -1 memory).
 /// Only replicas the manager itself added are ever evicted — user-pinned
-/// memory replicas (explicit replication vectors) are untouched.
+/// memory replicas (explicit replication vectors) are untouched, and
+/// state is keyed by inode identity underneath, so renames and deletes
+/// can neither strand a manager-added replica nor corrupt the budget.
 ///
-/// Thread-safe: RecordAccess may be called from the Master's (parallel)
-/// read paths while Tick runs. An internal mutex guards the heat and
-/// promotion state; it is held across the Master calls a Tick issues,
-/// so it sits above every Master lock in the global order (the Master
-/// never calls back into the manager).
+/// Thread-safe; see TieringEngine for the locking contract.
 class CacheManager {
  public:
   CacheManager(Master* master, CacheManagerOptions options = {});
@@ -68,32 +70,11 @@ class CacheManager {
   std::vector<std::string> PromotedFiles() const;
 
   bool IsPromoted(const std::string& path) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return promoted_.count(path) > 0;
+    return engine_.IsManaged(path);
   }
 
  private:
-  struct FileHeat {
-    double count = 0;
-    int64_t last_access_micros = 0;
-  };
-
-  // The private helpers run with mu_ held.
-
-  /// Memory-tier bytes the manager may still claim.
-  int64_t MemoryBudgetRemaining() const;
-
-  Status Promote(const std::string& path, CacheTickReport* report);
-  Status Evict(const std::string& path, CacheTickReport* report);
-
-  Master* master_;
-  CacheManagerOptions options_;
-  /// Guards heat_, promoted_, and last_decay_micros_.
-  mutable std::mutex mu_;
-  std::map<std::string, FileHeat> heat_;
-  /// path -> bytes of the memory replica the manager added.
-  std::map<std::string, int64_t> promoted_;
-  int64_t last_decay_micros_ = 0;
+  TieringEngine engine_;
 };
 
 }  // namespace octo

@@ -350,6 +350,8 @@ Result<int> Cluster::PumpHeartbeats() {
     // The master consumed queued corrupt-replica reports (it skips them
     // in safe mode — keep those pending for after reconstruction).
     if (!master_->in_safe_mode()) w->ClearPendingBadReplicas();
+    // Read statistics were folded into the master's access-stats buffer.
+    w->ClearPendingBlockReads();
     OCTO_ASSIGN_OR_RETURN(int n, ExecuteCommands(w, commands.value()));
     executed += n;
   }

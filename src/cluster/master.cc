@@ -142,6 +142,41 @@ Status Master::ReRegisterMedium(WorkerId worker, MediumId id,
   return Status::OK();
 }
 
+void Master::RecordFileAccess(uint64_t file_id, const std::string& path,
+                              int64_t accesses, int64_t bytes) {
+  if (file_id == 0 || !access_stats_enabled()) return;
+  std::lock_guard<std::mutex> lock(access_mu_);
+  FileAccessStat& stat = access_stats_[file_id];
+  stat.file_id = file_id;
+  stat.path = path;
+  stat.accesses += accesses;
+  stat.bytes_read += bytes;
+}
+
+std::vector<FileAccessStat> Master::DrainFileAccessStats() {
+  std::map<uint64_t, FileAccessStat> drained;
+  {
+    std::lock_guard<std::mutex> lock(access_mu_);
+    drained.swap(access_stats_);
+  }
+  std::vector<FileAccessStat> out;
+  out.reserve(drained.size());
+  for (auto& [id, stat] : drained) out.push_back(std::move(stat));
+  return out;
+}
+
+void Master::NotifyRename(const std::string& src, const std::string& dst) {
+  NamespaceEventListener* listener =
+      namespace_listener_.load(std::memory_order_acquire);
+  if (listener != nullptr) listener->OnRename(src, dst);
+}
+
+void Master::NotifyDelete(const std::string& path) {
+  NamespaceEventListener* listener =
+      namespace_listener_.load(std::memory_order_acquire);
+  if (listener != nullptr) listener->OnDelete(path);
+}
+
 Status Master::ApplyHeartbeatStatsLocked(const HeartbeatPayload& hb) {
   const WorkerInfo* w = state_.FindWorker(hb.worker);
   if (w == nullptr) {
@@ -155,6 +190,17 @@ Status Master::ApplyHeartbeatStatsLocked(const HeartbeatPayload& hb) {
     if (m == nullptr || m->worker != hb.worker) continue;
     OCTO_RETURN_IF_ERROR(state_.UpdateMediumStats(
         stats.medium, stats.remaining_bytes, m->nr_connections));
+  }
+  // Fold the worker-served read counters into per-file access stats (the
+  // paper-sequel heat feed: per-block counts ride heartbeats, the master
+  // attributes them to files via the block map). Blocks already deleted
+  // or predating the file-id field are skipped.
+  if (access_stats_enabled()) {
+    for (const BlockReadStat& stat : hb.block_reads) {
+      const BlockRecord* record = blocks_.Find(stat.block);
+      if (record == nullptr) continue;
+      RecordFileAccess(record->file_id, record->file, stat.count, stat.bytes);
+    }
   }
   // Media whose device died (I/O errors): drop their replicas and
   // re-replicate from the surviving copies.
@@ -472,7 +518,9 @@ Status Master::Rename(const std::string& src, const std::string& dst,
     OCTO_RETURN_IF_ERROR(tree_->Rename(nsrc, ndst, ctx));
     log_->LogRename(nsrc, ndst);
   }
-  return log_->Commit();
+  OCTO_RETURN_IF_ERROR(log_->Commit());
+  NotifyRename(nsrc, ndst);
+  return Status::OK();
 }
 
 Result<int> Master::Delete(const std::string& path, bool recursive,
@@ -486,11 +534,12 @@ Result<int> Master::Delete(const std::string& path, bool recursive,
     // covers the mkdir + probe + rename, so the chosen target cannot be
     // taken by a concurrent delete of the same name.
     std::string trash_root = "/.Trash/" + ctx.user;
+    std::string target;
     {
       auto oplock = nslocks_.LockStructural();
       OCTO_RETURN_IF_ERROR(tree_->Mkdirs(trash_root, ctx));
       log_->LogMkdirs(trash_root);
-      std::string target = trash_root + "/" + BaseName(normalized);
+      target = trash_root + "/" + BaseName(normalized);
       int suffix = 1;
       while (tree_->Exists(target)) {
         target = trash_root + "/" + BaseName(normalized) + "." +
@@ -500,6 +549,8 @@ Result<int> Master::Delete(const std::string& path, bool recursive,
       log_->LogRename(normalized, target);
     }
     OCTO_RETURN_IF_ERROR(log_->Commit());
+    // Trash moves are renames: path-keyed soft state follows the file.
+    NotifyRename(normalized, target);
     return 0;  // nothing invalidated; data is recoverable from trash
   }
   std::vector<BlockInfo> removed;
@@ -532,6 +583,7 @@ Result<int> Master::Delete(const std::string& path, bool recursive,
     }
   }
   OCTO_RETURN_IF_ERROR(log_->Commit());
+  NotifyDelete(normalized);
   return static_cast<int>(removed.size());
 }
 
@@ -637,7 +689,11 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
     leases_.Remove(normalized);
     OCTO_RETURN_IF_ERROR(leases_.Acquire(normalized, lease_holder));
     oplock.Release();
-    return log_->Commit();
+    OCTO_RETURN_IF_ERROR(log_->Commit());
+    // An overwriting create destroyed whatever inode held this path: any
+    // identity-keyed soft state for it (heat, managed replicas) is stale.
+    if (overwrite) NotifyDelete(normalized);
+    return Status::OK();
   }
   return Status::Internal("create of " + normalized + " failed to escalate");
 }
@@ -658,6 +714,13 @@ Status Master::Append(const std::string& path, const UserContext& ctx,
     log_->LogAppend(normalized, lease_holder);
     leases_.Remove(normalized);
     OCTO_RETURN_IF_ERROR(leases_.Acquire(normalized, lease_holder));
+    if (access_stats_enabled()) {
+      auto status = tree_->GetFileStatus(normalized, kSuperuser);
+      if (status.ok()) {
+        RecordFileAccess(status->file_id, normalized, /*accesses=*/1,
+                         /*bytes=*/0);
+      }
+    }
   }
   return log_->Commit();
 }
@@ -775,6 +838,7 @@ Status Master::CommitBlock(const std::string& path,
     BlockRecord record;
     record.id = block;
     record.file = normalized;
+    record.file_id = status.file_id;
     record.length = length;
     record.genstamp = info.genstamp;
     record.expected = status.rep_vector;
@@ -887,6 +951,7 @@ Status Master::CommitBlockSynchronizationLocked(
     BlockRecord record;
     record.id = block;
     record.file = path;
+    record.file_id = status->file_id;
     record.length = length;
     record.genstamp = genstamp;
     record.expected = status->rep_vector;
@@ -1058,6 +1123,7 @@ Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
   int64_t offset = 0;
   // Replica ordering consumes the shared rng and reads cluster state.
   std::lock_guard<std::mutex> service(service_mu_);
+  uint64_t opened_file_id = 0;
   for (const BlockInfo& info : blocks) {
     LocatedBlock located;
     located.block = info;
@@ -1065,6 +1131,7 @@ Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
     offset += info.length;
     const BlockRecord* record = blocks_.Find(info.id);
     if (record != nullptr) {
+      if (opened_file_id == 0) opened_file_id = record->file_id;
       std::vector<MediumId> ordered =
           retrieval_->OrderReplicas(state_, client, record->locations, &rng_);
       located.locations.reserve(ordered.size());
@@ -1074,6 +1141,10 @@ Result<std::vector<LocatedBlock>> Master::GetBlockLocations(
     }
     out.push_back(std::move(located));
   }
+  // A block-location fetch is the open of the client read path: count it
+  // once toward the file's heat (byte volume arrives separately via the
+  // serving workers' heartbeat read counters).
+  RecordFileAccess(opened_file_id, normalized, /*accesses=*/1, /*bytes=*/0);
   return out;
 }
 
@@ -1493,6 +1564,7 @@ Status Master::LoadImage(const std::string& image,
       BlockRecord record;
       record.id = info.id;
       record.file = e.status.path;
+      record.file_id = e.status.file_id;
       record.length = info.length;
       record.genstamp = info.genstamp;
       record.expected = e.status.rep_vector;

@@ -41,6 +41,37 @@ struct PipelineRecoveryResult {
   PlacedReplica replacement;
 };
 
+/// Observer of namespace lifecycle events that invalidate path-keyed or
+/// identity-keyed soft state held outside the Master (the tiering
+/// engine's heat and managed-replica accounting). Callbacks fire on the
+/// mutating thread AFTER the operation committed and after every Master
+/// lock has been released — an implementation may take its own mutex but
+/// must not call back into the Master from the callback.
+class NamespaceEventListener {
+ public:
+  virtual ~NamespaceEventListener() = default;
+  /// `src` was renamed to `dst` (also fired for trash moves, which are
+  /// renames under the hood). Directory renames carry the directory
+  /// paths; listeners re-key descendants by prefix.
+  virtual void OnRename(const std::string& src, const std::string& dst) = 0;
+  /// `path` was destroyed (file or directory subtree), or an existing
+  /// file at `path` was replaced by an overwriting create — either way
+  /// the inode previously at `path` is gone.
+  virtual void OnDelete(const std::string& path) = 0;
+};
+
+/// One file's aggregated access statistics, drained from the Master by
+/// the tiering engine (see EnableAccessStats/DrainFileAccessStats).
+struct FileAccessStat {
+  uint64_t file_id = 0;
+  /// Last-known path (a hint: rename hooks keep listeners current; a
+  /// stat staged before a rename may still carry the old path).
+  std::string path;
+  /// Access count: file opens + per-block worker-served reads.
+  int64_t accesses = 0;
+  int64_t bytes_read = 0;
+};
+
 struct MasterOptions {
   /// Single-writer lease duration for files under construction.
   int64_t lease_duration_micros = 60 * kMicrosPerSecond;
@@ -108,8 +139,11 @@ struct MasterOptions {
 ///
 /// Lock order (outermost first): namespace structure/stripe locks ->
 /// namespace-tree quota mutex -> service mutex -> lease/block stripe
-/// mutexes and the edit-log mutex (leaves). EditLog::Commit is always
-/// invoked with no other lock held.
+/// mutexes, the edit-log mutex, and the access-stats mutex (leaves).
+/// EditLog::Commit is always invoked with no other lock held. The tiering
+/// engine's internal mutex sits ABOVE this whole hierarchy: the engine
+/// calls into the Master while holding it, and the Master only calls the
+/// engine (listener callbacks) after releasing every lock.
 class Master {
  public:
   Master(MasterOptions options, Clock* clock);
@@ -316,6 +350,32 @@ class Master {
   /// rebalancer.
   Status ScheduleReplicaMove(BlockId block, MediumId from);
 
+  // -- access statistics & namespace events (automated tiering feed) ---------
+
+  /// Turns the per-file access-statistics buffer on. Off by default: with
+  /// no tiering engine attached the buffer would only grow. While
+  /// enabled, GetBlockLocations (file opens), Append, and the
+  /// `block_reads` folded from worker heartbeats accumulate into it.
+  void EnableAccessStats(bool enabled) {
+    access_stats_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool access_stats_enabled() const {
+    return access_stats_enabled_.load(std::memory_order_relaxed);
+  }
+  /// Swaps out and returns everything accumulated since the last drain.
+  std::vector<FileAccessStat> DrainFileAccessStats();
+
+  /// Installs the listener notified of renames/deletes (one at a time;
+  /// the tiering engine registers itself). Fired outside all locks.
+  void SetNamespaceListener(NamespaceEventListener* listener) {
+    namespace_listener_.store(listener, std::memory_order_release);
+  }
+  /// Removes `listener` if it is the one installed (compare-and-clear, so
+  /// a short-lived engine cannot unhook a longer-lived one).
+  void ClearNamespaceListener(NamespaceEventListener* listener) {
+    namespace_listener_.compare_exchange_strong(listener, nullptr);
+  }
+
   // -- transfer accounting ----------------------------------------------------------
 
   /// Connection bookkeeping feeding f_lb and the retrieval formula. In
@@ -466,6 +526,17 @@ class Master {
   /// disk is gone), aborts copies targeting it, and re-replicates.
   void HandleFailedMedium(MediumId medium);
 
+  /// Folds one access observation into the stats buffer (no-op while the
+  /// buffer is disabled or file_id is 0). Takes access_mu_, a leaf like
+  /// the block/lease stripes — safe under service_mu_ and under namespace
+  /// locks.
+  void RecordFileAccess(uint64_t file_id, const std::string& path,
+                        int64_t accesses, int64_t bytes);
+  /// Fires the namespace listener's callbacks. Must be called with NO
+  /// Master lock held (see NamespaceEventListener).
+  void NotifyRename(const std::string& src, const std::string& dst);
+  void NotifyDelete(const std::string& path);
+
   MasterOptions options_;
   Clock* clock_;
   Random rng_;
@@ -483,6 +554,17 @@ class Master {
   std::mutex staging_mu_;
   std::vector<HeartbeatPayload> staged_heartbeats_;
   std::vector<StagedBlockReport> staged_reports_;
+
+  /// Per-file access-statistics buffer for the tiering engine. access_mu_
+  /// is a leaf in the lock order (acquired under service_mu_ when folding
+  /// heartbeats and under namespace read locks when recording opens;
+  /// never held while taking any other lock).
+  std::atomic<bool> access_stats_enabled_{false};
+  mutable std::mutex access_mu_;
+  std::map<uint64_t, FileAccessStat> access_stats_;
+  /// Rename/delete observer (the tiering engine). Atomic: set/cleared at
+  /// engine construction, read by every mutating thread.
+  std::atomic<NamespaceEventListener*> namespace_listener_{nullptr};
 
   std::unique_ptr<NamespaceTree> tree_;
   std::unique_ptr<EditLog> log_;

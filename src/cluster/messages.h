@@ -19,6 +19,16 @@ struct MediumStats {
   int64_t remaining_bytes = 0;
 };
 
+/// Aggregated reads a worker served for one block since the last
+/// successfully processed heartbeat. The master folds these into per-file
+/// access statistics feeding the automated tiering engine (the paper's
+/// sequel: heat is "aggregated via heartbeats", not reported per read).
+struct BlockReadStat {
+  BlockId block = kInvalidBlock;
+  int32_t count = 0;
+  int64_t bytes = 0;
+};
+
 /// Periodic worker -> master heartbeat (paper §3.2: usage statistics are
 /// "maintained at each Worker and frequently reported to the Master").
 struct HeartbeatPayload {
@@ -34,6 +44,11 @@ struct HeartbeatPayload {
   /// Media on this worker whose device has failed (every I/O errors).
   /// The master drops their replicas and re-replicates elsewhere.
   std::vector<MediumId> failed_media;
+  /// Client reads this worker served since the last processed heartbeat,
+  /// aggregated per block (replication/recovery copies excluded). Cleared
+  /// via Worker::ClearPendingBlockReads once the master accepts the
+  /// heartbeat, like `bad_replicas`.
+  std::vector<BlockReadStat> block_reads;
 };
 
 /// Replication/invalidations work the master hands a worker in its

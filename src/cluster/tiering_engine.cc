@@ -1,0 +1,438 @@
+#include "cluster/tiering_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace octo {
+
+namespace {
+const UserContext kSuperuser{"root", {}};
+}  // namespace
+
+TieringEngine::TieringEngine(Master* master, TieringOptions options)
+    : master_(master), options_(std::move(options)) {
+  if (options_.levels.empty()) {
+    options_.levels = {{kMemoryTier, 0.8, 3.0}};
+  }
+  managed_bytes_per_level_.assign(options_.levels.size(), 0);
+  if (options_.collect_access_stats) {
+    master_->EnableAccessStats(true);
+  }
+  master_->SetNamespaceListener(this);
+}
+
+TieringEngine::~TieringEngine() {
+  master_->ClearNamespaceListener(this);
+  if (options_.collect_access_stats) {
+    master_->EnableAccessStats(false);
+  }
+}
+
+void TieringEngine::RecordAccess(const std::string& path, double weight) {
+  const int64_t now = master_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  DecayTo(&state, now);
+  state.heat += weight;
+}
+
+void TieringEngine::DecayTo(FileState* state, int64_t now) const {
+  if (state->heat_micros < 0) {
+    state->heat_micros = now;
+    return;
+  }
+  if (now <= state->heat_micros) return;
+  const double intervals =
+      static_cast<double>(now - state->heat_micros) /
+      static_cast<double>(options_.decay_interval_micros);
+  state->heat *= std::exp2(-intervals);
+  state->heat_micros = now;
+}
+
+void TieringEngine::FoldAccessStats(int64_t now) {
+  for (const FileAccessStat& stat : master_->DrainFileAccessStats()) {
+    if (stat.accesses <= 0) continue;
+    // The inode id is authoritative: a file renamed since the access was
+    // recorded keeps accumulating heat under its current path.
+    std::string path = stat.path;
+    auto id_it = path_of_id_.find(stat.file_id);
+    if (id_it != path_of_id_.end()) path = id_it->second;
+    FileState& state = files_[path];
+    if (state.file_id == 0) {
+      state.file_id = stat.file_id;
+      path_of_id_[stat.file_id] = path;
+    }
+    DecayTo(&state, now);
+    state.heat += static_cast<double>(stat.accesses);
+  }
+}
+
+std::vector<int64_t> TieringEngine::LevelBudgets() const {
+  const ClusterState& cluster = master_->cluster_state();
+  const std::vector<MediumInfo>& slab = cluster.media_slab();
+  std::vector<int64_t> capacity(options_.levels.size(), 0);
+  for (uint32_t slot : cluster.live_media()) {
+    const MediumInfo& medium = slab[slot];
+    for (size_t i = 0; i < options_.levels.size(); ++i) {
+      if (medium.tier == options_.levels[i].tier) {
+        capacity[i] += medium.capacity_bytes;
+      }
+    }
+  }
+  std::vector<int64_t> budgets(options_.levels.size(), 0);
+  for (size_t i = 0; i < options_.levels.size(); ++i) {
+    budgets[i] = static_cast<int64_t>(capacity[i] *
+                                      options_.levels[i].capacity_fraction) -
+                 managed_bytes_per_level_[i];
+  }
+  return budgets;
+}
+
+int TieringEngine::DesiredLevel(double heat) const {
+  for (size_t i = 0; i < options_.levels.size(); ++i) {
+    if (heat >= options_.levels[i].promote_threshold) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void TieringEngine::Disown(FileState* state) {
+  if (state->managed_level >= 0) {
+    managed_bytes_per_level_[state->managed_level] -= state->managed_bytes;
+  }
+  state->managed_level = -1;
+  state->managed_bytes = 0;
+}
+
+Status TieringEngine::MoveToLevel(const std::string& path, FileState* state,
+                                  int target_level,
+                                  std::vector<int64_t>* budgets,
+                                  TieringTickReport* report) {
+  const int cur = state->managed_level;
+  const int64_t prior_bytes = state->managed_bytes;
+  if (target_level == cur) return Status::OK();
+
+  auto status = master_->GetFileStatus(path, kSuperuser);
+  if (!status.ok()) {
+    if (!status.status().IsNotFound()) return status.status();
+    // The file vanished without a delete hook reaching us (the listener
+    // slot may be held by another engine). Its replicas died with it.
+    if (cur >= 0) {
+      report->evictions++;
+      report->bytes_evicted += prior_bytes;
+      (*budgets)[cur] += prior_bytes;
+      Disown(state);
+    }
+    state->heat = 0;
+    return Status::OK();
+  }
+  if (status->is_dir || status->under_construction) return Status::OK();
+  if (state->file_id != 0 && status->file_id != 0 &&
+      status->file_id != state->file_id) {
+    // The path now names a different inode: whatever replica we managed
+    // was deleted with the old one. Re-key to the new identity.
+    if (cur >= 0) {
+      report->evictions++;
+      report->bytes_evicted += prior_bytes;
+      (*budgets)[cur] += prior_bytes;
+      Disown(state);
+    }
+    path_of_id_.erase(state->file_id);
+    state->file_id = status->file_id;
+    path_of_id_[status->file_id] = path;
+    return Status::OK();
+  }
+  if (state->file_id == 0 && status->file_id != 0) {
+    state->file_id = status->file_id;
+    path_of_id_[status->file_id] = path;
+  }
+
+  ReplicationVector rv = status->rep_vector;
+  bool removing = cur >= 0;
+  if (removing) {
+    const TierId cur_tier = options_.levels[cur].tier;
+    if (rv.Get(cur_tier) == 0) {
+      // The user already removed the replica we added: there is nothing
+      // to evict, and counting one would corrupt the budget accounting.
+      report->eviction_skips++;
+      (*budgets)[cur] += prior_bytes;
+      Disown(state);
+      removing = false;
+      if (target_level < 0) return Status::OK();
+      // Fall through: treat the move as a fresh admission.
+    } else if (target_level < 0 && rv.total() <= 1) {
+      // Dropping ours would drop the LAST replica (the user lowered
+      // replication elsewhere meanwhile): keep the data, disown it.
+      report->eviction_skips++;
+      (*budgets)[cur] += prior_bytes;
+      Disown(state);
+      return Status::OK();
+    } else {
+      rv.Set(cur_tier, rv.Get(cur_tier) - 1);
+    }
+  }
+  if (target_level >= 0) {
+    const TierId target_tier = options_.levels[target_level].tier;
+    if (rv.Get(target_tier) >= 255) return Status::OK();  // slot saturated
+    rv.Set(target_tier, rv.Get(target_tier) + 1);
+  }
+
+  Status st = master_->SetReplication(path, rv, kSuperuser);
+  if (st.IsFailedPrecondition() || st.IsNotFound()) return Status::OK();
+  OCTO_RETURN_IF_ERROR(st);
+
+  const int64_t bytes = status->length;
+  if (removing) {
+    managed_bytes_per_level_[cur] -= prior_bytes;
+    (*budgets)[cur] += prior_bytes;
+  }
+  if (target_level >= 0) {
+    managed_bytes_per_level_[target_level] += bytes;
+    (*budgets)[target_level] -= bytes;
+    state->managed_level = target_level;
+    state->managed_bytes = bytes;
+    if (cur < 0 || target_level < cur) {
+      report->promotions++;
+      report->bytes_promoted += bytes;
+    } else {
+      report->demotions++;
+      report->bytes_demoted += bytes;
+    }
+  } else {
+    state->managed_level = -1;
+    state->managed_bytes = 0;
+    report->evictions++;
+    report->bytes_evicted += prior_bytes;
+  }
+  return Status::OK();
+}
+
+Result<bool> TieringEngine::DisplaceColder(int level, int64_t bytes,
+                                           double heat,
+                                           std::vector<int64_t>* budgets,
+                                           TieringTickReport* report) {
+  const int num_levels = static_cast<int>(options_.levels.size());
+  // A victim must be markedly colder than the candidate, or a pair of
+  // near-equal files would swap places every tick.
+  const double victim_ceiling = heat * 0.7;
+  while ((*budgets)[level] < bytes) {
+    std::string coldest;
+    double coldest_heat = victim_ceiling;
+    for (const auto& [path, state] : files_) {
+      if (state.managed_level != level) continue;
+      if (state.heat < coldest_heat) {
+        coldest_heat = state.heat;
+        coldest = path;
+      }
+    }
+    if (coldest.empty()) return false;
+    FileState& victim = files_[coldest];
+    // Step the victim down to the fastest colder level with room for it,
+    // or out of the managed set entirely.
+    int down = -1;
+    for (int lvl = level + 1; lvl < num_levels; ++lvl) {
+      if ((*budgets)[lvl] >= victim.managed_bytes) {
+        down = lvl;
+        break;
+      }
+    }
+    const int64_t budget_before = (*budgets)[level];
+    OCTO_RETURN_IF_ERROR(
+        MoveToLevel(coldest, &victim, down, budgets, report));
+    if ((*budgets)[level] <= budget_before) return false;  // move fizzled
+  }
+  return true;
+}
+
+Result<TieringTickReport> TieringEngine::Tick() {
+  const int64_t now = master_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Surface the evictions the namespace hooks observed since last time.
+  TieringTickReport report = pending_report_;
+  pending_report_ = TieringTickReport{};
+
+  if (options_.collect_access_stats) FoldAccessStats(now);
+
+  // Decay everything to now; drop stone-cold unmanaged entries.
+  for (auto it = files_.begin(); it != files_.end();) {
+    DecayTo(&it->second, now);
+    if (it->second.managed_level < 0 && it->second.heat < 0.5) {
+      if (it->second.file_id != 0) path_of_id_.erase(it->second.file_id);
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Per-level budget, computed once and maintained incrementally.
+  std::vector<int64_t> budgets = LevelBudgets();
+  const int num_levels = static_cast<int>(options_.levels.size());
+
+  // Downward pass: files that cooled below their level step down to the
+  // hottest colder level with budget, or leave the managed set entirely.
+  // Runs first so the freed budget is available to the upward pass.
+  for (auto& [path, state] : files_) {
+    if (state.managed_level < 0) continue;
+    const int desired = DesiredLevel(state.heat);
+    if (desired >= 0 && desired <= state.managed_level) continue;
+    int target = -1;
+    if (desired >= 0) {
+      for (int lvl = desired; lvl < num_levels; ++lvl) {
+        if (budgets[lvl] >= state.managed_bytes) {
+          target = lvl;
+          break;
+        }
+      }
+    }
+    OCTO_RETURN_IF_ERROR(MoveToLevel(path, &state, target, &budgets, &report));
+  }
+
+  // Upward pass: hottest files first, bounded per tick. A file whose
+  // desired level has no budget spills to the fastest colder level that
+  // still beats its current one.
+  std::vector<std::pair<double, std::string>> by_heat;
+  by_heat.reserve(files_.size());
+  for (const auto& [path, state] : files_) {
+    by_heat.emplace_back(state.heat, path);
+  }
+  std::sort(by_heat.rbegin(), by_heat.rend());
+
+  int upward_moves = 0;
+  for (const auto& [heat, path] : by_heat) {
+    if (upward_moves >= options_.max_promotions_per_tick) break;
+    const int desired = DesiredLevel(heat);
+    if (desired < 0) break;  // sorted: everything after is colder
+    auto it = files_.find(path);
+    if (it == files_.end()) continue;
+    FileState& state = it->second;
+    if (state.managed_level >= 0 && desired >= state.managed_level) continue;
+    auto status = master_->GetFileStatus(path, kSuperuser);
+    if (!status.ok() || status->is_dir || status->under_construction) {
+      if (!status.ok() && !status.status().IsNotFound()) {
+        return status.status();
+      }
+      continue;
+    }
+    const int64_t bytes = status->length;
+    const int limit =
+        state.managed_level >= 0 ? state.managed_level : num_levels;
+    int target = -1;
+    for (int lvl = desired; lvl < limit; ++lvl) {
+      if (budgets[lvl] >= bytes) {
+        target = lvl;
+        break;
+      }
+    }
+    if (target < 0) {
+      // Full everywhere better than the current level: displace colder
+      // residents from the desired level to make room.
+      auto displaced =
+          DisplaceColder(desired, bytes, state.heat, &budgets, &report);
+      OCTO_RETURN_IF_ERROR(displaced.status());
+      if (!*displaced) continue;
+      target = desired;
+    }
+    const int before = report.promotions;
+    OCTO_RETURN_IF_ERROR(MoveToLevel(path, &state, target, &budgets, &report));
+    if (report.promotions > before) upward_moves++;
+  }
+  return report;
+}
+
+std::vector<std::string> TieringEngine::ManagedFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, state] : files_) {
+    if (state.managed_level >= 0) out.push_back(path);
+  }
+  return out;
+}
+
+bool TieringEngine::IsManaged(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it != files_.end() && it->second.managed_level >= 0;
+}
+
+int TieringEngine::ManagedLevel(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? -1 : it->second.managed_level;
+}
+
+double TieringEngine::HeatOf(const std::string& path) const {
+  const int64_t now = master_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  FileState copy = it->second;
+  DecayTo(&copy, now);
+  return copy.heat;
+}
+
+void TieringEngine::OnRename(const std::string& src, const std::string& dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, FileState>> moved;
+  auto it = files_.find(src);
+  if (it != files_.end()) {
+    moved.emplace_back(dst, it->second);
+    files_.erase(it);
+  }
+  // Directory rename: re-key the whole subtree.
+  const std::string prefix = src + "/";
+  for (auto sub = files_.lower_bound(prefix);
+       sub != files_.end() &&
+       sub->first.compare(0, prefix.size(), prefix) == 0;) {
+    moved.emplace_back(dst + sub->first.substr(src.size()), sub->second);
+    sub = files_.erase(sub);
+  }
+  for (auto& [path, state] : moved) {
+    auto existing = files_.find(path);
+    if (existing != files_.end()) {
+      // Rename over a tracked destination: the destination's inode (and
+      // any replica we managed on it) is gone.
+      FileState& old = existing->second;
+      if (old.managed_level >= 0) {
+        pending_report_.evictions++;
+        pending_report_.bytes_evicted += old.managed_bytes;
+        managed_bytes_per_level_[old.managed_level] -= old.managed_bytes;
+      }
+      if (old.file_id != 0) path_of_id_.erase(old.file_id);
+      files_.erase(existing);
+    }
+    if (state.file_id != 0) path_of_id_[state.file_id] = path;
+    files_.emplace(path, state);
+  }
+}
+
+void TieringEngine::OnDelete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto retire = [this](std::map<std::string, FileState,
+                                      std::less<>>::iterator it) {
+    FileState& state = it->second;
+    if (state.managed_level >= 0) {
+      // The Master already deleted every replica with the file; record
+      // the eviction and release the budget.
+      pending_report_.evictions++;
+      pending_report_.bytes_evicted += state.managed_bytes;
+      managed_bytes_per_level_[state.managed_level] -= state.managed_bytes;
+    }
+    if (state.file_id != 0) path_of_id_.erase(state.file_id);
+    return files_.erase(it);
+  };
+  auto it = files_.find(path);
+  if (it != files_.end()) retire(it);
+  // Directory delete: retire the whole subtree.
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  for (auto sub = files_.lower_bound(prefix);
+       sub != files_.end() &&
+       sub->first.compare(0, prefix.size(), prefix) == 0;) {
+    sub = retire(sub);
+  }
+}
+
+}  // namespace octo

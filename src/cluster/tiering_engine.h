@@ -1,0 +1,197 @@
+#ifndef OCTOPUSFS_CLUSTER_TIERING_ENGINE_H_
+#define OCTOPUSFS_CLUSTER_TIERING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/status.h"
+#include "storage/media_type.h"
+
+namespace octo {
+
+/// One storage level the engine manages, hottest first. `tier` is the
+/// tier the engine adds replicas on; `capacity_fraction` bounds how much
+/// of that tier's live capacity the engine may occupy (the rest stays
+/// available for user-pinned data); `promote_threshold` is the minimum
+/// decayed heat a file needs to deserve a replica on this level.
+struct TierLevel {
+  TierId tier = kMemoryTier;
+  double capacity_fraction = 0.8;
+  double promote_threshold = 3.0;
+};
+
+struct TieringOptions {
+  /// Managed levels ordered hottest (fastest) first; thresholds must be
+  /// non-increasing down the list. A file's desired level is the fastest
+  /// level whose threshold its heat clears; below every threshold the
+  /// file is left to its static placement.
+  std::vector<TierLevel> levels = {{kMemoryTier, 0.8, 3.0}};
+  /// Heat decays continuously: a file's heat halves every interval.
+  int64_t decay_interval_micros = int64_t{60} * kMicrosPerSecond;
+  /// Upper bound on upward moves scheduled per Tick.
+  int max_promotions_per_tick = 16;
+  /// When true the engine closes the loop automatically: it enables the
+  /// Master's access-statistics collection (opens/appends recorded on the
+  /// metadata path, block reads aggregated from worker heartbeats) and
+  /// drains them into heat on every Tick. When false the engine is fed
+  /// only through explicit RecordAccess calls.
+  bool collect_access_stats = true;
+};
+
+/// Statistics from one tiering pass.
+struct TieringTickReport {
+  int promotions = 0;   // upward moves (incl. first-time admissions)
+  int demotions = 0;    // downward moves between managed levels
+  int evictions = 0;    // managed replica removed (or died with the file)
+  /// Times the engine wanted to drop its replica but could not and
+  /// disowned it instead (user already removed it, or removing it would
+  /// drop the last replica). These are NOT counted as evictions, so
+  /// bytes_evicted stays truthful.
+  int eviction_skips = 0;
+  int64_t bytes_promoted = 0;
+  int64_t bytes_demoted = 0;
+  int64_t bytes_evicted = 0;
+
+  void MergeFrom(const TieringTickReport& other) {
+    promotions += other.promotions;
+    demotions += other.demotions;
+    evictions += other.evictions;
+    eviction_skips += other.eviction_skips;
+    bytes_promoted += other.bytes_promoted;
+    bytes_demoted += other.bytes_demoted;
+    bytes_evicted += other.bytes_evicted;
+  }
+};
+
+/// The automated tiering engine (Herodotou & Kakoulli, "Automating
+/// distributed tiered storage management in cluster computing"): keeps an
+/// exponentially-decayed heat score per file, fed by the Master's real
+/// access statistics, and on each Tick migrates file replicas up toward
+/// fast tiers and down toward slow ones by editing replication vectors.
+/// The actual data movement is carried out asynchronously by the regular
+/// replication monitor / worker command machinery.
+///
+/// Identity and lifecycle: state is keyed by path for lookup but carries
+/// the file's inode id; the engine registers itself as the Master's
+/// namespace event listener, so renames re-key its state and deletes
+/// retire it immediately. A move double-checks the inode id before
+/// touching replication and disowns the entry on mismatch, so a
+/// rename/delete racing a Tick can never strand an engine-added replica
+/// or corrupt the per-level budget accounting.
+///
+/// Thread-safe. The internal mutex is held across the Master calls a
+/// Tick issues, so it sits ABOVE every Master lock in the global order;
+/// the Master only invokes the listener callbacks outside all of its
+/// locks, and the callbacks never call back into the Master.
+class TieringEngine : public NamespaceEventListener {
+ public:
+  /// Registers with `master` as namespace listener (and enables access
+  /// statistics when options.collect_access_stats). The Master supports a
+  /// single listener: constructing a second engine on the same Master
+  /// steals the hook from the first.
+  explicit TieringEngine(Master* master, TieringOptions options = {});
+  ~TieringEngine() override;
+
+  TieringEngine(const TieringEngine&) = delete;
+  TieringEngine& operator=(const TieringEngine&) = delete;
+
+  /// Explicitly adds `weight` heat to `path` (decayed to now first).
+  /// With collect_access_stats the Master feeds the engine automatically
+  /// and callers normally never need this.
+  void RecordAccess(const std::string& path, double weight = 1.0);
+
+  /// One management pass: drain access statistics, decay heat, demote or
+  /// evict files that cooled, promote the hottest within each level's
+  /// budget. Replica copies/deletions execute asynchronously via worker
+  /// commands.
+  Result<TieringTickReport> Tick();
+
+  /// Paths currently holding an engine-added replica, sorted.
+  std::vector<std::string> ManagedFiles() const;
+
+  bool IsManaged(const std::string& path) const;
+
+  /// Index into options().levels of the level managing `path`, or -1.
+  int ManagedLevel(const std::string& path) const;
+
+  /// `path`'s heat decayed to now (0 if the engine has never seen it).
+  double HeatOf(const std::string& path) const;
+
+  const TieringOptions& options() const { return options_; }
+
+  // NamespaceEventListener — invoked by the Master after a commit,
+  // outside all Master locks.
+  void OnRename(const std::string& src, const std::string& dst) override;
+  void OnDelete(const std::string& path) override;
+
+ private:
+  struct FileState {
+    uint64_t file_id = 0;  // 0 = not yet learned from the Master
+    double heat = 0;
+    int64_t heat_micros = -1;  // heat is decayed to this instant; -1 = never
+    int managed_level = -1;   // index into options_.levels; -1 = unmanaged
+    int64_t managed_bytes = 0;
+  };
+
+  // All private helpers run with mu_ held.
+
+  /// Decays `state.heat` from state.heat_micros to `now`.
+  void DecayTo(FileState* state, int64_t now) const;
+
+  /// Folds the Master's drained access statistics into heat.
+  void FoldAccessStats(int64_t now);
+
+  /// Remaining engine budget per level: live tier capacity times the
+  /// level's fraction, minus bytes already managed there. Computed once
+  /// per Tick and maintained incrementally as moves are scheduled.
+  std::vector<int64_t> LevelBudgets() const;
+
+  /// The fastest level whose threshold `heat` clears, or -1.
+  int DesiredLevel(double heat) const;
+
+  /// Releases the budget/accounting for `state` without touching
+  /// replication (the replica is gone or no longer ours).
+  void Disown(FileState* state);
+
+  /// Moves `path` to `target_level` (-1 = evict): verifies the inode id,
+  /// edits the replication vector, and updates budgets/accounting.
+  /// `budgets` is debited/credited in place. Returns a non-OK status
+  /// only for real Master errors; expected races (file deleted, replaced,
+  /// user changed replication) are absorbed into the report.
+  Status MoveToLevel(const std::string& path, FileState* state,
+                     int target_level, std::vector<int64_t>* budgets,
+                     TieringTickReport* report);
+
+  /// Replacement policy: frees room at `level` for a candidate of `heat`
+  /// needing `bytes` by demoting the coldest files managed there (only
+  /// ones markedly colder than the candidate, guarding against thrash).
+  /// Returns true once the level's budget covers `bytes`.
+  Result<bool> DisplaceColder(int level, int64_t bytes, double heat,
+                              std::vector<int64_t>* budgets,
+                              TieringTickReport* report);
+
+  Master* master_;
+  TieringOptions options_;
+  /// Guards everything below. Held across Master calls; above all Master
+  /// locks in the global order.
+  mutable std::mutex mu_;
+  /// Keyed by path (heterogeneous lookup; ordered so rename/delete of a
+  /// directory can re-key/retire the subtree via a prefix scan).
+  std::map<std::string, FileState, std::less<>> files_;
+  /// Inverse index: inode id -> current path, for re-associating drained
+  /// access statistics with renamed files.
+  std::map<uint64_t, std::string> path_of_id_;
+  /// Engine-managed bytes per options_.levels index.
+  std::vector<int64_t> managed_bytes_per_level_;
+  /// Evictions observed by the namespace hooks since the last Tick
+  /// (deleted files retire immediately; surfaced in the next report).
+  TieringTickReport pending_report_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_CLUSTER_TIERING_ENGINE_H_

@@ -253,6 +253,19 @@ std::vector<std::pair<MediumId, BlockId>> Worker::ScrubBlocks() {
   return corrupt;
 }
 
+void Worker::NoteBlockRead(BlockId block, int64_t bytes) const {
+  std::lock_guard<std::mutex> lock(read_stats_mu_);
+  BlockReadStat& stat = pending_block_reads_[block];
+  stat.block = block;
+  stat.count += 1;
+  stat.bytes += bytes;
+}
+
+void Worker::ClearPendingBlockReads() {
+  std::lock_guard<std::mutex> lock(read_stats_mu_);
+  pending_block_reads_.clear();
+}
+
 void Worker::NoteCorruptReplica(MediumId medium, BlockId block) {
   std::pair<MediumId, BlockId> key{medium, block};
   for (const auto& pending : pending_bad_replicas_) {
@@ -280,6 +293,13 @@ HeartbeatPayload Worker::BuildHeartbeat() const {
   hb.worker = id_;
   hb.master_epoch = master_epoch_;
   hb.bad_replicas = pending_bad_replicas_;
+  {
+    std::lock_guard<std::mutex> lock(read_stats_mu_);
+    hb.block_reads.reserve(pending_block_reads_.size());
+    for (const auto& [block, stat] : pending_block_reads_) {
+      hb.block_reads.push_back(stat);
+    }
+  }
   for (const auto& [id, m] : media_) {
     if (faults_ != nullptr && faults_->MediumFailed(id_, id)) {
       hb.failed_media.push_back(id);

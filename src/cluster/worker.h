@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -143,6 +144,16 @@ class Worker {
   /// Drops queued corrupt-replica reports (the master has processed them).
   void ClearPendingBadReplicas() { pending_bad_replicas_.clear(); }
 
+  /// Accounts one client-served read of `block` (`bytes` transferred) for
+  /// the next heartbeat's `block_reads` — the raw feed of the master's
+  /// per-file access statistics. Called by the client read path and by
+  /// the transfer engine's virtual reads; replication/recovery copies
+  /// must NOT call it (they are not application accesses). Thread-safe:
+  /// clients read concurrently with the heartbeat pump.
+  void NoteBlockRead(BlockId block, int64_t bytes) const;
+  /// Drops queued read statistics (the master has processed them).
+  void ClearPendingBlockReads();
+
   /// Remaining capacity of one medium (capacity - stored - virtual).
   Result<int64_t> RemainingBytes(MediumId medium) const;
 
@@ -192,6 +203,11 @@ class Worker {
   uint64_t master_epoch_ = 0;
   int64_t stale_commands_rejected_ = 0;
   std::vector<std::pair<MediumId, BlockId>> pending_bad_replicas_;
+  /// Client reads served since the last processed heartbeat, per block.
+  /// Mutable + mutexed: ReadBlock is const and runs on client threads
+  /// concurrently with BuildHeartbeat on the control-plane thread.
+  mutable std::mutex read_stats_mu_;
+  mutable std::map<BlockId, BlockReadStat> pending_block_reads_;
 };
 
 }  // namespace octo

@@ -14,6 +14,8 @@ constexpr std::array<int64_t, 8> kZeroCharge = {0, 0, 0, 0, 0, 0, 0, 0};
 
 struct NamespaceTree::Inode {
   std::string name;
+  /// Stable file identity (see FileStatus::file_id); 0 for directories.
+  uint64_t id = 0;
   bool is_dir = false;
   Inode* parent = nullptr;
 
@@ -113,6 +115,7 @@ FileStatus NamespaceTree::MakeStatus(const std::string& path,
                                      const Inode* inode) const {
   FileStatus st;
   st.path = path;
+  st.file_id = inode->id;
   st.is_dir = inode->is_dir;
   st.length = inode->is_dir ? 0 : inode->FileLength();
   st.rep_vector = inode->rep_vector;
@@ -303,6 +306,7 @@ Status NamespaceTree::CreateFile(const std::string& path,
 
   auto file = std::make_unique<Inode>();
   file->name = base;
+  file->id = next_file_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   file->is_dir = false;
   file->parent = parent;
   file->owner = ctx.user;

@@ -29,6 +29,11 @@ struct UserContext {
 /// Apache Commons FileSystem API, extended with the replication vector).
 struct FileStatus {
   std::string path;
+  /// Stable per-inode identity (files only; 0 for directories). Survives
+  /// renames — the tiering engine keys its soft state on it so a renamed
+  /// file keeps its heat and its managed replicas stay accounted. Ids are
+  /// reassigned on image reload (soft state, like the heat it anchors).
+  uint64_t file_id = 0;
   bool is_dir = false;
   int64_t length = 0;  // sum of block lengths (0 for dirs)
   ReplicationVector rep_vector;
@@ -230,6 +235,8 @@ class NamespaceTree {
 
   Clock* clock_;
   std::unique_ptr<Inode> root_;
+  /// Monotonic file-inode id allocator (ids start at 1; 0 = none).
+  std::atomic<uint64_t> next_file_id_{0};
   std::atomic<int64_t> num_files_{0};
   std::atomic<int64_t> num_dirs_{0};  // excludes root
   bool permissions_enabled_ = false;

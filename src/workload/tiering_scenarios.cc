@@ -1,0 +1,142 @@
+#include "workload/tiering_scenarios.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/units.h"
+
+namespace octo::workload {
+
+namespace {
+
+std::string FilePath(const TieringScenarioOptions& options, int i) {
+  return options.dir + "/f" + std::to_string(i);
+}
+
+/// The round's hot-set base index under each pattern.
+int HotBase(TieringScenarioKind kind, const TieringScenarioOptions& options,
+            int round) {
+  switch (kind) {
+    case TieringScenarioKind::kZipfHotSetDrift:
+      // Rotate to the next disjoint hot set every drift period.
+      return ((round / options.drift_period) * options.hot_files) %
+             options.files;
+    case TieringScenarioKind::kDiurnal:
+      // Day jobs read the front of the data set, night jobs the middle.
+      return ((round / options.drift_period) % 2 == 0) ? 0
+                                                       : options.files / 2;
+    case TieringScenarioKind::kScanPointMix:
+      return 0;  // fixed hot set; the scan provides the background noise
+  }
+  return 0;
+}
+
+int PointReadsThisRound(TieringScenarioKind kind,
+                        const TieringScenarioOptions& options, int round) {
+  if (kind == TieringScenarioKind::kDiurnal && round % 2 == 1) {
+    return options.reads_per_round / 2;  // off-peak
+  }
+  return options.reads_per_round;
+}
+
+}  // namespace
+
+const char* TieringScenarioName(TieringScenarioKind kind) {
+  switch (kind) {
+    case TieringScenarioKind::kZipfHotSetDrift: return "zipf-drift";
+    case TieringScenarioKind::kDiurnal: return "diurnal";
+    case TieringScenarioKind::kScanPointMix: return "scan-point-mix";
+  }
+  return "?";
+}
+
+Result<TieringScenarioResult> RunTieringScenario(
+    Cluster* cluster, TransferEngine* engine, TieringScenarioKind kind,
+    TieringEngine* tiering, const TieringScenarioOptions& options) {
+  sim::Simulation* sim = cluster->simulation();
+  const std::vector<WorkerId>& workers = cluster->worker_ids();
+  if (workers.empty()) return Status::FailedPrecondition("empty cluster");
+
+  // Data set: options.files cold files on the HDD tier.
+  int write_failures = 0;
+  for (int i = 0; i < options.files; ++i) {
+    engine->WriteFileAsync(
+        FilePath(options, i), options.file_bytes, options.block_size,
+        ReplicationVector::Of(0, 0, 3),
+        cluster->worker(workers[i % workers.size()])->location(),
+        [&write_failures](Status st) {
+          if (!st.ok()) ++write_failures;
+        });
+  }
+  sim->RunUntilIdle();
+  if (write_failures > 0) {
+    return Status::Internal("dataset write failed");
+  }
+
+  Random rng(options.seed);
+  TieringScenarioResult result;
+  const double start = sim->now();
+  int client = 0;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    const int hot_base = HotBase(kind, options, round);
+    int pending = 0;
+    int read_failures = 0;
+    auto read = [&](int file) {
+      ++pending;
+      result.bytes_read += options.file_bytes;
+      engine->ReadFileAsync(
+          FilePath(options, file),
+          cluster->worker(workers[client++ % workers.size()])->location(),
+          [&read_failures, &pending](Status st) {
+            if (!st.ok()) ++read_failures;
+            --pending;
+          });
+    };
+
+    if (kind == TieringScenarioKind::kScanPointMix) {
+      for (int i = 0; i < options.files; ++i) read(i);
+    }
+    const int point_reads = PointReadsThisRound(kind, options, round);
+    for (int r = 0; r < point_reads; ++r) {
+      int file;
+      if (rng.Bernoulli(options.hot_fraction)) {
+        file = hot_base + static_cast<int>(rng.Uniform(options.hot_files));
+      } else {
+        file = static_cast<int>(rng.Uniform(options.files));
+      }
+      read(file % options.files);
+    }
+    sim->RunUntilIdle();
+    if (read_failures > 0 || pending != 0) {
+      return Status::Internal("round reads failed");
+    }
+
+    if (tiering != nullptr) {
+      // Heartbeat every worker so the round's block-read statistics reach
+      // the Master (PumpCommandsTimed heartbeats even with no commands
+      // pending), tick the engine, then execute the migrations it
+      // scheduled as timed transfers before the next round begins.
+      OCTO_RETURN_IF_ERROR(engine->PumpCommandsTimed().status());
+      auto report = tiering->Tick();
+      OCTO_RETURN_IF_ERROR(report.status());
+      result.totals.MergeFrom(*report);
+      for (int i = 0; i < 6; ++i) {
+        auto started = engine->PumpCommandsTimed();
+        OCTO_RETURN_IF_ERROR(started.status());
+        sim->RunUntilIdle();
+        if (*started == 0) break;
+      }
+    }
+  }
+
+  result.elapsed_seconds = sim->now() - start;
+  if (result.elapsed_seconds > 0) {
+    result.read_mbps = ToMBps(result.bytes_read / result.elapsed_seconds);
+  }
+  return result;
+}
+
+}  // namespace octo::workload

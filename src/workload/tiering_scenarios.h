@@ -1,0 +1,73 @@
+#ifndef OCTOPUSFS_WORKLOAD_TIERING_SCENARIOS_H_
+#define OCTOPUSFS_WORKLOAD_TIERING_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/tiering_engine.h"
+#include "common/status.h"
+#include "workload/transfer_engine.h"
+
+namespace octo::workload {
+
+/// Skewed read workloads used to evaluate the automated tiering engine
+/// against static placement (Herodotou & Kakoulli's evaluation scenarios).
+enum class TieringScenarioKind {
+  /// Zipf-like skew where the hot set rotates to a disjoint set of files
+  /// every couple of rounds: yesterday's hot data must be demoted to make
+  /// room for today's.
+  kZipfHotSetDrift,
+  /// Two disjoint working sets ("day" and "night" jobs) alternate, with
+  /// off-peak rounds running at half intensity.
+  kDiurnal,
+  /// Every round mixes one full sequential scan over the data set with
+  /// point reads hammering a small hot set: the scan must not flush the
+  /// hot files out of the fast tiers (admission control via the heat
+  /// threshold).
+  kScanPointMix,
+};
+
+const char* TieringScenarioName(TieringScenarioKind kind);
+
+struct TieringScenarioOptions {
+  int files = 24;
+  int64_t file_bytes = kGiB;
+  int64_t block_size = 128 * kMiB;
+  int rounds = 6;
+  /// Reads issued per round (the scan of kScanPointMix is on top).
+  int reads_per_round = 18;
+  /// Size of the hot set and the fraction of point reads that hit it.
+  int hot_files = 4;
+  double hot_fraction = 0.8;
+  /// Rounds between hot-set rotations (kZipfHotSetDrift) respectively
+  /// day/night switches (kDiurnal).
+  int drift_period = 2;
+  uint64_t seed = 7;
+  std::string dir = "/tiering";
+};
+
+struct TieringScenarioResult {
+  int64_t bytes_read = 0;
+  double elapsed_seconds = 0;
+  /// Aggregate read throughput over the measured rounds (MB/s).
+  double read_mbps = 0;
+  /// Sum of all Tick reports (zeros when run without an engine).
+  TieringTickReport totals;
+};
+
+/// Writes `options.files` files of `file_bytes` each (3 HDD replicas)
+/// under `options.dir`, then drives `options.rounds` rounds of timed
+/// reads following `kind`'s access pattern. With `tiering` non-null the
+/// loop is closed end to end: worker heartbeats (pumped between rounds)
+/// carry the block-read statistics to the Master, the engine's Tick
+/// turns them into replica migrations, and the resulting copies and
+/// deletions execute as timed transfers before the next round. With
+/// `tiering` null the data stays where static placement put it.
+Result<TieringScenarioResult> RunTieringScenario(
+    Cluster* cluster, TransferEngine* engine, TieringScenarioKind kind,
+    TieringEngine* tiering, const TieringScenarioOptions& options = {});
+
+}  // namespace octo::workload
+
+#endif  // OCTOPUSFS_WORKLOAD_TIERING_SCENARIOS_H_

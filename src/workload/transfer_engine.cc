@@ -233,11 +233,17 @@ void TransferEngine::ReadNextBlock(std::shared_ptr<ReadJob> job) {
   std::vector<WorkerId> workers = {source.worker};
   NoteStart(media, workers);
   int64_t length = lb.block.length;
+  BlockId block = lb.block.id;
   StartCappedFlow(
       static_cast<double>(length), resources,
-      [this, job = std::move(job), length, media, workers,
+      [this, job = std::move(job), length, media, workers, block,
        source]() mutable {
         NoteEnd(media, workers);
+        // Virtual reads never touch Worker::ReadBlock, so the access-stats
+        // feed is driven here: the serving worker accounts the read for
+        // its next heartbeat.
+        Worker* served_by = cluster_->WorkerForMedium(source.medium);
+        if (served_by != nullptr) served_by->NoteBlockRead(block, length);
         bytes_read_ += length;
         if (on_read_) on_read_(sim_->now(), length, source.medium);
         job->next_block++;
@@ -394,6 +400,8 @@ Result<int> TransferEngine::PumpCommandsTimed() {
     Worker* worker = cluster_->worker(id);
     OCTO_ASSIGN_OR_RETURN(std::vector<WorkerCommand> commands,
                           master_->Heartbeat(worker->BuildHeartbeat()));
+    // The master folded the heartbeat's read statistics; don't re-report.
+    worker->ClearPendingBlockReads();
     for (const WorkerCommand& cmd : commands) {
       int64_t length = BlockLength(cmd.block);
       switch (cmd.kind) {

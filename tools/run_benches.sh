@@ -1,8 +1,9 @@
 #!/bin/sh
 # Builds the benchmarks in an optimized tree and runs the hot-path
 # benches (placement decisions, simulation event engine, metadata
-# plane), writing BENCH_placement.json, BENCH_sim.json, and
-# BENCH_metadata.json to the repo root.
+# plane) plus the automated-tiering scenario bench, writing
+# BENCH_placement.json, BENCH_sim.json, BENCH_metadata.json, and
+# BENCH_tiering.json to the repo root.
 #
 # Usage: tools/run_benches.sh [build-dir]
 #   build-dir defaults to build-bench (Release: -O2/-O3, -DNDEBUG).
@@ -13,7 +14,8 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_placement_hotpath \
-    --target bench_sim_hotpath --target bench_metadata_hotpath
+    --target bench_sim_hotpath --target bench_metadata_hotpath \
+    --target bench_tiering
 
 # The placement bench sweeps 10/100/1000/10000 workers for every policy,
 # including both MOOP candidate-enumeration modes (exhaustive and the
@@ -21,10 +23,13 @@ cmake --build "$build_dir" -j --target bench_placement_hotpath \
 "$build_dir/bench/bench_placement_hotpath" "$repo_root/BENCH_placement.json"
 "$build_dir/bench/bench_sim_hotpath" "$repo_root/BENCH_sim.json"
 "$build_dir/bench/bench_metadata_hotpath" "$repo_root/BENCH_metadata.json"
+# Automated tiering engine vs. static placement on the skewed-read
+# scenarios (zipf hot-set drift, diurnal, scan/point mix) — DESIGN.md §13.
+"$build_dir/bench/bench_tiering" "$repo_root/BENCH_tiering.json"
 echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json," \
-     "$repo_root/BENCH_metadata.json"
+     "$repo_root/BENCH_metadata.json, $repo_root/BENCH_tiering.json"
 echo "baselines (pre-optimization): BENCH_placement.baseline.json," \
-     "BENCH_sim.baseline.json"
+     "BENCH_sim.baseline.json, BENCH_tiering.baseline.json"
 
 # Gate: any (workers, policy) pair that lost more than 20% throughput
 # against the checked-in baseline fails the run (set -e propagates).
@@ -32,6 +37,10 @@ if command -v python3 >/dev/null 2>&1; then
   python3 "$repo_root/tools/check_bench_regression.py" \
       "$repo_root/BENCH_placement.json" \
       "$repo_root/BENCH_placement.baseline.json"
+  python3 "$repo_root/tools/check_bench_regression.py" \
+      "$repo_root/BENCH_tiering.json" \
+      "$repo_root/BENCH_tiering.baseline.json" \
+      --metric read_mbps
 else
   echo "warning: python3 not found, skipping bench regression check" >&2
 fi
