@@ -11,11 +11,19 @@ BackupMaster::BackupMaster(Master* primary, Clock* clock)
       mirror_(std::make_unique<NamespaceTree>(clock)) {}
 
 Status BackupMaster::Sync() {
-  const std::vector<std::string>& entries = primary_->edit_log()->entries();
-  if (synced_ >= static_cast<int64_t>(entries.size())) return Status::OK();
+  std::vector<std::string> tail;
+  int64_t start = primary_->edit_log()->ReadEntries(synced_, &tail);
+  if (start > synced_) {
+    // Only possible against a journal whose early segments were purged
+    // before this backup ever synced them (it attached too late).
+    return Status::Corruption("edit records [" + std::to_string(synced_) +
+                              ", " + std::to_string(start) +
+                              ") were purged before this backup synced them");
+  }
+  if (tail.empty()) return Status::OK();
   EditReplayInfo info;
-  OCTO_RETURN_IF_ERROR(EditLog::Replay(entries, synced_, mirror_.get(), &info));
-  synced_ = static_cast<int64_t>(entries.size());
+  OCTO_RETURN_IF_ERROR(EditLog::Replay(tail, 0, mirror_.get(), &info));
+  synced_ += static_cast<int64_t>(tail.size());
   if (info.max_epoch > epoch_floor_) epoch_floor_ = info.max_epoch;
   if (info.max_genstamp > genstamp_floor_) {
     genstamp_floor_ = info.max_genstamp;
@@ -25,8 +33,7 @@ Status BackupMaster::Sync() {
 
 Status BackupMaster::Bootstrap() {
   checkpoint_ = FsImage::Serialize(primary_->namespace_tree());
-  checkpoint_offset_ =
-      static_cast<int64_t>(primary_->edit_log()->entries().size());
+  checkpoint_offset_ = primary_->edit_log()->size();
   synced_ = checkpoint_offset_;
   epoch_floor_ = primary_->epoch();
   genstamp_floor_ = primary_->current_genstamp();
@@ -56,8 +63,14 @@ Result<std::unique_ptr<Master>> BackupMaster::TakeOver(MasterOptions options,
     image = FsImage::Serialize(empty);
     from = 0;
   }
-  OCTO_RETURN_IF_ERROR(
-      master->LoadImage(image, primary_->edit_log()->entries(), from));
+  std::vector<std::string> tail;
+  int64_t start = primary_->edit_log()->ReadEntries(from, &tail);
+  if (start > from) {
+    return Status::Corruption("edit records [" + std::to_string(from) + ", " +
+                              std::to_string(start) +
+                              ") behind the checkpoint were purged");
+  }
+  OCTO_RETURN_IF_ERROR(master->LoadImage(image, tail, 0));
   // Fence: the replacement claims an epoch strictly above anything the
   // dead primary ever stamped, whether that epoch reached the replayed
   // tail or was folded into the checkpoint.

@@ -140,11 +140,13 @@ Status Cluster::PromoteBackup() {
   }
   MasterOptions options = master_options_;
   // The promoted master journals afresh in memory; the dead primary's log
-  // file must not be appended to by two masters.
+  // file (or metadata directory) must not be appended to by two masters.
   options.edit_log_path.clear();
+  options.metadata_dir.clear();
   OCTO_ASSIGN_OR_RETURN(std::unique_ptr<Master> promoted,
                         backup_->TakeOver(options, clock_));
   DefineCanonicalTiers(promoted.get());
+  if (faults_ != nullptr) promoted->InstallDurabilityFaults(faults_);
   master_ = std::move(promoted);
   // The old backup is bound to the dead primary's log; replace it with
   // one seeded from the replacement's live state so a second failover
@@ -313,6 +315,7 @@ void Cluster::RestartWorker(WorkerId id) { stopped_.erase(id); }
 
 void Cluster::InstallFaultRegistry(fault::FaultRegistry* faults) {
   faults_ = faults;
+  if (master_ != nullptr) master_->InstallDurabilityFaults(faults);
   for (auto& [id, w] : workers_) w->SetFaultRegistry(faults);
 }
 

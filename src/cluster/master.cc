@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "fault/fault.h"
 #include "namespacefs/fsimage.h"
 #include "namespacefs/path.h"
 
@@ -22,7 +23,15 @@ Master::Master(MasterOptions options, Clock* clock)
       tree_(std::make_unique<NamespaceTree>(clock)),
       leases_(clock, options_.lease_duration_micros) {
   tree_->EnablePermissions(options_.enable_permissions);
-  if (options_.edit_log_path.empty()) {
+  if (!options_.metadata_dir.empty()) {
+    auto opened = EditLog::OpenSegmented(options_.metadata_dir);
+    OCTO_CHECK(opened.ok()) << opened.status().ToString();
+    log_ = std::move(opened).value();
+    auto images =
+        ImageStore::Open(options_.metadata_dir, options_.images_retained);
+    OCTO_CHECK(images.ok()) << images.status().ToString();
+    images_ = std::move(images).value();
+  } else if (options_.edit_log_path.empty()) {
     log_ = std::make_unique<EditLog>();
   } else {
     auto opened = EditLog::Open(options_.edit_log_path);
@@ -280,7 +289,7 @@ Result<std::vector<WorkerCommand>> Master::Heartbeat(
     }
   }
   // Flush any records lease recovery appended before acking the round.
-  OCTO_RETURN_IF_ERROR(log_->Commit());
+  OCTO_RETURN_IF_ERROR(CommitJournal());
   return commands;
 }
 
@@ -491,7 +500,7 @@ Status Master::Mkdirs(const std::string& path, const UserContext& ctx) {
       log_->LogMkdirs(normalized);
     }
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Result<std::vector<FileStatus>> Master::ListDirectory(
@@ -517,8 +526,9 @@ Status Master::Rename(const std::string& src, const std::string& dst,
     auto oplock = nslocks_.LockStructural();
     OCTO_RETURN_IF_ERROR(tree_->Rename(nsrc, ndst, ctx));
     log_->LogRename(nsrc, ndst);
+    RecordRenameForCheckpoint(nsrc, ndst);
   }
-  OCTO_RETURN_IF_ERROR(log_->Commit());
+  OCTO_RETURN_IF_ERROR(CommitJournal());
   NotifyRename(nsrc, ndst);
   return Status::OK();
 }
@@ -547,8 +557,9 @@ Result<int> Master::Delete(const std::string& path, bool recursive,
       }
       OCTO_RETURN_IF_ERROR(tree_->Rename(normalized, target, ctx));
       log_->LogRename(normalized, target);
+      RecordRenameForCheckpoint(normalized, target);
     }
-    OCTO_RETURN_IF_ERROR(log_->Commit());
+    OCTO_RETURN_IF_ERROR(CommitJournal());
     // Trash moves are renames: path-keyed soft state follows the file.
     NotifyRename(normalized, target);
     return 0;  // nothing invalidated; data is recoverable from trash
@@ -582,7 +593,7 @@ Result<int> Master::Delete(const std::string& path, bool recursive,
       OCTO_CHECK_OK(blocks_.RemoveBlock(info.id));
     }
   }
-  OCTO_RETURN_IF_ERROR(log_->Commit());
+  OCTO_RETURN_IF_ERROR(CommitJournal());
   NotifyDelete(normalized);
   return static_cast<int>(removed.size());
 }
@@ -604,7 +615,7 @@ Status Master::SetQuota(const std::string& path, int slot, int64_t bytes) {
     OCTO_RETURN_IF_ERROR(tree_->SetQuota(normalized, slot, bytes));
     log_->LogSetQuota(normalized, slot, bytes);
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Result<QuotaUsage> Master::GetQuotaUsage(const std::string& path) const {
@@ -623,7 +634,7 @@ Status Master::SetOwner(const std::string& path, const std::string& owner,
     OCTO_RETURN_IF_ERROR(tree_->SetOwner(normalized, owner, group, ctx));
     log_->LogSetOwner(normalized, owner, group);
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Status Master::SetMode(const std::string& path, uint16_t mode,
@@ -634,7 +645,7 @@ Status Master::SetMode(const std::string& path, uint16_t mode,
     OCTO_RETURN_IF_ERROR(tree_->SetMode(normalized, mode, ctx));
     log_->LogSetMode(normalized, mode);
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 // ---------------------------------------------------------------------------
@@ -689,7 +700,7 @@ Status Master::Create(const std::string& path, const ReplicationVector& rv,
     leases_.Remove(normalized);
     OCTO_RETURN_IF_ERROR(leases_.Acquire(normalized, lease_holder));
     oplock.Release();
-    OCTO_RETURN_IF_ERROR(log_->Commit());
+    OCTO_RETURN_IF_ERROR(CommitJournal());
     // An overwriting create destroyed whatever inode held this path: any
     // identity-keyed soft state for it (heat, managed replicas) is stale.
     if (overwrite) NotifyDelete(normalized);
@@ -722,7 +733,7 @@ Status Master::Append(const std::string& path, const UserContext& ctx,
       }
     }
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 PlacedReplica Master::MakePlacedReplica(MediumId medium) const {
@@ -777,7 +788,7 @@ Result<LocatedBlock> Master::AddBlock(const std::string& path,
     located.locations.reserve(media.size());
     for (MediumId m : media) located.locations.push_back(MakePlacedReplica(m));
   }
-  OCTO_RETURN_IF_ERROR(log_->Commit());  // the GENSTAMP record
+  OCTO_RETURN_IF_ERROR(CommitJournal());  // the GENSTAMP record
   return located;
 }
 
@@ -851,7 +862,7 @@ Status Master::CommitBlock(const std::string& path,
     }
     pending_blocks_.erase(pending);
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Result<PipelineRecoveryResult> Master::RecoverPipeline(
@@ -903,7 +914,7 @@ Result<PipelineRecoveryResult> Master::RecoverPipeline(
       result.replacement = MakePlacedReplica(target);
     }
   }
-  OCTO_RETURN_IF_ERROR(log_->Commit());  // the GENSTAMP record
+  OCTO_RETURN_IF_ERROR(CommitJournal());  // the GENSTAMP record
   return result;
 }
 
@@ -919,7 +930,7 @@ Status Master::CommitBlockSynchronization(
     std::lock_guard<std::mutex> service(service_mu_);
     st = CommitBlockSynchronizationLocked(block, genstamp, length, good_media);
   }
-  Status committed = log_->Commit();
+  Status committed = CommitJournal();
   return st.ok() ? committed : st;
 }
 
@@ -1097,7 +1108,7 @@ Status Master::CompleteFile(const std::string& path,
     log_->LogComplete(normalized);
     OCTO_RETURN_IF_ERROR(leases_.Release(normalized, lease_holder));
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Status Master::RenewLease(const std::string& path,
@@ -1202,7 +1213,7 @@ Status Master::SetReplication(const std::string& path,
       if (record != nullptr) ReconcileBlock(*record);
     }
   }
-  return log_->Commit();
+  return CommitJournal();
 }
 
 Result<std::vector<StorageTierReport>> Master::GetStorageTierReports() const {
@@ -1533,15 +1544,29 @@ void Master::NoteTransferEnded(WorkerId worker, MediumId medium) {
 Status Master::LoadImage(const std::string& image,
                          const std::vector<std::string>& edit_entries,
                          int64_t edits_from) {
+  return LoadImageInternal(image, edit_entries, edits_from,
+                           FsImage::Mode::kStrict, ReplayMode::kStrict);
+}
+
+Status Master::LoadImageInternal(const std::string& image,
+                                 const std::vector<std::string>& edit_entries,
+                                 int64_t edits_from, FsImage::Mode image_mode,
+                                 ReplayMode replay_mode) {
   // Replaces the whole namespace and block map: exclude everything.
   auto oplock = nslocks_.LockStructural();
   std::lock_guard<std::mutex> service(service_mu_);
   auto tree = std::make_unique<NamespaceTree>(clock_);
   tree->EnablePermissions(options_.enable_permissions);
-  OCTO_RETURN_IF_ERROR(FsImage::Deserialize(image, tree.get()));
+  OCTO_RETURN_IF_ERROR(FsImage::Deserialize(image, tree.get(), image_mode));
   EditReplayInfo replay_info;
-  OCTO_RETURN_IF_ERROR(
-      EditLog::Replay(edit_entries, edits_from, tree.get(), &replay_info));
+  OCTO_RETURN_IF_ERROR(EditLog::Replay(edit_entries, edits_from, tree.get(),
+                                       &replay_info, replay_mode));
+  if (replay_info.skipped_records > 0 || replay_info.rename_fixups > 0) {
+    OCTO_LOG(Info) << "recovery replay absorbed "
+                   << replay_info.skipped_records
+                   << " already-applied record(s) and "
+                   << replay_info.rename_fixups << " rename fixup(s)";
+  }
   tree_ = std::move(tree);
   if (replay_info.max_epoch > epoch()) {
     epoch_.store(replay_info.max_epoch, std::memory_order_relaxed);
@@ -1601,6 +1626,206 @@ Status Master::LoadImage(const std::string& image,
   return status;
 }
 
+Status Master::CommitJournal() {
+  Status st = log_->Commit();
+  if (st.ok()) return st;
+  if (!journal_failed_.exchange(true, std::memory_order_relaxed)) {
+    OCTO_LOG(Error) << "journal commit failed, fail-stopping into safe mode: "
+                    << st.ToString();
+  }
+  // The edit the caller was about to ack is not durable. Refusing all
+  // further mutations (and never acking this one) keeps the invariant
+  // that every acked edit survives recovery.
+  safe_mode_.store(true, std::memory_order_relaxed);
+  return st;
+}
+
+void Master::RecordRenameForCheckpoint(const std::string& src,
+                                       const std::string& dst) {
+  if (!checkpoint_active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  checkpoint_renames_.emplace_back(src, dst);
+}
+
+Result<int64_t> Master::WriteCheckpoint() {
+  if (images_ == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpointing requires a metadata_dir");
+  }
+  bool expected = false;
+  if (!checkpoint_active_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("a checkpoint is already running");
+  }
+  // Arms the clean-up on every early return; disarmed before the normal
+  // clear (which must happen under the structural lock, see below).
+  bool active = true;
+  auto clear_active = [&] {
+    if (active) checkpoint_active_.store(false, std::memory_order_release);
+    active = false;
+  };
+  // Pre-pay the finalize fsync: RollSegment below always fdatasyncs the
+  // closing segment, and after a long steady window that can be tens of
+  // MB of dirty page cache — paid under the structural lock, it would be
+  // the longest mutation stall of the whole checkpoint. Syncing here
+  // (no locks held) shrinks the in-lock sync to the records that arrive
+  // in between.
+  if (Status st = log_->SyncToDisk(); !st.ok()) {
+    clear_active();
+    return st;
+  }
+  int64_t txid = 0;
+  {
+    // Brief structural section: every mutation journaled before this
+    // point sits in segments below `txid`; everything after lands in the
+    // new segment AND is either visible to the walk below or re-applied
+    // by the recovery tail replay.
+    auto oplock = nslocks_.LockStructural();
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      checkpoint_renames_.clear();
+    }
+    auto rolled = log_->RollSegment();
+    if (!rolled.ok()) {
+      clear_active();
+      return rolled.status();
+    }
+    txid = *rolled;
+  }
+  // Chunked walk: one directory at a time under its own shared per-path
+  // lock, which pins the directory's stripe and so its child map — all
+  // other namespace operations proceed concurrently. A directory deleted
+  // (or renamed away) between being queued and visited just drops out;
+  // the journal tail carries whatever happened to it.
+  std::string image = FsImage::Header();
+  const auto emit = [&image](const NamespaceTree::VisitEntry& entry) {
+    FsImage::AppendEntry(&image, entry);
+  };
+  std::vector<std::string> pending_dirs;
+  pending_dirs.push_back("/");
+  constexpr size_t kImageHeadroom = size_t{8} << 20;
+  while (!pending_dirs.empty()) {
+    std::string dir = std::move(pending_dirs.back());
+    pending_dirs.pop_back();
+    // Grow the image buffer out here: a doubling realloc of a
+    // hundred-MB image inside SnapshotDirectory would hold the
+    // directory's stripe for the whole copy and surface as a mutation
+    // stall on everything sharing it.
+    if (image.capacity() - image.size() < kImageHeadroom) {
+      image.reserve(
+          std::max(image.capacity() * 2, image.size() + 2 * kImageHeadroom));
+    }
+    auto oplock = nslocks_.Lock(dir, NamespaceLockManager::OpMode::kRead);
+    Status st = tree_->SnapshotDirectory(dir, emit, &pending_dirs);
+    if (!st.ok() && !st.IsNotFound()) {
+      clear_active();
+      return st;
+    }
+  }
+  {
+    // Post-walk patch: a subtree renamed while the walk ran may have
+    // moved from a not-yet-visited source into an already-visited
+    // destination, in which case the walk missed it entirely — and the
+    // tail's RENAME record alone cannot recreate it. Re-serialize every
+    // such destination subtree; the fuzzy deserializer treats these
+    // later lines as authoritative. Renames committing after this
+    // section are ordinary post-checkpoint edits handled by tail replay.
+    auto oplock = nslocks_.LockStructural();
+    std::vector<std::pair<std::string, std::string>> renames;
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      renames.swap(checkpoint_renames_);
+    }
+    for (const auto& [src, dst] : renames) {
+      Status st = tree_->VisitSubtree(dst, emit);
+      if (!st.ok() && !st.IsNotFound()) {
+        clear_active();
+        return st;
+      }
+    }
+    clear_active();
+  }
+  OCTO_RETURN_IF_ERROR(images_->WriteImage(txid, image));
+  log_->MarkCheckpointed(txid);
+  // Segments below the *oldest* retained image stay unreachable by every
+  // fallback chain and can go.
+  int64_t floor = images_->OldestRetainedTxid();
+  if (floor > 0) {
+    OCTO_RETURN_IF_ERROR(log_->PurgeSegmentsBefore(floor));
+  }
+  return txid;
+}
+
+Status Master::RecoverFromLocalStorage() {
+  if (images_ == nullptr) {
+    return Status::FailedPrecondition("recovery requires a metadata_dir");
+  }
+  Status last_error = Status::OK();
+  for (int64_t txid : images_->ListImages()) {  // newest first
+    auto image = images_->ReadImage(txid);
+    if (!image.ok()) {
+      OCTO_LOG(Warn) << "checkpoint image at txid " << txid
+                     << " failed verification ("
+                     << image.status().ToString()
+                     << "); falling back to an older image";
+      last_error = image.status();
+      continue;
+    }
+    std::vector<std::string> tail;
+    int64_t start = log_->ReadEntries(txid, &tail);
+    if (start > txid) {
+      // The journal records this image needs were purged; only an older
+      // (already tried, newer) image could have covered them.
+      last_error = Status::Corruption(
+          "journal starts at txid " + std::to_string(start) +
+          ", image at " + std::to_string(txid) + " cannot be completed");
+      continue;
+    }
+    Status st = LoadImageInternal(*image, tail, 0, FsImage::Mode::kFuzzy,
+                                  ReplayMode::kRecovery);
+    if (!st.ok()) {
+      last_error = st;
+      continue;
+    }
+    log_->MarkCheckpointed(txid);
+    return Status::OK();
+  }
+  if (log_->base_txid() == 0) {
+    // No usable image. With the full journal on disk the namespace is
+    // still reconstructible from scratch.
+    std::vector<std::string> all;
+    log_->ReadEntries(0, &all);
+    Status st = LoadImageInternal(FsImage::Header(), all, 0,
+                                  FsImage::Mode::kFuzzy,
+                                  ReplayMode::kRecovery);
+    if (st.ok()) return st;
+    last_error = st;
+  }
+  return last_error.ok()
+             ? Status::Corruption("no usable checkpoint image or journal")
+             : last_error;
+}
+
+void Master::InstallDurabilityFaults(fault::FaultRegistry* registry) {
+  if (registry == nullptr) return;
+  // The registry is not thread-safe; journal writes (any mutator thread)
+  // and image writes (the checkpoint thread) may consult concurrently,
+  // so both hooks share one mutex.
+  auto mu = std::make_shared<std::mutex>();
+  log_->SetWriteFaultHook([registry, mu]() {
+    std::lock_guard<std::mutex> lock(*mu);
+    fault::FaultRegistry::JournalFault f = registry->CheckJournalWrite();
+    return EditLog::WriteFault{f.status, f.torn_bytes};
+  });
+  if (images_ != nullptr) {
+    images_->SetWriteFaultHook([registry, mu]() {
+      std::lock_guard<std::mutex> lock(*mu);
+      fault::FaultRegistry::ImageFault f = registry->CheckImageWrite();
+      return ImageStore::WriteFault{f.corrupt, f.crash_before_rename};
+    });
+  }
+}
+
 void Master::NoteEpochFloor(uint64_t floor) {
   std::lock_guard<std::mutex> service(service_mu_);
   if (floor > epoch()) epoch_.store(floor, std::memory_order_relaxed);
@@ -1612,7 +1837,13 @@ void Master::BumpEpoch() {
     uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
     log_->LogEpoch(epoch);
   }
-  OCTO_CHECK_OK(log_->Commit());
+  // A takeover with a failing journal still proceeds (the epoch is
+  // already effective in memory and stamped on commands); the master is
+  // fail-stopped for namespace mutations by CommitJournal's latch.
+  Status st = CommitJournal();
+  if (!st.ok()) {
+    OCTO_LOG(Warn) << "epoch bump not durable: " << st.ToString();
+  }
 }
 
 void Master::NoteGenstampFloor(uint64_t floor) {
@@ -1629,6 +1860,12 @@ uint64_t Master::NextGenstamp() {
 }
 
 Status Master::CheckNotInSafeMode(const char* op) const {
+  if (journal_failed()) {
+    return Status::Unavailable(std::string(op) +
+                               " rejected: journal write failed (" +
+                               log_->last_io_error().ToString() +
+                               "); master is fail-stopped");
+  }
   if (!in_safe_mode()) return Status::OK();
   return Status::Unavailable(
       std::string(op) + " rejected: master in safe mode (" +
@@ -1649,6 +1886,7 @@ double Master::SafeModeReportedFraction() const {
 
 void Master::MaybeExitSafeMode() {
   if (!in_safe_mode()) return;
+  if (journal_failed()) return;  // fail-stopped; reports cannot lift it
   if (SafeModeReportedFraction() + 1e-12 < options_.safe_mode_threshold) {
     return;
   }
@@ -1657,6 +1895,7 @@ void Master::MaybeExitSafeMode() {
 
 void Master::ForceExitSafeMode() {
   std::lock_guard<std::mutex> service(service_mu_);
+  if (journal_failed()) return;  // fail-stopped; not even -safemode leave
   if (in_safe_mode()) LeaveSafeMode();
 }
 

@@ -22,6 +22,8 @@
 #include "core/replication_vector.h"
 #include "core/retrieval.h"
 #include "namespacefs/edit_log.h"
+#include "namespacefs/fsimage.h"
+#include "namespacefs/image_store.h"
 #include "namespacefs/lease_manager.h"
 #include "namespacefs/lock_manager.h"
 #include "namespacefs/namespace_tree.h"
@@ -29,6 +31,10 @@
 #include "topology/topology.h"
 
 namespace octo {
+
+namespace fault {
+class FaultRegistry;
+}  // namespace fault
 
 /// Outcome of a pipeline-recovery request (mid-write failure handling):
 /// the surviving replicas must be truncated to the writer's acked offset
@@ -91,6 +97,17 @@ struct MasterOptions {
   uint64_t seed = 42;
   /// When set, the edit log is persisted to this file.
   std::string edit_log_path;
+  /// When set, the master's metadata lives in this directory as a
+  /// segmented, checksummed edit log (EditLog::OpenSegmented) plus
+  /// CRC-trailed checkpoint images (ImageStore): WriteCheckpoint() and
+  /// RecoverFromLocalStorage() become available, and a journal write
+  /// failure fail-stops the master into safe mode instead of dropping
+  /// acked edits. Takes precedence over edit_log_path.
+  std::string metadata_dir;
+  /// How many checkpoint images metadata_dir retains. Keeping more than
+  /// one lets recovery fall back to an older image (with a longer journal
+  /// tail) when the newest fails its CRC check.
+  int images_retained = 2;
   /// Safe-mode exit threshold (HDFS dfs.namenode.safemode.threshold-pct):
   /// a recovering master refuses placement/re-replication/rebalancing and
   /// namespace mutations until at least this fraction of the block
@@ -130,9 +147,20 @@ struct MasterOptions {
 ///    reads.
 ///  - Journal records are appended (under the path's namespace lock, so
 ///    journal order matches the linearization order) and group-committed:
-///    each mutation calls EditLog::Commit() after releasing its locks, so
+///    each mutation calls CommitJournal() after releasing its locks, so
 ///    concurrent mutations share one flush and every op is durable before
-///    it is acknowledged.
+///    it is acknowledged. A failed commit (ENOSPC, short write, torn
+///    write) is fail-stop: the master enters safe mode, the mutation is
+///    NOT acked, and every later mutation is rejected — an acked edit is
+///    never silently dropped (DESIGN.md §14).
+///  - WriteCheckpoint() is fuzzy (non-stalling): it holds the structural
+///    lock only long enough to roll the journal segment, then serializes
+///    the namespace directory-by-directory under per-stripe read locks
+///    while mutations proceed; renames committed during the walk are
+///    recorded (RecordRenameForCheckpoint, inside the mutation's own
+///    structural section) and patched into the image afterwards. Recovery
+///    loads the image in FsImage::Mode::kFuzzy and replays the tail in
+///    ReplayMode::kRecovery, which absorbs the resulting overlap.
 ///  - Heartbeat/block-report payloads may also be staged lock-free-ish via
 ///    StageHeartbeatStats/StageBlockReport and folded in by a single
 ///    FlushStagedReports call holding the service mutex once.
@@ -398,6 +426,35 @@ class Master {
                    const std::vector<std::string>& edit_entries = {},
                    int64_t edits_from = 0);
 
+  /// Writes a fuzzy checkpoint to the metadata directory (see the class
+  /// comment) and purges journal segments no retained image needs.
+  /// Returns the checkpoint's txid: the image plus the journal tail from
+  /// that txid reproduces the namespace. Mutations proceed during the
+  /// entire image serialization; only one checkpoint runs at a time
+  /// (FailedPrecondition otherwise, or without a metadata_dir).
+  Result<int64_t> WriteCheckpoint();
+
+  /// Rebuilds the namespace from the metadata directory after a crash:
+  /// newest image + replay of every journal record from its txid. An
+  /// image failing CRC verification falls back to the next older one
+  /// (with a longer tail); with no image at all the whole journal is
+  /// replayed from an empty namespace. Corruption when no combination
+  /// works. Requires metadata_dir.
+  Status RecoverFromLocalStorage();
+
+  /// Routes journal and image writes through `registry`'s durability
+  /// fault sites (kJournalTornWrite, kJournalDiskFull, kImageCorrupt,
+  /// kImageCrashMidRename). The registry itself is not thread-safe, so
+  /// the installed hooks serialize their consults; `registry` must
+  /// outlive this master.
+  void InstallDurabilityFaults(fault::FaultRegistry* registry);
+
+  /// True once a journal write has failed; the master is fail-stopped
+  /// (safe mode that reports cannot lift).
+  bool journal_failed() const {
+    return journal_failed_.load(std::memory_order_relaxed);
+  }
+
   /// Monotonic fencing epoch. Starts at 1; advanced only at takeover.
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   /// Raises the epoch to at least `floor` (epochs folded into a
@@ -438,6 +495,8 @@ class Master {
   const NamespaceTree& namespace_tree() const { return *tree_; }
   NetworkTopology& topology() { return topology_; }
   EditLog* edit_log() { return log_.get(); }
+  /// Non-null only with a metadata_dir.
+  ImageStore* image_store() { return images_.get(); }
   LeaseManager& lease_manager() { return leases_; }
   Clock* clock() { return clock_; }
 
@@ -502,8 +561,28 @@ class Master {
   PlacedReplica MakePlacedReplica(MediumId medium) const;
   /// Expires in-flight replication entries older than the timeout.
   void ExpireInflight();
-  /// Unavailable while in safe mode, OK otherwise (mutation gate).
+  /// Unavailable while in safe mode or after a journal failure, OK
+  /// otherwise (mutation gate).
   Status CheckNotInSafeMode(const char* op) const;
+  /// Wraps EditLog::Commit with the fail-stop policy: a failed commit
+  /// latches journal_failed_ and drops the master into safe mode, so the
+  /// un-journaled edit is never acked and no further mutation is
+  /// accepted. Called with no lock held, like Commit itself.
+  Status CommitJournal();
+  /// Body of LoadImage/RecoverFromLocalStorage: installs `image` +
+  /// journal tail as the namespace, with the deserializer and replayer
+  /// running in the given modes (strict for exact images, fuzzy/recovery
+  /// for fuzzy-checkpoint output).
+  Status LoadImageInternal(const std::string& image,
+                           const std::vector<std::string>& edit_entries,
+                           int64_t edits_from, FsImage::Mode image_mode,
+                           ReplayMode replay_mode);
+  /// Records a committed rename for the running checkpoint's post-walk
+  /// patch. Must be called inside the mutation's structural-lock section
+  /// (so the record and the walk cannot interleave mid-rename); no-op
+  /// when no checkpoint is active.
+  void RecordRenameForCheckpoint(const std::string& src,
+                                 const std::string& dst);
   /// Exits safe mode once the reported fraction crosses the threshold.
   void MaybeExitSafeMode();
   /// Queues deletions for orphans deferred during safe mode and records
@@ -568,6 +647,19 @@ class Master {
 
   std::unique_ptr<NamespaceTree> tree_;
   std::unique_ptr<EditLog> log_;
+  /// Checkpoint image store; non-null only with a metadata_dir.
+  std::unique_ptr<ImageStore> images_;
+  /// True while WriteCheckpoint runs. Mutators read it (acquire) inside
+  /// their structural sections to decide whether to record renames; the
+  /// checkpoint sets/clears it under the structural lock.
+  std::atomic<bool> checkpoint_active_{false};
+  /// Guards checkpoint_renames_ (leaf lock, held only for a push/swap).
+  std::mutex checkpoint_mu_;
+  /// (src, dst) of renames committed while the checkpoint walk ran; the
+  /// post-walk patch re-serializes each dst subtree.
+  std::vector<std::pair<std::string, std::string>> checkpoint_renames_;
+  /// Latched by the first failed journal commit (see CommitJournal).
+  std::atomic<bool> journal_failed_{false};
   LeaseManager leases_;
   BlockManager blocks_;
   ClusterState state_;

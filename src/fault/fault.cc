@@ -57,6 +57,14 @@ std::string_view SiteName(Site site) {
       return "recovery-primary-crash";
     case Site::kMediumFail:
       return "medium-fail";
+    case Site::kJournalTornWrite:
+      return "journal-torn-write";
+    case Site::kJournalDiskFull:
+      return "journal-disk-full";
+    case Site::kImageCorrupt:
+      return "image-corrupt";
+    case Site::kImageCrashMidRename:
+      return "image-crash-mid-rename";
   }
   return "unknown";
 }
@@ -122,6 +130,36 @@ FaultRegistry::SourceFault FaultRegistry::CheckSource(WorkerId worker,
                             ScopeString(worker, medium, block));
     out.transient = armed->spec.transient;
   }
+  return out;
+}
+
+FaultRegistry::JournalFault FaultRegistry::CheckJournalWrite() {
+  JournalFault out;
+  // A torn write is the more specific failure (a crash mid-write), so it
+  // wins over a clean disk-full error when both are armed.
+  Armed* armed =
+      Fire(Site::kJournalTornWrite, kInvalidWorker, kInvalidMedium,
+           kInvalidBlock);
+  if (armed != nullptr) {
+    out.status = Status(armed->spec.code, "injected journal-torn-write fault");
+    out.torn_bytes = armed->spec.torn_bytes;
+    return out;
+  }
+  armed = Fire(Site::kJournalDiskFull, kInvalidWorker, kInvalidMedium,
+               kInvalidBlock);
+  if (armed != nullptr) {
+    out.status = Status(armed->spec.code, "injected journal-disk-full fault");
+  }
+  return out;
+}
+
+FaultRegistry::ImageFault FaultRegistry::CheckImageWrite() {
+  ImageFault out;
+  out.corrupt = Fire(Site::kImageCorrupt, kInvalidWorker, kInvalidMedium,
+                     kInvalidBlock) != nullptr;
+  out.crash_before_rename =
+      Fire(Site::kImageCrashMidRename, kInvalidWorker, kInvalidMedium,
+           kInvalidBlock) != nullptr;
   return out;
 }
 

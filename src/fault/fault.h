@@ -65,9 +65,25 @@ enum class Site {
   /// the master drops its replicas and re-replicates. Pure query like
   /// kMediumThrottle — no hit accounting.
   kMediumFail,
+  /// The master crashes mid-way through a journal write: the first
+  /// `FaultSpec::torn_bytes` bytes of the record batch reach the disk
+  /// and stay there as a torn tail that recovery must truncate away.
+  kJournalTornWrite,
+  /// The journal's disk fills (ENOSPC-style): the write fails cleanly,
+  /// nothing of the batch lands, and the master must fail stop (safe
+  /// mode) rather than ack the edit.
+  kJournalDiskFull,
+  /// A checkpoint image rots on disk after its CRC trailer was computed:
+  /// the write "succeeds" but verification fails at recovery, which must
+  /// fall back to the previous image and a longer journal tail.
+  kImageCorrupt,
+  /// The master crashes after writing the image's tmp file but before
+  /// the atomic rename: recovery finds no image at that txid, only a
+  /// stray .tmp that is swept on the next open.
+  kImageCrashMidRename,
 };
 
-inline constexpr int kNumSites = 15;
+inline constexpr int kNumSites = 19;
 
 std::string_view SiteName(Site site);
 
@@ -91,6 +107,9 @@ struct FaultSpec {
   bool transient = true;
   /// kMediumThrottle only: multiplier on the medium's device rate.
   double throttle_factor = 1.0;
+  /// kJournalTornWrite only: bytes of the batch that reach the disk
+  /// before the simulated crash (-1 = none, a clean failure).
+  int64_t torn_bytes = -1;
 };
 
 /// Deterministic seeded fault schedule. Single-threaded, like the
@@ -136,6 +155,23 @@ class FaultRegistry {
   /// medium. Pure query — no hit accounting, probability ignored — so a
   /// failed disk stays failed across every operation that touches it.
   bool MediumFailed(WorkerId worker, MediumId medium) const;
+
+  struct JournalFault {
+    Status status;           // OK = no fault
+    int64_t torn_bytes = -1;  // >= 0: bytes that land before the "crash"
+  };
+  /// Journal-write consult: kJournalTornWrite first (a torn write is a
+  /// crash, the more specific failure), then kJournalDiskFull. The
+  /// Master installs this via EditLog::SetWriteFaultHook.
+  JournalFault CheckJournalWrite();
+
+  struct ImageFault {
+    bool corrupt = false;
+    bool crash_before_rename = false;
+  };
+  /// Image-write consult (kImageCorrupt, kImageCrashMidRename); installed
+  /// via ImageStore::SetWriteFaultHook.
+  ImageFault CheckImageWrite();
 
   /// Storage-layer adapter bound to one (worker, medium); install with
   /// BlockStore::set_fault_hook.

@@ -9,23 +9,55 @@
 
 namespace octo {
 
-/// Namespace checkpoint reader/writer (the HDFS "fsimage"). A Backup
-/// Master periodically serializes the whole NamespaceTree so recovery only
-/// replays the edit log tail written after the checkpoint.
+/// Namespace checkpoint reader/writer (the HDFS "fsimage"). The Master's
+/// fuzzy checkpoint and a Backup Master both serialize the NamespaceTree
+/// so recovery only replays the edit log tail written after the
+/// checkpoint.
+///
+/// Format: one inode per tab-separated text line, after an
+/// `OCTO_FSIMAGE\t<version>` header. Version 2 percent-escapes control
+/// bytes ('%XX' for bytes < 0x20, 0x7f, and '%' itself) in the path,
+/// owner, and group fields so hostile names cannot forge line or field
+/// boundaries; version-1 images (written before the escaping existed)
+/// still load, with their fields taken verbatim.
 class FsImage {
  public:
-  /// Writes `tree` to `path` (text format, one inode per line).
+  /// How Deserialize reacts to a line whose inode already exists.
+  ///
+  /// kStrict (the default) expects each path exactly once on a fresh
+  /// tree — any apply failure is an error. kFuzzy accepts the output of
+  /// a fuzzy checkpoint, where the post-walk rename patch re-emits
+  /// subtrees the walk already serialized: a line for an existing path
+  /// *replaces* the previous content (delete + re-apply), because later
+  /// lines were captured later and the patch is authoritative.
+  enum class Mode { kStrict, kFuzzy };
+
+  /// Writes `tree` to `path` (text format, one inode per line). NOT
+  /// atomic or checksummed — ImageStore wraps this format for durable
+  /// master checkpoints; this entry point remains for tools and tests.
   static Status Save(const NamespaceTree& tree, const std::string& path);
 
   /// Serializes `tree` to a string (used for in-memory checkpoints).
   static std::string Serialize(const NamespaceTree& tree);
 
+  /// The image header line, including the trailing newline. The Master's
+  /// chunked checkpoint writer starts from this and appends entries with
+  /// AppendEntry under per-stripe read locks.
+  static std::string Header();
+
+  /// Appends the one-line serialization of `entry` (directory or file)
+  /// to `out`. Field escaping per the class comment.
+  static void AppendEntry(std::string* out,
+                          const NamespaceTree::VisitEntry& entry);
+
   /// Reconstructs a namespace from a checkpoint file into `tree`, which
   /// must be freshly constructed.
   static Status Load(const std::string& path, NamespaceTree* tree);
 
-  /// Reconstructs from a serialized string.
-  static Status Deserialize(const std::string& image, NamespaceTree* tree);
+  /// Reconstructs from a serialized string (see Mode for duplicate
+  /// handling).
+  static Status Deserialize(const std::string& image, NamespaceTree* tree,
+                            Mode mode = Mode::kStrict);
 };
 
 }  // namespace octo

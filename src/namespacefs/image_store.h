@@ -1,0 +1,81 @@
+#ifndef OCTOPUSFS_NAMESPACEFS_IMAGE_STORE_H_
+#define OCTOPUSFS_NAMESPACEFS_IMAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace octo {
+
+/// Durable store for namespace checkpoint images, alongside the edit
+/// segments in the master's metadata directory. Each image is
+/// `fsimage_<txid>` — the serialized namespace as of journal txid
+/// `<txid>` — with an `OCTO_IMAGE_CRC\t<crc32c hex8>\n` trailer line over
+/// the payload.
+///
+/// Writes are atomic: payload + trailer go to `fsimage_<txid>.tmp`, which
+/// is fsynced, renamed over the final name, and sealed with a directory
+/// fsync — a crash at any point leaves either no image or a complete,
+/// verifiable one (stray .tmp files are swept on Open). The newest
+/// `retain` images are kept so recovery can fall back to an older image
+/// (replaying a longer journal tail) when the newest fails its CRC.
+///
+/// Thread-safe; in practice one checkpoint writer runs at a time.
+class ImageStore {
+ public:
+  /// Outcome of the pre-write fault hook. `corrupt` flips a payload byte
+  /// after the CRC is computed (the write still "succeeds" — the damage
+  /// only surfaces at read time); `crash_before_rename` abandons the
+  /// write after the tmp file is on disk, as a crash there would.
+  struct WriteFault {
+    bool corrupt = false;
+    bool crash_before_rename = false;
+  };
+
+  /// Scans `dir` (created if missing) for existing images and sweeps
+  /// leftover .tmp files.
+  static Result<std::unique_ptr<ImageStore>> Open(const std::string& dir,
+                                                  int retain = 2);
+
+  /// Atomically writes `payload` as the image at `txid` and purges images
+  /// beyond the retention count.
+  Status WriteImage(int64_t txid, const std::string& payload);
+
+  /// Reads and CRC-verifies the image at `txid`, returning its payload.
+  /// Any damage — missing trailer, checksum mismatch, truncation — is
+  /// Status::Corruption; the caller falls back to an older image.
+  Result<std::string> ReadImage(int64_t txid) const;
+
+  /// Txids of the stored images, newest first.
+  std::vector<int64_t> ListImages() const;
+
+  /// Txid of the oldest retained image, or -1 with no images. Journal
+  /// segments below this are unreachable by any retained fallback and
+  /// may be purged.
+  int64_t OldestRetainedTxid() const;
+
+  /// Installs a hook consulted before every image write. Must be
+  /// installed before concurrent use.
+  void SetWriteFaultHook(std::function<WriteFault()> hook);
+
+ private:
+  ImageStore(std::string dir, int retain)
+      : dir_(std::move(dir)), retain_(retain) {}
+
+  std::string ImagePath(int64_t txid) const;
+
+  const std::string dir_;
+  const int retain_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> txids_;  // ascending
+  std::function<WriteFault()> write_fault_hook_;
+};
+
+}  // namespace octo
+
+#endif  // OCTOPUSFS_NAMESPACEFS_IMAGE_STORE_H_

@@ -556,27 +556,70 @@ Status NamespaceTree::SetMode(const std::string& path, uint16_t mode,
   return Status::OK();
 }
 
+void NamespaceTree::WalkInode(
+    const std::string& path, const Inode* node,
+    const std::function<void(const VisitEntry&)>& fn) const {
+  VisitEntry entry;
+  entry.status = MakeStatus(path, node);
+  if (node->is_dir) {
+    entry.quota = node->quota;
+  } else {
+    entry.quota = kNoQuota;
+    entry.blocks = node->blocks;
+  }
+  fn(entry);
+  if (node->is_dir) {
+    std::string prefix = path == "/" ? "/" : path + "/";
+    for (const auto& [name, child] : node->children) {
+      WalkInode(prefix + name, child.get(), fn);
+    }
+  }
+}
+
 void NamespaceTree::Visit(
     const std::function<void(const VisitEntry&)>& fn) const {
-  std::function<void(const std::string&, const Inode*)> walk =
-      [&](const std::string& path, const Inode* node) {
-        VisitEntry entry;
-        entry.status = MakeStatus(path, node);
-        if (node->is_dir) {
-          entry.quota = node->quota;
-        } else {
-          entry.quota = kNoQuota;
-          entry.blocks = node->blocks;
-        }
-        fn(entry);
-        if (node->is_dir) {
-          std::string prefix = path == "/" ? "/" : path + "/";
-          for (const auto& [name, child] : node->children) {
-            walk(prefix + name, child.get());
-          }
-        }
-      };
-  walk("/", root_.get());
+  WalkInode("/", root_.get(), fn);
+}
+
+Status NamespaceTree::VisitSubtree(
+    const std::string& normalized_path,
+    const std::function<void(const VisitEntry&)>& fn) const {
+  const Inode* node = Lookup(normalized_path);
+  if (node == nullptr) {
+    return Status::NotFound(normalized_path + " no longer exists");
+  }
+  WalkInode(normalized_path, node, fn);
+  return Status::OK();
+}
+
+Status NamespaceTree::SnapshotDirectory(
+    const std::string& normalized_dir,
+    const std::function<void(const VisitEntry&)>& fn,
+    std::vector<std::string>* subdirs) const {
+  const Inode* node = Lookup(normalized_dir);
+  if (node == nullptr || !node->is_dir) {
+    // Deleted — or replaced by a file, which some later walk chunk or
+    // journal record accounts for — after being queued.
+    return Status::NotFound(normalized_dir + " is no longer a directory");
+  }
+  VisitEntry entry;
+  entry.status = MakeStatus(normalized_dir, node);
+  entry.quota = node->quota;
+  fn(entry);
+  const std::string prefix =
+      normalized_dir == "/" ? "/" : normalized_dir + "/";
+  for (const auto& [name, child] : node->children) {
+    if (child->is_dir) {
+      subdirs->push_back(prefix + name);
+      continue;
+    }
+    VisitEntry file;
+    file.status = MakeStatus(prefix + name, child.get());
+    file.quota = kNoQuota;
+    file.blocks = child->blocks;
+    fn(file);
+  }
+  return Status::OK();
 }
 
 }  // namespace octo

@@ -197,6 +197,26 @@ class NamespaceTree {
   };
   void Visit(const std::function<void(const VisitEntry&)>& fn) const;
 
+  /// One chunk of a fuzzy checkpoint: emits `normalized_dir`'s own entry
+  /// and those of its *file* children, and appends each child
+  /// directory's path to `subdirs` for the caller to visit later. The
+  /// caller holds (at least) a shared per-path lock on `normalized_dir`
+  /// — that pins the directory's stripe, which every child-map mutation
+  /// acquires exclusively, so the children map and the emitted file
+  /// inodes are stable; deeper descendants are NOT pinned and are
+  /// visited under their own locks. Returns NotFound when the directory
+  /// was deleted (or replaced by a file) between being queued and
+  /// visited — the caller just skips it.
+  Status SnapshotDirectory(const std::string& normalized_dir,
+                           const std::function<void(const VisitEntry&)>& fn,
+                           std::vector<std::string>* subdirs) const;
+
+  /// Pre-order walk over the subtree rooted at `normalized_path` (the
+  /// fuzzy checkpoint's rename patch). Like Visit, requires the
+  /// structural lock. Returns NotFound when the path no longer exists.
+  Status VisitSubtree(const std::string& normalized_path,
+                      const std::function<void(const VisitEntry&)>& fn) const;
+
  private:
   struct Inode;
 
@@ -214,6 +234,10 @@ class NamespaceTree {
   }
 
   FileStatus MakeStatus(const std::string& path, const Inode* inode) const;
+
+  // Recursive pre-order emission for Visit/VisitSubtree (structural lock).
+  void WalkInode(const std::string& path, const Inode* node,
+                 const std::function<void(const VisitEntry&)>& fn) const;
 
   /// Per-slot quota charge of a file's content: counts[t] * length.
   static std::array<int64_t, 8> FileCharge(const ReplicationVector& rv,

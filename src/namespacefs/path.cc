@@ -28,7 +28,11 @@ Result<std::string> NormalizePath(std::string_view path) {
                                      std::string(path));
     }
     for (char c : part) {
-      if (c == '\t' || c == '\n' || c == '\r' || c == '\0') {
+      // All of C0 and DEL, not just the whitespace controls: any of them
+      // could forge record or field boundaries in the line-oriented
+      // journal and fsimage formats.
+      if (static_cast<unsigned char>(c) < 0x20 ||
+          static_cast<unsigned char>(c) == 0x7f) {
         return Status::InvalidArgument("path contains control character: " +
                                        std::string(path));
       }

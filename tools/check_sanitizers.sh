@@ -19,9 +19,11 @@ ctest --preset asan-ubsan -j "$(nproc)" "$@"
 
 # ThreadSanitizer over the concurrency suite (the "concurrency" ctest
 # label): races in the fine-grained namespace locking, group-commit
-# journal, or staged report paths fail the run.
+# journal, staged report paths, or the fuzzy checkpoint walking the
+# namespace while mutators run fail the run.
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target metadata_concurrency_test
+cmake --build --preset tsan -j "$(nproc)" \
+    --target metadata_concurrency_test --target durability_test
 
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 ctest --preset tsan "$@"

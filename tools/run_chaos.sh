@@ -48,4 +48,21 @@ if [[ -n "${PIPELINE_BIN}" ]]; then
   done
   echo "pipeline chaos sweep clean (3 repetitions)"
 fi
+
+# Durability sweep: the metadata durability suite (segmented-journal
+# torn-tail recovery, fail-stop journaling, image-store atomicity,
+# fuzzy checkpoints racing mutations), then the seeded crash-recovery
+# chaos harness a few extra times. Each seed interleaves journal and
+# image faults (torn write, ENOSPC, image corruption, crash between
+# image tmp-write and rename) with a live checkpointer and asserts the
+# recovered namespace equals the acked state — zero acked-op loss.
+ctest --preset asan-ubsan -L durability -j "$(nproc)" "$@"
+DURABILITY_BIN=$(find build-asan -name durability_test -type f | head -n1)
+if [[ -n "${DURABILITY_BIN}" ]]; then
+  for rep in 1 2 3; do
+    "${DURABILITY_BIN}" --gtest_filter='DurabilityChaosTest.*' \
+      --gtest_brief=1 >/dev/null
+  done
+  echo "durability chaos sweep clean (3 repetitions)"
+fi
 echo "chaos pass clean"
