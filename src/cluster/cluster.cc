@@ -210,6 +210,18 @@ Result<int> Cluster::ExecuteCommands(
         break;
       }
       case WorkerCommand::Kind::kCopyReplica: {
+        // A failing target device (or a worker melting under a repair
+        // storm) drops the copy on the floor *after* acking the command:
+        // the master's in-flight entry must expire on its jittered
+        // deadline and reschedule elsewhere — and must never double-queue
+        // the same (block, target) while the cooldown holds.
+        if (faults_ != nullptr &&
+            !faults_->Check(fault::Site::kCopyStorm, target->id()).ok()) {
+          if (master_ != nullptr) {
+            (void)master_->AckCommand(target->id(), cmd.id);
+          }
+          break;
+        }
         bool copied = false;
         for (MediumId source : cmd.sources) {
           Worker* source_worker = WorkerForMedium(source);
@@ -335,6 +347,16 @@ Result<int> Cluster::PumpHeartbeats() {
         StopWorker(id);
         continue;
       }
+      // A decommissioning worker can die mid-drain; its remaining
+      // replicas lose their kDecommission head start and the next
+      // monitor round re-queues them as ordinary (or last-replica)
+      // repairs sourced from the survivors.
+      if (master_->worker_admin_state(id) ==
+              WorkerAdminState::kDecommissioning &&
+          !faults_->Check(fault::Site::kDecommissionCrash, id).ok()) {
+        StopWorker(id);
+        continue;
+      }
       // A dropped (or delayed past the round) heartbeat: the worker
       // neither reports stats nor receives commands this round.
       if (!faults_->Check(fault::Site::kHeartbeat, id).ok()) continue;
@@ -410,7 +432,19 @@ Result<int> Cluster::RunReplicationToQuiescence(int max_rounds) {
     if (master_ == nullptr) break;
     int queued = master_->RunReplicationMonitor();
     OCTO_ASSIGN_OR_RETURN(int executed, PumpHeartbeats());
-    if (queued == 0 && executed == 0) break;
+    if (queued == 0 && executed == 0) {
+      // Nothing dispatchable right now, but backoff delays and in-flight
+      // copy deadlines can unblock more work later. Advance virtual time
+      // to the next such instant and re-run; true quiescence is when no
+      // such instant exists (or time cannot be advanced).
+      int64_t next =
+          master_ != nullptr ? master_->NextRepairRetryMicros() : -1;
+      if (sim_ == nullptr || next < 0 || next <= clock_->NowMicros()) break;
+      // +2 µs: the micros -> seconds -> micros round-trip through the
+      // sim's double clock truncates, and landing short of `next` would
+      // spin this loop without progress.
+      sim_->RunUntil(static_cast<double>(next + 2) * 1e-6);
+    }
   }
   return rounds;
 }

@@ -21,8 +21,13 @@ Master::Master(MasterOptions options, Clock* clock)
       clock_(clock),
       rng_(options_.seed),
       tree_(std::make_unique<NamespaceTree>(clock)),
-      leases_(clock, options_.lease_duration_micros) {
+      leases_(clock, options_.lease_duration_micros),
+      repair_(options_.repair, options_.seed) {
   tree_->EnablePermissions(options_.enable_permissions);
+  // The in-flight copy deadline is the (jittered) replication timeout.
+  RepairThrottleOptions throttle = options_.repair;
+  throttle.copy_deadline_micros = options_.replication_timeout_micros;
+  repair_.set_options(throttle);
   if (!options_.metadata_dir.empty()) {
     auto opened = EditLog::OpenSegmented(options_.metadata_dir);
     OCTO_CHECK(opened.ok()) << opened.status().ToString();
@@ -419,7 +424,9 @@ Status Master::ApplyBlockReportLocked(WorkerId worker,
       if (std::find(record->locations.begin(), record->locations.end(),
                     medium) == record->locations.end()) {
         OCTO_RETURN_IF_ERROR(blocks_.AddReplica(r.block, medium));
-        inflight_copies_.erase({r.block, medium});
+        if (inflight_copies_.erase({r.block, medium}) > 0) {
+          repair_.NoteCompleted(r.block, medium);
+        }
       }
     }
     // Replicas the map believes are here but the worker no longer has.
@@ -434,6 +441,10 @@ Status Master::ApplyBlockReportLocked(WorkerId worker,
     for (auto it = inflight_copies_.begin(); it != inflight_copies_.end();) {
       if (it->first.second == medium && reported.count(it->first.first) == 0) {
         pending_moves_.erase(it->first);
+        // Charge a failed attempt (the target worker is likely sick) but
+        // no cooldown: ground truth says nothing is pending there.
+        repair_.NoteAborted(it->first.first, it->first.second,
+                            RepairAbort::kFailedReported, clock_->NowMicros());
         it = inflight_copies_.erase(it);
       } else {
         ++it;
@@ -467,8 +478,8 @@ std::vector<WorkerId> Master::CheckWorkerLiveness() {
       command_queues_.erase(queue);
       for (const QueuedCommand& queued : commands) {
         if (queued.command.kind == WorkerCommand::Kind::kCopyReplica) {
-          AbortInflightCopy(queued.command.block,
-                            queued.command.target_medium);
+          AbortInflightCopy(queued.command.block, queued.command.target_medium,
+                            RepairAbort::kTargetLost);
         }
       }
     }
@@ -1069,7 +1080,8 @@ void Master::HandleFailedMedium(MediumId medium) {
     if (commands.empty()) command_queues_.erase(queue);
     for (const QueuedCommand& queued : dropped) {
       if (queued.command.kind == WorkerCommand::Kind::kCopyReplica) {
-        AbortInflightCopy(queued.command.block, queued.command.target_medium);
+        AbortInflightCopy(queued.command.block, queued.command.target_medium,
+                          RepairAbort::kTargetLost);
       }
     }
   }
@@ -1078,7 +1090,9 @@ void Master::HandleFailedMedium(MediumId medium) {
   for (const auto& [key, when] : inflight_copies_) {
     if (key.second == medium) inflight.push_back(key.first);
   }
-  for (BlockId b : inflight) AbortInflightCopy(b, medium);
+  for (BlockId b : inflight) {
+    AbortInflightCopy(b, medium, RepairAbort::kTargetLost);
+  }
   if (in_safe_mode()) return;  // replicas were never adopted; nothing to drop
   // Drop its replicas — without queueing invalidations, the device being
   // unable to execute them — and repair from the surviving copies.
@@ -1216,6 +1230,16 @@ Status Master::SetReplication(const std::string& path,
   return CommitJournal();
 }
 
+Status Master::RequestMigration(const std::string& path,
+                                const ReplicationVector& rv) {
+  // Same journaled vector edit as SetReplication under the superuser:
+  // migration moves bytes between tiers without changing the total, so
+  // classification lands the copies in the kMisTiered bucket and every
+  // dispatch passes through the repair scheduler's budgets. There is no
+  // unbudgeted path for background byte movement.
+  return SetReplication(path, rv, UserContext{"root", {}});
+}
+
 Result<std::vector<StorageTierReport>> Master::GetStorageTierReports() const {
   std::lock_guard<std::mutex> service(service_mu_);
   return state_.TierReports();
@@ -1254,18 +1278,14 @@ void Master::PruneDeadReplicas(BlockRecord* record) {
 
 void Master::ExpireInflight() {
   int64_t now = clock_->NowMicros();
-  std::vector<std::pair<BlockId, MediumId>> expired;
-  for (const auto& [key, when] : inflight_copies_) {
-    if (now - when > options_.replication_timeout_micros) {
-      expired.push_back(key);
-    }
-  }
-  for (const auto& [block, target] : expired) {
-    AbortInflightCopy(block, target);
+  for (const auto& [block, target] : repair_.ExpiredCopies(now)) {
+    AbortInflightCopy(block, target, RepairAbort::kTimeout);
   }
 }
 
-void Master::AbortInflightCopy(BlockId block, MediumId target) {
+void Master::AbortInflightCopy(BlockId block, MediumId target,
+                               RepairAbort reason) {
+  repair_.NoteAborted(block, target, reason, clock_->NowMicros());
   // A move whose copy never confirmed: release the target reservation
   // and forget the move (the source replica was never touched).
   auto move = pending_moves_.find({block, target});
@@ -1297,91 +1317,234 @@ void Master::AbortInflightCopy(BlockId block, MediumId target) {
   if (commands.empty()) command_queues_.erase(queue);
 }
 
-int Master::ReconcileBlock(const BlockRecord& record) {
+void Master::ClassifyBlockLocked(const BlockRecord& record) {
   std::vector<MediumId> live = LiveLocations(record);
   const ReplicationVector& rv = record.expected;
 
-  // Per-tier replica counts, counting scheduled-but-unconfirmed copies so
-  // repeated monitor rounds do not double-schedule.
+  // Per-tier replica counts. Replicas on draining workers are tracked
+  // separately: still readable (and the best copy sources) but no longer
+  // counting toward the replication factor — their deficits drive
+  // decommission-priority copies. Scheduled-but-unconfirmed copies count
+  // so repeated rounds do not double-schedule.
   std::array<int, 8> actual{};
-  std::vector<MediumId> existing = live;
+  std::array<int, 8> draining{};
+  std::vector<MediumId> draining_media;
   for (MediumId m : live) {
     const MediumInfo* info = state_.FindMedium(m);
-    if (info != nullptr) actual[info->tier & 7]++;
+    if (info == nullptr) continue;
+    if (state_.WorkerDraining(info->worker)) {
+      draining[info->tier & 7]++;
+      draining_media.push_back(m);
+    } else {
+      actual[info->tier & 7]++;
+    }
   }
   bool copies_in_flight = false;
+  int inflight_count = 0;
   for (const auto& [key, when] : inflight_copies_) {
     if (key.first != record.id) continue;
     const MediumInfo* info = state_.FindMedium(key.second);
     if (info == nullptr || !state_.MediumLive(key.second)) continue;
     copies_in_flight = true;
+    ++inflight_count;
     actual[info->tier & 7]++;
-    existing.push_back(key.second);
   }
-
-  int commands = 0;
-  int copies_scheduled = 0;
-  auto schedule_copy = [&](TierId entry_tier) {
-    PlacementRequest request;
-    request.rep_vector = ReplicationVector();
-    request.rep_vector.Set(entry_tier, 1);
-    request.block_size = record.length;
-    request.existing = existing;
-    auto placed = placement_->PlaceReplicas(state_, request, &rng_);
-    if (!placed.ok() || placed->empty()) return false;
-    MediumId target = placed->front();
-    WorkerCommand cmd;
-    cmd.kind = WorkerCommand::Kind::kCopyReplica;
-    cmd.block = record.id;
-    cmd.target_medium = target;
-    cmd.genstamp = record.genstamp;
-    // The receiving worker copies from the most efficient source
-    // (paper §5: the new host "will utilize the data retrieval policy").
-    const MediumInfo* target_info = state_.FindMedium(target);
-    cmd.sources = retrieval_->OrderReplicas(
-        state_, target_info != nullptr ? target_info->location
-                                       : NetworkLocation(),
-        live, &rng_);
-    QueueCommand(target, std::move(cmd));
-    inflight_copies_[{record.id, target}] = clock_->NowMicros();
-    existing.push_back(target);
-    if (target_info != nullptr) actual[target_info->tier & 7]++;
-    ++commands;
-    ++copies_scheduled;
-    return true;
-  };
 
   if (live.empty()) {
     // Nothing to copy from; if every replica is gone the block is lost
     // (lineage/erasure recovery is out of scope, as in stock HDFS).
-    return 0;
+    repair_.ClearBackoff(record.id);
+    return;
   }
+
+  int total_actual = 0;
+  int total_expected = rv.unspecified();
+  for (TierId t = 0; t < kMaxTiers; ++t) {
+    total_actual += actual[t];
+    total_expected += rv.Get(t);
+  }
+  // One live replica anywhere (draining ones included — they still hold
+  // the bytes) means data loss is one failure away.
+  bool last_replica = static_cast<int>(live.size()) + inflight_count <= 1;
+
+  int copies_needed = 0;
+  auto classify_copy = [&](TierId entry_tier, bool drain_covered) {
+    RepairWork work;
+    work.block = record.id;
+    work.tier = entry_tier;
+    RepairPriority base;
+    if (last_replica) {
+      base = RepairPriority::kLastReplica;
+    } else if (drain_covered) {
+      base = RepairPriority::kDecommission;
+    } else if (total_actual >= total_expected) {
+      // The count is right, the tiers are wrong: a migration (the
+      // tiering engine's vector edits land here).
+      base = RepairPriority::kMisTiered;
+    } else {
+      base = RepairPriority::kUnderReplicated;
+    }
+    work.priority = repair_.EscalatedPriority(record.id, base);
+    repair_.Enqueue(work);
+    ++copies_needed;
+  };
 
   // 1. Deficits on explicitly requested tiers.
   for (TierId t = 0; t < kMaxTiers; ++t) {
-    for (int d = actual[t]; d < rv.Get(t); ++d) {
-      if (!schedule_copy(t)) break;
+    int deficit = rv.Get(t) - actual[t];
+    int drain_cover = std::min(deficit, draining[t]);
+    for (int d = 0; d < deficit; ++d) {
+      classify_copy(t, d < drain_cover);
     }
   }
   // 2. Surplus replicas beyond each tier's request count toward U.
   int total_extra = 0;
+  int draining_spare = 0;
   for (TierId t = 0; t < kMaxTiers; ++t) {
     total_extra += std::max(0, actual[t] - rv.Get(t));
+    draining_spare += std::max(0, draining[t] - std::max(0, rv.Get(t) -
+                                                                actual[t]));
   }
   int u_deficit = rv.unspecified() - total_extra;
+  int drain_cover_u = std::min(std::max(0, u_deficit), draining_spare);
   for (int d = 0; d < u_deficit; ++d) {
-    if (!schedule_copy(kUnspecifiedTier)) break;
+    classify_copy(kUnspecifiedTier, d < drain_cover_u);
   }
-  // 3. Over-replication: drop from the tier with the largest surplus
-  // (paper §5: evaluate each removal with Eq. 11, keep the best set).
-  // Never invalidate while copies of this block are unconfirmed —
-  // including ones scheduled just above: the replica to be dropped may be
-  // the only usable copy source. The deletion happens on a later monitor
-  // round, once the copies land (HDFS likewise never invalidates a
+
+  if (copies_needed == 0 && !copies_in_flight) {
+    // Healthy (possibly over-replicated): forget any failure history.
+    repair_.ClearBackoff(record.id);
+  }
+
+  // 3. Over-replication: trim, but never while copies of this block are
+  // unconfirmed — including ones classified just above: the replica to
+  // be dropped may be the only usable copy source. The trim happens on a
+  // later round, once the copies land (HDFS likewise never invalidates a
   // re-replication source).
-  int excess =
-      (copies_in_flight || copies_scheduled > 0) ? 0 : -u_deficit;
-  while (excess > 0) {
+  if (copies_in_flight || copies_needed > 0) return;
+  int excess = -u_deficit;
+  for (int i = 0; i < excess; ++i) {
+    RepairWork work;
+    work.block = record.id;
+    work.priority = RepairPriority::kOverReplicated;
+    work.is_trim = true;
+    repair_.Enqueue(work);
+  }
+  // 4. Drain trims: every requirement is met by in-service replicas
+  // alone, so replicas still sitting on draining workers are now
+  // redundant — delete them so the drain can finish.
+  for (MediumId m : draining_media) {
+    RepairWork work;
+    work.block = record.id;
+    work.priority = RepairPriority::kDecommission;
+    work.is_trim = true;
+    work.drain = true;
+    work.victim = m;
+    repair_.Enqueue(work);
+  }
+}
+
+int Master::DispatchCopyLocked(const RepairWork& work) {
+  const BlockRecord* record = blocks_.Find(work.block);
+  if (record == nullptr) return 0;
+  int64_t now = clock_->NowMicros();
+  if (repair_.InBackoff(work.block, now)) {
+    ++repair_.stats().backoff_deferred;
+    return 0;
+  }
+  std::vector<MediumId> live = LiveLocations(*record);
+  if (live.empty()) return 0;
+  // Exclude from placement: every existing replica, every in-flight
+  // target, and every target still cooling down after an expired copy
+  // (the expired copy may yet land; re-picking the same target would
+  // double-queue). Draining media are excluded by the placement indexes
+  // themselves.
+  std::vector<MediumId> existing = live;
+  for (const auto& [key, when] : inflight_copies_) {
+    if (key.first == work.block) existing.push_back(key.second);
+  }
+  for (MediumId m : repair_.CooldownTargets(work.block, now)) {
+    existing.push_back(m);
+  }
+  PlacementRequest request;
+  request.rep_vector.Set(work.tier, 1);
+  request.block_size = record->length;
+  request.existing = std::move(existing);
+  // Scheduled-size accounting (as in HDFS): charge every in-flight
+  // repair copy's bytes against its target medium for the duration of
+  // this placement decision. Concurrent repairs then spread across
+  // targets instead of piling onto the emptiest medium, and a medium
+  // cannot be over-committed by copies that have not landed yet.
+  std::vector<std::pair<MediumId, int64_t>> charged;
+  charged.reserve(repair_.medium_bytes_inflight().size());
+  for (const auto& [m, bytes] : repair_.medium_bytes_inflight()) {
+    if (state_.AdjustMediumRemaining(m, -bytes).ok()) {
+      charged.emplace_back(m, bytes);
+    }
+  }
+  auto placed = placement_->PlaceReplicas(state_, request, &rng_);
+  for (const auto& [m, bytes] : charged) {
+    (void)state_.AdjustMediumRemaining(m, bytes);
+  }
+  if (!placed.ok() || placed->empty()) return 0;
+  MediumId target = placed->front();
+  const MediumInfo* target_info = state_.FindMedium(target);
+  if (target_info == nullptr) return 0;
+  if (!repair_.CanDispatch(target_info->worker, target, record->length)) {
+    // Budget full: drop the item; the next round re-derives and retries
+    // it once completions free the budget. Deferral is visible, never a
+    // silent loss.
+    ++repair_.stats().deferred;
+    return 0;
+  }
+  WorkerCommand cmd;
+  cmd.kind = WorkerCommand::Kind::kCopyReplica;
+  cmd.block = record->id;
+  cmd.target_medium = target;
+  cmd.genstamp = record->genstamp;
+  cmd.repair_priority = static_cast<int8_t>(work.priority);
+  // The receiving worker copies from the most efficient source
+  // (paper §5: the new host "will utilize the data retrieval policy").
+  cmd.sources =
+      retrieval_->OrderReplicas(state_, target_info->location, live, &rng_);
+  QueueCommand(target, std::move(cmd));
+  inflight_copies_[{record->id, target}] = now;
+  repair_.NoteDispatched(record->id, target, target_info->worker,
+                         record->length, work.priority, now);
+  return 1;
+}
+
+int Master::DispatchTrimLocked(const RepairWork& work) {
+  const BlockRecord* record = blocks_.Find(work.block);
+  if (record == nullptr) return 0;
+  MediumId victim = kInvalidMedium;
+  if (work.drain) {
+    // The victim was chosen at classification time: a redundant replica
+    // on a draining worker.
+    if (std::find(record->locations.begin(), record->locations.end(),
+                  work.victim) == record->locations.end()) {
+      return 0;
+    }
+    victim = work.victim;
+  } else {
+    // Re-derive the surplus victim from current state: earlier trims of
+    // the same block in this round already shrank its location list.
+    const ReplicationVector& rv = record->expected;
+    std::vector<MediumId> live;
+    std::array<int, 8> actual{};
+    for (MediumId m : LiveLocations(*record)) {
+      const MediumInfo* info = state_.FindMedium(m);
+      if (info == nullptr || state_.WorkerDraining(info->worker)) continue;
+      live.push_back(m);
+      actual[info->tier & 7]++;
+    }
+    int total_extra = 0;
+    for (TierId t = 0; t < kMaxTiers; ++t) {
+      total_extra += std::max(0, actual[t] - rv.Get(t));
+    }
+    if (rv.unspecified() - total_extra >= 0) return 0;  // no longer surplus
+    // Drop from the tier with the largest surplus (paper §5: evaluate
+    // each removal with Eq. 11, keep the best set).
     TierId victim_tier = kUnspecifiedTier;
     int max_extra = 0;
     for (TierId t = 0; t < kMaxTiers; ++t) {
@@ -1391,23 +1554,41 @@ int Master::ReconcileBlock(const BlockRecord& record) {
         victim_tier = t;
       }
     }
-    if (victim_tier == kUnspecifiedTier) break;
-    auto victim =
-        SelectReplicaToRemove(state_, live, victim_tier, record.length);
-    if (!victim.ok()) break;
-    WorkerCommand cmd;
-    cmd.kind = WorkerCommand::Kind::kDeleteReplica;
-    cmd.block = record.id;
-    cmd.target_medium = *victim;
-    QueueCommand(*victim, std::move(cmd));
-    OCTO_CHECK_OK(blocks_.RemoveReplica(record.id, *victim));
-    (void)state_.AdjustMediumRemaining(*victim, record.length);
-    live.erase(std::find(live.begin(), live.end(), *victim));
-    actual[victim_tier]--;
-    --excess;
-    ++commands;
+    if (victim_tier == kUnspecifiedTier) return 0;
+    auto selected =
+        SelectReplicaToRemove(state_, live, victim_tier, record->length);
+    if (!selected.ok()) return 0;
+    victim = *selected;
+  }
+  WorkerCommand cmd;
+  cmd.kind = WorkerCommand::Kind::kDeleteReplica;
+  cmd.block = record->id;
+  cmd.target_medium = victim;
+  cmd.repair_priority = static_cast<int8_t>(work.priority);
+  QueueCommand(victim, std::move(cmd));
+  OCTO_CHECK_OK(blocks_.RemoveReplica(record->id, victim));
+  (void)state_.AdjustMediumRemaining(victim, record->length);
+  if (work.drain) {
+    ++repair_.stats().drained_replicas;
+  } else {
+    ++repair_.stats().trims;
+  }
+  return 1;
+}
+
+int Master::DispatchRepairsLocked() {
+  int commands = 0;
+  RepairWork work;
+  while (repair_.PopNext(&work)) {
+    commands += work.is_trim ? DispatchTrimLocked(work)
+                             : DispatchCopyLocked(work);
   }
   return commands;
+}
+
+int Master::ReconcileBlock(const BlockRecord& record) {
+  ClassifyBlockLocked(record);
+  return DispatchRepairsLocked();
 }
 
 int Master::RunReplicationMonitor() {
@@ -1420,23 +1601,52 @@ int Master::RunReplicationMonitorLocked() {
   // delete the wrong things; wait for safe-mode exit.
   if (in_safe_mode()) return 0;
   ExpireInflight();
-  int commands = 0;
+  // Phase 1: classify every block into the scheduler's priority buckets
+  // (transient — re-derived from block-map ground truth each round, so
+  // the queue can never go stale).
+  repair_.ClearQueue();
   std::vector<BlockId> ids;
   blocks_.ForEach(
       [&ids](const BlockRecord& record) { ids.push_back(record.id); });
   for (BlockId id : ids) {
-    // Re-find each round: reconciliation mutates location lists.
+    // Re-find each round: pruning mutates location lists.
     BlockRecord* record = blocks_.FindMutable(id);
     if (record == nullptr) continue;
     PruneDeadReplicas(record);
-    commands += ReconcileBlock(*record);
+    ClassifyBlockLocked(*record);
   }
+  // Phase 2: one dispatch pass over all queued work in global priority
+  // order — a last-replica block anywhere beats every decommission
+  // drain, which beats plain under-replication, and so on — under the
+  // per-worker / per-medium budgets.
+  int commands = DispatchRepairsLocked();
+  AdvanceDrainsLocked();
   return commands;
+}
+
+void Master::AdvanceDrainsLocked() {
+  for (auto& [id, admin] : admin_states_) {
+    if (admin != WorkerAdminState::kDecommissioning) continue;
+    bool empty = true;
+    for (MediumId m : state_.MediaOnWorker(id)) {
+      if (!blocks_.BlocksOnMedium(m).empty()) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      admin = WorkerAdminState::kDecommissioned;
+      OCTO_LOG(Info) << "worker " << id
+                     << " fully drained; decommission complete";
+    }
+  }
 }
 
 Status Master::CommitReplica(BlockId block, MediumId medium) {
   std::lock_guard<std::mutex> service(service_mu_);
-  inflight_copies_.erase({block, medium});
+  if (inflight_copies_.erase({block, medium}) > 0) {
+    repair_.NoteCompleted(block, medium);
+  }
   Status st = blocks_.AddReplica(block, medium);
   if (!st.ok() && !st.IsAlreadyExists()) return st;
   const BlockRecord* record = blocks_.Find(block);
@@ -1504,18 +1714,33 @@ Status Master::ScheduleReplicaMove(BlockId block, MediumId from) {
                            std::to_string(block));
   }
   MediumId target = placed.front();
+  const MediumInfo* target_info = state_.FindMedium(target);
+  // Rebalancer moves are the least urgent byte movement there is: they
+  // share the repair budgets and yield when repair work has them busy.
+  if (target_info != nullptr &&
+      !repair_.CanDispatch(target_info->worker, target, record->length)) {
+    ++repair_.stats().deferred;
+    return Status::Unavailable("repair budget exhausted for worker " +
+                               std::to_string(target_info->worker) +
+                               "; retry the move later");
+  }
   WorkerCommand cmd;
   cmd.kind = WorkerCommand::Kind::kCopyReplica;
   cmd.block = block;
   cmd.target_medium = target;
   cmd.genstamp = record->genstamp;
-  const MediumInfo* target_info = state_.FindMedium(target);
+  cmd.repair_priority = static_cast<int8_t>(RepairPriority::kMisTiered);
   cmd.sources = retrieval_->OrderReplicas(
       state_,
       target_info != nullptr ? target_info->location : NetworkLocation(),
       LiveLocations(*record), &rng_);
   QueueCommand(target, std::move(cmd));
-  inflight_copies_[{block, target}] = clock_->NowMicros();
+  int64_t now = clock_->NowMicros();
+  inflight_copies_[{block, target}] = now;
+  if (target_info != nullptr) {
+    repair_.NoteDispatched(block, target, target_info->worker, record->length,
+                           RepairPriority::kMisTiered, now);
+  }
   pending_moves_[{block, target}] = from;
   // Reserve the target's space now so moves scheduled in the same pass
   // spread across targets instead of piling onto one medium.
@@ -1617,6 +1842,11 @@ Status Master::LoadImageInternal(const std::string& image,
   command_queues_.clear();
   deferred_orphans_.clear();
   lost_blocks_.clear();
+  // The block map the scheduler mirrored is gone; budgets, backoff, and
+  // cooldowns with it. Admin states too: operators re-issue drains
+  // against the recovered master.
+  repair_.Reset();
+  admin_states_.clear();
   // Until the surviving workers re-report, every replica location is
   // unknown: hold off on placement and re-replication decisions.
   safe_mode_block_target_.store(blocks_.NumBlocks(),
@@ -1746,6 +1976,15 @@ Result<int64_t> Master::WriteCheckpoint() {
     clear_active();
   }
   OCTO_RETURN_IF_ERROR(images_->WriteImage(txid, image));
+  // Read-back verification before this image is allowed to gate a journal
+  // purge: an image corrupted on write (kImageCorrupt) otherwise becomes
+  // a retained fallback that cannot actually be loaded — and if it is the
+  // *oldest* retained image, the purge below destroys the only journal
+  // prefix a from-scratch replay would need. Recovery skips the damaged
+  // file either way; the purge must not trust it.
+  if (auto verified = images_->ReadImage(txid); !verified.ok()) {
+    return verified.status();
+  }
   log_->MarkCheckpointed(txid);
   // Segments below the *oldest* retained image stay unreachable by every
   // fallback chain and can go.
@@ -1946,6 +2185,96 @@ std::vector<std::pair<BlockId, MediumId>> Master::InflightCopiesForTest()
   out.reserve(inflight_copies_.size());
   for (const auto& [key, when] : inflight_copies_) out.push_back(key);
   return out;
+}
+
+std::vector<WorkerCommand> Master::QueuedCommandsForTest(
+    WorkerId worker) const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  std::vector<WorkerCommand> out;
+  auto it = command_queues_.find(worker);
+  if (it != command_queues_.end()) {
+    out.reserve(it->second.size());
+    for (const QueuedCommand& queued : it->second) {
+      out.push_back(queued.command);
+    }
+  }
+  return out;
+}
+
+RepairStats Master::repair_stats() const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return repair_.stats();
+}
+
+int Master::RepairInflightForWorker(WorkerId worker) const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return repair_.WorkerInflight(worker);
+}
+
+int64_t Master::NextRepairRetryMicros() const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  return repair_.NextRetryMicros(clock_->NowMicros());
+}
+
+// ---------------------------------------------------------------------------
+// Worker lifecycle (graceful decommission / maintenance)
+
+Status Master::StartDecommission(WorkerId worker) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (state_.FindWorker(worker) == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  WorkerAdminState& admin = admin_states_[worker];
+  if (admin == WorkerAdminState::kDecommissioned) {
+    return Status::FailedPrecondition("worker " + std::to_string(worker) +
+                                      " is already decommissioned");
+  }
+  admin = WorkerAdminState::kDecommissioning;
+  OCTO_RETURN_IF_ERROR(state_.SetWorkerDraining(worker, true));
+  OCTO_LOG(Info) << "worker " << worker << " decommissioning";
+  return Status::OK();
+}
+
+Status Master::StartMaintenance(WorkerId worker) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (state_.FindWorker(worker) == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  WorkerAdminState& admin = admin_states_[worker];
+  if (admin == WorkerAdminState::kDecommissioned) {
+    return Status::FailedPrecondition("worker " + std::to_string(worker) +
+                                      " is already decommissioned");
+  }
+  admin = WorkerAdminState::kMaintenance;
+  OCTO_RETURN_IF_ERROR(state_.SetWorkerDraining(worker, true));
+  OCTO_LOG(Info) << "worker " << worker << " entering maintenance";
+  return Status::OK();
+}
+
+Status Master::Recommission(WorkerId worker) {
+  std::lock_guard<std::mutex> service(service_mu_);
+  if (state_.FindWorker(worker) == nullptr) {
+    return Status::NotFound("worker " + std::to_string(worker));
+  }
+  admin_states_.erase(worker);
+  OCTO_RETURN_IF_ERROR(state_.SetWorkerDraining(worker, false));
+  OCTO_LOG(Info) << "worker " << worker << " back in service";
+  return Status::OK();
+}
+
+WorkerAdminState Master::worker_admin_state(WorkerId worker) const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  auto it = admin_states_.find(worker);
+  return it == admin_states_.end() ? WorkerAdminState::kInService
+                                   : it->second;
+}
+
+bool Master::WorkerDrained(WorkerId worker) const {
+  std::lock_guard<std::mutex> service(service_mu_);
+  for (MediumId m : state_.MediaOnWorker(worker)) {
+    if (!blocks_.BlocksOnMedium(m).empty()) return false;
+  }
+  return true;
 }
 
 }  // namespace octo

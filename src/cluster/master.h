@@ -13,6 +13,7 @@
 
 #include "cluster/block_manager.h"
 #include "cluster/messages.h"
+#include "cluster/repair_scheduler.h"
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -78,13 +79,33 @@ struct FileAccessStat {
   int64_t bytes_read = 0;
 };
 
+/// Administrative lifecycle of a worker (orthogonal to liveness, which
+/// heartbeats drive). Draining states keep the worker serving reads and
+/// acting as a copy source while the repair scheduler evacuates its
+/// replicas through the throttled pipeline.
+enum class WorkerAdminState : int8_t {
+  kInService = 0,
+  /// Permanent removal: drains, then auto-transitions to
+  /// kDecommissioned once no replica remains on its media.
+  kDecommissioning = 1,
+  /// Temporary drain (kernel upgrade, disk swap): like decommissioning
+  /// but never auto-finishes; Recommission returns it to service.
+  kMaintenance = 2,
+  /// Fully drained; safe to stop the process.
+  kDecommissioned = 3,
+};
+
 struct MasterOptions {
   /// Single-writer lease duration for files under construction.
   int64_t lease_duration_micros = 60 * kMicrosPerSecond;
   /// A worker missing heartbeats for this long is declared dead.
   int64_t worker_timeout_micros = 30 * kMicrosPerSecond;
-  /// A queued replication command not confirmed within this window is
-  /// re-issued by the replication monitor.
+  /// Base deadline for an in-flight repair copy: a dispatched
+  /// kCopyReplica not committed within this window (multiplied by the
+  /// repair scheduler's seeded jitter in [0.75, 1.0) so mass-failure
+  /// expirations never fire in lockstep) is abandoned, the block enters
+  /// exponential backoff, and the copy is re-placed on the next monitor
+  /// round.
   int64_t replication_timeout_micros = 60 * kMicrosPerSecond;
   /// A command delivered in a heartbeat response but not acknowledged
   /// (Master::AckCommand) within this window is redelivered on the next
@@ -121,6 +142,15 @@ struct MasterOptions {
   /// the right choice for 1000+ worker clusters. Ignored after
   /// SetPlacementPolicy installs a custom policy.
   PlacementMode placement_mode = PlacementMode::kExhaustive;
+  /// Throttle model of the repair plane (the unified repair/migration
+  /// scheduler every background copy — re-replication, decommission
+  /// drain, tiering migration, rebalancer move — is dispatched
+  /// through): per-worker in-flight caps, per-medium bytes budgets,
+  /// jittered deadlines, seeded-jittered exponential backoff, bounded
+  /// retry budgets, and expired-target cooldowns. The defaults are
+  /// deliberately generous (they only bite during storms); chaos tests
+  /// and the repair bench tighten them explicitly.
+  RepairThrottleOptions repair;
 };
 
 /// The OctopusFS (Primary) Master (paper §2.1): owns the directory
@@ -205,6 +235,26 @@ class Master {
   Status ReRegisterMedium(WorkerId worker, MediumId id,
                           const MediumSpec& spec,
                           const ProfiledRates& profiled);
+
+  // -- worker lifecycle (graceful decommission / maintenance) ---------------
+
+  /// Starts draining `worker` for permanent removal: its media leave the
+  /// placement indexes, every replica on them stops counting toward
+  /// replication factors (driving decommission-priority copies through
+  /// the repair scheduler), and the worker keeps serving reads and
+  /// sourcing copies until the drain completes, at which point it
+  /// auto-transitions to kDecommissioned. FailedPrecondition if the
+  /// worker is already decommissioned.
+  Status StartDecommission(WorkerId worker);
+  /// Same drain, but for a temporary outage: the state stays
+  /// kMaintenance until Recommission.
+  Status StartMaintenance(WorkerId worker);
+  /// Returns a draining (or drained) worker to service; its media
+  /// rejoin the placement indexes and its replicas count again.
+  Status Recommission(WorkerId worker);
+  WorkerAdminState worker_admin_state(WorkerId worker) const;
+  /// True when no block replica remains on any medium of `worker`.
+  bool WorkerDrained(WorkerId worker) const;
 
   // -- heartbeats, reports, liveness ----------------------------------------
 
@@ -360,6 +410,16 @@ class Master {
   Status SetReplication(const std::string& path, const ReplicationVector& rv,
                         const UserContext& ctx);
 
+  /// Changes a file's replication vector on behalf of a background
+  /// mover (the tiering engine): same journaled vector edit as
+  /// SetReplication, but the resulting copies are classified as
+  /// mis-tiered migrations and dispatched through the repair
+  /// scheduler's budgets, so migration bandwidth shares the one repair
+  /// budget and yields to more urgent work. Superuser semantics (no
+  /// permission checks beyond existence).
+  Status RequestMigration(const std::string& path,
+                          const ReplicationVector& rv);
+
   Result<std::vector<StorageTierReport>> GetStorageTierReports() const;
 
   // -- replication monitor --------------------------------------------------------
@@ -509,6 +569,18 @@ class Master {
   /// Snapshot of in-flight copy targets (block, target medium), for tests.
   std::vector<std::pair<BlockId, MediumId>> InflightCopiesForTest() const;
 
+  /// Copy of the queued (unacknowledged) commands for one worker.
+  std::vector<WorkerCommand> QueuedCommandsForTest(WorkerId worker) const;
+
+  /// Snapshot of the repair plane's counters (see RepairStats).
+  RepairStats repair_stats() const;
+  /// In-flight repair copies currently targeting `worker`'s media.
+  int RepairInflightForWorker(WorkerId worker) const;
+  /// Earliest time a backed-off block becomes dispatchable again, or -1
+  /// when nothing is in backoff. Drivers (and the sim quiescence loop)
+  /// can sleep exactly until then instead of polling.
+  int64_t NextRepairRetryMicros() const;
+
  private:
   struct PendingBlock {
     std::string file;
@@ -548,18 +620,39 @@ class Master {
       const std::vector<MediumId>& good_media);
 
   void QueueCommand(MediumId target_medium, WorkerCommand command);
-  /// Releases all bookkeeping for a copy that will never confirm: the
+  /// Releases all bookkeeping for a copy that was abandoned: the
   /// move-target space reservation, the pending move, the in-flight
-  /// entry, and any still-queued kCopyReplica command for it.
-  void AbortInflightCopy(BlockId block, MediumId target);
-  /// Generates copy/delete commands to reconcile one block's replicas
-  /// with its expected vector. Returns commands queued.
+  /// entry, the scheduler's budget charge, and any still-queued
+  /// kCopyReplica command for it. `reason` decides the scheduler's
+  /// penalty (backoff / cooldown / none — see RepairAbort).
+  void AbortInflightCopy(BlockId block, MediumId target, RepairAbort reason);
+  /// Classifies one block's replica state against its expected vector
+  /// and enqueues the needed copies/trims into the repair scheduler's
+  /// priority buckets (nothing is dispatched yet). Clears the block's
+  /// backoff state when it is healthy.
+  void ClassifyBlockLocked(const BlockRecord& record);
+  /// Drains the scheduler's queue in priority order, dispatching each
+  /// item that passes the backoff gate and the worker/medium budgets as
+  /// a worker command. Returns commands queued.
+  int DispatchRepairsLocked();
+  /// Classify + dispatch for a single block (the reconcile entry point
+  /// used by commit/report/failure paths). Returns commands queued.
   int ReconcileBlock(const BlockRecord& record);
+  /// Dispatches one queued copy (placement, budgets, command, in-flight
+  /// accounting). Returns commands queued (0 when gated or placement
+  /// found no target).
+  int DispatchCopyLocked(const RepairWork& work);
+  /// Dispatches one queued trim (delete `work.victim`).
+  int DispatchTrimLocked(const RepairWork& work);
+  /// Moves kDecommissioning workers whose media hold no more replicas to
+  /// kDecommissioned (called after a monitor round).
+  void AdvanceDrainsLocked();
   /// Prunes replicas on dead workers from a block record.
   void PruneDeadReplicas(BlockRecord* record);
   std::vector<MediumId> LiveLocations(const BlockRecord& record) const;
   PlacedReplica MakePlacedReplica(MediumId medium) const;
-  /// Expires in-flight replication entries older than the timeout.
+  /// Abandons in-flight copies whose jittered deadline has passed
+  /// (charging backoff + target cooldown through the scheduler).
   void ExpireInflight();
   /// Unavailable while in safe mode or after a journal failure, OK
   /// otherwise (mutation gate).
@@ -686,6 +779,13 @@ class Master {
   /// (block, copy target) -> source medium to invalidate once the copy
   /// confirms (replica moves scheduled by the rebalancer).
   std::map<std::pair<BlockId, MediumId>, MediumId> pending_moves_;
+  /// The unified repair/migration scheduler (priority buckets, budgets,
+  /// backoff). Guarded by service_mu_ like the maps it mirrors; passive
+  /// (never takes locks, never calls back into the master).
+  RepairScheduler repair_;
+  /// Administrative lifecycle per worker; absent = kInService. Guarded
+  /// by service_mu_; the draining flag is mirrored into state_.
+  std::map<WorkerId, WorkerAdminState> admin_states_;
 
   /// Fencing epoch stamped on every issued command and checked against
   /// heartbeats/reports. 1 on a fresh master; bumped at takeover.

@@ -87,6 +87,10 @@ struct WorkerCommand {
   /// kCopyReplica: the genstamp the copied replica must carry.
   /// kRecoverBlock: the recovery genstamp to stamp survivors with.
   uint64_t genstamp = 0;
+  /// kCopyReplica: the RepairPriority bucket this copy was dispatched
+  /// from (-1 = not a repair-plane dispatch). Observability only; workers
+  /// execute commands in delivery order.
+  int8_t repair_priority = -1;
 };
 
 /// One replica location handed to clients: which medium/worker/tier hosts

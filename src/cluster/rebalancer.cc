@@ -85,6 +85,11 @@ Result<RebalanceReport> Rebalancer::Run() {
         scheduled += record->length;
         report.bytes_scheduled += record->length;
         report.moves_scheduled++;
+      } else if (st.IsUnavailable()) {
+        // Repair-plane budget exhausted: rebalancing yields the leftover
+        // bandwidth rather than failing the round. Later rounds retry.
+        report.moves_deferred++;
+        break;
       } else if (!st.IsAlreadyExists() && !st.IsNoSpace()) {
         return st;
       }

@@ -23,6 +23,9 @@ struct RebalanceReport {
   int64_t bytes_scheduled = 0;
   /// Media that were over the threshold before the pass.
   int overfull_media = 0;
+  /// Moves skipped because the repair plane's transfer budget was
+  /// exhausted; they are re-derived on a later pass.
+  int moves_deferred = 0;
 };
 
 /// Tier-aware data rebalancer — the cluster-maintenance counterpart of

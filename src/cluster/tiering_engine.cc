@@ -181,7 +181,11 @@ Status TieringEngine::MoveToLevel(const std::string& path, FileState* state,
     rv.Set(target_tier, rv.Get(target_tier) + 1);
   }
 
-  Status st = master_->SetReplication(path, rv, kSuperuser);
+  // RequestMigration, not bare SetReplication: the resulting copies are
+  // dispatched through the repair scheduler's per-worker/per-medium
+  // budgets, so tiering migrations share bandwidth with (and yield to)
+  // re-replication instead of bypassing throttle control.
+  Status st = master_->RequestMigration(path, rv);
   if (st.IsFailedPrecondition() || st.IsNotFound()) return Status::OK();
   OCTO_RETURN_IF_ERROR(st);
 

@@ -236,7 +236,9 @@ Status ClusterState::AddMedium(MediumInfo medium) {
   const MediumInfo& m = media_slab_[slot];
   media_index_[m.id] = slot;
   IndexInsert(&worker_media_[m.worker], slot);
-  if (wit->second.alive && !m.failed) OnMediumBecomesLive(slot);
+  if (wit->second.alive && !wit->second.draining && !m.failed) {
+    OnMediumBecomesLive(slot);
+  }
   return Status::OK();
 }
 
@@ -246,10 +248,11 @@ Status ClusterState::RemoveWorker(WorkerId id) {
     return Status::NotFound("worker " + std::to_string(id));
   }
   const bool was_alive = wit->second.alive;
+  const bool was_placeable = was_alive && !wit->second.draining;
   auto mit = worker_media_.find(id);
   if (mit != worker_media_.end()) {
     for (uint32_t slot : mit->second) {
-      if (was_alive && !media_slab_[slot].failed) OnMediumBecomesDead(slot);
+      if (was_placeable && !media_slab_[slot].failed) OnMediumBecomesDead(slot);
       media_index_.erase(media_slab_[slot].id);
       free_slots_.push_back(slot);
     }
@@ -275,7 +278,7 @@ Status ClusterState::UpdateMediumStats(MediumId id, int64_t remaining_bytes,
   if (m == nullptr) {
     return Status::NotFound("medium " + std::to_string(id));
   }
-  if (MediumLive(id)) {
+  if (MediumInPlacement(id)) {
     HistRemove(m->nr_connections);
     HistInsert(nr_connections);
     double f_old = m->remaining_fraction();
@@ -332,9 +335,10 @@ Status ClusterState::SetWorkerAlive(WorkerId id, bool alive) {
   if (mit != worker_media_.end()) {
     for (uint32_t slot : mit->second) {
       // Failed media were already removed from the live indexes when
-      // their failure was recorded; flipping the worker must not
-      // double-insert or double-erase them.
-      if (media_slab_[slot].failed) continue;
+      // their failure was recorded, and a draining worker's media left
+      // the indexes when the drain started; flipping the worker must
+      // not double-insert or double-erase either.
+      if (media_slab_[slot].failed || w.draining) continue;
       if (alive) {
         OnMediumBecomesLive(slot);
       } else {
@@ -343,6 +347,37 @@ Status ClusterState::SetWorkerAlive(WorkerId id, bool alive) {
     }
   }
   return Status::OK();
+}
+
+Status ClusterState::SetWorkerDraining(WorkerId id, bool draining) {
+  auto it = workers_.find(id);
+  if (it == workers_.end()) {
+    return Status::NotFound("worker " + std::to_string(id));
+  }
+  WorkerInfo& w = it->second;
+  if (w.draining == draining) return Status::OK();
+  w.draining = draining;
+  // Draining only moves media in and out of the placement candidate
+  // indexes; liveness (and with it readability, MediumLive) is
+  // untouched, so a dead or failed medium has no transition to make.
+  if (!w.alive) return Status::OK();
+  auto mit = worker_media_.find(id);
+  if (mit != worker_media_.end()) {
+    for (uint32_t slot : mit->second) {
+      if (media_slab_[slot].failed) continue;
+      if (draining) {
+        OnMediumBecomesDead(slot);
+      } else {
+        OnMediumBecomesLive(slot);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool ClusterState::WorkerDraining(WorkerId id) const {
+  const WorkerInfo* w = FindWorker(id);
+  return w != nullptr && w->draining;
 }
 
 Status ClusterState::SetMediumFailed(MediumId id, bool failed) {
@@ -354,16 +389,16 @@ Status ClusterState::SetMediumFailed(MediumId id, bool failed) {
   MediumInfo& m = media_slab_[slot];
   if (m.failed == failed) return Status::OK();
   const WorkerInfo* w = FindWorker(m.worker);
-  const bool worker_alive = w != nullptr && w->alive;
+  const bool worker_placeable = w != nullptr && w->alive && !w->draining;
   // Order matters: the live-index transition reads m.failed through
   // MediumLive-equivalent state, so flip the flag around the transition
   // that matches its direction.
   if (failed) {
-    if (worker_alive) OnMediumBecomesDead(slot);
+    if (worker_placeable) OnMediumBecomesDead(slot);
     m.failed = true;
   } else {
     m.failed = false;
-    if (worker_alive) OnMediumBecomesLive(slot);
+    if (worker_placeable) OnMediumBecomesLive(slot);
   }
   return Status::OK();
 }
@@ -372,7 +407,7 @@ void ClusterState::AddMediumConnections(MediumId id, int delta) {
   MediumInfo* m = MutableMedium(id);
   if (m == nullptr) return;
   int updated = std::max(0, m->nr_connections + delta);
-  if (MediumLive(id)) {
+  if (MediumInPlacement(id)) {
     HistRemove(m->nr_connections);
     HistInsert(updated);
     m->nr_connections = updated;
@@ -400,7 +435,7 @@ Status ClusterState::AdjustMediumRemaining(MediumId id, int64_t delta_bytes) {
   }
   double f_old = m->remaining_fraction();
   m->remaining_bytes = std::min(updated, m->capacity_bytes);
-  if (MediumLive(id)) {
+  if (MediumInPlacement(id)) {
     OnFractionChange(f_old, m->remaining_fraction());
     OnGoodnessChange(media_index_[id], ScoreAccumulator::StaticGoodness(*m));
   }
@@ -470,6 +505,13 @@ bool ClusterState::MediumLive(MediumId id) const {
   if (m == nullptr) return false;
   const WorkerInfo* w = FindWorker(m->worker);
   return w != nullptr && w->alive && !m->failed;
+}
+
+bool ClusterState::MediumInPlacement(MediumId id) const {
+  const MediumInfo* m = FindMedium(id);
+  if (m == nullptr) return false;
+  const WorkerInfo* w = FindWorker(m->worker);
+  return w != nullptr && w->alive && !w->draining && !m->failed;
 }
 
 std::vector<MediumId> ClusterState::MediaOnTier(TierId tier) const {

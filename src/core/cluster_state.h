@@ -23,6 +23,10 @@ struct WorkerInfo {
   double net_bps = 0;       // NIC capacity (NetThru[W] in the paper)
   int nr_connections = 0;   // active network connections (NrConn[W])
   bool alive = true;
+  /// Draining for decommission/maintenance: media stay readable but
+  /// leave the placement candidate indexes (ClusterState::
+  /// SetWorkerDraining).
+  bool draining = false;
   int64_t last_heartbeat_micros = 0;
   /// Interned id of location.rack(), assigned by ClusterState::AddWorker.
   int32_t rack_id = -1;
@@ -73,6 +77,13 @@ class ClusterState {
   Status UpdateWorkerStats(WorkerId id, int nr_connections,
                            int64_t heartbeat_micros);
   Status SetWorkerAlive(WorkerId id, bool alive);
+  /// Marks a worker draining (decommissioning / maintenance): its media
+  /// leave the live-candidate placement indexes so no new replicas land
+  /// on them, but existing replicas stay readable and keep serving as
+  /// copy sources (MediumLive is unaffected).
+  Status SetWorkerDraining(WorkerId id, bool draining);
+  /// True when the worker exists and is draining.
+  bool WorkerDraining(WorkerId id) const;
   /// Marks one medium's device failed (or recovered): a failed medium
   /// leaves the live-candidate indexes even while its worker is alive.
   Status SetMediumFailed(MediumId id, bool failed);
@@ -224,6 +235,13 @@ class ClusterState {
   /// True when the medium's worker is alive and its device has not
   /// failed.
   bool MediumLive(MediumId id) const;
+
+  /// True when the medium is a placement candidate: live *and* its
+  /// worker is not draining. This is the live-index membership
+  /// predicate; aggregate maintenance (connection histogram, remaining
+  /// fractions) keys off it, since those aggregates summarize exactly
+  /// the media placement can choose from.
+  bool MediumInPlacement(MediumId id) const;
 
  private:
   /// One (tier, rack) cell of the sampled-placement index: the live media

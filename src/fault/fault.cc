@@ -65,22 +65,29 @@ std::string_view SiteName(Site site) {
       return "image-corrupt";
     case Site::kImageCrashMidRename:
       return "image-crash-mid-rename";
+    case Site::kCopyStorm:
+      return "copy-storm";
+    case Site::kDecommissionCrash:
+      return "decommission-crash";
   }
   return "unknown";
 }
 
 int FaultRegistry::Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   faults_.push_back(Armed{spec});
   return static_cast<int>(faults_.size()) - 1;
 }
 
 void FaultRegistry::Disarm(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (handle >= 0 && handle < static_cast<int>(faults_.size())) {
     faults_[static_cast<size_t>(handle)].active = false;
   }
 }
 
 void FaultRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Armed& armed : faults_) armed.active = false;
 }
 
@@ -107,6 +114,7 @@ FaultRegistry::Armed* FaultRegistry::Fire(Site site, WorkerId worker,
 
 Status FaultRegistry::Check(Site site, WorkerId worker, MediumId medium,
                             BlockId block) {
+  std::lock_guard<std::mutex> lock(mu_);
   Armed* armed = Fire(site, worker, medium, block);
   if (armed == nullptr) return Status::OK();
   return Status(armed->spec.code,
@@ -116,12 +124,14 @@ Status FaultRegistry::Check(Site site, WorkerId worker, MediumId medium,
 
 bool FaultRegistry::CheckCorruptOnWrite(WorkerId worker, MediumId medium,
                                         BlockId block) {
+  std::lock_guard<std::mutex> lock(mu_);
   return Fire(Site::kCorruptOnWrite, worker, medium, block) != nullptr;
 }
 
 FaultRegistry::SourceFault FaultRegistry::CheckSource(WorkerId worker,
                                                       MediumId medium,
                                                       BlockId block) {
+  std::lock_guard<std::mutex> lock(mu_);
   SourceFault out;
   Armed* armed = Fire(Site::kTransferSource, worker, medium, block);
   if (armed != nullptr) {
@@ -134,6 +144,7 @@ FaultRegistry::SourceFault FaultRegistry::CheckSource(WorkerId worker,
 }
 
 FaultRegistry::JournalFault FaultRegistry::CheckJournalWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalFault out;
   // A torn write is the more specific failure (a crash mid-write), so it
   // wins over a clean disk-full error when both are armed.
@@ -154,6 +165,7 @@ FaultRegistry::JournalFault FaultRegistry::CheckJournalWrite() {
 }
 
 FaultRegistry::ImageFault FaultRegistry::CheckImageWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
   ImageFault out;
   out.corrupt = Fire(Site::kImageCorrupt, kInvalidWorker, kInvalidMedium,
                      kInvalidBlock) != nullptr;
@@ -164,6 +176,7 @@ FaultRegistry::ImageFault FaultRegistry::CheckImageWrite() {
 }
 
 double FaultRegistry::ThrottleFactor(WorkerId worker, MediumId medium) const {
+  std::lock_guard<std::mutex> lock(mu_);
   double factor = 1.0;
   for (const Armed& armed : faults_) {
     if (!armed.active || armed.spec.site != Site::kMediumThrottle) continue;
@@ -174,6 +187,7 @@ double FaultRegistry::ThrottleFactor(WorkerId worker, MediumId medium) const {
 }
 
 bool FaultRegistry::MediumFailed(WorkerId worker, MediumId medium) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const Armed& armed : faults_) {
     if (!armed.active || armed.spec.site != Site::kMediumFail) continue;
     if (ScopeMatches(armed.spec, worker, medium, kInvalidBlock)) return true;
@@ -217,10 +231,12 @@ std::shared_ptr<StoreFaultHook> FaultRegistry::MakeStoreHook(WorkerId worker,
 }
 
 int64_t FaultRegistry::hits(Site site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return site_hits_[static_cast<int>(site)];
 }
 
 int64_t FaultRegistry::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (int64_t h : site_hits_) total += h;
   return total;

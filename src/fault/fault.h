@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -81,9 +82,18 @@ enum class Site {
   /// the atomic rename: recovery finds no image at that txid, only a
   /// stray .tmp that is swept on the next open.
   kImageCrashMidRename,
+  /// A repair copy fails at the target during a re-replication storm
+  /// (overloaded destination dropping transfers): the kCopyReplica
+  /// command executes but the replica never lands, exercising the
+  /// repair scheduler's expiry/backoff/retry path.
+  kCopyStorm,
+  /// A worker crashes while decommissioning, mid-drain: its queued
+  /// drain work must be re-targeted by the repair scheduler (the
+  /// deficits escalate from decommission-driven to under-replicated).
+  kDecommissionCrash,
 };
 
-inline constexpr int kNumSites = 19;
+inline constexpr int kNumSites = 21;
 
 std::string_view SiteName(Site site);
 
@@ -119,6 +129,11 @@ struct FaultSpec {
 ///
 /// The registry must outlive every component it is installed into
 /// (Cluster::InstallFaultRegistry, BlockStore hooks).
+///
+/// Thread-safe: the durability chaos tests arm faults from the test
+/// thread while a concurrent checkpointer consults the registry through
+/// the Master's journal/image write hooks, so every consult and every
+/// mutation takes the internal mutex.
 class FaultRegistry {
  public:
   explicit FaultRegistry(uint64_t seed) : rng_(seed) {}
@@ -191,8 +206,10 @@ class FaultRegistry {
 
   /// Finds the first armed fault matching the consult and charges a hit
   /// against it (probability roll + max_hits budget). nullptr = no fire.
+  /// mu_ must be held.
   Armed* Fire(Site site, WorkerId worker, MediumId medium, BlockId block);
 
+  mutable std::mutex mu_;
   Random rng_;
   std::vector<Armed> faults_;
   int64_t site_hits_[kNumSites] = {};

@@ -760,14 +760,17 @@ TEST(FuzzyCheckpointTest, CheckpointRacingMutationsRecoversExactly) {
   int checkpoints = 0;
   std::atomic<bool> done{false};
   std::thread checkpointer([&] {
-    while (!done.load(std::memory_order_acquire)) {
+    // do-while: under heavy machine load this thread can be scheduled
+    // after the mutators already finished; at least one checkpoint must
+    // still be written for the recovery comparison to mean anything.
+    do {
       auto txid = master.WriteCheckpoint();
       if (!txid.ok()) {
         ADD_FAILURE() << "checkpoint failed: " << txid.status().ToString();
         return;
       }
       ++checkpoints;
-    }
+    } while (!done.load(std::memory_order_acquire));
   });
   for (auto& m : mutators) m.join();
   done.store(true, std::memory_order_release);

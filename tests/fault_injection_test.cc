@@ -282,6 +282,11 @@ TEST(CommandRedeliveryTest, CrashMidCommandsIsRedeliveredAfterTimeout) {
   EXPECT_EQ(record->locations.size(), 3u);
   EXPECT_EQ(cluster->master()->NumQueuedCommands(), 0);
   EXPECT_EQ(*fs.ReadFile("/f"), content);
+  // The repair plane accounted the whole episode: at least one copy was
+  // dispatched for the deficit and the redelivered copy committed.
+  const RepairStats& stats = cluster->master()->repair_stats();
+  EXPECT_GE(stats.re_replications, 1);
+  EXPECT_GE(stats.copies_completed, 1);
 }
 
 TEST(CommandRedeliveryTest, DeadTargetInflightCopyIsAbortedAndRescheduled) {
@@ -321,6 +326,12 @@ TEST(CommandRedeliveryTest, DeadTargetInflightCopyIsAbortedAndRescheduled) {
     EXPECT_NE(w, lost);
     EXPECT_NE(w, target);
   }
+  // The aborted copy was charged as a target loss (no backoff penalty —
+  // the failure says nothing about the block) and the re-plan committed.
+  const RepairStats& stats = cluster->master()->repair_stats();
+  EXPECT_GE(stats.target_losses, 1);
+  EXPECT_GE(stats.copies_completed, 1);
+  EXPECT_GE(stats.re_replications, 2);
 }
 
 // ---------------------------------------------------------------------------

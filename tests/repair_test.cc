@@ -1,0 +1,486 @@
+// Repair-plane tests: the prioritized/throttled repair scheduler, worker
+// decommission and maintenance draining, the lockstep/double-queue
+// regression around expired in-flight copies, and a seeded mass-failure
+// chaos sweep (a whole rack — ~1/3 of the cluster — crashes at once)
+// asserting full-RF convergence, per-worker in-flight caps, and zero
+// acked-data loss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/file_system.h"
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "fault/fault.h"
+
+namespace octo {
+namespace {
+
+using fault::FaultRegistry;
+using fault::Site;
+
+ClusterSpec RepairSpec(int num_racks = 2, int workers_per_rack = 3) {
+  ClusterSpec spec;
+  spec.num_racks = num_racks;
+  spec.workers_per_rack = workers_per_rack;
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {hdd, hdd};
+  return spec;
+}
+
+void AdvanceSim(Cluster* cluster, double seconds) {
+  cluster->simulation()->Schedule(seconds, [] {});
+  cluster->simulation()->RunUntilIdle();
+}
+
+WorkerId WorkerOfMedium(Cluster* cluster, MediumId medium) {
+  const MediumInfo* info =
+      cluster->master()->cluster_state().FindMedium(medium);
+  return info != nullptr ? info->worker : kInvalidWorker;
+}
+
+/// All block ids known to the master.
+std::vector<BlockId> AllBlocks(Cluster* cluster) {
+  std::vector<BlockId> ids;
+  cluster->master()->block_manager().ForEach(
+      [&](const BlockRecord& record) { ids.push_back(record.id); });
+  return ids;
+}
+
+/// Asserts no worker's command queue holds two kCopyReplica commands for
+/// the same (block, target medium) — the double-queue regression.
+void ExpectNoDuplicateQueuedCopies(Cluster* cluster) {
+  std::set<std::pair<BlockId, MediumId>> seen;
+  for (WorkerId id : cluster->worker_ids()) {
+    for (const WorkerCommand& cmd :
+         cluster->master()->QueuedCommandsForTest(id)) {
+      if (cmd.kind != WorkerCommand::Kind::kCopyReplica) continue;
+      auto key = std::make_pair(cmd.block, cmd.target_medium);
+      EXPECT_TRUE(seen.insert(key).second)
+          << "block " << cmd.block << " double-queued onto medium "
+          << cmd.target_medium;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful decommission
+
+TEST(DecommissionTest, DrainsReplicasWhileServingReads) {
+  auto cluster = std::move(Cluster::Create(RepairSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = 128 * 1024;
+  std::string content(3 * 128 * 1024, 'd');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  ASSERT_TRUE(located.ok());
+  WorkerId victim = (*located)[0].locations[0].worker;
+  int64_t victim_replicas = 0;
+  for (MediumId m :
+       cluster->master()->cluster_state().MediaOnWorker(victim)) {
+    victim_replicas += static_cast<int64_t>(
+        cluster->master()->block_manager().BlocksOnMedium(m).size());
+  }
+  ASSERT_GE(victim_replicas, 1);
+  ASSERT_TRUE(cluster->master()->StartDecommission(victim).ok());
+  EXPECT_EQ(cluster->master()->worker_admin_state(victim),
+            WorkerAdminState::kDecommissioning);
+  // Double decommission of the same worker is idempotent-ish (allowed
+  // while still draining), but an unknown worker is rejected.
+  EXPECT_TRUE(cluster->master()->StartDecommission(9999).IsNotFound());
+
+  // Mid-drain: the worker is alive, its replicas still registered, and
+  // reads (which may be served from it) succeed.
+  EXPECT_TRUE(cluster->master()->cluster_state().FindWorker(victim)->alive);
+  EXPECT_TRUE(cluster->master()->cluster_state().WorkerDraining(victim));
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+
+  // Drained: every block back at RF 3, nothing left on the victim, and
+  // the lifecycle auto-advanced to kDecommissioned.
+  for (BlockId id : AllBlocks(cluster.get())) {
+    const BlockRecord* record = cluster->master()->block_manager().Find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->locations.size(), 3u);
+    for (MediumId m : record->locations) {
+      EXPECT_NE(WorkerOfMedium(cluster.get(), m), victim);
+    }
+  }
+  EXPECT_TRUE(cluster->master()->WorkerDrained(victim));
+  EXPECT_EQ(cluster->master()->worker_admin_state(victim),
+            WorkerAdminState::kDecommissioned);
+  RepairStats stats = cluster->master()->repair_stats();
+  // One copy off the victim per replica it held, and one drain trim each.
+  EXPECT_GE(stats.re_replications, victim_replicas);
+  EXPECT_GE(stats.drained_replicas, victim_replicas);
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+  EXPECT_TRUE(
+      cluster->master()->StartDecommission(victim).IsFailedPrecondition());
+}
+
+TEST(DecommissionTest, MaintenanceDrainsAndRecommissionRestoresService) {
+  auto cluster = std::move(Cluster::Create(RepairSpec())).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = 128 * 1024;
+  std::string content(128 * 1024, 'm');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  WorkerId victim = (*located)[0].locations[0].worker;
+  ASSERT_TRUE(cluster->master()->StartMaintenance(victim).ok());
+  EXPECT_EQ(cluster->master()->worker_admin_state(victim),
+            WorkerAdminState::kMaintenance);
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  EXPECT_TRUE(cluster->master()->WorkerDrained(victim));
+  // Maintenance never auto-advances to kDecommissioned: the operator
+  // gets the worker back.
+  EXPECT_EQ(cluster->master()->worker_admin_state(victim),
+            WorkerAdminState::kMaintenance);
+
+  ASSERT_TRUE(cluster->master()->Recommission(victim).ok());
+  EXPECT_EQ(cluster->master()->worker_admin_state(victim),
+            WorkerAdminState::kInService);
+  EXPECT_FALSE(cluster->master()->cluster_state().WorkerDraining(victim));
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+}
+
+TEST(DecommissionTest, CrashMidDrainRetargetsQueuedWork) {
+  auto cluster = std::move(Cluster::Create(RepairSpec())).value();
+  FaultRegistry faults(11);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = 128 * 1024;
+  std::string content(4 * 128 * 1024, 'x');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  WorkerId victim = (*located)[0].locations[0].worker;
+  ASSERT_TRUE(cluster->master()->StartDecommission(victim).ok());
+
+  // First drain round dispatches decommission-driven copies, then the
+  // victim dies mid-drain before its next heartbeat.
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  faults.Arm({.site = Site::kDecommissionCrash, .worker = victim,
+              .max_hits = 1});
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_EQ(faults.hits(Site::kDecommissionCrash), 1);
+  EXPECT_TRUE(cluster->IsStopped(victim));
+
+  // The dead drain source's queued work is re-derived against survivors:
+  // convergence back to RF 3 with no replica on the victim, and every
+  // committed byte intact.
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  for (BlockId id : AllBlocks(cluster.get())) {
+    const BlockRecord* record = cluster->master()->block_manager().Find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->locations.size(), 3u);
+    for (MediumId m : record->locations) {
+      EXPECT_NE(WorkerOfMedium(cluster.get(), m), victim);
+    }
+  }
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep / double-queue regression: an expired in-flight copy must not
+// be re-queued onto the same still-cooling target, and dispatch after
+// expiry must re-place rather than blindly re-issue.
+
+TEST(RepairExpiryTest, ExpiredCopyMovesOffCooledTargetAndNeverDoubleQueues) {
+  auto cluster = std::move(Cluster::Create(RepairSpec())).value();
+  FaultRegistry faults(5);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  std::string content(256 * 1024, 'e');
+  ASSERT_TRUE(fs.WriteFile("/f", content, options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  cluster->StopWorker((*located)[0].locations[0].worker);
+
+  // Every copy silently fails at its target: delivered, acked, never
+  // committed — the storm scenario the flat re-issue mishandled.
+  faults.Arm({.site = Site::kCopyStorm});
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  auto inflight = cluster->master()->InflightCopiesForTest();
+  ASSERT_EQ(inflight.size(), 1u);
+  const MediumId first_target = inflight[0].second;
+  ExpectNoDuplicateQueuedCopies(cluster.get());
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_GE(faults.hits(Site::kCopyStorm), 1);
+
+  // Re-running the monitor while the copy is within its deadline must
+  // not double-dispatch (idempotence under the in-flight reservation).
+  EXPECT_EQ(cluster->master()->RunReplicationMonitor(), 0);
+  EXPECT_EQ(cluster->master()->InflightCopiesForTest().size(), 1u);
+
+  // Past the full timeout the jittered deadline has provably expired.
+  // The retry must land on a different target: the expired one is still
+  // cooling down (the copy might yet materialize there).
+  AdvanceSim(cluster.get(),
+             61.0);  // replication_timeout_micros = 60 s
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 1);
+  inflight = cluster->master()->InflightCopiesForTest();
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_NE(inflight[0].second, first_target);
+  ExpectNoDuplicateQueuedCopies(cluster.get());
+
+  RepairStats stats = cluster->master()->repair_stats();
+  EXPECT_GE(stats.expirations, 1);
+  EXPECT_GE(stats.retries, 1);
+
+  // The storm lifts; the escalated retry completes and the block heals.
+  faults.ClearAll();
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  const BlockRecord* record = cluster->master()->block_manager().Find(block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->locations.size(), 3u);
+  EXPECT_GE(cluster->master()->repair_stats().copies_completed, 1);
+  EXPECT_EQ(*fs.ReadFile("/f"), content);
+}
+
+TEST(RepairExpiryTest, PersistentStormBacksOffButNeverSilentlyDrops) {
+  ClusterSpec spec = RepairSpec();
+  spec.master.repair.retry_budget = 2;
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FaultRegistry faults(7);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  ASSERT_TRUE(fs.WriteFile("/f", std::string(128 * 1024, 'p'), options).ok());
+
+  auto located = fs.GetFileBlockLocations("/f", 0, 1);
+  BlockId block = (*located)[0].block.id;
+  cluster->StopWorker((*located)[0].locations[0].worker);
+  faults.Arm({.site = Site::kCopyStorm});
+
+  // Let the storm grind through several expiry cycles. The quiescence
+  // loop advances virtual time across both jittered deadlines and
+  // exponential backoff windows, so a bounded number of rounds covers
+  // many attempts.
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(12).ok());
+  RepairStats stats = cluster->master()->repair_stats();
+  EXPECT_GE(stats.expirations, 3);
+  // Crossing the retry budget is surfaced as a counter...
+  EXPECT_GE(stats.retries_exhausted, 1);
+  // ...but the block is never abandoned: there is still a live in-flight
+  // attempt or a scheduled future retry.
+  EXPECT_TRUE(!cluster->master()->InflightCopiesForTest().empty() ||
+              cluster->master()->NextRepairRetryMicros() >= 0);
+
+  faults.ClearAll();
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+  EXPECT_EQ(cluster->master()->block_manager().Find(block)->locations.size(),
+            3u);
+}
+
+// ---------------------------------------------------------------------------
+// Throttling: per-worker in-flight caps hold at every instant
+
+TEST(RepairThrottleTest, PerWorkerInflightCapIsNeverExceeded) {
+  ClusterSpec spec = RepairSpec();
+  spec.master.repair.max_inflight_per_worker = 1;
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = 128 * 1024;
+  std::map<std::string, std::string> expected;
+  for (int i = 0; i < 8; ++i) {
+    std::string path = "/cap/f" + std::to_string(i);
+    std::string content(128 * 1024, static_cast<char>('a' + i));
+    ASSERT_TRUE(fs.WriteFile(path, content, options).ok());
+    expected[path] = content;
+  }
+
+  cluster->StopWorker(cluster->worker_ids()[0]);
+  int deficits = 0;
+  for (BlockId id : AllBlocks(cluster.get())) {
+    const BlockRecord* record = cluster->master()->block_manager().Find(id);
+    size_t live = 0;
+    for (MediumId m : record->locations) {
+      if (cluster->master()->cluster_state().MediumLive(m)) ++live;
+    }
+    if (live < 3) ++deficits;
+  }
+  ASSERT_GE(deficits, 2) << "seeded placement left nothing to repair";
+
+  for (int round = 0; round < 50; ++round) {
+    int queued = cluster->master()->RunReplicationMonitor();
+    for (WorkerId id : cluster->worker_ids()) {
+      EXPECT_LE(cluster->master()->RepairInflightForWorker(id), 1);
+    }
+    ExpectNoDuplicateQueuedCopies(cluster.get());
+    auto executed = cluster->PumpHeartbeats();
+    ASSERT_TRUE(executed.ok());
+    if (queued == 0 && *executed == 0) break;
+  }
+
+  RepairStats stats = cluster->master()->repair_stats();
+  EXPECT_LE(stats.peak_worker_inflight, 1);
+  EXPECT_GE(stats.re_replications, deficits);
+  for (const auto& [path, content] : expected) {
+    EXPECT_EQ(*fs.ReadFile(path), content) << path;
+  }
+  for (BlockId id : AllBlocks(cluster.get())) {
+    EXPECT_EQ(cluster->master()->block_manager().Find(id)->locations.size(),
+              3u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration shares the repair budget (no unbudgeted byte movement)
+
+TEST(RepairMigrationTest, RequestMigrationDispatchesThroughScheduler) {
+  ClusterSpec spec;
+  spec.num_racks = 1;
+  spec.workers_per_rack = 3;
+  MediumSpec memory{kMemoryTier, MediaType::kMemory, 8 * kMiB,
+                    FromMBps(1900), FromMBps(3200)};
+  MediumSpec hdd{kHddTier, MediaType::kHdd, 256 * kMiB, FromMBps(126),
+                 FromMBps(177)};
+  spec.media_per_worker = {memory, hdd};
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+  CreateOptions options;
+  options.block_size = kMiB;
+  options.rep_vector = ReplicationVector::Of(0, 0, 2);
+  ASSERT_TRUE(fs.WriteFile("/hot", std::string(kMiB, 'h'), options).ok());
+
+  // Promote one replica into memory — the tiering engine's move, issued
+  // through the budgeted path.
+  ASSERT_TRUE(cluster->master()
+                  ->RequestMigration("/hot", ReplicationVector::Of(1, 0, 1))
+                  .ok());
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(50).ok());
+
+  RepairStats stats = cluster->master()->repair_stats();
+  EXPECT_GE(stats.migrations, 1);
+  auto status = fs.GetFileStatus("/hot");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->rep_vector.Get(kMemoryTier), 1);
+  EXPECT_EQ(*fs.ReadFile("/hot"), std::string(kMiB, 'h'));
+}
+
+// ---------------------------------------------------------------------------
+// Mass-failure chaos: a whole rack (one third of the cluster) crashes at
+// once. Placement's rack-spread rule guarantees every block keeps at
+// least one live replica, and the repair plane must converge back to
+// full RF under tight per-worker caps without ever exceeding them.
+
+void RunMassFailure(uint64_t seed) {
+  ClusterSpec spec = RepairSpec(/*num_racks=*/3, /*workers_per_rack=*/3);
+  spec.master.seed = seed;
+  spec.master.repair.max_inflight_per_worker = 2;
+  auto cluster = std::move(Cluster::Create(spec)).value();
+  FaultRegistry faults(seed);
+  cluster->InstallFaultRegistry(&faults);
+  FileSystem fs(cluster.get(), NetworkLocation("rack0", "node0"));
+
+  std::map<std::string, std::string> expected;
+  CreateOptions options;
+  options.block_size = 128 * 1024;
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/mass/f" + std::to_string(i);
+    std::string content(2 * 128 * 1024,
+                        static_cast<char>('a' + (i + seed) % 26));
+    ASSERT_TRUE(fs.WriteFile(path, content, options).ok());
+    expected[path] = content;
+  }
+
+  // The rack dies: every worker whose location says "rack<r>" crashes
+  // silently, a correlated mass failure of ~33% of the cluster.
+  const std::string doomed_rack = "rack" + std::to_string(seed % 3);
+  std::vector<WorkerId> crashed;
+  for (WorkerId id : cluster->worker_ids()) {
+    const WorkerInfo* w = cluster->master()->cluster_state().FindWorker(id);
+    ASSERT_NE(w, nullptr);
+    if (w->location.rack() == doomed_rack) {
+      cluster->CrashWorkerSilently(id);
+      crashed.push_back(id);
+    }
+  }
+  ASSERT_EQ(crashed.size(), 3u);
+
+  // The failure is only detected after the worker timeout: survivors
+  // keep heartbeating, the doomed rack stays silent.
+  AdvanceSim(cluster.get(), 31.0);
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  EXPECT_EQ(cluster->master()->CheckWorkerLiveness().size(), 3u);
+
+  // Repair storm under tight caps, checked at every round.
+  int rounds = 0;
+  for (; rounds < 100; ++rounds) {
+    int queued = cluster->master()->RunReplicationMonitor();
+    for (WorkerId id : cluster->worker_ids()) {
+      ASSERT_LE(cluster->master()->RepairInflightForWorker(id), 2);
+    }
+    ExpectNoDuplicateQueuedCopies(cluster.get());
+    auto executed = cluster->PumpHeartbeats();
+    ASSERT_TRUE(executed.ok());
+    if (queued == 0 && *executed == 0) break;
+  }
+  ASSERT_LT(rounds, 100) << "no convergence";
+
+  // Full RF on live workers, caps held, zero acked-data loss.
+  RepairStats stats = cluster->master()->repair_stats();
+  EXPECT_LE(stats.peak_worker_inflight, 2);
+  EXPECT_GE(stats.re_replications, 1);
+  std::set<WorkerId> dead(crashed.begin(), crashed.end());
+  for (BlockId id : AllBlocks(cluster.get())) {
+    const BlockRecord* record = cluster->master()->block_manager().Find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->locations.size(), 3u);
+    for (MediumId m : record->locations) {
+      EXPECT_EQ(dead.count(WorkerOfMedium(cluster.get(), m)), 0u);
+    }
+  }
+  for (const auto& [path, content] : expected) {
+    auto data = fs.ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    EXPECT_EQ(*data, content) << path;
+  }
+
+  // Epilogue: decommission a survivor mid-storm-recovery and crash it
+  // mid-drain; its queued drain work must re-target cleanly.
+  WorkerId survivor = kInvalidWorker;
+  for (WorkerId id : cluster->worker_ids()) {
+    if (dead.count(id) == 0) {
+      survivor = id;
+      break;
+    }
+  }
+  ASSERT_NE(survivor, kInvalidWorker);
+  ASSERT_TRUE(cluster->master()->StartDecommission(survivor).ok());
+  ASSERT_GE(cluster->master()->RunReplicationMonitor(), 0);
+  faults.Arm({.site = Site::kDecommissionCrash, .worker = survivor,
+              .max_hits = 1});
+  ASSERT_TRUE(cluster->PumpHeartbeats().ok());
+  ASSERT_TRUE(cluster->RunReplicationToQuiescence(60).ok());
+  for (const auto& [path, content] : expected) {
+    auto data = fs.ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    EXPECT_EQ(*data, content) << path;
+  }
+}
+
+TEST(RepairChaosTest, MassFailureSeed1) { RunMassFailure(1); }
+TEST(RepairChaosTest, MassFailureSeed2) { RunMassFailure(2); }
+TEST(RepairChaosTest, MassFailureSeed3) { RunMassFailure(3); }
+
+}  // namespace
+}  // namespace octo

@@ -50,6 +50,12 @@ def main():
     for key in sorted(current, key=lambda k: (k[0], k[1])):
         workers, policy = key
         cur = current[key].get(args.metric)
+        if cur is None:
+            # Row doesn't carry the gated metric (e.g. only one arm of a
+            # comparison bench reports the advantage ratio) — not gated.
+            print(f"{workers:>8} {policy:<14} {'-':>12} {'-':>12} "
+                  f"{'n/a':>7}")
+            continue
         base_row = baseline.get(key)
         if base_row is None or args.metric not in base_row:
             print(f"{workers:>8} {policy:<14} {'(none)':>12} {cur:>12.0f} "

@@ -23,7 +23,8 @@ ctest --preset asan-ubsan -j "$(nproc)" "$@"
 # namespace while mutators run fail the run.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-    --target metadata_concurrency_test --target durability_test
+    --target metadata_concurrency_test --target durability_test \
+    --target repair_test
 
 export TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
 ctest --preset tsan "$@"

@@ -15,7 +15,7 @@ build_dir=${1:-"$repo_root/build-bench"}
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j --target bench_placement_hotpath \
     --target bench_sim_hotpath --target bench_metadata_hotpath \
-    --target bench_tiering
+    --target bench_tiering --target bench_repair
 
 # The placement bench sweeps 10/100/1000/10000 workers for every policy,
 # including both MOOP candidate-enumeration modes (exhaustive and the
@@ -26,11 +26,15 @@ cmake --build "$build_dir" -j --target bench_placement_hotpath \
 # Automated tiering engine vs. static placement on the skewed-read
 # scenarios (zipf hot-set drift, diurnal, scan/point mix) — DESIGN.md §13.
 "$build_dir/bench/bench_tiering" "$repo_root/BENCH_tiering.json"
+# Repair storm (one rack crashes under a foreground read workload):
+# throttled vs unthrottled re-replication — DESIGN.md §15.
+"$build_dir/bench/bench_repair" "$repo_root/BENCH_repair.json"
 echo "results: $repo_root/BENCH_placement.json, $repo_root/BENCH_sim.json," \
-     "$repo_root/BENCH_metadata.json, $repo_root/BENCH_tiering.json"
+     "$repo_root/BENCH_metadata.json, $repo_root/BENCH_tiering.json," \
+     "$repo_root/BENCH_repair.json"
 echo "baselines (pre-optimization): BENCH_placement.baseline.json," \
      "BENCH_sim.baseline.json, BENCH_tiering.baseline.json," \
-     "BENCH_metadata.baseline.json"
+     "BENCH_metadata.baseline.json, BENCH_repair.baseline.json"
 
 # Gate: any (workers, policy) pair that lost more than 20% throughput
 # against the checked-in baseline fails the run (set -e propagates).
@@ -52,6 +56,14 @@ if command -v python3 >/dev/null 2>&1; then
       "$repo_root/BENCH_metadata.json" \
       "$repo_root/BENCH_metadata.baseline.json" \
       --metric mutation_availability
+  # The gated row is the throttled arm's foreground-read p99 advantage
+  # over unthrottled repair (p99_gain_vs_unthrottled > 1 means the
+  # throttle measurably protects the read tail during a repair storm;
+  # the unthrottled row carries no such metric and is skipped).
+  python3 "$repo_root/tools/check_bench_regression.py" \
+      "$repo_root/BENCH_repair.json" \
+      "$repo_root/BENCH_repair.baseline.json" \
+      --metric p99_gain_vs_unthrottled
 else
   echo "warning: python3 not found, skipping bench regression check" >&2
 fi

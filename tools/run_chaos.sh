@@ -65,4 +65,21 @@ if [[ -n "${DURABILITY_BIN}" ]]; then
   done
   echo "durability chaos sweep clean (3 repetitions)"
 fi
+
+# Repair-plane sweep: the prioritized/throttled repair scheduler suite
+# (decommission draining, expiry dedupe/backoff, throttle caps), then
+# the 3-seed mass-failure chaos harness a few extra times. Each seed
+# crashes a whole rack (~1/3 of the cluster) at once and asserts
+# full-RF convergence with per-worker in-flight caps never exceeded,
+# no double-queued copies, and zero acked-data loss — plus a
+# decommission-mid-drain crash epilogue.
+ctest --preset asan-ubsan -L repair -j "$(nproc)" "$@"
+REPAIR_BIN=$(find build-asan -name repair_test -type f | head -n1)
+if [[ -n "${REPAIR_BIN}" ]]; then
+  for rep in 1 2 3; do
+    "${REPAIR_BIN}" --gtest_filter='RepairChaosTest.*' \
+      --gtest_brief=1 >/dev/null
+  done
+  echo "repair chaos sweep clean (3 repetitions)"
+fi
 echo "chaos pass clean"
